@@ -1,0 +1,46 @@
+//! DSL-visible utilities — `gb.utilities.normalize_rows` (used by
+//! Fig. 7's PageRank). Like PyGB's utilities, the implementation is a
+//! native kernel reached through one dynamic dispatch.
+
+use pygb::Matrix;
+
+use crate::fused::{self, NormalizeArgs};
+
+/// Divide every stored element by its row sum
+/// (`gb.utilities.normalize_rows(m)`).
+pub fn normalize_rows(m: &mut Matrix) -> pygb::Result<()> {
+    let mut args = NormalizeArgs { m: Some(m.clone()) };
+    fused::dispatch("util_normalize_rows", m.dtype(), &mut args)?;
+    *m = args.m.expect("kernel returns the matrix");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_become_stochastic() {
+        let mut m = Matrix::from_triples(
+            2,
+            3,
+            [
+                (0usize, 0usize, 1.0f64),
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 0, 5.0),
+            ],
+        )
+        .unwrap();
+        normalize_rows(&mut m).unwrap();
+        assert!((m.get(0, 2).unwrap().as_f64() - 0.5).abs() < 1e-12);
+        assert_eq!(m.get(1, 0).unwrap().as_f64(), 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let mut m = Matrix::new(3, 3, pygb::DType::Fp64);
+        normalize_rows(&mut m).unwrap();
+        assert_eq!(m.nvals(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Ablations of Section IV's design arguments:
+//!
+//! * **deferred vs eager temporaries** — `C[None] = A @ B` evaluates
+//!   inside the assignment (no temporary container); the eager spelling
+//!   materializes `A @ B` into a fresh container and then assigns it.
+//! * **in-place vs rebinding** — `C[None] = expr` (reuse `C`) vs
+//!   `C = expr` (`Matrix::from_expr`, new container), the performance
+//!   difference the paper says "is not negligible".
+//! * **mask-guided vs general masked mxm** — triangle counting through
+//!   the dot-product fast path vs the general SpGEMM + masked write.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pygb::prelude::*;
+use pygb_bench::workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lazy");
+    group.sample_size(15);
+
+    for &n in &[256usize, 1024] {
+        let w = Workload::erdos_renyi(n, 5);
+        let a = &w.pygb;
+
+        // Deferred: the expression evaluates straight into C.
+        group.bench_with_input(BenchmarkId::new("deferred_assign", n), a, |bch, a| {
+            let mut out = Matrix::new(n, n, DType::Fp64);
+            bch.iter(|| {
+                let _sr = ArithmeticSemiring.enter();
+                out.no_mask().assign(a.matmul(a)).expect("assign");
+            })
+        });
+
+        // Eager: force a temporary, then a second assignment pass.
+        group.bench_with_input(BenchmarkId::new("eager_temporary", n), a, |bch, a| {
+            let mut out = Matrix::new(n, n, DType::Fp64);
+            bch.iter(|| {
+                let _sr = ArithmeticSemiring.enter();
+                let temp = Matrix::from_expr(a.matmul(a)).expect("temp");
+                out.no_mask().assign(&temp).expect("assign");
+            })
+        });
+
+        // Rebinding: C = A @ B constructs a brand-new container.
+        group.bench_with_input(BenchmarkId::new("rebinding", n), a, |bch, a| {
+            bch.iter(|| {
+                let _sr = ArithmeticSemiring.enter();
+                Matrix::from_expr(a.matmul(a)).expect("from_expr")
+            })
+        });
+    }
+
+    group.finish();
+
+    // Section V's deferred-chain compilation: f(u @ A) as one fused
+    // module vs two dispatches with an intermediate container.
+    let mut fusion = c.benchmark_group("ablation_fusion");
+    fusion.sample_size(15);
+    for &n in &[256usize, 1024] {
+        let w = Workload::erdos_renyi(n, 5);
+        let m = &w.sym_pygb;
+        let u = {
+            let mut v = pygb::Vector::new(n, DType::Fp64);
+            v.no_mask().slice(..).assign_scalar(1.0 / n as f64).unwrap();
+            v
+        };
+        fusion.bench_with_input(BenchmarkId::new("two_dispatches", n), m, |bch, m| {
+            let mut temp = pygb::Vector::new(n, DType::Fp64);
+            let mut out = pygb::Vector::new(n, DType::Fp64);
+            bch.iter(|| {
+                let _sr = ArithmeticSemiring.enter();
+                temp.no_mask().assign(u.vxm(m)).expect("vxm");
+                let _op = UnaryOp::bound("Plus", 0.01).unwrap().enter();
+                out.no_mask().assign(pygb::apply(&temp)).expect("apply");
+            })
+        });
+        fusion.bench_with_input(BenchmarkId::new("fused_chain", n), m, |bch, m| {
+            let mut out = pygb::Vector::new(n, DType::Fp64);
+            bch.iter(|| {
+                let _sr = ArithmeticSemiring.enter();
+                let _op = UnaryOp::bound("Plus", 0.01).unwrap().enter();
+                let expr = u.vxm(m).then_apply().expect("fuse");
+                out.no_mask().assign(expr).expect("assign");
+            })
+        });
+    }
+    fusion.finish();
+
+    let mut tri = c.benchmark_group("ablation_masked_mxm");
+    tri.sample_size(15);
+    for &n in &[256usize, 1024] {
+        let w = Workload::erdos_renyi(n, 5);
+        let l = &w.lower_gbtl;
+        tri.bench_with_input(BenchmarkId::new("general_masked", n), l, |bch, l| {
+            bch.iter(|| gbtl::algorithms::triangle_count(l).expect("count"))
+        });
+        tri.bench_with_input(BenchmarkId::new("mask_guided_dot", n), l, |bch, l| {
+            bch.iter(|| gbtl::algorithms::triangle_count_masked_dot(l).expect("count"))
+        });
+    }
+    tri.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 10, tricount panel: run time of the three variants as |V| scales on
+//! Erdős–Rényi graphs with |E| = |V|^1.5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pygb_algorithms::Variant;
+use pygb_bench::fig10::{run_once, Algorithm};
+use pygb_bench::workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_tricount");
+    group.sample_size(20);
+    for &n in &[64usize, 256, 1024] {
+        let w = Workload::erdos_renyi(n, 42);
+        for variant in Variant::ALL {
+            group.bench_with_input(BenchmarkId::new(variant.label(), n), &w, |b, w| {
+                b.iter(|| run_once(Algorithm::TriangleCount, variant, w))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

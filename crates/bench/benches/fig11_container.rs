@@ -1,0 +1,25 @@
+//! Fig. 11: container lifecycle (file read, construction, extraction)
+//! on the interpreted ("Python") vs native ("C++") paths, as |V|
+//! scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pygb_bench::fig11::{run_once, ContainerWorkload, Side, Step};
+
+fn bench(c: &mut Criterion) {
+    for step in Step::ALL {
+        let mut group = c.benchmark_group(format!("fig11_{}", step.label()));
+        group.sample_size(20);
+        for &n in &[64usize, 256, 1024] {
+            let w = ContainerWorkload::new(n, 17);
+            for side in Side::ALL {
+                group.bench_with_input(BenchmarkId::new(side.label(), n), &w, |b, w| {
+                    b.iter(|| run_once(step, side, w))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Compile-time experiment: the abstract claims PyGB "compilation times
+//! are not worse than for native GBTL implementation". We measure:
+//!
+//! * **cold compile** — instantiating one kernel for a never-seen key
+//!   (the `g++` analog);
+//! * **memory hit** — fetching the same key from the warm cache (the
+//!   steady-state dispatch cost);
+//! * **key hash** — the `hash(kwargs)` step alone;
+//! * **whole-library instantiation** — all 19 operations × 11 dtypes,
+//!   the analog of compiling the full GBTL template library ahead of
+//!   time, which on-demand compilation avoids.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pygb::dtype::ALL_DTYPES;
+use pygb_jit::{FactoryRegistry, ModuleCache, ModuleKey};
+
+fn key_for(i: usize) -> ModuleKey {
+    ModuleKey::new("mxm")
+        .with("a_type", "fp64")
+        .with("b_type", "fp64")
+        .with("c_type", "fp64")
+        .with("semiring", "Plus_Zero_Times")
+        .with("variant", i.to_string())
+}
+
+fn bench(c: &mut Criterion) {
+    let registry = FactoryRegistry::new();
+    pygb::kernels::register_all(&registry);
+
+    let mut group = c.benchmark_group("jit_compile");
+
+    // Cold compile: fresh key every iteration against a fresh cache.
+    group.bench_function("cold_compile", |b| {
+        let mut i = 0usize;
+        let cache = ModuleCache::in_memory();
+        b.iter(|| {
+            i += 1;
+            let key = key_for(i);
+            cache
+                .get_or_compile(&key, |k| registry.instantiate(k))
+                .expect("compile")
+        })
+    });
+
+    // Memory hit: same key, warm cache.
+    group.bench_function("memory_hit", |b| {
+        let cache = ModuleCache::in_memory();
+        let key = key_for(0);
+        cache
+            .get_or_compile(&key, |k| registry.instantiate(k))
+            .expect("warm");
+        b.iter(|| {
+            cache
+                .get_or_compile(&key, |k| registry.instantiate(k))
+                .expect("hit")
+        })
+    });
+
+    // The hash(kwargs) step alone.
+    group.bench_function("key_hash", |b| {
+        let key = key_for(0);
+        b.iter(|| key.module_hash())
+    });
+
+    // Whole-library instantiation: every op for every dtype — what
+    // ahead-of-time compilation would pay before the first operation.
+    group.bench_function("whole_library_instantiation", |b| {
+        let funcs = registry.registered_functions();
+        b.iter(|| {
+            let mut kernels = Vec::with_capacity(funcs.len() * ALL_DTYPES.len());
+            for func in &funcs {
+                for dtype in ALL_DTYPES {
+                    let key = ModuleKey::new(func.clone()).with("c_type", dtype.name());
+                    kernels.push(registry.instantiate(&key).expect("instantiate"));
+                }
+            }
+            kernels
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

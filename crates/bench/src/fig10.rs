@@ -1,0 +1,137 @@
+//! Fig. 10 runners: the four algorithms × three variants, returning
+//! wall time per run so both Criterion and the `figures` binary can
+//! drive them.
+
+use std::time::{Duration, Instant};
+
+use pygb::{DType, Vector};
+use pygb_algorithms as algos;
+use pygb_algorithms::Variant;
+
+use crate::workloads::Workload;
+
+/// The four benchmarked algorithms, in the paper's order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Breadth-first search (Fig. 2).
+    Bfs,
+    /// PageRank (Figs. 7/8).
+    PageRank,
+    /// Single-source shortest path (Fig. 4).
+    Sssp,
+    /// Triangle counting (Fig. 5).
+    TriangleCount,
+}
+
+impl Algorithm {
+    /// All four, in Fig. 10's order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Bfs,
+        Algorithm::PageRank,
+        Algorithm::Sssp,
+        Algorithm::TriangleCount,
+    ];
+
+    /// Label used in output tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Bfs => "bfs",
+            Algorithm::PageRank => "pagerank",
+            Algorithm::Sssp => "sssp",
+            Algorithm::TriangleCount => "triangle_count",
+        }
+    }
+}
+
+fn pagerank_opts() -> algos::PageRankOptions {
+    algos::PageRankOptions {
+        // Bounded so the benchmark measures per-iteration cost, not
+        // convergence luck on random graphs.
+        max_iters: 50,
+        ..Default::default()
+    }
+}
+
+/// Run one `(algorithm, variant)` combination once and return its wall
+/// time. Results are asserted consistent in the integration tests, not
+/// here.
+pub fn run_once(algo: Algorithm, variant: Variant, w: &Workload) -> Duration {
+    let start = Instant::now();
+    match (algo, variant) {
+        (Algorithm::Bfs, Variant::DslLoops) => {
+            algos::bfs_dsl_loops(&w.pygb, 0).expect("bfs");
+        }
+        (Algorithm::Bfs, Variant::DslFused) => {
+            algos::bfs_dsl_fused(&w.pygb, 0).expect("bfs");
+        }
+        (Algorithm::Bfs, Variant::Native) => {
+            algos::bfs_native(&w.gbtl, 0).expect("bfs");
+        }
+        (Algorithm::Sssp, Variant::DslLoops) => {
+            let mut path = Vector::new(w.n, DType::Fp64);
+            path.set(0, 0.0f64).expect("set");
+            algos::sssp_dsl_loops(&w.pygb, &mut path).expect("sssp");
+        }
+        (Algorithm::Sssp, Variant::DslFused) => {
+            let mut path = Vector::new(w.n, DType::Fp64);
+            path.set(0, 0.0f64).expect("set");
+            algos::sssp_dsl_fused(&w.pygb, &mut path).expect("sssp");
+        }
+        (Algorithm::Sssp, Variant::Native) => {
+            let mut path = gbtl::Vector::<f64>::new(w.n);
+            path.set(0, 0.0).expect("set");
+            algos::sssp_native(&w.gbtl, &mut path).expect("sssp");
+        }
+        (Algorithm::PageRank, Variant::DslLoops) => {
+            algos::pagerank_dsl_loops(&w.sym_pygb, pagerank_opts()).expect("pagerank");
+        }
+        (Algorithm::PageRank, Variant::DslFused) => {
+            algos::pagerank_dsl_fused(&w.sym_pygb, pagerank_opts()).expect("pagerank");
+        }
+        (Algorithm::PageRank, Variant::Native) => {
+            algos::pagerank_native(&w.sym_gbtl, pagerank_opts()).expect("pagerank");
+        }
+        (Algorithm::TriangleCount, Variant::DslLoops) => {
+            algos::tricount_dsl_loops(&w.lower_pygb).expect("tricount");
+        }
+        (Algorithm::TriangleCount, Variant::DslFused) => {
+            algos::tricount_dsl_fused(&w.lower_pygb).expect("tricount");
+        }
+        (Algorithm::TriangleCount, Variant::Native) => {
+            algos::tricount_native(&w.lower_gbtl).expect("tricount");
+        }
+    }
+    start.elapsed()
+}
+
+/// Median wall time over `reps` runs (first run warms the JIT cache and
+/// is discarded, like the paper amortizing compiles over reuse).
+pub fn run_median(algo: Algorithm, variant: Variant, w: &Workload, reps: usize) -> Duration {
+    let _warmup = run_once(algo, variant, w);
+    let mut times: Vec<Duration> = (0..reps.max(1)).map(|_| run_once(algo, variant, w)).collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_of_fig10_runs() {
+        let w = Workload::erdos_renyi(64, 3);
+        for algo in Algorithm::ALL {
+            for variant in Variant::ALL {
+                let dt = run_once(algo, variant, &w);
+                assert!(dt.as_nanos() > 0, "{algo:?}/{variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn median_is_positive() {
+        let w = Workload::erdos_renyi(64, 4);
+        let dt = run_median(Algorithm::Bfs, Variant::Native, &w, 3);
+        assert!(dt.as_nanos() > 0);
+    }
+}

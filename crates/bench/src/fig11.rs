@@ -1,0 +1,151 @@
+//! Fig. 11 runners: the container lifecycle — read a matrix from a
+//! (virtual) file, construct it from an in-memory container, extract
+//! the data back out — on both the interpreted ("Python") and native
+//! ("C++") paths.
+
+use std::time::{Duration, Instant};
+
+use pygb::DType;
+use pygb_io::interpreted::PyCoo;
+use pygb_io::{generators, matrix_market, EdgeList};
+
+/// The three lifecycle steps Fig. 11 plots.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Parse Matrix Market text into a container.
+    ReadFile,
+    /// Build a container from an in-memory list/vector.
+    Construct,
+    /// Pull all tuples back out.
+    Extract,
+}
+
+impl Step {
+    /// All steps in plot order.
+    pub const ALL: [Step; 3] = [Step::ReadFile, Step::Construct, Step::Extract];
+
+    /// Label used in output tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Step::ReadFile => "read_file",
+            Step::Construct => "construct",
+            Step::Extract => "extract",
+        }
+    }
+}
+
+/// The two language sides of Fig. 11.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Boxed, per-element dynamic path (the Python side).
+    Interpreted,
+    /// Typed path (the C++ side).
+    Native,
+}
+
+impl Side {
+    /// Both sides.
+    pub const ALL: [Side; 2] = [Side::Interpreted, Side::Native];
+
+    /// Label used in output tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Side::Interpreted => "interpreted",
+            Side::Native => "native",
+        }
+    }
+}
+
+/// Pre-rendered input for one size point.
+pub struct ContainerWorkload {
+    /// The edges.
+    pub edges: EdgeList,
+    /// Matrix Market text (the "file on disk").
+    pub mm_text: String,
+    /// Boxed object lists (the Python-list intermediate), pre-built
+    /// for the construct step.
+    pub boxed: PyCoo,
+    /// Typed triples for the native construct step.
+    pub typed: Vec<(usize, usize, f64)>,
+    /// Pre-built containers for the extract step.
+    pub pygb: pygb::Matrix,
+    /// Same, typed.
+    pub gbtl: gbtl::Matrix<f64>,
+}
+
+impl ContainerWorkload {
+    /// Build the workload for `n` vertices.
+    pub fn new(n: usize, seed: u64) -> ContainerWorkload {
+        let edges = generators::erdos_renyi_power(n, seed);
+        let mm_text = matrix_market::to_string(&edges);
+        let boxed = PyCoo::from_edges(n, &edges.edges);
+        let typed = edges.edges.clone();
+        let pygb = edges.to_pygb(DType::Fp64);
+        let gbtl = edges.to_gbtl();
+        ContainerWorkload {
+            edges,
+            mm_text,
+            boxed,
+            typed,
+            pygb,
+            gbtl,
+        }
+    }
+}
+
+/// Run one `(step, side)` cell once, returning wall time.
+pub fn run_once(step: Step, side: Side, w: &ContainerWorkload) -> Duration {
+    let start = Instant::now();
+    match (step, side) {
+        (Step::ReadFile, Side::Interpreted) => {
+            let m = matrix_market::read_interpreted(w.mm_text.as_bytes(), DType::Fp64)
+                .expect("read");
+            assert_eq!(m.nvals(), w.edges.nnz());
+        }
+        (Step::ReadFile, Side::Native) => {
+            let m = matrix_market::read_native(w.mm_text.as_bytes()).expect("read");
+            assert_eq!(m.nvals(), w.edges.nnz());
+        }
+        (Step::Construct, Side::Interpreted) => {
+            let m = w.boxed.to_matrix(DType::Fp64).expect("construct");
+            assert_eq!(m.nvals(), w.edges.nnz());
+        }
+        (Step::Construct, Side::Native) => {
+            let m = gbtl::Matrix::from_triples(w.edges.n, w.edges.n, w.typed.iter().copied())
+                .expect("construct");
+            assert_eq!(m.nvals(), w.edges.nnz());
+        }
+        (Step::Extract, Side::Interpreted) => {
+            let triples = w.pygb.extract_triples();
+            assert_eq!(triples.len(), w.edges.nnz());
+        }
+        (Step::Extract, Side::Native) => {
+            let triples = w.gbtl.extract_triples();
+            assert_eq!(triples.len(), w.edges.nnz());
+        }
+    }
+    start.elapsed()
+}
+
+/// Median over `reps` runs.
+pub fn run_median(step: Step, side: Side, w: &ContainerWorkload, reps: usize) -> Duration {
+    let mut times: Vec<Duration> = (0..reps.max(1)).map(|_| run_once(step, side, w)).collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_of_fig11_runs() {
+        let w = ContainerWorkload::new(64, 5);
+        for step in Step::ALL {
+            for side in Side::ALL {
+                let dt = run_once(step, side, &w);
+                assert!(dt.as_nanos() > 0, "{step:?}/{side:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Paper-style table rendering and JSON result emission for the
+//! `figures` binary.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// One measured cell: a series name, an x value (problem size), and a
+/// time.
+#[derive(Debug, Clone, Serialize)]
+pub struct Sample {
+    /// Which figure/table the sample belongs to (e.g. `"fig10/bfs"`).
+    pub experiment: String,
+    /// Series within the figure (e.g. `"pygb-loops"`).
+    pub series: String,
+    /// Problem size (|V|).
+    pub n: usize,
+    /// Measured seconds.
+    pub seconds: f64,
+}
+
+impl Sample {
+    /// Build a sample from a [`Duration`].
+    pub fn new(experiment: &str, series: &str, n: usize, time: Duration) -> Sample {
+        Sample {
+            experiment: experiment.to_string(),
+            series: series.to_string(),
+            n,
+            seconds: time.as_secs_f64(),
+        }
+    }
+}
+
+/// Render a set of samples that share an experiment as a sizes × series
+/// table (the textual equivalent of one Fig. 10 panel).
+pub fn render_table(title: &str, samples: &[Sample]) -> String {
+    let mut sizes: Vec<usize> = samples.iter().map(|s| s.n).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut series: Vec<String> = samples.iter().map(|s| s.series.clone()).collect();
+    series.sort();
+    series.dedup();
+
+    let mut out = format!("## {title}\n\n");
+    out.push_str(&format!("{:>8}", "|V|"));
+    for s in &series {
+        out.push_str(&format!(" {s:>14}"));
+    }
+    out.push('\n');
+    for &n in &sizes {
+        out.push_str(&format!("{n:>8}"));
+        for s in &series {
+            let cell = samples
+                .iter()
+                .find(|x| x.n == n && &x.series == s)
+                .map(|x| format_seconds(x.seconds))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(" {cell:>14}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Human-scaled time formatting (`1.23 ms`, `45.6 µs`, ...).
+pub fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+/// Serialize samples as pretty JSON (for EXPERIMENTS.md bookkeeping).
+pub fn to_json(samples: &[Sample]) -> String {
+    serde_json::to_string_pretty(samples).expect("samples serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_scales() {
+        assert_eq!(format_seconds(2.5), "2.500 s");
+        assert_eq!(format_seconds(0.0025), "2.500 ms");
+        assert_eq!(format_seconds(2.5e-6), "2.500 µs");
+        assert_eq!(format_seconds(2.5e-8), "25 ns");
+    }
+
+    #[test]
+    fn table_has_all_cells() {
+        let samples = vec![
+            Sample::new("fig10/bfs", "native", 64, Duration::from_micros(10)),
+            Sample::new("fig10/bfs", "pygb-loops", 64, Duration::from_micros(30)),
+            Sample::new("fig10/bfs", "native", 128, Duration::from_micros(40)),
+        ];
+        let table = render_table("bfs", &samples);
+        assert!(table.contains("native"));
+        assert!(table.contains("pygb-loops"));
+        assert!(table.contains("10.000 µs"));
+        assert!(table.contains(" -")); // missing cell dashed
+        assert!(table.lines().count() >= 4);
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let samples = vec![Sample::new("x", "y", 1, Duration::from_secs(1))];
+        let json = to_json(&samples);
+        assert!(json.contains("\"seconds\": 1.0"));
+    }
+}

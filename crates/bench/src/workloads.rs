@@ -1,0 +1,76 @@
+//! Benchmark workloads: the paper's Erdős–Rényi family with
+//! `|E| = O(|V|^1.5)`, prepared in both container layers.
+
+use pygb::{DType, Matrix};
+use pygb_io::{generators, EdgeList};
+
+/// One benchmark input: the same graph in every representation the
+/// three variants need.
+pub struct Workload {
+    /// Vertex count.
+    pub n: usize,
+    /// The raw directed edges.
+    pub edges: EdgeList,
+    /// Dynamic (`fp64`) container.
+    pub pygb: Matrix,
+    /// Static typed container.
+    pub gbtl: gbtl::Matrix<f64>,
+    /// Strictly-lower-triangular half of the symmetrized graph,
+    /// dynamic (for triangle counting).
+    pub lower_pygb: Matrix,
+    /// Same, static.
+    pub lower_gbtl: gbtl::Matrix<f64>,
+    /// Symmetrized graph, dynamic (for PageRank: no in-degree-0
+    /// vertices).
+    pub sym_pygb: Matrix,
+    /// Same, static.
+    pub sym_gbtl: gbtl::Matrix<f64>,
+}
+
+impl Workload {
+    /// Build the workload for `n` vertices (deterministic seed).
+    pub fn erdos_renyi(n: usize, seed: u64) -> Workload {
+        let edges = generators::erdos_renyi_power(n, seed);
+        let sym = edges.clone().symmetrize();
+        let lower = sym.lower_triangular().unweighted();
+        Workload {
+            n,
+            pygb: edges.to_pygb(DType::Fp64),
+            gbtl: edges.to_gbtl(),
+            lower_pygb: lower.to_pygb(DType::Fp64),
+            lower_gbtl: lower.to_gbtl(),
+            sym_pygb: sym.to_pygb(DType::Fp64),
+            sym_gbtl: sym.to_gbtl(),
+            edges,
+        }
+    }
+}
+
+/// The |V| sweep of Fig. 10/11, scaled to laptop time budgets:
+/// powers of two from 2^6 to 2^min(max_pow, 13).
+pub fn size_sweep(max_pow: u32) -> Vec<usize> {
+    (6..=max_pow.min(13)).map(|p| 1usize << p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shapes_consistent() {
+        let w = Workload::erdos_renyi(64, 1);
+        assert_eq!(w.n, 64);
+        assert_eq!(w.pygb.shape(), (64, 64));
+        assert_eq!(w.gbtl.shape(), (64, 64));
+        assert_eq!(w.pygb.nvals(), w.gbtl.nvals());
+        assert_eq!(w.lower_pygb.nvals(), w.lower_gbtl.nvals());
+        // Lower triangle is strictly lower.
+        assert!(w.lower_gbtl.iter().all(|(i, j, _)| j < i));
+    }
+
+    #[test]
+    fn sweep_is_powers_of_two() {
+        assert_eq!(size_sweep(8), vec![64, 128, 256]);
+        assert_eq!(size_sweep(20).last(), Some(&8192));
+    }
+}

@@ -1,0 +1,261 @@
+//! The operator context stack — Python's `with` blocks.
+//!
+//! "Behind the scenes, this `with` statement modifies a global stack of
+//! operators. Every operation requires an operator of a specific type.
+//! When an operation is called, it searches through the stack to find
+//! the first operator that it can use." (Sec. IV.)
+//!
+//! The stack is **thread-local**, realizing the per-thread operator
+//! stacks the paper identifies as the fix for its multi-threading
+//! limitation: guards are `!Send`, so a context cannot leak across
+//! threads, and each thread resolves against its own stack.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+
+use gbtl::ops::kind::{AppliedUnaryKind, BinaryOpKind, KindMonoid, KindSemiring};
+
+/// One entry on the operator stack.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub(crate) enum CtxEntry {
+    /// A semiring (provides ⊕, ⊗, a monoid, and an accumulator fallback).
+    Semiring(KindSemiring),
+    /// A monoid (provides ⊕/⊗ and an accumulator fallback).
+    Monoid(KindMonoid),
+    /// A bare binary operator.
+    Binary(BinaryOpKind),
+    /// A unary operator (possibly a bound binary).
+    Unary(AppliedUnaryKind),
+    /// An explicit accumulator.
+    Accum(BinaryOpKind),
+    /// The replace flag.
+    Replace,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<CtxEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one stack entry: created by the operator objects'
+/// `enter()` methods, pops its entry when dropped (the end of the
+/// `with` block). `!Send` by construction.
+#[derive(Debug)]
+pub struct ContextGuard {
+    depth: usize,
+    _not_send: PhantomData<*const ()>,
+}
+
+pub(crate) fn push(entry: CtxEntry) -> ContextGuard {
+    let depth = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(entry);
+        s.len()
+    });
+    ContextGuard {
+        depth,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            debug_assert_eq!(
+                s.len(),
+                self.depth,
+                "context guards dropped out of order (interleave `let _g = op.enter()` \
+                 bindings so they nest like `with` blocks)"
+            );
+            s.pop();
+        });
+    }
+}
+
+/// Current stack depth (diagnostics and tests).
+pub fn depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+fn search<T>(f: impl Fn(&CtxEntry) -> Option<T>) -> Option<T> {
+    STACK.with(|s| s.borrow().iter().rev().find_map(f))
+}
+
+/// Nearest semiring (for `@` / mxm / mxv / vxm).
+pub(crate) fn resolve_semiring() -> Option<KindSemiring> {
+    search(|e| match e {
+        CtxEntry::Semiring(sr) => Some(*sr),
+        _ => None,
+    })
+}
+
+/// Nearest ⊕-capable operator (for `+` / eWiseAdd): a bare binary op,
+/// a monoid's op, or a semiring's additive op.
+pub(crate) fn resolve_add_op() -> Option<BinaryOpKind> {
+    search(|e| match e {
+        CtxEntry::Binary(op) => Some(*op),
+        CtxEntry::Monoid(m) => Some(m.op),
+        CtxEntry::Semiring(sr) => Some(sr.add.op),
+        _ => None,
+    })
+}
+
+/// Nearest ⊗-capable operator (for `*` / eWiseMult): a bare binary op,
+/// a monoid's op, or a semiring's multiplicative op.
+pub(crate) fn resolve_mult_op() -> Option<BinaryOpKind> {
+    search(|e| match e {
+        CtxEntry::Binary(op) => Some(*op),
+        CtxEntry::Monoid(m) => Some(m.op),
+        CtxEntry::Semiring(sr) => Some(sr.mult),
+        _ => None,
+    })
+}
+
+/// Nearest monoid (for `reduce`): a monoid entry, a semiring's additive
+/// monoid, or a bare binary op that has a default identity.
+pub(crate) fn resolve_monoid() -> Option<KindMonoid> {
+    search(|e| match e {
+        CtxEntry::Monoid(m) => Some(*m),
+        CtxEntry::Semiring(sr) => Some(sr.add),
+        CtxEntry::Binary(op) => KindMonoid::from_op(*op),
+        _ => None,
+    })
+}
+
+/// Nearest unary operator (for `apply`).
+pub(crate) fn resolve_unary() -> Option<AppliedUnaryKind> {
+    search(|e| match e {
+        CtxEntry::Unary(u) => Some(*u),
+        _ => None,
+    })
+}
+
+/// Accumulator for `+=`: an explicit `Accumulator` *anywhere* on the
+/// stack wins — Fig. 7 writes `with gb.Accumulator("Second"),
+/// gb.Semiring(...)`, where the semiring is innermost but the explicit
+/// accumulator must still govern `+=`. Only when no `Accumulator` is in
+/// context does the paper's fallback apply: the monoid op of the
+/// nearest monoid/semiring ("will fall back to the MinMonoid from the
+/// MinPlusSemiring").
+pub(crate) fn resolve_accum() -> Option<BinaryOpKind> {
+    search(|e| match e {
+        CtxEntry::Accum(op) => Some(*op),
+        _ => None,
+    })
+    .or_else(|| {
+        search(|e| match e {
+            CtxEntry::Monoid(m) => Some(m.op),
+            CtxEntry::Semiring(sr) => Some(sr.add.op),
+            _ => None,
+        })
+    })
+}
+
+/// Whether replace semantics are in context.
+pub(crate) fn replace_active() -> bool {
+    search(|e| matches!(e, CtxEntry::Replace).then_some(())).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{
+        Accumulator, ArithmeticSemiring, BinaryOp, MinMonoid, MinPlusSemiring, Replace, UnaryOp,
+    };
+    use gbtl::ops::kind::IdentityKind;
+
+    #[test]
+    fn guards_push_and_pop() {
+        assert_eq!(depth(), 0);
+        {
+            let _a = ArithmeticSemiring.enter();
+            assert_eq!(depth(), 1);
+            {
+                let _b = MinMonoid.enter();
+                assert_eq!(depth(), 2);
+            }
+            assert_eq!(depth(), 1);
+        }
+        assert_eq!(depth(), 0);
+    }
+
+    #[test]
+    fn innermost_wins() {
+        let _outer = ArithmeticSemiring.enter();
+        assert_eq!(resolve_mult_op(), Some(BinaryOpKind::Times));
+        {
+            let _inner = BinaryOp::new("Minus").unwrap().enter();
+            // Fig. 7 line 28: BinaryOp("Minus") takes precedence over
+            // the enclosing semiring.
+            assert_eq!(resolve_add_op(), Some(BinaryOpKind::Minus));
+            assert_eq!(resolve_mult_op(), Some(BinaryOpKind::Minus));
+            // But the semiring is still the nearest *semiring*.
+            assert_eq!(resolve_semiring().map(|s| s.mult), Some(BinaryOpKind::Times));
+        }
+        assert_eq!(resolve_add_op(), Some(BinaryOpKind::Plus));
+    }
+
+    #[test]
+    fn accumulator_fallback_to_semiring_monoid() {
+        // Fig. 4a: with MinPlusSemiring alone, `+=` uses the MinMonoid.
+        let _sr = MinPlusSemiring.enter();
+        assert_eq!(resolve_accum(), Some(BinaryOpKind::Min));
+        {
+            let _acc = Accumulator::new("Max").unwrap().enter();
+            assert_eq!(resolve_accum(), Some(BinaryOpKind::Max));
+        }
+        assert_eq!(resolve_accum(), Some(BinaryOpKind::Min));
+    }
+
+    #[test]
+    fn monoid_from_semiring_for_reduce() {
+        let _sr = MinPlusSemiring.enter();
+        let m = resolve_monoid().unwrap();
+        assert_eq!(m.op, BinaryOpKind::Min);
+        assert_eq!(m.identity, IdentityKind::MinIdentity);
+    }
+
+    #[test]
+    fn bare_binary_provides_monoid_if_it_can() {
+        let _b = BinaryOp::new("Plus").unwrap().enter();
+        assert_eq!(resolve_monoid().map(|m| m.op), Some(BinaryOpKind::Plus));
+        drop(_b);
+        let _b2 = BinaryOp::new("Minus").unwrap().enter();
+        assert_eq!(resolve_monoid(), None); // Minus has no identity
+    }
+
+    #[test]
+    fn unary_resolution() {
+        assert_eq!(resolve_unary(), None);
+        let _u = UnaryOp::bound("Times", 0.85).unwrap().enter();
+        assert!(matches!(
+            resolve_unary(),
+            Some(AppliedUnaryKind::Bind2nd(BinaryOpKind::Times, _))
+        ));
+    }
+
+    #[test]
+    fn replace_flag() {
+        assert!(!replace_active());
+        {
+            let _r = Replace.enter();
+            assert!(replace_active());
+        }
+        assert!(!replace_active());
+    }
+
+    #[test]
+    fn empty_stack_resolves_nothing() {
+        assert_eq!(resolve_semiring(), None);
+        assert_eq!(resolve_add_op(), None);
+        assert_eq!(resolve_accum(), None);
+    }
+
+    #[test]
+    fn stacks_are_thread_local() {
+        let _sr = ArithmeticSemiring.enter();
+        let other = std::thread::spawn(depth).join().unwrap();
+        assert_eq!(other, 0);
+        assert_eq!(depth(), 1);
+    }
+}

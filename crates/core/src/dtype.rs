@@ -1,0 +1,240 @@
+//! Runtime dtypes — PyGB's NumPy-`dtype` analog.
+//!
+//! Section V: "PyGB uses NumPy's dtype class to map container types to
+//! GBTL backend template types." [`DType`] is that runtime tag; its
+//! [`DType::promote`] implements the C++ usual-arithmetic-conversion
+//! upcast the paper applies "when two containers of different types are
+//! combined in a binary operation".
+
+use crate::error::{PygbError, Result};
+
+/// The 11 supported element types, tagged at runtime.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// `bool`
+    Bool,
+    /// `int8_t`
+    Int8,
+    /// `int16_t`
+    Int16,
+    /// `int32_t`
+    Int32,
+    /// `int64_t`
+    Int64,
+    /// `uint8_t`
+    UInt8,
+    /// `uint16_t`
+    UInt16,
+    /// `uint32_t`
+    UInt32,
+    /// `uint64_t`
+    UInt64,
+    /// `float`
+    Fp32,
+    /// `double`
+    Fp64,
+}
+
+/// All dtypes, in a stable order.
+pub const ALL_DTYPES: [DType; 11] = [
+    DType::Bool,
+    DType::Int8,
+    DType::Int16,
+    DType::Int32,
+    DType::Int64,
+    DType::UInt8,
+    DType::UInt16,
+    DType::UInt32,
+    DType::UInt64,
+    DType::Fp32,
+    DType::Fp64,
+];
+
+impl DType {
+    /// The canonical dtype name (matches `gbtl::Scalar::NAME`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::Bool => "bool",
+            DType::Int8 => "int8",
+            DType::Int16 => "int16",
+            DType::Int32 => "int32",
+            DType::Int64 => "int64",
+            DType::UInt8 => "uint8",
+            DType::UInt16 => "uint16",
+            DType::UInt32 => "uint32",
+            DType::UInt64 => "uint64",
+            DType::Fp32 => "fp32",
+            DType::Fp64 => "fp64",
+        }
+    }
+
+    /// Parse a dtype name (accepts a few NumPy-ish aliases).
+    pub fn from_name(name: &str) -> Result<Self> {
+        Ok(match name {
+            "bool" => DType::Bool,
+            "int8" | "i8" => DType::Int8,
+            "int16" | "i16" => DType::Int16,
+            "int32" | "i32" => DType::Int32,
+            "int64" | "i64" | "int" => DType::Int64,
+            "uint8" | "u8" => DType::UInt8,
+            "uint16" | "u16" => DType::UInt16,
+            "uint32" | "u32" => DType::UInt32,
+            "uint64" | "u64" => DType::UInt64,
+            "fp32" | "f32" | "float32" => DType::Fp32,
+            "fp64" | "f64" | "float64" | "float" => DType::Fp64,
+            other => {
+                return Err(PygbError::UnknownDType {
+                    name: other.to_string(),
+                })
+            }
+        })
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::Fp32 | DType::Fp64)
+    }
+
+    /// Whether this is a signed integer type.
+    pub fn is_signed_int(self) -> bool {
+        matches!(self, DType::Int8 | DType::Int16 | DType::Int32 | DType::Int64)
+    }
+
+    /// Whether this is an unsigned integer type (excluding bool).
+    pub fn is_unsigned_int(self) -> bool {
+        matches!(
+            self,
+            DType::UInt8 | DType::UInt16 | DType::UInt32 | DType::UInt64
+        )
+    }
+
+    /// Width in bits (1 for bool).
+    pub fn bits(self) -> u32 {
+        match self {
+            DType::Bool => 1,
+            DType::Int8 | DType::UInt8 => 8,
+            DType::Int16 | DType::UInt16 => 16,
+            DType::Int32 | DType::UInt32 => 32,
+            DType::Int64 | DType::UInt64 => 64,
+            DType::Fp32 => 32,
+            DType::Fp64 => 64,
+        }
+    }
+
+    /// The C++ usual-arithmetic-conversions upcast (as NumPy/C++ would
+    /// resolve `a OP b`): floats beat integers, wider beats narrower,
+    /// and with equal width unsigned beats signed.
+    pub fn promote(a: DType, b: DType) -> DType {
+        if a == b {
+            return a;
+        }
+        match (a.is_float(), b.is_float()) {
+            (true, true) => {
+                if a.bits() >= b.bits() {
+                    a
+                } else {
+                    b
+                }
+            }
+            (true, false) => a,
+            (false, true) => b,
+            (false, false) => {
+                // bool promotes to the other integer type.
+                if a == DType::Bool {
+                    return b;
+                }
+                if b == DType::Bool {
+                    return a;
+                }
+                match a.bits().cmp(&b.bits()) {
+                    std::cmp::Ordering::Greater => a,
+                    std::cmp::Ordering::Less => b,
+                    std::cmp::Ordering::Equal => {
+                        // Same width: unsigned wins (C++ rule).
+                        if a.is_unsigned_int() {
+                            a
+                        } else {
+                            b
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The default dtype for Python integers (Section V: "64-bit ints").
+    pub const DEFAULT_INT: DType = DType::Int64;
+    /// The default dtype for Python floats ("64-bit floats").
+    pub const DEFAULT_FLOAT: DType = DType::Fp64;
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for d in ALL_DTYPES {
+            assert_eq!(DType::from_name(d.name()).unwrap(), d);
+        }
+        assert!(DType::from_name("complex128").is_err());
+    }
+
+    #[test]
+    fn aliases() {
+        assert_eq!(DType::from_name("float64").unwrap(), DType::Fp64);
+        assert_eq!(DType::from_name("f32").unwrap(), DType::Fp32);
+        assert_eq!(DType::from_name("int").unwrap(), DType::Int64);
+    }
+
+    #[test]
+    fn float_beats_int() {
+        assert_eq!(DType::promote(DType::Int64, DType::Fp32), DType::Fp32);
+        assert_eq!(DType::promote(DType::Fp64, DType::UInt8), DType::Fp64);
+        assert_eq!(DType::promote(DType::Fp32, DType::Fp64), DType::Fp64);
+    }
+
+    #[test]
+    fn wider_beats_narrower() {
+        assert_eq!(DType::promote(DType::Int8, DType::Int32), DType::Int32);
+        assert_eq!(DType::promote(DType::UInt16, DType::UInt64), DType::UInt64);
+    }
+
+    #[test]
+    fn unsigned_wins_at_equal_width() {
+        assert_eq!(DType::promote(DType::Int32, DType::UInt32), DType::UInt32);
+        assert_eq!(DType::promote(DType::UInt64, DType::Int64), DType::UInt64);
+    }
+
+    #[test]
+    fn bool_promotes_away() {
+        assert_eq!(DType::promote(DType::Bool, DType::Int8), DType::Int8);
+        assert_eq!(DType::promote(DType::Fp32, DType::Bool), DType::Fp32);
+        assert_eq!(DType::promote(DType::Bool, DType::Bool), DType::Bool);
+    }
+
+    #[test]
+    fn promote_is_commutative() {
+        for a in ALL_DTYPES {
+            for b in ALL_DTYPES {
+                assert_eq!(DType::promote(a, b), DType::promote(b, a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn promote_is_idempotent_on_result() {
+        for a in ALL_DTYPES {
+            for b in ALL_DTYPES {
+                let p = DType::promote(a, b);
+                assert_eq!(DType::promote(p, p), p);
+            }
+        }
+    }
+}

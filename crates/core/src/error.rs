@@ -1,0 +1,100 @@
+//! DSL-level errors: everything Python PyGB would raise as an exception.
+
+use std::fmt;
+
+pub use gbtl::GblasError;
+pub use pygb_jit::JitError;
+
+/// Errors surfaced by the PyGB DSL.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PygbError {
+    /// An operation needed an operator (semiring, monoid, binary op,
+    /// unary op, accumulator) and none was in context — the analog of a
+    /// Python `LookupError` from the operator stack.
+    MissingOperator {
+        /// What kind of operator was required.
+        needed: &'static str,
+        /// Which operation required it.
+        operation: &'static str,
+    },
+    /// An operator name was not one of the Fig. 6 names.
+    UnknownOperator {
+        /// The name that failed to parse.
+        name: String,
+    },
+    /// A dtype name was not one of the 11 supported type names.
+    UnknownDType {
+        /// The name that failed to parse.
+        name: String,
+    },
+    /// The underlying GraphBLAS substrate rejected the operation.
+    Graphblas(GblasError),
+    /// The JIT layer failed (unknown function, bad key, ...).
+    Jit(JitError),
+    /// The operation isn't expressible (e.g. an identity element the
+    /// kind system cannot represent).
+    Unsupported {
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl fmt::Display for PygbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PygbError::MissingOperator { needed, operation } => write!(
+                f,
+                "no {needed} in context for `{operation}` (enter one with a `with`-style guard)"
+            ),
+            PygbError::UnknownOperator { name } => write!(f, "unknown operator name `{name}`"),
+            PygbError::UnknownDType { name } => write!(f, "unknown dtype `{name}`"),
+            PygbError::Graphblas(e) => write!(f, "GraphBLAS error: {e}"),
+            PygbError::Jit(e) => write!(f, "JIT error: {e}"),
+            PygbError::Unsupported { context } => write!(f, "unsupported: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for PygbError {}
+
+impl From<GblasError> for PygbError {
+    fn from(e: GblasError) -> Self {
+        PygbError::Graphblas(e)
+    }
+}
+
+impl From<JitError> for PygbError {
+    fn from(e: JitError) -> Self {
+        // Substrate failures travel through the JIT layer as strings;
+        // keep them distinguishable.
+        PygbError::Jit(e)
+    }
+}
+
+/// Result alias for the DSL.
+pub type Result<T> = std::result::Result<T, PygbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_missing_operator() {
+        let e = PygbError::MissingOperator {
+            needed: "semiring",
+            operation: "mxm",
+        };
+        let s = e.to_string();
+        assert!(s.contains("semiring"));
+        assert!(s.contains("mxm"));
+    }
+
+    #[test]
+    fn conversions() {
+        let g: PygbError = GblasError::dim("x").into();
+        assert!(matches!(g, PygbError::Graphblas(_)));
+        let j: PygbError = JitError::bad_key("k").into();
+        assert!(matches!(j, PygbError::Jit(_)));
+    }
+}

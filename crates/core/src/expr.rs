@@ -1,0 +1,659 @@
+//! Deferred expression objects — PyGB's lazy right-hand sides.
+//!
+//! "The `A + B` operator returns an expression object wrapping the `A`
+//! and `B` operands … The expression object also captures the value of
+//! the binary operator from the context of the `A + B` expression."
+//! (Sec. IV.) Construction is cheap (`Arc` snapshots of the operands),
+//! captures the relevant operator from the context stack *now*, and
+//! records how long construction and context search took so the
+//! dispatch trace can report the Fig. 9 stages.
+//!
+//! A missing operator is remembered as `None` and surfaces as
+//! [`crate::error::PygbError::MissingOperator`] when the expression is
+//! evaluated — the moment Python would raise.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gbtl::ops::kind::{AppliedUnaryKind, BinaryOpKind, KindMonoid, KindSemiring, UnaryOpKind};
+use gbtl::Indices;
+
+use crate::context;
+use crate::dtype::DType;
+use crate::matrix::Matrix;
+use crate::store::{MatrixStore, VectorStore};
+use crate::vector::Vector;
+
+/// A matrix operand snapshot: storage plus a transposition flag.
+#[derive(Clone, Debug)]
+pub struct MatOperand {
+    pub(crate) store: Arc<MatrixStore>,
+    pub(crate) transposed: bool,
+}
+
+impl MatOperand {
+    /// Logical row count.
+    pub fn nrows(&self) -> usize {
+        if self.transposed {
+            self.store.ncols()
+        } else {
+            self.store.nrows()
+        }
+    }
+
+    /// Logical column count.
+    pub fn ncols(&self) -> usize {
+        if self.transposed {
+            self.store.nrows()
+        } else {
+            self.store.ncols()
+        }
+    }
+
+    /// The operand's dtype.
+    pub fn dtype(&self) -> DType {
+        self.store.dtype()
+    }
+}
+
+/// A transposed matrix view — the value of `m.t()` (`A.T`).
+#[derive(Clone, Debug)]
+pub struct TransposedMatrix {
+    pub(crate) store: Arc<MatrixStore>,
+}
+
+impl TransposedMatrix {
+    fn operand(&self) -> MatOperand {
+        MatOperand {
+            store: Arc::clone(&self.store),
+            transposed: true,
+        }
+    }
+
+    /// `A.T @ B` — matrix-matrix multiply with a transposed left side.
+    pub fn matmul(&self, rhs: impl MatrixOperandArg) -> MatrixExpr {
+        MatrixExpr::mxm(self.operand(), rhs.into_operand())
+    }
+
+    /// `A.T @ u` — matrix-vector multiply with a transposed matrix
+    /// (the BFS traversal direction, Fig. 2b).
+    pub fn mxv(&self, u: &Vector) -> VectorExpr {
+        VectorExpr::mxv(self.operand(), u.store_arc())
+    }
+
+    /// `A.T + B` — eWiseAdd with a transposed operand.
+    pub fn ewise_add(&self, rhs: impl MatrixOperandArg) -> MatrixExpr {
+        MatrixExpr::ewise_add(self.operand(), rhs.into_operand())
+    }
+
+    /// `A.T * B` — eWiseMult with a transposed operand.
+    pub fn ewise_mult(&self, rhs: impl MatrixOperandArg) -> MatrixExpr {
+        MatrixExpr::ewise_mult(self.operand(), rhs.into_operand())
+    }
+
+    /// `C = A.T` as an expression (the transpose *operation*).
+    pub fn expr(&self) -> MatrixExpr {
+        MatrixExpr::build(|| MatrixExprKind::Transpose {
+            a: Arc::clone(&self.store),
+        })
+    }
+}
+
+/// Anything that can appear as a matrix operand in an expression:
+/// `&Matrix`, `&TransposedMatrix`, or `TransposedMatrix` by value
+/// (so `a.matmul(b.t())` reads like `A @ B.T`).
+pub trait MatrixOperandArg {
+    /// Convert into an operand snapshot.
+    fn into_operand(self) -> MatOperand;
+}
+
+impl MatrixOperandArg for &Matrix {
+    fn into_operand(self) -> MatOperand {
+        self.operand()
+    }
+}
+
+impl MatrixOperandArg for &TransposedMatrix {
+    fn into_operand(self) -> MatOperand {
+        self.operand()
+    }
+}
+
+impl MatrixOperandArg for TransposedMatrix {
+    fn into_operand(self) -> MatOperand {
+        MatOperand {
+            store: self.store,
+            transposed: true,
+        }
+    }
+}
+
+/// A deferred matrix-valued expression.
+#[derive(Clone, Debug)]
+pub struct MatrixExpr {
+    pub(crate) kind: MatrixExprKind,
+    /// Nanoseconds spent building the expression object.
+    pub(crate) build_ns: u64,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum MatrixExprKind {
+    /// `A ⊕.⊗ B`
+    MxM {
+        a: MatOperand,
+        b: MatOperand,
+        semiring: Option<KindSemiring>,
+    },
+    /// `A ⊕ B`
+    EWiseAdd {
+        a: MatOperand,
+        b: MatOperand,
+        op: Option<BinaryOpKind>,
+    },
+    /// `A ⊗ B`
+    EWiseMult {
+        a: MatOperand,
+        b: MatOperand,
+        op: Option<BinaryOpKind>,
+    },
+    /// `f(A)`
+    Apply {
+        a: MatOperand,
+        op: Option<AppliedUnaryKind>,
+    },
+    /// `Aᵀ`
+    Transpose { a: Arc<MatrixStore> },
+    /// `A(rows, cols)`
+    Extract {
+        a: MatOperand,
+        rows: Indices,
+        cols: Indices,
+    },
+    /// A bare container reference (`C[None] = A`).
+    Ref { a: Arc<MatrixStore> },
+}
+
+impl MatrixExpr {
+    fn build(f: impl FnOnce() -> MatrixExprKind) -> MatrixExpr {
+        let start = Instant::now();
+        let kind = f();
+        MatrixExpr {
+            kind,
+            build_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    pub(crate) fn mxm(a: MatOperand, b: MatOperand) -> MatrixExpr {
+        Self::build(|| MatrixExprKind::MxM {
+            a,
+            b,
+            semiring: context::resolve_semiring(),
+        })
+    }
+
+    pub(crate) fn ewise_add(a: MatOperand, b: MatOperand) -> MatrixExpr {
+        // Fig. 7 uses `+` outside any `with` block: default arithmetic.
+        Self::build(|| MatrixExprKind::EWiseAdd {
+            a,
+            b,
+            op: context::resolve_add_op().or(Some(BinaryOpKind::Plus)),
+        })
+    }
+
+    pub(crate) fn ewise_mult(a: MatOperand, b: MatOperand) -> MatrixExpr {
+        Self::build(|| MatrixExprKind::EWiseMult {
+            a,
+            b,
+            op: context::resolve_mult_op().or(Some(BinaryOpKind::Times)),
+        })
+    }
+
+    pub(crate) fn apply(a: MatOperand) -> MatrixExpr {
+        Self::build(|| MatrixExprKind::Apply {
+            a,
+            op: context::resolve_unary(),
+        })
+    }
+
+    pub(crate) fn extract(a: MatOperand, rows: Indices, cols: Indices) -> MatrixExpr {
+        Self::build(|| MatrixExprKind::Extract { a, rows, cols })
+    }
+
+    /// The dtype the result would naturally have (operand promotion).
+    pub fn result_dtype(&self) -> DType {
+        match &self.kind {
+            MatrixExprKind::MxM { a, b, .. }
+            | MatrixExprKind::EWiseAdd { a, b, .. }
+            | MatrixExprKind::EWiseMult { a, b, .. } => DType::promote(a.dtype(), b.dtype()),
+            MatrixExprKind::Apply { a, .. } | MatrixExprKind::Extract { a, .. } => a.dtype(),
+            MatrixExprKind::Transpose { a } | MatrixExprKind::Ref { a } => a.dtype(),
+        }
+    }
+
+    /// The `(nrows, ncols)` of the result.
+    pub fn result_shape(&self) -> (usize, usize) {
+        match &self.kind {
+            MatrixExprKind::MxM { a, b, .. } => (a.nrows(), b.ncols()),
+            MatrixExprKind::EWiseAdd { a, .. } | MatrixExprKind::EWiseMult { a, .. } => {
+                (a.nrows(), a.ncols())
+            }
+            MatrixExprKind::Apply { a, .. } => (a.nrows(), a.ncols()),
+            MatrixExprKind::Transpose { a } => (a.ncols(), a.nrows()),
+            MatrixExprKind::Extract { a, rows, cols } => {
+                (rows.len(a.nrows()), cols.len(a.ncols()))
+            }
+            MatrixExprKind::Ref { a } => (a.nrows(), a.ncols()),
+        }
+    }
+}
+
+impl From<&Matrix> for MatrixExpr {
+    /// A bare container on the right-hand side (`C[None] = A`).
+    fn from(m: &Matrix) -> MatrixExpr {
+        MatrixExpr::build(|| MatrixExprKind::Ref {
+            a: Arc::clone(&m.store),
+        })
+    }
+}
+
+impl From<&TransposedMatrix> for MatrixExpr {
+    /// `C[None] = A.T`.
+    fn from(t: &TransposedMatrix) -> MatrixExpr {
+        t.expr()
+    }
+}
+
+/// A deferred vector-valued expression.
+#[derive(Clone, Debug)]
+pub struct VectorExpr {
+    pub(crate) kind: VectorExprKind,
+    pub(crate) build_ns: u64,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum VectorExprKind {
+    /// `A ⊕.⊗ u`
+    MxV {
+        a: MatOperand,
+        u: Arc<VectorStore>,
+        semiring: Option<KindSemiring>,
+    },
+    /// `uᵀ ⊕.⊗ A`
+    VxM {
+        u: Arc<VectorStore>,
+        a: MatOperand,
+        semiring: Option<KindSemiring>,
+    },
+    /// `u ⊕ v`
+    EWiseAdd {
+        u: Arc<VectorStore>,
+        v: Arc<VectorStore>,
+        op: Option<BinaryOpKind>,
+    },
+    /// `u ⊗ v`
+    EWiseMult {
+        u: Arc<VectorStore>,
+        v: Arc<VectorStore>,
+        op: Option<BinaryOpKind>,
+    },
+    /// `f(u)`
+    Apply {
+        u: Arc<VectorStore>,
+        op: Option<AppliedUnaryKind>,
+    },
+    /// `u(ix)`
+    Extract { u: Arc<VectorStore>, ix: Indices },
+    /// Row-wise reduction of a matrix: `w = ⊕ⱼ A(:, j)`.
+    ReduceRows {
+        a: MatOperand,
+        monoid: Option<KindMonoid>,
+    },
+    /// A bare container reference (`w[None] = u`).
+    Ref { u: Arc<VectorStore> },
+    /// Section V's planned deferred-chain compilation, implemented for
+    /// the (matrix × vector) → apply pattern: `f(A ⊕.⊗ u)` runs as ONE
+    /// module (one dispatch, no intermediate write-back pass). With
+    /// `vxm` set the product is `uᵀ ⊕.⊗ A` instead.
+    FusedMxvApply {
+        a: MatOperand,
+        u: Arc<VectorStore>,
+        semiring: Option<KindSemiring>,
+        unary: Option<AppliedUnaryKind>,
+        vxm: bool,
+    },
+}
+
+impl VectorExpr {
+    fn build(f: impl FnOnce() -> VectorExprKind) -> VectorExpr {
+        let start = Instant::now();
+        let kind = f();
+        VectorExpr {
+            kind,
+            build_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    pub(crate) fn mxv(a: MatOperand, u: Arc<VectorStore>) -> VectorExpr {
+        Self::build(|| VectorExprKind::MxV {
+            a,
+            u,
+            semiring: context::resolve_semiring(),
+        })
+    }
+
+    pub(crate) fn vxm(u: Arc<VectorStore>, a: MatOperand) -> VectorExpr {
+        Self::build(|| VectorExprKind::VxM {
+            u,
+            a,
+            semiring: context::resolve_semiring(),
+        })
+    }
+
+    pub(crate) fn ewise_add(u: Arc<VectorStore>, v: Arc<VectorStore>) -> VectorExpr {
+        Self::build(|| VectorExprKind::EWiseAdd {
+            u,
+            v,
+            op: context::resolve_add_op().or(Some(BinaryOpKind::Plus)),
+        })
+    }
+
+    pub(crate) fn ewise_mult(u: Arc<VectorStore>, v: Arc<VectorStore>) -> VectorExpr {
+        Self::build(|| VectorExprKind::EWiseMult {
+            u,
+            v,
+            op: context::resolve_mult_op().or(Some(BinaryOpKind::Times)),
+        })
+    }
+
+    pub(crate) fn apply(u: Arc<VectorStore>) -> VectorExpr {
+        Self::build(|| VectorExprKind::Apply {
+            u,
+            op: context::resolve_unary(),
+        })
+    }
+
+    pub(crate) fn extract(u: Arc<VectorStore>, ix: Indices) -> VectorExpr {
+        Self::build(|| VectorExprKind::Extract { u, ix })
+    }
+
+    pub(crate) fn reduce_rows(a: MatOperand) -> VectorExpr {
+        // Fig. 5a reduces outside the `with` block: default PlusMonoid,
+        // as the paper's text ("Reduce uses the PlusMonoid") implies.
+        Self::build(|| VectorExprKind::ReduceRows {
+            a,
+            monoid: context::resolve_monoid().or(Some(KindMonoid {
+                op: BinaryOpKind::Plus,
+                identity: gbtl::ops::kind::IdentityKind::Zero,
+            })),
+        })
+    }
+
+    /// Fuse a pending `apply` onto a matrix-vector product so the chain
+    /// dispatches as a single module — Section V's "series of operations
+    /// ... compiled into a single module", implemented for this chain
+    /// shape. The unary operator is captured from context *now*, like
+    /// any other expression construction. Chains whose head is not a
+    /// matrix-vector product are unsupported.
+    pub fn then_apply(self) -> crate::error::Result<VectorExpr> {
+        let build_ns = self.build_ns;
+        let kind = match self.kind {
+            VectorExprKind::MxV { a, u, semiring } => VectorExprKind::FusedMxvApply {
+                a,
+                u,
+                semiring,
+                unary: context::resolve_unary(),
+                vxm: false,
+            },
+            VectorExprKind::VxM { u, a, semiring } => VectorExprKind::FusedMxvApply {
+                a,
+                u,
+                semiring,
+                unary: context::resolve_unary(),
+                vxm: true,
+            },
+            other => {
+                return Err(crate::error::PygbError::Unsupported {
+                    context: format!(
+                        "deferred-chain fusion supports mxv/vxm heads, not {other:?}"
+                    ),
+                })
+            }
+        };
+        Ok(VectorExpr { kind, build_ns })
+    }
+
+    /// The dtype the result would naturally have.
+    pub fn result_dtype(&self) -> DType {
+        match &self.kind {
+            VectorExprKind::MxV { a, u, .. }
+            | VectorExprKind::VxM { u, a, .. }
+            | VectorExprKind::FusedMxvApply { a, u, .. } => {
+                DType::promote(a.dtype(), u.dtype())
+            }
+            VectorExprKind::EWiseAdd { u, v, .. } | VectorExprKind::EWiseMult { u, v, .. } => {
+                DType::promote(u.dtype(), v.dtype())
+            }
+            VectorExprKind::Apply { u, .. }
+            | VectorExprKind::Extract { u, .. }
+            | VectorExprKind::Ref { u } => u.dtype(),
+            VectorExprKind::ReduceRows { a, .. } => a.dtype(),
+        }
+    }
+
+    /// The dimension of the result.
+    pub fn result_size(&self) -> usize {
+        match &self.kind {
+            VectorExprKind::MxV { a, .. } => a.nrows(),
+            VectorExprKind::VxM { a, .. } => a.ncols(),
+            VectorExprKind::FusedMxvApply { a, vxm, .. } => {
+                if *vxm {
+                    a.ncols()
+                } else {
+                    a.nrows()
+                }
+            }
+            VectorExprKind::EWiseAdd { u, .. } | VectorExprKind::EWiseMult { u, .. } => u.size(),
+            VectorExprKind::Apply { u, .. } | VectorExprKind::Ref { u } => u.size(),
+            VectorExprKind::Extract { u, ix } => ix.len(u.size()),
+            VectorExprKind::ReduceRows { a, .. } => a.nrows(),
+        }
+    }
+}
+
+impl From<&Vector> for VectorExpr {
+    fn from(v: &Vector) -> VectorExpr {
+        VectorExpr::build(|| VectorExprKind::Ref { u: v.store_arc() })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operator overloads: `&a + &b`, `&a * &b` on both container kinds.
+// ---------------------------------------------------------------------
+
+impl std::ops::Add<&Matrix> for &Matrix {
+    type Output = MatrixExpr;
+    fn add(self, rhs: &Matrix) -> MatrixExpr {
+        MatrixExpr::ewise_add(self.operand(), rhs.operand())
+    }
+}
+
+impl std::ops::Mul<&Matrix> for &Matrix {
+    type Output = MatrixExpr;
+    fn mul(self, rhs: &Matrix) -> MatrixExpr {
+        MatrixExpr::ewise_mult(self.operand(), rhs.operand())
+    }
+}
+
+impl std::ops::Add<&Vector> for &Vector {
+    type Output = VectorExpr;
+    fn add(self, rhs: &Vector) -> VectorExpr {
+        VectorExpr::ewise_add(self.store_arc(), rhs.store_arc())
+    }
+}
+
+impl std::ops::Mul<&Vector> for &Vector {
+    type Output = VectorExpr;
+    fn mul(self, rhs: &Vector) -> VectorExpr {
+        VectorExpr::ewise_mult(self.store_arc(), rhs.store_arc())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Free functions: `apply(...)`, `reduce_rows(...)`.
+// ---------------------------------------------------------------------
+
+/// The `gb.apply(x)` operation: the unary operator comes from context.
+/// Works on matrices and vectors.
+pub fn apply<A: ApplyArg>(a: A) -> A::Output {
+    a.build_apply()
+}
+
+/// Operand kinds accepted by [`apply`].
+pub trait ApplyArg {
+    /// The expression type produced.
+    type Output;
+    /// Build the apply expression.
+    fn build_apply(self) -> Self::Output;
+}
+
+impl ApplyArg for &Matrix {
+    type Output = MatrixExpr;
+    fn build_apply(self) -> MatrixExpr {
+        MatrixExpr::apply(self.operand())
+    }
+}
+
+impl ApplyArg for &Vector {
+    type Output = VectorExpr;
+    fn build_apply(self) -> VectorExpr {
+        VectorExpr::apply(self.store_arc())
+    }
+}
+
+/// Row-wise reduce: `w[m, z] = reduce(monoid, A)` (Table I). The monoid
+/// comes from context.
+pub fn reduce_rows(a: &Matrix) -> VectorExpr {
+    VectorExpr::reduce_rows(a.operand())
+}
+
+/// Row-wise reduce of a transposed matrix (column reduce).
+pub fn reduce_rows_t(a: &TransposedMatrix) -> VectorExpr {
+    VectorExpr::reduce_rows(MatOperand {
+        store: Arc::clone(&a.store),
+        transposed: true,
+    })
+}
+
+/// An identity [`AppliedUnaryKind`] for forced `Ref` evaluation.
+pub(crate) fn identity_unary() -> AppliedUnaryKind {
+    AppliedUnaryKind::Pure(UnaryOpKind::Identity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{ArithmeticSemiring, BinaryOp, MinPlusSemiring};
+
+    fn m2() -> Matrix {
+        Matrix::from_dense(&[vec![1i64, 0], vec![0, 1]]).unwrap()
+    }
+
+    #[test]
+    fn matmul_captures_semiring_at_construction() {
+        let a = m2();
+        let b = m2();
+        let expr = {
+            let _sr = MinPlusSemiring.enter();
+            a.matmul(&b)
+        };
+        // The context guard is gone, but the expression kept MinPlus.
+        match expr.kind {
+            MatrixExprKind::MxM { semiring, .. } => {
+                assert_eq!(semiring, Some(MinPlusSemiring.kind));
+            }
+            _ => panic!("expected MxM"),
+        }
+    }
+
+    #[test]
+    fn missing_semiring_recorded_as_none() {
+        let a = m2();
+        let expr = a.matmul(&a);
+        match expr.kind {
+            MatrixExprKind::MxM { semiring, .. } => assert_eq!(semiring, None),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn operator_overloads_capture_ops() {
+        let a = m2();
+        let b = m2();
+        let _sr = ArithmeticSemiring.enter();
+        match (&a + &b).kind {
+            MatrixExprKind::EWiseAdd { op, .. } => {
+                assert_eq!(op.map(|o| o.name()), Some("Plus"))
+            }
+            _ => panic!(),
+        }
+        match (&a * &b).kind {
+            MatrixExprKind::EWiseMult { op, .. } => {
+                assert_eq!(op.map(|o| o.name()), Some("Times"))
+            }
+            _ => panic!(),
+        }
+        // Inner BinaryOp overrides both (Fig. 7 line 27-28).
+        let _minus = BinaryOp::new("Minus").unwrap().enter();
+        match (&a + &b).kind {
+            MatrixExprKind::EWiseAdd { op, .. } => {
+                assert_eq!(op.map(|o| o.name()), Some("Minus"))
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn shapes_and_dtypes() {
+        let a = Matrix::new(2, 3, DType::Int32);
+        let b = Matrix::new(3, 4, DType::Fp32);
+        let expr = a.matmul(&b);
+        assert_eq!(expr.result_shape(), (2, 4));
+        assert_eq!(expr.result_dtype(), DType::Fp32); // promotion
+
+        let t = b.t().expr();
+        assert_eq!(t.result_shape(), (4, 3));
+    }
+
+    #[test]
+    fn transposed_operand_dimensions() {
+        let a = Matrix::new(2, 3, DType::Fp64);
+        let expr = a.t().matmul(&a); // (3x2) @ (2x3) → 3x3
+        assert_eq!(expr.result_shape(), (3, 3));
+    }
+
+    #[test]
+    fn vector_expr_shapes() {
+        let a = Matrix::new(2, 3, DType::Fp64);
+        let u = Vector::new(3, DType::Fp64);
+        assert_eq!(a.mxv(&u).result_size(), 2);
+        let w = Vector::new(2, DType::Fp64);
+        assert_eq!(w.vxm(&a).result_size(), 3);
+        assert_eq!(reduce_rows(&a).result_size(), 2);
+        assert_eq!(u.extract(0..2).result_size(), 2);
+    }
+
+    #[test]
+    fn apply_on_both_kinds() {
+        let m = m2();
+        let v = Vector::new(2, DType::Int64);
+        let _u = crate::operators::UnaryOp::new("LogicalNot").unwrap().enter();
+        match apply(&m).kind {
+            MatrixExprKind::Apply { op, .. } => assert!(op.is_some()),
+            _ => panic!(),
+        }
+        match apply(&v).kind {
+            VectorExprKind::Apply { op, .. } => assert!(op.is_some()),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,856 @@
+//! JIT kernels: the compiled-module bodies the registry instantiates.
+//!
+//! Each GraphBLAS operation contributes a *factory* keyed by function
+//! name. A factory reads the output dtype from the [`ModuleKey`]
+//! (`-DC_TYPE=...` in the paper's pipeline) and monomorphizes the
+//! generic kernel body for exactly that type — the Rust analog of
+//! instantiating `operation_binding.cpp`. Operator kinds travel in the
+//! argument bundle (they are runtime constructor arguments in GBTL,
+//! e.g. `BinaryOp_Bind2nd(damping)`), while their *names* are part of
+//! the key so the module space matches the paper's.
+//!
+//! Operand stores arrive pre-cast to the kernel's domain; masks arrive
+//! pre-coerced to boolean pattern containers.
+
+use std::sync::Arc;
+
+use gbtl::ops::accum::MaybeAccum;
+use gbtl::ops::kind::{AppliedUnaryKind, BinaryOpKind, KindMonoid, KindSemiring, KindUnaryOp};
+use gbtl::{Indices, MatrixMask, VectorMask};
+use pygb_jit::kernel::FnKernel;
+use pygb_jit::{FactoryRegistry, JitError, Kernel, ModuleKey};
+
+use crate::dtype::DType;
+use crate::store::{Element, MatrixStore, VectorStore};
+use crate::value::DynScalar;
+
+/// Argument bundle for kernels producing a matrix.
+pub(crate) struct MatArgs {
+    /// The output container (taken from the target; put back after).
+    pub c: MatrixStore,
+    /// Optional boolean mask pattern.
+    pub mask: Option<Arc<gbtl::Matrix<bool>>>,
+    /// Whether the mask is complemented.
+    pub complemented: bool,
+    /// First matrix operand.
+    pub a: Option<Arc<MatrixStore>>,
+    /// Whether `a` is transposed.
+    pub at: bool,
+    /// Second matrix operand.
+    pub b: Option<Arc<MatrixStore>>,
+    /// Whether `b` is transposed.
+    pub bt: bool,
+    /// Semiring (mxm).
+    pub semiring: Option<KindSemiring>,
+    /// Binary operator (eWise).
+    pub binop: Option<BinaryOpKind>,
+    /// Unary operator (apply).
+    pub unary: Option<AppliedUnaryKind>,
+    /// Accumulator.
+    pub accum: Option<BinaryOpKind>,
+    /// Replace flag.
+    pub replace: bool,
+    /// Row index region (assign / extract).
+    pub rows: Option<Indices>,
+    /// Column index region (assign / extract).
+    pub cols: Option<Indices>,
+    /// Constant value (assign-constant).
+    pub value: Option<DynScalar>,
+}
+
+impl MatArgs {
+    pub(crate) fn new(c: MatrixStore) -> Self {
+        MatArgs {
+            c,
+            mask: None,
+            complemented: false,
+            a: None,
+            at: false,
+            b: None,
+            bt: false,
+            semiring: None,
+            binop: None,
+            unary: None,
+            accum: None,
+            replace: false,
+            rows: None,
+            cols: None,
+            value: None,
+        }
+    }
+}
+
+/// Argument bundle for kernels producing a vector.
+pub(crate) struct VecArgs {
+    /// The output container.
+    pub c: VectorStore,
+    /// Optional boolean mask pattern.
+    pub mask: Option<Arc<gbtl::Vector<bool>>>,
+    /// Whether the mask is complemented.
+    pub complemented: bool,
+    /// Matrix operand (mxv / vxm / row-reduce).
+    pub a: Option<Arc<MatrixStore>>,
+    /// Whether `a` is transposed.
+    pub at: bool,
+    /// First vector operand.
+    pub u: Option<Arc<VectorStore>>,
+    /// Second vector operand.
+    pub v: Option<Arc<VectorStore>>,
+    /// Semiring (mxv / vxm).
+    pub semiring: Option<KindSemiring>,
+    /// Binary operator (eWise).
+    pub binop: Option<BinaryOpKind>,
+    /// Unary operator (apply).
+    pub unary: Option<AppliedUnaryKind>,
+    /// Monoid (row-reduce).
+    pub monoid: Option<KindMonoid>,
+    /// Accumulator.
+    pub accum: Option<BinaryOpKind>,
+    /// Replace flag.
+    pub replace: bool,
+    /// Index region (assign / extract).
+    pub ix: Option<Indices>,
+    /// Constant value (assign-constant).
+    pub value: Option<DynScalar>,
+}
+
+impl VecArgs {
+    pub(crate) fn new(c: VectorStore) -> Self {
+        VecArgs {
+            c,
+            mask: None,
+            complemented: false,
+            a: None,
+            at: false,
+            u: None,
+            v: None,
+            semiring: None,
+            binop: None,
+            unary: None,
+            monoid: None,
+            accum: None,
+            replace: false,
+            ix: None,
+            value: None,
+        }
+    }
+}
+
+/// Argument bundle for scalar-producing reductions.
+pub(crate) struct ScalarArgs {
+    /// Matrix operand (reduce_m_scalar).
+    pub a: Option<Arc<MatrixStore>>,
+    /// Vector operand (reduce_v_scalar).
+    pub u: Option<Arc<VectorStore>>,
+    /// The reduction monoid.
+    pub monoid: Option<KindMonoid>,
+    /// The result, written by the kernel.
+    pub out: Option<DynScalar>,
+}
+
+// ---------------------------------------------------------------------
+// Mask adapters: runtime mask choice as a single concrete type.
+// ---------------------------------------------------------------------
+
+enum MMask<'x> {
+    None,
+    Plain(&'x gbtl::Matrix<bool>),
+    Comp(&'x gbtl::Matrix<bool>),
+}
+
+impl MatrixMask for MMask<'_> {
+    fn mask_shape(&self) -> (usize, usize) {
+        match self {
+            MMask::None => (usize::MAX, usize::MAX),
+            MMask::Plain(m) | MMask::Comp(m) => m.shape(),
+        }
+    }
+    #[inline]
+    fn allows(&self, i: usize, j: usize) -> bool {
+        match self {
+            MMask::None => true,
+            MMask::Plain(m) => MatrixMask::allows(*m, i, j),
+            MMask::Comp(m) => !MatrixMask::allows(*m, i, j),
+        }
+    }
+    fn is_all(&self) -> bool {
+        matches!(self, MMask::None)
+    }
+}
+
+fn mmask<'x>(mask: &'x Option<Arc<gbtl::Matrix<bool>>>, complemented: bool) -> MMask<'x> {
+    match (mask, complemented) {
+        (None, _) => MMask::None,
+        (Some(m), false) => MMask::Plain(m),
+        (Some(m), true) => MMask::Comp(m),
+    }
+}
+
+enum VMask<'x> {
+    None,
+    Plain(&'x gbtl::Vector<bool>),
+    Comp(&'x gbtl::Vector<bool>),
+}
+
+impl VectorMask for VMask<'_> {
+    fn mask_size(&self) -> usize {
+        match self {
+            VMask::None => usize::MAX,
+            VMask::Plain(v) | VMask::Comp(v) => v.size(),
+        }
+    }
+    #[inline]
+    fn allows(&self, i: usize) -> bool {
+        match self {
+            VMask::None => true,
+            VMask::Plain(v) => VectorMask::allows(*v, i),
+            VMask::Comp(v) => !VectorMask::allows(*v, i),
+        }
+    }
+    fn is_all(&self) -> bool {
+        matches!(self, VMask::None)
+    }
+}
+
+fn vmask<'x>(mask: &'x Option<Arc<gbtl::Vector<bool>>>, complemented: bool) -> VMask<'x> {
+    match (mask, complemented) {
+        (None, _) => VMask::None,
+        (Some(v), false) => VMask::Plain(v),
+        (Some(v), true) => VMask::Comp(v),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed access helpers.
+// ---------------------------------------------------------------------
+
+fn bad(what: &str) -> JitError {
+    JitError::bad_key(format!("kernel argument bundle missing `{what}`"))
+}
+
+fn typed_m<'x, T: Element>(s: &'x Option<Arc<MatrixStore>>, what: &str) -> Result<&'x gbtl::Matrix<T>, JitError> {
+    let store = s.as_ref().ok_or_else(|| bad(what))?;
+    T::unwrap_matrix(store).ok_or_else(|| JitError::bad_key(format!(
+        "`{what}` has dtype {} but kernel was instantiated for {}",
+        store.dtype(),
+        T::DTYPE
+    )))
+}
+
+fn typed_v<'x, T: Element>(s: &'x Option<Arc<VectorStore>>, what: &str) -> Result<&'x gbtl::Vector<T>, JitError> {
+    let store = s.as_ref().ok_or_else(|| bad(what))?;
+    T::unwrap_vector(store).ok_or_else(|| JitError::bad_key(format!(
+        "`{what}` has dtype {} but kernel was instantiated for {}",
+        store.dtype(),
+        T::DTYPE
+    )))
+}
+
+fn take_c_m<T: Element>(args: &mut MatArgs) -> Result<gbtl::Matrix<T>, JitError> {
+    let c = std::mem::replace(&mut args.c, MatrixStore::placeholder());
+    T::unwrap_matrix_owned(c).ok_or_else(|| JitError::bad_key("output dtype mismatch"))
+}
+
+fn take_c_v<T: Element>(args: &mut VecArgs) -> Result<gbtl::Vector<T>, JitError> {
+    let c = std::mem::replace(&mut args.c, VectorStore::placeholder());
+    T::unwrap_vector_owned(c).ok_or_else(|| JitError::bad_key("output dtype mismatch"))
+}
+
+fn view<T: gbtl::Scalar>(m: &gbtl::Matrix<T>, transposed: bool) -> gbtl::MatrixArg<'_, T> {
+    if transposed {
+        gbtl::transpose(m)
+    } else {
+        gbtl::MatrixArg::Plain(m)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel bodies, generic over the instantiated domain type.
+// ---------------------------------------------------------------------
+
+fn k_mxm<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
+    let sr = args.semiring.ok_or_else(|| bad("semiring"))?;
+    let mut c = take_c_m::<T>(args)?;
+    let a = typed_m::<T>(&args.a, "a")?;
+    let b = typed_m::<T>(&args.b, "b")?;
+    let r = gbtl::operations::mxm(
+        &mut c,
+        &mmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        &sr,
+        view(a, args.at),
+        view(b, args.bt),
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_matrix(c);
+    r.map_err(JitError::op)
+}
+
+fn k_ewise_add_m<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
+    let op = KindUnaryWrap::binop(args.binop)?;
+    let mut c = take_c_m::<T>(args)?;
+    let a = typed_m::<T>(&args.a, "a")?;
+    let b = typed_m::<T>(&args.b, "b")?;
+    let r = gbtl::operations::e_wise_add_matrix(
+        &mut c,
+        &mmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        op,
+        view(a, args.at),
+        view(b, args.bt),
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_matrix(c);
+    r.map_err(JitError::op)
+}
+
+fn k_ewise_mult_m<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
+    let op = KindUnaryWrap::binop(args.binop)?;
+    let mut c = take_c_m::<T>(args)?;
+    let a = typed_m::<T>(&args.a, "a")?;
+    let b = typed_m::<T>(&args.b, "b")?;
+    let r = gbtl::operations::e_wise_mult_matrix(
+        &mut c,
+        &mmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        op,
+        view(a, args.at),
+        view(b, args.bt),
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_matrix(c);
+    r.map_err(JitError::op)
+}
+
+fn k_apply_m<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
+    let op = KindUnaryOp(args.unary.ok_or_else(|| bad("unary"))?);
+    let mut c = take_c_m::<T>(args)?;
+    let a = typed_m::<T>(&args.a, "a")?;
+    let r = gbtl::operations::apply_matrix(
+        &mut c,
+        &mmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        op,
+        view(a, args.at),
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_matrix(c);
+    r.map_err(JitError::op)
+}
+
+fn k_transpose_m<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
+    let mut c = take_c_m::<T>(args)?;
+    let a = typed_m::<T>(&args.a, "a")?;
+    let r = gbtl::operations::transpose_into(
+        &mut c,
+        &mmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        view(a, args.at),
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_matrix(c);
+    r.map_err(JitError::op)
+}
+
+fn k_extract_m<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
+    let mut c = take_c_m::<T>(args)?;
+    let a = typed_m::<T>(&args.a, "a")?;
+    let rows = args.rows.clone().ok_or_else(|| bad("rows"))?;
+    let cols = args.cols.clone().ok_or_else(|| bad("cols"))?;
+    let r = gbtl::operations::extract_matrix(
+        &mut c,
+        &mmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        view(a, args.at),
+        &rows,
+        &cols,
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_matrix(c);
+    r.map_err(JitError::op)
+}
+
+fn k_assign_m<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
+    let mut c = take_c_m::<T>(args)?;
+    let a = typed_m::<T>(&args.a, "a")?;
+    let rows = args.rows.clone().unwrap_or(Indices::All);
+    let cols = args.cols.clone().unwrap_or(Indices::All);
+    let r = gbtl::operations::assign_matrix(
+        &mut c,
+        &mmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        a,
+        &rows,
+        &cols,
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_matrix(c);
+    r.map_err(JitError::op)
+}
+
+fn k_assign_m_const<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
+    let value = T::from_dyn(args.value.ok_or_else(|| bad("value"))?);
+    let rows = args.rows.clone().unwrap_or(Indices::All);
+    let cols = args.cols.clone().unwrap_or(Indices::All);
+    let mut c = take_c_m::<T>(args)?;
+    let r = gbtl::operations::assign_matrix_constant(
+        &mut c,
+        &mmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        value,
+        &rows,
+        &cols,
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_matrix(c);
+    r.map_err(JitError::op)
+}
+
+fn k_mxv<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
+    let sr = args.semiring.ok_or_else(|| bad("semiring"))?;
+    let mut c = take_c_v::<T>(args)?;
+    let a = typed_m::<T>(&args.a, "a")?;
+    let u = typed_v::<T>(&args.u, "u")?;
+    let r = gbtl::operations::mxv(
+        &mut c,
+        &vmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        &sr,
+        view(a, args.at),
+        u,
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_vector(c);
+    r.map_err(JitError::op)
+}
+
+fn k_vxm<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
+    let sr = args.semiring.ok_or_else(|| bad("semiring"))?;
+    let mut c = take_c_v::<T>(args)?;
+    let a = typed_m::<T>(&args.a, "a")?;
+    let u = typed_v::<T>(&args.u, "u")?;
+    let r = gbtl::operations::vxm(
+        &mut c,
+        &vmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        &sr,
+        u,
+        view(a, args.at),
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_vector(c);
+    r.map_err(JitError::op)
+}
+
+fn k_ewise_add_v<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
+    let op = KindUnaryWrap::binop(args.binop)?;
+    let mut c = take_c_v::<T>(args)?;
+    let u = typed_v::<T>(&args.u, "u")?;
+    let v = typed_v::<T>(&args.v, "v")?;
+    let r = gbtl::operations::e_wise_add_vector(
+        &mut c,
+        &vmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        op,
+        u,
+        v,
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_vector(c);
+    r.map_err(JitError::op)
+}
+
+fn k_ewise_mult_v<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
+    let op = KindUnaryWrap::binop(args.binop)?;
+    let mut c = take_c_v::<T>(args)?;
+    let u = typed_v::<T>(&args.u, "u")?;
+    let v = typed_v::<T>(&args.v, "v")?;
+    let r = gbtl::operations::e_wise_mult_vector(
+        &mut c,
+        &vmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        op,
+        u,
+        v,
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_vector(c);
+    r.map_err(JitError::op)
+}
+
+fn k_apply_v<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
+    let op = KindUnaryOp(args.unary.ok_or_else(|| bad("unary"))?);
+    let mut c = take_c_v::<T>(args)?;
+    let u = typed_v::<T>(&args.u, "u")?;
+    let r = gbtl::operations::apply_vector(
+        &mut c,
+        &vmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        op,
+        u,
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_vector(c);
+    r.map_err(JitError::op)
+}
+
+fn k_extract_v<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
+    let mut c = take_c_v::<T>(args)?;
+    let u = typed_v::<T>(&args.u, "u")?;
+    let ix = args.ix.clone().ok_or_else(|| bad("ix"))?;
+    let r = gbtl::operations::extract_vector(
+        &mut c,
+        &vmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        u,
+        &ix,
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_vector(c);
+    r.map_err(JitError::op)
+}
+
+fn k_assign_v<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
+    let mut c = take_c_v::<T>(args)?;
+    let u = typed_v::<T>(&args.u, "u")?;
+    let ix = args.ix.clone().unwrap_or(Indices::All);
+    let r = gbtl::operations::assign_vector(
+        &mut c,
+        &vmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        u,
+        &ix,
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_vector(c);
+    r.map_err(JitError::op)
+}
+
+fn k_assign_v_const<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
+    let value = T::from_dyn(args.value.ok_or_else(|| bad("value"))?);
+    let ix = args.ix.clone().unwrap_or(Indices::All);
+    let mut c = take_c_v::<T>(args)?;
+    let r = gbtl::operations::assign_vector_constant(
+        &mut c,
+        &vmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        value,
+        &ix,
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_vector(c);
+    r.map_err(JitError::op)
+}
+
+/// Section V's deferred-chain module: the matrix-vector product and the
+/// subsequent `apply` run inside ONE kernel invocation — the
+/// intermediate lives only as a local, and the mask/accumulate/replace
+/// write happens once, on the applied result.
+fn k_mxv_apply<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
+    fused_mxv_apply::<T>(args, false)
+}
+
+/// The `vxm` orientation of [`k_mxv_apply`].
+fn k_vxm_apply<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
+    fused_mxv_apply::<T>(args, true)
+}
+
+fn fused_mxv_apply<T: Element>(args: &mut VecArgs, vxm: bool) -> Result<(), JitError> {
+    let sr = args.semiring.ok_or_else(|| bad("semiring"))?;
+    let op = KindUnaryOp(args.unary.ok_or_else(|| bad("unary"))?);
+    let mut c = take_c_v::<T>(args)?;
+    let a = typed_m::<T>(&args.a, "a")?;
+    let u = typed_v::<T>(&args.u, "u")?;
+    let mut temp = gbtl::Vector::<T>::new(c.size());
+    let product = if vxm {
+        gbtl::operations::vxm(
+            &mut temp,
+            &gbtl::NoMask,
+            gbtl::NoAccumulate,
+            &sr,
+            u,
+            view(a, args.at),
+            gbtl::Replace(false),
+        )
+    } else {
+        gbtl::operations::mxv(
+            &mut temp,
+            &gbtl::NoMask,
+            gbtl::NoAccumulate,
+            &sr,
+            view(a, args.at),
+            u,
+            gbtl::Replace(false),
+        )
+    };
+    let r = product.and_then(|()| {
+        gbtl::operations::apply_vector(
+            &mut c,
+            &vmask(&args.mask, args.complemented),
+            MaybeAccum(args.accum),
+            op,
+            &temp,
+            gbtl::Replace(args.replace),
+        )
+    });
+    args.c = T::wrap_vector(c);
+    r.map_err(JitError::op)
+}
+
+fn k_reduce_rows<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
+    let monoid = args.monoid.ok_or_else(|| bad("monoid"))?;
+    let mut c = take_c_v::<T>(args)?;
+    let a = typed_m::<T>(&args.a, "a")?;
+    let r = gbtl::operations::reduce_matrix_to_vector(
+        &mut c,
+        &vmask(&args.mask, args.complemented),
+        MaybeAccum(args.accum),
+        &monoid,
+        view(a, args.at),
+        gbtl::Replace(args.replace),
+    );
+    args.c = T::wrap_vector(c);
+    r.map_err(JitError::op)
+}
+
+fn k_reduce_m_scalar<T: Element>(args: &mut ScalarArgs) -> Result<(), JitError> {
+    let monoid = args.monoid.ok_or_else(|| bad("monoid"))?;
+    let a = typed_m::<T>(&args.a, "a")?;
+    let out: T = gbtl::operations::reduce_matrix_scalar(&monoid, a);
+    args.out = Some(out.to_dyn());
+    Ok(())
+}
+
+fn k_reduce_v_scalar<T: Element>(args: &mut ScalarArgs) -> Result<(), JitError> {
+    let monoid = args.monoid.ok_or_else(|| bad("monoid"))?;
+    let u = typed_v::<T>(&args.u, "u")?;
+    let out: T = gbtl::operations::reduce_vector_scalar(&monoid, u);
+    args.out = Some(out.to_dyn());
+    Ok(())
+}
+
+/// Helper for binop presence (kept out of kernel bodies for brevity).
+struct KindUnaryWrap;
+impl KindUnaryWrap {
+    fn binop(op: Option<BinaryOpKind>) -> Result<gbtl::ops::kind::KindBinaryOp, JitError> {
+        op.map(gbtl::ops::kind::KindBinaryOp)
+            .ok_or_else(|| bad("binop"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Factories.
+// ---------------------------------------------------------------------
+
+/// Instantiate a kernel whose body is `$body::<T>` for the dtype named
+/// by the key's `c_type` parameter — the `-DC_TYPE=...` template
+/// selection of the paper's `operation_binding.cpp`.
+macro_rules! dtype_factory {
+    ($fname:literal, $argty:ty, $body:ident) => {{
+        fn factory(key: &ModuleKey) -> Result<Box<dyn Kernel>, JitError> {
+            let ct = DType::from_name(key.require("c_type")?)
+                .map_err(|e| JitError::bad_key(e.to_string()))?;
+            let desc = format!("{}<{}> [{}]", $fname, ct, key.module_name());
+            Ok(match ct {
+                DType::Bool => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
+                    $body::<bool>(a)
+                })) as Box<dyn Kernel>,
+                DType::Int8 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
+                    $body::<i8>(a)
+                })),
+                DType::Int16 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
+                    $body::<i16>(a)
+                })),
+                DType::Int32 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
+                    $body::<i32>(a)
+                })),
+                DType::Int64 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
+                    $body::<i64>(a)
+                })),
+                DType::UInt8 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
+                    $body::<u8>(a)
+                })),
+                DType::UInt16 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
+                    $body::<u16>(a)
+                })),
+                DType::UInt32 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
+                    $body::<u32>(a)
+                })),
+                DType::UInt64 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
+                    $body::<u64>(a)
+                })),
+                DType::Fp32 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
+                    $body::<f32>(a)
+                })),
+                DType::Fp64 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
+                    $body::<f64>(a)
+                })),
+            })
+        }
+        factory
+    }};
+}
+
+/// Register every PyGB operation's factory into `registry`. Public so
+/// benchmarks can build isolated registries to measure instantiation
+/// ("compile") cost without touching the global cache.
+pub fn register_all(registry: &FactoryRegistry) {
+    registry.register("mxm", dtype_factory!("mxm", MatArgs, k_mxm));
+    registry.register("mxv", dtype_factory!("mxv", VecArgs, k_mxv));
+    registry.register("vxm", dtype_factory!("vxm", VecArgs, k_vxm));
+    registry.register(
+        "ewise_add_m",
+        dtype_factory!("ewise_add_m", MatArgs, k_ewise_add_m),
+    );
+    registry.register(
+        "ewise_mult_m",
+        dtype_factory!("ewise_mult_m", MatArgs, k_ewise_mult_m),
+    );
+    registry.register(
+        "ewise_add_v",
+        dtype_factory!("ewise_add_v", VecArgs, k_ewise_add_v),
+    );
+    registry.register(
+        "ewise_mult_v",
+        dtype_factory!("ewise_mult_v", VecArgs, k_ewise_mult_v),
+    );
+    registry.register("apply_m", dtype_factory!("apply_m", MatArgs, k_apply_m));
+    registry.register("apply_v", dtype_factory!("apply_v", VecArgs, k_apply_v));
+    registry.register(
+        "transpose_m",
+        dtype_factory!("transpose_m", MatArgs, k_transpose_m),
+    );
+    registry.register(
+        "extract_m",
+        dtype_factory!("extract_m", MatArgs, k_extract_m),
+    );
+    registry.register(
+        "extract_v",
+        dtype_factory!("extract_v", VecArgs, k_extract_v),
+    );
+    registry.register("assign_m", dtype_factory!("assign_m", MatArgs, k_assign_m));
+    registry.register("assign_v", dtype_factory!("assign_v", VecArgs, k_assign_v));
+    registry.register(
+        "assign_m_const",
+        dtype_factory!("assign_m_const", MatArgs, k_assign_m_const),
+    );
+    registry.register(
+        "assign_v_const",
+        dtype_factory!("assign_v_const", VecArgs, k_assign_v_const),
+    );
+    registry.register(
+        "reduce_rows",
+        dtype_factory!("reduce_rows", VecArgs, k_reduce_rows),
+    );
+    registry.register(
+        "mxv_apply",
+        dtype_factory!("mxv_apply", VecArgs, k_mxv_apply),
+    );
+    registry.register(
+        "vxm_apply",
+        dtype_factory!("vxm_apply", VecArgs, k_vxm_apply),
+    );
+    registry.register(
+        "reduce_m_scalar",
+        dtype_factory!("reduce_m_scalar", ScalarArgs, k_reduce_m_scalar),
+    );
+    registry.register(
+        "reduce_v_scalar",
+        dtype_factory!("reduce_v_scalar", ScalarArgs, k_reduce_v_scalar),
+    );
+}
+
+/// Number of distinct operation factories PyGB registers (Table I's
+/// operations plus the two fused deferred-chain modules of Section V).
+pub const NUM_REGISTERED_OPERATIONS: usize = 21;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl::ops::kind::IdentityKind;
+
+    fn fp64_key(func: &str) -> ModuleKey {
+        ModuleKey::new(func).with("c_type", "fp64")
+    }
+
+    #[test]
+    fn all_factories_registered() {
+        let reg = FactoryRegistry::new();
+        register_all(&reg);
+        assert_eq!(reg.len(), NUM_REGISTERED_OPERATIONS);
+    }
+
+    #[test]
+    fn mxm_kernel_end_to_end() {
+        let reg = FactoryRegistry::new();
+        register_all(&reg);
+        let kernel = reg.instantiate(&fp64_key("mxm")).unwrap();
+
+        let a = gbtl::Matrix::from_triples(2, 2, [(0usize, 1usize, 2.0f64)]).unwrap();
+        let b = gbtl::Matrix::from_triples(2, 2, [(1usize, 0usize, 3.0f64)]).unwrap();
+        let mut args = MatArgs::new(MatrixStore::new(2, 2, DType::Fp64));
+        args.a = Some(Arc::new(f64::wrap_matrix(a)));
+        args.b = Some(Arc::new(f64::wrap_matrix(b)));
+        args.semiring = KindSemiring::from_name("ArithmeticSemiring");
+        kernel.invoke(&mut args).unwrap();
+        assert_eq!(args.c.get(0, 0), Some(DynScalar::Fp64(6.0)));
+        assert_eq!(args.c.nvals(), 1);
+    }
+
+    #[test]
+    fn dtype_mismatch_rejected() {
+        let reg = FactoryRegistry::new();
+        register_all(&reg);
+        let kernel = reg.instantiate(&fp64_key("mxm")).unwrap();
+        let a = gbtl::Matrix::<i32>::new(2, 2);
+        let mut args = MatArgs::new(MatrixStore::new(2, 2, DType::Fp64));
+        args.a = Some(Arc::new(i32::wrap_matrix(a.clone())));
+        args.b = Some(Arc::new(i32::wrap_matrix(a)));
+        args.semiring = KindSemiring::from_name("ArithmeticSemiring");
+        let err = kernel.invoke(&mut args).unwrap_err();
+        assert!(err.to_string().contains("int32"));
+    }
+
+    #[test]
+    fn unknown_ctype_rejected_at_instantiation() {
+        let reg = FactoryRegistry::new();
+        register_all(&reg);
+        let key = ModuleKey::new("mxm").with("c_type", "complex64");
+        assert!(reg.instantiate(&key).is_err());
+        let missing = ModuleKey::new("mxm");
+        assert!(reg.instantiate(&missing).is_err());
+    }
+
+    #[test]
+    fn reduce_scalar_kernel() {
+        let reg = FactoryRegistry::new();
+        register_all(&reg);
+        let kernel = reg
+            .instantiate(&ModuleKey::new("reduce_v_scalar").with("c_type", "int64"))
+            .unwrap();
+        let u = gbtl::Vector::from_pairs(4, [(0usize, 2i64), (3, 40)]).unwrap();
+        let mut args = ScalarArgs {
+            a: None,
+            u: Some(Arc::new(i64::wrap_vector(u))),
+            monoid: Some(KindMonoid {
+                op: BinaryOpKind::Plus,
+                identity: IdentityKind::Zero,
+            }),
+            out: None,
+        };
+        kernel.invoke(&mut args).unwrap();
+        assert_eq!(args.out, Some(DynScalar::Int64(42)));
+    }
+
+    #[test]
+    fn wrong_args_type_is_abi_mismatch() {
+        let reg = FactoryRegistry::new();
+        register_all(&reg);
+        let kernel = reg.instantiate(&fp64_key("mxm")).unwrap();
+        let mut wrong = 5u8;
+        assert!(matches!(
+            kernel.invoke(&mut wrong),
+            Err(JitError::ArgumentTypeMismatch { .. })
+        ));
+    }
+}

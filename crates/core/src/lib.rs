@@ -1,0 +1,94 @@
+//! # PyGB in Rust — a dynamically-typed GraphBLAS DSL with JIT-style
+//! kernel dispatch
+//!
+//! This crate reproduces the PyGB system of *"PyGB: GraphBLAS DSL in
+//! Python with Dynamic Compilation into Efficient C++"* (IPDPSW 2018):
+//! a high-level, dynamically-typed front end over the GBTL substrate
+//! (`gbtl` crate), whose every operation is dispatched through a
+//! dynamic-compilation pipeline (`pygb-jit` crate).
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | `gb.Matrix` / `gb.Vector` with NumPy dtypes | [`Matrix`] / [`Vector`] with [`DType`] tags |
+//! | magic-method expressions (`A @ B`, `A + B`) | [`Matrix::matmul`], `&a + &b`, `&a * &b` → deferred [`MatrixExpr`]/[`VectorExpr`] |
+//! | `with` operator contexts | guard objects: `let _g = pygb::MinPlusSemiring.enter();` |
+//! | `C[M] = ...`, `C[None] += ...` | [`Matrix::masked`], [`Matrix::no_mask`] builders, `.assign(...)` / `.accum_assign(...)` |
+//! | JIT compile + module cache | [`pygb_jit`] key/cache/registry, reachable via [`runtime()`] |
+//!
+//! ## BFS, exactly as Fig. 2b of the paper
+//!
+//! ```
+//! use pygb::prelude::*;
+//!
+//! // The 7-vertex digraph of Fig. 1 (0-based vertex ids).
+//! let edges: Vec<(usize, usize, bool)> = vec![
+//!     (0, 1, true), (0, 3, true), (1, 4, true), (1, 6, true),
+//!     (2, 5, true), (3, 0, true), (3, 2, true), (4, 5, true),
+//!     (5, 2, true), (6, 2, true), (6, 3, true), (6, 4, true),
+//! ];
+//! let graph = Matrix::from_triples(7, 7, edges).unwrap();
+//!
+//! let mut frontier = Vector::new(7, DType::Bool);
+//! frontier.set(3, true).unwrap();
+//! let mut levels = Vector::new(7, DType::UInt64);
+//!
+//! let mut depth = 0u64;
+//! while frontier.nvals() > 0 {
+//!     depth += 1;
+//!     // levels[frontier][:] = depth
+//!     levels.masked(&frontier.cast(DType::UInt64)).assign_scalar(depth).unwrap();
+//!     // with gb.LogicalSemiring, gb.Replace:
+//!     //     frontier[~levels] = graph.T @ frontier
+//!     let _sr = LogicalSemiring.enter();
+//!     let _rp = Replace.enter();
+//!     let expr = graph.t().mxv(&frontier);
+//!     frontier.masked_complement(&levels.cast(DType::Bool)).assign(expr).unwrap();
+//! }
+//! assert_eq!(levels.get(3).unwrap().as_i64(), 1);
+//! assert_eq!(levels.get(0).unwrap().as_i64(), 2);
+//! assert_eq!(levels.get(6).unwrap().as_i64(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod dispatch;
+pub mod dtype;
+pub mod error;
+pub mod expr;
+pub mod kernels;
+pub mod matrix;
+pub mod operators;
+pub mod store;
+pub mod target;
+pub mod value;
+pub mod vector;
+
+pub use context::ContextGuard;
+pub use dispatch::{reduce, runtime, ReduceArg};
+pub use dtype::DType;
+pub use error::{PygbError, Result};
+pub use expr::{apply, reduce_rows, reduce_rows_t, MatrixExpr, TransposedMatrix, VectorExpr};
+pub use matrix::Matrix;
+pub use operators::*;
+pub use store::Element;
+pub use target::{MatrixAssign, VectorAssign};
+pub use value::DynScalar;
+pub use vector::Vector;
+
+/// Everything most PyGB programs need.
+pub mod prelude {
+    pub use crate::context::ContextGuard;
+    pub use crate::dispatch::{reduce, runtime};
+    pub use crate::dtype::DType;
+    pub use crate::error::{PygbError, Result};
+    pub use crate::expr::{apply, reduce_rows};
+    pub use crate::matrix::Matrix;
+    pub use crate::operators::*;
+    pub use crate::target::{MatrixAssign, VectorAssign};
+    pub use crate::value::DynScalar;
+    pub use crate::vector::Vector;
+}

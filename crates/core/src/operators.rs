@@ -1,0 +1,405 @@
+//! Dynamic operator objects — the `gb.BinaryOp("Plus")`,
+//! `gb.Monoid(PlusOp, 0)`, `gb.Semiring(PlusMonoid, TimesOp)`,
+//! `gb.Accumulator("Min")` constructors of Fig. 6, plus every
+//! predefined operator the paper's algorithms use.
+//!
+//! Operator objects are small `Copy` values wrapping the runtime kinds
+//! from `gbtl::ops::kind`. Bringing one "into context" (the `with`
+//! statement) is done with [`crate::context::ContextGuard`]s returned by
+//! each object's `enter()` method.
+
+use gbtl::ops::kind::{
+    AppliedUnaryKind, BinaryOpKind, IdentityKind, KindMonoid, KindSemiring, UnaryOpKind,
+};
+
+use crate::context::{self, ContextGuard, CtxEntry};
+use crate::error::{PygbError, Result};
+
+/// A named binary operator (`gb.BinaryOp("Plus")`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BinaryOp {
+    pub(crate) kind: BinaryOpKind,
+}
+
+impl BinaryOp {
+    /// Construct from a Fig. 6 name.
+    pub fn new(name: &str) -> Result<Self> {
+        BinaryOpKind::from_name(name)
+            .map(|kind| BinaryOp { kind })
+            .ok_or_else(|| PygbError::UnknownOperator { name: name.into() })
+    }
+
+    /// The operator's name.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Define a *user* binary operator (Section VIII future work,
+    /// implemented): the paper defers this to "an intermediate language
+    /// such as Cython or forcing the user to write code directly in
+    /// C++"; here a plain function registers it under a name usable
+    /// everywhere a Fig. 6 operator is — including inside monoids,
+    /// semirings, accumulators, and JIT module keys. Computation
+    /// crosses an `f64` boundary, like a Python-defined operator would.
+    pub fn define(name: &str, f: fn(f64, f64) -> f64) -> BinaryOp {
+        BinaryOp {
+            kind: gbtl::ops::kind::register_user_binary_op(name, f, None),
+        }
+    }
+
+    /// Define a user binary operator that also has a named identity, so
+    /// it can serve as a monoid/semiring ⊕ (e.g. a custom `Hypot` with
+    /// identity 0).
+    pub fn define_with_identity(
+        name: &str,
+        f: fn(f64, f64) -> f64,
+        identity: &str,
+    ) -> Result<BinaryOp> {
+        let id = gbtl::ops::kind::IdentityKind::from_name(identity)
+            .ok_or_else(|| PygbError::UnknownOperator {
+                name: identity.into(),
+            })?;
+        Ok(BinaryOp {
+            kind: gbtl::ops::kind::register_user_binary_op(name, f, Some(id)),
+        })
+    }
+
+    /// Bring this operator into context (a `with gb.BinaryOp(...)` block).
+    pub fn enter(&self) -> ContextGuard {
+        context::push(CtxEntry::Binary(self.kind))
+    }
+}
+
+/// A named unary operator, possibly a bound binary op
+/// (`gb.UnaryOp("Times", damping_factor)` binds the constant as the
+/// second argument, as the paper's PageRank does).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct UnaryOp {
+    pub(crate) kind: AppliedUnaryKind,
+}
+
+impl UnaryOp {
+    /// Construct a pure unary operator from a Fig. 6 name.
+    pub fn new(name: &str) -> Result<Self> {
+        UnaryOpKind::from_name(name)
+            .map(|k| UnaryOp {
+                kind: AppliedUnaryKind::Pure(k),
+            })
+            .ok_or_else(|| PygbError::UnknownOperator { name: name.into() })
+    }
+
+    /// `gb.UnaryOp("Times", k)`: bind `k` as the second argument of a
+    /// binary operator.
+    pub fn bound(name: &str, k: f64) -> Result<Self> {
+        BinaryOpKind::from_name(name)
+            .map(|b| UnaryOp {
+                kind: AppliedUnaryKind::Bind2nd(b, k),
+            })
+            .ok_or_else(|| PygbError::UnknownOperator { name: name.into() })
+    }
+
+    /// Define a *user* unary operator (Section VIII), computing through
+    /// `f64` like [`BinaryOp::define`].
+    pub fn define(name: &str, f: fn(f64) -> f64) -> UnaryOp {
+        UnaryOp {
+            kind: AppliedUnaryKind::Pure(gbtl::ops::kind::register_user_unary_op(name, f)),
+        }
+    }
+
+    /// Bind `k` as the *first* argument instead.
+    pub fn bound_first(name: &str, k: f64) -> Result<Self> {
+        BinaryOpKind::from_name(name)
+            .map(|b| UnaryOp {
+                kind: AppliedUnaryKind::Bind1st(b, k),
+            })
+            .ok_or_else(|| PygbError::UnknownOperator { name: name.into() })
+    }
+
+    /// Bring this operator into context.
+    pub fn enter(&self) -> ContextGuard {
+        context::push(CtxEntry::Unary(self.kind))
+    }
+}
+
+/// A monoid (`gb.Monoid("Min", "MinIdentity")`, `gb.Monoid(PlusOp, 0)`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Monoid {
+    pub(crate) kind: KindMonoid,
+}
+
+impl Monoid {
+    /// Construct from operator and identity names.
+    pub fn new(op: &str, identity: &str) -> Result<Self> {
+        let op_kind = BinaryOpKind::from_name(op)
+            .ok_or_else(|| PygbError::UnknownOperator { name: op.into() })?;
+        let id_kind = IdentityKind::from_name(identity)
+            .ok_or_else(|| PygbError::UnknownOperator {
+                name: identity.into(),
+            })?;
+        Ok(Monoid {
+            kind: KindMonoid::new(op_kind, id_kind),
+        })
+    }
+
+    /// `gb.Monoid(PlusOp, 0)`: operator object plus a numeric identity.
+    /// Only identities representable as named elements (0, 1) are
+    /// supported; others are [`PygbError::Unsupported`].
+    pub fn from_op(op: BinaryOp, identity: f64) -> Result<Self> {
+        let id_kind = if identity == 0.0 {
+            IdentityKind::Zero
+        } else if identity == 1.0 {
+            IdentityKind::One
+        } else {
+            return Err(PygbError::Unsupported {
+                context: format!(
+                    "monoid identity {identity}: only 0, 1, MinIdentity, MaxIdentity are nameable"
+                ),
+            });
+        };
+        Ok(Monoid {
+            kind: KindMonoid::new(op.kind, id_kind),
+        })
+    }
+
+    /// Bring this monoid into context.
+    pub fn enter(&self) -> ContextGuard {
+        context::push(CtxEntry::Monoid(self.kind))
+    }
+}
+
+/// A semiring (`gb.Semiring(PlusMonoid, TimesOp)` /
+/// `gb.Semiring(gb.PlusMonoid, "Times")`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Semiring {
+    pub(crate) kind: KindSemiring,
+}
+
+impl Semiring {
+    /// Construct from a monoid object and a multiplicative op name.
+    pub fn new(add: Monoid, mult: &str) -> Result<Self> {
+        let mult_kind = BinaryOpKind::from_name(mult)
+            .ok_or_else(|| PygbError::UnknownOperator { name: mult.into() })?;
+        Ok(Semiring {
+            kind: KindSemiring::new(add.kind, mult_kind),
+        })
+    }
+
+    /// Construct from a monoid and a binary operator object.
+    pub fn from_parts(add: Monoid, mult: BinaryOp) -> Self {
+        Semiring {
+            kind: KindSemiring::new(add.kind, mult.kind),
+        }
+    }
+
+    /// Construct a predefined semiring by its GBTL name
+    /// (`"ArithmeticSemiring"`, ...).
+    pub fn predefined(name: &str) -> Result<Self> {
+        KindSemiring::from_name(name)
+            .map(|kind| Semiring { kind })
+            .ok_or_else(|| PygbError::UnknownOperator { name: name.into() })
+    }
+
+    /// Bring this semiring into context.
+    pub fn enter(&self) -> ContextGuard {
+        context::push(CtxEntry::Semiring(self.kind))
+    }
+}
+
+/// An accumulator (`gb.Accumulator("Min")`) — governs `+=` assignment.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Accumulator {
+    pub(crate) op: BinaryOpKind,
+}
+
+impl Accumulator {
+    /// Construct from a binary operator name.
+    pub fn new(name: &str) -> Result<Self> {
+        BinaryOpKind::from_name(name)
+            .map(|op| Accumulator { op })
+            .ok_or_else(|| PygbError::UnknownOperator { name: name.into() })
+    }
+
+    /// Construct from an operator object (`gb.Accumulator(PlusOp)`).
+    pub fn from_op(op: BinaryOp) -> Self {
+        Accumulator { op: op.kind }
+    }
+
+    /// Bring this accumulator into context.
+    pub fn enter(&self) -> ContextGuard {
+        context::push(CtxEntry::Accum(self.op))
+    }
+}
+
+/// The replace flag (`gb.Replace`): while in context, masked operations
+/// clear masked-out output positions instead of merging.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplaceFlag;
+
+impl ReplaceFlag {
+    /// Bring replace semantics into context.
+    pub fn enter(&self) -> ContextGuard {
+        context::push(CtxEntry::Replace)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predefined operators, spelled like the paper's `gb.*` attributes
+// (CamelCase consts on purpose, to echo the PyGB surface syntax).
+// ---------------------------------------------------------------------
+
+macro_rules! predefined_semiring {
+    ($(#[$doc:meta])* $name:ident, $add:ident, $identity:ident, $mult:ident) => {
+        $(#[$doc])*
+        #[allow(non_upper_case_globals)]
+        pub const $name: Semiring = Semiring {
+            kind: KindSemiring {
+                add: KindMonoid {
+                    op: BinaryOpKind::$add,
+                    identity: IdentityKind::$identity,
+                },
+                mult: BinaryOpKind::$mult,
+            },
+        };
+    };
+}
+
+predefined_semiring!(
+    /// `(+, ×, 0)` — `gb.ArithmeticSemiring`.
+    ArithmeticSemiring, Plus, Zero, Times
+);
+predefined_semiring!(
+    /// `(∨, ∧, false)` — `gb.LogicalSemiring` (BFS).
+    LogicalSemiring, LogicalOr, Zero, LogicalAnd
+);
+predefined_semiring!(
+    /// `(min, +, ∞)` — `gb.MinPlusSemiring` (SSSP).
+    MinPlusSemiring, Min, MinIdentity, Plus
+);
+predefined_semiring!(
+    /// `(max, ×, −∞)` — `gb.MaxTimesSemiring`.
+    MaxTimesSemiring, Max, MaxIdentity, Times
+);
+predefined_semiring!(
+    /// `(min, select1st, ∞)` — `gb.MinSelect1stSemiring`.
+    MinSelect1stSemiring, Min, MinIdentity, First
+);
+predefined_semiring!(
+    /// `(min, select2nd, ∞)` — `gb.MinSelect2ndSemiring`.
+    MinSelect2ndSemiring, Min, MinIdentity, Second
+);
+predefined_semiring!(
+    /// `(max, select1st, −∞)` — `gb.MaxSelect1stSemiring`.
+    MaxSelect1stSemiring, Max, MaxIdentity, First
+);
+predefined_semiring!(
+    /// `(max, select2nd, −∞)` — `gb.MaxSelect2ndSemiring`.
+    MaxSelect2ndSemiring, Max, MaxIdentity, Second
+);
+
+macro_rules! predefined_monoid {
+    ($(#[$doc:meta])* $name:ident, $op:ident, $identity:ident) => {
+        $(#[$doc])*
+        #[allow(non_upper_case_globals)]
+        pub const $name: Monoid = Monoid {
+            kind: KindMonoid {
+                op: BinaryOpKind::$op,
+                identity: IdentityKind::$identity,
+            },
+        };
+    };
+}
+
+predefined_monoid!(
+    /// `(+, 0)` — `gb.PlusMonoid`.
+    PlusMonoid, Plus, Zero
+);
+predefined_monoid!(
+    /// `(×, 1)` — `gb.TimesMonoid`.
+    TimesMonoid, Times, One
+);
+predefined_monoid!(
+    /// `(min, MAX)` — `gb.MinMonoid`.
+    MinMonoid, Min, MinIdentity
+);
+predefined_monoid!(
+    /// `(max, MIN)` — `gb.MaxMonoid`.
+    MaxMonoid, Max, MaxIdentity
+);
+predefined_monoid!(
+    /// `(∨, false)` — `gb.LogicalOrMonoid`.
+    LogicalOrMonoid, LogicalOr, Zero
+);
+predefined_monoid!(
+    /// `(∧, true)` — `gb.LogicalAndMonoid`.
+    LogicalAndMonoid, LogicalAnd, One
+);
+
+/// `gb.Replace` — the replace-flag context object.
+#[allow(non_upper_case_globals)]
+pub const Replace: ReplaceFlag = ReplaceFlag;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_op_names() {
+        assert_eq!(BinaryOp::new("Plus").unwrap().name(), "Plus");
+        assert!(BinaryOp::new("Frobnicate").is_err());
+    }
+
+    #[test]
+    fn fig6_constructor_chain() {
+        // AdditiveInv = gb.UnaryOp("AdditiveInverse")
+        let _ainv = UnaryOp::new("AdditiveInverse").unwrap();
+        // PlusOp = gb.BinaryOp("Plus"); TimesOp = gb.BinaryOp("Times")
+        let plus = BinaryOp::new("Plus").unwrap();
+        let times = BinaryOp::new("Times").unwrap();
+        // PlusAccumulate = gb.Accumulator(PlusOp)
+        let _acc = Accumulator::from_op(plus);
+        // PlusMonoid = gb.Monoid(PlusOp, 0)
+        let pm = Monoid::from_op(plus, 0.0).unwrap();
+        // ArithmeticSR = gb.Semiring(PlusMonoid, TimesOp)
+        let sr = Semiring::from_parts(pm, times);
+        assert_eq!(sr, ArithmeticSemiring);
+    }
+
+    #[test]
+    fn named_monoid_matches_predefined() {
+        let m = Monoid::new("Min", "MinIdentity").unwrap();
+        assert_eq!(m, MinMonoid);
+    }
+
+    #[test]
+    fn semiring_from_monoid_and_name() {
+        // gb.Semiring(gb.MinMonoid, "Plus") == gb.MinPlusSemiring
+        let sr = Semiring::new(MinMonoid, "Plus").unwrap();
+        assert_eq!(sr, MinPlusSemiring);
+    }
+
+    #[test]
+    fn predefined_by_name() {
+        assert_eq!(
+            Semiring::predefined("LogicalSemiring").unwrap(),
+            LogicalSemiring
+        );
+        assert!(Semiring::predefined("NopeSemiring").is_err());
+    }
+
+    #[test]
+    fn unsupported_identity_rejected() {
+        let plus = BinaryOp::new("Plus").unwrap();
+        assert!(Monoid::from_op(plus, 7.5).is_err());
+        assert!(Monoid::from_op(plus, 1.0).is_ok());
+    }
+
+    #[test]
+    fn bound_unary() {
+        let damp = UnaryOp::bound("Times", 0.85).unwrap();
+        match damp.kind {
+            AppliedUnaryKind::Bind2nd(BinaryOpKind::Times, k) => assert_eq!(k, 0.85),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(UnaryOp::bound("NotAnOp", 1.0).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Dynamically-typed scalars — the values Python hands the DSL.
+
+use gbtl::Scalar;
+
+use crate::dtype::DType;
+
+/// A runtime-typed scalar value.
+#[derive(Copy, Clone, Debug, PartialEq, PartialOrd)]
+pub enum DynScalar {
+    /// `bool`
+    Bool(bool),
+    /// `int8_t`
+    Int8(i8),
+    /// `int16_t`
+    Int16(i16),
+    /// `int32_t`
+    Int32(i32),
+    /// `int64_t`
+    Int64(i64),
+    /// `uint8_t`
+    UInt8(u8),
+    /// `uint16_t`
+    UInt16(u16),
+    /// `uint32_t`
+    UInt32(u32),
+    /// `uint64_t`
+    UInt64(u64),
+    /// `float`
+    Fp32(f32),
+    /// `double`
+    Fp64(f64),
+}
+
+impl DynScalar {
+    /// The value's dtype tag.
+    pub fn dtype(self) -> DType {
+        match self {
+            DynScalar::Bool(_) => DType::Bool,
+            DynScalar::Int8(_) => DType::Int8,
+            DynScalar::Int16(_) => DType::Int16,
+            DynScalar::Int32(_) => DType::Int32,
+            DynScalar::Int64(_) => DType::Int64,
+            DynScalar::UInt8(_) => DType::UInt8,
+            DynScalar::UInt16(_) => DType::UInt16,
+            DynScalar::UInt32(_) => DType::UInt32,
+            DynScalar::UInt64(_) => DType::UInt64,
+            DynScalar::Fp32(_) => DType::Fp32,
+            DynScalar::Fp64(_) => DType::Fp64,
+        }
+    }
+
+    /// Lossy view as `f64` (C cast semantics).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            DynScalar::Bool(v) => v.to_f64(),
+            DynScalar::Int8(v) => v.to_f64(),
+            DynScalar::Int16(v) => v.to_f64(),
+            DynScalar::Int32(v) => v.to_f64(),
+            DynScalar::Int64(v) => v.to_f64(),
+            DynScalar::UInt8(v) => v.to_f64(),
+            DynScalar::UInt16(v) => v.to_f64(),
+            DynScalar::UInt32(v) => v.to_f64(),
+            DynScalar::UInt64(v) => v.to_f64(),
+            DynScalar::Fp32(v) => v.to_f64(),
+            DynScalar::Fp64(v) => v,
+        }
+    }
+
+    /// Lossy view as `i64`.
+    pub fn as_i64(self) -> i64 {
+        match self {
+            DynScalar::Bool(v) => v.to_i64(),
+            DynScalar::Int8(v) => v.to_i64(),
+            DynScalar::Int16(v) => v.to_i64(),
+            DynScalar::Int32(v) => v.to_i64(),
+            DynScalar::Int64(v) => v,
+            DynScalar::UInt8(v) => v.to_i64(),
+            DynScalar::UInt16(v) => v.to_i64(),
+            DynScalar::UInt32(v) => v.to_i64(),
+            DynScalar::UInt64(v) => v.to_i64(),
+            DynScalar::Fp32(v) => v.to_i64(),
+            DynScalar::Fp64(v) => v.to_i64(),
+        }
+    }
+
+    /// Truthiness (mask coercion).
+    pub fn as_bool(self) -> bool {
+        match self {
+            DynScalar::Bool(v) => v,
+            other => other.as_f64() != 0.0,
+        }
+    }
+
+    /// Extract as a concrete scalar type, casting as needed.
+    pub fn to_scalar<T: Scalar>(self) -> T {
+        if self.dtype().is_float() {
+            T::from_f64(self.as_f64())
+        } else {
+            T::from_i64(self.as_i64())
+        }
+    }
+
+    /// Cast to another dtype (C cast semantics), preserving the value
+    /// class where possible.
+    pub fn cast(self, to: DType) -> DynScalar {
+        macro_rules! cast_to {
+            ($variant:ident, $t:ty) => {
+                DynScalar::$variant(self.to_scalar::<$t>())
+            };
+        }
+        match to {
+            DType::Bool => cast_to!(Bool, bool),
+            DType::Int8 => cast_to!(Int8, i8),
+            DType::Int16 => cast_to!(Int16, i16),
+            DType::Int32 => cast_to!(Int32, i32),
+            DType::Int64 => cast_to!(Int64, i64),
+            DType::UInt8 => cast_to!(UInt8, u8),
+            DType::UInt16 => cast_to!(UInt16, u16),
+            DType::UInt32 => cast_to!(UInt32, u32),
+            DType::UInt64 => cast_to!(UInt64, u64),
+            DType::Fp32 => cast_to!(Fp32, f32),
+            DType::Fp64 => cast_to!(Fp64, f64),
+        }
+    }
+}
+
+macro_rules! dyn_from {
+    ($t:ty, $variant:ident) => {
+        impl From<$t> for DynScalar {
+            fn from(v: $t) -> Self {
+                DynScalar::$variant(v)
+            }
+        }
+    };
+}
+
+dyn_from!(bool, Bool);
+dyn_from!(i8, Int8);
+dyn_from!(i16, Int16);
+dyn_from!(i32, Int32);
+dyn_from!(i64, Int64);
+dyn_from!(u8, UInt8);
+dyn_from!(u16, UInt16);
+dyn_from!(u32, UInt32);
+dyn_from!(u64, UInt64);
+dyn_from!(f32, Fp32);
+dyn_from!(f64, Fp64);
+
+impl std::fmt::Display for DynScalar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynScalar::Bool(v) => write!(f, "{v}"),
+            DynScalar::Int8(v) => write!(f, "{v}"),
+            DynScalar::Int16(v) => write!(f, "{v}"),
+            DynScalar::Int32(v) => write!(f, "{v}"),
+            DynScalar::Int64(v) => write!(f, "{v}"),
+            DynScalar::UInt8(v) => write!(f, "{v}"),
+            DynScalar::UInt16(v) => write!(f, "{v}"),
+            DynScalar::UInt32(v) => write!(f, "{v}"),
+            DynScalar::UInt64(v) => write!(f, "{v}"),
+            DynScalar::Fp32(v) => write!(f, "{v}"),
+            DynScalar::Fp64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_and_dtype() {
+        assert_eq!(DynScalar::from(3i32).dtype(), DType::Int32);
+        assert_eq!(DynScalar::from(true).dtype(), DType::Bool);
+        assert_eq!(DynScalar::from(1.5f64).dtype(), DType::Fp64);
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(DynScalar::from(3i32).as_f64(), 3.0);
+        assert_eq!(DynScalar::from(2.9f64).as_i64(), 2);
+        assert!(DynScalar::from(-1i8).as_bool());
+        assert!(!DynScalar::from(0u64).as_bool());
+    }
+
+    #[test]
+    fn casts_preserve_float_values_through_f64_path() {
+        let v = DynScalar::from(0.5f64);
+        // Casting through the integer path would truncate to 0; the
+        // float path must not.
+        assert_eq!(v.cast(DType::Fp32), DynScalar::Fp32(0.5));
+        assert_eq!(v.cast(DType::Int32), DynScalar::Int32(0));
+        assert_eq!(v.cast(DType::Bool), DynScalar::Bool(true));
+    }
+
+    #[test]
+    fn to_scalar() {
+        assert_eq!(DynScalar::from(300i64).to_scalar::<u8>(), 44u8);
+        assert_eq!(DynScalar::from(2.5f64).to_scalar::<f32>(), 2.5f32);
+        assert_eq!(DynScalar::from(true).to_scalar::<i64>(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DynScalar::from(42u16).to_string(), "42");
+        assert_eq!(DynScalar::from(false).to_string(), "false");
+    }
+}

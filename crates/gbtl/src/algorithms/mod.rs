@@ -1,0 +1,22 @@
+//! Native GBTL algorithms — the "C++ version" of the paper's four
+//! benchmarks (Fig. 2c BFS, Fig. 4b SSSP, Fig. 8 PageRank, Fig. 5b
+//! triangle counting), written directly against the statically-typed
+//! operation set.
+//!
+//! These are the *Native* baseline of the Fig. 10 experiment; the
+//! `pygb-algorithms` crate wraps them (fused variant) and re-expresses
+//! them through the dynamic DSL (per-op dispatch variant).
+
+mod bfs;
+mod cc;
+mod pagerank;
+mod sssp;
+mod triangle;
+mod util;
+
+pub use bfs::{bfs_level, bfs_parent};
+pub use cc::{component_count, connected_components};
+pub use pagerank::{page_rank, PageRankOptions};
+pub use sssp::{sssp, sssp_converging, sssp_from};
+pub use triangle::{triangle_count, triangle_count_masked_dot, tril};
+pub use util::normalize_rows;

@@ -1,0 +1,137 @@
+//! Single-source shortest paths — Fig. 4b of the paper.
+//!
+//! Bellman–Ford style relaxation: `n` rounds of
+//! `path ⟨min⟩= graphᵀ ⊕.⊗ path` over the MinPlus (tropical) semiring.
+//! [`sssp`] runs the fixed `nrows` iterations exactly as the paper's
+//! code does; [`sssp_converging`] stops as soon as a round changes
+//! nothing (an extension measured by the ablation benches).
+
+use crate::error::Result;
+use crate::index::IndexType;
+use crate::matrix::Matrix;
+use crate::operations::mxv;
+use crate::ops::accum::Accumulate;
+use crate::ops::binary::Min;
+use crate::ops::semiring::MinPlusSemiring;
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+use crate::views::{transpose, Replace};
+
+/// Fig. 4b verbatim: relax `graph.nrows()` times.
+///
+/// `path` holds the current tentative distances (typically just
+/// `path[source] = 0` on entry) and is updated in place.
+pub fn sssp<T: Scalar>(graph: &Matrix<T>, path: &mut Vector<T>) -> Result<()> {
+    for _ in 0..graph.nrows() {
+        relax(graph, path)?;
+    }
+    Ok(())
+}
+
+/// Relax until a fixed point: identical results, usually far fewer
+/// rounds. Returns the number of relaxation rounds executed.
+pub fn sssp_converging<T: Scalar>(graph: &Matrix<T>, path: &mut Vector<T>) -> Result<IndexType> {
+    for round in 0..graph.nrows() {
+        let before = path.clone();
+        relax(graph, path)?;
+        if *path == before {
+            return Ok(round + 1);
+        }
+    }
+    Ok(graph.nrows())
+}
+
+fn relax<T: Scalar>(graph: &Matrix<T>, path: &mut Vector<T>) -> Result<()> {
+    // mxv(path, NoMask, Min<T>, MinPlusSemiring<T>, transpose(graph), path)
+    let snapshot = path.clone();
+    mxv(
+        path,
+        &crate::mask::NoMask,
+        Accumulate(Min::<T>::new()),
+        &MinPlusSemiring::<T>::new(),
+        transpose(graph),
+        &snapshot,
+        Replace(false),
+    )
+}
+
+/// Convenience: distances from a single `source` over a weighted graph.
+pub fn sssp_from<T: Scalar>(graph: &Matrix<T>, source: IndexType) -> Result<Vector<T>> {
+    let mut path = Vector::new(graph.nrows());
+    path.set(source, T::zero())?;
+    sssp(graph, &mut path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_graph() -> Matrix<f64> {
+        // 0 →2→ 1 →3→ 2, plus a long direct edge 0 →10→ 2, and 2 →1→ 3.
+        Matrix::from_triples(
+            4,
+            4,
+            [
+                (0usize, 1usize, 2.0f64),
+                (1, 2, 3.0),
+                (0, 2, 10.0),
+                (2, 3, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shortest_paths() {
+        let g = weighted_graph();
+        let mut path = Vector::<f64>::new(4);
+        path.set(0, 0.0).unwrap();
+        sssp(&g, &mut path).unwrap();
+        assert_eq!(path.get(0), Some(0.0));
+        assert_eq!(path.get(1), Some(2.0));
+        assert_eq!(path.get(2), Some(5.0)); // via 1, not the 10.0 edge
+        assert_eq!(path.get(3), Some(6.0));
+    }
+
+    #[test]
+    fn converging_matches_fixed_iterations() {
+        let g = weighted_graph();
+        let mut a = Vector::<f64>::new(4);
+        a.set(0, 0.0).unwrap();
+        sssp(&g, &mut a).unwrap();
+        let mut b = Vector::<f64>::new(4);
+        b.set(0, 0.0).unwrap();
+        let rounds = sssp_converging(&g, &mut b).unwrap();
+        assert_eq!(a, b);
+        assert!(rounds <= 4);
+    }
+
+    #[test]
+    fn unreachable_stay_unstored() {
+        let g = weighted_graph();
+        let dist = sssp_from(&g, 3).unwrap(); // vertex 3 has no out-edges
+        assert_eq!(dist.get(3), Some(0.0));
+        assert_eq!(dist.nvals(), 1);
+    }
+
+    #[test]
+    fn integer_weights() {
+        let g = Matrix::from_triples(3, 3, [(0usize, 1usize, 5i64), (1, 2, 7)]).unwrap();
+        let dist = sssp_from(&g, 0).unwrap();
+        assert_eq!(dist.get(2), Some(12));
+    }
+
+    #[test]
+    fn negative_edges_bellman_ford() {
+        // MinPlus relaxation handles negative edges (no negative cycles).
+        let g = Matrix::from_triples(
+            3,
+            3,
+            [(0usize, 1usize, 4i64), (0, 2, 10), (1, 2, -3)],
+        )
+        .unwrap();
+        let dist = sssp_from(&g, 0).unwrap();
+        assert_eq!(dist.get(2), Some(1)); // 4 + (-3) beats 10
+    }
+}

@@ -1,0 +1,69 @@
+//! Algorithm utilities — GBTL's `normalize_rows` (used by PageRank,
+//! Fig. 8 line 16).
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Divide every stored element by its row's sum, making each non-empty
+/// row sum to 1 — the row-stochastic normalization PageRank needs.
+/// Rows with a zero sum are left untouched (integer division by zero
+/// would zero them; GBTL divides by the sum as-is for floats).
+pub fn normalize_rows<T: Scalar>(m: &mut Matrix<T>) {
+    let mut rows: Vec<Vec<(usize, T)>> = Vec::with_capacity(m.nrows());
+    for i in 0..m.nrows() {
+        let (cols, vals) = m.row(i);
+        let sum = vals.iter().fold(T::zero(), |acc, &v| acc.s_add(v));
+        let row = if sum == T::zero() {
+            cols.iter().copied().zip(vals.iter().copied()).collect()
+        } else {
+            cols.iter()
+                .copied()
+                .zip(vals.iter().map(|&v| v.s_div(sum)))
+                .collect()
+        };
+        rows.push(row);
+    }
+    *m = Matrix::from_rows(m.nrows(), m.ncols(), rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let mut m = Matrix::from_triples(
+            2,
+            3,
+            [
+                (0usize, 0usize, 1.0f64),
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 0, 5.0),
+            ],
+        )
+        .unwrap();
+        normalize_rows(&mut m);
+        assert!((m.get(0, 0).unwrap() - 0.25).abs() < 1e-12);
+        assert!((m.get(0, 2).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(m.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_rows_unchanged() {
+        let mut m = Matrix::from_triples(3, 3, [(0usize, 0usize, 2.0f64)]).unwrap();
+        normalize_rows(&mut m);
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.row_nvals(1), 0);
+        assert!(m.is_valid());
+    }
+
+    #[test]
+    fn zero_sum_row_untouched() {
+        let mut m =
+            Matrix::from_triples(1, 2, [(0usize, 0usize, 1.0f64), (0, 1, -1.0)]).unwrap();
+        normalize_rows(&mut m);
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(0, 1), Some(-1.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Error types shared by every GBTL operation.
+//!
+//! GBTL (like the GraphBLAS C API) reports dimension mismatches, index
+//! range violations, and domain problems. We model them as a single
+//! non-exhaustive enum so downstream crates can add context without
+//! breaking matches.
+
+use std::fmt;
+
+/// Errors produced by GBTL containers and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GblasError {
+    /// Operand shapes do not conform (e.g. `mxm` inner dimensions differ).
+    DimensionMismatch {
+        /// Human-readable description of which dimensions clashed.
+        context: String,
+    },
+    /// An index was outside the container's dimension.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The dimension it was checked against.
+        bound: usize,
+    },
+    /// A requested element is not stored (structural zero).
+    NoValue {
+        /// Row (or sole) index of the missing element.
+        row: usize,
+        /// Column index of the missing element (0 for vectors).
+        col: usize,
+    },
+    /// Input data was rejected (duplicate handling, malformed COO, ...).
+    InvalidValue {
+        /// Human-readable description.
+        context: String,
+    },
+    /// A mask had the wrong shape for the output it guards.
+    MaskShapeMismatch {
+        /// Human-readable description of the shapes involved.
+        context: String,
+    },
+    /// The operation is not supported for this combination of arguments.
+    NotImplemented {
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl fmt::Display for GblasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GblasError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            GblasError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (dimension {bound})")
+            }
+            GblasError::NoValue { row, col } => {
+                write!(f, "no stored value at ({row}, {col})")
+            }
+            GblasError::InvalidValue { context } => write!(f, "invalid value: {context}"),
+            GblasError::MaskShapeMismatch { context } => {
+                write!(f, "mask shape mismatch: {context}")
+            }
+            GblasError::NotImplemented { context } => write!(f, "not implemented: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for GblasError {}
+
+/// Result alias used throughout GBTL.
+pub type Result<T> = std::result::Result<T, GblasError>;
+
+impl GblasError {
+    /// Construct a [`GblasError::DimensionMismatch`] with formatted context.
+    pub fn dim(context: impl Into<String>) -> Self {
+        GblasError::DimensionMismatch {
+            context: context.into(),
+        }
+    }
+
+    /// Construct a [`GblasError::InvalidValue`] with formatted context.
+    pub fn invalid(context: impl Into<String>) -> Self {
+        GblasError::InvalidValue {
+            context: context.into(),
+        }
+    }
+
+    /// Construct a [`GblasError::MaskShapeMismatch`] with formatted context.
+    pub fn mask(context: impl Into<String>) -> Self {
+        GblasError::MaskShapeMismatch {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = GblasError::dim("A is 3x4, B is 5x6");
+        assert_eq!(e.to_string(), "dimension mismatch: A is 3x4, B is 5x6");
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = GblasError::IndexOutOfBounds { index: 9, bound: 4 };
+        assert_eq!(e.to_string(), "index 9 out of bounds (dimension 4)");
+    }
+
+    #[test]
+    fn display_no_value() {
+        let e = GblasError::NoValue { row: 1, col: 2 };
+        assert_eq!(e.to_string(), "no stored value at (1, 2)");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GblasError::invalid("x"));
+    }
+
+    #[test]
+    fn equality() {
+        assert_eq!(GblasError::dim("a"), GblasError::dim("a"));
+        assert_ne!(GblasError::dim("a"), GblasError::dim("b"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Index types and index-set arguments.
+//!
+//! GBTL uses `GraphBLAS::IndexType` (a 64-bit unsigned integer) for all
+//! dimensions and indices; on a 64-bit target `usize` is the idiomatic
+//! Rust equivalent and indexes slices without casts, so we alias it.
+//!
+//! [`Indices`] models the index-set parameter of `assign` and `extract`
+//! (`GrB_ALL` / explicit index lists / contiguous ranges — the paper's
+//! `AllIndices()`, Python lists, and Python slices respectively).
+
+/// The index type used for all GBTL dimensions and coordinates.
+pub type IndexType = usize;
+
+/// An index-set argument for `assign` / `extract`.
+///
+/// Mirrors the three spellings the paper uses on the Python side:
+/// `AllIndices` (`w[:] = ...`), explicit index lists, and slices
+/// (`C[2:4, 2:4] = ...`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Indices {
+    /// Every index of the corresponding dimension (`GrB_ALL`).
+    All,
+    /// An explicit list of indices, in output order (may repeat for
+    /// `extract`; must not repeat for `assign`).
+    List(Vec<IndexType>),
+    /// A contiguous half-open range `[start, end)` — a Python slice with
+    /// step 1.
+    Range(IndexType, IndexType),
+}
+
+impl Indices {
+    /// Number of selected indices given the dimension `n` it applies to.
+    pub fn len(&self, n: IndexType) -> IndexType {
+        match self {
+            Indices::All => n,
+            Indices::List(v) => v.len(),
+            Indices::Range(a, b) => b.saturating_sub(*a),
+        }
+    }
+
+    /// Whether the selection is empty for dimension `n`.
+    pub fn is_empty(&self, n: IndexType) -> bool {
+        self.len(n) == 0
+    }
+
+    /// The `k`-th selected index (unchecked against `n`; `k < self.len(n)`).
+    #[inline]
+    pub fn select(&self, k: IndexType) -> IndexType {
+        match self {
+            Indices::All => k,
+            Indices::List(v) => v[k],
+            Indices::Range(a, _) => a + k,
+        }
+    }
+
+    /// Validate that every selected index is `< n`.
+    pub fn validate(&self, n: IndexType) -> crate::Result<()> {
+        match self {
+            Indices::All => Ok(()),
+            Indices::List(v) => {
+                for &i in v {
+                    if i >= n {
+                        return Err(crate::GblasError::IndexOutOfBounds { index: i, bound: n });
+                    }
+                }
+                Ok(())
+            }
+            Indices::Range(a, b) => {
+                if *a > *b {
+                    return Err(crate::GblasError::invalid(format!(
+                        "descending range {a}..{b}"
+                    )));
+                }
+                if *b > n {
+                    return Err(crate::GblasError::IndexOutOfBounds {
+                        index: b.saturating_sub(1),
+                        bound: n,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Inverse lookup: for a source index `i`, which output position(s)
+    /// does it map to?  Returns the first match for `List` (sufficient
+    /// for `assign`, where duplicates are invalid).
+    pub fn position_of(&self, i: IndexType, n: IndexType) -> Option<IndexType> {
+        match self {
+            Indices::All => (i < n).then_some(i),
+            Indices::List(v) => v.iter().position(|&x| x == i),
+            Indices::Range(a, b) => (i >= *a && i < *b).then(|| i - a),
+        }
+    }
+
+    /// Iterate over `(output_position, selected_index)` pairs.
+    pub fn iter(&self, n: IndexType) -> impl Iterator<Item = (IndexType, IndexType)> + '_ {
+        (0..self.len(n)).map(move |k| (k, self.select(k)))
+    }
+}
+
+impl From<Vec<IndexType>> for Indices {
+    fn from(v: Vec<IndexType>) -> Self {
+        Indices::List(v)
+    }
+}
+
+impl From<&[IndexType]> for Indices {
+    fn from(v: &[IndexType]) -> Self {
+        Indices::List(v.to_vec())
+    }
+}
+
+impl From<std::ops::Range<IndexType>> for Indices {
+    fn from(r: std::ops::Range<IndexType>) -> Self {
+        Indices::Range(r.start, r.end)
+    }
+}
+
+impl From<std::ops::RangeFull> for Indices {
+    fn from(_: std::ops::RangeFull) -> Self {
+        Indices::All
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_selects_identity() {
+        let ix = Indices::All;
+        assert_eq!(ix.len(5), 5);
+        assert_eq!(ix.select(3), 3);
+        assert!(ix.validate(5).is_ok());
+    }
+
+    #[test]
+    fn list_selects_by_position() {
+        let ix = Indices::List(vec![4, 1, 3]);
+        assert_eq!(ix.len(10), 3);
+        assert_eq!(ix.select(0), 4);
+        assert_eq!(ix.select(2), 3);
+        assert_eq!(ix.position_of(1, 10), Some(1));
+        assert_eq!(ix.position_of(9, 10), None);
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let ix = Indices::Range(2, 5);
+        assert_eq!(ix.len(10), 3);
+        assert_eq!(ix.select(0), 2);
+        assert_eq!(ix.select(2), 4);
+        assert_eq!(ix.position_of(4, 10), Some(2));
+        assert_eq!(ix.position_of(5, 10), None);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds() {
+        assert!(Indices::List(vec![0, 7]).validate(7).is_err());
+        assert!(Indices::Range(0, 8).validate(7).is_err());
+        assert!(Indices::Range(3, 2).validate(7).is_err());
+        assert!(Indices::Range(0, 7).validate(7).is_ok());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Indices::from(2..4), Indices::Range(2, 4));
+        assert_eq!(Indices::from(..), Indices::All);
+        assert_eq!(Indices::from(vec![1, 2]), Indices::List(vec![1, 2]));
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let ix = Indices::List(vec![5, 0]);
+        let pairs: Vec<_> = ix.iter(9).collect();
+        assert_eq!(pairs, vec![(0, 5), (1, 0)]);
+    }
+
+    #[test]
+    fn empty_range() {
+        let ix = Indices::Range(3, 3);
+        assert!(ix.is_empty(10));
+    }
+}

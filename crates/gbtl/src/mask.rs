@@ -1,0 +1,194 @@
+//! Write masks — the `⟨M⟩` of `C⟨M, z⟩ = C ⊙ T`.
+//!
+//! A mask is any container whose stored values, coerced to boolean,
+//! decide which output positions may be written (the paper: "its data
+//! will be coerced to boolean values"). [`NoMask`] allows every
+//! position; [`crate::views::Complement`] inverts a mask (`~levels` in
+//! Fig. 2b).
+
+use crate::index::IndexType;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+
+/// A mask over vector outputs.
+pub trait VectorMask: Sync {
+    /// The dimension the mask covers (`usize::MAX` for [`NoMask`],
+    /// meaning "any").
+    fn mask_size(&self) -> IndexType;
+    /// Whether writing to position `i` is allowed.
+    fn allows(&self, i: IndexType) -> bool;
+    /// Whether this mask allows every position (lets kernels skip the
+    /// masked write path entirely).
+    fn is_all(&self) -> bool {
+        false
+    }
+}
+
+/// A mask over matrix outputs.
+pub trait MatrixMask: Sync {
+    /// `(nrows, ncols)` the mask covers (`(usize::MAX, usize::MAX)` for
+    /// [`NoMask`]).
+    fn mask_shape(&self) -> (IndexType, IndexType);
+    /// Whether writing to position `(i, j)` is allowed.
+    fn allows(&self, i: IndexType, j: IndexType) -> bool;
+    /// Whether this mask allows every position.
+    fn is_all(&self) -> bool {
+        false
+    }
+}
+
+/// The absent mask (GBTL's `NoMask()`, PyGB's `C[None]`): every
+/// position is writable.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NoMask;
+
+impl VectorMask for NoMask {
+    fn mask_size(&self) -> IndexType {
+        IndexType::MAX
+    }
+    #[inline]
+    fn allows(&self, _i: IndexType) -> bool {
+        true
+    }
+    fn is_all(&self) -> bool {
+        true
+    }
+}
+
+impl MatrixMask for NoMask {
+    fn mask_shape(&self) -> (IndexType, IndexType) {
+        (IndexType::MAX, IndexType::MAX)
+    }
+    #[inline]
+    fn allows(&self, _i: IndexType, _j: IndexType) -> bool {
+        true
+    }
+    fn is_all(&self) -> bool {
+        true
+    }
+}
+
+impl<T: Scalar> VectorMask for Vector<T> {
+    fn mask_size(&self) -> IndexType {
+        self.size()
+    }
+    #[inline]
+    fn allows(&self, i: IndexType) -> bool {
+        self.get(i).is_some_and(Scalar::to_bool)
+    }
+}
+
+impl<T: Scalar> MatrixMask for Matrix<T> {
+    fn mask_shape(&self) -> (IndexType, IndexType) {
+        self.shape()
+    }
+    #[inline]
+    fn allows(&self, i: IndexType, j: IndexType) -> bool {
+        self.get(i, j).is_some_and(Scalar::to_bool)
+    }
+}
+
+impl<M: VectorMask + ?Sized> VectorMask for &M {
+    fn mask_size(&self) -> IndexType {
+        (**self).mask_size()
+    }
+    #[inline]
+    fn allows(&self, i: IndexType) -> bool {
+        (**self).allows(i)
+    }
+    fn is_all(&self) -> bool {
+        (**self).is_all()
+    }
+}
+
+impl<M: MatrixMask + ?Sized> MatrixMask for &M {
+    fn mask_shape(&self) -> (IndexType, IndexType) {
+        (**self).mask_shape()
+    }
+    #[inline]
+    fn allows(&self, i: IndexType, j: IndexType) -> bool {
+        (**self).allows(i, j)
+    }
+    fn is_all(&self) -> bool {
+        (**self).is_all()
+    }
+}
+
+/// Validate that a vector mask conforms to an output of dimension `n`.
+pub fn check_vector_mask<M: VectorMask + ?Sized>(mask: &M, n: IndexType) -> crate::Result<()> {
+    let ms = mask.mask_size();
+    if ms != IndexType::MAX && ms != n {
+        return Err(crate::GblasError::mask(format!(
+            "mask size {ms} vs output size {n}"
+        )));
+    }
+    Ok(())
+}
+
+/// Validate that a matrix mask conforms to an output of shape `(r, c)`.
+pub fn check_matrix_mask<M: MatrixMask + ?Sized>(
+    mask: &M,
+    r: IndexType,
+    c: IndexType,
+) -> crate::Result<()> {
+    let (mr, mc) = mask.mask_shape();
+    if (mr != IndexType::MAX && mr != r) || (mc != IndexType::MAX && mc != c) {
+        return Err(crate::GblasError::mask(format!(
+            "mask shape ({mr}, {mc}) vs output shape ({r}, {c})"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::complement;
+
+    #[test]
+    fn no_mask_allows_everything() {
+        assert!(VectorMask::allows(&NoMask, 123456));
+        assert!(MatrixMask::allows(&NoMask, 7, 9));
+        assert!(VectorMask::is_all(&NoMask));
+    }
+
+    #[test]
+    fn vector_values_coerce_to_bool() {
+        let m = Vector::from_pairs(5, [(0usize, 1i32), (2, 0), (4, -3)]).unwrap();
+        assert!(m.allows(0)); // stored nonzero
+        assert!(!m.allows(1)); // not stored
+        assert!(!m.allows(2)); // stored zero → false
+        assert!(m.allows(4)); // negative is truthy
+    }
+
+    #[test]
+    fn matrix_mask() {
+        let m = Matrix::from_triples(2, 2, [(0usize, 0usize, true), (1, 1, false)]).unwrap();
+        assert!(MatrixMask::allows(&m, 0, 0));
+        assert!(!MatrixMask::allows(&m, 0, 1));
+        assert!(!MatrixMask::allows(&m, 1, 1));
+    }
+
+    #[test]
+    fn complement_inverts() {
+        let m = Vector::from_pairs(3, [(1usize, true)]).unwrap();
+        let c = complement(&m);
+        assert!(VectorMask::allows(&c, 0));
+        assert!(!VectorMask::allows(&c, 1));
+        assert!(VectorMask::allows(&c, 2));
+    }
+
+    #[test]
+    fn shape_checks() {
+        let m = Vector::<bool>::new(4);
+        assert!(check_vector_mask(&m, 4).is_ok());
+        assert!(check_vector_mask(&m, 5).is_err());
+        assert!(check_vector_mask(&NoMask, 5).is_ok());
+
+        let mm = Matrix::<bool>::new(2, 3);
+        assert!(check_matrix_mask(&mm, 2, 3).is_ok());
+        assert!(check_matrix_mask(&mm, 3, 2).is_err());
+        assert!(check_matrix_mask(&NoMask, 9, 9).is_ok());
+    }
+}

@@ -1,0 +1,514 @@
+//! Sparse matrix container (GBTL's `GraphBLAS::Matrix<T>`), stored in
+//! compressed sparse row (CSR) form.
+//!
+//! CSR is the storage GBTL's sequential backend uses for row-major
+//! traversal; all kernels in [`crate::operations`] iterate rows. A
+//! transposed operand is either handled by a specialized kernel or
+//! materialized with [`Matrix::transpose_owned`] (a counting sort,
+//! `O(nnz + n)`), mirroring GBTL's handling of `TransposeView`.
+
+use crate::error::{GblasError, Result};
+use crate::index::IndexType;
+use crate::scalar::Scalar;
+
+/// A sparse `nrows × ncols` matrix in CSR format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix<T> {
+    nrows: IndexType,
+    ncols: IndexType,
+    /// `row_ptr[i]..row_ptr[i+1]` is the slice of row `i` in
+    /// `col_idx` / `values`. Length `nrows + 1`.
+    row_ptr: Vec<IndexType>,
+    col_idx: Vec<IndexType>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// An empty matrix of the given shape.
+    pub fn new(nrows: IndexType, ncols: IndexType) -> Self {
+        Matrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build from `(row, col, value)` triples. Triples may be unordered;
+    /// duplicates are an error (use [`Matrix::from_triples_dedup_with`]
+    /// to combine them).
+    pub fn from_triples<I>(nrows: IndexType, ncols: IndexType, triples: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (IndexType, IndexType, T)>,
+    {
+        Self::build(nrows, ncols, triples, None::<fn(T, T) -> T>)
+    }
+
+    /// Build from triples, combining duplicate coordinates with `dup`.
+    pub fn from_triples_dedup_with<I, F>(
+        nrows: IndexType,
+        ncols: IndexType,
+        triples: I,
+        dup: F,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = (IndexType, IndexType, T)>,
+        F: FnMut(T, T) -> T,
+    {
+        Self::build(nrows, ncols, triples, Some(dup))
+    }
+
+    fn build<I, F>(
+        nrows: IndexType,
+        ncols: IndexType,
+        triples: I,
+        mut dup: Option<F>,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = (IndexType, IndexType, T)>,
+        F: FnMut(T, T) -> T,
+    {
+        let mut entries: Vec<(IndexType, IndexType, T)> = triples.into_iter().collect();
+        for &(r, c, _) in &entries {
+            if r >= nrows {
+                return Err(GblasError::IndexOutOfBounds {
+                    index: r,
+                    bound: nrows,
+                });
+            }
+            if c >= ncols {
+                return Err(GblasError::IndexOutOfBounds {
+                    index: c,
+                    bound: ncols,
+                });
+            }
+        }
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = vec![0; nrows + 1];
+        let mut col_idx: Vec<IndexType> = Vec::with_capacity(entries.len());
+        let mut values: Vec<T> = Vec::with_capacity(entries.len());
+        let mut last: Option<(IndexType, IndexType)> = None;
+        for (r, c, v) in entries {
+            if last == Some((r, c)) {
+                match dup.as_mut() {
+                    Some(f) => {
+                        let lv = values.last_mut().expect("values track entries");
+                        *lv = f(*lv, v);
+                        continue;
+                    }
+                    None => {
+                        return Err(GblasError::invalid(format!("duplicate entry ({r}, {c})")))
+                    }
+                }
+            }
+            last = Some((r, c));
+            row_ptr[r + 1] += 1;
+            col_idx.push(c);
+            values.push(v);
+        }
+        for i in 0..nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Ok(Matrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Build from dense row data, storing *every* element (PyGB's
+    /// `gb.Matrix([[1, 2], [3, 4]])` semantics). All rows must have the
+    /// same length.
+    pub fn from_dense(rows: &[Vec<T>]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(GblasError::invalid(format!(
+                    "ragged dense data: row {i} has {} columns, expected {ncols}",
+                    r.len()
+                )));
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::with_capacity(nrows * ncols);
+        let mut values = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            col_idx.extend(0..ncols);
+            values.extend_from_slice(r);
+            row_ptr.push(col_idx.len());
+        }
+        Ok(Matrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Internal: assemble from per-row sorted `(col, value)` lists.
+    pub(crate) fn from_rows(
+        nrows: IndexType,
+        ncols: IndexType,
+        rows: Vec<Vec<(IndexType, T)>>,
+    ) -> Self {
+        debug_assert_eq!(rows.len(), nrows);
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for row in rows {
+            debug_assert!(row.windows(2).all(|w| w[0].0 < w[1].0));
+            for (c, v) in row {
+                debug_assert!(c < ncols);
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Matrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> IndexType {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> IndexType {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (IndexType, IndexType) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored elements.
+    #[inline]
+    pub fn nvals(&self) -> IndexType {
+        self.col_idx.len()
+    }
+
+    /// The stored value at `(i, j)`, if present.
+    pub fn get(&self, i: IndexType, j: IndexType) -> Option<T> {
+        if i >= self.nrows {
+            return None;
+        }
+        let (cols, vals) = self.row(i);
+        cols.binary_search(&j).ok().map(|p| vals[p])
+    }
+
+    /// Whether `(i, j)` holds a stored element.
+    pub fn contains(&self, i: IndexType, j: IndexType) -> bool {
+        self.get(i, j).is_some()
+    }
+
+    /// Store `v` at `(i, j)`, overwriting any existing element.
+    /// `O(row length + tail shift)` — fine for construction, not kernels.
+    pub fn set(&mut self, i: IndexType, j: IndexType, v: T) -> Result<()> {
+        if i >= self.nrows {
+            return Err(GblasError::IndexOutOfBounds {
+                index: i,
+                bound: self.nrows,
+            });
+        }
+        if j >= self.ncols {
+            return Err(GblasError::IndexOutOfBounds {
+                index: j,
+                bound: self.ncols,
+            });
+        }
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(p) => self.values[lo + p] = v,
+            Err(p) => {
+                self.col_idx.insert(lo + p, j);
+                self.values.insert(lo + p, v);
+                for rp in &mut self.row_ptr[i + 1..] {
+                    *rp += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove the stored element at `(i, j)` (no-op if absent).
+    pub fn remove(&mut self, i: IndexType, j: IndexType) {
+        if i >= self.nrows {
+            return;
+        }
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        if let Ok(p) = self.col_idx[lo..hi].binary_search(&j) {
+            self.col_idx.remove(lo + p);
+            self.values.remove(lo + p);
+            for rp in &mut self.row_ptr[i + 1..] {
+                *rp -= 1;
+            }
+        }
+    }
+
+    /// Remove every stored element, keeping the shape.
+    pub fn clear(&mut self) {
+        self.row_ptr.iter_mut().for_each(|p| *p = 0);
+        self.col_idx.clear();
+        self.values.clear();
+    }
+
+    /// The sorted column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: IndexType) -> (&[IndexType], &[T]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored elements in row `i`.
+    #[inline]
+    pub fn row_nvals(&self, i: IndexType) -> IndexType {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Iterate over stored `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (IndexType, IndexType, T)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter()
+                .copied()
+                .zip(vals.iter().copied())
+                .map(move |(c, v)| (i, c, v))
+        })
+    }
+
+    /// Copy out the stored triples (PyGB's `extractTuples`).
+    pub fn extract_triples(&self) -> Vec<(IndexType, IndexType, T)> {
+        self.iter().collect()
+    }
+
+    /// Materialize the transpose as a new CSR matrix (counting sort,
+    /// `O(nnz + nrows + ncols)`).
+    pub fn transpose_owned(&self) -> Matrix<T> {
+        let mut row_ptr = vec![0; self.ncols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0; self.nvals()];
+        let mut values = vec![T::zero(); self.nvals()];
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let p = cursor[c];
+                cursor[c] += 1;
+                col_idx[p] = i;
+                values[p] = v;
+            }
+        }
+        Matrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Densify into row-major `Vec<Vec<T>>` with `fill` at unstored
+    /// positions.
+    pub fn to_dense(&self, fill: T) -> Vec<Vec<T>> {
+        let mut out = vec![vec![fill; self.ncols]; self.nrows];
+        for (i, j, v) in self.iter() {
+            out[i][j] = v;
+        }
+        out
+    }
+
+    /// Element-wise cast into another scalar domain.
+    pub fn cast<U: Scalar>(&self) -> Matrix<U> {
+        Matrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.iter().map(|&v| U::cast_from(v)).collect(),
+        }
+    }
+
+    /// Replace contents with another matrix's (same shape required).
+    pub fn assign_from(&mut self, other: &Matrix<T>) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(GblasError::dim(format!(
+                "assign_from: {:?} vs {:?}",
+                self.shape(),
+                other.shape()
+            )));
+        }
+        self.row_ptr.clone_from(&other.row_ptr);
+        self.col_idx.clone_from(&other.col_idx);
+        self.values.clone_from(&other.values);
+        Ok(())
+    }
+
+    /// Check structural invariants (for tests and property checks).
+    pub fn is_valid(&self) -> bool {
+        if self.row_ptr.len() != self.nrows + 1 {
+            return false;
+        }
+        if *self.row_ptr.first().unwrap_or(&1) != 0 {
+            return false;
+        }
+        if self.row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        if *self.row_ptr.last().unwrap() != self.col_idx.len() {
+            return false;
+        }
+        if self.col_idx.len() != self.values.len() {
+            return false;
+        }
+        for i in 0..self.nrows {
+            let (cols, _) = self.row(i);
+            if cols.windows(2).any(|w| w[0] >= w[1]) {
+                return false;
+            }
+            if cols.last().is_some_and(|&c| c >= self.ncols) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Matrix<i32> {
+        Matrix::from_triples(3, 4, [(0usize, 1usize, 10), (2, 0, 5), (0, 3, 7), (1, 2, -2)])
+            .unwrap()
+    }
+
+    #[test]
+    fn from_triples_sorts_rows_and_cols() {
+        let m = fixture();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nvals(), 4);
+        assert_eq!(m.row(0), (&[1usize, 3][..], &[10, 7][..]));
+        assert_eq!(m.row(1), (&[2usize][..], &[-2][..]));
+        assert!(m.is_valid());
+    }
+
+    #[test]
+    fn duplicates_rejected_or_combined() {
+        let dup = [(0usize, 0usize, 1i32), (0, 0, 2)];
+        assert!(Matrix::from_triples(2, 2, dup).is_err());
+        let m = Matrix::from_triples_dedup_with(2, 2, dup, |a, b| a + b).unwrap();
+        assert_eq!(m.get(0, 0), Some(3));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        assert!(Matrix::from_triples(2, 2, [(2usize, 0usize, 1i32)]).is_err());
+        assert!(Matrix::from_triples(2, 2, [(0usize, 2usize, 1i32)]).is_err());
+    }
+
+    #[test]
+    fn from_dense_stores_everything() {
+        let m = Matrix::from_dense(&[vec![1, 2], vec![0, 4]]).unwrap();
+        assert_eq!(m.nvals(), 4); // explicit zero stored
+        assert_eq!(m.get(1, 0), Some(0));
+        assert!(Matrix::from_dense(&[vec![1, 2], vec![3]]).is_err());
+    }
+
+    #[test]
+    fn get_set_remove() {
+        let mut m = fixture();
+        assert_eq!(m.get(0, 1), Some(10));
+        assert_eq!(m.get(0, 0), None);
+        m.set(0, 0, 99).unwrap();
+        assert_eq!(m.get(0, 0), Some(99));
+        assert_eq!(m.nvals(), 5);
+        m.set(0, 0, 1).unwrap(); // overwrite, no growth
+        assert_eq!(m.nvals(), 5);
+        m.remove(0, 0);
+        assert_eq!(m.get(0, 0), None);
+        assert_eq!(m.nvals(), 4);
+        assert!(m.is_valid());
+        assert!(m.set(3, 0, 1).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = fixture();
+        let t = m.transpose_owned();
+        assert_eq!(t.shape(), (4, 3));
+        assert!(t.is_valid());
+        for (i, j, v) in m.iter() {
+            assert_eq!(t.get(j, i), Some(v));
+        }
+        assert_eq!(t.transpose_owned(), m);
+    }
+
+    #[test]
+    fn iter_row_major() {
+        let m = fixture();
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(
+            triples,
+            vec![(0, 1, 10), (0, 3, 7), (1, 2, -2), (2, 0, 5)]
+        );
+    }
+
+    #[test]
+    fn to_dense() {
+        let m = Matrix::from_triples(2, 2, [(0usize, 1usize, 3i32)]).unwrap();
+        assert_eq!(m.to_dense(0), vec![vec![0, 3], vec![0, 0]]);
+    }
+
+    #[test]
+    fn cast() {
+        let m = Matrix::from_triples(1, 2, [(0usize, 0usize, 2.9f64), (0, 1, 0.0)]).unwrap();
+        let i: Matrix<i64> = m.cast();
+        assert_eq!(i.get(0, 0), Some(2));
+        let b: Matrix<bool> = m.cast();
+        assert_eq!(b.get(0, 1), Some(false)); // stored false, still stored
+        assert_eq!(b.nvals(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_shape() {
+        let mut m = fixture();
+        m.clear();
+        assert_eq!(m.nvals(), 0);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.is_valid());
+    }
+
+    #[test]
+    fn empty_matrix_valid() {
+        let m = Matrix::<f32>::new(0, 0);
+        assert!(m.is_valid());
+        assert_eq!(m.nvals(), 0);
+    }
+}

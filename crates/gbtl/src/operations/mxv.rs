@@ -1,0 +1,358 @@
+//! Matrix-vector and vector-matrix multiply over a semiring:
+//! `w⟨m, z⟩ = w ⊙ (A ⊕.⊗ u)` and `w⟨m, z⟩ = w ⊙ (uᵀ ⊕.⊗ A)`.
+//!
+//! Two kernel shapes, chosen by operand orientation:
+//!
+//! * **gather** (`A·u`): `u` is scattered into a dense buffer once, then
+//!   each output row is a `O(nnz(row))` gather-dot — row-parallel.
+//! * **scatter** (`Aᵀ·u`): iterate the stored entries of `u` and scatter
+//!   each matrix row into a sparse accumulator — the natural kernel for
+//!   BFS frontiers (`graphᵀ ⊕.⊗ frontier`, Fig. 2) because its cost is
+//!   proportional to the frontier, not the whole graph.
+
+use crate::error::{GblasError, Result};
+use crate::index::IndexType;
+use crate::mask::{check_vector_mask, VectorMask};
+use crate::ops::accum::Accum;
+use crate::ops::Semiring;
+use crate::parallel::row_map;
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+use crate::views::{MatrixArg, Replace};
+use crate::workspace::{DenseGather, Spa};
+use crate::write::write_vector;
+
+/// `w⟨m, z⟩ = w ⊙ (A ⊕.⊗ u)` — GraphBLAS `mxv`.
+pub fn mxv<'a, T, Mk, A, S>(
+    w: &mut Vector<T>,
+    mask: &Mk,
+    accum: A,
+    semiring: &S,
+    a: impl Into<MatrixArg<'a, T>>,
+    u: &Vector<T>,
+    replace: Replace,
+) -> Result<()>
+where
+    T: Scalar,
+    Mk: VectorMask + ?Sized,
+    A: Accum<T>,
+    S: Semiring<T>,
+{
+    let a = a.into();
+    if a.ncols() != u.size() {
+        return Err(GblasError::dim(format!(
+            "mxv: A is {}x{}, u has size {}",
+            a.nrows(),
+            a.ncols(),
+            u.size()
+        )));
+    }
+    if w.size() != a.nrows() {
+        return Err(GblasError::dim(format!(
+            "mxv: w has size {}, expected {}",
+            w.size(),
+            a.nrows()
+        )));
+    }
+    check_vector_mask(mask, w.size())?;
+
+    let t = match a {
+        MatrixArg::Plain(m) => spmv_gather(semiring, m, u),
+        MatrixArg::Transposed(m) => spmv_scatter(semiring, m, u),
+    };
+    write_vector(w, mask, &accum, t, replace);
+    Ok(())
+}
+
+/// `w⟨m, z⟩ = w ⊙ (uᵀ ⊕.⊗ A)` — GraphBLAS `vxm`. Equivalent to
+/// `mxv` with the matrix transposed: `u·A = Aᵀ·u`.
+pub fn vxm<'a, T, Mk, A, S>(
+    w: &mut Vector<T>,
+    mask: &Mk,
+    accum: A,
+    semiring: &S,
+    u: &Vector<T>,
+    a: impl Into<MatrixArg<'a, T>>,
+    replace: Replace,
+) -> Result<()>
+where
+    T: Scalar,
+    Mk: VectorMask + ?Sized,
+    A: Accum<T>,
+    S: Semiring<T>,
+{
+    mxv(w, mask, accum, semiring, a.into().flip(), u, replace)
+}
+
+/// Gather kernel: `t_i = ⊕_j A(i,j) ⊗ u(j)` with `u` densified.
+fn spmv_gather<T: Scalar, S: Semiring<T>>(
+    semiring: &S,
+    a: &crate::matrix::Matrix<T>,
+    u: &Vector<T>,
+) -> Vector<T> {
+    let gathered = DenseGather::from_vector(u);
+    let sr = *semiring;
+    let entries: Vec<Option<T>> = row_map(
+        a.nrows(),
+        || (),
+        move |_, i| {
+            let (cols, vals) = a.row(i);
+            let mut acc: Option<T> = None;
+            for (&j, &av) in cols.iter().zip(vals) {
+                if let Some(uv) = gathered.get(j) {
+                    let prod = sr.mult(av, uv);
+                    acc = Some(match acc {
+                        Some(s) => sr.add(s, prod),
+                        None => prod,
+                    });
+                }
+            }
+            acc
+        },
+    );
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for (i, e) in entries.into_iter().enumerate() {
+        if let Some(v) = e {
+            indices.push(i);
+            values.push(v);
+        }
+    }
+    Vector::from_sorted_entries(a.nrows(), indices, values)
+}
+
+/// Scatter kernel: `t = Aᵀ·u` by scattering row `i` of `A` for each
+/// stored `u(i)`.
+fn spmv_scatter<T: Scalar, S: Semiring<T>>(
+    semiring: &S,
+    a: &crate::matrix::Matrix<T>,
+    u: &Vector<T>,
+) -> Vector<T> {
+    let sr = *semiring;
+    let mut spa = Spa::<T>::new(a.ncols());
+    for (i, uv) in u.iter() {
+        let (cols, vals) = a.row(i);
+        for (&j, &av) in cols.iter().zip(vals) {
+            spa.scatter(j, sr.mult(av, uv), |x, y| sr.add(x, y));
+        }
+    }
+    let entries = spa.drain_sorted();
+    let (indices, values): (Vec<IndexType>, Vec<T>) = entries.into_iter().unzip();
+    Vector::from_sorted_entries(a.ncols(), indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::NoMask;
+    use crate::matrix::Matrix;
+    use crate::ops::accum::{Accumulate, NoAccumulate};
+    use crate::ops::binary::Min;
+    use crate::ops::semiring::{ArithmeticSemiring, LogicalSemiring, MinPlusSemiring};
+    use crate::views::{complement, transpose, MERGE, REPLACE};
+
+    fn graph() -> Matrix<bool> {
+        // Fig. 1's 7-vertex digraph (0-based).
+        Matrix::from_triples(
+            7,
+            7,
+            [
+                (0usize, 1usize, true),
+                (0, 3, true),
+                (1, 4, true),
+                (1, 6, true),
+                (2, 5, true),
+                (3, 0, true),
+                (3, 2, true),
+                (4, 5, true),
+                (5, 2, true),
+                (6, 2, true),
+                (6, 3, true),
+                (6, 4, true),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_bfs_ply() {
+        let g = graph();
+        let frontier = Vector::from_pairs(7, [(3usize, true)]).unwrap();
+        let mut next = Vector::<bool>::new(7);
+        mxv(
+            &mut next,
+            &NoMask,
+            NoAccumulate,
+            &LogicalSemiring::new(),
+            transpose(&g),
+            &frontier,
+            REPLACE,
+        )
+        .unwrap();
+        // Vertex 3 (paper's "4") reaches 0 and 2 (paper's "1" and "3").
+        assert_eq!(next.extract_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn gather_and_scatter_agree() {
+        let m = Matrix::from_triples(
+            4,
+            4,
+            [
+                (0usize, 1usize, 2i64),
+                (1, 2, 3),
+                (2, 0, 4),
+                (2, 3, 5),
+                (3, 3, 6),
+            ],
+        )
+        .unwrap();
+        let u = Vector::from_pairs(4, [(0usize, 1i64), (2, 2), (3, 3)]).unwrap();
+
+        // A·u via gather vs via scatter on the materialized transpose.
+        let mut w1 = Vector::<i64>::new(4);
+        mxv(
+            &mut w1,
+            &NoMask,
+            NoAccumulate,
+            &ArithmeticSemiring::new(),
+            &m,
+            &u,
+            MERGE,
+        )
+        .unwrap();
+        let mt = m.transpose_owned();
+        let mut w2 = Vector::<i64>::new(4);
+        mxv(
+            &mut w2,
+            &NoMask,
+            NoAccumulate,
+            &ArithmeticSemiring::new(),
+            transpose(&mt),
+            &u,
+            MERGE,
+        )
+        .unwrap();
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn vxm_is_transposed_mxv() {
+        let m = Matrix::from_triples(3, 3, [(0usize, 1usize, 2.0f64), (2, 1, 3.0)]).unwrap();
+        let u = Vector::from_pairs(3, [(0usize, 1.0f64), (2, 10.0)]).unwrap();
+        let mut w1 = Vector::<f64>::new(3);
+        vxm(
+            &mut w1,
+            &NoMask,
+            NoAccumulate,
+            &ArithmeticSemiring::new(),
+            &u,
+            &m,
+            MERGE,
+        )
+        .unwrap();
+        // u·A: w_1 = 1*2 + 10*3 = 32.
+        assert_eq!(w1.get(1), Some(32.0));
+        assert_eq!(w1.nvals(), 1);
+    }
+
+    #[test]
+    fn min_plus_relaxation_with_min_accum() {
+        // One SSSP step: path ⟨min⟩= Aᵀ ⊕.⊗ path over MinPlus (Fig. 4).
+        let inf = f64::INFINITY;
+        let g = Matrix::from_triples(
+            3,
+            3,
+            [(0usize, 1usize, 2.0f64), (1, 2, 3.0), (0, 2, 10.0)],
+        )
+        .unwrap();
+        let mut path = Vector::from_pairs(3, [(0usize, 0.0f64)]).unwrap();
+        for _ in 0..3 {
+            let snapshot = path.clone();
+            mxv(
+                &mut path,
+                &NoMask,
+                Accumulate(Min::<f64>::new()),
+                &MinPlusSemiring::new(),
+                transpose(&g),
+                &snapshot,
+                MERGE,
+            )
+            .unwrap();
+        }
+        assert_eq!(path.get(0), Some(0.0));
+        assert_eq!(path.get(1), Some(2.0));
+        assert_eq!(path.get(2), Some(5.0)); // via vertex 1, not the 10.0 edge
+        assert_ne!(path.get(2), Some(inf));
+    }
+
+    #[test]
+    fn masked_complement_replace_bfs_step() {
+        // frontier⟨¬levels, replace⟩ = graphᵀ ⊕.⊗ frontier (Fig. 2).
+        let g = graph().cast::<u64>();
+        let levels = Vector::from_pairs(7, [(3usize, 1u64)]).unwrap();
+        let frontier = Vector::from_pairs(7, [(3usize, 1u64)]).unwrap();
+        let mut next = frontier.clone();
+        let snapshot = frontier.clone();
+        mxv(
+            &mut next,
+            &complement(&levels),
+            NoAccumulate,
+            &LogicalSemiring::new(),
+            transpose(&g),
+            &snapshot,
+            REPLACE,
+        )
+        .unwrap();
+        // 3 → {0, 2}; neither is in levels, both kept; old frontier
+        // entry at 3 cleared by replace.
+        assert_eq!(next.extract_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let m = Matrix::<i32>::new(3, 4);
+        let u = Vector::<i32>::new(3); // wrong: needs 4
+        let mut w = Vector::<i32>::new(3);
+        assert!(mxv(
+            &mut w,
+            &NoMask,
+            NoAccumulate,
+            &ArithmeticSemiring::new(),
+            &m,
+            &u,
+            MERGE
+        )
+        .is_err());
+        let u_ok = Vector::<i32>::new(4);
+        let mut w_bad = Vector::<i32>::new(2);
+        assert!(mxv(
+            &mut w_bad,
+            &NoMask,
+            NoAccumulate,
+            &ArithmeticSemiring::new(),
+            &m,
+            &u_ok,
+            MERGE
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_result() {
+        let m = Matrix::<f32>::new(5, 5);
+        let u = Vector::from_pairs(5, [(0usize, 1.0f32)]).unwrap();
+        let mut w = Vector::<f32>::new(5);
+        mxv(
+            &mut w,
+            &NoMask,
+            NoAccumulate,
+            &ArithmeticSemiring::new(),
+            &m,
+            &u,
+            MERGE,
+        )
+        .unwrap();
+        assert_eq!(w.nvals(), 0);
+    }
+}

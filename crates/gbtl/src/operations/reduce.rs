@@ -1,0 +1,186 @@
+//! `reduce`: fold stored elements with a monoid — row-wise to a vector
+//! (`w⟨m, z⟩ = w ⊙ [⊕ⱼ A(:, j)]`) or completely to a scalar
+//! (`s = s ⊙ [⊕ᵢⱼ A(i, j)]`, `s = s ⊙ [⊕ᵢ u(i)]`) (Table I).
+//!
+//! Scalar reductions fold *stored entries only*: an empty container
+//! reduces to the monoid identity, and a row with no entries produces no
+//! output entry in the vector form.
+
+use crate::error::{GblasError, Result};
+use crate::mask::{check_vector_mask, VectorMask};
+use crate::ops::accum::Accum;
+use crate::ops::Monoid;
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+use crate::views::{MatrixArg, Replace};
+use crate::write::write_vector;
+
+/// `w⟨m, z⟩ = w ⊙ [⊕ⱼ A(:, j)]` — reduce each (logical) row of `A`.
+pub fn reduce_matrix_to_vector<'a, T, Mk, A, M>(
+    w: &mut Vector<T>,
+    mask: &Mk,
+    accum: A,
+    monoid: &M,
+    a: impl Into<MatrixArg<'a, T>>,
+    replace: Replace,
+) -> Result<()>
+where
+    T: Scalar,
+    Mk: VectorMask + ?Sized,
+    A: Accum<T>,
+    M: Monoid<T>,
+{
+    let a = a.into();
+    if w.size() != a.nrows() {
+        return Err(GblasError::dim(format!(
+            "reduce: w has size {}, A has {} rows",
+            w.size(),
+            a.nrows()
+        )));
+    }
+    check_vector_mask(mask, w.size())?;
+    let am = a.materialize();
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..am.nrows() {
+        let (_, vals) = am.row(i);
+        if let Some((&first, rest)) = vals.split_first() {
+            let folded = rest.iter().fold(first, |acc, &v| monoid.apply(acc, v));
+            indices.push(i);
+            values.push(folded);
+        }
+    }
+    let t = Vector::from_sorted_entries(am.nrows(), indices, values);
+    write_vector(w, mask, &accum, t, replace);
+    Ok(())
+}
+
+/// `s = [⊕ᵢⱼ A(i, j)]` — reduce a whole matrix to a scalar. Stored
+/// entries only; the identity when the matrix is empty.
+pub fn reduce_matrix_scalar<'a, T, M>(monoid: &M, a: impl Into<MatrixArg<'a, T>>) -> T
+where
+    T: Scalar,
+    M: Monoid<T>,
+{
+    // Transposition cannot change a full reduction; use storage order.
+    let inner = a.into().inner();
+    inner
+        .iter()
+        .fold(monoid.identity(), |acc, (_, _, v)| monoid.apply(acc, v))
+}
+
+/// `s = [⊕ᵢ u(i)]` — reduce a vector to a scalar.
+pub fn reduce_vector_scalar<T, M>(monoid: &M, u: &Vector<T>) -> T
+where
+    T: Scalar,
+    M: Monoid<T>,
+{
+    u.values()
+        .iter()
+        .fold(monoid.identity(), |acc, &v| monoid.apply(acc, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::NoMask;
+    use crate::matrix::Matrix;
+    use crate::ops::accum::{Accumulate, NoAccumulate};
+    use crate::ops::binary::Plus;
+    use crate::ops::monoid::{MaxMonoid, MinMonoid, PlusMonoid};
+    use crate::views::{transpose, MERGE};
+
+    fn m() -> Matrix<i32> {
+        Matrix::from_triples(
+            3,
+            3,
+            [
+                (0usize, 0usize, 1i32),
+                (0, 2, 2),
+                (2, 0, 3),
+                (2, 1, 4),
+                (2, 2, 5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn row_reduce() {
+        let mut w = Vector::<i32>::new(3);
+        reduce_matrix_to_vector(&mut w, &NoMask, NoAccumulate, &PlusMonoid::new(), &m(), MERGE)
+            .unwrap();
+        assert_eq!(w.get(0), Some(3));
+        assert_eq!(w.get(1), None); // empty row → no entry
+        assert_eq!(w.get(2), Some(12));
+    }
+
+    #[test]
+    fn column_reduce_via_transpose() {
+        let mm = m();
+        let mut w = Vector::<i32>::new(3);
+        reduce_matrix_to_vector(
+            &mut w,
+            &NoMask,
+            NoAccumulate,
+            &PlusMonoid::new(),
+            transpose(&mm),
+            MERGE,
+        )
+        .unwrap();
+        assert_eq!(w.get(0), Some(4)); // column 0: 1 + 3
+        assert_eq!(w.get(1), Some(4));
+        assert_eq!(w.get(2), Some(7));
+    }
+
+    #[test]
+    fn matrix_scalar_reduce() {
+        assert_eq!(reduce_matrix_scalar(&PlusMonoid::new(), &m()), 15);
+        assert_eq!(reduce_matrix_scalar(&MaxMonoid::new(), &m()), 5);
+        assert_eq!(reduce_matrix_scalar(&MinMonoid::new(), &m()), 1);
+        let empty = Matrix::<i32>::new(2, 2);
+        assert_eq!(reduce_matrix_scalar(&PlusMonoid::new(), &empty), 0);
+        assert_eq!(
+            reduce_matrix_scalar(&MinMonoid::new(), &empty),
+            i32::MAX // identity
+        );
+    }
+
+    #[test]
+    fn vector_scalar_reduce() {
+        let u = Vector::from_pairs(4, [(0usize, 1.5f64), (3, 2.5)]).unwrap();
+        assert_eq!(reduce_vector_scalar(&PlusMonoid::new(), &u), 4.0);
+        let empty = Vector::<f64>::new(4);
+        assert_eq!(reduce_vector_scalar(&PlusMonoid::new(), &empty), 0.0);
+    }
+
+    #[test]
+    fn reduce_with_accumulate() {
+        let mut w = Vector::from_pairs(3, [(0usize, 100i32)]).unwrap();
+        reduce_matrix_to_vector(
+            &mut w,
+            &NoMask,
+            Accumulate(Plus::<i32>::new()),
+            &PlusMonoid::new(),
+            &m(),
+            MERGE,
+        )
+        .unwrap();
+        assert_eq!(w.get(0), Some(103));
+        assert_eq!(w.get(2), Some(12));
+    }
+
+    #[test]
+    fn wrong_output_size() {
+        let mut w = Vector::<i32>::new(5);
+        assert!(reduce_matrix_to_vector(
+            &mut w,
+            &NoMask,
+            NoAccumulate,
+            &PlusMonoid::new(),
+            &m(),
+            MERGE
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! The `transpose` *operation* — Table I's `C[M, z] = A.T`.
+//!
+//! Distinct from the [`crate::views::transpose`] argument view: this
+//! writes `Aᵀ` into an output container under the full
+//! mask/accumulate/replace semantics.
+
+use crate::error::{GblasError, Result};
+use crate::mask::{check_matrix_mask, MatrixMask};
+use crate::matrix::Matrix;
+use crate::ops::accum::Accum;
+use crate::scalar::Scalar;
+use crate::views::{MatrixArg, Replace};
+use crate::write::write_matrix;
+
+/// `C⟨M, z⟩ = C ⊙ Aᵀ`.
+pub fn transpose_into<'a, T, Mk, A>(
+    c: &mut Matrix<T>,
+    mask: &Mk,
+    accum: A,
+    a: impl Into<MatrixArg<'a, T>>,
+    replace: Replace,
+) -> Result<()>
+where
+    T: Scalar,
+    Mk: MatrixMask + ?Sized,
+    A: Accum<T>,
+{
+    let a = a.into().flip(); // C = Aᵀ ⇔ materialize the flipped view
+    if c.shape() != (a.nrows(), a.ncols()) {
+        return Err(GblasError::dim(format!(
+            "transpose: C is {:?}, Aᵀ is ({}, {})",
+            c.shape(),
+            a.nrows(),
+            a.ncols()
+        )));
+    }
+    check_matrix_mask(mask, c.nrows(), c.ncols())?;
+    let t = a.materialize().into_owned();
+    write_matrix(c, mask, &accum, t, replace);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::NoMask;
+    use crate::ops::accum::{Accumulate, NoAccumulate};
+    use crate::ops::binary::Plus;
+    use crate::views::{transpose, MERGE};
+
+    #[test]
+    fn plain_transpose() {
+        let a = Matrix::from_triples(2, 3, [(0usize, 2usize, 7i32), (1, 0, 3)]).unwrap();
+        let mut c = Matrix::<i32>::new(3, 2);
+        transpose_into(&mut c, &NoMask, NoAccumulate, &a, MERGE).unwrap();
+        assert_eq!(c.get(2, 0), Some(7));
+        assert_eq!(c.get(0, 1), Some(3));
+        assert_eq!(c.nvals(), 2);
+    }
+
+    #[test]
+    fn transpose_of_transposed_view_is_identity_copy() {
+        let a = Matrix::from_triples(2, 2, [(0usize, 1usize, 5i32)]).unwrap();
+        let mut c = Matrix::<i32>::new(2, 2);
+        transpose_into(&mut c, &NoMask, NoAccumulate, transpose(&a), MERGE).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn accumulated_transpose() {
+        let a = Matrix::from_triples(2, 2, [(0usize, 1usize, 5i32)]).unwrap();
+        let mut c = Matrix::from_triples(2, 2, [(1usize, 0usize, 1i32)]).unwrap();
+        transpose_into(&mut c, &NoMask, Accumulate(Plus::<i32>::new()), &a, MERGE).unwrap();
+        assert_eq!(c.get(1, 0), Some(6)); // 1 + 5
+    }
+
+    #[test]
+    fn shape_mismatch() {
+        let a = Matrix::<i32>::new(2, 3);
+        let mut c = Matrix::<i32>::new(2, 3); // should be 3x2
+        assert!(transpose_into(&mut c, &NoMask, NoAccumulate, &a, MERGE).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! The accumulate argument `⊙` of every GraphBLAS operation.
+//!
+//! In `C⟨M, z⟩ = C ⊙ T`, an active accumulator merges the freshly
+//! computed `T` into the existing contents of `C`; `NoAccumulate` means
+//! `T` simply replaces the masked region. GBTL passes `NoAccumulate()`
+//! or a binary functor; we mirror that with the [`Accum`] trait
+//! implemented by [`NoAccumulate`] and [`Accumulate`].
+
+use super::BinaryOp;
+
+/// The accumulate parameter: either inactive or a binary operator.
+pub trait Accum<T>: Copy + Send + Sync {
+    /// Whether an accumulator is present (selects merge vs overwrite
+    /// behaviour in the write step).
+    fn is_active(&self) -> bool;
+    /// Combine an existing output value `c` with a computed value `t`.
+    /// Must only be called when [`Accum::is_active`] is true.
+    fn accum(&self, c: T, t: T) -> T;
+}
+
+/// No accumulation: the computed result overwrites the masked region
+/// (GBTL's `NoAccumulate()`).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NoAccumulate;
+
+impl<T> Accum<T> for NoAccumulate {
+    #[inline]
+    fn is_active(&self) -> bool {
+        false
+    }
+    #[inline]
+    fn accum(&self, _c: T, t: T) -> T {
+        t
+    }
+}
+
+/// Accumulate with the wrapped binary operator (GBTL passes the functor
+/// directly; the wrapper exists so `NoAccumulate` and operators can
+/// implement the same trait without coherence conflicts).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Accumulate<Op>(pub Op);
+
+impl<T, Op: BinaryOp<T>> Accum<T> for Accumulate<Op> {
+    #[inline]
+    fn is_active(&self) -> bool {
+        true
+    }
+    #[inline]
+    fn accum(&self, c: T, t: T) -> T {
+        self.0.apply(c, t)
+    }
+}
+
+/// A runtime-optional accumulator carrying a kind-dispatched operator —
+/// what JIT-instantiated kernels use, mirroring the paper's
+/// `-DACCUM_BINOP=...` preprocessor parameter being present or absent.
+#[derive(Copy, Clone, Debug)]
+pub struct MaybeAccum(pub Option<super::kind::BinaryOpKind>);
+
+impl<T: crate::Scalar> Accum<T> for MaybeAccum {
+    #[inline]
+    fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+    #[inline]
+    fn accum(&self, c: T, t: T) -> T {
+        match self.0 {
+            Some(k) => k.apply(c, t),
+            None => t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::binary::{Min, Plus};
+    use super::super::kind::BinaryOpKind;
+    use super::*;
+
+    #[test]
+    fn no_accumulate_overwrites() {
+        let a = NoAccumulate;
+        assert!(!Accum::<i32>::is_active(&a));
+        assert_eq!(a.accum(100, 7), 7);
+    }
+
+    #[test]
+    fn accumulate_merges() {
+        let a = Accumulate(Plus::<i32>::new());
+        assert!(a.is_active());
+        assert_eq!(a.accum(100, 7), 107);
+    }
+
+    #[test]
+    fn min_accumulator_as_in_sssp() {
+        // Fig. 4: gb.Accumulator("Min")
+        let a = Accumulate(Min::<f64>::new());
+        assert_eq!(a.accum(3.0, 5.0), 3.0);
+        assert_eq!(a.accum(9.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn maybe_accum_both_ways() {
+        let off = MaybeAccum(None);
+        assert_eq!(Accum::<i64>::accum(&off, 1, 2), 2);
+        let on = MaybeAccum(Some(BinaryOpKind::Plus));
+        assert_eq!(Accum::<i64>::accum(&on, 1, 2), 3);
+    }
+}

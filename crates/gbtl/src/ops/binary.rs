@@ -1,0 +1,187 @@
+//! The 17 predefined binary operators of Fig. 6 of the paper, as
+//! zero-sized functor types (GBTL's `GraphBLAS::Plus<T>` et al.).
+//!
+//! Predicate operators (`Equal`, `LessThan`, ...) have codomain `T`:
+//! the boolean outcome is embedded with [`crate::Scalar::from_bool`],
+//! matching GBTL where the templated functor returns `T(a < b)`.
+
+use std::marker::PhantomData;
+
+use super::BinaryOp;
+use crate::scalar::Scalar;
+
+macro_rules! binary_functor {
+    ($(#[$doc:meta])* $name:ident, |$a:ident, $b:ident| $body:expr) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name<T>(PhantomData<fn() -> T>);
+
+        impl<T> $name<T> {
+            /// Construct the functor (zero-sized; exists for GBTL-style
+            /// call sites like `Plus::<f64>::new()`).
+            #[inline]
+            pub fn new() -> Self {
+                $name(PhantomData)
+            }
+        }
+
+        impl<T> Default for $name<T> {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl<T> Copy for $name<T> {}
+        impl<T> Clone for $name<T> {
+            fn clone(&self) -> Self {
+                *self
+            }
+        }
+
+        impl<T: Scalar> BinaryOp<T> for $name<T> {
+            #[inline]
+            fn apply(&self, $a: T, $b: T) -> T {
+                $body
+            }
+        }
+    };
+}
+
+binary_functor!(
+    /// Logical OR: `T(a || b)` after truthiness coercion.
+    LogicalOr,
+    |a, b| T::from_bool(a.to_bool() || b.to_bool())
+);
+binary_functor!(
+    /// Logical AND: `T(a && b)` after truthiness coercion.
+    LogicalAnd,
+    |a, b| T::from_bool(a.to_bool() && b.to_bool())
+);
+binary_functor!(
+    /// Logical XOR: `T(a ^ b)` after truthiness coercion.
+    LogicalXor,
+    |a, b| T::from_bool(a.to_bool() ^ b.to_bool())
+);
+binary_functor!(
+    /// Equality predicate: `T(a == b)`.
+    Equal,
+    |a, b| T::from_bool(a == b)
+);
+binary_functor!(
+    /// Inequality predicate: `T(a != b)`.
+    NotEqual,
+    |a, b| T::from_bool(a != b)
+);
+binary_functor!(
+    /// Ordering predicate: `T(a > b)`.
+    GreaterThan,
+    |a, b| T::from_bool(a > b)
+);
+binary_functor!(
+    /// Ordering predicate: `T(a < b)`.
+    LessThan,
+    |a, b| T::from_bool(a < b)
+);
+binary_functor!(
+    /// Ordering predicate: `T(a >= b)`.
+    GreaterEqual,
+    |a, b| T::from_bool(a >= b)
+);
+binary_functor!(
+    /// Ordering predicate: `T(a <= b)`.
+    LessEqual,
+    |a, b| T::from_bool(a <= b)
+);
+binary_functor!(
+    /// Projection onto the first argument (`Select1st`).
+    First,
+    |a, _b| a
+);
+binary_functor!(
+    /// Projection onto the second argument (`Select2nd`).
+    Second,
+    |_a, b| b
+);
+binary_functor!(
+    /// Minimum of the two arguments.
+    Min,
+    |a, b| a.s_min(b)
+);
+binary_functor!(
+    /// Maximum of the two arguments.
+    Max,
+    |a, b| a.s_max(b)
+);
+binary_functor!(
+    /// Addition (wrapping for integers, OR for bool).
+    Plus,
+    |a, b| a.s_add(b)
+);
+binary_functor!(
+    /// Subtraction (wrapping for integers, XOR for bool).
+    Minus,
+    |a, b| a.s_sub(b)
+);
+binary_functor!(
+    /// Multiplication (wrapping for integers, AND for bool).
+    Times,
+    |a, b| a.s_mul(b)
+);
+binary_functor!(
+    /// Division (integer division by zero yields 0).
+    Div,
+    |a, b| a.s_div(b)
+);
+
+/// Number of predefined binary operators — 17, per Fig. 6, which feeds
+/// the `17 * 11³` accumulator-combination count of Section V.
+pub const NUM_BINARY_OPS: usize = 17;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Plus::<i32>::new().apply(2, 3), 5);
+        assert_eq!(Minus::<i32>::new().apply(2, 3), -1);
+        assert_eq!(Times::<i32>::new().apply(2, 3), 6);
+        assert_eq!(Div::<i32>::new().apply(7, 2), 3);
+        assert_eq!(Div::<i32>::new().apply(7, 0), 0);
+    }
+
+    #[test]
+    fn predicates_embed_bool() {
+        assert_eq!(LessThan::<f64>::new().apply(1.0, 2.0), 1.0);
+        assert_eq!(GreaterEqual::<f64>::new().apply(1.0, 2.0), 0.0);
+        assert_eq!(Equal::<u8>::new().apply(4, 4), 1);
+        assert_eq!(NotEqual::<u8>::new().apply(4, 4), 0);
+    }
+
+    #[test]
+    fn projections() {
+        assert_eq!(First::<i64>::new().apply(10, 20), 10);
+        assert_eq!(Second::<i64>::new().apply(10, 20), 20);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Min::<f32>::new().apply(2.0, -1.0), -1.0);
+        assert_eq!(Max::<f32>::new().apply(2.0, -1.0), 2.0);
+    }
+
+    #[test]
+    fn logical_on_numbers() {
+        assert_eq!(LogicalOr::<i32>::new().apply(0, 5), 1);
+        assert_eq!(LogicalAnd::<i32>::new().apply(0, 5), 0);
+        assert_eq!(LogicalXor::<i32>::new().apply(3, 5), 0);
+        assert_eq!(LogicalXor::<i32>::new().apply(3, 0), 1);
+    }
+
+    #[test]
+    fn bool_domain() {
+        assert!(LogicalOr::<bool>::new().apply(false, true));
+        assert!(!LogicalAnd::<bool>::new().apply(false, true));
+        assert!(Plus::<bool>::new().apply(true, true)); // saturating OR
+    }
+}

@@ -1,0 +1,89 @@
+//! Algebraic operators: unary ops, binary ops, monoids, semirings,
+//! accumulators — the contents of GBTL's `algebra.hpp`.
+//!
+//! Two parallel families are provided:
+//!
+//! * **Functor types** (zero-sized structs like [`binary::Plus`]) used by
+//!   statically-typed code. These monomorphize into the kernels exactly
+//!   as GBTL's template functors do, with no runtime dispatch.
+//! * **Kind enums** ([`kind::BinaryOpKind`], ...) carrying the operator
+//!   choice as a runtime value. The `pygb` DSL resolves operator *names*
+//!   (`"Plus"`, `"Min"`, ...) from its context stack into kinds, and the
+//!   JIT registry instantiates kernels over [`kind::KindSemiring`] /
+//!   [`kind::KindMonoid`] wrappers — the analog of the paper passing
+//!   `-DADD_BINOP=Plus -DMULT_BINOP=Times` to `g++`.
+
+pub mod accum;
+pub mod binary;
+pub mod kind;
+pub mod monoid;
+pub mod semiring;
+pub mod unary;
+
+/// A unary operator `f : T → T` (GraphBLAS `GrB_UnaryOp`).
+pub trait UnaryOp<T>: Copy + Send + Sync {
+    /// Apply the operator to one value.
+    fn apply(&self, a: T) -> T;
+}
+
+/// A binary operator `f : T × T → T` (GraphBLAS `GrB_BinaryOp`).
+pub trait BinaryOp<T>: Copy + Send + Sync {
+    /// Apply the operator to two values.
+    fn apply(&self, a: T, b: T) -> T;
+}
+
+/// A commutative monoid: an associative [`BinaryOp`] with an identity.
+///
+/// Used as the ⊕ of semirings, for `reduce`, and as the fallback
+/// accumulator (the paper: `+=` falls back to the monoid of the
+/// innermost semiring in context).
+pub trait Monoid<T>: Copy + Send + Sync {
+    /// The identity element (`x ⊕ identity = x`).
+    fn identity(&self) -> T;
+    /// The monoid operation.
+    fn apply(&self, a: T, b: T) -> T;
+}
+
+/// A semiring `(⊕, ⊗)` where the identity of ⊕ annihilates ⊗.
+///
+/// GraphBLAS parameterizes `mxm`/`mxv`/`vxm` with a semiring; the ⊕
+/// identity doubles as the "structural zero" never stored in sparse
+/// containers.
+pub trait Semiring<T>: Copy + Send + Sync {
+    /// Identity of the additive monoid.
+    fn zero(&self) -> T;
+    /// The additive operation ⊕.
+    fn add(&self, a: T, b: T) -> T;
+    /// The multiplicative operation ⊗.
+    fn mult(&self, a: T, b: T) -> T;
+}
+
+/// Every [`Monoid`] is trivially a [`BinaryOp`] (forget the identity).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct MonoidOp<M>(pub M);
+
+impl<T, M: Monoid<T>> BinaryOp<T> for MonoidOp<M> {
+    #[inline]
+    fn apply(&self, a: T, b: T) -> T {
+        self.0.apply(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::binary::Plus;
+    use super::monoid::PlusMonoid;
+    use super::*;
+
+    #[test]
+    fn monoid_as_binary_op() {
+        let op = MonoidOp(PlusMonoid::<i32>::new());
+        assert_eq!(op.apply(2, 3), 5);
+    }
+
+    #[test]
+    fn functors_are_zero_sized() {
+        assert_eq!(std::mem::size_of::<Plus<f64>>(), 0);
+        assert_eq!(std::mem::size_of::<PlusMonoid<f64>>(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Predefined monoids and the generic monoid constructor.
+//!
+//! GBTL generates monoids from a binary op and an identity element
+//! (`GEN_GB_MONOID(Monoid, GB::ADD_BINOP, IDENTITY)` in the paper's
+//! `operation_binding.cpp`). [`GenMonoid`] is the runtime-identity
+//! version; the named zero-sized monoids below take their identity from
+//! the [`Scalar`] trait so they stay ZSTs.
+
+use std::marker::PhantomData;
+
+use super::{BinaryOp, Monoid};
+use crate::scalar::Scalar;
+
+/// A monoid assembled from any [`BinaryOp`] plus an explicit identity
+/// value — the `gb.Monoid(PlusOp, 0)` constructor of Fig. 6.
+///
+/// The caller asserts associativity and the identity law; nothing is
+/// checked at construction (property tests cover the predefined ones).
+#[derive(Copy, Clone, Debug)]
+pub struct GenMonoid<T, Op> {
+    identity: T,
+    op: Op,
+}
+
+impl<T: Scalar, Op: BinaryOp<T>> GenMonoid<T, Op> {
+    /// Build a monoid from `op` and its identity element.
+    #[inline]
+    pub fn new(op: Op, identity: T) -> Self {
+        GenMonoid { identity, op }
+    }
+}
+
+impl<T: Scalar, Op: BinaryOp<T>> Monoid<T> for GenMonoid<T, Op> {
+    #[inline]
+    fn identity(&self) -> T {
+        self.identity
+    }
+    #[inline]
+    fn apply(&self, a: T, b: T) -> T {
+        self.op.apply(a, b)
+    }
+}
+
+macro_rules! named_monoid {
+    ($(#[$doc:meta])* $name:ident, $op:path, $ident:expr) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name<T>(PhantomData<fn() -> T>);
+
+        impl<T> $name<T> {
+            /// Construct the monoid (zero-sized).
+            #[inline]
+            pub fn new() -> Self {
+                $name(PhantomData)
+            }
+        }
+
+        impl<T> Default for $name<T> {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl<T> Copy for $name<T> {}
+        impl<T> Clone for $name<T> {
+            fn clone(&self) -> Self {
+                *self
+            }
+        }
+
+        impl<T: Scalar> Monoid<T> for $name<T> {
+            #[inline]
+            fn identity(&self) -> T {
+                $ident
+            }
+            #[inline]
+            fn apply(&self, a: T, b: T) -> T {
+                <$op>::new().apply(a, b)
+            }
+        }
+    };
+}
+
+named_monoid!(
+    /// `(⊕ = +, identity = 0)` — the additive monoid of arithmetic.
+    PlusMonoid,
+    super::binary::Plus::<T>,
+    T::zero()
+);
+named_monoid!(
+    /// `(⊕ = ×, identity = 1)`.
+    TimesMonoid,
+    super::binary::Times::<T>,
+    T::one()
+);
+named_monoid!(
+    /// `(⊕ = min, identity = +∞ / MAX)` — the "MinIdentity" of Fig. 6.
+    MinMonoid,
+    super::binary::Min::<T>,
+    T::min_identity()
+);
+named_monoid!(
+    /// `(⊕ = max, identity = −∞ / MIN)`.
+    MaxMonoid,
+    super::binary::Max::<T>,
+    T::max_identity()
+);
+named_monoid!(
+    /// `(⊕ = ∨, identity = false)` — the ⊕ of the logical semiring.
+    LogicalOrMonoid,
+    super::binary::LogicalOr::<T>,
+    T::zero()
+);
+named_monoid!(
+    /// `(⊕ = ∧, identity = true)`.
+    LogicalAndMonoid,
+    super::binary::LogicalAnd::<T>,
+    T::one()
+);
+named_monoid!(
+    /// `(⊕ = ⊻, identity = false)`.
+    LogicalXorMonoid,
+    super::binary::LogicalXor::<T>,
+    T::zero()
+);
+
+#[cfg(test)]
+mod tests {
+    use super::super::binary::Plus;
+    use super::*;
+
+    #[test]
+    fn plus_monoid_identity_law() {
+        let m = PlusMonoid::<i32>::new();
+        assert_eq!(m.apply(7, m.identity()), 7);
+        assert_eq!(m.apply(m.identity(), 7), 7);
+    }
+
+    #[test]
+    fn min_monoid_identity_is_max_value() {
+        let m = MinMonoid::<i32>::new();
+        assert_eq!(m.identity(), i32::MAX);
+        assert_eq!(m.apply(5, m.identity()), 5);
+        let mf = MinMonoid::<f64>::new();
+        assert_eq!(mf.identity(), f64::INFINITY);
+    }
+
+    #[test]
+    fn logical_monoids_on_bool() {
+        let or = LogicalOrMonoid::<bool>::new();
+        assert!(!or.identity());
+        assert!(or.apply(true, false));
+        let and = LogicalAndMonoid::<bool>::new();
+        assert!(and.identity());
+        assert!(!and.apply(true, false));
+    }
+
+    #[test]
+    fn gen_monoid_matches_fig6_constructor() {
+        // gb.Monoid(PlusOp, 0)
+        let m = GenMonoid::new(Plus::<f64>::new(), 0.0);
+        assert_eq!(m.identity(), 0.0);
+        assert_eq!(m.apply(1.5, 2.5), 4.0);
+    }
+
+    #[test]
+    fn fold_with_monoid() {
+        let m = MaxMonoid::<i8>::new();
+        let r = [3i8, -4, 7, 0]
+            .iter()
+            .fold(m.identity(), |acc, &x| m.apply(acc, x));
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,187 @@
+//! Predefined semirings and the generic semiring constructor — the set
+//! GBTL's `algebra.hpp` exposes and the paper's algorithms use
+//! (Arithmetic, Logical, MinPlus, MaxTimes, Min/MaxSelect1st/2nd).
+
+use std::marker::PhantomData;
+
+use super::{BinaryOp, Monoid, Semiring};
+use crate::scalar::Scalar;
+
+/// A semiring assembled from an additive [`Monoid`] and a multiplicative
+/// [`BinaryOp`] — the `gb.Semiring(PlusMonoid, TimesOp)` constructor of
+/// Fig. 6.
+#[derive(Copy, Clone, Debug)]
+pub struct GenSemiring<AddM, MultOp> {
+    add: AddM,
+    mult: MultOp,
+}
+
+impl<AddM, MultOp> GenSemiring<AddM, MultOp> {
+    /// Build a semiring from an additive monoid and a multiplicative op.
+    #[inline]
+    pub fn new(add: AddM, mult: MultOp) -> Self {
+        GenSemiring { add, mult }
+    }
+}
+
+impl<T: Scalar, AddM: Monoid<T>, MultOp: BinaryOp<T>> Semiring<T> for GenSemiring<AddM, MultOp> {
+    #[inline]
+    fn zero(&self) -> T {
+        self.add.identity()
+    }
+    #[inline]
+    fn add(&self, a: T, b: T) -> T {
+        self.add.apply(a, b)
+    }
+    #[inline]
+    fn mult(&self, a: T, b: T) -> T {
+        self.mult.apply(a, b)
+    }
+}
+
+macro_rules! named_semiring {
+    ($(#[$doc:meta])* $name:ident, $monoid:path, $mult:path) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name<T>(PhantomData<fn() -> T>);
+
+        impl<T> $name<T> {
+            /// Construct the semiring (zero-sized).
+            #[inline]
+            pub fn new() -> Self {
+                $name(PhantomData)
+            }
+        }
+
+        impl<T> Default for $name<T> {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl<T> Copy for $name<T> {}
+        impl<T> Clone for $name<T> {
+            fn clone(&self) -> Self {
+                *self
+            }
+        }
+
+        impl<T: Scalar> Semiring<T> for $name<T> {
+            #[inline]
+            fn zero(&self) -> T {
+                <$monoid>::new().identity()
+            }
+            #[inline]
+            fn add(&self, a: T, b: T) -> T {
+                <$monoid>::new().apply(a, b)
+            }
+            #[inline]
+            fn mult(&self, a: T, b: T) -> T {
+                <$mult>::new().apply(a, b)
+            }
+        }
+    };
+}
+
+named_semiring!(
+    /// `(+, ×, 0)` — ordinary linear algebra; used by PageRank and
+    /// triangle counting in the paper.
+    ArithmeticSemiring,
+    super::monoid::PlusMonoid::<T>,
+    super::binary::Times::<T>
+);
+named_semiring!(
+    /// `(∨, ∧, false)` — Boolean algebra; drives BFS (Fig. 1/2).
+    LogicalSemiring,
+    super::monoid::LogicalOrMonoid::<T>,
+    super::binary::LogicalAnd::<T>
+);
+named_semiring!(
+    /// `(min, +, +∞)` — the tropical semiring; drives SSSP (Fig. 4).
+    MinPlusSemiring,
+    super::monoid::MinMonoid::<T>,
+    super::binary::Plus::<T>
+);
+named_semiring!(
+    /// `(max, ×, −∞)`.
+    MaxTimesSemiring,
+    super::monoid::MaxMonoid::<T>,
+    super::binary::Times::<T>
+);
+named_semiring!(
+    /// `(min, select1st, +∞)` — keeps source values along min paths.
+    MinSelect1stSemiring,
+    super::monoid::MinMonoid::<T>,
+    super::binary::First::<T>
+);
+named_semiring!(
+    /// `(min, select2nd, +∞)` — e.g. parent pointers in BFS variants.
+    MinSelect2ndSemiring,
+    super::monoid::MinMonoid::<T>,
+    super::binary::Second::<T>
+);
+named_semiring!(
+    /// `(max, select1st, −∞)`.
+    MaxSelect1stSemiring,
+    super::monoid::MaxMonoid::<T>,
+    super::binary::First::<T>
+);
+named_semiring!(
+    /// `(max, select2nd, −∞)`.
+    MaxSelect2ndSemiring,
+    super::monoid::MaxMonoid::<T>,
+    super::binary::Second::<T>
+);
+
+#[cfg(test)]
+mod tests {
+    use super::super::binary::Times;
+    use super::super::monoid::PlusMonoid;
+    use super::*;
+
+    #[test]
+    fn arithmetic_semiring() {
+        let s = ArithmeticSemiring::<i64>::new();
+        assert_eq!(s.zero(), 0);
+        assert_eq!(s.add(2, 3), 5);
+        assert_eq!(s.mult(2, 3), 6);
+    }
+
+    #[test]
+    fn logical_semiring_on_bool() {
+        let s = LogicalSemiring::<bool>::new();
+        assert!(!s.zero());
+        assert!(s.add(false, true));
+        assert!(!s.mult(false, true));
+    }
+
+    #[test]
+    fn min_plus_is_tropical() {
+        let s = MinPlusSemiring::<f64>::new();
+        assert_eq!(s.zero(), f64::INFINITY);
+        assert_eq!(s.add(3.0, 5.0), 3.0);
+        assert_eq!(s.mult(3.0, 5.0), 8.0);
+        // zero annihilates: ∞ + x = ∞
+        assert_eq!(s.mult(s.zero(), 5.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn select_semirings_project() {
+        let s = MinSelect2ndSemiring::<u32>::new();
+        assert_eq!(s.mult(10, 20), 20);
+        let s1 = MaxSelect1stSemiring::<u32>::new();
+        assert_eq!(s1.mult(10, 20), 10);
+    }
+
+    #[test]
+    fn gen_semiring_matches_named() {
+        // gb.Semiring(gb.PlusMonoid, "Times") == ArithmeticSemiring
+        let g = GenSemiring::new(PlusMonoid::<i32>::new(), Times::<i32>::new());
+        let n = ArithmeticSemiring::<i32>::new();
+        for (a, b) in [(2, 3), (0, 9), (-4, 4)] {
+            assert_eq!(g.add(a, b), n.add(a, b));
+            assert_eq!(g.mult(a, b), n.mult(a, b));
+        }
+        assert_eq!(g.zero(), n.zero());
+    }
+}

@@ -1,0 +1,160 @@
+//! The 4 predefined unary operators of Fig. 6, plus the `Bind1st` /
+//! `Bind2nd` adapters GBTL uses to turn a binary operator and a constant
+//! into a unary one (`GB::BinaryOp_Bind2nd<RealT, GB::Times<RealT>>` in
+//! the paper's PageRank, Fig. 8).
+
+use std::marker::PhantomData;
+
+use super::{BinaryOp, UnaryOp};
+use crate::scalar::Scalar;
+
+macro_rules! unary_functor {
+    ($(#[$doc:meta])* $name:ident, |$a:ident| $body:expr) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name<T>(PhantomData<fn() -> T>);
+
+        impl<T> $name<T> {
+            /// Construct the functor (zero-sized).
+            #[inline]
+            pub fn new() -> Self {
+                $name(PhantomData)
+            }
+        }
+
+        impl<T> Default for $name<T> {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl<T> Copy for $name<T> {}
+        impl<T> Clone for $name<T> {
+            fn clone(&self) -> Self {
+                *self
+            }
+        }
+
+        impl<T: Scalar> UnaryOp<T> for $name<T> {
+            #[inline]
+            fn apply(&self, $a: T) -> T {
+                $body
+            }
+        }
+    };
+}
+
+unary_functor!(
+    /// The identity function.
+    Identity,
+    |a| a
+);
+unary_functor!(
+    /// Additive inverse `-a` (wrapping negate for unsigned types).
+    AdditiveInverse,
+    |a| a.s_ainv()
+);
+unary_functor!(
+    /// Logical negation after truthiness coercion: `T(!bool(a))`.
+    LogicalNot,
+    |a| T::from_bool(!a.to_bool())
+);
+unary_functor!(
+    /// Multiplicative inverse `1/a` (0 for non-invertible integers).
+    MultiplicativeInverse,
+    |a| a.s_minv()
+);
+
+/// Bind a constant as the *first* argument of a binary op:
+/// `Bind1st(op, k)(x) = op(k, x)`.
+#[derive(Copy, Clone, Debug)]
+pub struct Bind1st<T, Op> {
+    k: T,
+    op: Op,
+}
+
+impl<T, Op> Bind1st<T, Op> {
+    /// Create the adapter from a constant and a binary operator.
+    #[inline]
+    pub fn new(k: T, op: Op) -> Self {
+        Bind1st { k, op }
+    }
+}
+
+impl<T: Scalar, Op: BinaryOp<T>> UnaryOp<T> for Bind1st<T, Op> {
+    #[inline]
+    fn apply(&self, a: T) -> T {
+        self.op.apply(self.k, a)
+    }
+}
+
+/// Bind a constant as the *second* argument of a binary op:
+/// `Bind2nd(op, k)(x) = op(x, k)` — the adapter the paper's PageRank
+/// uses for `Times(damping_factor)` and `Plus(teleport)`.
+#[derive(Copy, Clone, Debug)]
+pub struct Bind2nd<T, Op> {
+    k: T,
+    op: Op,
+}
+
+impl<T, Op> Bind2nd<T, Op> {
+    /// Create the adapter from a binary operator and a constant.
+    #[inline]
+    pub fn new(op: Op, k: T) -> Self {
+        Bind2nd { k, op }
+    }
+}
+
+impl<T: Scalar, Op: BinaryOp<T>> UnaryOp<T> for Bind2nd<T, Op> {
+    #[inline]
+    fn apply(&self, a: T) -> T {
+        self.op.apply(a, self.k)
+    }
+}
+
+/// Number of predefined unary operators (Fig. 6 lists 4).
+pub const NUM_UNARY_OPS: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::super::binary::{Minus, Times};
+    use super::*;
+
+    #[test]
+    fn identity() {
+        assert_eq!(Identity::<i32>::new().apply(-7), -7);
+    }
+
+    #[test]
+    fn additive_inverse() {
+        assert_eq!(AdditiveInverse::<i32>::new().apply(5), -5);
+        assert_eq!(AdditiveInverse::<u8>::new().apply(1), 255);
+    }
+
+    #[test]
+    fn logical_not() {
+        assert_eq!(LogicalNot::<i32>::new().apply(0), 1);
+        assert_eq!(LogicalNot::<i32>::new().apply(9), 0);
+        assert!(!LogicalNot::<bool>::new().apply(true));
+    }
+
+    #[test]
+    fn multiplicative_inverse() {
+        assert_eq!(MultiplicativeInverse::<f64>::new().apply(4.0), 0.25);
+        assert_eq!(MultiplicativeInverse::<i32>::new().apply(3), 0);
+    }
+
+    #[test]
+    fn bind_second_is_pagerank_damping() {
+        let damp = Bind2nd::new(Times::<f64>::new(), 0.85);
+        assert_eq!(damp.apply(2.0), 1.7);
+    }
+
+    #[test]
+    fn bind_first_vs_second_on_noncommutative_op() {
+        let sub_from_ten = Bind1st::new(10i32, Minus::<i32>::new());
+        let sub_ten = Bind2nd::new(Minus::<i32>::new(), 10i32);
+        assert_eq!(sub_from_ten.apply(3), 7);
+        assert_eq!(sub_ten.apply(3), -7);
+    }
+}

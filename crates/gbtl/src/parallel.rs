@@ -1,0 +1,100 @@
+//! Row-parallel execution helper.
+//!
+//! Row-wise kernels (`mxm`, `mxv` gather form, eWise on matrices)
+//! produce each output row independently, so they parallelize with
+//! Rayon's `par_iter` without any shared mutable state — the pattern the
+//! session's hpc-parallel guides center on. With the `parallel` feature
+//! disabled the same code path runs sequentially.
+//!
+//! Small problems stay sequential: below [`PAR_THRESHOLD`] rows the
+//! fork-join overhead outweighs the win (measured in
+//! `benches/ablation_parallel.rs`).
+
+use crate::index::IndexType;
+
+/// Minimum row count before kernels go parallel.
+pub const PAR_THRESHOLD: IndexType = 512;
+
+/// Map `f` over `0..nrows`, producing one output row each, in parallel
+/// when the backend is enabled and the problem is big enough.
+///
+/// `init` builds a per-thread scratch workspace (e.g. a
+/// [`crate::workspace::Spa`]); `f` receives the workspace and the row
+/// index.
+#[cfg(feature = "parallel")]
+pub fn row_map<W, R, I, F>(nrows: IndexType, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    W: Send,
+    I: Fn() -> W + Send + Sync,
+    F: Fn(&mut W, IndexType) -> R + Send + Sync,
+{
+    use rayon::prelude::*;
+    if nrows < PAR_THRESHOLD {
+        let mut w = init();
+        return (0..nrows).map(|i| f(&mut w, i)).collect();
+    }
+    (0..nrows)
+        .into_par_iter()
+        .map_init(init, |w, i| f(w, i))
+        .collect()
+}
+
+/// Sequential fallback used when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub fn row_map<W, R, I, F>(nrows: IndexType, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    W: Send,
+    I: Fn() -> W + Send + Sync,
+    F: Fn(&mut W, IndexType) -> R + Send + Sync,
+{
+    let mut w = init();
+    (0..nrows).map(|i| f(&mut w, i)).collect()
+}
+
+/// Force a sequential row map regardless of features — used by the
+/// parallel-vs-sequential ablation bench so both paths share code.
+pub fn row_map_sequential<W, R, I, F>(nrows: IndexType, init: I, f: F) -> Vec<R>
+where
+    I: Fn() -> W,
+    F: Fn(&mut W, IndexType) -> R,
+{
+    let mut w = init();
+    (0..nrows).map(|i| f(&mut w, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_map_small_matches_sequential() {
+        let a = row_map(10, || 0u32, |_, i| i * 2);
+        let b = row_map_sequential(10, || 0u32, |_, i| i * 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn row_map_large_preserves_order() {
+        let n = PAR_THRESHOLD * 4;
+        let out = row_map(n, || (), |_, i| i);
+        assert_eq!(out.len(), n);
+        assert!(out.iter().enumerate().all(|(k, &v)| k == v));
+    }
+
+    #[test]
+    fn workspace_is_usable() {
+        // Each worker gets its own scratch buffer; results must not bleed.
+        let out = row_map(
+            PAR_THRESHOLD * 2,
+            Vec::<usize>::new,
+            |scratch, i| {
+                scratch.clear();
+                scratch.push(i);
+                scratch.len()
+            },
+        );
+        assert!(out.iter().all(|&l| l == 1));
+    }
+}

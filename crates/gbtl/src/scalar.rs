@@ -1,0 +1,474 @@
+//! The scalar domain: the 11 "plain old data types" of the paper.
+//!
+//! Section V of the paper enumerates 11 C++ POD types (`bool`,
+//! `int8_t`…`int64_t`, `uint8_t`…`uint64_t`, `float`, `double`) that
+//! GBTL containers may hold, mapped from NumPy `dtype`s. [`Scalar`]
+//! abstracts the arithmetic / logical / ordering structure every GBTL
+//! operator needs, so operator functors can be written once and
+//! monomorphized per type — the Rust analog of GBTL's templates.
+//!
+//! Semantics follow C++ rules where the two languages differ:
+//! * integer arithmetic wraps (GBTL compiles with `g++` where unsigned
+//!   overflow wraps; we wrap for signed too rather than panic),
+//! * integer division by zero yields 0 instead of trapping (SuiteSparse
+//!   convention), and
+//! * booleans act as the two-element Boolean ring (`+` = or, `*` = and).
+
+/// A scalar type usable as the domain of GBTL containers and operators.
+///
+/// The methods are total: they never panic, matching the "arithmetic as
+/// compiled by g++" behaviour GBTL inherits (wrapping integers, IEEE
+/// floats, saturating casts like NumPy's C cast rules).
+pub trait Scalar:
+    Copy + PartialEq + PartialOrd + std::fmt::Debug + std::fmt::Display + Send + Sync + 'static
+{
+    /// Canonical NumPy-style dtype name (`"fp64"`, `"int32"`, ...).
+    const NAME: &'static str;
+
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Identity of `Min` (the maximum representable value).
+    fn min_identity() -> Self;
+    /// Identity of `Max` (the minimum representable value).
+    fn max_identity() -> Self;
+
+    /// `a + b` (wrapping for integers, logical OR for bool).
+    fn s_add(self, b: Self) -> Self;
+    /// `a - b` (wrapping for integers, logical XOR for bool).
+    fn s_sub(self, b: Self) -> Self;
+    /// `a * b` (wrapping for integers, logical AND for bool).
+    fn s_mul(self, b: Self) -> Self;
+    /// `a / b` (0 when dividing integers by zero; IEEE for floats).
+    fn s_div(self, b: Self) -> Self;
+    /// `min(a, b)` (for floats: NaN loses, like `fmin`).
+    fn s_min(self, b: Self) -> Self;
+    /// `max(a, b)` (for floats: NaN loses, like `fmax`).
+    fn s_max(self, b: Self) -> Self;
+    /// Additive inverse (two's-complement negate for unsigned).
+    fn s_ainv(self) -> Self;
+    /// Multiplicative inverse (`1/a`; 0 for non-invertible integers).
+    fn s_minv(self) -> Self;
+
+    /// Truthiness: `self != 0` — how GraphBLAS masks coerce values.
+    fn to_bool(self) -> bool;
+    /// Embed a boolean (`true → 1`, `false → 0`).
+    fn from_bool(b: bool) -> Self;
+    /// Lossy conversion to `f64` (C cast semantics).
+    fn to_f64(self) -> f64;
+    /// Lossy conversion from `f64` (C cast semantics; NaN → 0 for ints).
+    fn from_f64(v: f64) -> Self;
+    /// Lossy conversion to `i64`.
+    fn to_i64(self) -> i64;
+    /// Lossy conversion from `i64`.
+    fn from_i64(v: i64) -> Self;
+
+    /// Cast from any other scalar type, through the widest intermediate
+    /// that preserves its value class (floats via `f64`, ints via `i64`).
+    fn cast_from<S: Scalar>(v: S) -> Self {
+        if S::IS_FLOAT || Self::IS_FLOAT {
+            Self::from_f64(v.to_f64())
+        } else {
+            Self::from_i64(v.to_i64())
+        }
+    }
+
+    /// Whether the type is a floating-point type.
+    const IS_FLOAT: bool;
+    /// Whether the type is `bool`.
+    const IS_BOOL: bool;
+    /// Whether the type is a signed integer.
+    const IS_SIGNED_INT: bool;
+    /// Size of the type in bits (1 for bool, by convention).
+    const BITS: u32;
+}
+
+macro_rules! impl_scalar_int {
+    ($t:ty, $name:literal, $signed:expr) => {
+        impl Scalar for $t {
+            const NAME: &'static str = $name;
+            const IS_FLOAT: bool = false;
+            const IS_BOOL: bool = false;
+            const IS_SIGNED_INT: bool = $signed;
+            const BITS: u32 = <$t>::BITS;
+
+            #[inline]
+            fn zero() -> Self {
+                0
+            }
+            #[inline]
+            fn one() -> Self {
+                1
+            }
+            #[inline]
+            fn min_identity() -> Self {
+                <$t>::MAX
+            }
+            #[inline]
+            fn max_identity() -> Self {
+                <$t>::MIN
+            }
+            #[inline]
+            fn s_add(self, b: Self) -> Self {
+                self.wrapping_add(b)
+            }
+            #[inline]
+            fn s_sub(self, b: Self) -> Self {
+                self.wrapping_sub(b)
+            }
+            #[inline]
+            fn s_mul(self, b: Self) -> Self {
+                self.wrapping_mul(b)
+            }
+            #[inline]
+            fn s_div(self, b: Self) -> Self {
+                if b == 0 {
+                    0
+                } else {
+                    self.wrapping_div(b)
+                }
+            }
+            #[inline]
+            fn s_min(self, b: Self) -> Self {
+                if b < self {
+                    b
+                } else {
+                    self
+                }
+            }
+            #[inline]
+            fn s_max(self, b: Self) -> Self {
+                if b > self {
+                    b
+                } else {
+                    self
+                }
+            }
+            #[inline]
+            fn s_ainv(self) -> Self {
+                self.wrapping_neg()
+            }
+            #[inline]
+            fn s_minv(self) -> Self {
+                // Only ±1 are invertible in Z; everything else maps to 0,
+                // matching integer division 1/a.
+                if self == 0 {
+                    0
+                } else {
+                    (1 as $t).wrapping_div(self)
+                }
+            }
+            #[inline]
+            fn to_bool(self) -> bool {
+                self != 0
+            }
+            #[inline]
+            fn from_bool(b: bool) -> Self {
+                b as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_i64(self) -> i64 {
+                self as i64
+            }
+            #[inline]
+            fn from_i64(v: i64) -> Self {
+                v as $t
+            }
+        }
+    };
+}
+
+impl_scalar_int!(i8, "int8", true);
+impl_scalar_int!(i16, "int16", true);
+impl_scalar_int!(i32, "int32", true);
+impl_scalar_int!(i64, "int64", true);
+impl_scalar_int!(u8, "uint8", false);
+impl_scalar_int!(u16, "uint16", false);
+impl_scalar_int!(u32, "uint32", false);
+impl_scalar_int!(u64, "uint64", false);
+
+macro_rules! impl_scalar_float {
+    ($t:ty, $name:literal) => {
+        impl Scalar for $t {
+            const NAME: &'static str = $name;
+            const IS_FLOAT: bool = true;
+            const IS_BOOL: bool = false;
+            const IS_SIGNED_INT: bool = false;
+            const BITS: u32 = (std::mem::size_of::<$t>() * 8) as u32;
+
+            #[inline]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline]
+            fn one() -> Self {
+                1.0
+            }
+            #[inline]
+            fn min_identity() -> Self {
+                <$t>::INFINITY
+            }
+            #[inline]
+            fn max_identity() -> Self {
+                <$t>::NEG_INFINITY
+            }
+            #[inline]
+            fn s_add(self, b: Self) -> Self {
+                self + b
+            }
+            #[inline]
+            fn s_sub(self, b: Self) -> Self {
+                self - b
+            }
+            #[inline]
+            fn s_mul(self, b: Self) -> Self {
+                self * b
+            }
+            #[inline]
+            fn s_div(self, b: Self) -> Self {
+                self / b
+            }
+            #[inline]
+            fn s_min(self, b: Self) -> Self {
+                // fmin semantics: prefer the non-NaN operand.
+                if b < self || self.is_nan() {
+                    b
+                } else {
+                    self
+                }
+            }
+            #[inline]
+            fn s_max(self, b: Self) -> Self {
+                if b > self || self.is_nan() {
+                    b
+                } else {
+                    self
+                }
+            }
+            #[inline]
+            fn s_ainv(self) -> Self {
+                -self
+            }
+            #[inline]
+            fn s_minv(self) -> Self {
+                1.0 / self
+            }
+            #[inline]
+            fn to_bool(self) -> bool {
+                self != 0.0
+            }
+            #[inline]
+            fn from_bool(b: bool) -> Self {
+                if b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_i64(self) -> i64 {
+                self as i64
+            }
+            #[inline]
+            fn from_i64(v: i64) -> Self {
+                v as $t
+            }
+        }
+    };
+}
+
+impl_scalar_float!(f32, "fp32");
+impl_scalar_float!(f64, "fp64");
+
+impl Scalar for bool {
+    const NAME: &'static str = "bool";
+    const IS_FLOAT: bool = false;
+    const IS_BOOL: bool = true;
+    const IS_SIGNED_INT: bool = false;
+    const BITS: u32 = 1;
+
+    #[inline]
+    fn zero() -> Self {
+        false
+    }
+    #[inline]
+    fn one() -> Self {
+        true
+    }
+    #[inline]
+    fn min_identity() -> Self {
+        true
+    }
+    #[inline]
+    fn max_identity() -> Self {
+        false
+    }
+    #[inline]
+    fn s_add(self, b: Self) -> Self {
+        self || b
+    }
+    #[inline]
+    fn s_sub(self, b: Self) -> Self {
+        self ^ b
+    }
+    #[inline]
+    fn s_mul(self, b: Self) -> Self {
+        self && b
+    }
+    #[inline]
+    fn s_div(self, b: Self) -> Self {
+        // bool/bool follows integer promotion: x/1 = x, x/0 = 0.
+        self && b
+    }
+    #[inline]
+    fn s_min(self, b: Self) -> Self {
+        self && b
+    }
+    #[inline]
+    fn s_max(self, b: Self) -> Self {
+        self || b
+    }
+    #[inline]
+    fn s_ainv(self) -> Self {
+        self
+    }
+    #[inline]
+    fn s_minv(self) -> Self {
+        self
+    }
+    #[inline]
+    fn to_bool(self) -> bool {
+        self
+    }
+    #[inline]
+    fn from_bool(b: bool) -> Self {
+        b
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        if self {
+            1.0
+        } else {
+            0.0
+        }
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v != 0.0
+    }
+    #[inline]
+    fn to_i64(self) -> i64 {
+        self as i64
+    }
+    #[inline]
+    fn from_i64(v: i64) -> Self {
+        v != 0
+    }
+}
+
+/// The number of supported scalar types — the paper's "11 plain old
+/// data types" which drive the 11⁴ combinatorics of Section V.
+pub const NUM_SCALAR_TYPES: usize = 11;
+
+/// The dtype names of all supported scalar types, in promotion order.
+pub const SCALAR_TYPE_NAMES: [&str; NUM_SCALAR_TYPES] = [
+    "bool", "int8", "uint8", "int16", "uint16", "int32", "uint32", "int64", "uint64", "fp32",
+    "fp64",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(i32::zero(), 0);
+        assert_eq!(i32::one(), 1);
+        assert_eq!(i32::min_identity(), i32::MAX);
+        assert_eq!(i32::max_identity(), i32::MIN);
+        assert_eq!(f64::min_identity(), f64::INFINITY);
+        assert!(bool::min_identity());
+        assert!(!bool::max_identity());
+    }
+
+    #[test]
+    fn wrapping_integer_arithmetic() {
+        assert_eq!(u8::MAX.s_add(1), 0);
+        assert_eq!(0u8.s_sub(1), u8::MAX);
+        assert_eq!(i8::MIN.s_ainv(), i8::MIN); // two's complement edge
+    }
+
+    #[test]
+    fn division_by_zero_is_zero_for_ints() {
+        assert_eq!(7i32.s_div(0), 0);
+        assert_eq!(7u64.s_div(0), 0);
+        assert!(1.0f64.s_div(0.0).is_infinite());
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(3i32.s_min(5), 3);
+        assert_eq!(3i32.s_max(5), 5);
+        assert_eq!(f64::NAN.s_min(2.0), 2.0);
+        assert_eq!(f64::NAN.s_max(2.0), 2.0);
+    }
+
+    #[test]
+    fn bool_is_boolean_algebra() {
+        assert!(true.s_add(false)); // or
+        assert!(!true.s_mul(false)); // and
+        assert!(true.s_sub(false)); // xor
+        assert!(!true.s_sub(true));
+    }
+
+    #[test]
+    fn casts_roundtrip_within_range() {
+        assert_eq!(i16::cast_from(42u8), 42i16);
+        assert_eq!(f64::cast_from(42i32), 42.0);
+        assert_eq!(u8::cast_from(300i64), 44u8); // wrapping C cast
+        assert!(bool::cast_from(2i32));
+        assert_eq!(i32::cast_from(2.9f64), 2);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(1i8.to_bool());
+        assert!(!0u32.to_bool());
+        assert!((-0.5f32).to_bool());
+        assert!(!0.0f64.to_bool());
+    }
+
+    #[test]
+    fn minv() {
+        assert_eq!(2.0f64.s_minv(), 0.5);
+        assert_eq!(1i32.s_minv(), 1);
+        assert_eq!(2i32.s_minv(), 0);
+        assert_eq!((-1i32).s_minv(), -1);
+        assert_eq!(0i32.s_minv(), 0);
+    }
+
+    #[test]
+    fn names_unique_and_counted() {
+        let mut names = SCALAR_TYPE_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_SCALAR_TYPES);
+    }
+}

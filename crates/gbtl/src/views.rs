@@ -1,0 +1,174 @@
+//! Non-owning argument views: transposed operands, complemented masks,
+//! and the replace flag — GBTL's `transpose(A)`, `complement(M)` and the
+//! trailing `bool` of every operation.
+
+use std::borrow::Cow;
+
+use crate::index::IndexType;
+use crate::mask::{MatrixMask, VectorMask};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// A matrix operand that is either plain or logically transposed —
+/// GBTL's `TransposeView`. Kernels either have a specialized transposed
+/// path or call [`MatrixArg::materialize`].
+#[derive(Copy, Clone, Debug)]
+pub enum MatrixArg<'a, T> {
+    /// The matrix as stored.
+    Plain(&'a Matrix<T>),
+    /// The matrix viewed as its transpose.
+    Transposed(&'a Matrix<T>),
+}
+
+/// Wrap a matrix as a transposed operand (GBTL's `GB::transpose(A)`,
+/// PyGB's `A.T`).
+pub fn transpose<T>(m: &Matrix<T>) -> MatrixArg<'_, T> {
+    MatrixArg::Transposed(m)
+}
+
+impl<'a, T> From<&'a Matrix<T>> for MatrixArg<'a, T> {
+    fn from(m: &'a Matrix<T>) -> Self {
+        MatrixArg::Plain(m)
+    }
+}
+
+impl<'a, T: Scalar> MatrixArg<'a, T> {
+    /// Logical row count (after any transposition).
+    pub fn nrows(&self) -> IndexType {
+        match self {
+            MatrixArg::Plain(m) => m.nrows(),
+            MatrixArg::Transposed(m) => m.ncols(),
+        }
+    }
+
+    /// Logical column count (after any transposition).
+    pub fn ncols(&self) -> IndexType {
+        match self {
+            MatrixArg::Plain(m) => m.ncols(),
+            MatrixArg::Transposed(m) => m.nrows(),
+        }
+    }
+
+    /// Whether the view is transposed.
+    pub fn is_transposed(&self) -> bool {
+        matches!(self, MatrixArg::Transposed(_))
+    }
+
+    /// The underlying storage, ignoring the transposition flag.
+    pub fn inner(&self) -> &'a Matrix<T> {
+        match self {
+            MatrixArg::Plain(m) | MatrixArg::Transposed(m) => m,
+        }
+    }
+
+    /// A CSR matrix in *logical* orientation: borrowed when plain,
+    /// freshly transposed when the view is transposed.
+    pub fn materialize(&self) -> Cow<'a, Matrix<T>> {
+        match self {
+            MatrixArg::Plain(m) => Cow::Borrowed(*m),
+            MatrixArg::Transposed(m) => Cow::Owned(m.transpose_owned()),
+        }
+    }
+
+    /// Flip the transposition flag (`(Aᵀ)ᵀ = A`).
+    pub fn flip(self) -> Self {
+        match self {
+            MatrixArg::Plain(m) => MatrixArg::Transposed(m),
+            MatrixArg::Transposed(m) => MatrixArg::Plain(m),
+        }
+    }
+}
+
+/// A complemented mask: allows exactly the positions the inner mask
+/// forbids (GBTL's `complement(M)`, PyGB's `~m`).
+#[derive(Copy, Clone, Debug)]
+pub struct Complement<M>(pub M);
+
+/// Wrap a mask in a complement view.
+pub fn complement<M>(mask: M) -> Complement<M> {
+    Complement(mask)
+}
+
+impl<M: VectorMask> VectorMask for Complement<M> {
+    fn mask_size(&self) -> IndexType {
+        self.0.mask_size()
+    }
+    #[inline]
+    fn allows(&self, i: IndexType) -> bool {
+        !self.0.allows(i)
+    }
+    fn is_all(&self) -> bool {
+        false
+    }
+}
+
+impl<M: MatrixMask> MatrixMask for Complement<M> {
+    fn mask_shape(&self) -> (IndexType, IndexType) {
+        self.0.mask_shape()
+    }
+    #[inline]
+    fn allows(&self, i: IndexType, j: IndexType) -> bool {
+        !self.0.allows(i, j)
+    }
+    fn is_all(&self) -> bool {
+        false
+    }
+}
+
+/// The replace flag `z` of `C⟨M, z⟩`: when true, positions outside the
+/// mask are cleared instead of merged (the paper's "replace" vs "merge").
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Replace(pub bool);
+
+/// Merge semantics (`z` unset) — the GraphBLAS default.
+pub const MERGE: Replace = Replace(false);
+/// Replace semantics (`z` set).
+pub const REPLACE: Replace = Replace(true);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Vector;
+
+    #[test]
+    fn transposed_dims_swap() {
+        let m = Matrix::<i32>::new(2, 5);
+        let t = transpose(&m);
+        assert_eq!(t.nrows(), 5);
+        assert_eq!(t.ncols(), 2);
+        assert!(t.is_transposed());
+        let p = MatrixArg::from(&m);
+        assert_eq!(p.nrows(), 2);
+        assert!(!p.is_transposed());
+    }
+
+    #[test]
+    fn materialize_transposes() {
+        let m = Matrix::from_triples(2, 3, [(0usize, 2usize, 7i32)]).unwrap();
+        let t = transpose(&m).materialize();
+        assert_eq!(t.get(2, 0), Some(7));
+        let p = MatrixArg::from(&m).materialize();
+        assert_eq!(p.get(0, 2), Some(7));
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let m = Matrix::<bool>::new(3, 4);
+        let a = MatrixArg::from(&m).flip().flip();
+        assert!(!a.is_transposed());
+    }
+
+    #[test]
+    fn double_complement_restores() {
+        let m = Vector::from_pairs(3, [(0usize, true)]).unwrap();
+        let cc = complement(complement(&m));
+        assert!(cc.allows(0));
+        assert!(!cc.allows(1));
+    }
+
+    #[test]
+    fn replace_constants() {
+        assert_eq!(MERGE, Replace(false));
+        assert_eq!(REPLACE, Replace(true));
+    }
+}

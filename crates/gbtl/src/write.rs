@@ -1,0 +1,396 @@
+//! The GraphBLAS output-write step: `C⟨M, z⟩ = C ⊙ T`.
+//!
+//! Every operation computes an intermediate result `T` and then funnels
+//! through this module, which implements the specification's two-phase
+//! write exactly:
+//!
+//! 1. **Accumulate**: `Z = C ⊙ T` when an accumulator is active
+//!    (union merge: positions in both get `⊙(c, t)`, positions in only
+//!    one keep their value); `Z = T` otherwise.
+//! 2. **Mask / replace**: for every position `i`,
+//!    `C(i) = M(i) ? Z(i) : (z ? ∅ : C(i))` — masked-in positions take
+//!    `Z` (including *absence* of `Z`, which deletes), masked-out
+//!    positions are kept ("merge") or deleted ("replace").
+//!
+//! `assign` builds its own `Z` (its `T` only covers the assigned index
+//! region) and calls [`finalize_vector`] / [`finalize_matrix`] directly.
+
+use crate::index::IndexType;
+use crate::mask::{MatrixMask, VectorMask};
+use crate::matrix::Matrix;
+use crate::ops::accum::Accum;
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+use crate::views::Replace;
+
+/// Phase 1 for vectors: `Z = C ⊙ T` (or `Z = T` with no accumulator).
+pub fn merge_accum_vector<T: Scalar, A: Accum<T>>(
+    c: &Vector<T>,
+    t: Vector<T>,
+    accum: &A,
+) -> Vector<T> {
+    if !accum.is_active() {
+        return t;
+    }
+    let mut indices = Vec::with_capacity(c.nvals() + t.nvals());
+    let mut values = Vec::with_capacity(c.nvals() + t.nvals());
+    let mut ci = c.iter().peekable();
+    let mut ti = t.iter().peekable();
+    loop {
+        match (ci.peek().copied(), ti.peek().copied()) {
+            (Some((i, cv)), Some((j, tv))) => {
+                if i == j {
+                    indices.push(i);
+                    values.push(accum.accum(cv, tv));
+                    ci.next();
+                    ti.next();
+                } else if i < j {
+                    indices.push(i);
+                    values.push(cv);
+                    ci.next();
+                } else {
+                    indices.push(j);
+                    values.push(tv);
+                    ti.next();
+                }
+            }
+            (Some((i, cv)), None) => {
+                indices.push(i);
+                values.push(cv);
+                ci.next();
+            }
+            (None, Some((j, tv))) => {
+                indices.push(j);
+                values.push(tv);
+                ti.next();
+            }
+            (None, None) => break,
+        }
+    }
+    Vector::from_sorted_entries(c.size(), indices, values)
+}
+
+/// Phase 2 for vectors: merge `Z` into `C` under the mask and replace
+/// flag.
+pub fn finalize_vector<T: Scalar, M: VectorMask + ?Sized>(
+    c: &mut Vector<T>,
+    mask: &M,
+    z: Vector<T>,
+    replace: Replace,
+) {
+    if mask.is_all() {
+        // Every position is masked in: C simply becomes Z.
+        *c = z;
+        return;
+    }
+    let mut indices = Vec::with_capacity(z.nvals() + c.nvals());
+    let mut values = Vec::with_capacity(z.nvals() + c.nvals());
+    let mut ci = c.iter().peekable();
+    let mut zi = z.iter().peekable();
+    loop {
+        let (i, cv, zv) = match (ci.peek().copied(), zi.peek().copied()) {
+            (Some((i, cv)), Some((j, zv))) => {
+                if i == j {
+                    ci.next();
+                    zi.next();
+                    (i, Some(cv), Some(zv))
+                } else if i < j {
+                    ci.next();
+                    (i, Some(cv), None)
+                } else {
+                    zi.next();
+                    (j, None, Some(zv))
+                }
+            }
+            (Some((i, cv)), None) => {
+                ci.next();
+                (i, Some(cv), None)
+            }
+            (None, Some((j, zv))) => {
+                zi.next();
+                (j, None, Some(zv))
+            }
+            (None, None) => break,
+        };
+        let out = if mask.allows(i) {
+            zv
+        } else if replace.0 {
+            None
+        } else {
+            cv
+        };
+        if let Some(v) = out {
+            indices.push(i);
+            values.push(v);
+        }
+    }
+    drop(ci);
+    *c = Vector::from_sorted_entries(c.size(), indices, values);
+}
+
+/// Both phases for vectors: the standard tail of every vector-producing
+/// operation.
+pub fn write_vector<T: Scalar, M: VectorMask + ?Sized, A: Accum<T>>(
+    c: &mut Vector<T>,
+    mask: &M,
+    accum: &A,
+    t: Vector<T>,
+    replace: Replace,
+) {
+    let z = merge_accum_vector(c, t, accum);
+    finalize_vector(c, mask, z, replace);
+}
+
+/// Phase 1 for matrices: row-wise union merge.
+pub fn merge_accum_matrix<T: Scalar, A: Accum<T>>(
+    c: &Matrix<T>,
+    t: Matrix<T>,
+    accum: &A,
+) -> Matrix<T> {
+    if !accum.is_active() {
+        return t;
+    }
+    let nrows = c.nrows();
+    let mut rows: Vec<Vec<(IndexType, T)>> = Vec::with_capacity(nrows);
+    for i in 0..nrows {
+        let (c_cols, c_vals) = c.row(i);
+        let (t_cols, t_vals) = t.row(i);
+        rows.push(union_merge_row(
+            c_cols,
+            c_vals,
+            t_cols,
+            t_vals,
+            |cv, tv| accum.accum(cv, tv),
+        ));
+    }
+    Matrix::from_rows(nrows, c.ncols(), rows)
+}
+
+/// Union-merge two sorted rows, combining collisions with `both`.
+fn union_merge_row<T: Scalar, F: Fn(T, T) -> T>(
+    a_cols: &[IndexType],
+    a_vals: &[T],
+    b_cols: &[IndexType],
+    b_vals: &[T],
+    both: F,
+) -> Vec<(IndexType, T)> {
+    let mut out = Vec::with_capacity(a_cols.len() + b_cols.len());
+    let (mut p, mut q) = (0, 0);
+    while p < a_cols.len() && q < b_cols.len() {
+        let (ac, bc) = (a_cols[p], b_cols[q]);
+        if ac == bc {
+            out.push((ac, both(a_vals[p], b_vals[q])));
+            p += 1;
+            q += 1;
+        } else if ac < bc {
+            out.push((ac, a_vals[p]));
+            p += 1;
+        } else {
+            out.push((bc, b_vals[q]));
+            q += 1;
+        }
+    }
+    out.extend(a_cols[p..].iter().copied().zip(a_vals[p..].iter().copied()));
+    out.extend(b_cols[q..].iter().copied().zip(b_vals[q..].iter().copied()));
+    out
+}
+
+/// Phase 2 for matrices.
+pub fn finalize_matrix<T: Scalar, M: MatrixMask + ?Sized>(
+    c: &mut Matrix<T>,
+    mask: &M,
+    z: Matrix<T>,
+    replace: Replace,
+) {
+    if mask.is_all() {
+        *c = z;
+        return;
+    }
+    let nrows = c.nrows();
+    let mut rows: Vec<Vec<(IndexType, T)>> = Vec::with_capacity(nrows);
+    for i in 0..nrows {
+        let (c_cols, c_vals) = c.row(i);
+        let (z_cols, z_vals) = z.row(i);
+        let mut row: Vec<(IndexType, T)> = Vec::with_capacity(c_cols.len() + z_cols.len());
+        let (mut p, mut q) = (0, 0);
+        loop {
+            let (j, cv, zv) = if p < c_cols.len() && q < z_cols.len() {
+                let (cc, zc) = (c_cols[p], z_cols[q]);
+                if cc == zc {
+                    p += 1;
+                    q += 1;
+                    (cc, Some(c_vals[p - 1]), Some(z_vals[q - 1]))
+                } else if cc < zc {
+                    p += 1;
+                    (cc, Some(c_vals[p - 1]), None)
+                } else {
+                    q += 1;
+                    (zc, None, Some(z_vals[q - 1]))
+                }
+            } else if p < c_cols.len() {
+                p += 1;
+                (c_cols[p - 1], Some(c_vals[p - 1]), None)
+            } else if q < z_cols.len() {
+                q += 1;
+                (z_cols[q - 1], None, Some(z_vals[q - 1]))
+            } else {
+                break;
+            };
+            let out = if mask.allows(i, j) {
+                zv
+            } else if replace.0 {
+                None
+            } else {
+                cv
+            };
+            if let Some(v) = out {
+                row.push((j, v));
+            }
+        }
+        rows.push(row);
+    }
+    *c = Matrix::from_rows(nrows, c.ncols(), rows);
+}
+
+/// Both phases for matrices.
+pub fn write_matrix<T: Scalar, M: MatrixMask + ?Sized, A: Accum<T>>(
+    c: &mut Matrix<T>,
+    mask: &M,
+    accum: &A,
+    t: Matrix<T>,
+    replace: Replace,
+) {
+    let z = merge_accum_matrix(c, t, accum);
+    finalize_matrix(c, mask, z, replace);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::NoMask;
+    use crate::ops::accum::{Accumulate, NoAccumulate};
+    use crate::ops::binary::Plus;
+    use crate::views::{complement, MERGE, REPLACE};
+
+    fn v(pairs: &[(usize, i32)]) -> Vector<i32> {
+        Vector::from_pairs(6, pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn no_mask_no_accum_overwrites() {
+        let mut c = v(&[(0, 1), (5, 9)]);
+        write_vector(&mut c, &NoMask, &NoAccumulate, v(&[(2, 4)]), MERGE);
+        assert_eq!(c, v(&[(2, 4)]));
+    }
+
+    #[test]
+    fn accum_union_merges() {
+        let mut c = v(&[(0, 1), (2, 2)]);
+        write_vector(
+            &mut c,
+            &NoMask,
+            &Accumulate(Plus::<i32>::new()),
+            v(&[(2, 10), (4, 40)]),
+            MERGE,
+        );
+        assert_eq!(c, v(&[(0, 1), (2, 12), (4, 40)]));
+    }
+
+    #[test]
+    fn merge_keeps_masked_out_entries() {
+        let mut c = v(&[(0, 1), (1, 2), (2, 3)]);
+        let mask = v(&[(1, 1)]); // only position 1 writable
+        write_vector(&mut c, &mask, &NoAccumulate, v(&[(1, 99), (2, 77)]), MERGE);
+        // position 1 takes Z; positions 0 and 2 are masked out → kept.
+        assert_eq!(c, v(&[(0, 1), (1, 99), (2, 3)]));
+    }
+
+    #[test]
+    fn replace_deletes_masked_out_entries() {
+        let mut c = v(&[(0, 1), (1, 2), (2, 3)]);
+        let mask = v(&[(1, 1)]);
+        write_vector(
+            &mut c,
+            &mask,
+            &NoAccumulate,
+            v(&[(1, 99), (2, 77)]),
+            REPLACE,
+        );
+        assert_eq!(c, v(&[(1, 99)]));
+    }
+
+    #[test]
+    fn masked_in_absence_deletes() {
+        // Without accum, a masked-in position where T has no entry loses
+        // its C entry (Z = T there, which is empty).
+        let mut c = v(&[(1, 2)]);
+        let mask = v(&[(1, 1)]);
+        write_vector(&mut c, &mask, &NoAccumulate, v(&[]), MERGE);
+        assert_eq!(c, v(&[]));
+    }
+
+    #[test]
+    fn masked_in_absence_kept_with_accum() {
+        // With accum, Z = C ⊙ T keeps C-only entries.
+        let mut c = v(&[(1, 2)]);
+        let mask = v(&[(1, 1)]);
+        write_vector(
+            &mut c,
+            &mask,
+            &Accumulate(Plus::<i32>::new()),
+            v(&[]),
+            MERGE,
+        );
+        assert_eq!(c, v(&[(1, 2)]));
+    }
+
+    #[test]
+    fn complemented_mask() {
+        let mut c = v(&[(0, 1), (1, 2)]);
+        let mask = v(&[(1, 1)]);
+        write_vector(
+            &mut c,
+            &complement(&mask),
+            &NoAccumulate,
+            v(&[(0, 50), (1, 60)]),
+            MERGE,
+        );
+        // complement allows 0, forbids 1.
+        assert_eq!(c, v(&[(0, 50), (1, 2)]));
+    }
+
+    #[test]
+    fn matrix_write_mask_replace() {
+        let mut c =
+            Matrix::from_triples(2, 2, [(0usize, 0usize, 1i32), (0, 1, 2), (1, 1, 3)]).unwrap();
+        let mask = Matrix::from_triples(2, 2, [(0usize, 0usize, true)]).unwrap();
+        let t = Matrix::from_triples(2, 2, [(0usize, 0usize, 10i32), (1, 0, 20)]).unwrap();
+        write_matrix(&mut c, &mask, &NoAccumulate, t.clone(), MERGE);
+        assert_eq!(c.get(0, 0), Some(10));
+        assert_eq!(c.get(0, 1), Some(2)); // masked out, merged
+        assert_eq!(c.get(1, 0), None); // masked out, t ignored
+        assert_eq!(c.get(1, 1), Some(3));
+
+        let mut c2 =
+            Matrix::from_triples(2, 2, [(0usize, 0usize, 1i32), (0, 1, 2), (1, 1, 3)]).unwrap();
+        write_matrix(&mut c2, &mask, &NoAccumulate, t, REPLACE);
+        assert_eq!(c2.nvals(), 1);
+        assert_eq!(c2.get(0, 0), Some(10));
+    }
+
+    #[test]
+    fn matrix_accum() {
+        let mut c = Matrix::from_triples(1, 3, [(0usize, 0usize, 1i32), (0, 2, 3)]).unwrap();
+        let t = Matrix::from_triples(1, 3, [(0usize, 0usize, 10i32), (0, 1, 20)]).unwrap();
+        write_matrix(&mut c, &NoMask, &Accumulate(Plus::<i32>::new()), t, MERGE);
+        assert_eq!(c.get(0, 0), Some(11));
+        assert_eq!(c.get(0, 1), Some(20));
+        assert_eq!(c.get(0, 2), Some(3));
+    }
+
+    #[test]
+    fn union_merge_row_basics() {
+        let out = union_merge_row(&[0, 2], &[1i32, 3], &[1, 2], &[10, 30], |a, b| a + b);
+        assert_eq!(out, vec![(0, 1), (1, 10), (2, 33)]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Degenerate shapes, extreme values, and decoration combinations the
+//! unit tests don't reach — every operation must behave sensibly on
+//! empty containers, 1×1 containers, and fully-dense containers.
+
+use gbtl::ops::accum::Accumulate;
+use gbtl::prelude::*;
+
+#[test]
+fn mxm_on_empty_operands() {
+    // Zero-dimension matrices are legal GraphBLAS objects.
+    let a = Matrix::<f64>::new(0, 0);
+    let mut c = Matrix::<f64>::new(0, 0);
+    operations::mxm(
+        &mut c,
+        &NoMask,
+        NoAccumulate,
+        &ArithmeticSemiring::new(),
+        &a,
+        &a,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(c.nvals(), 0);
+
+    // Structurally empty but nonzero-dimension operands.
+    let a = Matrix::<f64>::new(5, 7);
+    let b = Matrix::<f64>::new(7, 3);
+    let mut c = Matrix::<f64>::new(5, 3);
+    operations::mxm(
+        &mut c,
+        &NoMask,
+        NoAccumulate,
+        &ArithmeticSemiring::new(),
+        &a,
+        &b,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(c.nvals(), 0);
+    assert!(c.is_valid());
+}
+
+#[test]
+fn one_by_one_everything() {
+    let a = Matrix::from_triples(1, 1, [(0usize, 0usize, 3i64)]).unwrap();
+    let mut c = Matrix::<i64>::new(1, 1);
+    operations::mxm(
+        &mut c,
+        &NoMask,
+        NoAccumulate,
+        &ArithmeticSemiring::new(),
+        &a,
+        &a,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(c.get(0, 0), Some(9));
+    operations::transpose_into(&mut c, &NoMask, NoAccumulate, &a, Replace(false)).unwrap();
+    assert_eq!(c.get(0, 0), Some(3));
+    assert_eq!(
+        operations::reduce_matrix_scalar(&PlusMonoid::new(), &a),
+        3
+    );
+}
+
+#[test]
+fn fully_dense_operands() {
+    let n = 16;
+    let a = Matrix::from_dense(&vec![vec![1.0f64; n]; n]).unwrap();
+    let mut c = Matrix::<f64>::new(n, n);
+    operations::mxm(
+        &mut c,
+        &NoMask,
+        NoAccumulate,
+        &ArithmeticSemiring::new(),
+        &a,
+        &a,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(c.nvals(), n * n);
+    assert_eq!(c.get(3, 7), Some(n as f64));
+}
+
+#[test]
+fn stored_zeros_participate_structurally() {
+    // GraphBLAS distinguishes stored zeros from absent entries: an
+    // explicitly stored 0 produces entries through ⊗.
+    let a = Matrix::from_triples(1, 1, [(0usize, 0usize, 0.0f64)]).unwrap();
+    let mut c = Matrix::<f64>::new(1, 1);
+    operations::mxm(
+        &mut c,
+        &NoMask,
+        NoAccumulate,
+        &ArithmeticSemiring::new(),
+        &a,
+        &a,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(c.nvals(), 1); // 0·0 = 0, stored
+    assert_eq!(c.get(0, 0), Some(0.0));
+}
+
+#[test]
+fn extreme_values_in_min_plus() {
+    // Tropical zero (∞) must annihilate through ⊗ = +.
+    let inf = f64::INFINITY;
+    let a = Matrix::from_triples(2, 2, [(0usize, 1usize, inf), (1, 0, 1.0)]).unwrap();
+    let x = Vector::from_pairs(2, [(1usize, 2.0f64)]).unwrap();
+    let mut w = Vector::<f64>::new(2);
+    operations::mxv(
+        &mut w,
+        &NoMask,
+        NoAccumulate,
+        &MinPlusSemiring::new(),
+        &a,
+        &x,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(w.get(0), Some(inf)); // ∞ + 2 = ∞, stored (structural)
+}
+
+#[test]
+fn integer_extremes_wrap_not_panic() {
+    let a = Matrix::from_triples(1, 1, [(0usize, 0usize, i64::MAX)]).unwrap();
+    let mut c = Matrix::<i64>::new(1, 1);
+    operations::e_wise_add_matrix(
+        &mut c,
+        &NoMask,
+        NoAccumulate,
+        gbtl::ops::binary::Plus::new(),
+        &a,
+        &a,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(c.get(0, 0), Some(i64::MAX.wrapping_add(i64::MAX)));
+}
+
+#[test]
+fn every_operation_rejects_bad_mask_shape() {
+    let a = Matrix::<f64>::new(3, 3);
+    let u = Vector::<f64>::new(3);
+    let bad_m = Matrix::<bool>::new(2, 2);
+    let bad_v = Vector::<bool>::new(2);
+    let sr = ArithmeticSemiring::<f64>::new();
+
+    let mut c = Matrix::<f64>::new(3, 3);
+    assert!(
+        operations::mxm(&mut c, &bad_m, NoAccumulate, &sr, &a, &a, Replace(false)).is_err()
+    );
+    assert!(operations::e_wise_add_matrix(
+        &mut c,
+        &bad_m,
+        NoAccumulate,
+        gbtl::ops::binary::Plus::new(),
+        &a,
+        &a,
+        Replace(false)
+    )
+    .is_err());
+    assert!(operations::apply_matrix(
+        &mut c,
+        &bad_m,
+        NoAccumulate,
+        gbtl::ops::unary::Identity::new(),
+        &a,
+        Replace(false)
+    )
+    .is_err());
+
+    let mut w = Vector::<f64>::new(3);
+    assert!(
+        operations::mxv(&mut w, &bad_v, NoAccumulate, &sr, &a, &u, Replace(false)).is_err()
+    );
+    assert!(operations::assign_vector_constant(
+        &mut w,
+        &bad_v,
+        NoAccumulate,
+        1.0,
+        &Indices::All,
+        Replace(false)
+    )
+    .is_err());
+}
+
+#[test]
+fn transposed_mask_free_operations_compose() {
+    // (Aᵀ)ᵀ through two transposed eWise operands.
+    let a = Matrix::from_triples(2, 3, [(0usize, 2usize, 5i64), (1, 0, 2)]).unwrap();
+    let mut sym = Matrix::<i64>::new(3, 2);
+    operations::e_wise_add_matrix(
+        &mut sym,
+        &NoMask,
+        NoAccumulate,
+        gbtl::ops::binary::Plus::new(),
+        transpose(&a),
+        transpose(&a),
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(sym.get(2, 0), Some(10));
+    assert_eq!(sym.get(0, 1), Some(4));
+}
+
+#[test]
+fn accumulate_into_empty_output_equals_plain_write() {
+    let a = Vector::from_pairs(4, [(1usize, 7i64)]).unwrap();
+    let b = Vector::from_pairs(4, [(2usize, 8i64)]).unwrap();
+    let mut with_accum = Vector::<i64>::new(4);
+    operations::e_wise_add_vector(
+        &mut with_accum,
+        &NoMask,
+        Accumulate(gbtl::ops::binary::Plus::new()),
+        gbtl::ops::binary::Plus::new(),
+        &a,
+        &b,
+        Replace(false),
+    )
+    .unwrap();
+    let mut without = Vector::<i64>::new(4);
+    operations::e_wise_add_vector(
+        &mut without,
+        &NoMask,
+        NoAccumulate,
+        gbtl::ops::binary::Plus::new(),
+        &a,
+        &b,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(with_accum, without);
+}
+
+#[test]
+fn assign_full_range_equals_all() {
+    let u = Vector::from_dense(&[1i64, 2, 3]);
+    let mut w1 = Vector::<i64>::new(3);
+    operations::assign_vector(
+        &mut w1,
+        &NoMask,
+        NoAccumulate,
+        &u,
+        &Indices::All,
+        Replace(false),
+    )
+    .unwrap();
+    let mut w2 = Vector::<i64>::new(3);
+    operations::assign_vector(
+        &mut w2,
+        &NoMask,
+        NoAccumulate,
+        &u,
+        &Indices::Range(0, 3),
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(w1, w2);
+}
+
+#[test]
+fn extract_empty_selection() {
+    let a = Matrix::from_dense(&[vec![1i64, 2], vec![3, 4]]).unwrap();
+    let mut c = Matrix::<i64>::new(0, 2);
+    operations::extract_matrix(
+        &mut c,
+        &NoMask,
+        NoAccumulate,
+        &a,
+        &Indices::Range(1, 1),
+        &Indices::All,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(c.nvals(), 0);
+    assert_eq!(c.shape(), (0, 2));
+}
+
+#[test]
+fn reduce_empty_row_vs_missing_row() {
+    // A matrix with an entirely empty middle row: the reduce-to-vector
+    // result has no entry there (not a stored identity).
+    let a = Matrix::from_triples(3, 3, [(0usize, 0usize, 2i64), (2, 2, 3)]).unwrap();
+    let mut w = Vector::<i64>::new(3);
+    operations::reduce_matrix_to_vector(
+        &mut w,
+        &NoMask,
+        NoAccumulate,
+        &MinMonoid::new(),
+        &a,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(w.nvals(), 2);
+    assert_eq!(w.get(1), None);
+}
+
+#[test]
+fn self_assignment_via_clone_is_stable() {
+    // w[None] = w (through a snapshot) must be the identity.
+    let w0 = Vector::from_pairs(5, [(0usize, 1i64), (3, -3)]).unwrap();
+    let mut w = w0.clone();
+    let snapshot = w.clone();
+    operations::assign_vector(
+        &mut w,
+        &NoMask,
+        NoAccumulate,
+        &snapshot,
+        &Indices::All,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(w, w0);
+}
+
+#[test]
+fn masked_dot_mxm_with_empty_mask() {
+    let l = Matrix::from_triples(3, 3, [(1usize, 0usize, 1i64), (2, 1, 1)]).unwrap();
+    let empty_mask = Matrix::<bool>::new(3, 3);
+    let mut c = Matrix::<i64>::new(3, 3);
+    operations::mxm_masked_dot(
+        &mut c,
+        &empty_mask,
+        NoAccumulate,
+        &ArithmeticSemiring::new(),
+        &l,
+        &l,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(c.nvals(), 0);
+}

@@ -1,0 +1,144 @@
+//! Property tests for the algebraic laws GraphBLAS assumes of its
+//! predefined operators: monoid identity/associativity/commutativity,
+//! and semiring distributivity with the ⊕-identity annihilating ⊗.
+//!
+//! Laws are tested on domains where they hold *exactly*: wrapping
+//! integers form a commutative ring, `bool` is a Boolean algebra, and
+//! min/max lattices are exact everywhere. (IEEE float addition is not
+//! associative, which is why floats are exercised by the reference
+//! comparisons elsewhere rather than by law-checking.)
+
+use proptest::prelude::*;
+
+use gbtl::ops::kind::{BinaryOpKind, IdentityKind, KindMonoid, KindSemiring};
+use gbtl::ops::{Monoid, Semiring};
+
+fn monoids_exact_on_i64() -> Vec<KindMonoid> {
+    // The logical monoids are exact only on `bool` (they coerce any
+    // other domain through truthiness, so e.g. LogicalOr(2, 0) = 1 ≠ 2);
+    // they are law-checked separately below.
+    vec![
+        KindMonoid::new(BinaryOpKind::Plus, IdentityKind::Zero),
+        KindMonoid::new(BinaryOpKind::Times, IdentityKind::One),
+        KindMonoid::new(BinaryOpKind::Min, IdentityKind::MinIdentity),
+        KindMonoid::new(BinaryOpKind::Max, IdentityKind::MaxIdentity),
+    ]
+}
+
+fn logical_monoids() -> Vec<KindMonoid> {
+    vec![
+        KindMonoid::new(BinaryOpKind::LogicalOr, IdentityKind::Zero),
+        KindMonoid::new(BinaryOpKind::LogicalAnd, IdentityKind::One),
+        KindMonoid::new(BinaryOpKind::LogicalXor, IdentityKind::Zero),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn monoid_laws_on_wrapping_i64(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        for m in monoids_exact_on_i64() {
+            let id: i64 = Monoid::<i64>::identity(&m);
+            // Identity.
+            prop_assert_eq!(m.apply(a, id), a, "{:?} right identity", m);
+            prop_assert_eq!(m.apply(id, a), a, "{:?} left identity", m);
+            // Associativity.
+            prop_assert_eq!(
+                m.apply(m.apply(a, b), c),
+                m.apply(a, m.apply(b, c)),
+                "{:?} associativity", m
+            );
+            // Commutativity.
+            prop_assert_eq!(m.apply(a, b), m.apply(b, a), "{:?} commutativity", m);
+        }
+    }
+
+    #[test]
+    fn logical_monoid_laws_on_bool(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        for m in logical_monoids() {
+            let id: bool = Monoid::<bool>::identity(&m);
+            prop_assert_eq!(m.apply(a, id), a, "{:?} right identity", m);
+            prop_assert_eq!(m.apply(id, a), a, "{:?} left identity", m);
+            prop_assert_eq!(
+                m.apply(m.apply(a, b), c),
+                m.apply(a, m.apply(b, c)),
+                "{:?} associativity", m
+            );
+            prop_assert_eq!(m.apply(a, b), m.apply(b, a), "{:?} commutativity", m);
+        }
+    }
+
+    #[test]
+    fn arithmetic_semiring_is_a_ring_on_wrapping_i64(
+        a in any::<i64>(), b in any::<i64>(), c in any::<i64>(),
+    ) {
+        let s = KindSemiring::from_name("ArithmeticSemiring").unwrap();
+        // Distributivity (exact under wrapping arithmetic).
+        prop_assert_eq!(
+            s.mult(a, s.add(b, c)),
+            Semiring::<i64>::add(&s, s.mult(a, b), s.mult(a, c))
+        );
+        // The ⊕-identity annihilates ⊗.
+        let zero: i64 = Semiring::<i64>::zero(&s);
+        prop_assert_eq!(s.mult(a, zero), zero);
+        prop_assert_eq!(s.mult(zero, a), zero);
+    }
+
+    #[test]
+    fn logical_semiring_laws_on_bool(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        let s = KindSemiring::from_name("LogicalSemiring").unwrap();
+        prop_assert_eq!(
+            s.mult(a, s.add(b, c)),
+            Semiring::<bool>::add(&s, s.mult(a, b), s.mult(a, c))
+        );
+        let zero: bool = Semiring::<bool>::zero(&s);
+        prop_assert_eq!(s.mult(a, zero), zero);
+        // Idempotence of ∨.
+        prop_assert_eq!(s.add(a, a), a);
+    }
+
+    #[test]
+    fn min_plus_is_a_semiring_within_safe_range(
+        a in -100_000i64..100_000, b in -100_000i64..100_000, c in -100_000i64..100_000,
+    ) {
+        // Tropical laws hold exactly while sums stay far from the
+        // MAX sentinel (no wrap past the Min identity).
+        let s = KindSemiring::from_name("MinPlusSemiring").unwrap();
+        prop_assert_eq!(
+            s.mult(a, s.add(b, c)),
+            Semiring::<i64>::add(&s, s.mult(a, b), s.mult(a, c)),
+            "a + min(b,c) == min(a+b, a+c)"
+        );
+        // ⊕ (min) is idempotent.
+        prop_assert_eq!(s.add(a, a), a);
+        // Identity of min.
+        let inf: i64 = Semiring::<i64>::zero(&s);
+        prop_assert_eq!(s.add(a, inf), a);
+    }
+
+    #[test]
+    fn select_semirings_project(a in any::<u32>(), b in any::<u32>()) {
+        let s1 = KindSemiring::from_name("MinSelect1stSemiring").unwrap();
+        let s2 = KindSemiring::from_name("MinSelect2ndSemiring").unwrap();
+        prop_assert_eq!(Semiring::<u32>::mult(&s1, a, b), a);
+        prop_assert_eq!(Semiring::<u32>::mult(&s2, a, b), b);
+        // Their ⊕ is the same min lattice.
+        prop_assert_eq!(Semiring::<u32>::add(&s1, a, b), a.min(b));
+    }
+
+    #[test]
+    fn monoid_fold_order_invariance(values in proptest::collection::vec(any::<i64>(), 0..24)) {
+        // Folding in any grouping gives the same result — the property
+        // reduce (and parallel row sums) rely on.
+        for m in monoids_exact_on_i64() {
+            let id: i64 = Monoid::<i64>::identity(&m);
+            let left = values.iter().fold(id, |acc, &v| m.apply(acc, v));
+            let right = values.iter().rev().fold(id, |acc, &v| m.apply(v, acc));
+            prop_assert_eq!(left, right, "{:?}", m);
+            // Split-and-combine (simulating a parallel tree reduction).
+            let mid = values.len() / 2;
+            let l = values[..mid].iter().fold(id, |acc, &v| m.apply(acc, v));
+            let r = values[mid..].iter().fold(id, |acc, &v| m.apply(acc, v));
+            prop_assert_eq!(m.apply(l, r), left, "{:?} split", m);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Section VIII future work, demonstrated on the substrate: "One
+//! interesting prospect is to define sets as the data type of a matrix,
+//! and a semiring that performs set unions and intersections."
+//!
+//! Because GBTL-rs kernels are generic over [`gbtl::Scalar`], a custom
+//! scalar domain drops in without touching the library: here a 64-bit
+//! bitset whose ⊕ is set union and whose ⊗ is set intersection.
+
+use std::fmt;
+
+use gbtl::ops::monoid::GenMonoid;
+use gbtl::ops::semiring::GenSemiring;
+use gbtl::prelude::*;
+use gbtl::ops::BinaryOp as BinaryOpTrait;
+
+/// A set over the universe `{0, …, 63}`, stored as a bitmask.
+#[derive(Copy, Clone, PartialEq, PartialOrd, Debug, Default)]
+struct SetScalar(u64);
+
+impl SetScalar {
+    fn of(items: &[u32]) -> SetScalar {
+        SetScalar(items.iter().fold(0, |m, &i| m | (1 << i)))
+    }
+    fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl fmt::Display for SetScalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{0x{:x}}}", self.0)
+    }
+}
+
+impl Scalar for SetScalar {
+    const NAME: &'static str = "set64";
+    const IS_FLOAT: bool = false;
+    const IS_BOOL: bool = false;
+    const IS_SIGNED_INT: bool = false;
+    const BITS: u32 = 64;
+
+    fn zero() -> Self {
+        SetScalar(0) // ∅ — the union identity and intersection annihilator
+    }
+    fn one() -> Self {
+        SetScalar(u64::MAX) // the full universe — intersection identity
+    }
+    fn min_identity() -> Self {
+        SetScalar(u64::MAX)
+    }
+    fn max_identity() -> Self {
+        SetScalar(0)
+    }
+    fn s_add(self, b: Self) -> Self {
+        SetScalar(self.0 | b.0) // union
+    }
+    fn s_sub(self, b: Self) -> Self {
+        SetScalar(self.0 & !b.0) // set difference
+    }
+    fn s_mul(self, b: Self) -> Self {
+        SetScalar(self.0 & b.0) // intersection
+    }
+    fn s_div(self, b: Self) -> Self {
+        SetScalar(self.0 & !b.0)
+    }
+    fn s_min(self, b: Self) -> Self {
+        SetScalar(self.0 & b.0)
+    }
+    fn s_max(self, b: Self) -> Self {
+        SetScalar(self.0 | b.0)
+    }
+    fn s_ainv(self) -> Self {
+        SetScalar(!self.0) // complement
+    }
+    fn s_minv(self) -> Self {
+        SetScalar(!self.0)
+    }
+    fn to_bool(self) -> bool {
+        self.0 != 0
+    }
+    fn from_bool(b: bool) -> Self {
+        if b {
+            SetScalar(u64::MAX)
+        } else {
+            SetScalar(0)
+        }
+    }
+    fn to_f64(self) -> f64 {
+        self.0 as f64
+    }
+    fn from_f64(v: f64) -> Self {
+        SetScalar(v as u64)
+    }
+    fn to_i64(self) -> i64 {
+        self.0 as i64
+    }
+    fn from_i64(v: i64) -> Self {
+        SetScalar(v as u64)
+    }
+}
+
+/// The union/intersection semiring of Section VIII.
+fn set_semiring() -> impl Semiring<SetScalar> {
+    let union_monoid = GenMonoid::new(
+        gbtl::ops::binary::Plus::<SetScalar>::new(), // |
+        SetScalar::zero(),
+    );
+    GenSemiring::new(union_monoid, gbtl::ops::binary::Times::<SetScalar>::new()) // &
+}
+
+#[test]
+fn semiring_laws_hold_for_sets() {
+    let sr = set_semiring();
+    let a = SetScalar::of(&[1, 2, 3]);
+    let b = SetScalar::of(&[3, 4]);
+    let c = SetScalar::of(&[2, 4, 9]);
+    // ⊕ identity & commutativity.
+    assert_eq!(sr.add(a, sr.zero()), a);
+    assert_eq!(sr.add(a, b), sr.add(b, a));
+    // ⊗ annihilated by ∅.
+    assert_eq!(sr.mult(a, sr.zero()), sr.zero());
+    // Distributivity: a ∩ (b ∪ c) = (a ∩ b) ∪ (a ∩ c).
+    assert_eq!(
+        sr.mult(a, sr.add(b, c)),
+        sr.add(sr.mult(a, b), sr.mult(a, c))
+    );
+}
+
+#[test]
+fn mxv_computes_reachable_label_sets() {
+    // Each edge carries a set of labels; wᵢ = ⋃ⱼ (A(i,j) ∩ u(j))
+    // collects which labels can reach vertex i through a labeled edge.
+    let a = Matrix::from_triples(
+        3,
+        3,
+        [
+            (0usize, 1usize, SetScalar::of(&[0, 1])),
+            (0, 2, SetScalar::of(&[2])),
+            (1, 2, SetScalar::of(&[1, 2])),
+        ],
+    )
+    .unwrap();
+    let u = Vector::from_pairs(
+        3,
+        [
+            (1usize, SetScalar::of(&[1, 5])),
+            (2, SetScalar::of(&[1, 2])),
+        ],
+    )
+    .unwrap();
+    let mut w = Vector::<SetScalar>::new(3);
+    operations::mxv(
+        &mut w,
+        &NoMask,
+        NoAccumulate,
+        &set_semiring(),
+        &a,
+        &u,
+        Replace(false),
+    )
+    .unwrap();
+    // Row 0: ({0,1} ∩ {1,5}) ∪ ({2} ∩ {1,2}) = {1} ∪ {2} = {1,2}.
+    assert_eq!(w.get(0), Some(SetScalar::of(&[1, 2])));
+    // Row 1: {1,2} ∩ {1,2} = {1,2}.
+    assert_eq!(w.get(1), Some(SetScalar::of(&[1, 2])));
+    assert_eq!(w.get(2), None);
+}
+
+#[test]
+fn mxm_propagates_sets_two_hops() {
+    let edge = |s: &[u32]| SetScalar::of(s);
+    let a = Matrix::from_triples(2, 2, [(0usize, 1usize, edge(&[0, 1, 2]))]).unwrap();
+    let b = Matrix::from_triples(2, 2, [(1usize, 0usize, edge(&[1, 2, 3]))]).unwrap();
+    let mut c = Matrix::<SetScalar>::new(2, 2);
+    operations::mxm(
+        &mut c,
+        &NoMask,
+        NoAccumulate,
+        &set_semiring(),
+        &a,
+        &b,
+        Replace(false),
+    )
+    .unwrap();
+    // Labels surviving both hops: {0,1,2} ∩ {1,2,3} = {1,2}.
+    assert_eq!(c.get(0, 0), Some(edge(&[1, 2])));
+    assert_eq!(c.get(0, 0).unwrap().len(), 2);
+}
+
+#[test]
+fn reduce_unions_all_sets() {
+    let u = Vector::from_pairs(
+        4,
+        [
+            (0usize, SetScalar::of(&[0])),
+            (2, SetScalar::of(&[5, 9])),
+            (3, SetScalar::of(&[9, 63])),
+        ],
+    )
+    .unwrap();
+    let union_monoid = GenMonoid::new(
+        gbtl::ops::binary::Plus::<SetScalar>::new(),
+        SetScalar::zero(),
+    );
+    let total = operations::reduce_vector_scalar(&union_monoid, &u);
+    assert_eq!(total, SetScalar::of(&[0, 5, 9, 63]));
+    assert_eq!(total.len(), 4);
+}
+
+#[test]
+fn masks_and_apply_work_on_sets() {
+    // A set-valued container can even be a mask (∅ is falsy).
+    let m = Vector::from_pairs(
+        2,
+        [(0usize, SetScalar::of(&[1])), (1, SetScalar::zero())],
+    )
+    .unwrap();
+    use gbtl::mask::VectorMask;
+    assert!(m.allows(0));
+    assert!(!m.allows(1)); // stored empty set is falsy
+
+    // apply with complement (AdditiveInverse = set complement here).
+    let mut w = Vector::<SetScalar>::new(2);
+    operations::apply_vector(
+        &mut w,
+        &NoMask,
+        NoAccumulate,
+        gbtl::ops::unary::AdditiveInverse::new(),
+        &m,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(w.get(0), Some(SetScalar(!(1u64 << 1))));
+}
+
+#[test]
+fn generic_functors_compose_with_custom_scalars() {
+    // The Fig. 6 functors are generic: Min/Max become ∩/∪ on sets.
+    let min = gbtl::ops::binary::Min::<SetScalar>::new();
+    let a = SetScalar::of(&[1, 2]);
+    let b = SetScalar::of(&[2, 3]);
+    assert_eq!(min.apply(a, b), SetScalar::of(&[2]));
+}

@@ -1,0 +1,1 @@
+//! Placeholder until the integration tests land.

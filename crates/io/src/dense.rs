@@ -1,0 +1,94 @@
+//! Dense helpers — stand-ins for the NumPy / SciPy constructors of
+//! Fig. 3b: `np.random.rand(r, c)` and
+//! `scipy.sparse.diags(values, offsets, shape)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pygb::Matrix;
+
+/// `np.random.rand(rows, cols)`: a dense matrix of uniform `[0, 1)`
+/// values, deterministic per seed.
+pub fn random_dense(rows: usize, cols: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen::<f64>()).collect())
+        .collect()
+}
+
+/// `gb.Matrix(np.random.rand(r, c))` in one call.
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_dense(&random_dense(rows, cols, seed)).expect("rectangular by construction")
+}
+
+/// `scipy.sparse.diags(values, offsets, shape)`: place constant
+/// diagonals. `offsets[k]` is the diagonal index (0 main, positive
+/// above, negative below); `values[k]` fills that whole diagonal.
+pub fn diags(values: &[f64], offsets: &[i64], shape: (usize, usize)) -> pygb::Result<Matrix> {
+    assert_eq!(
+        values.len(),
+        offsets.len(),
+        "diags: values and offsets must pair up"
+    );
+    let (r, c) = shape;
+    let mut triples: Vec<(usize, usize, f64)> = Vec::new();
+    for (&v, &off) in values.iter().zip(offsets) {
+        let (mut i, mut j) = if off >= 0 {
+            (0usize, off as usize)
+        } else {
+            ((-off) as usize, 0usize)
+        };
+        while i < r && j < c {
+            triples.push((i, j, v));
+            i += 1;
+            j += 1;
+        }
+    }
+    Matrix::from_triples(r, c, triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_dense_deterministic() {
+        let a = random_dense(3, 4, 9);
+        let b = random_dense(3, 4, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].len(), 4);
+        assert!(a.iter().flatten().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn random_matrix_is_dense() {
+        let m = random_matrix(3, 3, 1);
+        assert_eq!(m.nvals(), 9);
+        assert_eq!(m.dtype(), pygb::DType::Fp64);
+    }
+
+    #[test]
+    fn tridiagonal_like_fig3() {
+        // sc.sparse.diags([1, 1, 1], [-1, 0, 1], shape=(3, 3))
+        let m = diags(&[1.0, 1.0, 1.0], &[-1, 0, 1], (3, 3)).unwrap();
+        assert_eq!(m.nvals(), 7); // 3 main + 2 + 2
+        assert_eq!(m.get(0, 0).unwrap().as_f64(), 1.0);
+        assert_eq!(m.get(1, 0).unwrap().as_f64(), 1.0);
+        assert_eq!(m.get(0, 1).unwrap().as_f64(), 1.0);
+        assert!(m.get(0, 2).is_none());
+    }
+
+    #[test]
+    fn rectangular_diags() {
+        let m = diags(&[2.0], &[1], (2, 4)).unwrap();
+        assert_eq!(m.nvals(), 2); // (0,1) and (1,2)
+        assert_eq!(m.get(1, 2).unwrap().as_f64(), 2.0);
+    }
+
+    #[test]
+    fn far_offset_empty() {
+        let m = diags(&[1.0], &[10], (3, 3)).unwrap();
+        assert_eq!(m.nvals(), 0);
+    }
+}

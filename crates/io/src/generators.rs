@@ -1,0 +1,207 @@
+//! Graph generators — the workloads of the paper's evaluation.
+//!
+//! Fig. 10 and Fig. 11 both use Erdős–Rényi graphs "with density
+//! |E| = O(|V|^1.5)"; Fig. 3b constructs from `nx.balanced_tree(r, h)`
+//! and `scipy.sparse.diags`. All generators are deterministic given a
+//! seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edge_list::EdgeList;
+
+/// An Erdős–Rényi `G(n, m)` digraph: exactly `m` distinct directed
+/// edges (no self-loops), weights uniform in `(0, 1]`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(n >= 2, "need at least 2 vertices");
+    let max_edges = n * (n - 1);
+    let m = m.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        if s == d || !seen.insert((s, d)) {
+            continue;
+        }
+        let w: f64 = rng.gen_range(f64::EPSILON..=1.0);
+        edges.push((s, d, w));
+    }
+    EdgeList { n, edges }
+}
+
+/// The paper's scaling family: `G(n, m)` with `m = ⌊n^1.5⌋` —
+/// "Erdős–Rényi graphs with density |E| = O(|V|^1.5)".
+pub fn erdos_renyi_power(n: usize, seed: u64) -> EdgeList {
+    let m = (n as f64).powf(1.5) as usize;
+    erdos_renyi(n, m, seed)
+}
+
+/// `nx.balanced_tree(r, h)`: a perfectly balanced `r`-ary tree of
+/// height `h`, as an undirected graph (both edge directions).
+pub fn balanced_tree(r: usize, h: u32) -> EdgeList {
+    assert!(r >= 2, "branching factor must be at least 2");
+    // n = (r^(h+1) - 1) / (r - 1)
+    let n = (r.pow(h + 1) - 1) / (r - 1);
+    let mut edges = Vec::with_capacity(2 * (n - 1));
+    for child in 1..n {
+        let parent = (child - 1) / r;
+        edges.push((parent, child, 1.0));
+        edges.push((child, parent, 1.0));
+    }
+    EdgeList { n, edges }
+}
+
+/// A directed path `0 → 1 → … → n-1`.
+pub fn path_graph(n: usize) -> EdgeList {
+    EdgeList {
+        n,
+        edges: (0..n.saturating_sub(1)).map(|i| (i, i + 1, 1.0)).collect(),
+    }
+}
+
+/// A directed cycle `0 → 1 → … → n-1 → 0`.
+pub fn cycle_graph(n: usize) -> EdgeList {
+    EdgeList {
+        n,
+        edges: (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect(),
+    }
+}
+
+/// The complete digraph on `n` vertices (no self-loops).
+pub fn complete_graph(n: usize) -> EdgeList {
+    let mut edges = Vec::with_capacity(n * (n - 1));
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                edges.push((s, d, 1.0));
+            }
+        }
+    }
+    EdgeList { n, edges }
+}
+
+/// An R-MAT graph: `2^scale` vertices, `edge_factor · 2^scale` edge
+/// samples recursively placed with quadrant probabilities
+/// `(a, b, c, d)`. Duplicates are dropped (so `nnz ≤` the sample
+/// count), matching the usual Graph500-style generator.
+pub fn rmat(scale: u32, edge_factor: usize, probs: (f64, f64, f64, f64), seed: u64) -> EdgeList {
+    let (a, b, c, d) = probs;
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-9,
+        "R-MAT probabilities must sum to 1"
+    );
+    let n = 1usize << scale;
+    let samples = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(samples * 2);
+    let mut edges = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let (mut s, mut dst) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (down, right) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            s |= down << level;
+            dst |= right << level;
+        }
+        if s != dst && seen.insert((s, dst)) {
+            let w: f64 = rng.gen_range(f64::EPSILON..=1.0);
+            edges.push((s, dst, w));
+        }
+    }
+    EdgeList { n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_has_requested_edges() {
+        let g = erdos_renyi(32, 100, 7);
+        assert_eq!(g.n, 32);
+        assert_eq!(g.nnz(), 100);
+        // No self-loops, no duplicates, in range.
+        let mut seen = std::collections::HashSet::new();
+        for &(s, d, w) in &g.edges {
+            assert_ne!(s, d);
+            assert!(s < 32 && d < 32);
+            assert!(w > 0.0 && w <= 1.0);
+            assert!(seen.insert((s, d)));
+        }
+    }
+
+    #[test]
+    fn er_is_deterministic() {
+        assert_eq!(erdos_renyi(16, 40, 3), erdos_renyi(16, 40, 3));
+        assert_ne!(erdos_renyi(16, 40, 3), erdos_renyi(16, 40, 4));
+    }
+
+    #[test]
+    fn er_power_density() {
+        let g = erdos_renyi_power(64, 1);
+        assert_eq!(g.nnz(), 512); // 64^1.5
+    }
+
+    #[test]
+    fn er_caps_at_complete() {
+        let g = erdos_renyi(4, 1000, 1);
+        assert_eq!(g.nnz(), 12);
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        // r=2, h=2: 7 vertices, 6 undirected edges.
+        let t = balanced_tree(2, 2);
+        assert_eq!(t.n, 7);
+        assert_eq!(t.nnz(), 12);
+        // Root has children 1 and 2.
+        assert!(t.edges.contains(&(0, 1, 1.0)));
+        assert!(t.edges.contains(&(0, 2, 1.0)));
+        // Leaf 6's parent is 2 ((6-1)/2).
+        assert!(t.edges.contains(&(2, 6, 1.0)));
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        assert_eq!(path_graph(4).nnz(), 3);
+        assert_eq!(cycle_graph(4).nnz(), 4);
+        assert!(cycle_graph(4).edges.contains(&(3, 0, 1.0)));
+    }
+
+    #[test]
+    fn complete_graph_size() {
+        let k = complete_graph(5);
+        assert_eq!(k.nnz(), 20);
+    }
+
+    #[test]
+    fn rmat_basics() {
+        let g = rmat(6, 8, (0.57, 0.19, 0.19, 0.05), 42);
+        assert_eq!(g.n, 64);
+        assert!(g.nnz() > 0 && g.nnz() <= 8 * 64);
+        assert_eq!(
+            g,
+            rmat(6, 8, (0.57, 0.19, 0.19, 0.05), 42) // deterministic
+        );
+        // Skew: low-id vertices should carry more edges than high-id.
+        let low: usize = g.edges.iter().filter(|&&(s, _, _)| s < 16).count();
+        let high: usize = g.edges.iter().filter(|&&(s, _, _)| s >= 48).count();
+        assert!(low > high, "low={low} high={high}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_validates_probs() {
+        rmat(4, 2, (0.5, 0.5, 0.5, 0.5), 1);
+    }
+}

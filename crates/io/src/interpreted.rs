@@ -1,0 +1,146 @@
+//! A good-faith model of the CPython object costs that dominate the
+//! Python side of Fig. 11.
+//!
+//! In CPython, `gb.Matrix((vals, (row_idx, col_idx)))` starts from
+//! *lists of PyObjects*: every value and every index is a separate
+//! heap-allocated, reference-counted object, and every access goes
+//! through a dynamic call the interpreter cannot inline. A flat
+//! `Vec<DynScalar>` has none of those costs once the optimizer inlines
+//! the enum match, so the interpreted benchmarks would be
+//! indistinguishable from native.
+//!
+//! [`PyValue`] restores the load-bearing costs without fake sleeps:
+//! one heap allocation per object ([`Box`]) and `#[inline(never)]`
+//! accessors (an opaque call per element, like a CPython C-API call).
+
+use pygb::DynScalar;
+
+/// One "PyObject": a heap-boxed dynamically-typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PyValue(Box<DynScalar>);
+
+impl PyValue {
+    /// Allocate a new object.
+    #[inline(never)]
+    pub fn new(v: impl Into<DynScalar>) -> PyValue {
+        PyValue(Box::new(v.into()))
+    }
+
+    /// Dynamic `float(x)` — opaque call + pointer chase.
+    #[inline(never)]
+    pub fn as_f64(&self) -> f64 {
+        self.0.as_f64()
+    }
+
+    /// Dynamic `int(x)`.
+    #[inline(never)]
+    pub fn as_usize(&self) -> usize {
+        self.0.as_i64() as usize
+    }
+
+    /// The boxed value (one more dynamic call).
+    #[inline(never)]
+    pub fn value(&self) -> DynScalar {
+        *self.0
+    }
+}
+
+/// A "Python list" of boxed objects.
+pub type PyList = Vec<PyValue>;
+
+/// The `(vals, (row_idx, col_idx))` triple-of-lists the paper's
+/// constructor takes (Fig. 3a).
+#[derive(Debug, Clone)]
+pub struct PyCoo {
+    /// Matrix dimension (square).
+    pub n: usize,
+    /// Values, one boxed object each.
+    pub vals: PyList,
+    /// Row indices, boxed.
+    pub row_idx: PyList,
+    /// Column indices, boxed.
+    pub col_idx: PyList,
+}
+
+impl PyCoo {
+    /// Box an edge list into Python-style parallel lists (each element
+    /// is a separate heap allocation).
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> PyCoo {
+        let mut vals = Vec::with_capacity(edges.len());
+        let mut row_idx = Vec::with_capacity(edges.len());
+        let mut col_idx = Vec::with_capacity(edges.len());
+        for &(s, d, w) in edges {
+            row_idx.push(PyValue::new(s as i64));
+            col_idx.push(PyValue::new(d as i64));
+            vals.push(PyValue::new(w));
+        }
+        PyCoo {
+            n,
+            vals,
+            row_idx,
+            col_idx,
+        }
+    }
+
+    /// Number of boxed entries.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether the lists are empty.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// The interpreted construction step: walk the lists, unboxing
+    /// every element through dynamic calls, and build the container.
+    pub fn to_matrix(&self, dtype: pygb::DType) -> pygb::Result<pygb::Matrix> {
+        let mut triples = Vec::with_capacity(self.len());
+        for k in 0..self.len() {
+            triples.push((
+                self.row_idx[k].as_usize(),
+                self.col_idx[k].as_usize(),
+                self.vals[k].value(),
+            ));
+        }
+        pygb::Matrix::from_triples_dyn(self.n, self.n, &triples, Some(dtype))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pygb::DType;
+
+    #[test]
+    fn pyvalue_roundtrip() {
+        let v = PyValue::new(2.5f64);
+        assert_eq!(v.as_f64(), 2.5);
+        assert_eq!(v.value(), DynScalar::Fp64(2.5));
+        let i = PyValue::new(7i64);
+        assert_eq!(i.as_usize(), 7);
+    }
+
+    #[test]
+    fn pycoo_builds_the_same_matrix_as_the_fast_path() {
+        let edges = vec![(0usize, 1usize, 1.5f64), (2, 0, -2.0)];
+        let coo = PyCoo::from_edges(3, &edges);
+        assert_eq!(coo.len(), 2);
+        let slow = coo.to_matrix(DType::Fp64).unwrap();
+        let fast = crate::EdgeList { n: 3, edges }.to_pygb(DType::Fp64);
+        assert_eq!(slow.extract_triples(), fast.extract_triples());
+    }
+
+    #[test]
+    fn each_element_is_its_own_allocation() {
+        // Boxes are distinct allocations: mutating a clone of the list
+        // cannot alias (smoke test that we actually box).
+        let coo = PyCoo::from_edges(2, &[(0, 1, 1.0)]);
+        let copy = coo.clone();
+        assert_eq!(coo.vals[0], copy.vals[0]);
+        assert_ne!(
+            &*coo.vals[0].0 as *const DynScalar,
+            &*copy.vals[0].0 as *const DynScalar
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # pygb-io — I/O and workload generation for the PyGB reproduction
+//!
+//! Covers the data paths of the paper's Fig. 3 ("construction from
+//! NumPy / SciPy / NetworkX") and the Fig. 11 experiment (file read /
+//! container construction / extraction, Python vs C++):
+//!
+//! * [`matrix_market`] — Matrix Market coordinate files, with a
+//!   **native** typed parser and a deliberately **interpreted** parser
+//!   that boxes every token (the CPython-list stand-in, see
+//!   [`interpreted`]).
+//! * [`generators`] — Erdős–Rényi (including the paper's
+//!   `|E| = O(|V|^1.5)` density), balanced trees (NetworkX's
+//!   `balanced_tree`), R-MAT, cycles, paths, complete graphs.
+//! * [`dense`] — dense helpers standing in for NumPy arrays and SciPy's
+//!   `diags`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dense;
+pub mod edge_list;
+pub mod generators;
+pub mod interpreted;
+pub mod matrix_market;
+
+pub use edge_list::EdgeList;

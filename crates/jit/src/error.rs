@@ -1,0 +1,81 @@
+//! Errors of the dynamic-compilation pipeline.
+
+use std::fmt;
+
+/// Errors from module-key resolution, kernel instantiation, or kernel
+/// invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JitError {
+    /// No factory is registered for the requested function — the analog
+    /// of `operation_binding.cpp` not knowing the operation.
+    UnknownFunction {
+        /// The function name that failed to resolve.
+        func: String,
+    },
+    /// A key parameter is missing or malformed for the factory.
+    BadKey {
+        /// Human-readable description.
+        context: String,
+    },
+    /// A kernel was invoked with an argument bundle of the wrong type —
+    /// the analog of calling a `dlopen`ed symbol with a bad signature.
+    ArgumentTypeMismatch {
+        /// The function whose kernel rejected the arguments.
+        func: String,
+    },
+    /// The underlying GraphBLAS operation failed (dimension mismatch,
+    /// bad indices, ...). Carries its display string.
+    OperationFailed {
+        /// The failure message from the substrate.
+        message: String,
+    },
+}
+
+impl fmt::Display for JitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JitError::UnknownFunction { func } => {
+                write!(f, "no kernel factory registered for `{func}`")
+            }
+            JitError::BadKey { context } => write!(f, "bad module key: {context}"),
+            JitError::ArgumentTypeMismatch { func } => {
+                write!(f, "kernel `{func}` invoked with mismatched argument bundle")
+            }
+            JitError::OperationFailed { message } => write!(f, "operation failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JitError {}
+
+impl JitError {
+    /// Wrap a substrate failure message.
+    pub fn op(message: impl fmt::Display) -> Self {
+        JitError::OperationFailed {
+            message: message.to_string(),
+        }
+    }
+
+    /// A malformed-key error with context.
+    pub fn bad_key(context: impl Into<String>) -> Self {
+        JitError::BadKey {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            JitError::UnknownFunction { func: "mxm".into() }.to_string(),
+            "no kernel factory registered for `mxm`"
+        );
+        assert!(JitError::bad_key("missing ctype").to_string().contains("ctype"));
+        assert!(JitError::op("boom").to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,107 @@
+//! The compiled-module interface.
+//!
+//! A [`Kernel`] is the in-process analog of a `dlopen`ed symbol from one
+//! of the paper's generated `.so` files: a type-erased callable bound to
+//! one (function × dtypes × operators) instantiation. Callers pass an
+//! argument bundle as `&mut dyn Any`; the kernel downcasts to the
+//! concrete argument struct its factory agreed on — a mismatch is the
+//! moral equivalent of calling a foreign symbol with the wrong ABI and
+//! is reported as [`crate::JitError::ArgumentTypeMismatch`].
+
+use std::any::Any;
+
+use crate::error::JitError;
+
+/// The callable a [`FnKernel`] wraps.
+type KernelFn<A> = Box<dyn Fn(&mut A) -> Result<(), JitError> + Send + Sync>;
+
+/// One compiled module: invoke with a type-erased argument bundle.
+pub trait Kernel: Send + Sync {
+    /// Execute the kernel. `args` must be the argument struct the
+    /// kernel's factory documented for its function name.
+    fn invoke(&self, args: &mut dyn Any) -> Result<(), JitError>;
+
+    /// A short human-readable description (module name, instantiated
+    /// types) for traces and debugging.
+    fn describe(&self) -> String {
+        "<kernel>".to_string()
+    }
+}
+
+/// Convenience: build a kernel from a closure over a concrete argument
+/// type `A`. Handles the downcast and mismatch error uniformly.
+pub struct FnKernel<A> {
+    func_name: String,
+    description: String,
+    f: KernelFn<A>,
+}
+
+impl<A: Any> FnKernel<A> {
+    /// Wrap `f` as a kernel for function `func_name`.
+    pub fn new(
+        func_name: impl Into<String>,
+        description: impl Into<String>,
+        f: impl Fn(&mut A) -> Result<(), JitError> + Send + Sync + 'static,
+    ) -> Self {
+        FnKernel {
+            func_name: func_name.into(),
+            description: description.into(),
+            f: Box::new(f),
+        }
+    }
+}
+
+impl<A: Any> Kernel for FnKernel<A> {
+    fn invoke(&self, args: &mut dyn Any) -> Result<(), JitError> {
+        match args.downcast_mut::<A>() {
+            Some(concrete) => (self.f)(concrete),
+            None => Err(JitError::ArgumentTypeMismatch {
+                func: self.func_name.clone(),
+            }),
+        }
+    }
+
+    fn describe(&self) -> String {
+        self.description.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AddArgs {
+        a: i32,
+        b: i32,
+        out: i32,
+    }
+
+    #[test]
+    fn fn_kernel_invokes() {
+        let k = FnKernel::new("add", "add<i32>", |args: &mut AddArgs| {
+            args.out = args.a + args.b;
+            Ok(())
+        });
+        let mut args = AddArgs { a: 2, b: 3, out: 0 };
+        k.invoke(&mut args).unwrap();
+        assert_eq!(args.out, 5);
+        assert_eq!(k.describe(), "add<i32>");
+    }
+
+    #[test]
+    fn wrong_bundle_type_rejected() {
+        let k = FnKernel::new("add", "add<i32>", |_: &mut AddArgs| Ok(()));
+        let mut wrong = 42u8;
+        let err = k.invoke(&mut wrong).unwrap_err();
+        assert_eq!(err, JitError::ArgumentTypeMismatch { func: "add".into() });
+    }
+
+    #[test]
+    fn kernel_errors_propagate() {
+        let k = FnKernel::new("fail", "fail", |_: &mut AddArgs| {
+            Err(JitError::op("inner failure"))
+        });
+        let mut args = AddArgs { a: 0, b: 0, out: 0 };
+        assert!(k.invoke(&mut args).is_err());
+    }
+}

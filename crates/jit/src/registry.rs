@@ -1,0 +1,121 @@
+//! The kernel-factory registry: which operations the "binding source"
+//! knows how to instantiate.
+//!
+//! The paper's `operation_binding.cpp` is one templated translation unit
+//! that can be preprocessed into any GraphBLAS operation. Here, each
+//! operation contributes a *factory* — a function from a [`ModuleKey`]
+//! to a monomorphized [`Kernel`]. The `pygb` crate registers factories
+//! for every Table I operation at startup; asking for an unregistered
+//! function is [`JitError::UnknownFunction`].
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::error::JitError;
+use crate::kernel::Kernel;
+use crate::key::ModuleKey;
+
+/// A kernel factory: instantiate a kernel for a concrete key.
+pub type Factory = fn(&ModuleKey) -> Result<Box<dyn Kernel>, JitError>;
+
+/// Registry mapping function names to factories.
+#[derive(Default)]
+pub struct FactoryRegistry {
+    factories: RwLock<HashMap<String, Factory>>,
+}
+
+impl FactoryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) the factory for `func`.
+    pub fn register(&self, func: impl Into<String>, factory: Factory) {
+        self.factories.write().insert(func.into(), factory);
+    }
+
+    /// Look up the factory for `func`.
+    pub fn get(&self, func: &str) -> Result<Factory, JitError> {
+        self.factories
+            .read()
+            .get(func)
+            .copied()
+            .ok_or_else(|| JitError::UnknownFunction { func: func.into() })
+    }
+
+    /// Instantiate a kernel for `key` through its function's factory —
+    /// the "g++" step of the pipeline.
+    pub fn instantiate(&self, key: &ModuleKey) -> Result<Box<dyn Kernel>, JitError> {
+        (self.get(key.func())?)(key)
+    }
+
+    /// Names of all registered functions, sorted.
+    pub fn registered_functions(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.factories.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.factories.read().len()
+    }
+
+    /// Whether no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.factories.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::FnKernel;
+
+    fn make_noop(_: &ModuleKey) -> Result<Box<dyn Kernel>, JitError> {
+        Ok(Box::new(FnKernel::new("noop", "noop", |_: &mut ()| Ok(()))))
+    }
+
+    #[test]
+    fn register_and_instantiate() {
+        let reg = FactoryRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("noop", make_noop);
+        let key = ModuleKey::new("noop");
+        let kernel = reg.instantiate(&key).unwrap();
+        let mut args = ();
+        kernel.invoke(&mut args).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.registered_functions(), vec!["noop".to_string()]);
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let reg = FactoryRegistry::new();
+        let err = match reg.instantiate(&ModuleKey::new("mystery")) {
+            Err(e) => e,
+            Ok(_) => panic!("expected UnknownFunction"),
+        };
+        assert_eq!(
+            err,
+            JitError::UnknownFunction {
+                func: "mystery".into()
+            }
+        );
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        fn failing(_: &ModuleKey) -> Result<Box<dyn Kernel>, JitError> {
+            Err(JitError::bad_key("always fails"))
+        }
+        let reg = FactoryRegistry::new();
+        reg.register("op", failing);
+        assert!(reg.instantiate(&ModuleKey::new("op")).is_err());
+        reg.register("op", make_noop);
+        assert!(reg.instantiate(&ModuleKey::new("op")).is_ok());
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Dispatch statistics: cache outcomes and per-outcome timing.
+//!
+//! These counters back the paper's claims that (a) compile cost is paid
+//! once per key and amortized over reuse, and (b) warm dispatch overhead
+//! is a hash + map lookup. The `figures` binary prints them for the
+//! compile-time experiment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for one cache/runtime instance. All methods are
+/// lock-free and callable concurrently.
+#[derive(Debug, Default)]
+pub struct JitStats {
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    compiles: AtomicU64,
+    invocations: AtomicU64,
+    compile_ns_total: AtomicU64,
+    lookup_ns_total: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Dispatches served from process memory.
+    pub memory_hits: u64,
+    /// Dispatches served by "loading" a module recorded by a previous
+    /// process run (disk index hit).
+    pub disk_hits: u64,
+    /// Cold compiles (kernel instantiations).
+    pub compiles: u64,
+    /// Total kernel invocations.
+    pub invocations: u64,
+    /// Nanoseconds spent instantiating kernels.
+    pub compile_ns_total: u64,
+    /// Nanoseconds spent in key hashing + cache lookup.
+    pub lookup_ns_total: u64,
+}
+
+impl JitStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a memory hit.
+    pub fn record_memory_hit(&self) {
+        self.memory_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a disk-index hit.
+    pub fn record_disk_hit(&self) {
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cold compile taking `ns` nanoseconds.
+    pub fn record_compile(&self, ns: u64) {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.compile_ns_total.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record a kernel invocation.
+    pub fn record_invocation(&self) {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record lookup (hash + map probe) time.
+    pub fn record_lookup_ns(&self, ns: u64) {
+        self.lookup_ns_total.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            invocations: self.invocations.load(Ordering::Relaxed),
+            compile_ns_total: self.compile_ns_total.load(Ordering::Relaxed),
+            lookup_ns_total: self.lookup_ns_total.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter (tests, bench warm-up separation).
+    pub fn reset(&self) {
+        self.memory_hits.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
+        self.compiles.store(0, Ordering::Relaxed);
+        self.invocations.store(0, Ordering::Relaxed);
+        self.compile_ns_total.store(0, Ordering::Relaxed);
+        self.lookup_ns_total.store(0, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Total dispatches that consulted the cache.
+    pub fn total_dispatches(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.compiles
+    }
+
+    /// Fraction of dispatches that avoided a compile, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_dispatches();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.memory_hits + self.disk_hits) as f64 / total as f64
+    }
+
+    /// Mean nanoseconds per cold compile.
+    pub fn mean_compile_ns(&self) -> f64 {
+        if self.compiles == 0 {
+            return 0.0;
+        }
+        self.compile_ns_total as f64 / self.compiles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = JitStats::new();
+        s.record_compile(100);
+        s.record_compile(300);
+        s.record_memory_hit();
+        s.record_memory_hit();
+        s.record_memory_hit();
+        s.record_disk_hit();
+        s.record_invocation();
+        let snap = s.snapshot();
+        assert_eq!(snap.compiles, 2);
+        assert_eq!(snap.memory_hits, 3);
+        assert_eq!(snap.disk_hits, 1);
+        assert_eq!(snap.invocations, 1);
+        assert_eq!(snap.total_dispatches(), 6);
+        assert!((snap.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(snap.mean_compile_ns(), 200.0);
+    }
+
+    #[test]
+    fn empty_snapshot_rates() {
+        let snap = JitStats::new().snapshot();
+        assert_eq!(snap.hit_rate(), 0.0);
+        assert_eq!(snap.mean_compile_ns(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = JitStats::new();
+        s.record_compile(5);
+        s.reset();
+        assert_eq!(s.snapshot().compiles, 0);
+        assert_eq!(s.snapshot().compile_ns_total, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for module-key canonicalization — the invariants the
+//! two-level cache depends on: insertion order must not matter, every
+//! parameter must matter, and hashes must be stable.
+
+use proptest::prelude::*;
+
+use pygb_jit::ModuleKey;
+
+fn kv_pairs() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec(("[a-z]{1,8}", "[a-zA-Z0-9_]{1,12}"), 0..8).prop_map(|v| {
+        // Deduplicate names (later writes win in a map; make it explicit).
+        let mut seen = std::collections::HashSet::new();
+        v.into_iter().filter(|(k, _)| seen.insert(k.clone())).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn insertion_order_is_irrelevant(pairs in kv_pairs(), seed in any::<u64>()) {
+        let forward = pairs.iter().fold(ModuleKey::new("op"), |k, (n, v)| k.with(n, v));
+        // A deterministic shuffle.
+        let mut shuffled = pairs.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let backward = shuffled.iter().fold(ModuleKey::new("op"), |k, (n, v)| k.with(n, v));
+        prop_assert_eq!(&forward, &backward);
+        prop_assert_eq!(forward.module_hash(), backward.module_hash());
+        prop_assert_eq!(forward.canonical(), backward.canonical());
+    }
+
+    #[test]
+    fn every_parameter_value_matters(pairs in kv_pairs()) {
+        prop_assume!(!pairs.is_empty());
+        let base = pairs.iter().fold(ModuleKey::new("op"), |k, (n, v)| k.with(n, v));
+        for (i, (name, value)) in pairs.iter().enumerate() {
+            let mut mutated = pairs.clone();
+            mutated[i] = (name.clone(), format!("{value}X"));
+            let other = mutated.iter().fold(ModuleKey::new("op"), |k, (n, v)| k.with(n, v));
+            prop_assert_ne!(base.module_hash(), other.module_hash(), "param {}", name);
+        }
+    }
+
+    #[test]
+    fn function_name_matters(pairs in kv_pairs()) {
+        let a = pairs.iter().fold(ModuleKey::new("mxm"), |k, (n, v)| k.with(n, v));
+        let b = pairs.iter().fold(ModuleKey::new("mxv"), |k, (n, v)| k.with(n, v));
+        prop_assert_ne!(a.module_hash(), b.module_hash());
+    }
+
+    #[test]
+    fn module_name_is_hash_hex(pairs in kv_pairs()) {
+        let k = pairs.iter().fold(ModuleKey::new("op"), |key, (n, v)| key.with(n, v));
+        prop_assert_eq!(k.module_name(), format!("{:016x}", k.module_hash()));
+        prop_assert_eq!(k.module_name().len(), 16);
+    }
+
+    #[test]
+    fn overwriting_a_parameter_keeps_one_entry(name in "[a-z]{1,8}") {
+        let k = ModuleKey::new("op").with(&name, "1").with(&name, "2");
+        prop_assert_eq!(k.param_count(), 1);
+        prop_assert_eq!(k.get(&name), Some("2"));
+    }
+
+    #[test]
+    fn require_matches_get(pairs in kv_pairs()) {
+        let k = pairs.iter().fold(ModuleKey::new("op"), |key, (n, v)| key.with(n, v));
+        for (name, value) in &pairs {
+            prop_assert_eq!(k.require(name).unwrap(), value.as_str());
+        }
+        prop_assert!(k.require("definitely_not_a_param").is_err());
+    }
+}

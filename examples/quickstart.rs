@@ -1,0 +1,84 @@
+//! Quickstart: containers, operators, and one ply of BFS — Figs. 1 and
+//! 3 of the paper.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pygb::prelude::*;
+
+fn main() -> pygb::Result<()> {
+    // --- Construction, Fig. 3a: sparse (vals, (rows, cols)) and dense ---
+    let m = Matrix::from_coo(&[1.0f64, 2.0, 3.0], &[0, 1, 2], &[1, 2, 0], (3, 3))?;
+    println!("coo matrix: shape {:?}, nvals {}", m.shape(), m.nvals());
+
+    let dense = Matrix::from_dense(&[vec![1i64, 2, 3], vec![4, 5, 6], vec![7, 8, 9]])?;
+    println!(
+        "dense matrix: dtype {}, nvals {} (dense data stores every element)",
+        dense.dtype(),
+        dense.nvals()
+    );
+
+    let v = Vector::from_dense(&[1i64, 2, 3, 4, 5]);
+    println!("vector: size {}, nvals {}", v.size(), v.nvals());
+
+    // --- Fig. 1: one ply of BFS, vᵀ = Aᵀ ⊕.⊗ v over Boolean algebra ---
+    // The 7-vertex digraph of Fig. 1 (0-based; the paper's vertex 4 is
+    // our vertex 3).
+    let edges: Vec<(usize, usize, bool)> = vec![
+        (0, 1, true),
+        (0, 3, true),
+        (1, 4, true),
+        (1, 6, true),
+        (2, 5, true),
+        (3, 0, true),
+        (3, 2, true),
+        (4, 5, true),
+        (5, 2, true),
+        (6, 2, true),
+        (6, 3, true),
+        (6, 4, true),
+    ];
+    let graph = Matrix::from_triples(7, 7, edges)?;
+
+    let mut frontier = Vector::new(7, DType::Bool);
+    frontier.set(3, true)?;
+
+    // with gb.LogicalSemiring: next = graph.T @ frontier
+    let next = {
+        let _sr = LogicalSemiring.enter();
+        Vector::from_expr(graph.t().mxv(&frontier))?
+    };
+    let reached: Vec<usize> = next.extract_pairs().into_iter().map(|(i, _)| i).collect();
+    println!("one BFS ply from vertex 3 reaches {reached:?} (paper: vertices 1 and 3, 1-based)");
+    assert_eq!(reached, vec![0, 2]);
+
+    // --- Operator constructors, Fig. 6 ---
+    let plus = BinaryOp::new("Plus")?;
+    let plus_monoid = Monoid::from_op(plus, 0.0)?;
+    let arithmetic = Semiring::new(plus_monoid, "Times")?;
+    println!(
+        "built gb.Semiring(gb.Monoid(PlusOp, 0), TimesOp) == gb.ArithmeticSemiring: {}",
+        arithmetic == ArithmeticSemiring
+    );
+
+    // --- eWise ops and reduce through the DSL ---
+    let a = Vector::from_dense(&[1.0f64, 2.0, 3.0]);
+    let b = Vector::from_dense(&[10.0f64, 20.0, 30.0]);
+    let mut sum = Vector::new(3, DType::Fp64);
+    sum.no_mask().assign(&a + &b)?;
+    println!("a + b = {:?}", sum.to_dense_f64());
+    let total = reduce(&sum)?;
+    println!("reduce(a + b) = {total}");
+    assert_eq!(total.as_f64(), 66.0);
+
+    // --- Peek at the JIT: every operation above was a module dispatch ---
+    let stats = pygb::runtime().cache().stats().snapshot();
+    println!(
+        "JIT cache: {} modules compiled, {} warm hits, {} total dispatches",
+        stats.compiles,
+        stats.memory_hits + stats.disk_hits,
+        stats.total_dispatches()
+    );
+    Ok(())
+}

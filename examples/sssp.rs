@@ -1,0 +1,94 @@
+//! Single-source shortest paths — Fig. 4 of the paper, with a
+//! Dijkstra cross-check.
+//!
+//! ```text
+//! cargo run --example sssp [n]      # default n = 128
+//! ```
+
+use std::collections::BinaryHeap;
+
+use pygb::{DType, Vector};
+use pygb_algorithms::{sssp_dsl_fused, sssp_dsl_loops};
+use pygb_io::generators;
+
+/// Textbook Dijkstra over the same edge list (non-negative weights),
+/// used as an independent oracle.
+fn dijkstra(n: usize, edges: &[(usize, usize, f64)], source: usize) -> Vec<f64> {
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for &(s, d, w) in edges {
+        adj[s].push((d, w));
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push((std::cmp::Reverse(ordered(0.0)), source));
+    while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+        let d = unordered(d);
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push((std::cmp::Reverse(ordered(nd)), v));
+            }
+        }
+    }
+    dist
+}
+
+fn ordered(x: f64) -> u64 {
+    x.to_bits()
+}
+fn unordered(b: u64) -> f64 {
+    f64::from_bits(b)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(128);
+    let graph = generators::erdos_renyi_power(n, 7);
+    println!("Erdős–Rényi: |V| = {n}, |E| = {}", graph.nnz());
+
+    let pygb_graph = graph.to_pygb(DType::Fp64);
+    let source = 0;
+
+    // Fig. 4a: with gb.MinPlusSemiring, gb.Accumulator("Min"): loop.
+    let mut path = Vector::new(n, DType::Fp64);
+    path.set(source, 0.0f64)?;
+    sssp_dsl_loops(&pygb_graph, &mut path)?;
+
+    let mut path_fused = Vector::new(n, DType::Fp64);
+    path_fused.set(source, 0.0f64)?;
+    sssp_dsl_fused(&pygb_graph, &mut path_fused)?;
+    assert_eq!(path.extract_pairs(), path_fused.extract_pairs());
+
+    // Oracle check.
+    let oracle = dijkstra(n, &graph.edges, source);
+    let mut reached = 0;
+    #[allow(clippy::needless_range_loop)] // oracle and path share the index
+    for i in 0..n {
+        match path.get(i) {
+            Some(v) => {
+                assert!(
+                    (v.as_f64() - oracle[i]).abs() < 1e-9,
+                    "vertex {i}: {} vs oracle {}",
+                    v.as_f64(),
+                    oracle[i]
+                );
+                reached += 1;
+            }
+            None => assert!(oracle[i].is_infinite(), "vertex {i} should be reachable"),
+        }
+    }
+    println!("distances to {reached}/{n} reachable vertices match Dijkstra ✓");
+    let far = (0..n)
+        .filter_map(|i| path.get(i).map(|v| v.as_f64()))
+        .fold(0.0f64, f64::max);
+    println!("eccentricity of source: {far:.4}");
+    Ok(())
+}

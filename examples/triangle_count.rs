@@ -1,0 +1,64 @@
+//! Triangle counting — Fig. 5 of the paper, with a brute-force
+//! cross-check.
+//!
+//! ```text
+//! cargo run --example triangle_count [n]     # default n = 128
+//! ```
+
+use pygb::DType;
+use pygb_algorithms::{tricount_dsl_fused, tricount_dsl_loops, tricount_native, tril};
+use pygb_io::generators;
+
+/// O(n³) reference count over the adjacency matrix.
+fn brute_force(n: usize, adj: &gbtl::Matrix<f64>) -> u64 {
+    let mut count = 0;
+    for i in 0..n {
+        for j in 0..i {
+            if adj.get(i, j).is_none() {
+                continue;
+            }
+            for k in 0..j {
+                if adj.get(i, k).is_some() && adj.get(j, k).is_some() {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(128);
+    // Undirected ER graph: symmetrize, then take the lower triangle.
+    let graph = generators::erdos_renyi_power(n, 11).symmetrize();
+    let adj: gbtl::Matrix<f64> = graph.to_gbtl();
+    let pattern: gbtl::Matrix<f64> = graph.clone().unweighted().to_gbtl();
+    let l_typed = tril(&pattern);
+    println!(
+        "undirected Erdős–Rényi: |V| = {n}, |E| = {} (directed nnz)",
+        graph.nnz()
+    );
+
+    // DSL (Fig. 5a): B[L] = L @ L.T; triangles = reduce(B).
+    let l = graph.lower_triangular().unweighted().to_pygb(DType::Fp64);
+    let dsl = tricount_dsl_loops(&l)?.as_i64();
+    let fused = tricount_dsl_fused(&l)?.as_i64();
+    // Native (Fig. 5b).
+    let native = tricount_native(&l_typed)? as i64;
+    // Oracle.
+    let oracle = brute_force(n, &adj) as i64;
+
+    println!("pygb-loops : {dsl} triangles");
+    println!("pygb-fused : {fused} triangles");
+    println!("native     : {native} triangles");
+    println!("brute force: {oracle} triangles");
+    assert_eq!(dsl, fused);
+    assert_eq!(dsl, native);
+    assert_eq!(dsl, oracle);
+    println!("all four agree ✓");
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! Fig. 3: constructing PyGB containers from every supported source —
+//! Python-list analogs, NumPy/SciPy/NetworkX analogs, Matrix Market
+//! files — and extracting data back out.
+
+use pygb::prelude::*;
+use pygb_io::{dense, generators, matrix_market};
+
+#[test]
+fn fig3a_sparse_coordinate_form() {
+    // m = gb.Matrix((vals, (row_idx, col_idx)), shape=(r, c))
+    let m = Matrix::from_coo(
+        &[1.0f64, 2.0, 3.0],
+        &[0, 1, 2],
+        &[2, 0, 1],
+        (3, 3),
+    )
+    .unwrap();
+    assert_eq!(m.nvals(), 3);
+    assert_eq!(m.get(1, 0).unwrap().as_f64(), 2.0);
+
+    // v = gb.Vector((vals, idx), shape=(l,))
+    let v = Vector::from_pairs(5, [(4usize, 9i64), (0, 1)]).unwrap();
+    assert_eq!(v.nvals(), 2);
+    assert_eq!(v.get(4).unwrap().as_i64(), 9);
+}
+
+#[test]
+fn fig3a_dense_form() {
+    // m = gb.Matrix([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+    let m = Matrix::from_dense(&[vec![1i64, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]).unwrap();
+    assert_eq!(m.shape(), (3, 3));
+    assert_eq!(m.nvals(), 9);
+    assert_eq!(m.dtype(), DType::Int64); // Python default int
+
+    // v = gb.Vector([1, 2, 3, 4, 5])
+    let v = Vector::from_dense(&[1i64, 2, 3, 4, 5]);
+    assert_eq!(v.nvals(), 5);
+}
+
+#[test]
+fn fig3b_numpy_random() {
+    // m = gb.Matrix(np.random.rand(3, 3))
+    let m = dense::random_matrix(3, 3, 1234);
+    assert_eq!(m.shape(), (3, 3));
+    assert_eq!(m.nvals(), 9);
+    assert_eq!(m.dtype(), DType::Fp64);
+    // Deterministic per seed.
+    let m2 = dense::random_matrix(3, 3, 1234);
+    assert_eq!(m.extract_triples(), m2.extract_triples());
+}
+
+#[test]
+fn fig3b_scipy_diags() {
+    // m = gb.Matrix(sc.sparse.diags([1, 1, 1], [-1, 0, 1], shape=(3, 3)))
+    let m = dense::diags(&[1.0, 1.0, 1.0], &[-1, 0, 1], (3, 3)).unwrap();
+    assert_eq!(m.nvals(), 7);
+    for i in 0..3 {
+        assert_eq!(m.get(i, i).unwrap().as_f64(), 1.0);
+    }
+    assert!(m.get(0, 2).is_none());
+}
+
+#[test]
+fn fig3b_networkx_balanced_tree() {
+    // m = gb.Matrix(nx.balanced_tree(r=4, h=8)) — scaled to r=4, h=3
+    // for test time: n = (4^4 - 1) / 3 = 85.
+    let tree = generators::balanced_tree(4, 3);
+    assert_eq!(tree.n, 85);
+    let m = tree.to_pygb(DType::Fp64);
+    assert_eq!(m.shape(), (85, 85));
+    assert_eq!(m.nvals(), 2 * 84); // undirected: both directions
+}
+
+#[test]
+fn dtype_override_at_construction() {
+    // "The user may optionally specify a data type to cast the values to."
+    let boxed = [(0usize, 0usize, DynScalar::from(3.9f64))];
+    let m = Matrix::from_triples_dyn(1, 1, &boxed, Some(DType::Int8)).unwrap();
+    assert_eq!(m.dtype(), DType::Int8);
+    assert_eq!(m.get(0, 0).unwrap().as_i64(), 3); // cast truncates
+}
+
+#[test]
+fn matrix_market_roundtrip_both_paths() {
+    let edges = generators::erdos_renyi(32, 64, 77);
+    let text = matrix_market::to_string(&edges);
+
+    let native = matrix_market::read_native(text.as_bytes()).unwrap();
+    let interpreted =
+        matrix_market::read_interpreted(text.as_bytes(), DType::Fp64).unwrap();
+
+    assert_eq!(native.nvals(), 64);
+    assert_eq!(interpreted.nvals(), 64);
+    for (i, j, v) in native.iter() {
+        assert_eq!(interpreted.get(i, j).unwrap().as_f64(), v, "({i},{j})");
+    }
+}
+
+#[test]
+fn extract_tuples_roundtrip() {
+    // Fig. 11's third leg: data out must equal data in.
+    let edges = generators::erdos_renyi(24, 50, 5);
+    let m = edges.to_pygb(DType::Fp64);
+    let triples = m.extract_triples();
+    assert_eq!(triples.len(), 50);
+    let rebuilt = Matrix::from_triples_dyn(24, 24, &triples, Some(DType::Fp64)).unwrap();
+    assert_eq!(rebuilt.extract_triples(), triples);
+}
+
+#[test]
+fn copy_on_write_isolates_construction_sources() {
+    let m = Matrix::from_dense(&[vec![1.0f64]]).unwrap();
+    let mut copy = m.clone();
+    copy.set(0, 0, 2.0f64).unwrap();
+    assert_eq!(m.get(0, 0).unwrap().as_f64(), 1.0);
+    assert_eq!(copy.get(0, 0).unwrap().as_f64(), 2.0);
+}
+
+#[test]
+fn construction_errors() {
+    // Ragged dense data.
+    assert!(Matrix::from_dense(&[vec![1i64, 2], vec![3]]).is_err());
+    // Mismatched COO arrays.
+    assert!(Matrix::from_coo(&[1.0f64], &[0, 1], &[0], (2, 2)).is_err());
+    // Out-of-range indices.
+    assert!(Matrix::from_triples(2, 2, [(5usize, 0usize, 1i64)]).is_err());
+    assert!(Vector::from_pairs(3, [(3usize, 1i64)]).is_err());
+    // Duplicate coordinates.
+    assert!(Matrix::from_triples(2, 2, [(0usize, 0usize, 1i64), (0, 0, 2)]).is_err());
+}
+
+#[test]
+fn every_dtype_constructs_and_casts() {
+    use pygb::dtype::ALL_DTYPES;
+    let m = Matrix::from_dense(&[vec![1.0f64, 0.0], vec![2.5, -3.0]]).unwrap();
+    for dtype in ALL_DTYPES {
+        let cast = m.cast(dtype);
+        assert_eq!(cast.dtype(), dtype);
+        assert_eq!(cast.nvals(), 4, "{dtype}");
+        let fresh = Matrix::new(2, 2, dtype);
+        assert_eq!(fresh.dtype(), dtype);
+    }
+}

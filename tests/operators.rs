@@ -1,0 +1,215 @@
+//! Fig. 6's operator inventory: every predefined name constructs, every
+//! constructor form works, and the context-precedence rules of
+//! Section IV behave as the paper's examples require.
+
+use gbtl::ops::kind::{ALL_BINARY_OPS, ALL_UNARY_OPS};
+use pygb::prelude::*;
+
+#[test]
+fn all_seventeen_binary_ops_construct() {
+    let names = [
+        "LogicalOr",
+        "LogicalAnd",
+        "LogicalXor",
+        "Equal",
+        "NotEqual",
+        "GreaterThan",
+        "LessThan",
+        "GreaterEqual",
+        "LessEqual",
+        "First",
+        "Second",
+        "Min",
+        "Max",
+        "Plus",
+        "Minus",
+        "Times",
+        "Div",
+    ];
+    assert_eq!(names.len(), 17);
+    assert_eq!(ALL_BINARY_OPS.len(), 17);
+    for name in names {
+        assert!(BinaryOp::new(name).is_ok(), "{name}");
+    }
+    assert!(BinaryOp::new("Modulo").is_err());
+}
+
+#[test]
+fn all_four_unary_ops_construct() {
+    let names = [
+        "Identity",
+        "AdditiveInverse",
+        "LogicalNot",
+        "MultiplicativeInverse",
+    ];
+    assert_eq!(names.len(), 4);
+    assert_eq!(ALL_UNARY_OPS.len(), 4);
+    for name in names {
+        assert!(UnaryOp::new(name).is_ok(), "{name}");
+    }
+}
+
+#[test]
+fn fig6_example_constructors() {
+    // The exact constructor chain at the bottom of Fig. 6.
+    let _additive_inv = UnaryOp::new("AdditiveInverse").unwrap();
+    let plus_op = BinaryOp::new("Plus").unwrap();
+    let times_op = BinaryOp::new("Times").unwrap();
+    let _plus_accumulate = Accumulator::from_op(plus_op);
+    let plus_monoid = Monoid::from_op(plus_op, 0.0).unwrap();
+    let arithmetic_sr = Semiring::from_parts(plus_monoid, times_op);
+    assert_eq!(arithmetic_sr, ArithmeticSemiring);
+}
+
+#[test]
+fn min_monoid_by_name_matches_fig4_text() {
+    // gb.MinMonoid == gb.Monoid("Min", "MinIdentity")
+    assert_eq!(Monoid::new("Min", "MinIdentity").unwrap(), MinMonoid);
+    // gb.MinPlusSemiring == gb.Semiring(gb.MinMonoid, "Plus")
+    assert_eq!(Semiring::new(MinMonoid, "Plus").unwrap(), MinPlusSemiring);
+}
+
+#[test]
+fn predefined_semirings_all_resolve() {
+    for name in [
+        "ArithmeticSemiring",
+        "LogicalSemiring",
+        "MinPlusSemiring",
+        "MaxTimesSemiring",
+        "MinSelect1stSemiring",
+        "MinSelect2ndSemiring",
+        "MaxSelect1stSemiring",
+        "MaxSelect2ndSemiring",
+    ] {
+        assert!(Semiring::predefined(name).is_ok(), "{name}");
+    }
+}
+
+#[test]
+fn each_binary_op_computes_through_the_dsl() {
+    // Every op drives an eWiseMult on a small intersection and must
+    // produce its mathematical result.
+    let u = Vector::from_dense(&[6.0f64]);
+    let v = Vector::from_dense(&[4.0f64]);
+    let cases: [(&str, f64); 17] = [
+        ("LogicalOr", 1.0),
+        ("LogicalAnd", 1.0),
+        ("LogicalXor", 0.0),
+        ("Equal", 0.0),
+        ("NotEqual", 1.0),
+        ("GreaterThan", 1.0),
+        ("LessThan", 0.0),
+        ("GreaterEqual", 1.0),
+        ("LessEqual", 0.0),
+        ("First", 6.0),
+        ("Second", 4.0),
+        ("Min", 4.0),
+        ("Max", 6.0),
+        ("Plus", 10.0),
+        ("Minus", 2.0),
+        ("Times", 24.0),
+        ("Div", 1.5),
+    ];
+    for (name, expected) in cases {
+        let _op = BinaryOp::new(name).unwrap().enter();
+        let w = Vector::from_expr(&u * &v).unwrap();
+        assert_eq!(w.get(0).unwrap().as_f64(), expected, "{name}");
+    }
+}
+
+#[test]
+fn each_unary_op_computes_through_the_dsl() {
+    let u = Vector::from_dense(&[4.0f64]);
+    let cases: [(&str, f64); 4] = [
+        ("Identity", 4.0),
+        ("AdditiveInverse", -4.0),
+        ("LogicalNot", 0.0),
+        ("MultiplicativeInverse", 0.25),
+    ];
+    for (name, expected) in cases {
+        let _op = UnaryOp::new(name).unwrap().enter();
+        let w = Vector::from_expr(pygb::apply(&u)).unwrap();
+        assert_eq!(w.get(0).unwrap().as_f64(), expected, "{name}");
+    }
+}
+
+#[test]
+fn bound_unary_op_like_pagerank() {
+    // with gb.UnaryOp("Times", 0.85): apply(m)
+    let u = Vector::from_dense(&[2.0f64]);
+    let _op = UnaryOp::bound("Times", 0.85).unwrap().enter();
+    let w = Vector::from_expr(pygb::apply(&u)).unwrap();
+    assert!((w.get(0).unwrap().as_f64() - 1.7).abs() < 1e-12);
+}
+
+#[test]
+fn nested_contexts_fig7_precedence() {
+    // Fig. 7 lines 20-28: an inner BinaryOp("Minus") takes precedence
+    // over the enclosing ArithmeticSemiring for `+`, while `@` still
+    // resolves the semiring.
+    let u = Vector::from_dense(&[10.0f64]);
+    let v = Vector::from_dense(&[4.0f64]);
+    let _sr = ArithmeticSemiring.enter();
+    {
+        let _minus = BinaryOp::new("Minus").unwrap().enter();
+        let w = Vector::from_expr(&u + &v).unwrap();
+        assert_eq!(w.get(0).unwrap().as_f64(), 6.0); // Minus, not Plus
+    }
+    let w = Vector::from_expr(&u + &v).unwrap();
+    assert_eq!(w.get(0).unwrap().as_f64(), 14.0); // back to Plus
+}
+
+#[test]
+fn operator_captured_at_expression_construction() {
+    // Sec. IV: "The expression object also captures the value of the
+    // binary operator from the context of the A + B expression."
+    let u = Vector::from_dense(&[10.0f64]);
+    let v = Vector::from_dense(&[4.0f64]);
+    let expr = {
+        let _minus = BinaryOp::new("Minus").unwrap().enter();
+        &u + &v
+    };
+    // The guard is dropped; evaluation must still use Minus.
+    let w = Vector::from_expr(expr).unwrap();
+    assert_eq!(w.get(0).unwrap().as_f64(), 6.0);
+}
+
+#[test]
+fn replace_flag_context() {
+    // Fig. 2b: with gb.LogicalSemiring, gb.Replace: ...
+    let mask = Vector::from_pairs(3, [(0usize, true)]).unwrap();
+    let src = Vector::from_dense(&[1.0f64, 1.0, 1.0]);
+
+    let mut keep = Vector::from_pairs(3, [(2usize, 9.0f64)]).unwrap();
+    keep.masked(&mask).assign(&src).unwrap();
+    assert_eq!(keep.get(2).unwrap().as_f64(), 9.0); // merge default
+
+    let mut cleared = Vector::from_pairs(3, [(2usize, 9.0f64)]).unwrap();
+    {
+        let _r = Replace.enter();
+        cleared.masked(&mask).assign(&src).unwrap();
+    }
+    assert!(cleared.get(2).is_none()); // replace from context
+}
+
+#[test]
+fn explicit_merge_overrides_replace_context() {
+    let mask = Vector::from_pairs(2, [(0usize, true)]).unwrap();
+    let src = Vector::from_dense(&[1.0f64, 1.0]);
+    let mut w = Vector::from_pairs(2, [(1usize, 5.0f64)]).unwrap();
+    let _r = Replace.enter();
+    w.masked(&mask).merge().assign(&src).unwrap();
+    assert_eq!(w.get(1).unwrap().as_f64(), 5.0);
+}
+
+#[test]
+fn context_stack_depth_is_balanced() {
+    assert_eq!(pygb::context::depth(), 0);
+    {
+        let _a = ArithmeticSemiring.enter();
+        let _b = MinMonoid.enter();
+        let _c = Replace.enter();
+        assert_eq!(pygb::context::depth(), 3);
+    }
+    assert_eq!(pygb::context::depth(), 0);
+}

@@ -1,0 +1,140 @@
+//! Section V's type-inference rules through the full stack: "When two
+//! containers of different types are combined in a binary operation, an
+//! upcast will be performed automatically according to C++'s upcasting
+//! rules, unless the output type is specified by the user."
+
+use pygb::dtype::ALL_DTYPES;
+use pygb::prelude::*;
+
+#[test]
+fn fresh_output_takes_promoted_dtype() {
+    // C = A + B with mixed dtypes: result dtype = promote(a, b).
+    let a = Vector::from_dense(&[1i32, 2]);
+    let b = Vector::from_dense(&[0.5f64, 0.5]);
+    let w = Vector::from_expr(&a + &b).unwrap();
+    assert_eq!(w.dtype(), DType::Fp64);
+    assert_eq!(w.get(0).unwrap().as_f64(), 1.5);
+}
+
+#[test]
+fn existing_output_dtype_wins() {
+    // "unless the output type is specified by the user": assigning into
+    // an int32 container computes in int32.
+    let a = Vector::from_dense(&[1.9f64, 2.9]);
+    let b = Vector::from_dense(&[0.2f64, 0.2]);
+    let mut w = Vector::new(2, DType::Int32);
+    w.no_mask().assign(&a + &b).unwrap();
+    assert_eq!(w.dtype(), DType::Int32);
+    // Inputs cast to int32 *before* the op (C semantics): 1 + 0 = 1.
+    assert_eq!(w.get(0).unwrap().as_i64(), 1);
+}
+
+#[test]
+fn promotion_matrix_rules() {
+    // Spot-check the C++ usual-arithmetic-conversion lattice.
+    let cases = [
+        (DType::Int8, DType::Int32, DType::Int32),
+        (DType::UInt8, DType::Int64, DType::Int64),
+        (DType::Int32, DType::UInt32, DType::UInt32),
+        (DType::Int64, DType::Fp32, DType::Fp32),
+        (DType::Bool, DType::UInt16, DType::UInt16),
+        (DType::Fp32, DType::Fp64, DType::Fp64),
+    ];
+    for (a, b, expect) in cases {
+        assert_eq!(DType::promote(a, b), expect, "{a} + {b}");
+        assert_eq!(DType::promote(b, a), expect, "commutative {a} + {b}");
+    }
+}
+
+#[test]
+fn promotion_drives_expression_dtype_for_all_pairs() {
+    for a_dt in ALL_DTYPES {
+        for b_dt in ALL_DTYPES {
+            let a = Vector::new(2, a_dt);
+            let b = Vector::new(2, b_dt);
+            let expr = &a + &b;
+            assert_eq!(
+                expr.result_dtype(),
+                DType::promote(a_dt, b_dt),
+                "{a_dt} + {b_dt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mxv_promotes_matrix_and_vector() {
+    let m = Matrix::from_dense(&[vec![2i16, 0], vec![0, 2]]).unwrap();
+    let u = Vector::from_dense(&[1.5f32, 2.5]);
+    let _sr = ArithmeticSemiring.enter();
+    let w = Vector::from_expr(m.mxv(&u)).unwrap();
+    assert_eq!(w.dtype(), DType::Fp32);
+    assert_eq!(w.get(0).unwrap().as_f64(), 3.0);
+}
+
+#[test]
+fn mask_dtype_is_independent() {
+    // Masks coerce to bool whatever their dtype; they do not affect the
+    // compute dtype.
+    let src = Vector::from_dense(&[7.5f64, 7.5]);
+    let mask = Vector::from_dense(&[1i8, 0]);
+    let mut w = Vector::new(2, DType::Fp64);
+    w.masked(&mask).assign(&src).unwrap();
+    assert_eq!(w.dtype(), DType::Fp64);
+    assert_eq!(w.nvals(), 1);
+    assert_eq!(w.get(0).unwrap().as_f64(), 7.5);
+}
+
+#[test]
+fn scalar_assignment_casts_into_container_dtype() {
+    let mut w = Vector::new(3, DType::UInt8);
+    w.no_mask().slice(..).assign_scalar(300i64).unwrap(); // wraps: 300 % 256
+    assert_eq!(w.get(0).unwrap().as_i64(), 44);
+
+    let mut f = Vector::new(1, DType::Fp32);
+    f.no_mask().slice(..).assign_scalar(0.5f64).unwrap();
+    assert_eq!(f.get(0).unwrap().as_f64(), 0.5);
+}
+
+#[test]
+fn default_python_dtypes() {
+    // Section V: unspecified dtypes fall back to 64-bit ints / floats.
+    let ints = [(0usize, 0usize, DynScalar::from(1i64))];
+    assert_eq!(
+        Matrix::from_triples_dyn(1, 1, &ints, None).unwrap().dtype(),
+        DType::Int64
+    );
+    let floats = [(0usize, DynScalar::from(1.0f64))];
+    assert_eq!(
+        Vector::from_pairs_dyn(1, &floats, None).unwrap().dtype(),
+        DType::Fp64
+    );
+}
+
+#[test]
+fn cross_dtype_bfs_pattern() {
+    // BFS works regardless of the edge dtype because the DSL upcasts
+    // into the frontier's bool domain through truthiness.
+    use pygb_algorithms::bfs_dsl_loops;
+    // Weight 1.0 survives every cast truthy (0.25 would truncate to a
+    // stored — falsy — 0 in integer dtypes, correctly breaking the
+    // path; see `DynScalar::cast`).
+    let edges = [(0usize, 1usize, 1.0f64), (1, 2, 1.0)];
+    let g = Matrix::from_triples(3, 3, edges).unwrap();
+    for dtype in [DType::Fp64, DType::Fp32, DType::Int64, DType::Bool] {
+        let levels = bfs_dsl_loops(&g.cast(dtype), 0).unwrap();
+        assert_eq!(levels.get(2).map(|v| v.as_i64()), Some(3), "{dtype}");
+    }
+}
+
+#[test]
+fn bool_degrades_gracefully_in_arithmetic() {
+    // bool × bool in an arithmetic context acts as the Boolean ring.
+    let a = Vector::from_dense(&[true, true, false]);
+    let b = Vector::from_dense(&[true, false, false]);
+    let w = Vector::from_expr(&a + &b).unwrap();
+    assert_eq!(w.dtype(), DType::Bool);
+    assert_eq!(w.get(0).unwrap().as_i64(), 1); // true OR true
+    assert_eq!(w.get(1).unwrap().as_i64(), 1);
+    assert_eq!(w.get(2).unwrap().as_i64(), 0);
+}

@@ -1,0 +1,353 @@
+//! Property-based tests over the core data structures and the
+//! GraphBLAS semantics, checked against simple reference models.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use gbtl::ops::accum::{Accumulate, NoAccumulate};
+use gbtl::prelude::*;
+
+const N: usize = 10;
+
+/// A sparse vector as a model map.
+fn sparse_map() -> impl Strategy<Value = BTreeMap<usize, i64>> {
+    proptest::collection::btree_map(0..N, -100i64..100, 0..N)
+}
+
+/// A sparse matrix as a model map.
+fn sparse_mat_map() -> impl Strategy<Value = BTreeMap<(usize, usize), i64>> {
+    proptest::collection::btree_map((0..N, 0..N), -100i64..100, 0..(N * N / 2))
+}
+
+fn to_vector(m: &BTreeMap<usize, i64>) -> Vector<i64> {
+    Vector::from_pairs(N, m.iter().map(|(&i, &v)| (i, v))).unwrap()
+}
+
+fn to_matrix(m: &BTreeMap<(usize, usize), i64>) -> Matrix<i64> {
+    Matrix::from_triples(N, N, m.iter().map(|(&(i, j), &v)| (i, j, v))).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn container_roundtrip(model in sparse_mat_map()) {
+        let m = to_matrix(&model);
+        prop_assert!(m.is_valid());
+        prop_assert_eq!(m.nvals(), model.len());
+        for (&(i, j), &v) in &model {
+            prop_assert_eq!(m.get(i, j), Some(v));
+        }
+        let back: BTreeMap<(usize, usize), i64> =
+            m.iter().map(|(i, j, v)| ((i, j), v)).collect();
+        prop_assert_eq!(back, model);
+    }
+
+    #[test]
+    fn transpose_is_involution(model in sparse_mat_map()) {
+        let m = to_matrix(&model);
+        let tt = m.transpose_owned().transpose_owned();
+        prop_assert_eq!(tt, m);
+    }
+
+    #[test]
+    fn mxm_matches_dense_reference(a in sparse_mat_map(), b in sparse_mat_map()) {
+        let am = to_matrix(&a);
+        let bm = to_matrix(&b);
+        let mut c = Matrix::<i64>::new(N, N);
+        operations::mxm(
+            &mut c, &NoMask, NoAccumulate,
+            &ArithmeticSemiring::new(), &am, &bm, Replace(false),
+        ).unwrap();
+        // Dense wrapping reference.
+        for i in 0..N {
+            for j in 0..N {
+                let mut acc: Option<i64> = None;
+                for k in 0..N {
+                    if let (Some(&x), Some(&y)) = (a.get(&(i, k)), b.get(&(k, j))) {
+                        let prod = x.wrapping_mul(y);
+                        acc = Some(acc.map_or(prod, |s| s.wrapping_add(prod)));
+                    }
+                }
+                prop_assert_eq!(c.get(i, j), acc, "({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn mxv_gather_and_scatter_agree(a in sparse_mat_map(), u in sparse_map()) {
+        let am = to_matrix(&a);
+        let uv = to_vector(&u);
+        let mut direct = Vector::<i64>::new(N);
+        operations::mxv(
+            &mut direct, &NoMask, NoAccumulate,
+            &ArithmeticSemiring::new(), &am, &uv, Replace(false),
+        ).unwrap();
+        // Same product through the scatter kernel: A·u = (Aᵀ)ᵀ·u.
+        let at = am.transpose_owned();
+        let mut scattered = Vector::<i64>::new(N);
+        operations::mxv(
+            &mut scattered, &NoMask, NoAccumulate,
+            &ArithmeticSemiring::new(), transpose(&at), &uv, Replace(false),
+        ).unwrap();
+        prop_assert_eq!(direct, scattered);
+    }
+
+    #[test]
+    fn ewise_add_is_union_with_plus(u in sparse_map(), v in sparse_map()) {
+        let uv = to_vector(&u);
+        let vv = to_vector(&v);
+        let mut w = Vector::<i64>::new(N);
+        operations::e_wise_add_vector(
+            &mut w, &NoMask, NoAccumulate,
+            gbtl::ops::binary::Plus::new(), &uv, &vv, Replace(false),
+        ).unwrap();
+        let keys: BTreeSet<usize> = u.keys().chain(v.keys()).copied().collect();
+        prop_assert_eq!(w.nvals(), keys.len());
+        for i in keys {
+            let expect = match (u.get(&i), v.get(&i)) {
+                (Some(&x), Some(&y)) => x.wrapping_add(y),
+                (Some(&x), None) => x,
+                (None, Some(&y)) => y,
+                (None, None) => unreachable!(),
+            };
+            prop_assert_eq!(w.get(i), Some(expect));
+        }
+    }
+
+    #[test]
+    fn ewise_mult_is_intersection(u in sparse_map(), v in sparse_map()) {
+        let uv = to_vector(&u);
+        let vv = to_vector(&v);
+        let mut w = Vector::<i64>::new(N);
+        operations::e_wise_mult_vector(
+            &mut w, &NoMask, NoAccumulate,
+            gbtl::ops::binary::Times::new(), &uv, &vv, Replace(false),
+        ).unwrap();
+        let both: Vec<usize> = u.keys().filter(|k| v.contains_key(k)).copied().collect();
+        prop_assert_eq!(w.nvals(), both.len());
+        for i in both {
+            prop_assert_eq!(w.get(i), Some(u[&i].wrapping_mul(v[&i])));
+        }
+    }
+
+    #[test]
+    fn masked_write_matches_elementwise_model(
+        c0 in sparse_map(),
+        t in sparse_map(),
+        mask in proptest::collection::btree_set(0..N, 0..N),
+        complemented in any::<bool>(),
+        accumulate in any::<bool>(),
+        replace in any::<bool>(),
+    ) {
+        let mut c = to_vector(&c0);
+        let tv = to_vector(&t);
+        let mv = Vector::from_pairs(N, mask.iter().map(|&i| (i, 1i64))).unwrap();
+
+        // Library result.
+        let go = |c: &mut Vector<i64>, m: &dyn VectorMask| {
+            if accumulate {
+                gbtl::write::write_vector(c, m, &Accumulate(gbtl::ops::binary::Plus::<i64>::new()), tv.clone(), Replace(replace));
+            } else {
+                gbtl::write::write_vector(c, m, &NoAccumulate, tv.clone(), Replace(replace));
+            }
+        };
+        if complemented {
+            go(&mut c, &complement(&mv));
+        } else {
+            go(&mut c, &mv);
+        }
+
+        // Element-by-element spec model.
+        for i in 0..N {
+            let allowed = mask.contains(&i) != complemented;
+            let z = if accumulate {
+                match (c0.get(&i), t.get(&i)) {
+                    (Some(&x), Some(&y)) => Some(x.wrapping_add(y)),
+                    (Some(&x), None) => Some(x),
+                    (None, Some(&y)) => Some(y),
+                    (None, None) => None,
+                }
+            } else {
+                t.get(&i).copied()
+            };
+            let expect = if allowed {
+                z
+            } else if replace {
+                None
+            } else {
+                c0.get(&i).copied()
+            };
+            prop_assert_eq!(c.get(i), expect, "i={}", i);
+        }
+    }
+
+    #[test]
+    fn reduce_scalar_is_sum(u in sparse_map()) {
+        let uv = to_vector(&u);
+        let total = operations::reduce_vector_scalar(
+            &gbtl::ops::monoid::PlusMonoid::new(), &uv);
+        let expect = u.values().fold(0i64, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn extract_then_assign_roundtrips(
+        m in sparse_mat_map(),
+        lo in 0usize..N/2,
+    ) {
+        let hi = lo + N / 2;
+        let src = to_matrix(&m);
+        // C = A[lo..hi, lo..hi]
+        let k = hi - lo;
+        let mut sub = Matrix::<i64>::new(k, k);
+        operations::extract_matrix(
+            &mut sub, &NoMask, NoAccumulate, &src,
+            &Indices::Range(lo, hi), &Indices::Range(lo, hi), Replace(false),
+        ).unwrap();
+        // Assign it back into a blank matrix at the same place.
+        let mut out = Matrix::<i64>::new(N, N);
+        operations::assign_matrix(
+            &mut out, &NoMask, NoAccumulate, &sub,
+            &Indices::Range(lo, hi), &Indices::Range(lo, hi), Replace(false),
+        ).unwrap();
+        for ((i, j), &v) in &m {
+            let inside = (lo..hi).contains(i) && (lo..hi).contains(j);
+            prop_assert_eq!(out.get(*i, *j), inside.then_some(v));
+        }
+    }
+
+    #[test]
+    fn sssp_is_a_fixpoint(edges in proptest::collection::btree_map((0..N, 0..N), 1i64..20, 0..N*2)) {
+        let g = Matrix::from_triples(
+            N, N, edges.iter().map(|(&(i, j), &w)| (i, j, w)),
+        ).unwrap();
+        let dist = gbtl::algorithms::sssp_from(&g, 0).unwrap();
+        // No edge can relax any further.
+        for (&(u, v), &w) in &edges {
+            if let Some(du) = dist.get(u) {
+                let dv = dist.get(v).expect("reachable through u");
+                prop_assert!(dv <= du + w, "edge {}->{} violates", u, v);
+            }
+        }
+        // Every reachable distance is witnessed by an incoming edge
+        // (or is the source).
+        for (v, dv) in dist.iter() {
+            if v == 0 && dv == 0 { continue; }
+            let witnessed = edges.iter().any(|(&(s, d), &w)| {
+                d == v && dist.get(s).is_some_and(|ds| ds + w == dv)
+            });
+            prop_assert!(witnessed, "distance at {} unwitnessed", v);
+        }
+    }
+
+    #[test]
+    fn dsl_matches_native_on_random_ewise(
+        u in sparse_map(),
+        v in sparse_map(),
+        op_idx in 0usize..17,
+    ) {
+        use gbtl::ops::kind::ALL_BINARY_OPS;
+        let kind = ALL_BINARY_OPS[op_idx];
+
+        // Native.
+        let mut nat = Vector::<i64>::new(N);
+        operations::e_wise_add_vector(
+            &mut nat, &NoMask, NoAccumulate,
+            gbtl::ops::kind::KindBinaryOp(kind), &to_vector(&u), &to_vector(&v),
+            Replace(false),
+        ).unwrap();
+
+        // DSL.
+        let du = pygb::Vector::from_pairs(N, u.iter().map(|(&i, &x)| (i, x))).unwrap();
+        let dv = pygb::Vector::from_pairs(N, v.iter().map(|(&i, &x)| (i, x))).unwrap();
+        let _op = pygb::BinaryOp::new(kind.name()).unwrap().enter();
+        let dw = pygb::Vector::from_expr(&du + &dv).unwrap();
+
+        prop_assert_eq!(dw.nvals(), nat.nvals());
+        for (i, x) in nat.iter() {
+            prop_assert_eq!(dw.get(i).map(|d| d.as_i64()), Some(x), "op {} at {}", kind.name(), i);
+        }
+    }
+
+    #[test]
+    fn dsl_mxm_matches_native_mxm(a in sparse_mat_map(), b in sparse_mat_map()) {
+        // Native.
+        let mut nat = Matrix::<i64>::new(N, N);
+        operations::mxm(
+            &mut nat, &NoMask, NoAccumulate,
+            &ArithmeticSemiring::new(), &to_matrix(&a), &to_matrix(&b),
+            Replace(false),
+        ).unwrap();
+
+        // DSL, through the full JIT dispatch pipeline.
+        let da = pygb::Matrix::from_triples(
+            N, N, a.iter().map(|(&(i, j), &v)| (i, j, v)),
+        ).unwrap();
+        let db = pygb::Matrix::from_triples(
+            N, N, b.iter().map(|(&(i, j), &v)| (i, j, v)),
+        ).unwrap();
+        let _sr = pygb::ArithmeticSemiring.enter();
+        let dc = pygb::Matrix::from_expr(da.matmul(&db)).unwrap();
+
+        prop_assert_eq!(dc.nvals(), nat.nvals());
+        for (i, j, v) in nat.iter() {
+            prop_assert_eq!(dc.get(i, j).map(|x| x.as_i64()), Some(v), "({}, {})", i, j);
+        }
+    }
+
+    #[test]
+    fn dsl_masked_mxv_matches_native(
+        a in sparse_mat_map(),
+        u in sparse_map(),
+        mask in proptest::collection::btree_set(0..N, 0..N),
+        complemented in any::<bool>(),
+        replace in any::<bool>(),
+    ) {
+        let am = to_matrix(&a);
+        let uv = to_vector(&u);
+        let mv = Vector::from_pairs(N, mask.iter().map(|&i| (i, 1i64))).unwrap();
+
+        let mut nat = Vector::<i64>::new(N);
+        if complemented {
+            operations::mxv(&mut nat, &complement(&mv), NoAccumulate,
+                &ArithmeticSemiring::new(), &am, &uv, Replace(replace)).unwrap();
+        } else {
+            operations::mxv(&mut nat, &mv, NoAccumulate,
+                &ArithmeticSemiring::new(), &am, &uv, Replace(replace)).unwrap();
+        }
+
+        let da = pygb::Matrix::from_triples(
+            N, N, a.iter().map(|(&(i, j), &v)| (i, j, v)),
+        ).unwrap();
+        let du = pygb::Vector::from_pairs(N, u.iter().map(|(&i, &v)| (i, v))).unwrap();
+        let dm = pygb::Vector::from_pairs(N, mask.iter().map(|&i| (i, 1i64))).unwrap();
+        let mut dw = pygb::Vector::new(N, pygb::DType::Int64);
+        {
+            let _sr = pygb::ArithmeticSemiring.enter();
+            let expr = da.mxv(&du);
+            let target = if complemented {
+                dw.masked_complement(&dm)
+            } else {
+                dw.masked(&dm)
+            };
+            let target = if replace { target.replace() } else { target.merge() };
+            target.assign(expr).unwrap();
+        }
+        prop_assert_eq!(dw.nvals(), nat.nvals());
+        for (i, v) in nat.iter() {
+            prop_assert_eq!(dw.get(i).map(|x| x.as_i64()), Some(v), "i={}", i);
+        }
+    }
+
+    #[test]
+    fn cast_preserves_in_range_values(m in sparse_mat_map()) {
+        let src = to_matrix(&m); // values in -100..100 fit everywhere signed
+        let f: Matrix<f64> = src.cast();
+        let back: Matrix<i64> = f.cast();
+        prop_assert_eq!(&back, &src);
+        let small: Matrix<i8> = src.cast();
+        for (i, j, v) in src.iter() {
+            prop_assert_eq!(small.get(i, j), Some(v as i8));
+        }
+    }
+}

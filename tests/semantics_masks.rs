@@ -1,0 +1,201 @@
+//! GraphBLAS output-write semantics through the full stack: the DSL's
+//! masked/complemented/replace/merge/accumulated assignments must agree
+//! exactly with direct statically-typed GBTL calls on the same data.
+
+use gbtl::ops::accum::{Accumulate, NoAccumulate};
+use gbtl::prelude::*;
+use pygb::prelude::{
+    ArithmeticSemiring as DslArithmetic, Matrix as DMatrix, Vector as DVector,
+};
+use pygb::DType;
+
+/// Deterministic pseudo-random sparse data without external deps.
+fn lcg_pairs(n: usize, nnz: usize, mut state: u64) -> Vec<(usize, f64)> {
+    let mut out = std::collections::BTreeMap::new();
+    while out.len() < nnz.min(n) {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let idx = (state >> 33) as usize % n;
+        let val = ((state >> 11) % 1000) as f64 / 100.0 - 5.0;
+        out.insert(idx, val);
+    }
+    out.into_iter().collect()
+}
+
+fn dsl_vec(pairs: &[(usize, f64)], n: usize) -> DVector {
+    DVector::from_pairs(n, pairs.iter().copied()).unwrap()
+}
+
+fn gbtl_vec(pairs: &[(usize, f64)], n: usize) -> Vector<f64> {
+    Vector::from_pairs(n, pairs.iter().copied()).unwrap()
+}
+
+fn compare(dsl: &DVector, native: &Vector<f64>) {
+    assert_eq!(dsl.nvals(), native.nvals(), "nvals differ");
+    for (i, v) in native.iter() {
+        assert_eq!(
+            dsl.get(i).map(|x| x.as_f64()),
+            Some(v),
+            "value at {i} differs"
+        );
+    }
+}
+
+/// Run `u + v` through both stacks under every combination of
+/// (mask, complement, accumulate, replace) and compare.
+#[test]
+fn ewise_add_write_semantics_match_native_exhaustively() {
+    let n = 32;
+    let c0 = lcg_pairs(n, 10, 1);
+    let u = lcg_pairs(n, 12, 2);
+    let v = lcg_pairs(n, 12, 3);
+    let mask_pairs: Vec<(usize, f64)> = lcg_pairs(n, 16, 4)
+        .into_iter()
+        .map(|(i, val)| (i, if val > 0.0 { 1.0 } else { 0.0 }))
+        .collect();
+
+    for use_mask in [false, true] {
+        for complemented in [false, true] {
+            if !use_mask && complemented {
+                continue;
+            }
+            for accumulate in [false, true] {
+                for replace in [false, true] {
+                    // --- DSL side ---
+                    let mut dsl_c = dsl_vec(&c0, n);
+                    let dsl_u = dsl_vec(&u, n);
+                    let dsl_v = dsl_vec(&v, n);
+                    let dsl_mask = dsl_vec(&mask_pairs, n);
+                    {
+                        let _sr = DslArithmetic.enter();
+                        let expr = &dsl_u + &dsl_v;
+                        let target = match (use_mask, complemented) {
+                            (false, _) => dsl_c.no_mask(),
+                            (true, false) => dsl_c.masked(&dsl_mask),
+                            (true, true) => dsl_c.masked_complement(&dsl_mask),
+                        };
+                        let target = if replace { target.replace() } else { target };
+                        if accumulate {
+                            target.accum_assign(expr).unwrap();
+                        } else {
+                            target.assign(expr).unwrap();
+                        }
+                    }
+
+                    // --- native side ---
+                    let mut nat_c = gbtl_vec(&c0, n);
+                    let nat_u = gbtl_vec(&u, n);
+                    let nat_v = gbtl_vec(&v, n);
+                    let nat_mask = gbtl_vec(&mask_pairs, n);
+                    let run = |c: &mut Vector<f64>, m: &dyn VectorMask| {
+                        if accumulate {
+                            operations::e_wise_add_vector(
+                                c,
+                                m,
+                                Accumulate(gbtl::ops::binary::Plus::<f64>::new()),
+                                gbtl::ops::binary::Plus::<f64>::new(),
+                                &nat_u,
+                                &nat_v,
+                                Replace(replace),
+                            )
+                            .unwrap();
+                        } else {
+                            operations::e_wise_add_vector(
+                                c,
+                                m,
+                                NoAccumulate,
+                                gbtl::ops::binary::Plus::<f64>::new(),
+                                &nat_u,
+                                &nat_v,
+                                Replace(replace),
+                            )
+                            .unwrap();
+                        }
+                    };
+                    match (use_mask, complemented) {
+                        (false, _) => run(&mut nat_c, &NoMask),
+                        (true, false) => run(&mut nat_c, &nat_mask),
+                        (true, true) => {
+                            let comp = complement(&nat_mask);
+                            run(&mut nat_c, &comp)
+                        }
+                    }
+
+                    compare(&dsl_c, &nat_c);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mask_values_coerce_to_bool() {
+    // A stored 0.0 in the mask is false (the paper: "data will be
+    // coerced to boolean values").
+    let mut c = DVector::new(3, DType::Fp64);
+    let mask =
+        DVector::from_pairs(3, [(0usize, 0.0f64), (1, 2.5), (2, -1.0)]).unwrap();
+    let src = DVector::from_dense(&[7.0f64, 7.0, 7.0]);
+    c.masked(&mask).assign(&src).unwrap();
+    assert!(c.get(0).is_none()); // stored zero masks out
+    assert_eq!(c.get(1).unwrap().as_f64(), 7.0);
+    assert_eq!(c.get(2).unwrap().as_f64(), 7.0); // negative is truthy
+}
+
+#[test]
+fn masked_in_absence_deletes_without_accum() {
+    // Z = T without accumulator: a masked-in position where T is empty
+    // loses its old C entry.
+    let mut c = DVector::from_pairs(2, [(0usize, 9.0f64)]).unwrap();
+    let mask = DVector::from_dense(&[1.0f64, 1.0]);
+    let empty = DVector::new(2, DType::Fp64);
+    c.masked(&mask).assign(&empty).unwrap();
+    assert_eq!(c.nvals(), 0);
+}
+
+#[test]
+fn matrix_mask_complement_replace() {
+    let a = DMatrix::from_dense(&[vec![1.0f64, 2.0], vec![3.0, 4.0]]).unwrap();
+    let mask = DMatrix::from_triples(2, 2, [(0usize, 0usize, true)]).unwrap();
+    let mut c =
+        DMatrix::from_triples(2, 2, [(0usize, 0usize, 50.0f64), (1, 1, 60.0)]).unwrap();
+    // Complemented mask allows everything except (0,0); replace clears
+    // (0,0)'s old entry.
+    c.masked_complement(&mask).replace().assign(&a).unwrap();
+    assert!(c.get(0, 0).is_none());
+    assert_eq!(c.get(0, 1).unwrap().as_f64(), 2.0);
+    assert_eq!(c.get(1, 1).unwrap().as_f64(), 4.0);
+    assert_eq!(c.nvals(), 3);
+}
+
+#[test]
+fn self_masked_assignment_via_snapshot() {
+    // Fig. 7 line 39: page_rank[~page_rank] = page_rank + new_rank.
+    let mut page_rank = DVector::from_pairs(3, [(0usize, 0.5f64)]).unwrap();
+    let new_rank = DVector::from_dense(&[0.1f64, 0.1, 0.1]);
+    let snapshot = page_rank.clone();
+    let expr = &snapshot + &new_rank;
+    page_rank.masked_complement(&snapshot).assign(expr).unwrap();
+    // Position 0 (masked out): keeps 0.5. Positions 1, 2: get 0.1.
+    assert_eq!(page_rank.get(0).unwrap().as_f64(), 0.5);
+    assert_eq!(page_rank.get(1).unwrap().as_f64(), 0.1);
+    assert_eq!(page_rank.get(2).unwrap().as_f64(), 0.1);
+}
+
+#[test]
+fn in_place_vs_rebinding_semantics() {
+    // Sec. IV: C[None] = A @ B mutates the existing container; C = A @ B
+    // creates a fresh one. With copy-on-write handles the old snapshot
+    // survives rebinding.
+    let a = DMatrix::from_dense(&[vec![1.0f64, 0.0], vec![0.0, 1.0]]).unwrap();
+    let before = a.clone();
+
+    let _sr = DslArithmetic.enter();
+    let mut c = DMatrix::new(2, 2, DType::Fp64);
+    c.set(0, 1, 42.0f64).unwrap();
+    c.no_mask().assign(a.matmul(&a)).unwrap(); // in place: overwrites
+    assert!(c.get(0, 1).is_none() || c.get(0, 1).unwrap().as_f64() != 42.0);
+
+    let rebound = DMatrix::from_expr(a.matmul(&a)).unwrap();
+    assert_eq!(rebound.get(0, 0).unwrap().as_f64(), 1.0);
+    assert_eq!(a, before); // operands untouched
+}

@@ -1,0 +1,240 @@
+//! Table I, row by row: every GraphBLAS operation form in its PyGB
+//! notation, executed through the DSL and checked against the
+//! mathematical definition — including the mask / accumulate / replace
+//! decorations the table's left column carries.
+
+use pygb::prelude::*;
+
+fn a() -> Matrix {
+    Matrix::from_dense(&[vec![1.0f64, 2.0], vec![3.0, 4.0]]).unwrap()
+}
+
+fn b() -> Matrix {
+    Matrix::from_dense(&[vec![5.0f64, 6.0], vec![7.0, 8.0]]).unwrap()
+}
+
+fn u() -> Vector {
+    Vector::from_dense(&[1.0f64, 2.0])
+}
+
+fn v() -> Vector {
+    Vector::from_dense(&[10.0f64, 20.0])
+}
+
+#[test]
+fn mxm_c_eq_a_matmul_b() {
+    // C⟨M, z⟩ = C ⊙ A ⊕.⊗ B   →   C[M, z] = A @ B
+    let _sr = ArithmeticSemiring.enter();
+    let c = Matrix::from_expr(a().matmul(&b())).unwrap();
+    assert_eq!(c.get(0, 0).unwrap().as_f64(), 19.0); // 1·5 + 2·7
+    assert_eq!(c.get(0, 1).unwrap().as_f64(), 22.0);
+    assert_eq!(c.get(1, 0).unwrap().as_f64(), 43.0);
+    assert_eq!(c.get(1, 1).unwrap().as_f64(), 50.0);
+}
+
+#[test]
+fn mxm_masked_with_replace() {
+    let _sr = ArithmeticSemiring.enter();
+    let mask = Matrix::from_triples(2, 2, [(0usize, 0usize, true)]).unwrap();
+    let mut c = Matrix::from_dense(&[vec![100.0f64, 100.0], vec![100.0, 100.0]]).unwrap();
+    c.masked(&mask).replace().assign(a().matmul(&b())).unwrap();
+    assert_eq!(c.get(0, 0).unwrap().as_f64(), 19.0);
+    assert_eq!(c.nvals(), 1); // replace cleared the rest
+
+    let mut c2 = Matrix::from_dense(&[vec![100.0f64, 100.0], vec![100.0, 100.0]]).unwrap();
+    c2.masked(&mask).assign(a().matmul(&b())).unwrap();
+    assert_eq!(c2.nvals(), 4); // merge keeps masked-out entries
+    assert_eq!(c2.get(1, 1).unwrap().as_f64(), 100.0);
+}
+
+#[test]
+fn mxv_w_eq_a_matmul_u() {
+    // w⟨m, z⟩ = w ⊙ A ⊕.⊗ u   →   w[m, z] = A @ u
+    let _sr = ArithmeticSemiring.enter();
+    let w = Vector::from_expr(a().mxv(&u())).unwrap();
+    assert_eq!(w.get(0).unwrap().as_f64(), 5.0); // 1·1 + 2·2
+    assert_eq!(w.get(1).unwrap().as_f64(), 11.0);
+}
+
+#[test]
+fn ewise_mult_matrix_and_vector() {
+    // C[M, z] = A * B ; w[m, z] = u * v
+    let c = Matrix::from_expr(a().ewise_mult(&b())).unwrap();
+    assert_eq!(c.get(1, 1).unwrap().as_f64(), 32.0);
+    let w = Vector::from_expr(&u() * &v()).unwrap();
+    assert_eq!(w.get(0).unwrap().as_f64(), 10.0);
+    assert_eq!(w.get(1).unwrap().as_f64(), 40.0);
+}
+
+#[test]
+fn ewise_add_matrix_and_vector() {
+    // C[M, z] = A + B ; w[m, z] = u + v
+    let c = Matrix::from_expr(&a() + &b()).unwrap();
+    assert_eq!(c.get(0, 0).unwrap().as_f64(), 6.0);
+    let w = Vector::from_expr(u().ewise_add(&v())).unwrap();
+    assert_eq!(w.get(1).unwrap().as_f64(), 22.0);
+}
+
+#[test]
+fn reduce_row_form() {
+    // w[m, z] = reduce(monoid, A)
+    let _m = MaxMonoid.enter();
+    let w = Vector::from_expr(pygb::reduce_rows(&a())).unwrap();
+    assert_eq!(w.get(0).unwrap().as_f64(), 2.0);
+    assert_eq!(w.get(1).unwrap().as_f64(), 4.0);
+}
+
+#[test]
+fn reduce_scalar_forms() {
+    // s = reduce(A) ; s = reduce(u)
+    assert_eq!(reduce(&a()).unwrap().as_f64(), 10.0);
+    assert_eq!(reduce(&u()).unwrap().as_f64(), 3.0);
+    // With an explicit monoid in context:
+    let _m = MinMonoid.enter();
+    assert_eq!(reduce(&a()).unwrap().as_f64(), 1.0);
+}
+
+#[test]
+fn apply_forms() {
+    // C[M, z] = apply(A) ; w[m, z] = apply(u)
+    let _op = UnaryOp::new("MultiplicativeInverse").unwrap().enter();
+    let c = Matrix::from_expr(pygb::apply(&a())).unwrap();
+    assert_eq!(c.get(0, 1).unwrap().as_f64(), 0.5);
+    let w = Vector::from_expr(pygb::apply(&u())).unwrap();
+    assert_eq!(w.get(1).unwrap().as_f64(), 0.5);
+}
+
+#[test]
+fn transpose_form() {
+    // C[M, z] = A.T
+    let c = Matrix::from_expr(a().t().expr()).unwrap();
+    assert_eq!(c.get(0, 1).unwrap().as_f64(), 3.0);
+    assert_eq!(c.get(1, 0).unwrap().as_f64(), 2.0);
+}
+
+#[test]
+fn extract_forms() {
+    // C[M, z] = A[i, j] ; w[m, z] = u[i]
+    let big = Matrix::from_dense(&[
+        vec![1.0f64, 2.0, 3.0],
+        vec![4.0, 5.0, 6.0],
+        vec![7.0, 8.0, 9.0],
+    ])
+    .unwrap();
+    let c = Matrix::from_expr(big.extract(1..3, 0..2)).unwrap();
+    assert_eq!(c.shape(), (2, 2));
+    assert_eq!(c.get(0, 0).unwrap().as_f64(), 4.0);
+    assert_eq!(c.get(1, 1).unwrap().as_f64(), 8.0);
+
+    let w = Vector::from_expr(u().extract(vec![1usize, 0])).unwrap();
+    assert_eq!(w.get(0).unwrap().as_f64(), 2.0);
+    assert_eq!(w.get(1).unwrap().as_f64(), 1.0);
+}
+
+#[test]
+fn assign_container_forms() {
+    // C⟨M, z⟩(i, j) = C(i, j) ⊙ A   →   C[M, z][i, j] = A
+    let mut c = Matrix::new(3, 3, DType::Fp64);
+    c.set(0, 0, 99.0f64).unwrap();
+    c.no_mask().region(1..3, 1..3).assign(&a()).unwrap();
+    assert_eq!(c.get(0, 0).unwrap().as_f64(), 99.0); // outside region
+    assert_eq!(c.get(1, 1).unwrap().as_f64(), 1.0);
+    assert_eq!(c.get(2, 2).unwrap().as_f64(), 4.0);
+
+    // w⟨m, z⟩(i) = w(i) ⊙ u   →   w[m, z][i] = u
+    let mut w = Vector::new(4, DType::Fp64);
+    w.set(0, 50.0f64).unwrap();
+    w.no_mask().slice(2..4).assign(&u()).unwrap();
+    assert_eq!(w.get(0).unwrap().as_f64(), 50.0);
+    assert_eq!(w.get(2).unwrap().as_f64(), 1.0);
+    assert_eq!(w.get(3).unwrap().as_f64(), 2.0);
+}
+
+#[test]
+fn assign_constant_forms() {
+    // page_rank[:] = 1.0 / rows (Fig. 7) — constant over a slice
+    let mut w = Vector::new(4, DType::Fp64);
+    w.no_mask().slice(..).assign_scalar(0.25f64).unwrap();
+    assert_eq!(w.to_dense_f64(), vec![0.25; 4]);
+
+    // levels[frontier][:] = depth (Fig. 2b) — constant under a mask
+    let mut levels = Vector::new(4, DType::UInt64);
+    let frontier = Vector::from_pairs(4, [(1usize, true), (3, true)]).unwrap();
+    levels.masked(&frontier).assign_scalar(7u64).unwrap();
+    assert_eq!(levels.nvals(), 2);
+    assert_eq!(levels.get(3).unwrap().as_i64(), 7);
+}
+
+#[test]
+fn accumulate_assign() {
+    // w[m, z] += expr with an accumulator from context (Fig. 4a)
+    let _sr = MinPlusSemiring.enter();
+    let _acc = Accumulator::new("Min").unwrap().enter();
+    let mut w = Vector::from_dense(&[5.0f64, 5.0]);
+    let delta = Vector::from_dense(&[3.0f64, 9.0]);
+    w.no_mask().accum_assign(&delta).unwrap();
+    assert_eq!(w.get(0).unwrap().as_f64(), 3.0); // min(5, 3)
+    assert_eq!(w.get(1).unwrap().as_f64(), 5.0); // min(5, 9)
+}
+
+#[test]
+fn accumulate_falls_back_to_semiring_monoid() {
+    // Paper: without an explicit Accumulator, += uses the semiring's
+    // monoid (MinMonoid from MinPlusSemiring).
+    let d = Vector::from_dense(&[9.0f64]);
+    {
+        let _sr = MinPlusSemiring.enter();
+        let mut w = Vector::from_dense(&[5.0f64]);
+        w.no_mask().accum_assign(&d).unwrap();
+        assert_eq!(w.get(0).unwrap().as_f64(), 5.0); // min
+    }
+    // And += without any context is an error.
+    let mut w2 = Vector::from_dense(&[1.0f64]);
+    let err = w2.no_mask().accum_assign(&d).unwrap_err();
+    assert!(matches!(err, PygbError::MissingOperator { .. }));
+}
+
+#[test]
+fn submatrix_assign_of_expression_forces_temp() {
+    // Sec. IV: C[2:4, 2:4] = A @ B — evaluated via an intermediate.
+    let _sr = ArithmeticSemiring.enter();
+    let mut c = Matrix::new(4, 4, DType::Fp64);
+    c.no_mask()
+        .region(2..4, 2..4)
+        .assign(a().matmul(&b()))
+        .unwrap();
+    assert_eq!(c.get(2, 2).unwrap().as_f64(), 19.0);
+    assert_eq!(c.get(3, 3).unwrap().as_f64(), 50.0);
+    assert!(c.get(0, 0).is_none());
+}
+
+#[test]
+fn missing_semiring_errors_at_evaluation() {
+    // Expression built with no semiring in context: error surfaces at
+    // assignment (the paper's Python would raise at evaluation).
+    let expr = a().matmul(&b());
+    let mut c = Matrix::new(2, 2, DType::Fp64);
+    let err = c.no_mask().assign(expr).unwrap_err();
+    assert!(matches!(
+        err,
+        PygbError::MissingOperator {
+            needed: "semiring",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn transposed_operands_in_table_forms() {
+    // "input matrices A and B may be optionally transposed"
+    let _sr = ArithmeticSemiring.enter();
+    let c1 = Matrix::from_expr(a().t().matmul(&b())).unwrap();
+    let at = Matrix::from_expr(a().t().expr()).unwrap();
+    let c2 = Matrix::from_expr(at.matmul(&b())).unwrap();
+    assert_eq!(c1.extract_triples(), c2.extract_triples());
+
+    let c3 = Matrix::from_expr(a().matmul(b().t())).unwrap();
+    let bt = Matrix::from_expr(b().t().expr()).unwrap();
+    let c4 = Matrix::from_expr(a().matmul(&bt)).unwrap();
+    assert_eq!(c3.extract_triples(), c4.extract_triples());
+}
