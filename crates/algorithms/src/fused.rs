@@ -137,9 +137,9 @@ macro_rules! algo_factory {
                 DType::Bool => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
                     $body::<bool>(a)
                 })) as Box<dyn Kernel>,
-                DType::Int8 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
-                    $body::<i8>(a)
-                })),
+                DType::Int8 => {
+                    Box::new(FnKernel::new($fname, desc, |a: &mut $argty| $body::<i8>(a)))
+                }
                 DType::Int16 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
                     $body::<i16>(a)
                 })),
@@ -149,9 +149,9 @@ macro_rules! algo_factory {
                 DType::Int64 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
                     $body::<i64>(a)
                 })),
-                DType::UInt8 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
-                    $body::<u8>(a)
-                })),
+                DType::UInt8 => {
+                    Box::new(FnKernel::new($fname, desc, |a: &mut $argty| $body::<u8>(a)))
+                }
                 DType::UInt16 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
                     $body::<u16>(a)
                 })),

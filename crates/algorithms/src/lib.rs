@@ -24,6 +24,7 @@
 pub mod bfs;
 pub mod cc;
 mod fused;
+pub mod nonblocking;
 pub mod pagerank;
 pub mod sssp;
 pub mod triangle;
@@ -31,18 +32,24 @@ pub mod util;
 
 pub use bfs::{bfs_dsl_fused, bfs_dsl_loops, bfs_native};
 pub use cc::{cc_dsl_fused, cc_dsl_loops, cc_native, count_components};
+pub use nonblocking::{
+    bfs_nonblocking, pagerank_nonblocking, sssp_nonblocking, tricount_nonblocking,
+};
 pub use pagerank::{
-    pagerank_dsl_chained, pagerank_dsl_fused, pagerank_dsl_loops, pagerank_native,
-    PageRankOptions,
+    pagerank_dsl_chained, pagerank_dsl_fused, pagerank_dsl_loops, pagerank_native, PageRankOptions,
 };
 pub use sssp::{sssp_dsl_fused, sssp_dsl_loops, sssp_native};
 pub use triangle::{tricount_dsl_fused, tricount_dsl_loops, tricount_native, tril};
 
-/// The three execution strategies of the Fig. 10 experiment.
+/// The execution strategies of the Fig. 10 experiment, plus the
+/// nonblocking op-DAG runtime as a fourth series.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// Outer loop in the host language, one dynamic dispatch per op.
     DslLoops,
+    /// Per-op dispatch deferred into the nonblocking op-DAG with
+    /// automatic fusion (`pygb-runtime`).
+    Nonblocking,
     /// One dynamic dispatch to a whole-algorithm kernel.
     DslFused,
     /// Direct statically-typed calls.
@@ -51,12 +58,18 @@ pub enum Variant {
 
 impl Variant {
     /// All variants, in the order Fig. 10 plots them.
-    pub const ALL: [Variant; 3] = [Variant::DslLoops, Variant::DslFused, Variant::Native];
+    pub const ALL: [Variant; 4] = [
+        Variant::DslLoops,
+        Variant::Nonblocking,
+        Variant::DslFused,
+        Variant::Native,
+    ];
 
     /// The label used in benchmark output.
     pub fn label(self) -> &'static str {
         match self {
             Variant::DslLoops => "pygb-loops",
+            Variant::Nonblocking => "pygb-nonblocking",
             Variant::DslFused => "pygb-fused",
             Variant::Native => "native",
         }

@@ -161,10 +161,7 @@ pub fn pagerank_dsl_chained(
 /// PageRank as a single fused-kernel dispatch (runs the Fig. 8 GBTL
 /// algorithm in one module call). Returns the rank (`fp64`) and the
 /// iteration count.
-pub fn pagerank_dsl_fused(
-    graph: &Matrix,
-    opts: PageRankOptions,
-) -> pygb::Result<(Vector, usize)> {
+pub fn pagerank_dsl_fused(graph: &Matrix, opts: PageRankOptions) -> pygb::Result<(Vector, usize)> {
     let mut args = PageRankArgs {
         graph: graph.clone(),
         opts,
@@ -188,9 +185,7 @@ mod tests {
         // Bidirectional cycle: every vertex has in-edges, so the
         // product stays dense and the fused chain is exactly Fig. 7.
         let n = 6;
-        let edges = (0..n).flat_map(|i| {
-            [(i, (i + 1) % n, 1.0f64), ((i + 1) % n, i, 1.0)]
-        });
+        let edges = (0..n).flat_map(|i| [(i, (i + 1) % n, 1.0f64), ((i + 1) % n, i, 1.0)]);
         let g = Matrix::from_triples(n, n, edges).unwrap();
         let opts = PageRankOptions {
             threshold: 1e-14,
@@ -260,8 +255,7 @@ mod tests {
         let g = cycle(5);
         let (fused_pr, fused_iters) = pagerank_dsl_fused(&g, PageRankOptions::default()).unwrap();
         let ng: gbtl::Matrix<f64> = g.to_typed().unwrap();
-        let (native_pr, native_iters) =
-            pagerank_native(&ng, PageRankOptions::default()).unwrap();
+        let (native_pr, native_iters) = pagerank_native(&ng, PageRankOptions::default()).unwrap();
         assert_eq!(fused_iters, native_iters);
         for (i, v) in native_pr.iter() {
             assert_eq!(fused_pr.get(i).unwrap().as_f64(), v);

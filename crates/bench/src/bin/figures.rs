@@ -92,7 +92,11 @@ fn table1() {
     {
         let _sr = ArithmeticSemiring.enter();
         let c = Matrix::from_expr(a.matmul(&b)).unwrap();
-        rows.push(("mxm", "C[M, z] = A @ B", c.get(0, 0).unwrap().as_f64() == 19.0));
+        rows.push((
+            "mxm",
+            "C[M, z] = A @ B",
+            c.get(0, 0).unwrap().as_f64() == 19.0,
+        ));
     }
     // mxv: w = A ⊕.⊗ u
     {
@@ -103,18 +107,38 @@ fn table1() {
     // eWiseMult / eWiseAdd, both arities
     {
         let c = Matrix::from_expr(&a * &b).unwrap();
-        rows.push(("eWiseMult (M)", "C[M, z] = A * B", c.get(0, 0).unwrap().as_f64() == 5.0));
+        rows.push((
+            "eWiseMult (M)",
+            "C[M, z] = A * B",
+            c.get(0, 0).unwrap().as_f64() == 5.0,
+        ));
         let w = Vector::from_expr(&u * &v).unwrap();
-        rows.push(("eWiseMult (v)", "w[m, z] = u * v", w.get(1).unwrap().as_f64() == 40.0));
+        rows.push((
+            "eWiseMult (v)",
+            "w[m, z] = u * v",
+            w.get(1).unwrap().as_f64() == 40.0,
+        ));
         let c2 = Matrix::from_expr(&a + &b).unwrap();
-        rows.push(("eWiseAdd (M)", "C[M, z] = A + B", c2.get(1, 1).unwrap().as_f64() == 12.0));
+        rows.push((
+            "eWiseAdd (M)",
+            "C[M, z] = A + B",
+            c2.get(1, 1).unwrap().as_f64() == 12.0,
+        ));
         let w2 = Vector::from_expr(&u + &v).unwrap();
-        rows.push(("eWiseAdd (v)", "w[m, z] = u + v", w2.get(0).unwrap().as_f64() == 11.0));
+        rows.push((
+            "eWiseAdd (v)",
+            "w[m, z] = u + v",
+            w2.get(0).unwrap().as_f64() == 11.0,
+        ));
     }
     // reduce row / scalar
     {
         let w = Vector::from_expr(pygb::reduce_rows(&a)).unwrap();
-        rows.push(("reduce (row)", "w[m, z] = reduce(monoid, A)", w.get(0).unwrap().as_f64() == 3.0));
+        rows.push((
+            "reduce (row)",
+            "w[m, z] = reduce(monoid, A)",
+            w.get(0).unwrap().as_f64() == 3.0,
+        ));
         let s = reduce(&a).unwrap();
         rows.push(("reduce (scalar)", "s = reduce(A)", s.as_f64() == 10.0));
         let sv = reduce(&u).unwrap();
@@ -124,34 +148,63 @@ fn table1() {
     {
         let _op = UnaryOp::new("AdditiveInverse").unwrap().enter();
         let c = Matrix::from_expr(pygb::apply(&a)).unwrap();
-        rows.push(("apply (M)", "C[M, z] = apply(A)", c.get(0, 0).unwrap().as_f64() == -1.0));
+        rows.push((
+            "apply (M)",
+            "C[M, z] = apply(A)",
+            c.get(0, 0).unwrap().as_f64() == -1.0,
+        ));
         let w = Vector::from_expr(pygb::apply(&u)).unwrap();
-        rows.push(("apply (v)", "w[m, z] = apply(u)", w.get(1).unwrap().as_f64() == -2.0));
+        rows.push((
+            "apply (v)",
+            "w[m, z] = apply(u)",
+            w.get(1).unwrap().as_f64() == -2.0,
+        ));
     }
     // transpose
     {
         let c = Matrix::from_expr(a.t().expr()).unwrap();
-        rows.push(("transpose", "C[M, z] = A.T", c.get(0, 1).unwrap().as_f64() == 3.0));
+        rows.push((
+            "transpose",
+            "C[M, z] = A.T",
+            c.get(0, 1).unwrap().as_f64() == 3.0,
+        ));
     }
     // extract
     {
         let c = Matrix::from_expr(a.extract(0..1, 0..2)).unwrap();
         rows.push(("extract (M)", "C[M, z] = A[i, j]", c.shape() == (1, 2)));
         let w = Vector::from_expr(u.extract(vec![1usize])).unwrap();
-        rows.push(("extract (v)", "w[m, z] = u[i]", w.get(0).unwrap().as_f64() == 2.0));
+        rows.push((
+            "extract (v)",
+            "w[m, z] = u[i]",
+            w.get(0).unwrap().as_f64() == 2.0,
+        ));
     }
     // assign
     {
         let mut c = Matrix::new(3, 3, DType::Fp64);
         c.no_mask().region(0..2, 0..2).assign(&a).unwrap();
-        rows.push(("assign (M)", "C[M, z][i, j] = A", c.get(1, 1).unwrap().as_f64() == 4.0));
+        rows.push((
+            "assign (M)",
+            "C[M, z][i, j] = A",
+            c.get(1, 1).unwrap().as_f64() == 4.0,
+        ));
         let mut w = Vector::new(4, DType::Fp64);
         w.no_mask().slice(1..3).assign(&u).unwrap();
-        rows.push(("assign (v)", "w[m, z][i] = u", w.get(2).unwrap().as_f64() == 2.0));
+        rows.push((
+            "assign (v)",
+            "w[m, z][i] = u",
+            w.get(2).unwrap().as_f64() == 2.0,
+        ));
     }
 
     for (name, notation, ok) in &rows {
-        println!("  {:<16} {:<28} {}", name, notation, if *ok { "✓" } else { "✗ FAILED" });
+        println!(
+            "  {:<16} {:<28} {}",
+            name,
+            notation,
+            if *ok { "✓" } else { "✗ FAILED" }
+        );
     }
     let failed = rows.iter().filter(|r| !r.2).count();
     println!("\n  {} forms verified, {} failed\n", rows.len(), failed);
@@ -257,7 +310,9 @@ fn compile_times() {
     let cold = start.elapsed() / n_keys;
 
     // Warm hits on one key.
-    let key = ModuleKey::new("mxm").with("c_type", "fp64").with("variant", "0");
+    let key = ModuleKey::new("mxm")
+        .with("c_type", "fp64")
+        .with("variant", "0");
     let n_hits = 100_000u32;
     let start = Instant::now();
     for _ in 0..n_hits {

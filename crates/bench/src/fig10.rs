@@ -1,6 +1,6 @@
-//! Fig. 10 runners: the four algorithms × three variants, returning
-//! wall time per run so both Criterion and the `figures` binary can
-//! drive them.
+//! Fig. 10 runners: the four algorithms × four variants (the paper's
+//! three plus the nonblocking op-DAG runtime), returning wall time per
+//! run so both Criterion and the `figures` binary can drive them.
 
 use std::time::{Duration, Instant};
 
@@ -61,6 +61,9 @@ pub fn run_once(algo: Algorithm, variant: Variant, w: &Workload) -> Duration {
         (Algorithm::Bfs, Variant::DslLoops) => {
             algos::bfs_dsl_loops(&w.pygb, 0).expect("bfs");
         }
+        (Algorithm::Bfs, Variant::Nonblocking) => {
+            algos::bfs_nonblocking(&w.pygb, 0).expect("bfs");
+        }
         (Algorithm::Bfs, Variant::DslFused) => {
             algos::bfs_dsl_fused(&w.pygb, 0).expect("bfs");
         }
@@ -71,6 +74,11 @@ pub fn run_once(algo: Algorithm, variant: Variant, w: &Workload) -> Duration {
             let mut path = Vector::new(w.n, DType::Fp64);
             path.set(0, 0.0f64).expect("set");
             algos::sssp_dsl_loops(&w.pygb, &mut path).expect("sssp");
+        }
+        (Algorithm::Sssp, Variant::Nonblocking) => {
+            let mut path = Vector::new(w.n, DType::Fp64);
+            path.set(0, 0.0f64).expect("set");
+            algos::sssp_nonblocking(&w.pygb, &mut path).expect("sssp");
         }
         (Algorithm::Sssp, Variant::DslFused) => {
             let mut path = Vector::new(w.n, DType::Fp64);
@@ -85,6 +93,9 @@ pub fn run_once(algo: Algorithm, variant: Variant, w: &Workload) -> Duration {
         (Algorithm::PageRank, Variant::DslLoops) => {
             algos::pagerank_dsl_loops(&w.sym_pygb, pagerank_opts()).expect("pagerank");
         }
+        (Algorithm::PageRank, Variant::Nonblocking) => {
+            algos::pagerank_nonblocking(&w.sym_pygb, pagerank_opts()).expect("pagerank");
+        }
         (Algorithm::PageRank, Variant::DslFused) => {
             algos::pagerank_dsl_fused(&w.sym_pygb, pagerank_opts()).expect("pagerank");
         }
@@ -93,6 +104,9 @@ pub fn run_once(algo: Algorithm, variant: Variant, w: &Workload) -> Duration {
         }
         (Algorithm::TriangleCount, Variant::DslLoops) => {
             algos::tricount_dsl_loops(&w.lower_pygb).expect("tricount");
+        }
+        (Algorithm::TriangleCount, Variant::Nonblocking) => {
+            algos::tricount_nonblocking(&w.lower_pygb).expect("tricount");
         }
         (Algorithm::TriangleCount, Variant::DslFused) => {
             algos::tricount_dsl_fused(&w.lower_pygb).expect("tricount");
@@ -108,7 +122,9 @@ pub fn run_once(algo: Algorithm, variant: Variant, w: &Workload) -> Duration {
 /// is discarded, like the paper amortizing compiles over reuse).
 pub fn run_median(algo: Algorithm, variant: Variant, w: &Workload, reps: usize) -> Duration {
     let _warmup = run_once(algo, variant, w);
-    let mut times: Vec<Duration> = (0..reps.max(1)).map(|_| run_once(algo, variant, w)).collect();
+    let mut times: Vec<Duration> = (0..reps.max(1))
+        .map(|_| run_once(algo, variant, w))
+        .collect();
     times.sort();
     times[times.len() / 2]
 }

@@ -98,8 +98,8 @@ pub fn run_once(step: Step, side: Side, w: &ContainerWorkload) -> Duration {
     let start = Instant::now();
     match (step, side) {
         (Step::ReadFile, Side::Interpreted) => {
-            let m = matrix_market::read_interpreted(w.mm_text.as_bytes(), DType::Fp64)
-                .expect("read");
+            let m =
+                matrix_market::read_interpreted(w.mm_text.as_bytes(), DType::Fp64).expect("read");
             assert_eq!(m.nvals(), w.edges.nnz());
         }
         (Step::ReadFile, Side::Native) => {

@@ -3,11 +3,11 @@
 
 use std::time::Duration;
 
-use serde::Serialize;
+use pygb_jit::json::escape_string;
 
 /// One measured cell: a series name, an x value (problem size), and a
 /// time.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Sample {
     /// Which figure/table the sample belongs to (e.g. `"fig10/bfs"`).
     pub experiment: String,
@@ -77,7 +77,31 @@ pub fn format_seconds(s: f64) -> String {
 
 /// Serialize samples as pretty JSON (for EXPERIMENTS.md bookkeeping).
 pub fn to_json(samples: &[Sample]) -> String {
-    serde_json::to_string_pretty(samples).expect("samples serialize")
+    let mut out = String::from("[");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\n    \"experiment\": \"{}\",\n    \"series\": \"{}\",\n    \"n\": {},\n    \"seconds\": {}\n  }}",
+            escape_string(&s.experiment),
+            escape_string(&s.series),
+            s.n,
+            format_json_f64(s.seconds)
+        ));
+    }
+    out.push_str(if samples.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+/// Format an f64 the way JSON emitters conventionally do: integral
+/// values keep a `.0` so they read back as floats.
+fn format_json_f64(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
 }
 
 #[cfg(test)]

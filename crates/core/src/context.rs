@@ -190,7 +190,10 @@ mod tests {
             assert_eq!(resolve_add_op(), Some(BinaryOpKind::Minus));
             assert_eq!(resolve_mult_op(), Some(BinaryOpKind::Minus));
             // But the semiring is still the nearest *semiring*.
-            assert_eq!(resolve_semiring().map(|s| s.mult), Some(BinaryOpKind::Times));
+            assert_eq!(
+                resolve_semiring().map(|s| s.mult),
+                Some(BinaryOpKind::Times)
+            );
         }
         assert_eq!(resolve_add_op(), Some(BinaryOpKind::Plus));
     }

@@ -75,20 +75,24 @@ fn flag(b: bool) -> &'static str {
     }
 }
 
-fn cast_m(store: &Arc<MatrixStore>, to: DType) -> Arc<MatrixStore> {
-    if store.dtype() == to {
-        Arc::clone(store)
+fn cast_m(store: &Arc<MatrixStore>, to: DType) -> Result<Arc<MatrixStore>> {
+    // Operands may be deferred placeholders in nonblocking mode; read
+    // through the runtime's resolution map (flushing if necessary).
+    let store = crate::nb::resolved_mat(store)?;
+    Ok(if store.dtype() == to {
+        store
     } else {
         Arc::new(store.cast(to))
-    }
+    })
 }
 
-fn cast_v(store: &Arc<VectorStore>, to: DType) -> Arc<VectorStore> {
-    if store.dtype() == to {
-        Arc::clone(store)
+fn cast_v(store: &Arc<VectorStore>, to: DType) -> Result<Arc<VectorStore>> {
+    let store = crate::nb::resolved_vec(store)?;
+    Ok(if store.dtype() == to {
+        store
     } else {
         Arc::new(store.cast(to))
-    }
+    })
 }
 
 fn missing(needed: &'static str, operation: &'static str) -> PygbError {
@@ -124,6 +128,21 @@ pub(crate) fn eval_matrix(
 ) -> Result<()> {
     let replace = replace.unwrap_or(false);
 
+    if crate::nb::is_deferring() {
+        return crate::nb::enqueue_matrix(
+            target,
+            mask,
+            accum,
+            replace,
+            region,
+            crate::nb::MatRhs::Expr(expr),
+        );
+    }
+    // Blocking path: any deferred work must land first, and the target
+    // may still hold a pending placeholder from an earlier deferral.
+    crate::nb::flush_pending()?;
+    target.settle()?;
+
     // Sec. IV: a non-container expression assigned into an index region
     // forces an intermediate evaluation — "GBTL has no way to express
     // it as a single merged operation".
@@ -147,7 +166,8 @@ pub(crate) fn eval_matrix(
     args.accum = accum;
     args.replace = replace;
     if let Some((m, comp)) = &mask {
-        args.mask = Some(Arc::new(m.to_bool_matrix()));
+        let m_res = crate::nb::resolved_mat(m)?;
+        args.mask = Some(Arc::new(m_res.to_bool_matrix()));
         args.complemented = *comp;
         common_key_flags(&mut key, accum, replace, Some(m.dtype()), *comp);
     } else {
@@ -164,19 +184,19 @@ pub(crate) fn eval_matrix(
             key.set("bt", flag(b.transposed));
             args.at = a.transposed;
             args.bt = b.transposed;
-            args.a = Some(cast_m(&a.store, ct));
-            args.b = Some(cast_m(&b.store, ct));
+            args.a = Some(cast_m(&a.store, ct)?);
+            args.b = Some(cast_m(&b.store, ct)?);
             args.semiring = Some(sr);
             "mxm"
         }
         MatrixExprKind::EWiseAdd { a, b, op } => {
             let op = op.ok_or_else(|| missing("binary operator", "eWiseAdd"))?;
-            fill_ewise_m(&mut key, &mut args, a, b, op, ct);
+            fill_ewise_m(&mut key, &mut args, a, b, op, ct)?;
             "ewise_add_m"
         }
         MatrixExprKind::EWiseMult { a, b, op } => {
             let op = op.ok_or_else(|| missing("binary operator", "eWiseMult"))?;
-            fill_ewise_m(&mut key, &mut args, a, b, op, ct);
+            fill_ewise_m(&mut key, &mut args, a, b, op, ct)?;
             "ewise_mult_m"
         }
         MatrixExprKind::Apply { a, op } => {
@@ -185,20 +205,20 @@ pub(crate) fn eval_matrix(
             key.set("unary", unary_key(op));
             key.set("at", flag(a.transposed));
             args.at = a.transposed;
-            args.a = Some(cast_m(&a.store, ct));
+            args.a = Some(cast_m(&a.store, ct)?);
             args.unary = Some(op);
             "apply_m"
         }
         MatrixExprKind::Transpose { a } => {
             key.set("a_type", a.dtype().name());
-            args.a = Some(cast_m(&a, ct));
+            args.a = Some(cast_m(&a, ct)?);
             "transpose_m"
         }
         MatrixExprKind::Extract { a, rows, cols } => {
             key.set("a_type", a.dtype().name());
             key.set("at", flag(a.transposed));
             args.at = a.transposed;
-            args.a = Some(cast_m(&a.store, ct));
+            args.a = Some(cast_m(&a.store, ct)?);
             args.rows = Some(rows);
             args.cols = Some(cols);
             "extract_m"
@@ -206,21 +226,24 @@ pub(crate) fn eval_matrix(
         MatrixExprKind::Ref { a } => {
             key.set("a_type", a.dtype().name());
             if let Some((rows, cols)) = region {
-                args.a = Some(cast_m(&a, ct));
+                args.a = Some(cast_m(&a, ct)?);
                 args.rows = Some(rows);
                 args.cols = Some(cols);
                 "assign_m"
             } else {
                 // C[None] = A — an identity apply, as Fig. 8 lines 13-14.
                 key.set("unary", "Identity");
-                args.a = Some(cast_m(&a, ct));
+                args.a = Some(cast_m(&a, ct)?);
                 args.unary = Some(identity_unary());
                 "apply_m"
             }
         }
     };
     let key = rekey(key, func);
-    trace.record(Stage::TypeInference, infer_start.elapsed().as_nanos() as u64);
+    trace.record(
+        Stage::TypeInference,
+        infer_start.elapsed().as_nanos() as u64,
+    );
     trace.key = key.canonical();
 
     args.c = target.take_store();
@@ -237,7 +260,7 @@ fn fill_ewise_m(
     b: MatOperand,
     op: BinaryOpKind,
     ct: DType,
-) {
+) -> Result<()> {
     key.set("a_type", a.dtype().name());
     key.set("b_type", b.dtype().name());
     key.set("binop", op.name());
@@ -245,9 +268,10 @@ fn fill_ewise_m(
     key.set("bt", flag(b.transposed));
     args.at = a.transposed;
     args.bt = b.transposed;
-    args.a = Some(cast_m(&a.store, ct));
-    args.b = Some(cast_m(&b.store, ct));
+    args.a = Some(cast_m(&a.store, ct)?);
+    args.b = Some(cast_m(&b.store, ct)?);
     args.binop = Some(op);
+    Ok(())
 }
 
 /// Constant assignment into a matrix region (`C[M][i, j] = value`).
@@ -259,6 +283,19 @@ pub(crate) fn assign_matrix_scalar(
     region: Option<(Indices, Indices)>,
     value: DynScalar,
 ) -> Result<()> {
+    if crate::nb::is_deferring() {
+        return crate::nb::enqueue_matrix(
+            target,
+            mask,
+            accum,
+            replace,
+            region,
+            crate::nb::MatRhs::Scalar(value),
+        );
+    }
+    crate::nb::flush_pending()?;
+    target.settle()?;
+
     let mut trace = PipelineTrace::new(String::new());
     let ct = target.dtype();
     let infer_start = Instant::now();
@@ -274,13 +311,17 @@ pub(crate) fn assign_matrix_scalar(
         args.cols = Some(cols);
     }
     if let Some((m, comp)) = &mask {
+        let m = crate::nb::resolved_mat(m)?;
         args.mask = Some(Arc::new(m.to_bool_matrix()));
         args.complemented = *comp;
         common_key_flags(&mut key, accum, replace, Some(m.dtype()), *comp);
     } else {
         common_key_flags(&mut key, accum, replace, None, false);
     }
-    trace.record(Stage::TypeInference, infer_start.elapsed().as_nanos() as u64);
+    trace.record(
+        Stage::TypeInference,
+        infer_start.elapsed().as_nanos() as u64,
+    );
     trace.key = key.canonical();
 
     args.c = target.take_store();
@@ -301,6 +342,19 @@ pub(crate) fn eval_vector(
 ) -> Result<()> {
     let replace = replace.unwrap_or(false);
 
+    if crate::nb::is_deferring() {
+        return crate::nb::enqueue_vector(
+            target,
+            mask,
+            accum,
+            replace,
+            region,
+            crate::nb::VecRhs::Expr(expr),
+        );
+    }
+    crate::nb::flush_pending()?;
+    target.settle()?;
+
     if region.is_some() && !matches!(expr.kind, VectorExprKind::Ref { .. }) {
         let size = expr.result_size();
         let mut temp = Vector::new(size, target.dtype());
@@ -320,7 +374,8 @@ pub(crate) fn eval_vector(
     args.accum = accum;
     args.replace = replace;
     if let Some((m, comp)) = &mask {
-        args.mask = Some(Arc::new(m.to_bool_vector()));
+        let m_res = crate::nb::resolved_vec(m)?;
+        args.mask = Some(Arc::new(m_res.to_bool_vector()));
         args.complemented = *comp;
         common_key_flags(&mut key, accum, replace, Some(m.dtype()), *comp);
     } else {
@@ -335,8 +390,8 @@ pub(crate) fn eval_vector(
             key.set("semiring", semiring_key(sr));
             key.set("at", flag(a.transposed));
             args.at = a.transposed;
-            args.a = Some(cast_m(&a.store, ct));
-            args.u = Some(cast_v(&u, ct));
+            args.a = Some(cast_m(&a.store, ct)?);
+            args.u = Some(cast_v(&u, ct)?);
             args.semiring = Some(sr);
             "mxv"
         }
@@ -347,8 +402,8 @@ pub(crate) fn eval_vector(
             key.set("semiring", semiring_key(sr));
             key.set("at", flag(a.transposed));
             args.at = a.transposed;
-            args.a = Some(cast_m(&a.store, ct));
-            args.u = Some(cast_v(&u, ct));
+            args.a = Some(cast_m(&a.store, ct)?);
+            args.u = Some(cast_v(&u, ct)?);
             args.semiring = Some(sr);
             "vxm"
         }
@@ -357,8 +412,8 @@ pub(crate) fn eval_vector(
             key.set("u_type", u.dtype().name());
             key.set("v_type", v.dtype().name());
             key.set("binop", op.name());
-            args.u = Some(cast_v(&u, ct));
-            args.v = Some(cast_v(&v, ct));
+            args.u = Some(cast_v(&u, ct)?);
+            args.v = Some(cast_v(&v, ct)?);
             args.binop = Some(op);
             "ewise_add_v"
         }
@@ -367,8 +422,8 @@ pub(crate) fn eval_vector(
             key.set("u_type", u.dtype().name());
             key.set("v_type", v.dtype().name());
             key.set("binop", op.name());
-            args.u = Some(cast_v(&u, ct));
-            args.v = Some(cast_v(&v, ct));
+            args.u = Some(cast_v(&u, ct)?);
+            args.v = Some(cast_v(&v, ct)?);
             args.binop = Some(op);
             "ewise_mult_v"
         }
@@ -376,13 +431,13 @@ pub(crate) fn eval_vector(
             let op = op.ok_or_else(|| missing("unary operator", "apply"))?;
             key.set("u_type", u.dtype().name());
             key.set("unary", unary_key(op));
-            args.u = Some(cast_v(&u, ct));
+            args.u = Some(cast_v(&u, ct)?);
             args.unary = Some(op);
             "apply_v"
         }
         VectorExprKind::Extract { u, ix } => {
             key.set("u_type", u.dtype().name());
-            args.u = Some(cast_v(&u, ct));
+            args.u = Some(cast_v(&u, ct)?);
             args.ix = Some(ix);
             "extract_v"
         }
@@ -392,7 +447,7 @@ pub(crate) fn eval_vector(
             key.set("monoid", monoid_key(m));
             key.set("at", flag(a.transposed));
             args.at = a.transposed;
-            args.a = Some(cast_m(&a.store, ct));
+            args.a = Some(cast_m(&a.store, ct)?);
             args.monoid = Some(m);
             "reduce_rows"
         }
@@ -411,8 +466,8 @@ pub(crate) fn eval_vector(
             key.set("unary", unary_key(op));
             key.set("at", flag(a.transposed));
             args.at = a.transposed;
-            args.a = Some(cast_m(&a.store, ct));
-            args.u = Some(cast_v(&u, ct));
+            args.a = Some(cast_m(&a.store, ct)?);
+            args.u = Some(cast_v(&u, ct)?);
             args.semiring = Some(sr);
             args.unary = Some(op);
             if vxm {
@@ -421,22 +476,60 @@ pub(crate) fn eval_vector(
                 "mxv_apply"
             }
         }
+        VectorExprKind::FusedEwiseChain {
+            u,
+            v,
+            w,
+            inner,
+            outer,
+            inner_add,
+            outer_add,
+            inner_left,
+        } => {
+            key.set("u_type", u.dtype().name());
+            key.set("v_type", v.dtype().name());
+            if let Some(w) = &w {
+                key.set("w_type", w.dtype().name());
+            }
+            key.set("binop", inner.name());
+            key.set("binop2", outer.name());
+            key.set(
+                "chain",
+                match (inner_add, outer_add) {
+                    (true, true) => "add_add",
+                    (true, false) => "add_mult",
+                    (false, true) => "mult_add",
+                    (false, false) => "mult_mult",
+                },
+            );
+            key.set("tleft", flag(inner_left));
+            key.set("square", flag(w.is_none()));
+            args.u = Some(cast_v(&u, ct)?);
+            args.v = Some(cast_v(&v, ct)?);
+            args.w = w.map(|w| cast_v(&w, ct)).transpose()?;
+            args.binop = Some(inner);
+            args.binop2 = Some(outer);
+            "fused_ewise_chain"
+        }
         VectorExprKind::Ref { u } => {
             key.set("u_type", u.dtype().name());
             if let Some(ix) = region {
-                args.u = Some(cast_v(&u, ct));
+                args.u = Some(cast_v(&u, ct)?);
                 args.ix = Some(ix);
                 "assign_v"
             } else {
                 key.set("unary", "Identity");
-                args.u = Some(cast_v(&u, ct));
+                args.u = Some(cast_v(&u, ct)?);
                 args.unary = Some(identity_unary());
                 "apply_v"
             }
         }
     };
     let key = rekey(key, func);
-    trace.record(Stage::TypeInference, infer_start.elapsed().as_nanos() as u64);
+    trace.record(
+        Stage::TypeInference,
+        infer_start.elapsed().as_nanos() as u64,
+    );
     trace.key = key.canonical();
 
     args.c = target.take_store();
@@ -455,6 +548,19 @@ pub(crate) fn assign_vector_scalar(
     region: Option<Indices>,
     value: DynScalar,
 ) -> Result<()> {
+    if crate::nb::is_deferring() {
+        return crate::nb::enqueue_vector(
+            target,
+            mask,
+            accum,
+            replace,
+            region,
+            crate::nb::VecRhs::Scalar(value),
+        );
+    }
+    crate::nb::flush_pending()?;
+    target.settle()?;
+
     let mut trace = PipelineTrace::new(String::new());
     let ct = target.dtype();
     let infer_start = Instant::now();
@@ -467,13 +573,17 @@ pub(crate) fn assign_vector_scalar(
     args.value = Some(value);
     args.ix = region;
     if let Some((m, comp)) = &mask {
+        let m = crate::nb::resolved_vec(m)?;
         args.mask = Some(Arc::new(m.to_bool_vector()));
         args.complemented = *comp;
         common_key_flags(&mut key, accum, replace, Some(m.dtype()), *comp);
     } else {
         common_key_flags(&mut key, accum, replace, None, false);
     }
-    trace.record(Stage::TypeInference, infer_start.elapsed().as_nanos() as u64);
+    trace.record(
+        Stage::TypeInference,
+        infer_start.elapsed().as_nanos() as u64,
+    );
     trace.key = key.canonical();
 
     args.c = target.take_store();
@@ -481,6 +591,48 @@ pub(crate) fn assign_vector_scalar(
     target.put_store(args.c);
     outcome?;
     Ok(())
+}
+
+/// Dispatch the nonblocking runtime's fused eWise-then-reduce composite
+/// module: evaluate `u op v` into a fresh vector of dimension `size`
+/// and dtype `ct` AND fold it to a scalar with `monoid`, in one kernel
+/// invocation. Returns the materialized vector (the producer's result,
+/// still observable) and the scalar.
+pub fn dispatch_fused_ewise_reduce(
+    size: usize,
+    ct: DType,
+    u: Arc<VectorStore>,
+    v: Arc<VectorStore>,
+    op: BinaryOpKind,
+    is_add: bool,
+    monoid: KindMonoid,
+) -> Result<(VectorStore, DynScalar)> {
+    let mut trace = PipelineTrace::new(String::new());
+    let infer_start = Instant::now();
+    let mut key = ModuleKey::new("fused_ewise_reduce");
+    key.set("c_type", ct.name());
+    key.set("u_type", u.dtype().name());
+    key.set("v_type", v.dtype().name());
+    key.set("binop", op.name());
+    key.set("ewise", if is_add { "add" } else { "mult" });
+    key.set("monoid", monoid_key(monoid));
+    trace.record(
+        Stage::TypeInference,
+        infer_start.elapsed().as_nanos() as u64,
+    );
+    trace.key = key.canonical();
+    let mut args = VecArgs::new(VectorStore::new(size, ct));
+    args.u = Some(cast_v(&u, ct)?);
+    args.v = Some(cast_v(&v, ct)?);
+    args.binop = Some(op);
+    args.monoid = Some(monoid);
+    runtime().dispatch(&key, &mut args, trace)?;
+    let out = args.out.take().ok_or_else(|| {
+        PygbError::Jit(pygb_jit::JitError::bad_key(
+            "fused eWise-reduce produced no value",
+        ))
+    })?;
+    Ok((args.c, out))
 }
 
 /// Rebuild a key under its final function name (the function is decided
@@ -521,45 +673,61 @@ pub trait ReduceArg {
 impl ReduceArg for &Matrix {
     fn reduce_scalar(self) -> Result<DynScalar> {
         let monoid = crate::context::resolve_monoid().unwrap_or(DEFAULT_REDUCE_MONOID);
+        // Reduce-to-scalar is a terminating operation: deferred work
+        // feeding this container must land first.
+        crate::nb::flush_pending()?;
+        let store = crate::nb::resolved_mat(&self.store)?;
         let mut trace = PipelineTrace::new(String::new());
         let infer_start = Instant::now();
         let mut key = ModuleKey::new("reduce_m_scalar");
         key.set("c_type", self.dtype().name());
         key.set("monoid", monoid_key(monoid));
-        trace.record(Stage::TypeInference, infer_start.elapsed().as_nanos() as u64);
+        trace.record(
+            Stage::TypeInference,
+            infer_start.elapsed().as_nanos() as u64,
+        );
         trace.key = key.canonical();
         let mut args = ScalarArgs {
-            a: Some(Arc::clone(&self.store)),
+            a: Some(store),
             u: None,
             monoid: Some(monoid),
             out: None,
         };
         runtime().dispatch(&key, &mut args, trace)?;
-        args.out.ok_or_else(|| {
-            PygbError::Jit(pygb_jit::JitError::bad_key("reduce produced no value"))
-        })
+        args.out
+            .ok_or_else(|| PygbError::Jit(pygb_jit::JitError::bad_key("reduce produced no value")))
     }
 }
 
 impl ReduceArg for &Vector {
     fn reduce_scalar(self) -> Result<DynScalar> {
         let monoid = crate::context::resolve_monoid().unwrap_or(DEFAULT_REDUCE_MONOID);
+        // Terminating operation. Give the engine a chance to fuse the
+        // reduction into the pending producer (one composite module)
+        // before falling back to flush + plain reduce.
+        if let Some(out) = crate::nb::try_fused_reduce(&self.store, monoid)? {
+            return Ok(out);
+        }
+        crate::nb::flush_pending()?;
+        let store = crate::nb::resolved_vec(&self.store)?;
         let mut trace = PipelineTrace::new(String::new());
         let infer_start = Instant::now();
         let mut key = ModuleKey::new("reduce_v_scalar");
         key.set("c_type", self.dtype().name());
         key.set("monoid", monoid_key(monoid));
-        trace.record(Stage::TypeInference, infer_start.elapsed().as_nanos() as u64);
+        trace.record(
+            Stage::TypeInference,
+            infer_start.elapsed().as_nanos() as u64,
+        );
         trace.key = key.canonical();
         let mut args = ScalarArgs {
             a: None,
-            u: Some(self.store_arc()),
+            u: Some(store),
             monoid: Some(monoid),
             out: None,
         };
         runtime().dispatch(&key, &mut args, trace)?;
-        args.out.ok_or_else(|| {
-            PygbError::Jit(pygb_jit::JitError::bad_key("reduce produced no value"))
-        })
+        args.out
+            .ok_or_else(|| PygbError::Jit(pygb_jit::JitError::bad_key("reduce produced no value")))
     }
 }

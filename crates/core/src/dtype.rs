@@ -97,7 +97,10 @@ impl DType {
 
     /// Whether this is a signed integer type.
     pub fn is_signed_int(self) -> bool {
-        matches!(self, DType::Int8 | DType::Int16 | DType::Int32 | DType::Int64)
+        matches!(
+            self,
+            DType::Int8 | DType::Int16 | DType::Int32 | DType::Int64
+        )
     }
 
     /// Whether this is an unsigned integer type (excluding bool).

@@ -27,8 +27,11 @@ use crate::vector::Vector;
 /// A matrix operand snapshot: storage plus a transposition flag.
 #[derive(Clone, Debug)]
 pub struct MatOperand {
-    pub(crate) store: Arc<MatrixStore>,
-    pub(crate) transposed: bool,
+    /// The snapshotted storage. Public so the nonblocking runtime can
+    /// rebuild operands after resolving deferred placeholders.
+    pub store: Arc<MatrixStore>,
+    /// Whether the operand is used transposed (`A.T`).
+    pub transposed: bool,
 }
 
 impl MatOperand {
@@ -131,46 +134,70 @@ impl MatrixOperandArg for TransposedMatrix {
 /// A deferred matrix-valued expression.
 #[derive(Clone, Debug)]
 pub struct MatrixExpr {
-    pub(crate) kind: MatrixExprKind,
-    /// Nanoseconds spent building the expression object.
-    pub(crate) build_ns: u64,
+    /// What to compute. Public so the nonblocking runtime's fusion
+    /// pass can inspect and rewrite deferred expressions.
+    pub kind: MatrixExprKind,
+    /// Nanoseconds spent building the expression object (Fig. 9's
+    /// construction stage; `0` for expressions rebuilt by the runtime).
+    pub build_ns: u64,
 }
 
+/// The shape of a deferred matrix expression (see [`MatrixExpr::kind`]).
 #[derive(Clone, Debug)]
-pub(crate) enum MatrixExprKind {
+pub enum MatrixExprKind {
     /// `A ⊕.⊗ B`
     MxM {
+        /// Left operand.
         a: MatOperand,
+        /// Right operand.
         b: MatOperand,
+        /// Semiring captured from context (`None` surfaces at eval).
         semiring: Option<KindSemiring>,
     },
     /// `A ⊕ B`
     EWiseAdd {
+        /// Left operand.
         a: MatOperand,
+        /// Right operand.
         b: MatOperand,
+        /// Binary operator captured from context.
         op: Option<BinaryOpKind>,
     },
     /// `A ⊗ B`
     EWiseMult {
+        /// Left operand.
         a: MatOperand,
+        /// Right operand.
         b: MatOperand,
+        /// Binary operator captured from context.
         op: Option<BinaryOpKind>,
     },
     /// `f(A)`
     Apply {
+        /// The operand.
         a: MatOperand,
+        /// Unary operator captured from context.
         op: Option<AppliedUnaryKind>,
     },
     /// `Aᵀ`
-    Transpose { a: Arc<MatrixStore> },
+    Transpose {
+        /// The operand's storage.
+        a: Arc<MatrixStore>,
+    },
     /// `A(rows, cols)`
     Extract {
+        /// The operand.
         a: MatOperand,
+        /// Row selection.
         rows: Indices,
+        /// Column selection.
         cols: Indices,
     },
     /// A bare container reference (`C[None] = A`).
-    Ref { a: Arc<MatrixStore> },
+    Ref {
+        /// The referenced container's storage.
+        a: Arc<MatrixStore>,
+    },
 }
 
 impl MatrixExpr {
@@ -239,9 +266,7 @@ impl MatrixExpr {
             }
             MatrixExprKind::Apply { a, .. } => (a.nrows(), a.ncols()),
             MatrixExprKind::Transpose { a } => (a.ncols(), a.nrows()),
-            MatrixExprKind::Extract { a, rows, cols } => {
-                (rows.len(a.nrows()), cols.len(a.ncols()))
-            }
+            MatrixExprKind::Extract { a, rows, cols } => (rows.len(a.nrows()), cols.len(a.ncols())),
             MatrixExprKind::Ref { a } => (a.nrows(), a.ncols()),
         }
     }
@@ -266,60 +291,119 @@ impl From<&TransposedMatrix> for MatrixExpr {
 /// A deferred vector-valued expression.
 #[derive(Clone, Debug)]
 pub struct VectorExpr {
-    pub(crate) kind: VectorExprKind,
-    pub(crate) build_ns: u64,
+    /// What to compute. Public so the nonblocking runtime's fusion
+    /// pass can inspect and rewrite deferred expressions.
+    pub kind: VectorExprKind,
+    /// Nanoseconds spent building the expression object (`0` for
+    /// expressions rebuilt by the runtime).
+    pub build_ns: u64,
 }
 
+/// The shape of a deferred vector expression (see [`VectorExpr::kind`]).
 #[derive(Clone, Debug)]
-pub(crate) enum VectorExprKind {
+pub enum VectorExprKind {
     /// `A ⊕.⊗ u`
     MxV {
+        /// Matrix operand.
         a: MatOperand,
+        /// Vector operand.
         u: Arc<VectorStore>,
+        /// Semiring captured from context (`None` surfaces at eval).
         semiring: Option<KindSemiring>,
     },
     /// `uᵀ ⊕.⊗ A`
     VxM {
+        /// Vector operand.
         u: Arc<VectorStore>,
+        /// Matrix operand.
         a: MatOperand,
+        /// Semiring captured from context.
         semiring: Option<KindSemiring>,
     },
     /// `u ⊕ v`
     EWiseAdd {
+        /// Left operand.
         u: Arc<VectorStore>,
+        /// Right operand.
         v: Arc<VectorStore>,
+        /// Binary operator captured from context.
         op: Option<BinaryOpKind>,
     },
     /// `u ⊗ v`
     EWiseMult {
+        /// Left operand.
         u: Arc<VectorStore>,
+        /// Right operand.
         v: Arc<VectorStore>,
+        /// Binary operator captured from context.
         op: Option<BinaryOpKind>,
     },
     /// `f(u)`
     Apply {
+        /// The operand.
         u: Arc<VectorStore>,
+        /// Unary operator captured from context.
         op: Option<AppliedUnaryKind>,
     },
     /// `u(ix)`
-    Extract { u: Arc<VectorStore>, ix: Indices },
+    Extract {
+        /// The operand.
+        u: Arc<VectorStore>,
+        /// Index selection.
+        ix: Indices,
+    },
     /// Row-wise reduction of a matrix: `w = ⊕ⱼ A(:, j)`.
     ReduceRows {
+        /// The matrix operand.
         a: MatOperand,
+        /// Monoid captured from context.
         monoid: Option<KindMonoid>,
     },
     /// A bare container reference (`w[None] = u`).
-    Ref { u: Arc<VectorStore> },
+    Ref {
+        /// The referenced container's storage.
+        u: Arc<VectorStore>,
+    },
     /// Section V's planned deferred-chain compilation, implemented for
     /// the (matrix × vector) → apply pattern: `f(A ⊕.⊗ u)` runs as ONE
     /// module (one dispatch, no intermediate write-back pass). With
     /// `vxm` set the product is `uᵀ ⊕.⊗ A` instead.
     FusedMxvApply {
+        /// Matrix operand.
         a: MatOperand,
+        /// Vector operand.
         u: Arc<VectorStore>,
+        /// Semiring for the product.
         semiring: Option<KindSemiring>,
+        /// Unary operator for the fused apply.
         unary: Option<AppliedUnaryKind>,
+        /// Whether the product is `uᵀ ⊕.⊗ A` rather than `A ⊕.⊗ u`.
         vxm: bool,
+    },
+    /// Two chained element-wise operations run as ONE module:
+    /// `t = u inner v; result = t outer w` (or `w outer t` when
+    /// `inner_left` is false, or `t outer t` when `w` is `None` — the
+    /// "square" form `(u inner v) outer (u inner v)`). Produced only by
+    /// the nonblocking runtime's fusion pass; the front end never
+    /// builds it directly.
+    FusedEwiseChain {
+        /// Left operand of the inner element-wise op.
+        u: Arc<VectorStore>,
+        /// Right operand of the inner element-wise op.
+        v: Arc<VectorStore>,
+        /// The outer op's other operand; `None` means both outer slots
+        /// take the inner result (square form).
+        w: Option<Arc<VectorStore>>,
+        /// The inner binary operator.
+        inner: BinaryOpKind,
+        /// The outer binary operator.
+        outer: BinaryOpKind,
+        /// Whether the inner op is eWiseAdd (`true`) or eWiseMult.
+        inner_add: bool,
+        /// Whether the outer op is eWiseAdd (`true`) or eWiseMult.
+        outer_add: bool,
+        /// Whether the inner result feeds the outer op's left slot.
+        inner_left: bool,
     },
 }
 
@@ -413,9 +497,7 @@ impl VectorExpr {
             },
             other => {
                 return Err(crate::error::PygbError::Unsupported {
-                    context: format!(
-                        "deferred-chain fusion supports mxv/vxm heads, not {other:?}"
-                    ),
+                    context: format!("deferred-chain fusion supports mxv/vxm heads, not {other:?}"),
                 })
             }
         };
@@ -427,11 +509,16 @@ impl VectorExpr {
         match &self.kind {
             VectorExprKind::MxV { a, u, .. }
             | VectorExprKind::VxM { u, a, .. }
-            | VectorExprKind::FusedMxvApply { a, u, .. } => {
-                DType::promote(a.dtype(), u.dtype())
-            }
+            | VectorExprKind::FusedMxvApply { a, u, .. } => DType::promote(a.dtype(), u.dtype()),
             VectorExprKind::EWiseAdd { u, v, .. } | VectorExprKind::EWiseMult { u, v, .. } => {
                 DType::promote(u.dtype(), v.dtype())
+            }
+            VectorExprKind::FusedEwiseChain { u, v, w, .. } => {
+                let inner = DType::promote(u.dtype(), v.dtype());
+                match w {
+                    Some(w) => DType::promote(inner, w.dtype()),
+                    None => inner,
+                }
             }
             VectorExprKind::Apply { u, .. }
             | VectorExprKind::Extract { u, .. }
@@ -452,7 +539,9 @@ impl VectorExpr {
                     a.nrows()
                 }
             }
-            VectorExprKind::EWiseAdd { u, .. } | VectorExprKind::EWiseMult { u, .. } => u.size(),
+            VectorExprKind::EWiseAdd { u, .. }
+            | VectorExprKind::EWiseMult { u, .. }
+            | VectorExprKind::FusedEwiseChain { u, .. } => u.size(),
             VectorExprKind::Apply { u, .. } | VectorExprKind::Ref { u } => u.size(),
             VectorExprKind::Extract { u, ix } => ix.len(u.size()),
             VectorExprKind::ReduceRows { a, .. } => a.nrows(),
@@ -646,7 +735,9 @@ mod tests {
     fn apply_on_both_kinds() {
         let m = m2();
         let v = Vector::new(2, DType::Int64);
-        let _u = crate::operators::UnaryOp::new("LogicalNot").unwrap().enter();
+        let _u = crate::operators::UnaryOp::new("LogicalNot")
+            .unwrap()
+            .enter();
         match apply(&m).kind {
             MatrixExprKind::Apply { op, .. } => assert!(op.is_some()),
             _ => panic!(),

@@ -96,13 +96,17 @@ pub(crate) struct VecArgs {
     pub u: Option<Arc<VectorStore>>,
     /// Second vector operand.
     pub v: Option<Arc<VectorStore>>,
+    /// Third vector operand (fused eWise chains).
+    pub w: Option<Arc<VectorStore>>,
     /// Semiring (mxv / vxm).
     pub semiring: Option<KindSemiring>,
     /// Binary operator (eWise).
     pub binop: Option<BinaryOpKind>,
+    /// Second binary operator (outer op of fused eWise chains).
+    pub binop2: Option<BinaryOpKind>,
     /// Unary operator (apply).
     pub unary: Option<AppliedUnaryKind>,
-    /// Monoid (row-reduce).
+    /// Monoid (row-reduce / fused eWise-reduce).
     pub monoid: Option<KindMonoid>,
     /// Accumulator.
     pub accum: Option<BinaryOpKind>,
@@ -112,6 +116,8 @@ pub(crate) struct VecArgs {
     pub ix: Option<Indices>,
     /// Constant value (assign-constant).
     pub value: Option<DynScalar>,
+    /// Scalar result (fused eWise-reduce), written by the kernel.
+    pub out: Option<DynScalar>,
 }
 
 impl VecArgs {
@@ -124,14 +130,17 @@ impl VecArgs {
             at: false,
             u: None,
             v: None,
+            w: None,
             semiring: None,
             binop: None,
+            binop2: None,
             unary: None,
             monoid: None,
             accum: None,
             replace: false,
             ix: None,
             value: None,
+            out: None,
         }
     }
 }
@@ -228,22 +237,32 @@ fn bad(what: &str) -> JitError {
     JitError::bad_key(format!("kernel argument bundle missing `{what}`"))
 }
 
-fn typed_m<'x, T: Element>(s: &'x Option<Arc<MatrixStore>>, what: &str) -> Result<&'x gbtl::Matrix<T>, JitError> {
+fn typed_m<'x, T: Element>(
+    s: &'x Option<Arc<MatrixStore>>,
+    what: &str,
+) -> Result<&'x gbtl::Matrix<T>, JitError> {
     let store = s.as_ref().ok_or_else(|| bad(what))?;
-    T::unwrap_matrix(store).ok_or_else(|| JitError::bad_key(format!(
-        "`{what}` has dtype {} but kernel was instantiated for {}",
-        store.dtype(),
-        T::DTYPE
-    )))
+    T::unwrap_matrix(store).ok_or_else(|| {
+        JitError::bad_key(format!(
+            "`{what}` has dtype {} but kernel was instantiated for {}",
+            store.dtype(),
+            T::DTYPE
+        ))
+    })
 }
 
-fn typed_v<'x, T: Element>(s: &'x Option<Arc<VectorStore>>, what: &str) -> Result<&'x gbtl::Vector<T>, JitError> {
+fn typed_v<'x, T: Element>(
+    s: &'x Option<Arc<VectorStore>>,
+    what: &str,
+) -> Result<&'x gbtl::Vector<T>, JitError> {
     let store = s.as_ref().ok_or_else(|| bad(what))?;
-    T::unwrap_vector(store).ok_or_else(|| JitError::bad_key(format!(
-        "`{what}` has dtype {} but kernel was instantiated for {}",
-        store.dtype(),
-        T::DTYPE
-    )))
+    T::unwrap_vector(store).ok_or_else(|| {
+        JitError::bad_key(format!(
+            "`{what}` has dtype {} but kernel was instantiated for {}",
+            store.dtype(),
+            T::DTYPE
+        ))
+    })
 }
 
 fn take_c_m<T: Element>(args: &mut MatArgs) -> Result<gbtl::Matrix<T>, JitError> {
@@ -597,6 +616,123 @@ fn fused_mxv_apply<T: Element>(args: &mut VecArgs, vxm: bool) -> Result<(), JitE
     r.map_err(JitError::op)
 }
 
+/// The nonblocking runtime's fused eWise-chain module: two chained
+/// element-wise operations (`t = u inner v; c = t outer w`, or the
+/// square form `c = t outer t`) run as ONE kernel invocation. The
+/// intermediate lives only as a local, and the mask/accumulate/replace
+/// write happens once, on the outer result.
+fn k_fused_ewise_chain<T: Element>(
+    args: &mut VecArgs,
+    inner_add: bool,
+    outer_add: bool,
+    tleft: bool,
+    square: bool,
+) -> Result<(), JitError> {
+    let inner = KindUnaryWrap::binop(args.binop)?;
+    let outer = gbtl::ops::kind::KindBinaryOp(args.binop2.ok_or_else(|| bad("binop2"))?);
+    let mut c = take_c_v::<T>(args)?;
+    let u = typed_v::<T>(&args.u, "u")?;
+    let v = typed_v::<T>(&args.v, "v")?;
+    let w = if square {
+        None
+    } else {
+        Some(typed_v::<T>(&args.w, "w")?)
+    };
+    let mut t = gbtl::Vector::<T>::new(u.size());
+    let inner_r = if inner_add {
+        gbtl::operations::e_wise_add_vector(
+            &mut t,
+            &gbtl::NoMask,
+            gbtl::NoAccumulate,
+            inner,
+            u,
+            v,
+            gbtl::Replace(false),
+        )
+    } else {
+        gbtl::operations::e_wise_mult_vector(
+            &mut t,
+            &gbtl::NoMask,
+            gbtl::NoAccumulate,
+            inner,
+            u,
+            v,
+            gbtl::Replace(false),
+        )
+    };
+    let r = inner_r.and_then(|()| {
+        let (l, rr): (&gbtl::Vector<T>, &gbtl::Vector<T>) = match w {
+            None => (&t, &t),
+            Some(w) if tleft => (&t, w),
+            Some(w) => (w, &t),
+        };
+        if outer_add {
+            gbtl::operations::e_wise_add_vector(
+                &mut c,
+                &vmask(&args.mask, args.complemented),
+                MaybeAccum(args.accum),
+                outer,
+                l,
+                rr,
+                gbtl::Replace(args.replace),
+            )
+        } else {
+            gbtl::operations::e_wise_mult_vector(
+                &mut c,
+                &vmask(&args.mask, args.complemented),
+                MaybeAccum(args.accum),
+                outer,
+                l,
+                rr,
+                gbtl::Replace(args.replace),
+            )
+        }
+    });
+    args.c = T::wrap_vector(c);
+    r.map_err(JitError::op)
+}
+
+/// The nonblocking runtime's fused eWise-then-reduce module: the
+/// element-wise result is materialized into `c` AND folded to the
+/// scalar in `args.out` within one kernel invocation, saving the
+/// separate reduce dispatch.
+fn k_fused_ewise_reduce<T: Element>(args: &mut VecArgs, is_add: bool) -> Result<(), JitError> {
+    let op = KindUnaryWrap::binop(args.binop)?;
+    let monoid = args.monoid.ok_or_else(|| bad("monoid"))?;
+    let mut c = take_c_v::<T>(args)?;
+    let u = typed_v::<T>(&args.u, "u")?;
+    let v = typed_v::<T>(&args.v, "v")?;
+    let r = if is_add {
+        gbtl::operations::e_wise_add_vector(
+            &mut c,
+            &gbtl::NoMask,
+            gbtl::NoAccumulate,
+            op,
+            u,
+            v,
+            gbtl::Replace(false),
+        )
+    } else {
+        gbtl::operations::e_wise_mult_vector(
+            &mut c,
+            &gbtl::NoMask,
+            gbtl::NoAccumulate,
+            op,
+            u,
+            v,
+            gbtl::Replace(false),
+        )
+    };
+    if let Err(e) = r {
+        args.c = T::wrap_vector(c);
+        return Err(JitError::op(e));
+    }
+    let s: T = gbtl::operations::reduce_vector_scalar(&monoid, &c);
+    args.out = Some(s.to_dyn());
+    args.c = T::wrap_vector(c);
+    Ok(())
+}
+
 fn k_reduce_rows<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
     let monoid = args.monoid.ok_or_else(|| bad("monoid"))?;
     let mut c = take_c_v::<T>(args)?;
@@ -655,9 +791,9 @@ macro_rules! dtype_factory {
                 DType::Bool => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
                     $body::<bool>(a)
                 })) as Box<dyn Kernel>,
-                DType::Int8 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
-                    $body::<i8>(a)
-                })),
+                DType::Int8 => {
+                    Box::new(FnKernel::new($fname, desc, |a: &mut $argty| $body::<i8>(a)))
+                }
                 DType::Int16 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
                     $body::<i16>(a)
                 })),
@@ -667,9 +803,9 @@ macro_rules! dtype_factory {
                 DType::Int64 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
                     $body::<i64>(a)
                 })),
-                DType::UInt8 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
-                    $body::<u8>(a)
-                })),
+                DType::UInt8 => {
+                    Box::new(FnKernel::new($fname, desc, |a: &mut $argty| $body::<u8>(a)))
+                }
                 DType::UInt16 => Box::new(FnKernel::new($fname, desc, |a: &mut $argty| {
                     $body::<u16>(a)
                 })),
@@ -689,6 +825,89 @@ macro_rules! dtype_factory {
         }
         factory
     }};
+}
+
+/// Factory for the nonblocking runtime's fused eWise-chain module. The
+/// key carries the chain shape besides the dtype: `chain` names the
+/// inner/outer op families (`add_add` … `mult_mult`), `tleft` whether
+/// the intermediate feeds the outer op's left slot, `square` whether it
+/// feeds both slots.
+fn fused_ewise_chain_factory(key: &ModuleKey) -> Result<Box<dyn Kernel>, JitError> {
+    let ct =
+        DType::from_name(key.require("c_type")?).map_err(|e| JitError::bad_key(e.to_string()))?;
+    let (inner_add, outer_add) = match key.require("chain")? {
+        "add_add" => (true, true),
+        "add_mult" => (true, false),
+        "mult_add" => (false, true),
+        "mult_mult" => (false, false),
+        other => {
+            return Err(JitError::bad_key(format!(
+                "unknown eWise chain shape `{other}`"
+            )))
+        }
+    };
+    let tleft = key.require("tleft")? == "1";
+    let square = key.require("square")? == "1";
+    let desc = format!("fused_ewise_chain<{ct}> [{}]", key.module_name());
+    macro_rules! inst {
+        ($t:ty) => {
+            Box::new(FnKernel::new(
+                "fused_ewise_chain",
+                desc.clone(),
+                move |a: &mut VecArgs| {
+                    k_fused_ewise_chain::<$t>(a, inner_add, outer_add, tleft, square)
+                },
+            )) as Box<dyn Kernel>
+        };
+    }
+    Ok(match ct {
+        DType::Bool => inst!(bool),
+        DType::Int8 => inst!(i8),
+        DType::Int16 => inst!(i16),
+        DType::Int32 => inst!(i32),
+        DType::Int64 => inst!(i64),
+        DType::UInt8 => inst!(u8),
+        DType::UInt16 => inst!(u16),
+        DType::UInt32 => inst!(u32),
+        DType::UInt64 => inst!(u64),
+        DType::Fp32 => inst!(f32),
+        DType::Fp64 => inst!(f64),
+    })
+}
+
+/// Factory for the fused eWise-then-reduce module; the key's `ewise`
+/// parameter picks the element-wise family (`add` / `mult`).
+fn fused_ewise_reduce_factory(key: &ModuleKey) -> Result<Box<dyn Kernel>, JitError> {
+    let ct =
+        DType::from_name(key.require("c_type")?).map_err(|e| JitError::bad_key(e.to_string()))?;
+    let is_add = match key.require("ewise")? {
+        "add" => true,
+        "mult" => false,
+        other => return Err(JitError::bad_key(format!("unknown eWise family `{other}`"))),
+    };
+    let desc = format!("fused_ewise_reduce<{ct}> [{}]", key.module_name());
+    macro_rules! inst {
+        ($t:ty) => {
+            Box::new(FnKernel::new(
+                "fused_ewise_reduce",
+                desc.clone(),
+                move |a: &mut VecArgs| k_fused_ewise_reduce::<$t>(a, is_add),
+            )) as Box<dyn Kernel>
+        };
+    }
+    Ok(match ct {
+        DType::Bool => inst!(bool),
+        DType::Int8 => inst!(i8),
+        DType::Int16 => inst!(i16),
+        DType::Int32 => inst!(i32),
+        DType::Int64 => inst!(i64),
+        DType::UInt8 => inst!(u8),
+        DType::UInt16 => inst!(u16),
+        DType::UInt32 => inst!(u32),
+        DType::UInt64 => inst!(u64),
+        DType::Fp32 => inst!(f32),
+        DType::Fp64 => inst!(f64),
+    })
 }
 
 /// Register every PyGB operation's factory into `registry`. Public so
@@ -758,11 +977,15 @@ pub fn register_all(registry: &FactoryRegistry) {
         "reduce_v_scalar",
         dtype_factory!("reduce_v_scalar", ScalarArgs, k_reduce_v_scalar),
     );
+    registry.register("fused_ewise_chain", fused_ewise_chain_factory);
+    registry.register("fused_ewise_reduce", fused_ewise_reduce_factory);
 }
 
 /// Number of distinct operation factories PyGB registers (Table I's
-/// operations plus the two fused deferred-chain modules of Section V).
-pub const NUM_REGISTERED_OPERATIONS: usize = 21;
+/// operations, the two fused deferred-chain modules of Section V, and
+/// the two composite modules produced by the nonblocking runtime's
+/// fusion pass).
+pub const NUM_REGISTERED_OPERATIONS: usize = 23;
 
 #[cfg(test)]
 mod tests {

@@ -61,6 +61,7 @@ pub mod error;
 pub mod expr;
 pub mod kernels;
 pub mod matrix;
+pub mod nb;
 pub mod operators;
 pub mod store;
 pub mod target;
@@ -73,6 +74,7 @@ pub use dtype::DType;
 pub use error::{PygbError, Result};
 pub use expr::{apply, reduce_rows, reduce_rows_t, MatrixExpr, TransposedMatrix, VectorExpr};
 pub use matrix::Matrix;
+pub use nb::{flush, DeferGuard};
 pub use operators::*;
 pub use store::Element;
 pub use target::{MatrixAssign, VectorAssign};

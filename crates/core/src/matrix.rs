@@ -16,9 +16,17 @@ use crate::value::DynScalar;
 use crate::vector::Vector;
 
 /// A sparse matrix with a runtime dtype.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Matrix {
     pub(crate) store: Arc<MatrixStore>,
+}
+
+impl PartialEq for Matrix {
+    /// Value equality. Reads through the nonblocking resolution map, so
+    /// comparing a deferred container flushes it first.
+    fn eq(&self, other: &Matrix) -> bool {
+        *self.read_store() == *other.read_store()
+    }
 }
 
 impl Matrix {
@@ -111,7 +119,28 @@ impl Matrix {
     /// Clone out the statically-typed `gbtl` matrix, if the dtype
     /// matches `T`.
     pub fn to_typed<T: Element>(&self) -> Option<gbtl::Matrix<T>> {
-        T::unwrap_matrix(&self.store).cloned()
+        T::unwrap_matrix(&self.read_store()).cloned()
+    }
+
+    /// The store with any deferred operation resolved — the read path
+    /// for every data accessor (GraphBLAS flush-on-read). Panics if a
+    /// deferred operation failed; use [`Matrix::settle`] to surface the
+    /// error as a value instead.
+    fn read_store(&self) -> Arc<MatrixStore> {
+        crate::nb::resolved_mat(&self.store)
+            .unwrap_or_else(|e| panic!("deferred PyGB operation failed at flush: {e}"))
+    }
+
+    /// Replace a deferred placeholder with its computed store, flushing
+    /// if necessary. No-op in blocking mode. Call this before handing
+    /// the container to another thread or before using [`Matrix::store`]
+    /// in nonblocking code.
+    pub fn settle(&mut self) -> Result<()> {
+        let resolved = crate::nb::resolved_mat(&self.store)?;
+        if !Arc::ptr_eq(&resolved, &self.store) {
+            self.store = resolved;
+        }
+        Ok(())
     }
 
     /// Evaluate an expression into a *new* container — the `C = A @ B`
@@ -139,9 +168,10 @@ impl Matrix {
         self.store.ncols()
     }
 
-    /// Stored element count — `m.nvals`.
+    /// Stored element count — `m.nvals`. Terminating: flushes deferred
+    /// work feeding this container.
     pub fn nvals(&self) -> usize {
-        self.store.nvals()
+        self.read_store().nvals()
     }
 
     /// The runtime dtype.
@@ -149,13 +179,15 @@ impl Matrix {
         self.store.dtype()
     }
 
-    /// Boxed element access.
+    /// Boxed element access. Terminating: flushes deferred work feeding
+    /// this container.
     pub fn get(&self, i: usize, j: usize) -> Option<DynScalar> {
-        self.store.get(i, j)
+        self.read_store().get(i, j)
     }
 
     /// Boxed element write (copy-on-write if the store is shared).
     pub fn set(&mut self, i: usize, j: usize, v: impl Into<DynScalar>) -> Result<()> {
+        self.settle()?;
         Arc::make_mut(&mut self.store).set(i, j, v.into())?;
         Ok(())
     }
@@ -172,21 +204,22 @@ impl Matrix {
     /// the sharing immediately.
     pub fn dup(&self) -> Matrix {
         Matrix {
-            store: Arc::new((*self.store).clone()),
+            store: Arc::new((*self.read_store()).clone()),
         }
     }
 
     /// A copy cast to another dtype.
     pub fn cast(&self, dtype: DType) -> Matrix {
         Matrix {
-            store: Arc::new(self.store.cast(dtype)),
+            store: Arc::new(self.read_store().cast(dtype)),
         }
     }
 
     /// Extract all stored triples (the `extractTuples` round-trip of
-    /// Fig. 11).
+    /// Fig. 11). Terminating: flushes deferred work feeding this
+    /// container.
     pub fn extract_triples(&self) -> Vec<(usize, usize, DynScalar)> {
-        self.store.extract_triples_dyn()
+        self.read_store().extract_triples_dyn()
     }
 
     /// Transposed view — `m.T`.
@@ -198,6 +231,8 @@ impl Matrix {
 
     /// Borrow the dtype-tagged store (for fused whole-algorithm kernels
     /// that need zero-copy typed access via [`Element::unwrap_matrix`]).
+    /// In nonblocking mode call [`Matrix::settle`] first — this borrow
+    /// does not read through the deferred-op resolution map.
     pub fn store(&self) -> &MatrixStore {
         &self.store
     }

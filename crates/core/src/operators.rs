@@ -55,10 +55,11 @@ impl BinaryOp {
         f: fn(f64, f64) -> f64,
         identity: &str,
     ) -> Result<BinaryOp> {
-        let id = gbtl::ops::kind::IdentityKind::from_name(identity)
-            .ok_or_else(|| PygbError::UnknownOperator {
+        let id = gbtl::ops::kind::IdentityKind::from_name(identity).ok_or_else(|| {
+            PygbError::UnknownOperator {
                 name: identity.into(),
-            })?;
+            }
+        })?;
         Ok(BinaryOp {
             kind: gbtl::ops::kind::register_user_binary_op(name, f, Some(id)),
         })
@@ -132,8 +133,8 @@ impl Monoid {
     pub fn new(op: &str, identity: &str) -> Result<Self> {
         let op_kind = BinaryOpKind::from_name(op)
             .ok_or_else(|| PygbError::UnknownOperator { name: op.into() })?;
-        let id_kind = IdentityKind::from_name(identity)
-            .ok_or_else(|| PygbError::UnknownOperator {
+        let id_kind =
+            IdentityKind::from_name(identity).ok_or_else(|| PygbError::UnknownOperator {
                 name: identity.into(),
             })?;
         Ok(Monoid {

@@ -105,7 +105,6 @@ macro_rules! dispatch_vector {
     };
 }
 
-
 /// A concrete scalar type usable as a PyGB element: ties a
 /// [`gbtl::Scalar`] to its [`DType`] tag and store variant.
 pub trait Element: gbtl::Scalar {
@@ -406,8 +405,7 @@ impl VectorStore {
                     .iter()
                     .map(|&(i, v)| (i, <$t as Element>::from_dyn(v)))
                     .collect();
-                GVector::from_pairs_dedup_with(size, typed, |_, b| b)
-                    .map(VectorStore::$variant)
+                GVector::from_pairs_dedup_with(size, typed, |_, b| b).map(VectorStore::$variant)
             }};
         }
         construct_for_dtype!(dtype, make)
@@ -472,10 +470,7 @@ mod tests {
     fn extract_dyn() {
         let mut m = MatrixStore::new(2, 2, DType::UInt8);
         m.set(1, 0, DynScalar::from(9u8)).unwrap();
-        assert_eq!(
-            m.extract_triples_dyn(),
-            vec![(1, 0, DynScalar::UInt8(9))]
-        );
+        assert_eq!(m.extract_triples_dyn(), vec![(1, 0, DynScalar::UInt8(9))]);
     }
 
     #[test]

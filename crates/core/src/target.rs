@@ -103,14 +103,7 @@ impl<'a> MatrixAssign<'a> {
     /// `C[...] = scalar` — constant assignment over the region.
     pub fn assign_scalar(self, v: impl Into<DynScalar>) -> Result<()> {
         let replace = self.replace_flag();
-        dispatch::assign_matrix_scalar(
-            self.target,
-            self.mask,
-            None,
-            replace,
-            self.region,
-            v.into(),
-        )
+        dispatch::assign_matrix_scalar(self.target, self.mask, None, replace, self.region, v.into())
     }
 
     /// `C[...] += scalar` — accumulated constant assignment.
@@ -208,14 +201,7 @@ impl<'a> VectorAssign<'a> {
     /// `w[...] = scalar` — `page_rank[:] = 1.0 / rows` (Fig. 7).
     pub fn assign_scalar(self, v: impl Into<DynScalar>) -> Result<()> {
         let replace = self.replace_flag();
-        dispatch::assign_vector_scalar(
-            self.target,
-            self.mask,
-            None,
-            replace,
-            self.region,
-            v.into(),
-        )
+        dispatch::assign_vector_scalar(self.target, self.mask, None, replace, self.region, v.into())
     }
 
     /// `w[...] += scalar`.

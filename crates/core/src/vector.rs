@@ -10,9 +10,17 @@ use crate::target::VectorAssign;
 use crate::value::DynScalar;
 
 /// A sparse vector with a runtime dtype.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Vector {
     pub(crate) store: Arc<VectorStore>,
+}
+
+impl PartialEq for Vector {
+    /// Value equality. Reads through the nonblocking resolution map, so
+    /// comparing a deferred container flushes it first.
+    fn eq(&self, other: &Vector) -> bool {
+        *self.read_store() == *other.read_store()
+    }
 }
 
 impl Vector {
@@ -76,15 +84,38 @@ impl Vector {
     /// Clone out the statically-typed `gbtl` vector, if the dtype
     /// matches `T`.
     pub fn to_typed<T: Element>(&self) -> Option<gbtl::Vector<T>> {
-        T::unwrap_vector(&self.store).cloned()
+        T::unwrap_vector(&self.read_store()).cloned()
     }
 
     pub(crate) fn store_arc(&self) -> Arc<VectorStore> {
         Arc::clone(&self.store)
     }
 
+    /// The store with any deferred operation resolved — the read path
+    /// for every data accessor (GraphBLAS flush-on-read). Panics if a
+    /// deferred operation failed; use [`Vector::settle`] to surface the
+    /// error as a value instead.
+    fn read_store(&self) -> Arc<VectorStore> {
+        crate::nb::resolved_vec(&self.store)
+            .unwrap_or_else(|e| panic!("deferred PyGB operation failed at flush: {e}"))
+    }
+
+    /// Replace a deferred placeholder with its computed store, flushing
+    /// if necessary. No-op in blocking mode. Call this before handing
+    /// the container to another thread or before using [`Vector::store`]
+    /// in nonblocking code.
+    pub fn settle(&mut self) -> Result<()> {
+        let resolved = crate::nb::resolved_vec(&self.store)?;
+        if !Arc::ptr_eq(&resolved, &self.store) {
+            self.store = resolved;
+        }
+        Ok(())
+    }
+
     /// Borrow the dtype-tagged store (for fused whole-algorithm kernels
     /// that need zero-copy typed access via [`Element::unwrap_vector`]).
+    /// In nonblocking mode call [`Vector::settle`] first — this borrow
+    /// does not read through the deferred-op resolution map.
     pub fn store(&self) -> &VectorStore {
         &self.store
     }
@@ -113,9 +144,10 @@ impl Vector {
         self.store.size()
     }
 
-    /// Stored element count — `v.nvals`.
+    /// Stored element count — `v.nvals`. Terminating: flushes deferred
+    /// work feeding this container.
     pub fn nvals(&self) -> usize {
-        self.store.nvals()
+        self.read_store().nvals()
     }
 
     /// The runtime dtype.
@@ -123,13 +155,15 @@ impl Vector {
         self.store.dtype()
     }
 
-    /// Boxed element access.
+    /// Boxed element access. Terminating: flushes deferred work feeding
+    /// this container.
     pub fn get(&self, i: usize) -> Option<DynScalar> {
-        self.store.get(i)
+        self.read_store().get(i)
     }
 
     /// Boxed element write.
     pub fn set(&mut self, i: usize, v: impl Into<DynScalar>) -> Result<()> {
+        self.settle()?;
         Arc::make_mut(&mut self.store).set(i, v.into())?;
         Ok(())
     }
@@ -143,20 +177,21 @@ impl Vector {
     /// A deep, independent duplicate (severs copy-on-write sharing).
     pub fn dup(&self) -> Vector {
         Vector {
-            store: Arc::new((*self.store).clone()),
+            store: Arc::new((*self.read_store()).clone()),
         }
     }
 
     /// A copy cast to another dtype.
     pub fn cast(&self, dtype: DType) -> Vector {
         Vector {
-            store: Arc::new(self.store.cast(dtype)),
+            store: Arc::new(self.read_store().cast(dtype)),
         }
     }
 
-    /// Extract stored `(index, value)` pairs.
+    /// Extract stored `(index, value)` pairs. Terminating: flushes
+    /// deferred work feeding this container.
     pub fn extract_pairs(&self) -> Vec<(usize, DynScalar)> {
-        self.store.extract_pairs_dyn()
+        self.read_store().extract_pairs_dyn()
     }
 
     /// Densify to `f64` with zeros at unstored positions.

@@ -78,16 +78,7 @@ mod tests {
     #[test]
     fn two_components() {
         // {0,1,2} chained, {3,4} chained.
-        let g = Matrix::from_triples(
-            5,
-            5,
-            [
-                (0usize, 1usize, 1i64),
-                (1, 2, 1),
-                (3, 4, 1),
-            ],
-        )
-        .unwrap();
+        let g = Matrix::from_triples(5, 5, [(0usize, 1usize, 1i64), (1, 2, 1), (3, 4, 1)]).unwrap();
         let (labels, _) = connected_components(&g).unwrap();
         assert_eq!(labels.get(0), Some(1));
         assert_eq!(labels.get(1), Some(1));
@@ -100,8 +91,7 @@ mod tests {
     #[test]
     fn direction_is_ignored() {
         // A directed path 2 → 1 → 0 still forms one component.
-        let g =
-            Matrix::from_triples(3, 3, [(2usize, 1usize, 1i64), (1, 0, 1)]).unwrap();
+        let g = Matrix::from_triples(3, 3, [(2usize, 1usize, 1i64), (1, 0, 1)]).unwrap();
         let (labels, _) = connected_components(&g).unwrap();
         assert_eq!(component_count(&labels), 1);
         assert!(labels.values().iter().all(|&l| l == 1));

@@ -212,12 +212,8 @@ mod tests {
     fn indegree_zero_vertices_get_teleport_only() {
         // Faithful Fig. 8 behaviour: a vertex nothing points at ends up
         // with exactly the teleport mass, set by the post-loop fix-up.
-        let g = Matrix::from_triples(
-            3,
-            3,
-            [(0usize, 1usize, 1.0f64), (1, 0, 1.0), (2, 0, 1.0)],
-        )
-        .unwrap();
+        let g = Matrix::from_triples(3, 3, [(0usize, 1usize, 1.0f64), (1, 0, 1.0), (2, 0, 1.0)])
+            .unwrap();
         let (pr, _) = page_rank(&g, PageRankOptions::default()).unwrap();
         let teleport = (1.0 - 0.85) / 3.0;
         assert!((pr.get(2).unwrap() - teleport).abs() < 1e-12);

@@ -125,12 +125,8 @@ mod tests {
     #[test]
     fn negative_edges_bellman_ford() {
         // MinPlus relaxation handles negative edges (no negative cycles).
-        let g = Matrix::from_triples(
-            3,
-            3,
-            [(0usize, 1usize, 4i64), (0, 2, 10), (1, 2, -3)],
-        )
-        .unwrap();
+        let g =
+            Matrix::from_triples(3, 3, [(0usize, 1usize, 4i64), (0, 2, 10), (1, 2, -3)]).unwrap();
         let dist = sssp_from(&g, 0).unwrap();
         assert_eq!(dist.get(2), Some(1)); // 4 + (-3) beats 10
     }

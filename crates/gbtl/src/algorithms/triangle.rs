@@ -57,8 +57,7 @@ pub fn triangle_count_masked_dot<T: Scalar>(l: &Matrix<T>) -> Result<T> {
 /// from a full (symmetric) adjacency matrix.
 pub fn tril<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
     let triples = a.iter().filter(|&(i, j, _)| j < i);
-    Matrix::from_triples(a.nrows(), a.ncols(), triples)
-        .expect("tril of a valid matrix is valid")
+    Matrix::from_triples(a.nrows(), a.ncols(), triples).expect("tril of a valid matrix is valid")
 }
 
 #[cfg(test)]

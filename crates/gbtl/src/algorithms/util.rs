@@ -60,8 +60,7 @@ mod tests {
 
     #[test]
     fn zero_sum_row_untouched() {
-        let mut m =
-            Matrix::from_triples(1, 2, [(0usize, 0usize, 1.0f64), (0, 1, -1.0)]).unwrap();
+        let mut m = Matrix::from_triples(1, 2, [(0usize, 0usize, 1.0f64), (0, 1, -1.0)]).unwrap();
         normalize_rows(&mut m);
         assert_eq!(m.get(0, 0), Some(1.0));
         assert_eq!(m.get(0, 1), Some(-1.0));

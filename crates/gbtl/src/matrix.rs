@@ -98,9 +98,7 @@ impl<T: Scalar> Matrix<T> {
                         *lv = f(*lv, v);
                         continue;
                     }
-                    None => {
-                        return Err(GblasError::invalid(format!("duplicate entry ({r}, {c})")))
-                    }
+                    None => return Err(GblasError::invalid(format!("duplicate entry ({r}, {c})"))),
                 }
             }
             last = Some((r, c));
@@ -405,8 +403,12 @@ mod tests {
     use super::*;
 
     fn fixture() -> Matrix<i32> {
-        Matrix::from_triples(3, 4, [(0usize, 1usize, 10), (2, 0, 5), (0, 3, 7), (1, 2, -2)])
-            .unwrap()
+        Matrix::from_triples(
+            3,
+            4,
+            [(0usize, 1usize, 10), (2, 0, 5), (0, 3, 7), (1, 2, -2)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -474,10 +476,7 @@ mod tests {
     fn iter_row_major() {
         let m = fixture();
         let triples: Vec<_> = m.iter().collect();
-        assert_eq!(
-            triples,
-            vec![(0, 1, 10), (0, 3, 7), (1, 2, -2), (2, 0, 5)]
-        );
+        assert_eq!(triples, vec![(0, 1, 10), (0, 3, 7), (1, 2, -2), (2, 0, 5)]);
     }
 
     #[test]

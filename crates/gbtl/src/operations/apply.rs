@@ -97,7 +97,15 @@ mod tests {
     fn negate_vector() {
         let u = Vector::from_pairs(3, [(0usize, 1i32), (2, -4)]).unwrap();
         let mut w = Vector::<i32>::new(3);
-        apply_vector(&mut w, &NoMask, NoAccumulate, AdditiveInverse::new(), &u, MERGE).unwrap();
+        apply_vector(
+            &mut w,
+            &NoMask,
+            NoAccumulate,
+            AdditiveInverse::new(),
+            &u,
+            MERGE,
+        )
+        .unwrap();
         assert_eq!(w.get(0), Some(-1));
         assert_eq!(w.get(2), Some(4));
     }
@@ -168,9 +176,14 @@ mod tests {
     fn shape_mismatch() {
         let u = Vector::<i32>::new(3);
         let mut w = Vector::<i32>::new(4);
-        assert!(
-            apply_vector(&mut w, &NoMask, NoAccumulate, AdditiveInverse::new(), &u, MERGE)
-                .is_err()
-        );
+        assert!(apply_vector(
+            &mut w,
+            &NoMask,
+            NoAccumulate,
+            AdditiveInverse::new(),
+            &u,
+            MERGE
+        )
+        .is_err());
     }
 }

@@ -87,10 +87,8 @@ fn build_vector_region<T: Scalar>(
     n: IndexType,
     value_at: impl Fn(IndexType) -> Option<T>,
 ) -> Result<Vec<(IndexType, Option<T>)>> {
-    let mut region: Vec<(IndexType, Option<T>)> = ix
-        .iter(n)
-        .map(|(k, out_i)| (out_i, value_at(k)))
-        .collect();
+    let mut region: Vec<(IndexType, Option<T>)> =
+        ix.iter(n).map(|(k, out_i)| (out_i, value_at(k))).collect();
     region.sort_unstable_by_key(|&(i, _)| i);
     if region.windows(2).any(|w| w[0].0 == w[1].0) {
         return Err(GblasError::invalid(
@@ -271,13 +269,7 @@ where
         match row_of[i] {
             None => {
                 // Outside the row region: Z row = C row.
-                z_rows.push(
-                    c_cols
-                        .iter()
-                        .copied()
-                        .zip(c_vals.iter().copied())
-                        .collect(),
-                );
+                z_rows.push(c_cols.iter().copied().zip(c_vals.iter().copied()).collect());
             }
             Some(r) => {
                 let t_entries = region_row(r, &region_cols);
@@ -356,8 +348,7 @@ mod tests {
     fn constant_assign_all_indices() {
         // page_rank[:] = 1/rows (Fig. 7 line 13)
         let mut w = Vector::<f64>::new(4);
-        assign_vector_constant(&mut w, &NoMask, NoAccumulate, 0.25, &Indices::All, MERGE)
-            .unwrap();
+        assign_vector_constant(&mut w, &NoMask, NoAccumulate, 0.25, &Indices::All, MERGE).unwrap();
         assert_eq!(w.to_dense(0.0), vec![0.25; 4]);
         assert_eq!(w.nvals(), 4);
     }
@@ -367,8 +358,15 @@ mod tests {
         // levels[frontier][:] = depth (Fig. 2b line 5): masked, merge.
         let mut levels = v(&[(0, 1)]);
         let frontier = v(&[(2, 1), (4, 1)]);
-        assign_vector_constant(&mut levels, &frontier, NoAccumulate, 2, &Indices::All, MERGE)
-            .unwrap();
+        assign_vector_constant(
+            &mut levels,
+            &frontier,
+            NoAccumulate,
+            2,
+            &Indices::All,
+            MERGE,
+        )
+        .unwrap();
         assert_eq!(levels, v(&[(0, 1), (2, 2), (4, 2)]));
     }
 
@@ -430,7 +428,15 @@ mod tests {
         // w[1:4] = u
         let mut w = v(&[(0, 1)]);
         let u = Vector::from_dense(&[10, 20, 30]);
-        assign_vector(&mut w, &NoMask, NoAccumulate, &u, &Indices::Range(1, 4), MERGE).unwrap();
+        assign_vector(
+            &mut w,
+            &NoMask,
+            NoAccumulate,
+            &u,
+            &Indices::Range(1, 4),
+            MERGE,
+        )
+        .unwrap();
         assert_eq!(w, v(&[(0, 1), (1, 10), (2, 20), (3, 30)]));
     }
 
@@ -490,8 +496,7 @@ mod tests {
 
     #[test]
     fn matrix_constant_assign_with_mask_and_replace() {
-        let mut c =
-            Matrix::from_triples(2, 2, [(0usize, 0usize, 1i32), (1, 1, 2)]).unwrap();
+        let mut c = Matrix::from_triples(2, 2, [(0usize, 0usize, 1i32), (1, 1, 2)]).unwrap();
         let mask = Matrix::from_triples(2, 2, [(0usize, 0usize, true), (0, 1, true)]).unwrap();
         assign_matrix_constant(
             &mut c,

@@ -341,8 +341,16 @@ mod tests {
         assert_eq!(add.get(1, 0), Some(20));
 
         let mut mult = Matrix::<i32>::new(2, 2);
-        e_wise_mult_matrix(&mut mult, &NoMask, NoAccumulate, Times::new(), &a, &b, MERGE)
-            .unwrap();
+        e_wise_mult_matrix(
+            &mut mult,
+            &NoMask,
+            NoAccumulate,
+            Times::new(),
+            &a,
+            &b,
+            MERGE,
+        )
+        .unwrap();
         assert_eq!(mult.nvals(), 1);
         assert_eq!(mult.get(0, 1), Some(20));
     }

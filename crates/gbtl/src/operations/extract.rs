@@ -114,7 +114,15 @@ mod tests {
     fn extract_vector_slice() {
         let u = Vector::from_pairs(6, [(1usize, 10i32), (3, 30), (5, 50)]).unwrap();
         let mut w = Vector::<i32>::new(3);
-        extract_vector(&mut w, &NoMask, NoAccumulate, &u, &Indices::Range(1, 4), MERGE).unwrap();
+        extract_vector(
+            &mut w,
+            &NoMask,
+            NoAccumulate,
+            &u,
+            &Indices::Range(1, 4),
+            MERGE,
+        )
+        .unwrap();
         // positions 1..4 → output 0..3
         assert_eq!(w.get(0), Some(10));
         assert_eq!(w.get(1), None);
@@ -142,12 +150,7 @@ mod tests {
 
     #[test]
     fn extract_submatrix() {
-        let a = Matrix::from_dense(&[
-            vec![1, 2, 3],
-            vec![4, 5, 6],
-            vec![7, 8, 9],
-        ])
-        .unwrap();
+        let a = Matrix::from_dense(&[vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]).unwrap();
         let mut c = Matrix::<i32>::new(2, 2);
         extract_matrix(
             &mut c,

@@ -34,9 +34,7 @@ mod reduce;
 mod transpose_op;
 
 pub use apply::{apply_matrix, apply_vector};
-pub use assign::{
-    assign_matrix, assign_matrix_constant, assign_vector, assign_vector_constant,
-};
+pub use assign::{assign_matrix, assign_matrix_constant, assign_vector, assign_vector_constant};
 pub use ewise::{e_wise_add_matrix, e_wise_add_vector, e_wise_mult_matrix, e_wise_mult_vector};
 pub use extract::{extract_matrix, extract_vector};
 pub use mxm::{mxm, mxm_masked_dot};

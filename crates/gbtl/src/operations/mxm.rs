@@ -391,9 +391,6 @@ mod tests {
     fn sparse_dot_none_when_disjoint() {
         let s = ArithmeticSemiring::<i32>::new();
         assert_eq!(sparse_dot(&s, (&[0, 2], &[1, 1]), (&[1, 3], &[1, 1])), None);
-        assert_eq!(
-            sparse_dot(&s, (&[0, 2], &[2, 3]), (&[2], &[4])),
-            Some(12)
-        );
+        assert_eq!(sparse_dot(&s, (&[0, 2], &[2, 3]), (&[2], &[4])), Some(12));
     }
 }

@@ -260,12 +260,8 @@ mod tests {
     fn min_plus_relaxation_with_min_accum() {
         // One SSSP step: path ⟨min⟩= Aᵀ ⊕.⊗ path over MinPlus (Fig. 4).
         let inf = f64::INFINITY;
-        let g = Matrix::from_triples(
-            3,
-            3,
-            [(0usize, 1usize, 2.0f64), (1, 2, 3.0), (0, 2, 10.0)],
-        )
-        .unwrap();
+        let g = Matrix::from_triples(3, 3, [(0usize, 1usize, 2.0f64), (1, 2, 3.0), (0, 2, 10.0)])
+            .unwrap();
         let mut path = Vector::from_pairs(3, [(0usize, 0.0f64)]).unwrap();
         for _ in 0..3 {
             let snapshot = path.clone();

@@ -108,8 +108,15 @@ mod tests {
     #[test]
     fn row_reduce() {
         let mut w = Vector::<i32>::new(3);
-        reduce_matrix_to_vector(&mut w, &NoMask, NoAccumulate, &PlusMonoid::new(), &m(), MERGE)
-            .unwrap();
+        reduce_matrix_to_vector(
+            &mut w,
+            &NoMask,
+            NoAccumulate,
+            &PlusMonoid::new(),
+            &m(),
+            MERGE,
+        )
+        .unwrap();
         assert_eq!(w.get(0), Some(3));
         assert_eq!(w.get(1), None); // empty row → no entry
         assert_eq!(w.get(2), Some(12));

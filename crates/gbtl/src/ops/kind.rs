@@ -388,7 +388,8 @@ impl KindMonoid {
 
     /// The monoid the op's default identity would give, if any.
     pub fn from_op(op: BinaryOpKind) -> Option<Self> {
-        op.default_identity().map(|identity| KindMonoid { op, identity })
+        op.default_identity()
+            .map(|identity| KindMonoid { op, identity })
     }
 }
 

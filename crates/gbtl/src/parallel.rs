@@ -1,19 +1,69 @@
-//! Row-parallel execution helper.
+//! Row-parallel execution helpers.
 //!
 //! Row-wise kernels (`mxm`, `mxv` gather form, eWise on matrices)
-//! produce each output row independently, so they parallelize with
-//! Rayon's `par_iter` without any shared mutable state — the pattern the
-//! session's hpc-parallel guides center on. With the `parallel` feature
-//! disabled the same code path runs sequentially.
+//! produce each output row independently, so they parallelize over
+//! scoped worker threads without any shared mutable state. With the
+//! `parallel` feature disabled the same code path runs sequentially.
 //!
-//! Small problems stay sequential: below [`PAR_THRESHOLD`] rows the
-//! fork-join overhead outweighs the win (measured in
-//! `benches/ablation_parallel.rs`).
+//! Small problems stay sequential: below the runtime threshold (see
+//! [`par_threshold`]) the fork-join overhead outweighs the win
+//! (measured in `benches/ablation_parallel.rs`). The threshold defaults
+//! to [`PAR_THRESHOLD`], can be overridden per-process with the
+//! `PYGB_PAR_THRESHOLD` environment variable, and can be swept at
+//! runtime with [`set_par_threshold`] — the ablation benches and the
+//! nonblocking scheduler both tune it without recompiling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use crate::index::IndexType;
 
-/// Minimum row count before kernels go parallel.
+/// Compiled-in default minimum row count before kernels go parallel.
 pub const PAR_THRESHOLD: IndexType = 512;
+
+/// Runtime override set through [`set_par_threshold`];
+/// `usize::MAX` = unset.
+static THRESHOLD_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// The effective parallelism threshold: a [`set_par_threshold`] value
+/// if one is active, else `PYGB_PAR_THRESHOLD` from the environment
+/// (read once), else [`PAR_THRESHOLD`].
+pub fn par_threshold() -> IndexType {
+    let over = THRESHOLD_OVERRIDE.load(Ordering::Relaxed);
+    if over != usize::MAX {
+        return over;
+    }
+    static ENV_DEFAULT: OnceLock<usize> = OnceLock::new();
+    *ENV_DEFAULT.get_or_init(|| {
+        std::env::var("PYGB_PAR_THRESHOLD")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(PAR_THRESHOLD)
+    })
+}
+
+/// Override the parallelism threshold for this process (0 forces every
+/// kernel parallel; `usize::MAX - 1` or larger effectively disables
+/// parallelism). Returns the previous effective threshold.
+pub fn set_par_threshold(threshold: IndexType) -> IndexType {
+    let previous = par_threshold();
+    THRESHOLD_OVERRIDE.store(threshold.min(usize::MAX - 1), Ordering::Relaxed);
+    previous
+}
+
+/// Drop any [`set_par_threshold`] override, returning to the
+/// environment/compiled default.
+pub fn reset_par_threshold() {
+    THRESHOLD_OVERRIDE.store(usize::MAX, Ordering::Relaxed);
+}
+
+/// Worker count for a problem of `jobs` independent pieces.
+fn worker_count(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs)
+}
 
 /// Map `f` over `0..nrows`, producing one output row each, in parallel
 /// when the backend is enabled and the problem is big enough.
@@ -29,15 +79,34 @@ where
     I: Fn() -> W + Send + Sync,
     F: Fn(&mut W, IndexType) -> R + Send + Sync,
 {
-    use rayon::prelude::*;
-    if nrows < PAR_THRESHOLD {
-        let mut w = init();
-        return (0..nrows).map(|i| f(&mut w, i)).collect();
+    let workers = worker_count(nrows);
+    if nrows < par_threshold() || workers <= 1 {
+        return row_map_sequential(nrows, init, f);
     }
-    (0..nrows)
-        .into_par_iter()
-        .map_init(init, |w, i| f(w, i))
-        .collect()
+    let chunk = nrows.div_ceil(workers);
+    let chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let init = &init;
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(nrows);
+                scope.spawn(move || {
+                    let mut w = init();
+                    (lo..hi).map(|i| f(&mut w, i)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("row_map worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(nrows);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
 }
 
 /// Sequential fallback used when the `parallel` feature is disabled.
@@ -49,8 +118,7 @@ where
     I: Fn() -> W + Send + Sync,
     F: Fn(&mut W, IndexType) -> R + Send + Sync,
 {
-    let mut w = init();
-    (0..nrows).map(|i| f(&mut w, i)).collect()
+    row_map_sequential(nrows, init, f)
 }
 
 /// Force a sequential row map regardless of features — used by the
@@ -62,6 +130,56 @@ where
 {
     let mut w = init();
     (0..nrows).map(|i| f(&mut w, i)).collect()
+}
+
+/// Run independent jobs concurrently, returning their results in input
+/// order. Jobs are pulled from a shared queue by up to
+/// `available_parallelism` scoped workers; with the `parallel` feature
+/// disabled, or a single job, everything runs inline. Used by the
+/// nonblocking scheduler to execute independent DAG levels.
+pub fn run_jobs<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let workers = if cfg!(feature = "parallel") {
+        worker_count(n)
+    } else {
+        1
+    };
+    if n <= 1 || workers <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    use std::sync::Mutex;
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("job taken twice");
+                let out = job();
+                *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("job produced no result")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -86,15 +204,37 @@ mod tests {
     #[test]
     fn workspace_is_usable() {
         // Each worker gets its own scratch buffer; results must not bleed.
-        let out = row_map(
-            PAR_THRESHOLD * 2,
-            Vec::<usize>::new,
-            |scratch, i| {
-                scratch.clear();
-                scratch.push(i);
-                scratch.len()
-            },
-        );
+        let out = row_map(PAR_THRESHOLD * 2, Vec::<usize>::new, |scratch, i| {
+            scratch.clear();
+            scratch.push(i);
+            scratch.len()
+        });
         assert!(out.iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn threshold_override_applies_and_resets() {
+        let compiled_default = par_threshold();
+        let previous = set_par_threshold(7);
+        assert_eq!(previous, compiled_default);
+        assert_eq!(par_threshold(), 7);
+        // An override of 7 sends an 8-row problem down the parallel path.
+        let out = row_map(8, || (), |_, i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        reset_par_threshold();
+        assert_eq!(par_threshold(), compiled_default);
+    }
+
+    #[test]
+    fn run_jobs_preserves_order() {
+        let jobs: Vec<_> = (0..17usize).map(|i| move || i * i).collect();
+        let out = run_jobs(jobs);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_jobs_single_runs_inline() {
+        let out = run_jobs(vec![|| 41 + 1]);
+        assert_eq!(out, vec![42]);
     }
 }

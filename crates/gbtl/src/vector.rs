@@ -289,9 +289,8 @@ mod tests {
 
     #[test]
     fn dedup_with_combines() {
-        let v =
-            Vector::from_pairs_dedup_with(5, [(1usize, 1i32), (1, 2), (3, 5)], |a, b| a + b)
-                .unwrap();
+        let v = Vector::from_pairs_dedup_with(5, [(1usize, 1i32), (1, 2), (3, 5)], |a, b| a + b)
+            .unwrap();
         assert_eq!(v.get(1), Some(3));
         assert_eq!(v.get(3), Some(5));
         assert_eq!(v.nvals(), 2);

@@ -69,11 +69,7 @@ impl<T: Scalar> Spa<T> {
     /// reset the accumulator for the next row.
     pub fn drain_sorted(&mut self) -> Vec<(IndexType, T)> {
         self.touched.sort_unstable();
-        let out: Vec<(IndexType, T)> = self
-            .touched
-            .iter()
-            .map(|&j| (j, self.values[j]))
-            .collect();
+        let out: Vec<(IndexType, T)> = self.touched.iter().map(|&j| (j, self.values[j])).collect();
         for &j in &self.touched {
             self.occupied[j] = false;
         }

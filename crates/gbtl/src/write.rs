@@ -155,13 +155,9 @@ pub fn merge_accum_matrix<T: Scalar, A: Accum<T>>(
     for i in 0..nrows {
         let (c_cols, c_vals) = c.row(i);
         let (t_cols, t_vals) = t.row(i);
-        rows.push(union_merge_row(
-            c_cols,
-            c_vals,
-            t_cols,
-            t_vals,
-            |cv, tv| accum.accum(cv, tv),
-        ));
+        rows.push(union_merge_row(c_cols, c_vals, t_cols, t_vals, |cv, tv| {
+            accum.accum(cv, tv)
+        }));
     }
     Matrix::from_rows(nrows, c.ncols(), rows)
 }

@@ -57,10 +57,7 @@ fn one_by_one_everything() {
     assert_eq!(c.get(0, 0), Some(9));
     operations::transpose_into(&mut c, &NoMask, NoAccumulate, &a, Replace(false)).unwrap();
     assert_eq!(c.get(0, 0), Some(3));
-    assert_eq!(
-        operations::reduce_matrix_scalar(&PlusMonoid::new(), &a),
-        3
-    );
+    assert_eq!(operations::reduce_matrix_scalar(&PlusMonoid::new(), &a), 3);
 }
 
 #[test]
@@ -148,9 +145,7 @@ fn every_operation_rejects_bad_mask_shape() {
     let sr = ArithmeticSemiring::<f64>::new();
 
     let mut c = Matrix::<f64>::new(3, 3);
-    assert!(
-        operations::mxm(&mut c, &bad_m, NoAccumulate, &sr, &a, &a, Replace(false)).is_err()
-    );
+    assert!(operations::mxm(&mut c, &bad_m, NoAccumulate, &sr, &a, &a, Replace(false)).is_err());
     assert!(operations::e_wise_add_matrix(
         &mut c,
         &bad_m,
@@ -172,9 +167,7 @@ fn every_operation_rejects_bad_mask_shape() {
     .is_err());
 
     let mut w = Vector::<f64>::new(3);
-    assert!(
-        operations::mxv(&mut w, &bad_v, NoAccumulate, &sr, &a, &u, Replace(false)).is_err()
-    );
+    assert!(operations::mxv(&mut w, &bad_v, NoAccumulate, &sr, &a, &u, Replace(false)).is_err());
     assert!(operations::assign_vector_constant(
         &mut w,
         &bad_v,

@@ -10,8 +10,8 @@ use std::fmt;
 
 use gbtl::ops::monoid::GenMonoid;
 use gbtl::ops::semiring::GenSemiring;
-use gbtl::prelude::*;
 use gbtl::ops::BinaryOp as BinaryOpTrait;
+use gbtl::prelude::*;
 
 /// A set over the universe `{0, …, 63}`, stored as a bitmask.
 #[derive(Copy, Clone, PartialEq, PartialOrd, Debug, Default)]
@@ -105,7 +105,8 @@ fn set_semiring() -> impl Semiring<SetScalar> {
         gbtl::ops::binary::Plus::<SetScalar>::new(), // |
         SetScalar::zero(),
     );
-    GenSemiring::new(union_monoid, gbtl::ops::binary::Times::<SetScalar>::new()) // &
+    GenSemiring::new(union_monoid, gbtl::ops::binary::Times::<SetScalar>::new())
+    // &
 }
 
 #[test]
@@ -210,11 +211,7 @@ fn reduce_unions_all_sets() {
 #[test]
 fn masks_and_apply_work_on_sets() {
     // A set-valued container can even be a mask (∅ is falsy).
-    let m = Vector::from_pairs(
-        2,
-        [(0usize, SetScalar::of(&[1])), (1, SetScalar::zero())],
-    )
-    .unwrap();
+    let m = Vector::from_pairs(2, [(0usize, SetScalar::of(&[1])), (1, SetScalar::zero())]).unwrap();
     use gbtl::mask::VectorMask;
     assert!(m.allows(0));
     assert!(!m.allows(1)); // stored empty set is falsy

@@ -54,9 +54,7 @@ impl EdgeList {
         gbtl::Matrix::from_triples_dedup_with(
             self.n,
             self.n,
-            self.edges
-                .iter()
-                .map(|&(s, d, w)| (s, d, T::from_f64(w))),
+            self.edges.iter().map(|&(s, d, w)| (s, d, T::from_f64(w))),
             |_, b| b,
         )
         .expect("generator edges are in range")

@@ -91,15 +91,12 @@ struct Header {
 }
 
 fn parse_header(lines: &mut impl Iterator<Item = (usize, String)>) -> Result<Header, MmError> {
-    let (lineno, banner) = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty file"))?;
+    let (lineno, banner) = lines.next().ok_or_else(|| parse_err(1, "empty file"))?;
     let tokens: Vec<&str> = banner.split_whitespace().collect();
     if tokens.len() < 5 || !tokens[0].eq_ignore_ascii_case("%%MatrixMarket") {
         return Err(parse_err(lineno, "missing %%MatrixMarket banner"));
     }
-    if !tokens[1].eq_ignore_ascii_case("matrix") || !tokens[2].eq_ignore_ascii_case("coordinate")
-    {
+    if !tokens[1].eq_ignore_ascii_case("matrix") || !tokens[2].eq_ignore_ascii_case("coordinate") {
         return Err(parse_err(
             lineno,
             "only `matrix coordinate` files are supported",
@@ -114,12 +111,7 @@ fn parse_header(lines: &mut impl Iterator<Item = (usize, String)>) -> Result<Hea
     let symmetry = match tokens[4].to_ascii_lowercase().as_str() {
         "general" => Symmetry::General,
         "symmetric" => Symmetry::Symmetric,
-        other => {
-            return Err(parse_err(
-                lineno,
-                format!("unsupported symmetry `{other}`"),
-            ))
-        }
+        other => return Err(parse_err(lineno, format!("unsupported symmetry `{other}`"))),
     };
     // Skip comments, find the size line.
     for (lineno, line) in lines.by_ref() {
@@ -151,7 +143,12 @@ fn parse_entries(
     lines: impl Iterator<Item = (usize, String)>,
 ) -> Result<Vec<(usize, usize, f64)>, MmError> {
     let mut triples = Vec::with_capacity(
-        header.nnz * if header.symmetry == Symmetry::Symmetric { 2 } else { 1 },
+        header.nnz
+            * if header.symmetry == Symmetry::Symmetric {
+                2
+            } else {
+                1
+            },
     );
     let mut count = 0usize;
     for (lineno, line) in lines {
@@ -241,7 +238,8 @@ pub fn read_interpreted(reader: impl Read, dtype: DType) -> Result<Matrix, MmErr
     let triples = parse_entries(&header, lines)?;
     // The "three Python lists of PyObjects" intermediate.
     let coo = crate::interpreted::PyCoo::from_edges(header.nrows, &triples);
-    coo.to_matrix(dtype).map_err(|e| parse_err(0, e.to_string()))
+    coo.to_matrix(dtype)
+        .map_err(|e| parse_err(0, e.to_string()))
 }
 
 /// Direct native load into a DSL container — Section VIII future work,
@@ -252,7 +250,11 @@ pub fn read_interpreted(reader: impl Read, dtype: DType) -> Result<Matrix, MmErr
 pub fn read_native_pygb(reader: impl Read, dtype: DType) -> Result<Matrix, MmError> {
     let typed = read_native(reader)?;
     let m = Matrix::from_typed(typed);
-    Ok(if dtype == DType::Fp64 { m } else { m.cast(dtype) })
+    Ok(if dtype == DType::Fp64 {
+        m
+    } else {
+        m.cast(dtype)
+    })
 }
 
 /// Write a typed matrix as `matrix coordinate real general`.
@@ -279,18 +281,12 @@ pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<GMatrix<f64>, MmEr
 }
 
 /// Read a Matrix Market file by path straight into a DSL container.
-pub fn read_file_pygb(
-    path: impl AsRef<std::path::Path>,
-    dtype: DType,
-) -> Result<Matrix, MmError> {
+pub fn read_file_pygb(path: impl AsRef<std::path::Path>, dtype: DType) -> Result<Matrix, MmError> {
     read_native_pygb(std::fs::File::open(path)?, dtype)
 }
 
 /// Write a typed matrix to a Matrix Market file.
-pub fn write_file(
-    matrix: &GMatrix<f64>,
-    path: impl AsRef<std::path::Path>,
-) -> Result<(), MmError> {
+pub fn write_file(matrix: &GMatrix<f64>, path: impl AsRef<std::path::Path>) -> Result<(), MmError> {
     write_native(matrix, std::fs::File::create(path)?)
 }
 

@@ -21,9 +21,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 
 use crate::error::JitError;
+use crate::json;
 use crate::kernel::Kernel;
 use crate::key::ModuleKey;
 use crate::stats::JitStats;
@@ -41,7 +41,7 @@ pub enum CacheOutcome {
 }
 
 /// One line of the persistent module index.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModuleRecord {
     /// Hex module name (`{hash:016x}`, the `.so` filename analog).
     pub module: String,
@@ -180,18 +180,46 @@ impl ModuleCache {
 }
 
 fn load_index(path: &Path) -> Vec<ModuleRecord> {
-    match fs::read_to_string(path) {
-        Ok(text) => serde_json::from_str(&text).unwrap_or_default(),
-        Err(_) => Vec::new(),
-    }
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    // Unreadable or structurally surprising indices are treated as
+    // empty — the cache regenerates them on the next compile.
+    let Ok(value) = json::parse(&text) else {
+        return Vec::new();
+    };
+    let Some(entries) = value.as_array() else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter_map(|e| {
+            Some(ModuleRecord {
+                module: e.get("module")?.as_str()?.to_string(),
+                key: e.get("key")?.as_str()?.to_string(),
+                compile_ns: e.get("compile_ns")?.as_u64()?,
+            })
+        })
+        .collect()
 }
 
 fn persist_index(path: &Path, known: &HashMap<u64, ModuleRecord>) {
     let mut records: Vec<&ModuleRecord> = known.values().collect();
     records.sort_by(|a, b| a.module.cmp(&b.module));
-    if let Ok(json) = serde_json::to_string_pretty(&records) {
-        let _ = fs::write(path, json);
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\n    \"module\": \"{}\",\n    \"key\": \"{}\",\n    \"compile_ns\": {}\n  }}",
+            json::escape_string(&r.module),
+            json::escape_string(&r.key),
+            r.compile_ns
+        ));
     }
+    out.push_str(if records.is_empty() { "]" } else { "\n]" });
+    let _ = fs::write(path, out);
 }
 
 #[cfg(test)]
@@ -204,7 +232,9 @@ mod tests {
     }
 
     fn trivial_factory(_: &ModuleKey) -> Result<Box<dyn Kernel>, JitError> {
-        Ok(Box::new(FnKernel::new("op", "op<test>", |_: &mut ()| Ok(()))))
+        Ok(Box::new(FnKernel::new("op", "op<test>", |_: &mut ()| {
+            Ok(())
+        })))
     }
 
     #[test]

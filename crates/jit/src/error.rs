@@ -75,7 +75,9 @@ mod tests {
             JitError::UnknownFunction { func: "mxm".into() }.to_string(),
             "no kernel factory registered for `mxm`"
         );
-        assert!(JitError::bad_key("missing ctype").to_string().contains("ctype"));
+        assert!(JitError::bad_key("missing ctype")
+            .to_string()
+            .contains("ctype"));
         assert!(JitError::op("boom").to_string().contains("boom"));
     }
 }

@@ -166,9 +166,11 @@ mod tests {
         let k = ModuleKey::new("mxm").with("a_type", "int64");
         assert_eq!(k.canonical(), "mxm(a_type=int64)");
         // FNV-1a of the canonical string, computed independently.
-        let expected = "mxm(a_type=int64)".bytes().fold(0xcbf2_9ce4_8422_2325_u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
-        });
+        let expected = "mxm(a_type=int64)"
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325_u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+            });
         assert_eq!(k.module_hash(), expected);
         assert_eq!(k.module_name().len(), 16);
         assert_eq!(k.module_name(), format!("{:016x}", k.module_hash()));

@@ -31,6 +31,7 @@
 pub mod cache;
 pub mod combinatorics;
 pub mod error;
+pub mod json;
 pub mod kernel;
 pub mod key;
 pub mod pipeline;

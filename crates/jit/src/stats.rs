@@ -17,6 +17,9 @@ pub struct JitStats {
     invocations: AtomicU64,
     compile_ns_total: AtomicU64,
     lookup_ns_total: AtomicU64,
+    deferred_ops: AtomicU64,
+    fused_ops: AtomicU64,
+    elided_ops: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -35,6 +38,14 @@ pub struct StatsSnapshot {
     pub compile_ns_total: u64,
     /// Nanoseconds spent in key hashing + cache lookup.
     pub lookup_ns_total: u64,
+    /// Operations enqueued into a nonblocking op-DAG instead of
+    /// dispatching eagerly.
+    pub deferred_ops: u64,
+    /// DAG nodes absorbed into a composite kernel by the nonblocking
+    /// fusion pass (each one is a dispatch that never happened).
+    pub fused_ops: u64,
+    /// DAG nodes dropped as dead code (results never observed).
+    pub elided_ops: u64,
 }
 
 impl JitStats {
@@ -69,6 +80,21 @@ impl JitStats {
         self.lookup_ns_total.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Record an operation deferred into a nonblocking op-DAG.
+    pub fn record_deferred(&self) {
+        self.deferred_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` DAG nodes fused into composite kernels.
+    pub fn record_fused(&self, n: u64) {
+        self.fused_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` DAG nodes elided as dead code.
+    pub fn record_elided(&self, n: u64) {
+        self.elided_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Copy the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -78,6 +104,9 @@ impl JitStats {
             invocations: self.invocations.load(Ordering::Relaxed),
             compile_ns_total: self.compile_ns_total.load(Ordering::Relaxed),
             lookup_ns_total: self.lookup_ns_total.load(Ordering::Relaxed),
+            deferred_ops: self.deferred_ops.load(Ordering::Relaxed),
+            fused_ops: self.fused_ops.load(Ordering::Relaxed),
+            elided_ops: self.elided_ops.load(Ordering::Relaxed),
         }
     }
 
@@ -89,6 +118,9 @@ impl JitStats {
         self.invocations.store(0, Ordering::Relaxed);
         self.compile_ns_total.store(0, Ordering::Relaxed);
         self.lookup_ns_total.store(0, Ordering::Relaxed);
+        self.deferred_ops.store(0, Ordering::Relaxed);
+        self.fused_ops.store(0, Ordering::Relaxed);
+        self.elided_ops.store(0, Ordering::Relaxed);
     }
 }
 

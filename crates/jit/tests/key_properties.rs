@@ -10,7 +10,9 @@ fn kv_pairs() -> impl Strategy<Value = Vec<(String, String)>> {
     proptest::collection::vec(("[a-z]{1,8}", "[a-zA-Z0-9_]{1,12}"), 0..8).prop_map(|v| {
         // Deduplicate names (later writes win in a map; make it explicit).
         let mut seen = std::collections::HashSet::new();
-        v.into_iter().filter(|(k, _)| seen.insert(k.clone())).collect()
+        v.into_iter()
+            .filter(|(k, _)| seen.insert(k.clone()))
+            .collect()
     })
 }
 

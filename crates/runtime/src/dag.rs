@@ -1,0 +1,527 @@
+//! The thread-local operation DAG and its flush scheduler.
+//!
+//! Each deferred assignment becomes a [`Node`] holding the descriptor
+//! the core crate would otherwise have dispatched immediately. Edges
+//! are implicit: a node's operand handles that appear as another
+//! node's `out` placeholder (tracked in `pending` by `Arc` address)
+//! are dependencies. A flush rewrites the DAG (see [`crate::fuse`]),
+//! then executes it in *waves*: every node whose inputs are all
+//! resolved runs — in parallel via [`gbtl::parallel::run_jobs`] —
+//! then the next wave is collected, until the DAG drains.
+//!
+//! The `RefCell` borrow on the DAG is never held across node
+//! execution: executing a node re-enters the core dispatch layer,
+//! which probes the resolution maps through the engine hooks.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gbtl::ops::kind::KindMonoid;
+use pygb::expr::{MatrixExpr, MatrixExprKind, VectorExpr, VectorExprKind};
+use pygb::nb::{MatOpDesc, MatRhs, Resolution, VecOpDesc, VecRhs};
+use pygb::store::{MatrixStore, VectorStore};
+use pygb::{DynScalar, PygbError, Result};
+
+/// One deferred operation.
+pub(crate) enum Node {
+    /// A deferred vector assignment.
+    Vec(VecOpDesc),
+    /// A deferred matrix assignment.
+    Mat(MatOpDesc),
+}
+
+/// The per-thread DAG state.
+#[derive(Default)]
+pub(crate) struct Dag {
+    /// Nodes in enqueue order; executed / fused / elided slots are
+    /// `None`.
+    pub(crate) nodes: Vec<Option<Node>>,
+    /// Placeholder address → producing node index. Vector and matrix
+    /// placeholders share the map safely: live allocations are
+    /// distinct.
+    pub(crate) pending: HashMap<usize, usize>,
+    /// Placeholder address → (keepalive placeholder, computed store).
+    /// The keepalive pins the address so it cannot be reused by a new
+    /// allocation while it still keys this map.
+    pub(crate) resolved_v: HashMap<usize, (Arc<VectorStore>, Arc<VectorStore>)>,
+    /// Matrix analog of `resolved_v`.
+    pub(crate) resolved_m: HashMap<usize, (Arc<MatrixStore>, Arc<MatrixStore>)>,
+    /// True while a flush is draining this DAG (re-entrant flushes
+    /// no-op).
+    pub(crate) flushing: bool,
+}
+
+thread_local! {
+    static DAG: RefCell<Dag> = RefCell::new(Dag::default());
+}
+
+pub(crate) fn vptr(a: &Arc<VectorStore>) -> usize {
+    Arc::as_ptr(a) as usize
+}
+
+pub(crate) fn mptr(a: &Arc<MatrixStore>) -> usize {
+    Arc::as_ptr(a) as usize
+}
+
+// ---------------------------------------------------------------------
+// Engine hooks (installed into `pygb::nb` by `crate::install_engine`).
+// ---------------------------------------------------------------------
+
+pub(crate) fn enqueue_vector(desc: VecOpDesc) -> Result<()> {
+    DAG.with(|d| {
+        let mut dag = d.borrow_mut();
+        let key = vptr(&desc.out);
+        let idx = dag.nodes.len();
+        dag.nodes.push(Some(Node::Vec(desc)));
+        dag.pending.insert(key, idx);
+    });
+    Ok(())
+}
+
+pub(crate) fn enqueue_matrix(desc: MatOpDesc) -> Result<()> {
+    DAG.with(|d| {
+        let mut dag = d.borrow_mut();
+        let key = mptr(&desc.out);
+        let idx = dag.nodes.len();
+        dag.nodes.push(Some(Node::Mat(desc)));
+        dag.pending.insert(key, idx);
+    });
+    Ok(())
+}
+
+pub(crate) fn resolve_vector(store: &Arc<VectorStore>) -> Resolution<VectorStore> {
+    DAG.with(|d| {
+        let dag = d.borrow();
+        let p = vptr(store);
+        if let Some((_, r)) = dag.resolved_v.get(&p) {
+            Resolution::Resolved(Arc::clone(r))
+        } else if dag.pending.contains_key(&p) {
+            Resolution::Pending
+        } else {
+            Resolution::Clean
+        }
+    })
+}
+
+pub(crate) fn resolve_matrix(store: &Arc<MatrixStore>) -> Resolution<MatrixStore> {
+    DAG.with(|d| {
+        let dag = d.borrow();
+        let p = mptr(store);
+        if let Some((_, r)) = dag.resolved_m.get(&p) {
+            Resolution::Resolved(Arc::clone(r))
+        } else if dag.pending.contains_key(&p) {
+            Resolution::Pending
+        } else {
+            Resolution::Clean
+        }
+    })
+}
+
+/// Execute every node in the calling thread's DAG. No-op when empty or
+/// already flushing (re-entrancy from node execution).
+pub(crate) fn flush() -> Result<()> {
+    let proceed = DAG.with(|d| {
+        let mut dag = d.borrow_mut();
+        if dag.flushing {
+            return false;
+        }
+        if dag.nodes.iter().all(|n| n.is_none()) {
+            dag.nodes.clear();
+            return false;
+        }
+        dag.flushing = true;
+        true
+    });
+    if !proceed {
+        return Ok(());
+    }
+    let result = flush_inner();
+    DAG.with(|d| {
+        let mut dag = d.borrow_mut();
+        dag.flushing = false;
+        dag.nodes.clear();
+        if result.is_err() {
+            // Abandon whatever could not run; readers of their outputs
+            // will report "unresolved" rather than see stale data.
+            dag.pending.clear();
+        }
+        // Entries whose placeholder only the map itself still holds can
+        // never be asked for again — their address has no other owner.
+        dag.resolved_v
+            .retain(|_, (keep, _)| Arc::strong_count(keep) > 1);
+        dag.resolved_m
+            .retain(|_, (keep, _)| Arc::strong_count(keep) > 1);
+    });
+    result
+}
+
+fn flush_inner() -> Result<()> {
+    let (fused, elided) = DAG.with(|d| crate::fuse::optimize(&mut d.borrow_mut()));
+    let stats = pygb::runtime().cache().stats();
+    if fused > 0 {
+        stats.record_fused(fused as u64);
+    }
+    if elided > 0 {
+        stats.record_elided(elided as u64);
+    }
+
+    loop {
+        // Collect the wave of ready nodes (no pending inputs) and
+        // substitute resolved stores into their descriptors. The DAG
+        // borrow is released before anything executes.
+        let batch: Vec<Node> = DAG.with(|d| {
+            let mut dag = d.borrow_mut();
+            let ready: Vec<usize> = (0..dag.nodes.len())
+                .filter(|&i| match &dag.nodes[i] {
+                    Some(node) => node_inputs(node)
+                        .iter()
+                        .all(|p| !dag.pending.contains_key(p)),
+                    None => false,
+                })
+                .collect();
+            let Dag {
+                nodes,
+                resolved_v,
+                resolved_m,
+                ..
+            } = &mut *dag;
+            ready
+                .into_iter()
+                .map(|i| {
+                    let mut node = nodes[i].take().expect("ready node present");
+                    match &mut node {
+                        Node::Vec(desc) => subst_vec_desc(resolved_v, resolved_m, desc),
+                        Node::Mat(desc) => subst_mat_desc(resolved_v, resolved_m, desc),
+                    }
+                    node
+                })
+                .collect()
+        });
+
+        if batch.is_empty() {
+            let remaining = DAG.with(|d| d.borrow().nodes.iter().filter(|n| n.is_some()).count());
+            if remaining > 0 {
+                return Err(PygbError::Unsupported {
+                    context: format!(
+                        "nonblocking DAG wedged: {remaining} nodes have unresolvable inputs"
+                    ),
+                });
+            }
+            return Ok(());
+        }
+
+        // Independent nodes of one wave execute in parallel. Operand
+        // substitution already happened, so worker threads never touch
+        // this thread's DAG (their own DAGs are empty).
+        let jobs: Vec<_> = batch
+            .into_iter()
+            .map(|node| move || run_node(node))
+            .collect();
+        let results = gbtl::parallel::run_jobs(jobs);
+
+        let mut first_err = None;
+        DAG.with(|d| {
+            let mut dag = d.borrow_mut();
+            for done in results {
+                match done {
+                    Done::V(out, Ok(store)) => {
+                        let p = vptr(&out);
+                        dag.pending.remove(&p);
+                        dag.resolved_v.insert(p, (out, Arc::new(store)));
+                    }
+                    Done::M(out, Ok(store)) => {
+                        let p = mptr(&out);
+                        dag.pending.remove(&p);
+                        dag.resolved_m.insert(p, (out, Arc::new(store)));
+                    }
+                    Done::V(out, Err(e)) => {
+                        dag.pending.remove(&vptr(&out));
+                        first_err.get_or_insert(e);
+                    }
+                    Done::M(out, Err(e)) => {
+                        dag.pending.remove(&mptr(&out));
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+    }
+}
+
+enum Done {
+    V(Arc<VectorStore>, Result<VectorStore>),
+    M(Arc<MatrixStore>, Result<MatrixStore>),
+}
+
+fn run_node(node: Node) -> Done {
+    match node {
+        Node::Vec(desc) => {
+            let out = Arc::clone(&desc.out);
+            Done::V(out, pygb::nb::run_vec_op(desc))
+        }
+        Node::Mat(desc) => {
+            let out = Arc::clone(&desc.out);
+            Done::M(out, pygb::nb::run_mat_op(desc))
+        }
+    }
+}
+
+/// Fuse a pending `reduce(w)` into `w`'s producing eWise node when the
+/// producer is plain and otherwise unconsumed — the composite kernel
+/// materializes the vector AND folds the scalar in one dispatch.
+/// `Ok(None)` tells the caller to reduce through the ordinary path.
+pub(crate) fn reduce_vector(
+    store: &Arc<VectorStore>,
+    monoid: KindMonoid,
+) -> Result<Option<DynScalar>> {
+    let p = vptr(store);
+    let taken: Option<VecOpDesc> = DAG.with(|d| {
+        let mut dag = d.borrow_mut();
+        if dag.flushing {
+            return None;
+        }
+        let &idx = dag.pending.get(&p)?;
+        let fusible = match &dag.nodes[idx] {
+            Some(Node::Vec(desc)) => {
+                desc.mask.is_none()
+                    && desc.accum.is_none()
+                    && desc.region.is_none()
+                    && matches!(
+                        &desc.rhs,
+                        VecRhs::Expr(e) if matches!(
+                            &e.kind,
+                            VectorExprKind::EWiseAdd { op: Some(_), .. }
+                                | VectorExprKind::EWiseMult { op: Some(_), .. }
+                        )
+                    )
+                    && !has_other_consumers(&dag, idx, p)
+            }
+            _ => false,
+        };
+        if !fusible {
+            return None;
+        }
+        dag.pending.remove(&p);
+        match dag.nodes[idx].take() {
+            Some(Node::Vec(desc)) => Some(desc),
+            _ => unreachable!("checked above"),
+        }
+    });
+
+    let Some(desc) = taken else {
+        // Not pending here, or pending but not fusible: land everything
+        // and let the caller dispatch a plain reduction.
+        flush()?;
+        return Ok(None);
+    };
+
+    // Land the rest of the DAG so the producer's operands resolve.
+    flush()?;
+
+    let (u, v, op, is_add) = DAG.with(|d| {
+        let dag = d.borrow();
+        match &desc.rhs {
+            VecRhs::Expr(e) => match &e.kind {
+                VectorExprKind::EWiseAdd { u, v, op } => (
+                    sub_v(&dag.resolved_v, u),
+                    sub_v(&dag.resolved_v, v),
+                    op.expect("checked above"),
+                    true,
+                ),
+                VectorExprKind::EWiseMult { u, v, op } => (
+                    sub_v(&dag.resolved_v, u),
+                    sub_v(&dag.resolved_v, v),
+                    op.expect("checked above"),
+                    false,
+                ),
+                _ => unreachable!("checked above"),
+            },
+            VecRhs::Scalar(_) => unreachable!("checked above"),
+        }
+    });
+
+    let size = desc.out.size();
+    let ct = desc.out.dtype();
+    let (out_store, scalar) =
+        pygb::dispatch::dispatch_fused_ewise_reduce(size, ct, u, v, op, is_add, monoid)?;
+    DAG.with(|d| {
+        let mut dag = d.borrow_mut();
+        dag.resolved_v
+            .insert(p, (Arc::clone(&desc.out), Arc::new(out_store)));
+    });
+    pygb::runtime().cache().stats().record_fused(1);
+    Ok(Some(scalar))
+}
+
+/// Does any node other than `idx` read placeholder address `p`?
+pub(crate) fn has_other_consumers(dag: &Dag, idx: usize, p: usize) -> bool {
+    dag.nodes
+        .iter()
+        .enumerate()
+        .any(|(i, n)| i != idx && n.as_ref().is_some_and(|n| node_inputs(n).contains(&p)))
+}
+
+// ---------------------------------------------------------------------
+// Descriptor walking: inputs and substitution.
+// ---------------------------------------------------------------------
+
+/// Every store address a node reads (target merge input, mask, and
+/// expression operands).
+pub(crate) fn node_inputs(n: &Node) -> Vec<usize> {
+    let mut out = Vec::with_capacity(4);
+    match n {
+        Node::Vec(d) => {
+            out.push(vptr(&d.target));
+            if let Some((m, _)) = &d.mask {
+                out.push(vptr(m));
+            }
+            if let VecRhs::Expr(e) = &d.rhs {
+                vec_expr_inputs(e, &mut out);
+            }
+        }
+        Node::Mat(d) => {
+            out.push(mptr(&d.target));
+            if let Some((m, _)) = &d.mask {
+                out.push(mptr(m));
+            }
+            if let MatRhs::Expr(e) = &d.rhs {
+                mat_expr_inputs(e, &mut out);
+            }
+        }
+    }
+    out
+}
+
+fn vec_expr_inputs(e: &VectorExpr, out: &mut Vec<usize>) {
+    match &e.kind {
+        VectorExprKind::MxV { a, u, .. } => {
+            out.push(mptr(&a.store));
+            out.push(vptr(u));
+        }
+        VectorExprKind::VxM { u, a, .. } => {
+            out.push(vptr(u));
+            out.push(mptr(&a.store));
+        }
+        VectorExprKind::EWiseAdd { u, v, .. } | VectorExprKind::EWiseMult { u, v, .. } => {
+            out.push(vptr(u));
+            out.push(vptr(v));
+        }
+        VectorExprKind::Apply { u, .. }
+        | VectorExprKind::Extract { u, .. }
+        | VectorExprKind::Ref { u } => out.push(vptr(u)),
+        VectorExprKind::ReduceRows { a, .. } => out.push(mptr(&a.store)),
+        VectorExprKind::FusedMxvApply { a, u, .. } => {
+            out.push(mptr(&a.store));
+            out.push(vptr(u));
+        }
+        VectorExprKind::FusedEwiseChain { u, v, w, .. } => {
+            out.push(vptr(u));
+            out.push(vptr(v));
+            if let Some(w) = w {
+                out.push(vptr(w));
+            }
+        }
+    }
+}
+
+fn mat_expr_inputs(e: &MatrixExpr, out: &mut Vec<usize>) {
+    match &e.kind {
+        MatrixExprKind::MxM { a, b, .. }
+        | MatrixExprKind::EWiseAdd { a, b, .. }
+        | MatrixExprKind::EWiseMult { a, b, .. } => {
+            out.push(mptr(&a.store));
+            out.push(mptr(&b.store));
+        }
+        MatrixExprKind::Apply { a, .. } | MatrixExprKind::Extract { a, .. } => {
+            out.push(mptr(&a.store))
+        }
+        MatrixExprKind::Transpose { a } | MatrixExprKind::Ref { a } => out.push(mptr(a)),
+    }
+}
+
+type ResolvedV = HashMap<usize, (Arc<VectorStore>, Arc<VectorStore>)>;
+type ResolvedM = HashMap<usize, (Arc<MatrixStore>, Arc<MatrixStore>)>;
+
+pub(crate) fn sub_v(map: &ResolvedV, a: &Arc<VectorStore>) -> Arc<VectorStore> {
+    map.get(&vptr(a))
+        .map(|(_, r)| Arc::clone(r))
+        .unwrap_or_else(|| Arc::clone(a))
+}
+
+pub(crate) fn sub_m(map: &ResolvedM, a: &Arc<MatrixStore>) -> Arc<MatrixStore> {
+    map.get(&mptr(a))
+        .map(|(_, r)| Arc::clone(r))
+        .unwrap_or_else(|| Arc::clone(a))
+}
+
+fn subst_vec_desc(rv: &ResolvedV, rm: &ResolvedM, d: &mut VecOpDesc) {
+    d.target = sub_v(rv, &d.target);
+    if let Some((m, _)) = &mut d.mask {
+        *m = sub_v(rv, m);
+    }
+    if let VecRhs::Expr(e) = &mut d.rhs {
+        subst_vec_expr(rv, rm, e);
+    }
+}
+
+fn subst_mat_desc(rv: &ResolvedV, rm: &ResolvedM, d: &mut MatOpDesc) {
+    let _ = rv;
+    d.target = sub_m(rm, &d.target);
+    if let Some((m, _)) = &mut d.mask {
+        *m = sub_m(rm, m);
+    }
+    if let MatRhs::Expr(e) = &mut d.rhs {
+        subst_mat_expr(rm, e);
+    }
+}
+
+fn subst_vec_expr(rv: &ResolvedV, rm: &ResolvedM, e: &mut VectorExpr) {
+    match &mut e.kind {
+        VectorExprKind::MxV { a, u, .. } => {
+            a.store = sub_m(rm, &a.store);
+            *u = sub_v(rv, u);
+        }
+        VectorExprKind::VxM { u, a, .. } => {
+            *u = sub_v(rv, u);
+            a.store = sub_m(rm, &a.store);
+        }
+        VectorExprKind::EWiseAdd { u, v, .. } | VectorExprKind::EWiseMult { u, v, .. } => {
+            *u = sub_v(rv, u);
+            *v = sub_v(rv, v);
+        }
+        VectorExprKind::Apply { u, .. }
+        | VectorExprKind::Extract { u, .. }
+        | VectorExprKind::Ref { u } => *u = sub_v(rv, u),
+        VectorExprKind::ReduceRows { a, .. } => a.store = sub_m(rm, &a.store),
+        VectorExprKind::FusedMxvApply { a, u, .. } => {
+            a.store = sub_m(rm, &a.store);
+            *u = sub_v(rv, u);
+        }
+        VectorExprKind::FusedEwiseChain { u, v, w, .. } => {
+            *u = sub_v(rv, u);
+            *v = sub_v(rv, v);
+            if let Some(w) = w {
+                *w = sub_v(rv, w);
+            }
+        }
+    }
+}
+
+fn subst_mat_expr(rm: &ResolvedM, e: &mut MatrixExpr) {
+    match &mut e.kind {
+        MatrixExprKind::MxM { a, b, .. }
+        | MatrixExprKind::EWiseAdd { a, b, .. }
+        | MatrixExprKind::EWiseMult { a, b, .. } => {
+            a.store = sub_m(rm, &a.store);
+            b.store = sub_m(rm, &b.store);
+        }
+        MatrixExprKind::Apply { a, .. } | MatrixExprKind::Extract { a, .. } => {
+            a.store = sub_m(rm, &a.store)
+        }
+        MatrixExprKind::Transpose { a } | MatrixExprKind::Ref { a } => *a = sub_m(rm, a),
+    }
+}

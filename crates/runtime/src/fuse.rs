@@ -1,0 +1,247 @@
+//! DAG rewriting: operation fusion and dead-code elimination.
+//!
+//! Runs once at the start of every flush, before scheduling. Each rule
+//! collapses a producer/consumer pair of nodes into a single node whose
+//! expression dispatches one composite kernel, so the flush issues
+//! strictly fewer JIT dispatches than blocking mode would have.
+//!
+//! A producer `P` may be absorbed only when its result is genuinely
+//! invisible afterwards:
+//!
+//! * `P` is *plain* — no mask, no accumulator, no index region, and its
+//!   right-hand side is an expression (its target's prior contents are
+//!   fully overwritten, so skipping the materialization loses nothing);
+//! * `P.out` has no owner besides `P`'s own descriptor and the consumer
+//!   expression slots being rewritten (checked by `Arc::strong_count`:
+//!   a user-held container handle or any other node's operand keeps the
+//!   count too high and blocks fusion).
+//!
+//! | rule | producer            | consumer                 | rewrite                  |
+//! |------|---------------------|--------------------------|--------------------------|
+//! | 1    | eWise add/mult      | eWise add/mult           | `FusedEwiseChain`        |
+//! | 2    | `mxv` / `vxm`       | `apply`                  | `FusedMxvApply`          |
+//! | 3    | `mxv` / `vxm`       | plain `Ref` assignment   | masked/accum'd SpMV      |
+//! | 4    | eWise add/mult      | `reduce`                 | [`crate::dag::reduce_vector`] |
+//! | DCE  | any                 | none, container dropped  | node removed             |
+
+use std::sync::Arc;
+
+use pygb::expr::{VectorExpr, VectorExprKind};
+use pygb::nb::{VecOpDesc, VecRhs};
+
+use crate::dag::{mptr, vptr, Dag, Node};
+
+/// Rewrite the DAG in place; returns `(fused, elided)` node counts for
+/// the dispatch-statistics counters.
+pub(crate) fn optimize(dag: &mut Dag) -> (usize, usize) {
+    let fused = fuse_pass(dag);
+    let elided = dce_pass(dag);
+    (fused, elided)
+}
+
+/// One pass over consumers in enqueue order, attempting rules 1–3.
+fn fuse_pass(dag: &mut Dag) -> usize {
+    let mut fused = 0;
+    for ci in 0..dag.nodes.len() {
+        let candidate = matches!(
+            &dag.nodes[ci],
+            Some(Node::Vec(d)) if d.region.is_none() && matches!(&d.rhs, VecRhs::Expr(_))
+        );
+        if !candidate {
+            continue;
+        }
+        let Some(Node::Vec(mut c)) = dag.nodes[ci].take() else {
+            unreachable!("checked above");
+        };
+        if try_fuse_into(dag, &mut c) {
+            fused += 1;
+        }
+        dag.nodes[ci] = Some(Node::Vec(c));
+    }
+    fused
+}
+
+/// Attempt to absorb one producer into consumer `c` (already detached
+/// from the DAG). Returns true when a rewrite happened; the producer
+/// node is removed from the DAG.
+fn try_fuse_into(dag: &mut Dag, c: &mut VecOpDesc) -> bool {
+    let VecRhs::Expr(ce) = &c.rhs else {
+        return false;
+    };
+    match &ce.kind {
+        // Rule 1: eWise producer feeding an eWise consumer.
+        VectorExprKind::EWiseAdd {
+            u,
+            v,
+            op: Some(outer),
+        }
+        | VectorExprKind::EWiseMult {
+            u,
+            v,
+            op: Some(outer),
+        } => {
+            let outer_add = matches!(&ce.kind, VectorExprKind::EWiseAdd { .. });
+            let outer = *outer;
+            // Prefer the left slot's producer; fall back to the right.
+            for (slot_u, inner_left) in [(true, true), (false, false)] {
+                let cand = if slot_u { u } else { v };
+                let refs = (vptr(u) == vptr(cand)) as usize + (vptr(v) == vptr(cand)) as usize;
+                let Some(p) = take_plain_producer(dag, cand, refs, |kind| {
+                    matches!(
+                        kind,
+                        VectorExprKind::EWiseAdd { op: Some(_), .. }
+                            | VectorExprKind::EWiseMult { op: Some(_), .. }
+                    )
+                }) else {
+                    continue;
+                };
+                let (pu, pv, inner, inner_add) = match p {
+                    VectorExprKind::EWiseAdd { u, v, op: Some(op) } => (u, v, op, true),
+                    VectorExprKind::EWiseMult { u, v, op: Some(op) } => (u, v, op, false),
+                    _ => unreachable!("filtered above"),
+                };
+                let w = if refs == 2 {
+                    // Square form: the inner result fed both slots.
+                    None
+                } else if inner_left {
+                    Some(Arc::clone(v))
+                } else {
+                    Some(Arc::clone(u))
+                };
+                c.rhs = VecRhs::Expr(VectorExpr {
+                    kind: VectorExprKind::FusedEwiseChain {
+                        u: pu,
+                        v: pv,
+                        w,
+                        inner,
+                        outer,
+                        inner_add,
+                        outer_add,
+                        inner_left,
+                    },
+                    build_ns: 0,
+                });
+                return true;
+            }
+            false
+        }
+        // Rule 2: `apply(mxv(...))` / `apply(vxm(...))`.
+        VectorExprKind::Apply { u, op: Some(op) } => {
+            let op = *op;
+            let Some(p) = take_plain_producer(dag, u, 1, |kind| {
+                matches!(
+                    kind,
+                    VectorExprKind::MxV { .. } | VectorExprKind::VxM { .. }
+                )
+            }) else {
+                return false;
+            };
+            let (a, pu, semiring, vxm) = match p {
+                VectorExprKind::MxV { a, u, semiring } => (a, u, semiring, false),
+                VectorExprKind::VxM { u, a, semiring } => (a, u, semiring, true),
+                _ => unreachable!("filtered above"),
+            };
+            c.rhs = VecRhs::Expr(VectorExpr {
+                kind: VectorExprKind::FusedMxvApply {
+                    a,
+                    u: pu,
+                    semiring,
+                    unary: Some(op),
+                    vxm,
+                },
+                build_ns: 0,
+            });
+            true
+        }
+        // Rule 3: assigning a materialized product under the consumer's
+        // mask/accumulator collapses into one masked SpMV.
+        VectorExprKind::Ref { u } => {
+            let Some(p) = take_plain_producer(dag, u, 1, |kind| {
+                matches!(
+                    kind,
+                    VectorExprKind::MxV { .. } | VectorExprKind::VxM { .. }
+                )
+            }) else {
+                return false;
+            };
+            c.rhs = VecRhs::Expr(VectorExpr {
+                kind: p,
+                build_ns: 0,
+            });
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Look up the pending producer of placeholder `out`. When it is a
+/// plain vector node whose expression satisfies `want` and whose result
+/// is observed only by its own descriptor plus `consumer_refs` slots of
+/// the (detached) consumer, remove it from the DAG and return its
+/// expression kind.
+fn take_plain_producer(
+    dag: &mut Dag,
+    out: &Arc<pygb::store::VectorStore>,
+    consumer_refs: usize,
+    want: impl Fn(&VectorExprKind) -> bool,
+) -> Option<VectorExprKind> {
+    let p = vptr(out);
+    let idx = *dag.pending.get(&p)?;
+    let ok = match &dag.nodes[idx] {
+        Some(Node::Vec(d)) => {
+            d.mask.is_none()
+                && d.accum.is_none()
+                && d.region.is_none()
+                && matches!(&d.rhs, VecRhs::Expr(e) if want(&e.kind))
+                && Arc::strong_count(&d.out) == 1 + consumer_refs
+        }
+        _ => false,
+    };
+    if !ok {
+        return None;
+    }
+    dag.pending.remove(&p);
+    match dag.nodes[idx].take() {
+        Some(Node::Vec(d)) => match d.rhs {
+            VecRhs::Expr(e) => Some(e.kind),
+            VecRhs::Scalar(_) => unreachable!("checked above"),
+        },
+        _ => unreachable!("checked above"),
+    }
+}
+
+/// Remove nodes whose output nobody can ever observe: the only owner of
+/// the placeholder is the node's own descriptor (every container handle
+/// was dropped and no other node reads it). Cascades to fixpoint — an
+/// elided node drops its operand handles, which may orphan upstream
+/// producers.
+fn dce_pass(dag: &mut Dag) -> usize {
+    let mut elided = 0;
+    loop {
+        let mut any = false;
+        for i in 0..dag.nodes.len() {
+            let dead = match &dag.nodes[i] {
+                Some(Node::Vec(d)) => Arc::strong_count(&d.out) == 1,
+                Some(Node::Mat(d)) => Arc::strong_count(&d.out) == 1,
+                None => false,
+            };
+            if !dead {
+                continue;
+            }
+            match dag.nodes[i].take() {
+                Some(Node::Vec(d)) => {
+                    dag.pending.remove(&vptr(&d.out));
+                }
+                Some(Node::Mat(d)) => {
+                    dag.pending.remove(&mptr(&d.out));
+                }
+                None => {}
+            }
+            elided += 1;
+            any = true;
+        }
+        if !any {
+            return elided;
+        }
+    }
+}

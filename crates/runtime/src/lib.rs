@@ -1,0 +1,211 @@
+//! Nonblocking execution runtime for PyGB: a deferred operation DAG
+//! with automatic kernel fusion and flush-on-read.
+//!
+//! GraphBLAS distinguishes *blocking* mode, where every operation
+//! completes before the call returns, from *nonblocking* mode, where
+//! the implementation may delay work until a result is observed. PyGB
+//! containers stay in blocking mode by default; entering a
+//! [`nonblocking`] scope reroutes every assignment into a per-thread
+//! operation DAG instead of dispatching a kernel eagerly:
+//!
+//! ```
+//! use pygb::{DType, Vector};
+//!
+//! let mut u = Vector::new(4, DType::Fp64);
+//! let mut w = Vector::new(4, DType::Fp64);
+//! for i in 0..4 {
+//!     u.set(i, 1.0f64).unwrap();
+//! }
+//! {
+//!     let _nb = pygb_runtime::nonblocking().unwrap();
+//!     let t = Vector::from_expr(&u + &u).unwrap(); // deferred
+//!     w.no_mask().assign(&t * &u).unwrap(); // deferred, fuses with t
+//! } // scope exit flushes: one fused kernel dispatch
+//! assert_eq!(w.get(0).unwrap().as_f64(), 2.0);
+//! ```
+//!
+//! Reads (`get`, `nvals`, `reduce`, `extract_pairs`, …) force a flush
+//! of the deferred operations the read depends on, so laziness is
+//! never observable — only faster. Before executing, a fusion pass
+//! rewrites producer/consumer node pairs into composite kernels and
+//! drops dead nodes (rule table in `fuse.rs`), then a scheduler runs
+//! each wave of independent nodes in parallel.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dag;
+mod fuse;
+
+use std::sync::Once;
+
+pub use pygb::nb::DeferGuard;
+
+/// Install the DAG engine into the core crate's nonblocking hooks.
+/// Idempotent; called automatically by [`nonblocking`].
+pub fn install_engine() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        pygb::nb::install_engine(pygb::nb::EngineOps {
+            enqueue_vector: dag::enqueue_vector,
+            enqueue_matrix: dag::enqueue_matrix,
+            flush: dag::flush,
+            resolve_vector: dag::resolve_vector,
+            resolve_matrix: dag::resolve_matrix,
+            reduce_vector: dag::reduce_vector,
+        });
+    });
+}
+
+/// Enter nonblocking mode on the current thread. Assignments made
+/// while the returned guard is alive are deferred into the thread's
+/// operation DAG; dropping the guard (leaving the outermost scope)
+/// flushes it. Guards nest.
+pub fn nonblocking() -> pygb::Result<DeferGuard> {
+    install_engine();
+    pygb::nb::enter()
+}
+
+/// Execute every operation deferred on the current thread. Safe to
+/// call at any time, in or out of nonblocking scopes.
+pub fn flush() -> pygb::Result<()> {
+    pygb::nb::flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pygb::{DType, Vector};
+
+    fn dense(vals: &[f64]) -> Vector {
+        let mut v = Vector::new(vals.len(), DType::Fp64);
+        for (i, &x) in vals.iter().enumerate() {
+            v.set(i, x).unwrap();
+        }
+        v
+    }
+
+    #[test]
+    fn deferred_chain_flushes_on_scope_exit() {
+        let u = dense(&[1.0, 2.0, 3.0]);
+        let mut w = Vector::new(3, DType::Fp64);
+        {
+            let _nb = nonblocking().unwrap();
+            let t = Vector::from_expr(&u + &u).unwrap();
+            w.no_mask().assign(&t * &u).unwrap();
+        }
+        assert_eq!(w.to_dense_f64(), vec![2.0, 8.0, 18.0]);
+    }
+
+    #[test]
+    fn read_inside_scope_forces_flush() {
+        let u = dense(&[1.0, 2.0, 3.0]);
+        let mut w = Vector::new(3, DType::Fp64);
+        let _nb = nonblocking().unwrap();
+        w.no_mask().assign(&u + &u).unwrap();
+        // `get` must observe the deferred assignment.
+        assert_eq!(w.get(1).unwrap().as_f64(), 4.0);
+    }
+
+    #[test]
+    fn ewise_chain_fuses_to_one_dispatch() {
+        let u = dense(&[1.0, 2.0, 3.0]);
+        let mut w = Vector::new(3, DType::Fp64);
+        // Warm both kernels so only memory hits are counted below.
+        {
+            let _nb = nonblocking().unwrap();
+            let t = Vector::from_expr(&u + &u).unwrap();
+            w.no_mask().assign(&t * &u).unwrap();
+        }
+        let stats = pygb::runtime().cache().stats();
+        let before = stats.snapshot();
+        {
+            let _nb = nonblocking().unwrap();
+            let t = Vector::from_expr(&u + &u).unwrap();
+            w.no_mask().assign(&t * &u).unwrap();
+        }
+        let after = stats.snapshot();
+        assert_eq!(
+            after.invocations - before.invocations,
+            1,
+            "two deferred eWise ops must fuse into one kernel invocation"
+        );
+        assert_eq!(after.fused_ops - before.fused_ops, 1);
+        assert_eq!(after.deferred_ops - before.deferred_ops, 2);
+        assert_eq!(w.to_dense_f64(), vec![2.0, 8.0, 18.0]);
+    }
+
+    #[test]
+    fn dead_node_is_elided() {
+        let u = dense(&[1.0, 2.0]);
+        let stats = pygb::runtime().cache().stats();
+        let before = stats.snapshot();
+        {
+            let _nb = nonblocking().unwrap();
+            let t = Vector::from_expr(&u + &u).unwrap();
+            drop(t); // result never observed
+        }
+        let after = stats.snapshot();
+        assert_eq!(
+            after.invocations, before.invocations,
+            "dead op must not run"
+        );
+        assert_eq!(after.elided_ops - before.elided_ops, 1);
+    }
+
+    #[test]
+    fn held_temp_blocks_fusion_but_stays_correct() {
+        let u = dense(&[1.0, 2.0, 3.0]);
+        let mut w = Vector::new(3, DType::Fp64);
+        let _nb = nonblocking().unwrap();
+        let t = Vector::from_expr(&u + &u).unwrap();
+        w.no_mask().assign(&t * &u).unwrap();
+        // `t` is still live, so the producer must materialize.
+        assert_eq!(t.to_dense_f64(), vec![2.0, 4.0, 6.0]);
+        assert_eq!(w.to_dense_f64(), vec![2.0, 8.0, 18.0]);
+    }
+
+    #[test]
+    fn reduce_fuses_with_ewise_producer() {
+        let u = dense(&[1.0, 2.0, 3.0]);
+        let mut d = Vector::new(3, DType::Fp64);
+        // Warm.
+        {
+            let _nb = nonblocking().unwrap();
+            d.no_mask().assign(&u * &u).unwrap();
+            assert_eq!(pygb::reduce(&d).unwrap().as_f64(), 14.0);
+        }
+        let stats = pygb::runtime().cache().stats();
+        let before = stats.snapshot();
+        {
+            let _nb = nonblocking().unwrap();
+            d.no_mask().assign(&u * &u).unwrap();
+            assert_eq!(pygb::reduce(&d).unwrap().as_f64(), 14.0);
+        }
+        let after = stats.snapshot();
+        assert_eq!(
+            after.invocations - before.invocations,
+            1,
+            "eWise + reduce must fold into one fused dispatch"
+        );
+        // The fused kernel also materializes the vector for later reads.
+        assert_eq!(d.to_dense_f64(), vec![1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn error_at_flush_reports_and_recovers() {
+        let u = dense(&[1.0, 2.0]);
+        let bad = dense(&[1.0, 2.0, 3.0]); // size mismatch
+        let mut w = Vector::new(2, DType::Fp64);
+        let err = {
+            let _nb = nonblocking().unwrap();
+            w.no_mask().assign(&u + &bad).unwrap(); // defers fine
+            flush()
+        };
+        assert!(err.is_err(), "size mismatch must surface at flush");
+        // The runtime must stay usable afterwards.
+        let mut ok = Vector::new(2, DType::Fp64);
+        ok.no_mask().assign(&u + &u).unwrap();
+        assert_eq!(ok.to_dense_f64(), vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal timing harness behind the criterion API the workspace's
+//! benches use: `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `Bencher::iter`, plus the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark reports min / median / mean
+//! over the configured sample count to stdout. No statistics beyond
+//! that — the repo's EXPERIMENTS bookkeeping needs comparable medians,
+//! not confidence intervals.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point, handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_benchmark(&id.to_string(), 20, f);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (prints nothing extra; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Label `function_name` at `parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Label from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Collects timed iterations for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (JIT caches, allocator) — untimed.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{label:<48} min {:>12} | median {:>12} | mean {:>12}",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut ran = 0u32;
+        run_benchmark("test/count", 5, |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert_eq!(ran, 6); // 1 warm-up + 5 samples
+    }
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shape");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("add", 4), &4u64, |b, &n| b.iter(|| n + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn durations_format_by_scale() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.000 s");
+    }
+}

@@ -1,0 +1,629 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the strategy combinators and macros the workspace's
+//! property tests use: range/`any` strategies, character-class string
+//! patterns, tuple composition, `prop_map`, sized collections, and the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros. Cases are
+//! driven by a seeded deterministic generator; the case count comes
+//! from `PROPTEST_CASES` (default 64) and the base seed from
+//! `PROPTEST_SEED`, so failures reproduce exactly by re-running the
+//! same binary with the same environment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SeedableRng, StdRng};
+
+/// The per-test random source handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator for `seed`.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// The raw 64-bit stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// A uniform `usize` in `[0, bound)` (`bound` ≥ 1).
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.0.gen_range(0..bound.max(1))
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed — the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — draw another case.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure with `msg`.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A value generator: proptest's `Strategy`, minus shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adaptor.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always-`value` strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % width) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64() as u128 % width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let frac = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + frac * (self.end - self.start)
+    }
+}
+
+/// Uniform values of the whole domain of `T` — proptest's `any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// The [`any`] strategy.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types [`any`] can produce.
+pub trait Arbitrary: Sized {
+    /// Draw one value from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values across magnitudes: mantissa in [-1, 1) times a
+        // bounded power of two. Property tests here need exact algebra
+        // on finite floats, not NaN/infinity fuzzing.
+        let mant = (rng.next_u64() >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0;
+        let exp = (rng.next_u64() % 41) as i32 - 20;
+        mant * (exp as f64).exp2()
+    }
+}
+
+// Tuple strategies, by composition.
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// String patterns: a &str literal is a strategy for strings matching a
+/// single `[class]{m,n}` character-class pattern (or a literal string
+/// when no class syntax is present) — the subset of proptest's regex
+/// strategies this workspace uses.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes = pattern.as_bytes();
+    if !bytes.contains(&b'[') {
+        return pattern.to_string();
+    }
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'[' {
+            out.push(bytes[i] as char);
+            i += 1;
+            continue;
+        }
+        // Parse the class.
+        let close = pattern[i..]
+            .find(']')
+            .map(|p| p + i)
+            .expect("unterminated character class in pattern");
+        let mut class = Vec::new();
+        let inner = &bytes[i + 1..close];
+        let mut j = 0;
+        while j < inner.len() {
+            if j + 2 < inner.len() && inner[j + 1] == b'-' {
+                for c in inner[j]..=inner[j + 2] {
+                    class.push(c as char);
+                }
+                j += 3;
+            } else {
+                class.push(inner[j] as char);
+                j += 1;
+            }
+        }
+        assert!(!class.is_empty(), "empty character class in pattern");
+        i = close + 1;
+        // Optional {m,n} / {n} repetition.
+        let (lo, hi) = if i < bytes.len() && bytes[i] == b'{' {
+            let close = pattern[i..]
+                .find('}')
+                .map(|p| p + i)
+                .expect("unterminated repetition in pattern");
+            let body = &pattern[i + 1..close];
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().expect("bad repetition"),
+                    b.trim().parse::<usize>().expect("bad repetition"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad repetition");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let len = lo + rng.below(hi - lo + 1);
+        for _ in 0..len {
+            out.push(class[rng.below(class.len())]);
+        }
+    }
+    out
+}
+
+/// Sized collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Lengths a collection strategy may produce.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end || r.start == 0, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end.saturating_sub(1).max(r.start),
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below(self.hi - self.lo + 1)
+        }
+    }
+
+    /// `Vec` of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The [`vec`] strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeMap` with keys from `key` and values from `value`. The
+    /// size is a target: duplicate keys collapse, like upstream.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// The [`btree_map`] strategy.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..len {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// `BTreeSet` of values from `element`; size is a target as above.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The [`btree_set`] strategy.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// FNV-1a — stable per-test seed derivation from the test name.
+fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive `case` over the configured number of generated cases.
+/// Panics (failing the enclosing `#[test]`) on the first failing case.
+pub fn run_cases(name: &str, mut case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let base_seed: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5eed);
+    let mut rng = TestRng::from_seed(base_seed ^ fnv1a(name));
+    let mut passed = 0u64;
+    let mut rejected = 0u64;
+    while passed < cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= cases * 16,
+                    "property '{name}': too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property '{name}' failed after {passed} passing case(s): {msg}\n\
+                     (rerun with PROPTEST_SEED={base_seed} to reproduce)"
+                );
+            }
+        }
+    }
+}
+
+/// Declare property tests: `proptest! { #[test] fn name(x in strat) { … } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                #[allow(unused_mut)]
+                let mut __case = || -> $crate::TestCaseResult {
+                    $body
+                    Ok(())
+                };
+                __case()
+            });
+        }
+    )*};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} — {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n  {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}\n  {}",
+                stringify!($left), stringify!($right), l, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Reject the current inputs (draw another case) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The usual `use proptest::prelude::*` imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_generation_matches_class_and_length() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = generate_pattern("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = generate_pattern("[a-zA-Z0-9_]{1,12}", &mut rng);
+            assert!((1..=12).contains(&t.len()));
+            assert!(t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+        assert_eq!(generate_pattern("literal", &mut rng), "literal");
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let v = collection::vec(0usize..10, 0..5).generate(&mut rng);
+            assert!(v.len() < 5);
+            let m = collection::btree_map(0usize..10, -5i64..5, 0..8).generate(&mut rng);
+            assert!(m.len() < 8);
+            assert!(m.keys().all(|&k| k < 10));
+            let s = collection::btree_set(0usize..4, 0..10).generate(&mut rng);
+            assert!(s.len() <= 4); // dedup caps below the target
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_runs(a in 0usize..100, b in any::<bool>()) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(a, a + 1);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0usize..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failures_panic_with_context() {
+        run_cases("always_fails", |_| Err(TestCaseError::fail("nope")));
+    }
+}

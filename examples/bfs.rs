@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transpose()?
         .unwrap_or(256);
     let graph = generators::erdos_renyi_power(n, 42);
-    println!("Erdős–Rényi: |V| = {n}, |E| = {} (n^1.5 density)", graph.nnz());
+    println!(
+        "Erdős–Rényi: |V| = {n}, |E| = {} (n^1.5 density)",
+        graph.nnz()
+    );
 
     let pygb_graph = graph.to_pygb(pygb::DType::Fp64);
     let gbtl_graph: gbtl::Matrix<f64> = graph.to_gbtl();
@@ -39,12 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dt_native = t.elapsed();
 
     let reached = levels_native.nvals();
-    let max_depth = levels_native
-        .values()
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(0);
+    let max_depth = levels_native.values().iter().copied().max().unwrap_or(0);
     println!("reached {reached}/{n} vertices, max depth {max_depth}");
     println!("pygb-loops : {dt_loops:?}");
     println!("pygb-fused : {dt_fused:?}");

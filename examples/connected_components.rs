@@ -19,7 +19,10 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     // A sparse graph with several components: m ≈ n/2 random edges.
     let graph = generators::erdos_renyi(n, n / 2, 77);
     let g = graph.to_pygb(DType::Fp64);
-    println!("Erdős–Rényi: |V| = {n}, |E| = {} (sparse, fragmented)", graph.nnz());
+    println!(
+        "Erdős–Rényi: |V| = {n}, |E| = {} (sparse, fragmented)",
+        graph.nnz()
+    );
 
     let (labels_loops, rounds) = cc_dsl_loops(&g)?;
     let (labels_fused, _) = cc_dsl_fused(&g)?;
@@ -50,7 +53,10 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     by_size.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
     println!("largest components:");
     for (label, size) in by_size.iter().take(5) {
-        println!("  component rooted at vertex {:>4}: {size} vertices", label - 1);
+        println!(
+            "  component rooted at vertex {:>4}: {size} vertices",
+            label - 1
+        );
     }
     Ok(())
 }

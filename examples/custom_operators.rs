@@ -54,7 +54,11 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let _op = sigmoid.enter();
         Vector::from_expr(apply(&scores))?
     };
-    println!("sigmoid({:?}) = {:?}", scores.to_dense_f64(), probs.to_dense_f64());
+    println!(
+        "sigmoid({:?}) = {:?}",
+        scores.to_dense_f64(),
+        probs.to_dense_f64()
+    );
 
     // --- Each user op is its own JIT module ---
     pygb::runtime().set_tracing(true);

@@ -1,0 +1,84 @@
+//! Nonblocking mode end to end: the same operation chain run eagerly
+//! and deferred, with the JIT counters showing the DAG fusing the
+//! chain into fewer kernel dispatches (DESIGN.md §4c).
+//!
+//! ```text
+//! cargo run --example nonblocking
+//! ```
+
+use pygb::prelude::*;
+
+fn counters() -> (u64, u64, u64, u64) {
+    let s = pygb::runtime().cache().stats().snapshot();
+    (s.invocations, s.deferred_ops, s.fused_ops, s.elided_ops)
+}
+
+fn main() -> pygb::Result<()> {
+    let n = 8usize;
+    let mut u = Vector::new(n, DType::Fp64);
+    let mut v = Vector::new(n, DType::Fp64);
+    for i in 0..n {
+        u.set(i, i as f64 + 1.0)?;
+        v.set(i, 10.0 * (i as f64 + 1.0))?;
+    }
+
+    // Blocking (the default): every assignment dispatches immediately.
+    let mut w_blocking = Vector::new(n, DType::Fp64);
+    let before = counters();
+    {
+        let t = Vector::from_expr(&u + &v)?; // dispatch 1
+        w_blocking.no_mask().assign(&t * &u)?; // dispatch 2
+    }
+    let after = counters();
+    println!("== blocking: t = u + v; w = t * u ==");
+    println!(
+        "   kernel invocations: {}   (deferred {}, fused {})",
+        after.0 - before.0,
+        after.1 - before.1,
+        after.2 - before.2,
+    );
+
+    // Nonblocking: both operations enqueue into the op-DAG; at flush
+    // (scope exit) the fusion pass rewrites the pair into ONE
+    // fused_ewise_chain kernel, since the temporary `t` is provably
+    // unobservable.
+    let mut w_nonblocking = Vector::new(n, DType::Fp64);
+    let before = counters();
+    {
+        let _nb = pygb_runtime::nonblocking()?;
+        let t = Vector::from_expr(&u + &v)?; // enqueued
+        w_nonblocking.no_mask().assign(&t * &u)?; // enqueued
+    } // guard drops -> fuse -> single dispatch
+    let after = counters();
+    println!("== nonblocking: same chain through the op-DAG ==");
+    println!(
+        "   kernel invocations: {}   (deferred {}, fused {})",
+        after.0 - before.0,
+        after.1 - before.1,
+        after.2 - before.2,
+    );
+
+    assert_eq!(w_blocking.extract_pairs(), w_nonblocking.extract_pairs());
+    println!(
+        "   containers bitwise identical: {:?}",
+        w_nonblocking.to_dense_f64()
+    );
+
+    // Reads are flush points: no explicit flush() needed, ever.
+    let before = counters();
+    let total = {
+        let _nb = pygb_runtime::nonblocking()?;
+        let mut d = Vector::new(n, DType::Fp64);
+        d.no_mask().assign(&u * &u)?; // enqueued
+        pygb::reduce(&d)?.as_f64() // read -> fused ewise+reduce
+    };
+    let after = counters();
+    println!("== nonblocking: d = u * u; reduce(d) ==");
+    println!(
+        "   kernel invocations: {}   (deferred {}, fused {})   sum of squares = {total}",
+        after.0 - before.0,
+        after.1 - before.1,
+        after.2 - before.2,
+    );
+    Ok(())
+}

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // DESIGN.md: Fig. 7/8 drop rank entries of in-degree-0 vertices).
     let graph = generators::erdos_renyi_power(n, 23).symmetrize();
     let pg = graph.to_pygb(DType::Fp64);
-    println!("Erdős–Rényi (symmetrized): |V| = {n}, |E| = {}", graph.nnz());
+    println!(
+        "Erdős–Rényi (symmetrized): |V| = {n}, |E| = {}",
+        graph.nnz()
+    );
 
     let opts = PageRankOptions::default();
     let (pr_dsl, iters_dsl) = pagerank_dsl_loops(&pg, opts)?;

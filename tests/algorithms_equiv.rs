@@ -32,8 +32,7 @@ fn bfs_three_variants_agree_across_graphs() {
         let native = algos::bfs_native(&ng, 0).unwrap();
 
         assert_eq!(pairs_i64(&loops), pairs_i64(&fused), "n={n} seed={seed}");
-        let native_pairs: Vec<(usize, i64)> =
-            native.iter().map(|(i, v)| (i, v as i64)).collect();
+        let native_pairs: Vec<(usize, i64)> = native.iter().map(|(i, v)| (i, v as i64)).collect();
         assert_eq!(pairs_i64(&loops), native_pairs, "n={n} seed={seed}");
     }
 }

@@ -8,13 +8,7 @@ use pygb_io::{dense, generators, matrix_market};
 #[test]
 fn fig3a_sparse_coordinate_form() {
     // m = gb.Matrix((vals, (row_idx, col_idx)), shape=(r, c))
-    let m = Matrix::from_coo(
-        &[1.0f64, 2.0, 3.0],
-        &[0, 1, 2],
-        &[2, 0, 1],
-        (3, 3),
-    )
-    .unwrap();
+    let m = Matrix::from_coo(&[1.0f64, 2.0, 3.0], &[0, 1, 2], &[2, 0, 1], (3, 3)).unwrap();
     assert_eq!(m.nvals(), 3);
     assert_eq!(m.get(1, 0).unwrap().as_f64(), 2.0);
 
@@ -86,8 +80,7 @@ fn matrix_market_roundtrip_both_paths() {
     let text = matrix_market::to_string(&edges);
 
     let native = matrix_market::read_native(text.as_bytes()).unwrap();
-    let interpreted =
-        matrix_market::read_interpreted(text.as_bytes(), DType::Fp64).unwrap();
+    let interpreted = matrix_market::read_interpreted(text.as_bytes(), DType::Fp64).unwrap();
 
     assert_eq!(native.nvals(), 64);
     assert_eq!(interpreted.nvals(), 64);

@@ -1,0 +1,307 @@
+//! Cross-crate integration tests for the nonblocking execution
+//! runtime: `pygb` containers defer into the `pygb-runtime` op-DAG,
+//! fused kernels dispatch through `pygb-jit`, and execution lands in
+//! `gbtl` — the full stack driven end to end.
+
+use pygb::{
+    apply, reduce, ArithmeticSemiring, BinaryOp, DType, LogicalSemiring, Matrix, Replace, UnaryOp,
+    Vector,
+};
+use pygb_integration::{
+    assert_matrices_identical, assert_vectors_identical, fig1_graph, measure_dispatches,
+};
+
+fn dense(vals: &[f64]) -> Vector {
+    let mut v = Vector::new(vals.len(), DType::Fp64);
+    for (i, &x) in vals.iter().enumerate() {
+        v.set(i, x).unwrap();
+    }
+    v
+}
+
+/// Rule 3 end to end: materializing an SpMV into a temporary and then
+/// assigning the temporary under mask+replace collapses back into ONE
+/// masked SpMV dispatch.
+#[test]
+fn ref_collapse_fuses_masked_spmv() {
+    let g = fig1_graph();
+    let run = |frontier: &mut Vector, levels: &Vector| {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        let _sr = LogicalSemiring.enter();
+        let _rp = Replace.enter();
+        let t = Vector::from_expr(g.t().mxv(frontier)).unwrap();
+        frontier.masked_complement(levels).assign(&t).unwrap();
+    };
+
+    let mut levels = Vector::new(7, DType::UInt64);
+    levels.set(3, 1u64).unwrap();
+    let mut frontier = Vector::new(7, DType::Bool);
+    frontier.set(3, true).unwrap();
+    run(&mut frontier, &levels); // warm the masked-mxv kernel
+
+    let mut frontier2 = Vector::new(7, DType::Bool);
+    frontier2.set(3, true).unwrap();
+    let ((), d) = measure_dispatches(|| run(&mut frontier2, &levels));
+    frontier2.settle().unwrap();
+    assert_eq!(d.invocations, 1, "temp + masked assign must fuse");
+    assert_eq!(d.fused, 1);
+    assert_eq!(d.deferred, 2);
+
+    // Same result as the direct blocking spelling.
+    let mut blocking = Vector::new(7, DType::Bool);
+    blocking.set(3, true).unwrap();
+    {
+        let _sr = LogicalSemiring.enter();
+        let _rp = Replace.enter();
+        let expr = g.t().mxv(&blocking.clone());
+        blocking.masked_complement(&levels).assign(expr).unwrap();
+    }
+    assert_vectors_identical(&blocking, &frontier2, "rule 3");
+}
+
+/// Rule 2 end to end: `apply(mxv(...))` through a temporary becomes a
+/// single `vxm_apply` composite dispatch.
+#[test]
+fn apply_after_mxv_fuses() {
+    let g = fig1_graph();
+    let u = dense(&[1.0; 7]);
+    let run = |out: &mut Vector| {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        let _sr = ArithmeticSemiring.enter();
+        let t = Vector::from_expr(u.vxm(&g)).unwrap();
+        let _op = UnaryOp::bound("Plus", 0.5).unwrap().enter();
+        out.no_mask().assign(apply(&t)).unwrap();
+    };
+    let mut warm = Vector::new(7, DType::Fp64);
+    run(&mut warm);
+
+    let mut out = Vector::new(7, DType::Fp64);
+    let ((), d) = measure_dispatches(|| run(&mut out));
+    out.settle().unwrap();
+    assert_eq!(d.invocations, 1, "vxm + apply must fuse");
+    assert_eq!(d.fused, 1);
+
+    // Blocking reference through the eager two-dispatch spelling.
+    let mut blocking = Vector::new(7, DType::Fp64);
+    {
+        let _sr = ArithmeticSemiring.enter();
+        let t = Vector::from_expr(u.vxm(&g)).unwrap();
+        let _op = UnaryOp::bound("Plus", 0.5).unwrap().enter();
+        blocking.no_mask().assign(apply(&t)).unwrap();
+    }
+    assert_vectors_identical(&blocking, &out, "rule 2");
+}
+
+/// Rule 1 with a distinct third operand: `t = u + v; w = t * x`
+/// becomes one `fused_ewise_chain` dispatch.
+#[test]
+fn ewise_chain_with_third_operand_fuses() {
+    let u = dense(&[1.0, 2.0, 3.0]);
+    let v = dense(&[10.0, 20.0, 30.0]);
+    let x = dense(&[2.0, 2.0, 2.0]);
+    let run = |w: &mut Vector| {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        let t = Vector::from_expr(&u + &v).unwrap();
+        w.no_mask().assign(&t * &x).unwrap();
+    };
+    let mut warm = Vector::new(3, DType::Fp64);
+    run(&mut warm);
+
+    let mut w = Vector::new(3, DType::Fp64);
+    let ((), d) = measure_dispatches(|| run(&mut w));
+    w.settle().unwrap();
+    assert_eq!(d.invocations, 1);
+    assert_eq!(d.fused, 1);
+    assert_eq!(w.to_dense_f64(), vec![22.0, 44.0, 66.0]);
+}
+
+/// Rule 4 end to end: an eWise producer feeding only a reduction runs
+/// as one `fused_ewise_reduce` dispatch and still materializes the
+/// vector for later reads.
+#[test]
+fn reduce_after_ewise_fuses() {
+    let u = dense(&[1.0, 2.0, 3.0, 4.0]);
+    let mut d_vec = Vector::new(4, DType::Fp64);
+    let mut run = || {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        d_vec.no_mask().assign(&u * &u).unwrap();
+        reduce(&d_vec).unwrap().as_f64()
+    };
+    assert_eq!(run(), 30.0); // warm
+
+    let (total, d) = measure_dispatches(run);
+    assert_eq!(total, 30.0);
+    assert_eq!(d.invocations, 1, "eWise + reduce must fuse");
+    assert_eq!(d.fused, 1);
+    assert_eq!(d_vec.to_dense_f64(), vec![1.0, 4.0, 9.0, 16.0]);
+}
+
+/// Deferred operations under mask, accumulator, and replace produce
+/// bitwise-identical containers to blocking mode.
+#[test]
+fn masked_accumulated_ops_match_blocking() {
+    let u = dense(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+    let v = dense(&[10.0, 0.0, 30.0, 0.0, 50.0]);
+    let mut mask = Vector::new(5, DType::Bool);
+    mask.set(0, true).unwrap();
+    mask.set(2, true).unwrap();
+    mask.set(3, true).unwrap();
+
+    let body = |w: &mut Vector| -> pygb::Result<()> {
+        let _acc = pygb::Accumulator::new("Plus")?.enter();
+        w.masked(&mask).accum_assign(&u + &v)?;
+        let _b = BinaryOp::new("Max")?.enter();
+        let snapshot = w.clone();
+        w.masked_complement(&mask)
+            .replace()
+            .assign(&snapshot + &u)?;
+        Ok(())
+    };
+
+    let mut blocking = dense(&[7.0, 7.0, 7.0, 7.0, 7.0]);
+    body(&mut blocking).unwrap();
+
+    let mut nonblocking = dense(&[7.0, 7.0, 7.0, 7.0, 7.0]);
+    {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        body(&mut nonblocking).unwrap();
+    }
+    assert_vectors_identical(&blocking, &nonblocking, "mask/accum/replace");
+}
+
+/// A deferred matrix product chain matches blocking mode.
+#[test]
+fn deferred_matrix_chain_matches_blocking() {
+    let g = fig1_graph();
+    let body = |b: &mut Matrix| -> pygb::Result<()> {
+        let _sr = ArithmeticSemiring.enter();
+        b.masked(&g).assign(g.matmul(g.t()))?;
+        let _u = UnaryOp::bound("Times", 2.0)?.enter();
+        let snapshot = b.clone();
+        b.no_mask().assign(apply(&snapshot))?;
+        Ok(())
+    };
+
+    let mut blocking = Matrix::new(7, 7, DType::Fp64);
+    body(&mut blocking).unwrap();
+
+    let mut nonblocking = Matrix::new(7, 7, DType::Fp64);
+    {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        body(&mut nonblocking).unwrap();
+    }
+    assert_matrices_identical(&blocking, &nonblocking, "matrix chain");
+}
+
+/// A wave of data-independent SpMVs all lands correctly through the
+/// parallel scheduler.
+#[test]
+fn independent_wave_executes_in_parallel_correctly() {
+    let g = fig1_graph();
+    let inputs: Vec<Vector> = (0..8).map(|k| dense(&[k as f64 + 1.0; 7])).collect();
+
+    let mut blocking: Vec<Vector> = (0..8).map(|_| Vector::new(7, DType::Fp64)).collect();
+    {
+        let _sr = ArithmeticSemiring.enter();
+        for (out, u) in blocking.iter_mut().zip(&inputs) {
+            out.no_mask().assign(g.mxv(u)).unwrap();
+        }
+    }
+
+    let mut nonblocking: Vec<Vector> = (0..8).map(|_| Vector::new(7, DType::Fp64)).collect();
+    {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        let _sr = ArithmeticSemiring.enter();
+        for (out, u) in nonblocking.iter_mut().zip(&inputs) {
+            out.no_mask().assign(g.mxv(u)).unwrap();
+        }
+    }
+    for (i, (b, nb)) in blocking.iter().zip(&nonblocking).enumerate() {
+        assert_vectors_identical(b, nb, &format!("wave output {i}"));
+    }
+}
+
+/// Dtype promotion through deferred expressions matches blocking mode.
+#[test]
+fn promotion_matches_blocking() {
+    let mut a = Vector::new(4, DType::Int32);
+    let mut b = Vector::new(4, DType::Int64);
+    for i in 0..4 {
+        a.set(i, (i as i32) - 1).unwrap();
+        b.set(i, (i as i64) * 100).unwrap();
+    }
+
+    let blocking = {
+        let t = Vector::from_expr(&a + &b).unwrap();
+        Vector::from_expr(&t + &a).unwrap()
+    };
+    let nonblocking = {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        let t = Vector::from_expr(&a + &b).unwrap();
+        let mut out = Vector::from_expr(&t + &a).unwrap();
+        out.settle().unwrap();
+        out
+    };
+    assert_eq!(blocking.dtype(), DType::Int64);
+    assert_vectors_identical(&blocking, &nonblocking, "promotion");
+}
+
+/// Reads are flush points: `nvals` inside a scope observes the
+/// deferred writes.
+#[test]
+fn nvals_is_a_flush_point() {
+    let u = dense(&[1.0, 0.0, 3.0]);
+    let mut w = Vector::new(3, DType::Fp64);
+    let _nb = pygb_runtime::nonblocking().unwrap();
+    w.no_mask().assign(&u * &u).unwrap();
+    assert_eq!(w.nvals(), 3);
+}
+
+/// A container produced inside a nonblocking scope on a worker thread
+/// is fully resolved once the scope exits, and can be read anywhere.
+#[test]
+fn worker_thread_scope_resolves_before_handoff() {
+    let g = fig1_graph();
+    let handle = std::thread::spawn(move || {
+        let u = dense(&[1.0; 7]);
+        let mut out = Vector::new(7, DType::Fp64);
+        {
+            let _nb = pygb_runtime::nonblocking().unwrap();
+            let _sr = ArithmeticSemiring.enter();
+            out.no_mask().assign(g.mxv(&u)).unwrap();
+        }
+        out.settle().unwrap();
+        out
+    });
+    let out = handle.join().unwrap();
+    assert!(out.nvals() > 0);
+}
+
+/// The four algorithm variants match their blocking transcriptions on
+/// the Fig. 1 graph.
+#[test]
+fn algorithms_match_blocking_on_fig1() {
+    let g = fig1_graph();
+
+    let bfs_b = pygb_algorithms::bfs_dsl_loops(&g, 3).unwrap();
+    let bfs_nb = pygb_algorithms::bfs_nonblocking(&g, 3).unwrap();
+    assert_vectors_identical(&bfs_b, &bfs_nb, "bfs");
+
+    let mut sssp_b = Vector::new(7, DType::Fp64);
+    sssp_b.set(3, 0.0f64).unwrap();
+    let mut sssp_nb = sssp_b.clone();
+    pygb_algorithms::sssp_dsl_loops(&g, &mut sssp_b).unwrap();
+    pygb_algorithms::sssp_nonblocking(&g, &mut sssp_nb).unwrap();
+    assert_vectors_identical(&sssp_b, &sssp_nb, "sssp");
+
+    let mut triples = Vec::new();
+    for i in 0..5usize {
+        for j in 0..i {
+            triples.push((i, j, 1i64));
+        }
+    }
+    let l = Matrix::from_triples(5, 5, triples).unwrap();
+    let tri_b = pygb_algorithms::tricount_dsl_loops(&l).unwrap();
+    let tri_nb = pygb_algorithms::tricount_nonblocking(&l).unwrap();
+    assert_eq!(tri_b.as_i64(), tri_nb.as_i64());
+}

@@ -1,0 +1,220 @@
+//! Property-based equivalence: random operation programs produce
+//! bitwise-identical containers whether executed eagerly (blocking
+//! mode) or deferred through the nonblocking op-DAG with fusion.
+//!
+//! Programs draw from a pool of mixed-dtype vectors and combine eWise
+//! add/mult under five operators, `apply`, plain copy-assignment, and
+//! reductions, each optionally under a (complemented) mask, an
+//! accumulator, and the replace flag — so every fusion rule and the
+//! mask/accum/replace write path get exercised against the blocking
+//! reference, including dtype promotion.
+
+use proptest::prelude::*;
+
+use pygb::{apply, reduce, Accumulator, BinaryOp, DType, DynScalar, UnaryOp, Vector};
+
+const N: usize = 8;
+const POOL: usize = 4;
+const OPS: [&str; 5] = ["Plus", "Times", "Minus", "Min", "Max"];
+const ACCUMS: [&str; 3] = ["Plus", "Min", "Second"];
+
+/// One random program step, decoded from plain integers so the
+/// strategy stays a nest of small tuples.
+#[derive(Clone, Debug)]
+struct Step {
+    /// 0 = eWise add, 1 = eWise mult, 2 = apply, 3 = copy, 4 = reduce.
+    kind: usize,
+    target: usize,
+    a: usize,
+    b: usize,
+    op: usize,
+    /// 0 = no mask, 1 = mask, 2 = complemented mask.
+    mask_mode: usize,
+    mask: usize,
+    /// 0 = plain assign, 1.. = accum_assign with `ACCUMS[accum - 1]`.
+    accum: usize,
+    replace: bool,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (
+        (0usize..5, 0usize..POOL, 0usize..POOL, 0usize..POOL),
+        (0usize..OPS.len(), 0usize..3, 0usize..POOL),
+        (0usize..=ACCUMS.len(), any::<bool>()),
+    )
+        .prop_map(
+            |((kind, target, a, b), (op, mask_mode, mask), (accum, replace))| Step {
+                kind,
+                target,
+                a,
+                b,
+                op,
+                mask_mode,
+                mask,
+                accum,
+                replace,
+            },
+        )
+}
+
+/// Deterministic mixed-dtype starting pool: dense int32, sparse int64,
+/// dense fp64, and an initially empty fp64 slot.
+fn init_pool() -> Vec<Vector> {
+    let mut v0 = Vector::new(N, DType::Int32);
+    let mut v1 = Vector::new(N, DType::Int64);
+    let mut v2 = Vector::new(N, DType::Fp64);
+    let v3 = Vector::new(N, DType::Fp64);
+    for i in 0..N {
+        v0.set(i, i as i32 + 1).unwrap();
+        if i % 2 == 0 {
+            v1.set(i, (i as i64) * 10 - 30).unwrap();
+        }
+        v2.set(i, i as f64 * 0.5 - 1.0).unwrap();
+    }
+    vec![v0, v1, v2, v3]
+}
+
+fn apply_step(pool: &mut [Vector], s: &Step) -> pygb::Result<Option<DynScalar>> {
+    if s.kind == 4 {
+        // Reduction (default Plus monoid); a flush point in
+        // nonblocking mode, possibly fused with its producer.
+        return reduce(&pool[s.a]).map(Some);
+    }
+    // Snapshot handles so a step may read its own target (both modes
+    // then see the pre-step value).
+    let a = pool[s.a].clone();
+    let b = pool[s.b].clone();
+    let mask = pool[s.mask].clone();
+    let expr_op = BinaryOp::new(OPS[s.op])?;
+    let target = &mut pool[s.target];
+
+    // The builder chain isn't nameable as one type, so each shape is
+    // spelled out; `go` runs with the operator contexts entered.
+    macro_rules! emit {
+        ($expr:expr) => {{
+            let _op_guard = expr_op.enter();
+            match (s.mask_mode, s.accum) {
+                (0, 0) => target.no_mask().assign($expr)?,
+                (0, acc) => {
+                    let _a = Accumulator::new(ACCUMS[acc - 1])?.enter();
+                    target.no_mask().accum_assign($expr)?
+                }
+                (1, 0) if s.replace => target.masked(&mask).replace().assign($expr)?,
+                (1, 0) => target.masked(&mask).assign($expr)?,
+                (1, acc) => {
+                    let _a = Accumulator::new(ACCUMS[acc - 1])?.enter();
+                    if s.replace {
+                        target.masked(&mask).replace().accum_assign($expr)?
+                    } else {
+                        target.masked(&mask).accum_assign($expr)?
+                    }
+                }
+                (_, 0) if s.replace => target.masked_complement(&mask).replace().assign($expr)?,
+                (_, 0) => target.masked_complement(&mask).assign($expr)?,
+                (_, acc) => {
+                    let _a = Accumulator::new(ACCUMS[acc - 1])?.enter();
+                    if s.replace {
+                        target
+                            .masked_complement(&mask)
+                            .replace()
+                            .accum_assign($expr)?
+                    } else {
+                        target.masked_complement(&mask).accum_assign($expr)?
+                    }
+                }
+            }
+        }};
+    }
+
+    match s.kind {
+        0 => emit!(&a + &b),
+        1 => emit!(&a * &b),
+        2 => {
+            let unary = UnaryOp::bound("Plus", 3.0)?;
+            let _u = unary.enter();
+            emit!(apply(&a))
+        }
+        _ => emit!(&a),
+    }
+    Ok(None)
+}
+
+/// Run a program in one mode; returns the settled pool and every
+/// reduction result, the full observable state.
+fn run_program(prog: &[Step], nonblocking: bool) -> (Vec<Vector>, Vec<DynScalar>) {
+    let mut pool = init_pool();
+    let mut reductions = Vec::new();
+    {
+        let _guard = if nonblocking {
+            Some(pygb_runtime::nonblocking().unwrap())
+        } else {
+            None
+        };
+        for s in prog {
+            if let Some(r) = apply_step(&mut pool, s).unwrap() {
+                reductions.push(r);
+            }
+        }
+        if nonblocking {
+            pygb_runtime::flush().unwrap();
+        }
+    }
+    for v in &mut pool {
+        v.settle().unwrap();
+    }
+    (pool, reductions)
+}
+
+proptest! {
+    #[test]
+    fn nonblocking_matches_blocking(prog in proptest::collection::vec(step_strategy(), 1..10)) {
+        let (b_pool, b_red) = run_program(&prog, false);
+        let (n_pool, n_red) = run_program(&prog, true);
+        for (i, (b, n)) in b_pool.iter().zip(&n_pool).enumerate() {
+            prop_assert_eq!(b.dtype(), n.dtype(), "slot {} dtype", i);
+            prop_assert_eq!(b.extract_pairs(), n.extract_pairs(), "slot {}", i);
+        }
+        prop_assert_eq!(b_red, n_red);
+    }
+
+    /// Scoped temporaries (the fusion-friendly shape) are equivalent
+    /// too: producer feeding consumer inside one scope.
+    #[test]
+    fn fused_chains_match_blocking(
+        operands in (0usize..POOL, 0usize..POOL, 0usize..POOL),
+        ops in (0usize..OPS.len(), 0usize..OPS.len()),
+        mult in any::<bool>(),
+    ) {
+        let (ai, bi, ci) = operands;
+        let (op1, op2) = ops;
+        let run = |nonblocking: bool| -> Vec<(usize, DynScalar)> {
+            let pool = init_pool();
+            let mut out = Vector::new(N, DType::Fp64);
+            {
+                let _guard = if nonblocking {
+                    Some(pygb_runtime::nonblocking().unwrap())
+                } else {
+                    None
+                };
+                {
+                    let t = {
+                        let _o = BinaryOp::new(OPS[op1]).unwrap().enter();
+                        Vector::from_expr(&pool[ai] + &pool[bi]).unwrap()
+                    };
+                    let _o = BinaryOp::new(OPS[op2]).unwrap().enter();
+                    if mult {
+                        out.no_mask().assign(&t * &pool[ci]).unwrap();
+                    } else {
+                        out.no_mask().assign(&t + &pool[ci]).unwrap();
+                    }
+                }
+                if nonblocking {
+                    pygb_runtime::flush().unwrap();
+                }
+            }
+            out.settle().unwrap();
+            out.extract_pairs()
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}

@@ -4,16 +4,16 @@
 
 use gbtl::ops::accum::{Accumulate, NoAccumulate};
 use gbtl::prelude::*;
-use pygb::prelude::{
-    ArithmeticSemiring as DslArithmetic, Matrix as DMatrix, Vector as DVector,
-};
+use pygb::prelude::{ArithmeticSemiring as DslArithmetic, Matrix as DMatrix, Vector as DVector};
 use pygb::DType;
 
 /// Deterministic pseudo-random sparse data without external deps.
 fn lcg_pairs(n: usize, nnz: usize, mut state: u64) -> Vec<(usize, f64)> {
     let mut out = std::collections::BTreeMap::new();
     while out.len() < nnz.min(n) {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let idx = (state >> 33) as usize % n;
         let val = ((state >> 11) % 1000) as f64 / 100.0 - 5.0;
         out.insert(idx, val);
@@ -132,8 +132,7 @@ fn mask_values_coerce_to_bool() {
     // A stored 0.0 in the mask is false (the paper: "data will be
     // coerced to boolean values").
     let mut c = DVector::new(3, DType::Fp64);
-    let mask =
-        DVector::from_pairs(3, [(0usize, 0.0f64), (1, 2.5), (2, -1.0)]).unwrap();
+    let mask = DVector::from_pairs(3, [(0usize, 0.0f64), (1, 2.5), (2, -1.0)]).unwrap();
     let src = DVector::from_dense(&[7.0f64, 7.0, 7.0]);
     c.masked(&mask).assign(&src).unwrap();
     assert!(c.get(0).is_none()); // stored zero masks out
@@ -156,8 +155,7 @@ fn masked_in_absence_deletes_without_accum() {
 fn matrix_mask_complement_replace() {
     let a = DMatrix::from_dense(&[vec![1.0f64, 2.0], vec![3.0, 4.0]]).unwrap();
     let mask = DMatrix::from_triples(2, 2, [(0usize, 0usize, true)]).unwrap();
-    let mut c =
-        DMatrix::from_triples(2, 2, [(0usize, 0usize, 50.0f64), (1, 1, 60.0)]).unwrap();
+    let mut c = DMatrix::from_triples(2, 2, [(0usize, 0usize, 50.0f64), (1, 1, 60.0)]).unwrap();
     // Complemented mask allows everything except (0,0); replace clears
     // (0,0)'s old entry.
     c.masked_complement(&mask).replace().assign(&a).unwrap();

@@ -127,8 +127,7 @@ fn parallel_and_small_sequential_kernels_agree() {
     );
     for (i, row) in seq_rows.iter().enumerate() {
         let (cols, vals) = big.row(i);
-        let lib_row: Vec<(usize, f64)> =
-            cols.iter().copied().zip(vals.iter().copied()).collect();
+        let lib_row: Vec<(usize, f64)> = cols.iter().copied().zip(vals.iter().copied()).collect();
         assert_eq!(&lib_row, row, "row {i}");
     }
 }

@@ -33,8 +33,8 @@ fn user_op_resolves_by_name_after_definition() {
 fn user_op_with_identity_forms_a_semiring() {
     // A custom ⊕ with identity 0 drives mxv: "log-sum" style semiring
     // (⊕ = hypot, ⊗ = times).
-    let hypot = BinaryOp::define_with_identity("HypotAdd", |a, b| (a * a + b * b).sqrt(), "Zero")
-        .unwrap();
+    let hypot =
+        BinaryOp::define_with_identity("HypotAdd", |a, b| (a * a + b * b).sqrt(), "Zero").unwrap();
     let monoid = Monoid::from_op(hypot, 0.0).unwrap();
     let sr = Semiring::new(monoid, "Times").unwrap();
 
@@ -48,13 +48,8 @@ fn user_op_with_identity_forms_a_semiring() {
 
 #[test]
 fn user_op_as_accumulator() {
-    let keep_bigger_abs = BinaryOp::define("BiggerAbs", |a, b| {
-        if a.abs() >= b.abs() {
-            a
-        } else {
-            b
-        }
-    });
+    let keep_bigger_abs =
+        BinaryOp::define("BiggerAbs", |a, b| if a.abs() >= b.abs() { a } else { b });
     let mut w = Vector::from_dense(&[-10.0f64, 1.0]);
     let d = Vector::from_dense(&[3.0f64, -7.0]);
     let _acc = Accumulator::from_op(keep_bigger_abs).enter();
