@@ -1,0 +1,40 @@
+//! Scratch test (review only): blocking vs nonblocking when an eWise
+//! chain routes through a narrower-dtype temp that is dropped unread.
+
+use pygb::{DType, Vector};
+
+fn dense(vals: &[f64]) -> Vector {
+    let mut v = Vector::new(vals.len(), DType::Fp64);
+    for (i, &x) in vals.iter().enumerate() {
+        v.set(i, x).unwrap();
+    }
+    v
+}
+
+#[test]
+fn fused_chain_preserves_intermediate_dtype() {
+    let u = dense(&[2.5, 2.5]);
+    let v = dense(&[1.0, 1.0]);
+    let x = dense(&[1.0, 1.0]);
+
+    // Blocking reference: t is Int32, so u+v truncates to 3 before the
+    // outer add.
+    let mut t = Vector::new(2, DType::Int32);
+    t.no_mask().assign(&u + &v).unwrap();
+    let mut w = Vector::new(2, DType::Fp64);
+    w.no_mask().assign(&t + &x).unwrap();
+    let blocking = w.to_dense_f64();
+
+    // Nonblocking: same program, temp dropped before the flush.
+    let mut t2 = Vector::new(2, DType::Int32);
+    let mut w2 = Vector::new(2, DType::Fp64);
+    {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        t2.no_mask().assign(&u + &v).unwrap();
+        w2.no_mask().assign(&t2 + &x).unwrap();
+        drop(t2);
+    }
+    let nonblocking = w2.to_dense_f64();
+
+    assert_eq!(blocking, nonblocking);
+}
