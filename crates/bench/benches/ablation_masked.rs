@@ -1,0 +1,203 @@
+//! Ablation: masked-kernel selection vs. the pre-selection baseline.
+//!
+//! Two comparisons, both on the Erdős–Rényi family:
+//!
+//! * **Masked SpGEMM** (triangle counting's `B⟨L⟩ = L·Lᵀ`): the
+//!   mask-guided dot-product kernel and the mask-stamped Gustavson
+//!   kernel against the old behaviour — full unmasked product, then
+//!   post-filter (forced here by an opaque mask wrapper that hides the
+//!   mask's structure from kernel selection).
+//! * **Push/pull BFS**: the dual-orientation traversal (sparse
+//!   frontiers push, dense frontiers pull, masked kernels confine the
+//!   wavefront) against a pull-only traversal with an opaque mask.
+//!
+//! Unlike the criterion benches, this harness also writes its samples
+//! to `results/ablation_masked.json` so CI can archive the numbers.
+
+use std::time::{Duration, Instant};
+
+use gbtl::prelude::*;
+use gbtl::views::Complement;
+use pygb_bench::report::{render_table, to_json, Sample};
+use pygb_bench::workloads::Workload;
+
+/// Forwards membership probes but hides the mask's structure, forcing
+/// the pre-PR compute-everything-then-filter paths.
+struct OpaqueVec<'a, M: VectorMask>(&'a M);
+
+impl<M: VectorMask> VectorMask for OpaqueVec<'_, M> {
+    fn allows(&self, i: usize) -> bool {
+        self.0.allows(i)
+    }
+    fn mask_size(&self) -> usize {
+        self.0.mask_size()
+    }
+}
+
+struct OpaqueMat<'a, M: MatrixMask>(&'a M);
+
+impl<M: MatrixMask> MatrixMask for OpaqueMat<'_, M> {
+    fn allows(&self, i: usize, j: usize) -> bool {
+        self.0.allows(i, j)
+    }
+    fn mask_shape(&self) -> (usize, usize) {
+        self.0.mask_shape()
+    }
+}
+
+fn time<R>(mut f: impl FnMut() -> R) -> Duration {
+    // One warm-up, then the median of three runs.
+    f();
+    let mut runs: Vec<Duration> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    runs.sort();
+    runs[1]
+}
+
+fn masked_mxm<Mk: MatrixMask>(l: &Matrix<f64>, arg_t: bool, mask: &Mk) -> f64 {
+    let mut b = Matrix::<f64>::new(l.nrows(), l.ncols());
+    let lt = l.transpose_owned();
+    let arg = if arg_t {
+        transpose(&lt) // rows of (Lᵀ)ᵀ available: dot-product kernel
+    } else {
+        MatrixArg::Plain(&lt) // Gustavson over the materialized Lᵀ
+    };
+    operations::mxm(
+        &mut b,
+        mask,
+        NoAccumulate,
+        &ArithmeticSemiring::new(),
+        l,
+        arg,
+        Replace(false),
+    )
+    .expect("mxm");
+    operations::reduce_matrix_scalar(&PlusMonoid::new(), &b)
+}
+
+fn bfs_directed(g: &Matrix<f64>, opaque: bool) -> Vector<u64> {
+    let n = g.nrows();
+    let g: Matrix<u64> = g.cast::<bool>().cast();
+    let gt = g.transpose_owned();
+    let mut frontier = Vector::<u64>::new(n);
+    frontier.set(0, 1).unwrap();
+    let mut levels = Vector::<u64>::new(n);
+    let mut depth = 0u64;
+    while frontier.nvals() > 0 {
+        depth += 1;
+        operations::assign_vector_constant(
+            &mut levels,
+            &frontier,
+            NoAccumulate,
+            depth,
+            &Indices::All,
+            Replace(false),
+        )
+        .unwrap();
+        let snapshot = frontier.clone();
+        let mask = complement(&levels);
+        if opaque {
+            // Pre-PR shape: pull-only SpMV, structure-blind mask.
+            operations::mxv(
+                &mut frontier,
+                &OpaqueVec(&mask),
+                NoAccumulate,
+                &LogicalSemiring::new(),
+                &gt,
+                &snapshot,
+                Replace(true),
+            )
+            .unwrap();
+        } else {
+            operations::mxv(
+                &mut frontier,
+                &mask,
+                NoAccumulate,
+                &LogicalSemiring::new(),
+                dual(&gt, &g),
+                &snapshot,
+                Replace(true),
+            )
+            .unwrap();
+        }
+    }
+    levels
+}
+
+fn main() {
+    let mut samples: Vec<Sample> = Vec::new();
+
+    for &n in &[512usize, 1024, 2048] {
+        let w = Workload::erdos_renyi(n, 99);
+        let l = w.lower_gbtl.clone();
+
+        // --- masked SpGEMM (triangle counting shape) ---
+        let expect = masked_mxm(&l, false, &OpaqueMat(&l));
+        for (series, run) in [
+            (
+                "masked-dot",
+                Box::new(|| masked_mxm(&l, true, &l)) as Box<dyn FnMut() -> f64>,
+            ),
+            ("masked-gustavson", Box::new(|| masked_mxm(&l, false, &l))),
+            (
+                "unmasked-filter",
+                Box::new(|| masked_mxm(&l, false, &OpaqueMat(&l))),
+            ),
+        ] {
+            let mut run = run;
+            assert_eq!(run(), expect, "kernel disagreement in {series}");
+            let t = time(&mut run);
+            samples.push(Sample::new("ablation/masked_tricount", series, n, t));
+        }
+
+        // --- push/pull BFS ---
+        let g = w.sym_gbtl.clone();
+        let expect = bfs_directed(&g, true);
+        assert_eq!(bfs_directed(&g, false), expect, "BFS disagreement");
+        let t_new = time(|| bfs_directed(&g, false));
+        let t_old = time(|| bfs_directed(&g, true));
+        samples.push(Sample::new("ablation/masked_bfs", "push-pull", n, t_new));
+        samples.push(Sample::new("ablation/masked_bfs", "pull-opaque", n, t_old));
+    }
+
+    // Exercise the complement probe path once so the wrapper types stay
+    // honest (complemented structural masks also skip the post-filter).
+    let w = Workload::erdos_renyi(256, 7);
+    let l = w.lower_gbtl.clone();
+    let comp: Complement<&gbtl::Matrix<f64>> = complement(&l);
+    let a = masked_mxm(&l, false, &comp);
+    let b = masked_mxm(&l, false, &OpaqueMat(&comp));
+    assert_eq!(a, b, "complement kernel disagreement");
+
+    let tri: Vec<Sample> = samples
+        .iter()
+        .filter(|s| s.experiment.ends_with("tricount"))
+        .cloned()
+        .collect();
+    let bfs: Vec<Sample> = samples
+        .iter()
+        .filter(|s| s.experiment.ends_with("bfs"))
+        .cloned()
+        .collect();
+    println!(
+        "{}",
+        render_table("ablation: masked SpGEMM (tricount)", &tri)
+    );
+    println!("{}", render_table("ablation: push/pull BFS", &bfs));
+
+    // `cargo bench` runs with cwd = crates/bench; anchor the output at
+    // the workspace root where the other result files live.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = format!("{dir}/ablation_masked.json");
+    std::fs::write(&path, to_json(&samples)).expect("write ablation_masked.json");
+    println!(
+        "wrote results/ablation_masked.json ({} samples)",
+        samples.len()
+    );
+}

@@ -185,6 +185,19 @@ impl MatrixMask for MMask<'_> {
     fn is_all(&self) -> bool {
         matches!(self, MMask::None)
     }
+    fn probe(&self) -> gbtl::MaskProbe {
+        match self {
+            MMask::None => gbtl::MaskProbe::All,
+            MMask::Plain(_) => gbtl::MaskProbe::Structural,
+            MMask::Comp(_) => gbtl::MaskProbe::StructuralComplement,
+        }
+    }
+    fn truthy_cols_in_row(&self, i: usize, out: &mut Vec<usize>) {
+        match self {
+            MMask::None => {}
+            MMask::Plain(m) | MMask::Comp(m) => m.truthy_cols_in_row(i, out),
+        }
+    }
 }
 
 fn mmask<'x>(mask: &'x Option<Arc<gbtl::Matrix<bool>>>, complemented: bool) -> MMask<'x> {
@@ -218,6 +231,19 @@ impl VectorMask for VMask<'_> {
     }
     fn is_all(&self) -> bool {
         matches!(self, VMask::None)
+    }
+    fn probe(&self) -> gbtl::MaskProbe {
+        match self {
+            VMask::None => gbtl::MaskProbe::All,
+            VMask::Plain(_) => gbtl::MaskProbe::Structural,
+            VMask::Comp(_) => gbtl::MaskProbe::StructuralComplement,
+        }
+    }
+    fn truthy_indices(&self, out: &mut Vec<usize>) {
+        match self {
+            VMask::None => {}
+            VMask::Plain(v) | VMask::Comp(v) => v.truthy_indices(out),
+        }
     }
 }
 
@@ -283,6 +309,35 @@ fn view<T: gbtl::Scalar>(m: &gbtl::Matrix<T>, transposed: bool) -> gbtl::MatrixA
     }
 }
 
+/// Feed the substrate's SpGEMM kernel report into the runtime's
+/// selection counters.
+fn record_mxm_select(kernel: gbtl::MxmKernel) {
+    let sel = match kernel {
+        gbtl::MxmKernel::Gustavson => pygb_jit::MxmSelect::Unmasked,
+        gbtl::MxmKernel::MaskedGustavson => pygb_jit::MxmSelect::MaskedGustavson,
+        gbtl::MxmKernel::MaskedDot => pygb_jit::MxmSelect::MaskedDot,
+    };
+    crate::dispatch::runtime()
+        .cache()
+        .stats()
+        .record_mxm_select(sel);
+}
+
+/// Feed the substrate's SpMV kernel report into the runtime's selection
+/// counters.
+fn record_spmv_select(kernel: gbtl::SpmvKernel) {
+    let sel = match kernel {
+        gbtl::SpmvKernel::Pull => pygb_jit::SpmvSelect::Pull,
+        gbtl::SpmvKernel::MaskedPull => pygb_jit::SpmvSelect::MaskedPull,
+        gbtl::SpmvKernel::Push => pygb_jit::SpmvSelect::Push,
+        gbtl::SpmvKernel::MaskedPush => pygb_jit::SpmvSelect::MaskedPush,
+    };
+    crate::dispatch::runtime()
+        .cache()
+        .stats()
+        .record_spmv_select(sel);
+}
+
 // ---------------------------------------------------------------------
 // Kernel bodies, generic over the instantiated domain type.
 // ---------------------------------------------------------------------
@@ -302,7 +357,8 @@ fn k_mxm<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
         gbtl::Replace(args.replace),
     );
     args.c = T::wrap_matrix(c);
-    r.map_err(JitError::op)
+    record_mxm_select(r.map_err(JitError::op)?);
+    Ok(())
 }
 
 fn k_ewise_add_m<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
@@ -440,7 +496,8 @@ fn k_mxv<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
         gbtl::Replace(args.replace),
     );
     args.c = T::wrap_vector(c);
-    r.map_err(JitError::op)
+    record_spmv_select(r.map_err(JitError::op)?);
+    Ok(())
 }
 
 fn k_vxm<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
@@ -458,7 +515,8 @@ fn k_vxm<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
         gbtl::Replace(args.replace),
     );
     args.c = T::wrap_vector(c);
-    r.map_err(JitError::op)
+    record_spmv_select(r.map_err(JitError::op)?);
+    Ok(())
 }
 
 fn k_ewise_add_v<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
@@ -602,7 +660,7 @@ fn fused_mxv_apply<T: Element>(args: &mut VecArgs, vxm: bool) -> Result<(), JitE
             gbtl::Replace(false),
         )
     };
-    let r = product.and_then(|()| {
+    let r = product.and_then(|sel| {
         gbtl::operations::apply_vector(
             &mut c,
             &vmask(&args.mask, args.complemented),
@@ -611,9 +669,11 @@ fn fused_mxv_apply<T: Element>(args: &mut VecArgs, vxm: bool) -> Result<(), JitE
             &temp,
             gbtl::Replace(args.replace),
         )
+        .map(|()| sel)
     });
     args.c = T::wrap_vector(c);
-    r.map_err(JitError::op)
+    record_spmv_select(r.map_err(JitError::op)?);
+    Ok(())
 }
 
 /// The nonblocking runtime's fused eWise-chain module: two chained

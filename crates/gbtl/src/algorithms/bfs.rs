@@ -19,7 +19,7 @@ use crate::ops::accum::NoAccumulate;
 use crate::ops::semiring::{LogicalSemiring, MinSelect2ndSemiring};
 use crate::scalar::Scalar;
 use crate::vector::Vector;
-use crate::views::{complement, transpose, Replace};
+use crate::views::{complement, dual, Replace};
 
 /// BFS levels from `source`: `levels[v]` = 1 + hop distance, with the
 /// source at level 1 (the paper's `depth` starts at 1 on the first ply).
@@ -35,6 +35,9 @@ pub fn bfs_level<T: Scalar>(graph: &Matrix<T>, source: IndexType) -> Result<Vect
     // puts graph, frontier, and levels in a common domain (the DSL does
     // the same upcast implicitly).
     let g: Matrix<u64> = graph.cast::<bool>().cast();
+    // Pay the transpose once; the dual operand lets every ply pick the
+    // push (sparse frontier) or pull (dense frontier) kernel.
+    let gt = g.transpose_owned();
     let mut frontier = Vector::<u64>::new(n);
     frontier.set(source, 1)?;
     let mut levels = Vector::<u64>::new(n);
@@ -57,7 +60,7 @@ pub fn bfs_level<T: Scalar>(graph: &Matrix<T>, source: IndexType) -> Result<Vect
             &complement(&levels),
             NoAccumulate,
             &LogicalSemiring::<u64>::new(),
-            transpose(&g),
+            dual(&gt, &g),
             &snapshot,
             Replace(true),
         )?;
@@ -73,6 +76,7 @@ pub fn bfs_level<T: Scalar>(graph: &Matrix<T>, source: IndexType) -> Result<Vect
 pub fn bfs_parent<T: Scalar>(graph: &Matrix<T>, source: IndexType) -> Result<Vector<u64>> {
     let n = graph.nrows();
     let g: Matrix<u64> = graph.cast::<bool>().cast();
+    let gt = g.transpose_owned();
     // Frontier carries 1-based vertex ids as values.
     let mut frontier = Vector::<u64>::new(n);
     frontier.set(source, source as u64 + 1)?;
@@ -87,7 +91,7 @@ pub fn bfs_parent<T: Scalar>(graph: &Matrix<T>, source: IndexType) -> Result<Vec
             &complement(&parents),
             NoAccumulate,
             &MinSelect2ndSemiring::<u64>::new(),
-            transpose(&g),
+            dual(&gt, &g),
             &snapshot,
             Replace(true),
         )?;

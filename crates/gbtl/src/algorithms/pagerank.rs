@@ -18,7 +18,7 @@ use crate::ops::semiring::ArithmeticSemiring;
 use crate::ops::unary::Bind2nd;
 use crate::scalar::Scalar;
 use crate::vector::Vector;
-use crate::views::{complement, Replace};
+use crate::views::{complement, dual, Replace};
 use crate::Indices;
 
 /// Tunables matching Fig. 8's default arguments.
@@ -64,6 +64,10 @@ pub fn page_rank<T: Scalar>(
         Replace(false),
     )?;
 
+    // The rank vector is dense, so every iteration's vxm pulls over the
+    // rows of mᵀ; materialize the transpose once outside the loop.
+    let mt = m.transpose_owned();
+
     // page_rank[:] = 1/rows
     let mut page_rank = Vector::<f64>::new(rows);
     assign_vector_constant(
@@ -89,7 +93,7 @@ pub fn page_rank<T: Scalar>(
             Accumulate(Second::<f64>::new()),
             &ArithmeticSemiring::new(),
             &page_rank,
-            &m,
+            dual(&m, &mt),
             Replace(false),
         )?;
         // new_rank = new_rank + teleport (pattern-preserving apply)

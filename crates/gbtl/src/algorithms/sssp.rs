@@ -15,15 +15,16 @@ use crate::ops::binary::Min;
 use crate::ops::semiring::MinPlusSemiring;
 use crate::scalar::Scalar;
 use crate::vector::Vector;
-use crate::views::{transpose, Replace};
+use crate::views::{dual, Replace};
 
 /// Fig. 4b verbatim: relax `graph.nrows()` times.
 ///
 /// `path` holds the current tentative distances (typically just
 /// `path[source] = 0` on entry) and is updated in place.
 pub fn sssp<T: Scalar>(graph: &Matrix<T>, path: &mut Vector<T>) -> Result<()> {
+    let gt = graph.transpose_owned();
     for _ in 0..graph.nrows() {
-        relax(graph, path)?;
+        relax(graph, &gt, path)?;
     }
     Ok(())
 }
@@ -31,9 +32,10 @@ pub fn sssp<T: Scalar>(graph: &Matrix<T>, path: &mut Vector<T>) -> Result<()> {
 /// Relax until a fixed point: identical results, usually far fewer
 /// rounds. Returns the number of relaxation rounds executed.
 pub fn sssp_converging<T: Scalar>(graph: &Matrix<T>, path: &mut Vector<T>) -> Result<IndexType> {
+    let gt = graph.transpose_owned();
     for round in 0..graph.nrows() {
         let before = path.clone();
-        relax(graph, path)?;
+        relax(graph, &gt, path)?;
         if *path == before {
             return Ok(round + 1);
         }
@@ -41,7 +43,10 @@ pub fn sssp_converging<T: Scalar>(graph: &Matrix<T>, path: &mut Vector<T>) -> Re
     Ok(graph.nrows())
 }
 
-fn relax<T: Scalar>(graph: &Matrix<T>, path: &mut Vector<T>) -> Result<()> {
+/// One relaxation round. The transpose is pre-computed by the callers,
+/// so every round picks push (few settled distances) or pull (most
+/// distances settled) from the frontier density.
+fn relax<T: Scalar>(graph: &Matrix<T>, gt: &Matrix<T>, path: &mut Vector<T>) -> Result<()> {
     // mxv(path, NoMask, Min<T>, MinPlusSemiring<T>, transpose(graph), path)
     let snapshot = path.clone();
     mxv(
@@ -49,10 +54,11 @@ fn relax<T: Scalar>(graph: &Matrix<T>, path: &mut Vector<T>) -> Result<()> {
         &crate::mask::NoMask,
         Accumulate(Min::<T>::new()),
         &MinPlusSemiring::<T>::new(),
-        transpose(graph),
+        dual(gt, graph),
         &snapshot,
         Replace(false),
-    )
+    )?;
+    Ok(())
 }
 
 /// Convenience: distances from a single `source` over a weighted graph.

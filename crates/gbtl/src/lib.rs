@@ -65,6 +65,7 @@ pub mod matrix;
 pub mod operations;
 pub mod ops;
 pub mod parallel;
+pub mod reference;
 pub mod scalar;
 pub mod vector;
 pub mod views;
@@ -73,21 +74,23 @@ pub mod write;
 
 pub use error::{GblasError, Result};
 pub use index::{IndexType, Indices};
-pub use mask::{MatrixMask, NoMask, VectorMask};
+pub use mask::{MaskProbe, MatrixMask, NoMask, VectorMask};
 pub use matrix::Matrix;
+pub use operations::{MxmKernel, SpmvKernel, PUSH_PULL_DENSITY};
 pub use ops::accum::{Accum, NoAccumulate};
 pub use ops::{BinaryOp, Monoid, Semiring, UnaryOp};
 pub use scalar::Scalar;
 pub use vector::Vector;
-pub use views::{complement, transpose, MatrixArg, Replace};
+pub use views::{complement, dual, transpose, MatrixArg, Replace};
 
 /// Convenience re-exports covering the types most programs need.
 pub mod prelude {
     pub use crate::error::{GblasError, Result};
     pub use crate::index::{IndexType, Indices};
-    pub use crate::mask::{MatrixMask, NoMask, VectorMask};
+    pub use crate::mask::{MaskProbe, MatrixMask, NoMask, VectorMask};
     pub use crate::matrix::Matrix;
     pub use crate::operations;
+    pub use crate::operations::{MxmKernel, SpmvKernel, PUSH_PULL_DENSITY};
     pub use crate::ops::accum::{Accum, NoAccumulate};
     pub use crate::ops::binary::*;
     pub use crate::ops::monoid::*;
@@ -96,5 +99,5 @@ pub mod prelude {
     pub use crate::ops::{BinaryOp, Monoid, Semiring, UnaryOp};
     pub use crate::scalar::Scalar;
     pub use crate::vector::Vector;
-    pub use crate::views::{complement, transpose, MatrixArg, Replace};
+    pub use crate::views::{complement, dual, transpose, MatrixArg, Replace};
 }

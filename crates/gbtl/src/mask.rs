@@ -11,6 +11,27 @@ use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 use crate::vector::Vector;
 
+/// How a kernel may consult a mask *structurally*, beyond per-position
+/// [`VectorMask::allows`] probes. Masks backed by a sparse container
+/// can enumerate their truthy entries, which lets kernels confine the
+/// compute loop to the mask (masked SpGEMM/SpMV) instead of computing
+/// the full product and post-filtering in the write step.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MaskProbe {
+    /// Every position is allowed (no mask) — kernels skip masking.
+    All,
+    /// The allowed positions are exactly the truthy stored entries;
+    /// `truthy_*` enumerates them.
+    Structural,
+    /// The allowed positions are everything *except* the truthy stored
+    /// entries (a complemented structural mask); `truthy_*` enumerates
+    /// the forbidden set.
+    StructuralComplement,
+    /// Only per-position `allows` probes are available; kernels fall
+    /// back to compute-then-filter.
+    Opaque,
+}
+
 /// A mask over vector outputs.
 pub trait VectorMask: Sync {
     /// The dimension the mask covers (`usize::MAX` for [`NoMask`],
@@ -22,6 +43,16 @@ pub trait VectorMask: Sync {
     /// masked write path entirely).
     fn is_all(&self) -> bool {
         false
+    }
+    /// How kernels may consult this mask structurally.
+    fn probe(&self) -> MaskProbe {
+        MaskProbe::Opaque
+    }
+    /// Append the truthy stored indices (ascending) to `out`. Only
+    /// meaningful when [`VectorMask::probe`] reports `Structural` (the
+    /// allowed set) or `StructuralComplement` (the forbidden set).
+    fn truthy_indices(&self, out: &mut Vec<IndexType>) {
+        let _ = out;
     }
 }
 
@@ -35,6 +66,17 @@ pub trait MatrixMask: Sync {
     /// Whether this mask allows every position.
     fn is_all(&self) -> bool {
         false
+    }
+    /// How kernels may consult this mask structurally.
+    fn probe(&self) -> MaskProbe {
+        MaskProbe::Opaque
+    }
+    /// Append the truthy stored columns of row `i` (ascending) to
+    /// `out`. Only meaningful when [`MatrixMask::probe`] reports
+    /// `Structural` (the allowed set) or `StructuralComplement` (the
+    /// forbidden set).
+    fn truthy_cols_in_row(&self, i: IndexType, out: &mut Vec<IndexType>) {
+        let _ = (i, out);
     }
 }
 
@@ -54,6 +96,9 @@ impl VectorMask for NoMask {
     fn is_all(&self) -> bool {
         true
     }
+    fn probe(&self) -> MaskProbe {
+        MaskProbe::All
+    }
 }
 
 impl MatrixMask for NoMask {
@@ -67,6 +112,9 @@ impl MatrixMask for NoMask {
     fn is_all(&self) -> bool {
         true
     }
+    fn probe(&self) -> MaskProbe {
+        MaskProbe::All
+    }
 }
 
 impl<T: Scalar> VectorMask for Vector<T> {
@@ -77,6 +125,12 @@ impl<T: Scalar> VectorMask for Vector<T> {
     fn allows(&self, i: IndexType) -> bool {
         self.get(i).is_some_and(Scalar::to_bool)
     }
+    fn probe(&self) -> MaskProbe {
+        MaskProbe::Structural
+    }
+    fn truthy_indices(&self, out: &mut Vec<IndexType>) {
+        out.extend(self.iter().filter(|(_, v)| v.to_bool()).map(|(i, _)| i));
+    }
 }
 
 impl<T: Scalar> MatrixMask for Matrix<T> {
@@ -86,6 +140,18 @@ impl<T: Scalar> MatrixMask for Matrix<T> {
     #[inline]
     fn allows(&self, i: IndexType, j: IndexType) -> bool {
         self.get(i, j).is_some_and(Scalar::to_bool)
+    }
+    fn probe(&self) -> MaskProbe {
+        MaskProbe::Structural
+    }
+    fn truthy_cols_in_row(&self, i: IndexType, out: &mut Vec<IndexType>) {
+        let (cols, vals) = self.row(i);
+        out.extend(
+            cols.iter()
+                .zip(vals)
+                .filter(|(_, v)| v.to_bool())
+                .map(|(&j, _)| j),
+        );
     }
 }
 
@@ -100,6 +166,12 @@ impl<M: VectorMask + ?Sized> VectorMask for &M {
     fn is_all(&self) -> bool {
         (**self).is_all()
     }
+    fn probe(&self) -> MaskProbe {
+        (**self).probe()
+    }
+    fn truthy_indices(&self, out: &mut Vec<IndexType>) {
+        (**self).truthy_indices(out)
+    }
 }
 
 impl<M: MatrixMask + ?Sized> MatrixMask for &M {
@@ -112,6 +184,12 @@ impl<M: MatrixMask + ?Sized> MatrixMask for &M {
     }
     fn is_all(&self) -> bool {
         (**self).is_all()
+    }
+    fn probe(&self) -> MaskProbe {
+        (**self).probe()
+    }
+    fn truthy_cols_in_row(&self, i: IndexType, out: &mut Vec<IndexType>) {
+        (**self).truthy_cols_in_row(i, out)
     }
 }
 

@@ -5,24 +5,55 @@
 //! materialized first (a counting sort), matching GBTL's handling of
 //! `TransposeView` operands.
 //!
-//! [`mxm_masked_dot`] is the mask-guided dot-product formulation used by
-//! triangle counting (`B⟨L⟩ = L ⊕.⊗ Lᵀ`): it computes *only* the entries
-//! the mask allows, turning an `O(flops(A·B))` multiply into
-//! `O(Σ_{(i,j)∈M} min(nnz(Aᵢ), nnz(Bⱼ)))` merge-joins.
+//! When the mask is structural ([`crate::mask::MaskProbe`]), the mask
+//! is pushed *into* the multiply instead of post-filtering a full
+//! product:
+//!
+//! * mask sparse and `Bᵀ` rows available → the dot-product formulation
+//!   ([`MxmKernel::MaskedDot`]) computes *only* the allowed entries,
+//!   turning an `O(flops(A·B))` multiply into
+//!   `O(Σ_{(i,j)∈M} min(nnz(Aᵢ), nnz(Bⱼ)))` merge-joins — the triangle
+//!   counting shape `B⟨L⟩ = L ⊕.⊗ Lᵀ`;
+//! * otherwise → masked Gustavson ([`MxmKernel::MaskedGustavson`]):
+//!   the row's allowed (or forbidden) set is stamped into a bitmap and
+//!   the inner scatter loop skips disallowed columns, so the sparse
+//!   accumulator never holds entries the write step would discard.
+//!
+//! Confining the computed product `T` to the mask is always legal: the
+//! write step (`C⟨M, z⟩ = C ⊙ T`) never reads `T` outside the mask, and
+//! accumulated `C`-only entries survive through the union merge.
 
 use crate::error::{GblasError, Result};
 use crate::index::IndexType;
-use crate::mask::{check_matrix_mask, MatrixMask};
+use crate::mask::{check_matrix_mask, MaskProbe, MatrixMask};
 use crate::matrix::Matrix;
 use crate::ops::accum::Accum;
 use crate::ops::Semiring;
 use crate::parallel::row_map;
 use crate::scalar::Scalar;
 use crate::views::{MatrixArg, Replace};
-use crate::workspace::Spa;
+use crate::workspace::{Spa, Stamp};
 use crate::write::write_matrix;
 
+/// Which SpGEMM kernel [`mxm`] selected, reported back to the caller so
+/// dispatch layers can count selections.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MxmKernel {
+    /// Unmasked row-wise Gustavson (mask absent or opaque; an opaque
+    /// mask is applied by post-filtering in the write step).
+    Gustavson,
+    /// Row-wise Gustavson with the structural mask (or its complement)
+    /// stamped into the inner scatter loop.
+    MaskedGustavson,
+    /// Mask-guided dot products: only positions stored truthy in the
+    /// mask are computed, via merge-joins of `A` rows with `Bᵀ` rows.
+    MaskedDot,
+}
+
 /// `C⟨M, z⟩ = C ⊙ (A ⊕.⊗ B)` — GraphBLAS `mxm`.
+///
+/// Returns which kernel was selected (see [`MxmKernel`]); callers that
+/// don't care can discard it.
 pub fn mxm<'a, 'b, T, Mk, A, S>(
     c: &mut Matrix<T>,
     mask: &Mk,
@@ -31,7 +62,7 @@ pub fn mxm<'a, 'b, T, Mk, A, S>(
     a: impl Into<MatrixArg<'a, T>>,
     b: impl Into<MatrixArg<'b, T>>,
     replace: Replace,
-) -> Result<()>
+) -> Result<MxmKernel>
 where
     T: Scalar,
     Mk: MatrixMask + ?Sized,
@@ -60,11 +91,31 @@ where
     }
     check_matrix_mask(mask, c.nrows(), c.ncols())?;
 
+    let probe = mask.probe();
+    let kernel = match probe {
+        MaskProbe::All => MxmKernel::Gustavson,
+        MaskProbe::Structural if b.transposed_rows().is_some() => MxmKernel::MaskedDot,
+        MaskProbe::Structural | MaskProbe::StructuralComplement => MxmKernel::MaskedGustavson,
+        MaskProbe::Opaque => MxmKernel::Gustavson,
+    };
+
     let am = a.materialize();
-    let bm = b.materialize();
-    let t = spgemm(semiring, &am, &bm);
+    let t = match kernel {
+        MxmKernel::MaskedDot => {
+            let bt = b.transposed_rows().expect("selected only when available");
+            spgemm_masked_dot(semiring, mask, &am, bt)
+        }
+        MxmKernel::MaskedGustavson => {
+            let bm = b.materialize();
+            spgemm_masked(semiring, mask, probe == MaskProbe::Structural, &am, &bm)
+        }
+        MxmKernel::Gustavson => {
+            let bm = b.materialize();
+            spgemm(semiring, &am, &bm)
+        }
+    };
     write_matrix(c, mask, &accum, t, replace);
-    Ok(())
+    Ok(kernel)
 }
 
 /// Gustavson row-wise SpGEMM: `T = A ⊕.⊗ B` with both operands in
@@ -90,13 +141,90 @@ fn spgemm<T: Scalar, S: Semiring<T>>(semiring: &S, a: &Matrix<T>, b: &Matrix<T>)
     Matrix::from_rows(nrows, ncols, rows)
 }
 
+/// Mask-guided dot-product SpGEMM: `T(i, j) = Aᵢ · (Bᵀ)ⱼ` computed only
+/// at positions the structural mask stores truthy. Rows come back
+/// sorted because [`MatrixMask::truthy_cols_in_row`] enumerates columns
+/// ascending.
+fn spgemm_masked_dot<T, Mk, S>(semiring: &S, mask: &Mk, a: &Matrix<T>, bt: &Matrix<T>) -> Matrix<T>
+where
+    T: Scalar,
+    Mk: MatrixMask + ?Sized,
+    S: Semiring<T>,
+{
+    let nrows = a.nrows();
+    let ncols = bt.nrows();
+    let sr = *semiring;
+    let rows = row_map(nrows, Vec::<IndexType>::new, move |scratch, i| {
+        scratch.clear();
+        mask.truthy_cols_in_row(i, scratch);
+        let mut row: Vec<(IndexType, T)> = Vec::with_capacity(scratch.len());
+        for &j in scratch.iter() {
+            if let Some(dot) = sparse_dot(&sr, a.row(i), bt.row(j)) {
+                row.push((j, dot));
+            }
+        }
+        row
+    });
+    Matrix::from_rows(nrows, ncols, rows)
+}
+
+/// Row-wise Gustavson SpGEMM with the mask stamped into the scatter
+/// loop. `keep_truthy` selects plain (`true`: only stamped columns may
+/// scatter) vs complement (`false`: stamped columns are skipped)
+/// semantics. Rows whose plain mask is empty are skipped outright.
+fn spgemm_masked<T, Mk, S>(
+    semiring: &S,
+    mask: &Mk,
+    keep_truthy: bool,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T>
+where
+    T: Scalar,
+    Mk: MatrixMask + ?Sized,
+    S: Semiring<T>,
+{
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let sr = *semiring;
+    let rows = row_map(
+        nrows,
+        || (Spa::<T>::new(ncols), Stamp::new(ncols), Vec::new()),
+        move |(spa, stamp, scratch): &mut (_, Stamp, Vec<IndexType>), i| {
+            scratch.clear();
+            mask.truthy_cols_in_row(i, scratch);
+            if keep_truthy && scratch.is_empty() {
+                return Vec::new();
+            }
+            for &j in scratch.iter() {
+                stamp.set(j);
+            }
+            let (a_cols, a_vals) = a.row(i);
+            for (&k, &av) in a_cols.iter().zip(a_vals) {
+                let (b_cols, b_vals) = b.row(k);
+                for (&j, &bv) in b_cols.iter().zip(b_vals) {
+                    if stamp.contains(j) == keep_truthy {
+                        spa.scatter(j, sr.mult(av, bv), |x, y| sr.add(x, y));
+                    }
+                }
+            }
+            stamp.clear();
+            spa.drain_sorted()
+        },
+    );
+    Matrix::from_rows(nrows, ncols, rows)
+}
+
 /// Mask-guided `C⟨M, z⟩ = C ⊙ (A ⊕.⊗ Bᵀ)` computing only entries whose
 /// position is stored (and truthy) in the mask *pattern* matrix.
 ///
 /// `B` is taken in *transposed* orientation implicitly — the dot-product
 /// form needs rows of `Bᵀ`, i.e. rows of the `b` argument as passed.
 /// This matches the triangle-counting call shape `L ⊕.⊗ Lᵀ` where both
-/// operands are the same stored matrix.
+/// operands are the same stored matrix. (General `mxm` now selects this
+/// kernel automatically when the mask is structural and `Bᵀ` rows are
+/// on hand; this entry point remains for callers that have `Bᵀ` but no
+/// [`MatrixArg`] wrapping it.)
 pub fn mxm_masked_dot<T, P, A, S>(
     c: &mut Matrix<T>,
     mask_pattern: &Matrix<P>,
@@ -130,25 +258,7 @@ where
     }
     check_matrix_mask(mask_pattern, c.nrows(), c.ncols())?;
 
-    let sr = *semiring;
-    let rows = row_map(
-        c.nrows(),
-        || (),
-        move |_, i| {
-            let (m_cols, m_vals) = mask_pattern.row(i);
-            let mut row: Vec<(IndexType, T)> = Vec::with_capacity(m_cols.len());
-            for (&j, &mv) in m_cols.iter().zip(m_vals) {
-                if !mv.to_bool() {
-                    continue;
-                }
-                if let Some(dot) = sparse_dot(&sr, a.row(i), b_transposed.row(j)) {
-                    row.push((j, dot));
-                }
-            }
-            row
-        },
-    );
-    let t = Matrix::from_rows(c.nrows(), c.ncols(), rows);
+    let t = spgemm_masked_dot(semiring, mask_pattern, a, b_transposed);
     // The computed T is already confined to the mask pattern; the write
     // step re-applies the mask for replace/merge correctness.
     write_matrix(c, mask_pattern, &accum, t, replace);
@@ -385,6 +495,65 @@ mod tests {
         )
         .unwrap();
         assert_eq!(general, dot);
+    }
+
+    #[test]
+    fn kernel_selection() {
+        let ad = [[1, 0, 2], [0, 3, 0], [4, 0, 5]];
+        let bd = [[0, 1, 0], [2, 0, 0], [0, 0, 3]];
+        let (a, b) = (dense(&ad), dense(&bd));
+        let bt = b.transpose_owned();
+        let m = Matrix::from_triples(3, 3, [(0usize, 1usize, true), (2, 2, true)]).unwrap();
+        let sr = ArithmeticSemiring::new();
+
+        let mut c = Matrix::<i32>::new(3, 3);
+        let k = mxm(&mut c, &NoMask, NoAccumulate, &sr, &a, &b, MERGE).unwrap();
+        assert_eq!(k, MxmKernel::Gustavson);
+
+        // Structural mask + plain B → masked Gustavson.
+        let mut c1 = Matrix::<i32>::new(3, 3);
+        let k1 = mxm(&mut c1, &m, NoAccumulate, &sr, &a, &b, REPLACE).unwrap();
+        assert_eq!(k1, MxmKernel::MaskedGustavson);
+
+        // Structural mask + Bᵀ rows on hand → masked dot.
+        let mut c2 = Matrix::<i32>::new(3, 3);
+        let k2 = mxm(&mut c2, &m, NoAccumulate, &sr, &a, transpose(&bt), REPLACE).unwrap();
+        assert_eq!(k2, MxmKernel::MaskedDot);
+        assert_eq!(c1, c2);
+
+        // Complemented structural mask → masked Gustavson (complement).
+        let mut c3 = Matrix::<i32>::new(3, 3);
+        let k3 = mxm(
+            &mut c3,
+            &crate::views::complement(&m),
+            NoAccumulate,
+            &sr,
+            &a,
+            &b,
+            REPLACE,
+        )
+        .unwrap();
+        assert_eq!(k3, MxmKernel::MaskedGustavson);
+
+        // All masked variants agree with post-filtering the full product.
+        let mut full = Matrix::<i32>::new(3, 3);
+        mxm(&mut full, &NoMask, NoAccumulate, &sr, &a, &b, MERGE).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if MatrixMask::allows(&m, i, j) {
+                    full.get(i, j)
+                } else {
+                    None
+                };
+                assert_eq!(c1.get(i, j), want, "masked ({i},{j})");
+                let want_comp = if MatrixMask::allows(&m, i, j) {
+                    None
+                } else {
+                    full.get(i, j)
+                };
+                assert_eq!(c3.get(i, j), want_comp, "complement ({i},{j})");
+            }
+        }
     }
 
     #[test]

@@ -1,28 +1,64 @@
 //! Matrix-vector and vector-matrix multiply over a semiring:
 //! `w⟨m, z⟩ = w ⊙ (A ⊕.⊗ u)` and `w⟨m, z⟩ = w ⊙ (uᵀ ⊕.⊗ A)`.
 //!
-//! Two kernel shapes, chosen by operand orientation:
+//! Two kernel directions, chosen by operand orientation — or, for a
+//! [`crate::views::dual`] operand, by the frontier's density
+//! ([`PUSH_PULL_DENSITY`], the GraphBLAST direction-optimization
+//! heuristic):
 //!
-//! * **gather** (`A·u`): `u` is scattered into a dense buffer once, then
-//!   each output row is a `O(nnz(row))` gather-dot — row-parallel.
-//! * **scatter** (`Aᵀ·u`): iterate the stored entries of `u` and scatter
-//!   each matrix row into a sparse accumulator — the natural kernel for
-//!   BFS frontiers (`graphᵀ ⊕.⊗ frontier`, Fig. 2) because its cost is
-//!   proportional to the frontier, not the whole graph.
+//! * **pull** (gather, `A·u`): `u` is scattered into a dense buffer
+//!   once, then each output row is a `O(nnz(row))` gather-dot —
+//!   row-parallel. Wins when `u` is dense (PageRank ranks, late BFS).
+//! * **push** (scatter, `Aᵀ·u`): iterate the stored entries of `u` and
+//!   scatter each matrix row into a sparse accumulator — cost is
+//!   proportional to the frontier, not the whole graph (`graphᵀ ⊕.⊗
+//!   frontier`, Fig. 2). Wins when `u` is sparse (early BFS, SSSP).
+//!
+//! Structural masks ([`crate::mask::MaskProbe`]) are pushed into both
+//! directions: the pull kernel only visits allowed rows (or skips
+//! forbidden ones), and the push kernel stamps the allowed set so the
+//! scatter loop never accumulates entries the write step would drop.
 
 use crate::error::{GblasError, Result};
 use crate::index::IndexType;
-use crate::mask::{check_vector_mask, VectorMask};
+use crate::mask::{check_vector_mask, MaskProbe, VectorMask};
+use crate::matrix::Matrix;
 use crate::ops::accum::Accum;
 use crate::ops::Semiring;
 use crate::parallel::row_map;
 use crate::scalar::Scalar;
 use crate::vector::Vector;
 use crate::views::{MatrixArg, Replace};
-use crate::workspace::{DenseGather, Spa};
+use crate::workspace::{DenseGather, Spa, Stamp};
 use crate::write::write_vector;
 
+/// Frontier density (`nvals / size`) at or above which a
+/// [`crate::views::dual`] operand uses the pull (gather) direction;
+/// below it the push (scatter) direction wins because its cost tracks
+/// the frontier. 5% follows the direction-optimizing SpMV literature
+/// (GraphBLAST's default switch point is in the same regime).
+pub const PUSH_PULL_DENSITY: f64 = 0.05;
+
+/// Which SpMV kernel [`mxv`]/[`vxm`] selected, reported back to the
+/// caller so dispatch layers can count selections.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SpmvKernel {
+    /// Row-parallel gather-dot over all output rows (dense direction).
+    Pull,
+    /// Gather-dot confined to the mask: only allowed rows are visited
+    /// (plain structural mask) or forbidden rows skipped (complement).
+    MaskedPull,
+    /// Frontier-driven scatter (sparse direction).
+    Push,
+    /// Frontier-driven scatter with the mask's truthy set stamped so
+    /// disallowed columns never enter the accumulator.
+    MaskedPush,
+}
+
 /// `w⟨m, z⟩ = w ⊙ (A ⊕.⊗ u)` — GraphBLAS `mxv`.
+///
+/// Returns which kernel was selected (see [`SpmvKernel`]); callers that
+/// don't care can discard it.
 pub fn mxv<'a, T, Mk, A, S>(
     w: &mut Vector<T>,
     mask: &Mk,
@@ -31,7 +67,7 @@ pub fn mxv<'a, T, Mk, A, S>(
     a: impl Into<MatrixArg<'a, T>>,
     u: &Vector<T>,
     replace: Replace,
-) -> Result<()>
+) -> Result<SpmvKernel>
 where
     T: Scalar,
     Mk: VectorMask + ?Sized,
@@ -56,16 +92,58 @@ where
     }
     check_vector_mask(mask, w.size())?;
 
-    let t = match a {
-        MatrixArg::Plain(m) => spmv_gather(semiring, m, u),
-        MatrixArg::Transposed(m) => spmv_scatter(semiring, m, u),
+    // Direction: pull iterates output rows of the logical matrix; push
+    // iterates the stored entries of `u` and scatters rows of Aᵀ.
+    let pull_rows: Option<&Matrix<T>> = match a {
+        MatrixArg::Plain(m) => Some(m),
+        MatrixArg::Transposed(_) => None,
+        MatrixArg::Dual { rows, .. } => {
+            let density = if u.size() == 0 {
+                1.0
+            } else {
+                u.nvals() as f64 / u.size() as f64
+            };
+            (density >= PUSH_PULL_DENSITY).then_some(rows)
+        }
+    };
+
+    let probe = mask.probe();
+    let structural = matches!(
+        probe,
+        MaskProbe::Structural | MaskProbe::StructuralComplement
+    );
+    let keep_truthy = probe == MaskProbe::Structural;
+
+    let (t, kernel) = if let Some(m) = pull_rows {
+        if structural {
+            (
+                spmv_gather_masked(semiring, m, u, mask, keep_truthy),
+                SpmvKernel::MaskedPull,
+            )
+        } else {
+            (spmv_gather(semiring, m, u), SpmvKernel::Pull)
+        }
+    } else {
+        let m = a
+            .transposed_rows()
+            .expect("push selected only when Aᵀ rows are available");
+        if structural {
+            (
+                spmv_scatter_masked(semiring, m, u, mask, keep_truthy),
+                SpmvKernel::MaskedPush,
+            )
+        } else {
+            (spmv_scatter(semiring, m, u), SpmvKernel::Push)
+        }
     };
     write_vector(w, mask, &accum, t, replace);
-    Ok(())
+    Ok(kernel)
 }
 
 /// `w⟨m, z⟩ = w ⊙ (uᵀ ⊕.⊗ A)` — GraphBLAS `vxm`. Equivalent to
 /// `mxv` with the matrix transposed: `u·A = Aᵀ·u`.
+///
+/// Returns which kernel was selected, like [`mxv`].
 pub fn vxm<'a, T, Mk, A, S>(
     w: &mut Vector<T>,
     mask: &Mk,
@@ -74,7 +152,7 @@ pub fn vxm<'a, T, Mk, A, S>(
     u: &Vector<T>,
     a: impl Into<MatrixArg<'a, T>>,
     replace: Replace,
-) -> Result<()>
+) -> Result<SpmvKernel>
 where
     T: Scalar,
     Mk: VectorMask + ?Sized,
@@ -84,32 +162,34 @@ where
     mxv(w, mask, accum, semiring, a.into().flip(), u, replace)
 }
 
-/// Gather kernel: `t_i = ⊕_j A(i,j) ⊗ u(j)` with `u` densified.
-fn spmv_gather<T: Scalar, S: Semiring<T>>(
-    semiring: &S,
-    a: &crate::matrix::Matrix<T>,
-    u: &Vector<T>,
-) -> Vector<T> {
+/// One gather-dot: `⊕_j A(i,j) ⊗ u(j)` over the stored entries of row
+/// `i`, with `u` pre-densified. `None` when nothing collides.
+#[inline]
+fn gather_dot<T: Scalar, S: Semiring<T>>(
+    sr: &S,
+    (cols, vals): (&[IndexType], &[T]),
+    gathered: &DenseGather<T>,
+) -> Option<T> {
+    let mut acc: Option<T> = None;
+    for (&j, &av) in cols.iter().zip(vals) {
+        if let Some(uv) = gathered.get(j) {
+            let prod = sr.mult(av, uv);
+            acc = Some(match acc {
+                Some(s) => sr.add(s, prod),
+                None => prod,
+            });
+        }
+    }
+    acc
+}
+
+/// Pull kernel: `t_i = ⊕_j A(i,j) ⊗ u(j)` with `u` densified.
+fn spmv_gather<T: Scalar, S: Semiring<T>>(semiring: &S, a: &Matrix<T>, u: &Vector<T>) -> Vector<T> {
     let gathered = DenseGather::from_vector(u);
+    let g = &gathered;
     let sr = *semiring;
-    let entries: Vec<Option<T>> = row_map(
-        a.nrows(),
-        || (),
-        move |_, i| {
-            let (cols, vals) = a.row(i);
-            let mut acc: Option<T> = None;
-            for (&j, &av) in cols.iter().zip(vals) {
-                if let Some(uv) = gathered.get(j) {
-                    let prod = sr.mult(av, uv);
-                    acc = Some(match acc {
-                        Some(s) => sr.add(s, prod),
-                        None => prod,
-                    });
-                }
-            }
-            acc
-        },
-    );
+    let entries: Vec<Option<T>> =
+        row_map(a.nrows(), || (), move |_, i| gather_dot(&sr, a.row(i), g));
     let mut indices = Vec::new();
     let mut values = Vec::new();
     for (i, e) in entries.into_iter().enumerate() {
@@ -121,11 +201,76 @@ fn spmv_gather<T: Scalar, S: Semiring<T>>(
     Vector::from_sorted_entries(a.nrows(), indices, values)
 }
 
-/// Scatter kernel: `t = Aᵀ·u` by scattering row `i` of `A` for each
-/// stored `u(i)`.
+/// Masked pull kernel. Plain structural masks (`keep_truthy`) visit
+/// *only* the allowed rows, so a sparse mask makes the whole SpMV cost
+/// `O(Σ_{i∈m} nnz(Aᵢ))`; complements visit every row but skip the
+/// stamped forbidden set.
+fn spmv_gather_masked<T, Mk, S>(
+    semiring: &S,
+    a: &Matrix<T>,
+    u: &Vector<T>,
+    mask: &Mk,
+    keep_truthy: bool,
+) -> Vector<T>
+where
+    T: Scalar,
+    Mk: VectorMask + ?Sized,
+    S: Semiring<T>,
+{
+    let mut truthy = Vec::new();
+    mask.truthy_indices(&mut truthy);
+    let gathered = DenseGather::from_vector(u);
+    let g = &gathered;
+    let sr = *semiring;
+    if keep_truthy {
+        let rows = &truthy;
+        let entries: Vec<Option<T>> = row_map(
+            rows.len(),
+            || (),
+            move |_, idx| gather_dot(&sr, a.row(rows[idx]), g),
+        );
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (idx, e) in entries.into_iter().enumerate() {
+            if let Some(v) = e {
+                indices.push(truthy[idx]);
+                values.push(v);
+            }
+        }
+        Vector::from_sorted_entries(a.nrows(), indices, values)
+    } else {
+        let mut forbidden = Stamp::new(a.nrows());
+        for &i in &truthy {
+            forbidden.set(i);
+        }
+        let fb = &forbidden;
+        let entries: Vec<Option<T>> = row_map(
+            a.nrows(),
+            || (),
+            move |_, i| {
+                if fb.contains(i) {
+                    return None;
+                }
+                gather_dot(&sr, a.row(i), g)
+            },
+        );
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, e) in entries.into_iter().enumerate() {
+            if let Some(v) = e {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        Vector::from_sorted_entries(a.nrows(), indices, values)
+    }
+}
+
+/// Push kernel: `t = Aᵀ·u` by scattering row `i` of `A` for each stored
+/// `u(i)`.
 fn spmv_scatter<T: Scalar, S: Semiring<T>>(
     semiring: &S,
-    a: &crate::matrix::Matrix<T>,
+    a: &Matrix<T>,
     u: &Vector<T>,
 ) -> Vector<T> {
     let sr = *semiring;
@@ -134,6 +279,46 @@ fn spmv_scatter<T: Scalar, S: Semiring<T>>(
         let (cols, vals) = a.row(i);
         for (&j, &av) in cols.iter().zip(vals) {
             spa.scatter(j, sr.mult(av, uv), |x, y| sr.add(x, y));
+        }
+    }
+    let entries = spa.drain_sorted();
+    let (indices, values): (Vec<IndexType>, Vec<T>) = entries.into_iter().unzip();
+    Vector::from_sorted_entries(a.ncols(), indices, values)
+}
+
+/// Masked push kernel: the mask's truthy set is stamped once, then the
+/// scatter loop drops disallowed columns before they ever enter the
+/// accumulator — the Fig. 2 BFS step (`frontier⟨¬levels⟩`) never
+/// accumulates already-visited vertices.
+fn spmv_scatter_masked<T, Mk, S>(
+    semiring: &S,
+    a: &Matrix<T>,
+    u: &Vector<T>,
+    mask: &Mk,
+    keep_truthy: bool,
+) -> Vector<T>
+where
+    T: Scalar,
+    Mk: VectorMask + ?Sized,
+    S: Semiring<T>,
+{
+    let mut truthy = Vec::new();
+    mask.truthy_indices(&mut truthy);
+    let mut stamp = Stamp::new(a.ncols());
+    for &j in &truthy {
+        stamp.set(j);
+    }
+    if keep_truthy && stamp.is_empty() {
+        return Vector::new(a.ncols());
+    }
+    let sr = *semiring;
+    let mut spa = Spa::<T>::new(a.ncols());
+    for (i, uv) in u.iter() {
+        let (cols, vals) = a.row(i);
+        for (&j, &av) in cols.iter().zip(vals) {
+            if stamp.contains(j) == keep_truthy {
+                spa.scatter(j, sr.mult(av, uv), |x, y| sr.add(x, y));
+            }
         }
     }
     let entries = spa.drain_sorted();
@@ -303,6 +488,99 @@ mod tests {
         // 3 → {0, 2}; neither is in levels, both kept; old frontier
         // entry at 3 cleared by replace.
         assert_eq!(next.extract_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn dual_switches_direction_on_density() {
+        let g = graph().cast::<i64>();
+        let gt = g.transpose_owned();
+        let sr = ArithmeticSemiring::new();
+
+        // Sparse frontier (1/7 ≈ 0.14 ≥ threshold? no: use truly sparse
+        // vs dense around the 5% line on a larger vector).
+        let big = Matrix::from_triples(40, 40, (0..40usize).map(|i| (i, (i * 7 + 1) % 40, 1i64)))
+            .unwrap();
+        let bigt = big.transpose_owned();
+
+        let sparse_u = Vector::from_pairs(40, [(3usize, 1i64)]).unwrap(); // 2.5%
+        let dense_u = Vector::from_pairs(40, (0..20usize).map(|i| (i * 2, 1i64))).unwrap(); // 50%
+
+        for u in [&sparse_u, &dense_u] {
+            let mut w_plain = Vector::<i64>::new(40);
+            let k_plain = mxv(&mut w_plain, &NoMask, NoAccumulate, &sr, &big, u, MERGE).unwrap();
+            assert_eq!(k_plain, SpmvKernel::Pull);
+
+            let mut w_dual = Vector::<i64>::new(40);
+            let k_dual = mxv(
+                &mut w_dual,
+                &NoMask,
+                NoAccumulate,
+                &sr,
+                crate::views::dual(&big, &bigt),
+                u,
+                MERGE,
+            )
+            .unwrap();
+            assert_eq!(w_plain, w_dual);
+            if u.nvals() == 1 {
+                assert_eq!(k_dual, SpmvKernel::Push);
+            } else {
+                assert_eq!(k_dual, SpmvKernel::Pull);
+            }
+        }
+        // Sanity: the small-graph dual agrees with Plain too.
+        let u7 = Vector::from_pairs(7, [(3usize, 1i64)]).unwrap();
+        let mut w1 = Vector::<i64>::new(7);
+        mxv(&mut w1, &NoMask, NoAccumulate, &sr, &g, &u7, MERGE).unwrap();
+        let mut w2 = Vector::<i64>::new(7);
+        mxv(
+            &mut w2,
+            &NoMask,
+            NoAccumulate,
+            &sr,
+            crate::views::dual(&g, &gt),
+            &u7,
+            MERGE,
+        )
+        .unwrap();
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn masked_kernel_selection() {
+        let g = graph().cast::<i64>();
+        let gt = g.transpose_owned();
+        let sr = ArithmeticSemiring::new();
+        let m = Vector::from_pairs(7, [(0usize, true), (2, true)]).unwrap();
+        let u = Vector::from_pairs(7, [(3usize, 1i64)]).unwrap();
+
+        // Plain operand + structural mask → masked pull.
+        let mut w1 = Vector::<i64>::new(7);
+        let k1 = mxv(&mut w1, &m, NoAccumulate, &sr, &g, &u, REPLACE).unwrap();
+        assert_eq!(k1, SpmvKernel::MaskedPull);
+
+        // Transposed operand + complemented mask → masked push.
+        let mut w2 = Vector::<i64>::new(7);
+        let k2 = mxv(
+            &mut w2,
+            &complement(&m),
+            NoAccumulate,
+            &sr,
+            transpose(&gt),
+            &u,
+            REPLACE,
+        )
+        .unwrap();
+        assert_eq!(k2, SpmvKernel::MaskedPush);
+
+        // Both agree with computing unmasked then filtering.
+        let mut full = Vector::<i64>::new(7);
+        mxv(&mut full, &NoMask, NoAccumulate, &sr, &g, &u, MERGE).unwrap();
+        for i in 0..7 {
+            let allowed = VectorMask::allows(&m, i);
+            assert_eq!(w1.get(i), if allowed { full.get(i) } else { None }, "{i}");
+            assert_eq!(w2.get(i), if allowed { None } else { full.get(i) }, "{i}");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use std::borrow::Cow;
 
 use crate::index::IndexType;
-use crate::mask::{MatrixMask, VectorMask};
+use crate::mask::{MaskProbe, MatrixMask, VectorMask};
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 
@@ -18,12 +18,38 @@ pub enum MatrixArg<'a, T> {
     Plain(&'a Matrix<T>),
     /// The matrix viewed as its transpose.
     Transposed(&'a Matrix<T>),
+    /// Both orientations pre-materialized: `rows` holds the logical
+    /// matrix row-major, `cols` holds its transpose row-major (i.e. the
+    /// logical matrix column-major). Lets `mxv`/`vxm` choose the push
+    /// or pull kernel per call from the frontier density without any
+    /// per-call transposition. Built with [`dual`].
+    Dual {
+        /// The logical matrix, stored by rows (CSR).
+        rows: &'a Matrix<T>,
+        /// Its transpose, stored by rows (the logical matrix's CSC).
+        cols: &'a Matrix<T>,
+    },
 }
 
 /// Wrap a matrix as a transposed operand (GBTL's `GB::transpose(A)`,
 /// PyGB's `A.T`).
 pub fn transpose<T>(m: &Matrix<T>) -> MatrixArg<'_, T> {
     MatrixArg::Transposed(m)
+}
+
+/// Wrap a matrix and its pre-computed transpose as a dual-orientation
+/// operand; `cols` must be `rows.transpose_owned()` (checked by shape
+/// here, by content in debug builds). Algorithms that multiply by the
+/// same matrix every iteration (BFS, SSSP, PageRank) pay the transpose
+/// once and let `mxv`/`vxm` switch push/pull per call.
+pub fn dual<'a, T: Scalar>(rows: &'a Matrix<T>, cols: &'a Matrix<T>) -> MatrixArg<'a, T> {
+    assert_eq!(
+        (rows.nrows(), rows.ncols()),
+        (cols.ncols(), cols.nrows()),
+        "dual: cols must be the transpose of rows"
+    );
+    debug_assert_eq!(&rows.transpose_owned(), cols);
+    MatrixArg::Dual { rows, cols }
 }
 
 impl<'a, T> From<&'a Matrix<T>> for MatrixArg<'a, T> {
@@ -36,7 +62,7 @@ impl<'a, T: Scalar> MatrixArg<'a, T> {
     /// Logical row count (after any transposition).
     pub fn nrows(&self) -> IndexType {
         match self {
-            MatrixArg::Plain(m) => m.nrows(),
+            MatrixArg::Plain(m) | MatrixArg::Dual { rows: m, .. } => m.nrows(),
             MatrixArg::Transposed(m) => m.ncols(),
         }
     }
@@ -44,29 +70,42 @@ impl<'a, T: Scalar> MatrixArg<'a, T> {
     /// Logical column count (after any transposition).
     pub fn ncols(&self) -> IndexType {
         match self {
-            MatrixArg::Plain(m) => m.ncols(),
+            MatrixArg::Plain(m) | MatrixArg::Dual { rows: m, .. } => m.ncols(),
             MatrixArg::Transposed(m) => m.nrows(),
         }
     }
 
-    /// Whether the view is transposed.
+    /// Whether the view is transposed. A [`MatrixArg::Dual`] is never
+    /// transposed: its `rows` half is already in logical orientation.
     pub fn is_transposed(&self) -> bool {
         matches!(self, MatrixArg::Transposed(_))
     }
 
-    /// The underlying storage, ignoring the transposition flag.
+    /// The underlying storage, ignoring the transposition flag (the
+    /// `rows` half of a dual view).
     pub fn inner(&self) -> &'a Matrix<T> {
         match self {
-            MatrixArg::Plain(m) | MatrixArg::Transposed(m) => m,
+            MatrixArg::Plain(m) | MatrixArg::Transposed(m) | MatrixArg::Dual { rows: m, .. } => m,
         }
     }
 
-    /// A CSR matrix in *logical* orientation: borrowed when plain,
+    /// A CSR matrix in *logical* orientation: borrowed when available,
     /// freshly transposed when the view is transposed.
     pub fn materialize(&self) -> Cow<'a, Matrix<T>> {
         match self {
-            MatrixArg::Plain(m) => Cow::Borrowed(*m),
+            MatrixArg::Plain(m) | MatrixArg::Dual { rows: m, .. } => Cow::Borrowed(*m),
             MatrixArg::Transposed(m) => Cow::Owned(m.transpose_owned()),
+        }
+    }
+
+    /// The transpose in CSR form when it is available without work:
+    /// the stored matrix of a [`MatrixArg::Transposed`] view, or the
+    /// `cols` half of a [`MatrixArg::Dual`].
+    pub fn transposed_rows(&self) -> Option<&'a Matrix<T>> {
+        match self {
+            MatrixArg::Plain(_) => None,
+            MatrixArg::Transposed(m) => Some(m),
+            MatrixArg::Dual { cols, .. } => Some(cols),
         }
     }
 
@@ -75,6 +114,10 @@ impl<'a, T: Scalar> MatrixArg<'a, T> {
         match self {
             MatrixArg::Plain(m) => MatrixArg::Transposed(m),
             MatrixArg::Transposed(m) => MatrixArg::Plain(m),
+            MatrixArg::Dual { rows, cols } => MatrixArg::Dual {
+                rows: cols,
+                cols: rows,
+            },
         }
     }
 }
@@ -89,6 +132,16 @@ pub fn complement<M>(mask: M) -> Complement<M> {
     Complement(mask)
 }
 
+/// Invert a structural probe: complementing swaps the allowed and
+/// forbidden enumerations; anything else degrades to opaque probing.
+fn complement_probe(inner: MaskProbe) -> MaskProbe {
+    match inner {
+        MaskProbe::Structural => MaskProbe::StructuralComplement,
+        MaskProbe::StructuralComplement => MaskProbe::Structural,
+        MaskProbe::All | MaskProbe::Opaque => MaskProbe::Opaque,
+    }
+}
+
 impl<M: VectorMask> VectorMask for Complement<M> {
     fn mask_size(&self) -> IndexType {
         self.0.mask_size()
@@ -99,6 +152,12 @@ impl<M: VectorMask> VectorMask for Complement<M> {
     }
     fn is_all(&self) -> bool {
         false
+    }
+    fn probe(&self) -> MaskProbe {
+        complement_probe(self.0.probe())
+    }
+    fn truthy_indices(&self, out: &mut Vec<IndexType>) {
+        self.0.truthy_indices(out)
     }
 }
 
@@ -112,6 +171,12 @@ impl<M: MatrixMask> MatrixMask for Complement<M> {
     }
     fn is_all(&self) -> bool {
         false
+    }
+    fn probe(&self) -> MaskProbe {
+        complement_probe(self.0.probe())
+    }
+    fn truthy_cols_in_row(&self, i: IndexType, out: &mut Vec<IndexType>) {
+        self.0.truthy_cols_in_row(i, out)
     }
 }
 

@@ -67,9 +67,23 @@ impl<T: Scalar> Spa<T> {
 
     /// Drain the occupied slots as sorted `(index, value)` pairs and
     /// reset the accumulator for the next row.
+    ///
+    /// Adaptive: a sparse drain sorts the touched list (`O(t log t)`);
+    /// once more than an eighth of the domain is occupied the row is
+    /// effectively dense and a bitmap sweep over `occupied`
+    /// (`O(n)`, branch-predictable, no sort) is cheaper.
     pub fn drain_sorted(&mut self) -> Vec<(IndexType, T)> {
-        self.touched.sort_unstable();
-        let out: Vec<(IndexType, T)> = self.touched.iter().map(|&j| (j, self.values[j])).collect();
+        let out: Vec<(IndexType, T)> = if self.touched.len() >= self.values.len() / 8 {
+            self.occupied
+                .iter()
+                .enumerate()
+                .filter(|(_, &occ)| occ)
+                .map(|(j, _)| (j, self.values[j]))
+                .collect()
+        } else {
+            self.touched.sort_unstable();
+            self.touched.iter().map(|&j| (j, self.values[j])).collect()
+        };
         for &j in &self.touched {
             self.occupied[j] = false;
         }
@@ -81,6 +95,59 @@ impl<T: Scalar> Spa<T> {
     pub fn reset(&mut self) {
         for &j in &self.touched {
             self.occupied[j] = false;
+        }
+        self.touched.clear();
+    }
+}
+
+/// A reusable membership bitmap over a dense domain — the structural
+/// half of a [`Spa`], used by masked kernels to stamp the mask's truthy
+/// set so the inner scatter loop tests membership in `O(1)`. Reset is
+/// `O(touched)`, so a whole masked `mxm` costs one `O(n)` allocation.
+#[derive(Debug)]
+pub struct Stamp {
+    present: Vec<bool>,
+    touched: Vec<IndexType>,
+}
+
+impl Stamp {
+    /// Create a bitmap covering indices `0..n`, all absent.
+    pub fn new(n: IndexType) -> Self {
+        Stamp {
+            present: vec![false; n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Mark index `j` present.
+    #[inline]
+    pub fn set(&mut self, j: IndexType) {
+        if !self.present[j] {
+            self.present[j] = true;
+            self.touched.push(j);
+        }
+    }
+
+    /// Whether index `j` is marked.
+    #[inline]
+    pub fn contains(&self, j: IndexType) -> bool {
+        self.present[j]
+    }
+
+    /// Number of marked indices.
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Whether no index is marked.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Clear all marks in `O(touched)`.
+    pub fn clear(&mut self) {
+        for &j in &self.touched {
+            self.present[j] = false;
         }
         self.touched.clear();
     }
@@ -162,6 +229,34 @@ mod tests {
         spa.reset();
         assert!(spa.is_empty());
         assert_eq!(spa.get(1), None);
+    }
+
+    #[test]
+    fn dense_drain_matches_sparse_drain() {
+        // Occupy more than n/8 slots so the bitmap sweep kicks in, in
+        // reverse order so a missing sort would be caught.
+        let mut spa = Spa::<i32>::new(8);
+        for j in (0..4).rev() {
+            spa.scatter(j, j as i32 + 1, |a, b| a + b);
+        }
+        assert_eq!(spa.drain_sorted(), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert!(spa.is_empty());
+    }
+
+    #[test]
+    fn stamp_set_and_clear() {
+        let mut s = Stamp::new(5);
+        assert!(s.is_empty());
+        s.set(3);
+        s.set(1);
+        s.set(3); // idempotent
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(1));
+        assert!(s.contains(3));
+        assert!(!s.contains(0));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(3));
     }
 
     #[test]

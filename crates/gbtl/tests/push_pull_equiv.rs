@@ -1,0 +1,188 @@
+//! Push/pull SpMV equivalence: the scatter (push) and gather (pull)
+//! kernels must produce bitwise-identical results at *every* frontier
+//! density, including the empty and fully-dense extremes, masked and
+//! unmasked. Both directions combine contributions in k-ascending
+//! order, so even `f64` outputs are exactly equal — the tests assert
+//! `==`, not approximate closeness.
+
+use gbtl::ops::accum::Accumulate;
+use gbtl::prelude::*;
+
+const N: usize = 32;
+
+/// A fixed irregular graph: 6 distinct out-edges per vertex, spread so
+/// columns receive different in-degrees (deterministic, no RNG).
+fn graph() -> Matrix<f64> {
+    let mut triples = Vec::new();
+    for i in 0..N {
+        for t in 0..6usize {
+            let j = (i * 7 + t * 5 + 3) % N;
+            let w = ((i * 13 + t * 11 + j) % 9 + 1) as f64;
+            triples.push((i, j, w));
+        }
+    }
+    Matrix::from_triples(N, N, triples).unwrap()
+}
+
+/// A frontier with exactly `nnz` stored entries, spread deterministically.
+fn frontier(nnz: usize) -> Vector<f64> {
+    let pairs = (0..nnz).map(|k| (k * N / nnz.max(1), (k + 1) as f64));
+    Vector::from_pairs(N, pairs).unwrap()
+}
+
+/// A structural mask enabling roughly half the positions.
+fn mask() -> Vector<i64> {
+    Vector::from_pairs(N, (0..N).filter(|i| i % 3 != 0).map(|i| (i, 1i64))).unwrap()
+}
+
+/// Run mxv with a forced direction: `Plain` always pulls, `Transposed`
+/// always pushes. Returns (result, kernel actually selected).
+fn mxv_directed<Mk: VectorMask + ?Sized>(
+    g: &Matrix<f64>,
+    gt: &Matrix<f64>,
+    mask: &Mk,
+    u: &Vector<f64>,
+    push: bool,
+) -> (Vector<f64>, SpmvKernel) {
+    let mut out = Vector::<f64>::new(N);
+    let arg = if push {
+        transpose(gt)
+    } else {
+        MatrixArg::Plain(g)
+    };
+    let sel = operations::mxv(
+        &mut out,
+        mask,
+        NoAccumulate,
+        &ArithmeticSemiring::new(),
+        arg,
+        u,
+        Replace(false),
+    )
+    .unwrap();
+    (out, sel)
+}
+
+#[test]
+fn push_equals_pull_at_every_density() {
+    let g = graph();
+    let gt = g.transpose_owned();
+    // Sweep nnz from empty through every density band to fully dense.
+    for nnz in [0, 1, 2, 3, 5, 8, 13, 16, 21, 27, 31, N] {
+        let u = frontier(nnz);
+        assert_eq!(u.nvals(), nnz.min(N), "fixture density");
+        let (pull, ks) = mxv_directed(&g, &gt, &NoMask, &u, false);
+        let (push, kp) = mxv_directed(&g, &gt, &NoMask, &u, true);
+        assert_eq!(ks, SpmvKernel::Pull);
+        assert_eq!(kp, SpmvKernel::Push);
+        assert_eq!(pull, push, "unmasked, nnz={nnz}");
+    }
+}
+
+#[test]
+fn masked_push_equals_masked_pull_at_every_density() {
+    let g = graph();
+    let gt = g.transpose_owned();
+    let m = mask();
+    for nnz in [0, 1, 4, 11, 16, 24, N] {
+        let u = frontier(nnz);
+        let (pull, ks) = mxv_directed(&g, &gt, &m, &u, false);
+        let (push, kp) = mxv_directed(&g, &gt, &m, &u, true);
+        assert_eq!(ks, SpmvKernel::MaskedPull);
+        assert_eq!(kp, SpmvKernel::MaskedPush);
+        assert_eq!(pull, push, "masked, nnz={nnz}");
+
+        let (cpull, cks) = mxv_directed(&g, &gt, &complement(&m), &u, false);
+        let (cpush, ckp) = mxv_directed(&g, &gt, &complement(&m), &u, true);
+        assert_eq!(cks, SpmvKernel::MaskedPull);
+        assert_eq!(ckp, SpmvKernel::MaskedPush);
+        assert_eq!(cpull, cpush, "complement-masked, nnz={nnz}");
+    }
+}
+
+#[test]
+fn dual_agrees_with_both_forced_directions() {
+    let g = graph();
+    let gt = g.transpose_owned();
+    for nnz in [0, 1, 8, 16, N] {
+        let u = frontier(nnz);
+        let mut auto = Vector::<f64>::new(N);
+        let sel = operations::mxv(
+            &mut auto,
+            &NoMask,
+            NoAccumulate,
+            &ArithmeticSemiring::new(),
+            dual(&g, &gt),
+            &u,
+            Replace(false),
+        )
+        .unwrap();
+        let (pull, _) = mxv_directed(&g, &gt, &NoMask, &u, false);
+        assert_eq!(auto, pull, "dual vs pull, nnz={nnz}");
+        // The heuristic must switch on the documented threshold.
+        let density = nnz as f64 / N as f64;
+        if density >= PUSH_PULL_DENSITY {
+            assert_eq!(sel, SpmvKernel::Pull, "nnz={nnz}");
+        } else {
+            assert_eq!(sel, SpmvKernel::Push, "nnz={nnz}");
+        }
+    }
+}
+
+#[test]
+fn vxm_push_equals_pull_with_accum() {
+    // vxm through the flipped argument, with an active accumulator and
+    // a non-empty output: the union-merge path must also agree.
+    let g = graph();
+    let gt = g.transpose_owned();
+    let m = mask();
+    for nnz in [0, 3, 16, N] {
+        let u = frontier(nnz);
+        let seed = frontier(5);
+        let mut pull = seed.clone();
+        let ks = operations::vxm(
+            &mut pull,
+            &m,
+            Accumulate(Min::<f64>::new()),
+            &MinPlusSemiring::new(),
+            &u,
+            MatrixArg::Plain(&g), // flips to Transposed(g): push over g's rows
+            Replace(false),
+        )
+        .unwrap();
+        let mut pushv = seed.clone();
+        let kp = operations::vxm(
+            &mut pushv,
+            &m,
+            Accumulate(Min::<f64>::new()),
+            &MinPlusSemiring::new(),
+            &u,
+            transpose(&gt), // flips to Plain(gt): pull over gt's rows
+            Replace(false),
+        )
+        .unwrap();
+        assert_eq!(ks, SpmvKernel::MaskedPush);
+        assert_eq!(kp, SpmvKernel::MaskedPull);
+        assert_eq!(pull, pushv, "vxm accum, nnz={nnz}");
+    }
+}
+
+#[test]
+fn empty_size_vector_is_handled() {
+    // Degenerate 0-dimension operands: density is defined as 1.0 (pull).
+    let g = Matrix::<f64>::new(0, 0);
+    let u = Vector::<f64>::new(0);
+    let mut out = Vector::<f64>::new(0);
+    let sel = operations::mxv(
+        &mut out,
+        &NoMask,
+        NoAccumulate,
+        &ArithmeticSemiring::new(),
+        dual(&g, &g),
+        &u,
+        Replace(false),
+    )
+    .unwrap();
+    assert_eq!(sel, SpmvKernel::Pull);
+    assert_eq!(out.nvals(), 0);
+}

@@ -68,6 +68,20 @@ pub struct StatsDelta {
     pub fused: u64,
     /// DAG nodes elided as dead code.
     pub elided: u64,
+    /// `mxm` dispatches that ran the unmasked Gustavson SpGEMM.
+    pub sel_spgemm: u64,
+    /// `mxm` dispatches that ran the mask-stamped Gustavson SpGEMM.
+    pub sel_masked_spgemm: u64,
+    /// `mxm` dispatches that ran the mask-guided dot-product SpGEMM.
+    pub sel_dot_spgemm: u64,
+    /// `mxv`/`vxm` dispatches that pulled (unmasked gather).
+    pub sel_pull: u64,
+    /// `mxv`/`vxm` dispatches that pulled under a structural mask.
+    pub sel_masked_pull: u64,
+    /// `mxv`/`vxm` dispatches that pushed (unmasked scatter).
+    pub sel_push: u64,
+    /// `mxv`/`vxm` dispatches that pushed under a structural mask.
+    pub sel_masked_push: u64,
 }
 
 /// Run `f` and report how the global JIT counters moved across it.
@@ -86,5 +100,12 @@ fn delta(before: &StatsSnapshot, after: &StatsSnapshot) -> StatsDelta {
         deferred: after.deferred_ops - before.deferred_ops,
         fused: after.fused_ops - before.fused_ops,
         elided: after.elided_ops - before.elided_ops,
+        sel_spgemm: after.sel_spgemm - before.sel_spgemm,
+        sel_masked_spgemm: after.sel_masked_spgemm - before.sel_masked_spgemm,
+        sel_dot_spgemm: after.sel_dot_spgemm - before.sel_dot_spgemm,
+        sel_pull: after.sel_pull - before.sel_pull,
+        sel_masked_pull: after.sel_masked_pull - before.sel_masked_pull,
+        sel_push: after.sel_push - before.sel_push,
+        sel_masked_push: after.sel_masked_push - before.sel_masked_push,
     }
 }

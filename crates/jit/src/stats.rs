@@ -7,6 +7,31 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Which SpGEMM kernel an `mxm` dispatch selected (mirrors the
+/// substrate's kernel report without depending on it).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MxmSelect {
+    /// Unmasked Gustavson (mask absent or opaque, post-filtered).
+    Unmasked,
+    /// Gustavson with the structural mask stamped into the inner loop.
+    MaskedGustavson,
+    /// Mask-guided dot products (triangle-counting shape).
+    MaskedDot,
+}
+
+/// Which SpMV direction an `mxv`/`vxm` dispatch selected.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SpmvSelect {
+    /// Row-parallel gather (dense direction).
+    Pull,
+    /// Gather confined to the structural mask.
+    MaskedPull,
+    /// Frontier-driven scatter (sparse direction).
+    Push,
+    /// Scatter with the mask stamped ahead of accumulation.
+    MaskedPush,
+}
+
 /// Monotonic counters for one cache/runtime instance. All methods are
 /// lock-free and callable concurrently.
 #[derive(Debug, Default)]
@@ -20,6 +45,13 @@ pub struct JitStats {
     deferred_ops: AtomicU64,
     fused_ops: AtomicU64,
     elided_ops: AtomicU64,
+    sel_spgemm: AtomicU64,
+    sel_masked_spgemm: AtomicU64,
+    sel_dot_spgemm: AtomicU64,
+    sel_pull: AtomicU64,
+    sel_masked_pull: AtomicU64,
+    sel_push: AtomicU64,
+    sel_masked_push: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -46,6 +78,20 @@ pub struct StatsSnapshot {
     pub fused_ops: u64,
     /// DAG nodes dropped as dead code (results never observed).
     pub elided_ops: u64,
+    /// `mxm` dispatches that ran the unmasked Gustavson SpGEMM.
+    pub sel_spgemm: u64,
+    /// `mxm` dispatches that ran the mask-stamped Gustavson SpGEMM.
+    pub sel_masked_spgemm: u64,
+    /// `mxm` dispatches that ran the mask-guided dot-product SpGEMM.
+    pub sel_dot_spgemm: u64,
+    /// `mxv`/`vxm` dispatches that ran the unmasked pull (gather) SpMV.
+    pub sel_pull: u64,
+    /// `mxv`/`vxm` dispatches that ran the masked pull SpMV.
+    pub sel_masked_pull: u64,
+    /// `mxv`/`vxm` dispatches that ran the unmasked push (scatter) SpMV.
+    pub sel_push: u64,
+    /// `mxv`/`vxm` dispatches that ran the masked push SpMV.
+    pub sel_masked_push: u64,
 }
 
 impl JitStats {
@@ -95,6 +141,27 @@ impl JitStats {
         self.elided_ops.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record which SpGEMM kernel an `mxm` dispatch selected.
+    pub fn record_mxm_select(&self, sel: MxmSelect) {
+        let c = match sel {
+            MxmSelect::Unmasked => &self.sel_spgemm,
+            MxmSelect::MaskedGustavson => &self.sel_masked_spgemm,
+            MxmSelect::MaskedDot => &self.sel_dot_spgemm,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record which SpMV kernel an `mxv`/`vxm` dispatch selected.
+    pub fn record_spmv_select(&self, sel: SpmvSelect) {
+        let c = match sel {
+            SpmvSelect::Pull => &self.sel_pull,
+            SpmvSelect::MaskedPull => &self.sel_masked_pull,
+            SpmvSelect::Push => &self.sel_push,
+            SpmvSelect::MaskedPush => &self.sel_masked_push,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -107,6 +174,13 @@ impl JitStats {
             deferred_ops: self.deferred_ops.load(Ordering::Relaxed),
             fused_ops: self.fused_ops.load(Ordering::Relaxed),
             elided_ops: self.elided_ops.load(Ordering::Relaxed),
+            sel_spgemm: self.sel_spgemm.load(Ordering::Relaxed),
+            sel_masked_spgemm: self.sel_masked_spgemm.load(Ordering::Relaxed),
+            sel_dot_spgemm: self.sel_dot_spgemm.load(Ordering::Relaxed),
+            sel_pull: self.sel_pull.load(Ordering::Relaxed),
+            sel_masked_pull: self.sel_masked_pull.load(Ordering::Relaxed),
+            sel_push: self.sel_push.load(Ordering::Relaxed),
+            sel_masked_push: self.sel_masked_push.load(Ordering::Relaxed),
         }
     }
 
@@ -121,6 +195,13 @@ impl JitStats {
         self.deferred_ops.store(0, Ordering::Relaxed);
         self.fused_ops.store(0, Ordering::Relaxed);
         self.elided_ops.store(0, Ordering::Relaxed);
+        self.sel_spgemm.store(0, Ordering::Relaxed);
+        self.sel_masked_spgemm.store(0, Ordering::Relaxed);
+        self.sel_dot_spgemm.store(0, Ordering::Relaxed);
+        self.sel_pull.store(0, Ordering::Relaxed);
+        self.sel_masked_pull.store(0, Ordering::Relaxed);
+        self.sel_push.store(0, Ordering::Relaxed);
+        self.sel_masked_push.store(0, Ordering::Relaxed);
     }
 }
 
@@ -183,8 +264,32 @@ mod tests {
     fn reset_zeroes() {
         let s = JitStats::new();
         s.record_compile(5);
+        s.record_mxm_select(MxmSelect::MaskedDot);
         s.reset();
         assert_eq!(s.snapshot().compiles, 0);
         assert_eq!(s.snapshot().compile_ns_total, 0);
+        assert_eq!(s.snapshot().sel_dot_spgemm, 0);
+    }
+
+    #[test]
+    fn selection_counters() {
+        let s = JitStats::new();
+        s.record_mxm_select(MxmSelect::Unmasked);
+        s.record_mxm_select(MxmSelect::MaskedGustavson);
+        s.record_mxm_select(MxmSelect::MaskedDot);
+        s.record_mxm_select(MxmSelect::MaskedDot);
+        s.record_spmv_select(SpmvSelect::Pull);
+        s.record_spmv_select(SpmvSelect::MaskedPull);
+        s.record_spmv_select(SpmvSelect::Push);
+        s.record_spmv_select(SpmvSelect::MaskedPush);
+        s.record_spmv_select(SpmvSelect::MaskedPush);
+        let snap = s.snapshot();
+        assert_eq!(snap.sel_spgemm, 1);
+        assert_eq!(snap.sel_masked_spgemm, 1);
+        assert_eq!(snap.sel_dot_spgemm, 2);
+        assert_eq!(snap.sel_pull, 1);
+        assert_eq!(snap.sel_masked_pull, 1);
+        assert_eq!(snap.sel_push, 1);
+        assert_eq!(snap.sel_masked_push, 2);
     }
 }

@@ -154,7 +154,11 @@ fn try_fuse_into(dag: &mut Dag, c: &mut VecOpDesc) -> bool {
             true
         }
         // Rule 3: assigning a materialized product under the consumer's
-        // mask/accumulator collapses into one masked SpMV.
+        // mask/accumulator collapses into one masked SpMV. The rewritten
+        // node carries the consumer's mask into the single dispatch, so
+        // the substrate's kernel selection sees a structural mask probe
+        // and picks a masked pull/push kernel — fusion upgrades the
+        // unmasked product to a mask-confined one for free.
         VectorExprKind::Ref { u } => {
             let Some(p) = take_plain_producer(dag, u, 1, |kind| {
                 matches!(

@@ -1,0 +1,195 @@
+//! Golden-file regression tests: BFS, SSSP, PageRank, and triangle
+//! counting on small fixed graphs, checked against frozen expected
+//! outputs in `tests/golden/`. Each algorithm runs in blocking mode,
+//! nonblocking (deferred-DAG) mode, and — where a statically-typed
+//! baseline exists — as the native GBTL implementation, so a kernel or
+//! fusion-rule change that shifts any algorithm's output fails loudly
+//! with a file to diff against.
+
+use pygb::{DType, DynScalar, Matrix, Vector};
+use pygb_algorithms::{
+    bfs_dsl_loops, bfs_native, bfs_nonblocking, pagerank_dsl_loops, pagerank_nonblocking,
+    sssp_dsl_loops, sssp_nonblocking, tricount_dsl_loops, tricount_nonblocking, PageRankOptions,
+};
+use pygb_integration::fig1_graph;
+
+/// Parse "index value" lines (# comments and blanks skipped).
+fn parse_pairs(golden: &str) -> Vec<(usize, f64)> {
+    golden
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let i = it.next().unwrap().parse().unwrap();
+            let v = it.next().unwrap().parse().unwrap();
+            (i, v)
+        })
+        .collect()
+}
+
+/// Parse a single scalar golden file.
+fn parse_scalar(golden: &str) -> f64 {
+    golden
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+fn assert_matches_golden(got: &Vector, golden: &str, tol: f64, context: &str) {
+    let want = parse_pairs(golden);
+    let got: Vec<(usize, f64)> = got
+        .extract_pairs()
+        .into_iter()
+        .map(|(i, v)| (i, v.as_f64()))
+        .collect();
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{context}: stored-entry count (got {got:?})"
+    );
+    for ((gi, gv), (wi, wv)) in got.iter().zip(&want) {
+        assert_eq!(gi, wi, "{context}: pattern mismatch");
+        assert!(
+            (gv - wv).abs() <= tol,
+            "{context}: vertex {gi}: got {gv}, want {wv} (tol {tol})"
+        );
+    }
+}
+
+const BFS_GOLDEN: &str = include_str!("golden/bfs_fig1.txt");
+const SSSP_GOLDEN: &str = include_str!("golden/sssp_weighted.txt");
+const PAGERANK_GOLDEN: &str = include_str!("golden/pagerank_fig1.txt");
+const TRICOUNT_GOLDEN: &str = include_str!("golden/tricount_k5.txt");
+
+fn sssp_graph() -> Matrix {
+    Matrix::from_triples(
+        4,
+        4,
+        vec![
+            (0usize, 1usize, 2.0f64),
+            (1, 2, 3.0),
+            (0, 2, 10.0),
+            (2, 3, 1.0),
+        ],
+    )
+    .unwrap()
+}
+
+/// Strictly-lower-triangular K5.
+fn l_k5() -> Matrix {
+    let mut triples = Vec::new();
+    for i in 0..5usize {
+        for j in 0..i {
+            triples.push((i, j, 1.0f64));
+        }
+    }
+    Matrix::from_triples(5, 5, triples).unwrap()
+}
+
+#[test]
+fn bfs_blocking_matches_golden() {
+    let levels = bfs_dsl_loops(&fig1_graph(), 0).unwrap();
+    assert_matches_golden(&levels, BFS_GOLDEN, 0.0, "bfs blocking");
+}
+
+#[test]
+fn bfs_nonblocking_matches_golden() {
+    let levels = bfs_nonblocking(&fig1_graph(), 0).unwrap();
+    assert_matches_golden(&levels, BFS_GOLDEN, 0.0, "bfs nonblocking");
+}
+
+#[test]
+fn bfs_native_matches_golden() {
+    let g: gbtl::Matrix<f64> = gbtl::Matrix::from_triples(
+        7,
+        7,
+        fig1_graph()
+            .extract_triples()
+            .into_iter()
+            .map(|(i, j, v)| (i, j, v.as_f64())),
+    )
+    .unwrap();
+    let levels = bfs_native(&g, 0).unwrap();
+    let want = parse_pairs(BFS_GOLDEN);
+    let got: Vec<(usize, f64)> = (0..7)
+        .filter_map(|i| levels.get(i).map(|v| (i, v as f64)))
+        .collect();
+    assert_eq!(got, want, "bfs native");
+}
+
+#[test]
+fn sssp_blocking_matches_golden() {
+    let mut path = Vector::new(4, DType::Fp64);
+    path.set(0, 0.0f64).unwrap();
+    sssp_dsl_loops(&sssp_graph(), &mut path).unwrap();
+    assert_matches_golden(&path, SSSP_GOLDEN, 0.0, "sssp blocking");
+}
+
+#[test]
+fn sssp_nonblocking_matches_golden() {
+    let mut path = Vector::new(4, DType::Fp64);
+    path.set(0, 0.0f64).unwrap();
+    sssp_nonblocking(&sssp_graph(), &mut path).unwrap();
+    assert_matches_golden(&path, SSSP_GOLDEN, 0.0, "sssp nonblocking");
+}
+
+#[test]
+fn pagerank_blocking_matches_golden() {
+    let (pr, _) = pagerank_dsl_loops(&fig1_graph(), PageRankOptions::default()).unwrap();
+    assert_matches_golden(&pr, PAGERANK_GOLDEN, 1e-9, "pagerank blocking");
+}
+
+#[test]
+fn pagerank_nonblocking_matches_golden() {
+    let (pr, _) = pagerank_nonblocking(&fig1_graph(), PageRankOptions::default()).unwrap();
+    assert_matches_golden(&pr, PAGERANK_GOLDEN, 1e-9, "pagerank nonblocking");
+}
+
+#[test]
+fn tricount_blocking_matches_golden() {
+    let n = tricount_dsl_loops(&l_k5()).unwrap();
+    assert_eq!(
+        n.as_f64(),
+        parse_scalar(TRICOUNT_GOLDEN),
+        "tricount blocking"
+    );
+}
+
+#[test]
+fn tricount_nonblocking_matches_golden() {
+    let n = tricount_nonblocking(&l_k5()).unwrap();
+    assert_eq!(
+        n.as_f64(),
+        parse_scalar(TRICOUNT_GOLDEN),
+        "tricount nonblocking"
+    );
+}
+
+#[test]
+fn tricount_native_matches_golden() {
+    let l: gbtl::Matrix<i64> = gbtl::Matrix::from_triples(
+        5,
+        5,
+        l_k5()
+            .extract_triples()
+            .into_iter()
+            .map(|(i, j, v)| (i, j, v.as_f64() as i64)),
+    )
+    .unwrap();
+    let n = gbtl::algorithms::triangle_count(&l).unwrap();
+    assert_eq!(n as f64, parse_scalar(TRICOUNT_GOLDEN), "tricount native");
+    // The mask-guided dot-product kernel must agree with the golden too.
+    let nd = gbtl::algorithms::triangle_count_masked_dot(&l).unwrap();
+    assert_eq!(nd as f64, parse_scalar(TRICOUNT_GOLDEN), "tricount dot");
+}
+
+/// DynScalar output sanity for the scalar-returning path.
+#[test]
+fn tricount_dtype_is_preserved() {
+    let n: DynScalar = tricount_dsl_loops(&l_k5()).unwrap();
+    assert_eq!(n.as_f64(), 10.0);
+}

@@ -46,6 +46,11 @@ fn ref_collapse_fuses_masked_spmv() {
     assert_eq!(d.invocations, 1, "temp + masked assign must fuse");
     assert_eq!(d.fused, 1);
     assert_eq!(d.deferred, 2);
+    // The collapsed node carries the consumer's complemented mask, so
+    // the substrate must have picked a *masked* kernel for the single
+    // fused dispatch: transposed operand → push direction.
+    assert_eq!(d.sel_masked_push, 1, "fused SpMV must select masked push");
+    assert_eq!(d.sel_pull + d.sel_masked_pull + d.sel_push, 0);
 
     // Same result as the direct blocking spelling.
     let mut blocking = Vector::new(7, DType::Bool);
