@@ -30,6 +30,8 @@ pub(crate) enum CtxEntry {
     Accum(BinaryOpKind),
     /// The replace flag.
     Replace,
+    /// The strict-types flag: lossy dtype promotions become errors.
+    Strict,
 }
 
 thread_local! {
@@ -154,6 +156,12 @@ pub(crate) fn resolve_accum() -> Option<BinaryOpKind> {
 /// Whether replace semantics are in context.
 pub(crate) fn replace_active() -> bool {
     search(|e| matches!(e, CtxEntry::Replace).then_some(())).is_some()
+}
+
+/// Whether strict-types semantics are in context (the analyzer turns
+/// lossy-promotion lints into hard errors).
+pub(crate) fn strict_types_active() -> bool {
+    search(|e| matches!(e, CtxEntry::Strict).then_some(())).is_some()
 }
 
 #[cfg(test)]

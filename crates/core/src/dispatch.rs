@@ -128,6 +128,11 @@ pub(crate) fn eval_matrix(
 ) -> Result<()> {
     let replace = replace.unwrap_or(false);
 
+    // Static analysis first, on both paths: a malformed operation is
+    // rejected here — at the statement that built it — whether it would
+    // have executed now or been enqueued into the op-DAG.
+    crate::analyze::check_matrix(target, &mask, replace, &region, &expr)?;
+
     if crate::nb::is_deferring() {
         return crate::nb::enqueue_matrix(
             target,
@@ -153,6 +158,11 @@ pub(crate) fn eval_matrix(
         let temp_expr = MatrixExpr::from(&temp);
         return eval_matrix(target, mask, accum, Some(replace), region, temp_expr);
     }
+
+    // Op provenance for any downstream failure (kernel, JIT cache):
+    // captured before the expression is consumed.
+    let op_name = crate::analyze::mat_op_name(&expr);
+    let operands = crate::analyze::describe_matrix_expr(&expr);
 
     let mut trace = PipelineTrace::new(String::new());
     trace.record(Stage::ExpressionConstruction, expr.build_ns);
@@ -249,7 +259,7 @@ pub(crate) fn eval_matrix(
     args.c = target.take_store();
     let outcome = runtime().dispatch(&key, &mut args, trace);
     target.put_store(args.c);
-    outcome?;
+    outcome.map_err(|e| PygbError::from(e).with_op(op_name, operands))?;
     Ok(())
 }
 
@@ -283,6 +293,8 @@ pub(crate) fn assign_matrix_scalar(
     region: Option<(Indices, Indices)>,
     value: DynScalar,
 ) -> Result<()> {
+    crate::analyze::check_matrix_scalar(target, &mask, replace, &region, &value)?;
+
     if crate::nb::is_deferring() {
         return crate::nb::enqueue_matrix(
             target,
@@ -327,7 +339,12 @@ pub(crate) fn assign_matrix_scalar(
     args.c = target.take_store();
     let outcome = runtime().dispatch(&key, &mut args, trace);
     target.put_store(args.c);
-    outcome?;
+    outcome.map_err(|e| {
+        PygbError::from(e).with_op(
+            "assign",
+            format!("[{}x{} {}]", target.nrows(), target.ncols(), target.dtype()),
+        )
+    })?;
     Ok(())
 }
 
@@ -341,6 +358,9 @@ pub(crate) fn eval_vector(
     expr: VectorExpr,
 ) -> Result<()> {
     let replace = replace.unwrap_or(false);
+
+    // Static analysis first, on both paths (see `eval_matrix`).
+    crate::analyze::check_vector(target, &mask, replace, &region, &expr)?;
 
     if crate::nb::is_deferring() {
         return crate::nb::enqueue_vector(
@@ -362,6 +382,9 @@ pub(crate) fn eval_vector(
         let temp_expr = VectorExpr::from(&temp);
         return eval_vector(target, mask, accum, Some(replace), region, temp_expr);
     }
+
+    let op_name = crate::analyze::vec_op_name(&expr);
+    let operands = crate::analyze::describe_vector_expr(&expr);
 
     let mut trace = PipelineTrace::new(String::new());
     trace.record(Stage::ExpressionConstruction, expr.build_ns);
@@ -535,7 +558,7 @@ pub(crate) fn eval_vector(
     args.c = target.take_store();
     let outcome = runtime().dispatch(&key, &mut args, trace);
     target.put_store(args.c);
-    outcome?;
+    outcome.map_err(|e| PygbError::from(e).with_op(op_name, operands))?;
     Ok(())
 }
 
@@ -548,6 +571,8 @@ pub(crate) fn assign_vector_scalar(
     region: Option<Indices>,
     value: DynScalar,
 ) -> Result<()> {
+    crate::analyze::check_vector_scalar(target, &mask, replace, &region, &value)?;
+
     if crate::nb::is_deferring() {
         return crate::nb::enqueue_vector(
             target,
@@ -589,7 +614,9 @@ pub(crate) fn assign_vector_scalar(
     args.c = target.take_store();
     let outcome = runtime().dispatch(&key, &mut args, trace);
     target.put_store(args.c);
-    outcome?;
+    outcome.map_err(|e| {
+        PygbError::from(e).with_op("assign", format!("[{} {}]", target.size(), target.dtype()))
+    })?;
     Ok(())
 }
 

@@ -169,6 +169,58 @@ impl DType {
     pub const DEFAULT_INT: DType = DType::Int64;
     /// The default dtype for Python floats ("64-bit floats").
     pub const DEFAULT_FLOAT: DType = DType::Fp64;
+
+    /// Why a value of `self` cannot be represented exactly as `to`, or
+    /// `None` when the conversion is value-preserving. This is the
+    /// question the static analyzer asks both for operand promotion
+    /// (operand dtype → promoted dtype) and for the implicit cast of an
+    /// expression result into the output container's dtype.
+    pub fn cast_loss(self, to: DType) -> Option<&'static str> {
+        if self == to || self == DType::Bool {
+            return None;
+        }
+        if to == DType::Bool {
+            return Some("values collapse to bool");
+        }
+        if to.is_float() {
+            if self.is_float() {
+                return (self.bits() > to.bits()).then_some("narrows floating-point precision");
+            }
+            // Integer → float: exact iff the integer fits the mantissa.
+            let mantissa = if to == DType::Fp32 { 24 } else { 53 };
+            return (self.bits() > mantissa)
+                .then_some("integer values exceed the float mantissa precision");
+        }
+        if self.is_float() {
+            return Some("float values are truncated to integer");
+        }
+        // Integer → integer.
+        if self.bits() > to.bits() {
+            return Some("wide values are truncated");
+        }
+        match (self.is_signed_int(), to.is_signed_int()) {
+            (true, false) => Some("negative values are not representable"),
+            (false, true) if self.bits() == to.bits() => {
+                Some("large values overflow the signed range")
+            }
+            _ => None,
+        }
+    }
+
+    /// [`DType::promote`] plus a lossiness verdict: the promoted dtype,
+    /// and — when feeding either operand through the promotion loses
+    /// information — which operand suffers and why. Every pair of the
+    /// 11 dtypes has a defined promotion, so "undefined promotion" never
+    /// arises in this lattice; lossy ones do (e.g. `int64 ⊕ fp32`,
+    /// `int32 ⊕ uint32`).
+    pub fn promote_checked(a: DType, b: DType) -> (DType, Option<(DType, &'static str)>) {
+        let p = DType::promote(a, b);
+        let loss = a
+            .cast_loss(p)
+            .map(|why| (a, why))
+            .or_else(|| b.cast_loss(p).map(|why| (b, why)));
+        (p, loss)
+    }
 }
 
 impl std::fmt::Display for DType {
@@ -239,5 +291,41 @@ mod tests {
                 assert_eq!(DType::promote(p, p), p);
             }
         }
+    }
+
+    #[test]
+    fn cast_loss_classification() {
+        // Value-preserving conversions.
+        assert_eq!(DType::Int32.cast_loss(DType::Int32), None);
+        assert_eq!(DType::Int32.cast_loss(DType::Int64), None);
+        assert_eq!(DType::Bool.cast_loss(DType::UInt8), None);
+        assert_eq!(DType::Int16.cast_loss(DType::Fp32), None); // fits mantissa
+        assert_eq!(DType::Int32.cast_loss(DType::Fp64), None);
+        assert_eq!(DType::UInt8.cast_loss(DType::Int16), None);
+        // Lossy ones.
+        assert!(DType::Int64.cast_loss(DType::Fp64).is_some()); // > 53-bit mantissa
+        assert!(DType::Int32.cast_loss(DType::Fp32).is_some()); // > 24-bit mantissa
+        assert!(DType::Fp64.cast_loss(DType::Fp32).is_some());
+        assert!(DType::Fp32.cast_loss(DType::Int64).is_some());
+        assert!(DType::Int8.cast_loss(DType::UInt64).is_some()); // sign loss
+        assert!(DType::UInt32.cast_loss(DType::Int32).is_some()); // overflow
+        assert!(DType::Int64.cast_loss(DType::Int8).is_some()); // truncation
+        assert!(DType::Int8.cast_loss(DType::Bool).is_some());
+    }
+
+    #[test]
+    fn promote_checked_flags_the_losing_operand() {
+        let (p, loss) = DType::promote_checked(DType::Int64, DType::Fp32);
+        assert_eq!(p, DType::Fp32);
+        assert_eq!(loss.map(|(d, _)| d), Some(DType::Int64));
+
+        let (p, loss) = DType::promote_checked(DType::Int32, DType::UInt32);
+        assert_eq!(p, DType::UInt32);
+        assert_eq!(loss.map(|(d, _)| d), Some(DType::Int32));
+
+        // Exact promotions carry no loss verdict.
+        assert_eq!(DType::promote_checked(DType::Int16, DType::Fp64).1, None);
+        assert_eq!(DType::promote_checked(DType::Bool, DType::Int8).1, None);
+        assert_eq!(DType::promote_checked(DType::Fp32, DType::Fp64).1, None);
     }
 }

@@ -38,6 +38,58 @@ pub enum PygbError {
         /// Human-readable description.
         context: String,
     },
+    /// The static analyzer ([`crate::analyze`]) rejected the operation
+    /// before any kernel dispatched — at expression-build or DAG-enqueue
+    /// time. Carries the op name, why it is invalid, and the rendered
+    /// source expression with every operand's shape and dtype.
+    Invalid {
+        /// The GraphBLAS operation (`mxm`, `mxv`, `eWiseAdd`, ...).
+        op: &'static str,
+        /// What is wrong, including the offending dimensions/dtypes.
+        reason: String,
+        /// The rendered source expression, operands as `[shape dtype]`.
+        expr: String,
+    },
+    /// A dispatch-time failure wrapped with the operation that caused
+    /// it, so every error names the failing GraphBLAS op even when the
+    /// underlying layer (kernel, JIT cache) has no idea which op it was
+    /// serving.
+    Op {
+        /// The GraphBLAS operation that was dispatching.
+        op: &'static str,
+        /// The rendered operands, as `[shape dtype]` summaries.
+        operands: String,
+        /// The underlying failure.
+        source: Box<PygbError>,
+    },
+}
+
+impl PygbError {
+    /// Build the analyzer's rejection error.
+    pub fn invalid(op: &'static str, reason: impl Into<String>, expr: impl Into<String>) -> Self {
+        PygbError::Invalid {
+            op,
+            reason: reason.into(),
+            expr: expr.into(),
+        }
+    }
+
+    /// Attach op provenance to a dispatch-time failure. Errors that
+    /// already name their op ([`PygbError::Invalid`], an existing
+    /// [`PygbError::Op`] wrapper, [`PygbError::MissingOperator`]) pass
+    /// through unchanged.
+    pub fn with_op(self, op: &'static str, operands: impl Into<String>) -> Self {
+        match self {
+            e @ (PygbError::Invalid { .. }
+            | PygbError::Op { .. }
+            | PygbError::MissingOperator { .. }) => e,
+            source => PygbError::Op {
+                op,
+                operands: operands.into(),
+                source: Box::new(source),
+            },
+        }
+    }
 }
 
 impl fmt::Display for PygbError {
@@ -52,6 +104,14 @@ impl fmt::Display for PygbError {
             PygbError::Graphblas(e) => write!(f, "GraphBLAS error: {e}"),
             PygbError::Jit(e) => write!(f, "JIT error: {e}"),
             PygbError::Unsupported { context } => write!(f, "unsupported: {context}"),
+            PygbError::Invalid { op, reason, expr } => {
+                write!(f, "invalid `{op}`: {reason}; in {expr}")
+            }
+            PygbError::Op {
+                op,
+                operands,
+                source,
+            } => write!(f, "`{op}` on {operands} failed: {source}"),
         }
     }
 }
@@ -88,6 +148,36 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("semiring"));
         assert!(s.contains("mxm"));
+    }
+
+    #[test]
+    fn display_invalid_names_op_and_shapes() {
+        let e = PygbError::invalid(
+            "mxm",
+            "inner dimensions disagree: 2x3 @ 4x2",
+            "mxm([2x3 fp64], [4x2 fp64])",
+        );
+        assert_eq!(
+            e.to_string(),
+            "invalid `mxm`: inner dimensions disagree: 2x3 @ 4x2; in mxm([2x3 fp64], [4x2 fp64])"
+        );
+    }
+
+    #[test]
+    fn with_op_wraps_once_and_passes_self_describing_errors() {
+        let inner: PygbError = JitError::bad_key("k").into();
+        let wrapped = inner.with_op("mxv", "mxv([3x3 fp64], [3 fp64])");
+        let s = wrapped.to_string();
+        assert!(s.starts_with("`mxv` on mxv([3x3 fp64], [3 fp64])"), "{s}");
+        // Re-wrapping (outer dispatch layer) must not stack contexts.
+        let rewrapped = wrapped.clone().with_op("assign", "[3 fp64]");
+        assert_eq!(rewrapped, wrapped);
+        // Errors that already name their op pass through untouched.
+        let missing = PygbError::MissingOperator {
+            needed: "semiring",
+            operation: "mxm",
+        };
+        assert_eq!(missing.clone().with_op("mxm", "x"), missing);
     }
 
     #[test]

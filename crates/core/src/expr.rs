@@ -257,6 +257,19 @@ impl MatrixExpr {
         }
     }
 
+    /// Run the static analyzer on this expression alone: operand
+    /// conformability plus (strict-mode) dtype promotion — see
+    /// [`crate::analyze::validate_matrix_expr`].
+    pub fn validate(&self) -> crate::error::Result<()> {
+        crate::analyze::validate_matrix_expr(self)
+    }
+
+    /// Render the expression with every operand as `[shape dtype]` —
+    /// the form analyzer diagnostics quote.
+    pub fn describe(&self) -> String {
+        crate::analyze::describe_matrix_expr(self)
+    }
+
     /// The `(nrows, ncols)` of the result.
     pub fn result_shape(&self) -> (usize, usize) {
         match &self.kind {
@@ -525,6 +538,18 @@ impl VectorExpr {
             | VectorExprKind::Ref { u } => u.dtype(),
             VectorExprKind::ReduceRows { a, .. } => a.dtype(),
         }
+    }
+
+    /// Run the static analyzer on this expression alone — see
+    /// [`crate::analyze::validate_vector_expr`].
+    pub fn validate(&self) -> crate::error::Result<()> {
+        crate::analyze::validate_vector_expr(self)
+    }
+
+    /// Render the expression with every operand as `[size dtype]` —
+    /// the form analyzer diagnostics quote.
+    pub fn describe(&self) -> String {
+        crate::analyze::describe_vector_expr(self)
     }
 
     /// The dimension of the result.

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod context;
 pub mod dispatch;
 pub mod dtype;
@@ -68,6 +69,7 @@ pub mod target;
 pub mod value;
 pub mod vector;
 
+pub use analyze::{take_lints, validate_matrix_expr, validate_vector_expr};
 pub use context::ContextGuard;
 pub use dispatch::{reduce, runtime, ReduceArg};
 pub use dtype::DType;

@@ -24,8 +24,8 @@
 //!   engine's thread-local resolution map translates it to the real
 //!   store after the node runs.
 //! - **Flush-on-read.** Every blocking entry point and every data
-//!   accessor resolves operands through [`resolved_vec`]/
-//!   [`resolved_mat`], which flush the DAG when they see a pending
+//!   accessor resolves operands through `resolved_vec`/
+//!   `resolved_mat`, which flush the DAG when they see a pending
 //!   placeholder.
 //!
 //! The DAG and its resolution map are thread-local: containers holding
@@ -68,8 +68,8 @@ pub enum MatRhs {
 }
 
 /// One deferred vector operation: everything
-/// [`crate::dispatch::eval_vector`] /
-/// [`crate::dispatch::assign_vector_scalar`] would have consumed, plus
+/// `dispatch::eval_vector` / `dispatch::assign_vector_scalar` would
+/// have consumed, plus
 /// the output placeholder minted at enqueue time.
 #[derive(Clone, Debug)]
 pub struct VecOpDesc {
@@ -353,6 +353,33 @@ pub(crate) fn resolved_mat(store: &Arc<MatrixStore>) -> Result<Arc<MatrixStore>>
                 _ => Err(unresolved()),
             }
         }
+    }
+}
+
+/// Non-flushing peek at a vector store for the analyzer's advisory
+/// checks: the real store if the handle is clean or already resolved,
+/// `None` if it names a pending value (whose contents are unknowable
+/// without a flush the analyzer must not trigger).
+pub(crate) fn peek_vec(store: &Arc<VectorStore>) -> Option<Arc<VectorStore>> {
+    match engine() {
+        None => Some(Arc::clone(store)),
+        Some(ops) => match (ops.resolve_vector)(store) {
+            Resolution::Clean => Some(Arc::clone(store)),
+            Resolution::Resolved(real) => Some(real),
+            Resolution::Pending => None,
+        },
+    }
+}
+
+/// Matrix analog of [`peek_vec`].
+pub(crate) fn peek_mat(store: &Arc<MatrixStore>) -> Option<Arc<MatrixStore>> {
+    match engine() {
+        None => Some(Arc::clone(store)),
+        Some(ops) => match (ops.resolve_matrix)(store) {
+            Resolution::Clean => Some(Arc::clone(store)),
+            Resolution::Resolved(real) => Some(real),
+            Resolution::Pending => None,
+        },
     }
 }
 

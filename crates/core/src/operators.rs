@@ -339,6 +339,24 @@ predefined_monoid!(
 #[allow(non_upper_case_globals)]
 pub const Replace: ReplaceFlag = ReplaceFlag;
 
+/// The strict-types flag: while in context, the static analyzer
+/// ([`crate::analyze`]) treats lossy dtype promotions and lossy
+/// result-into-target casts as hard [`crate::PygbError::Invalid`]
+/// errors instead of recording them as lints.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StrictTypesFlag;
+
+impl StrictTypesFlag {
+    /// Bring strict-types semantics into context.
+    pub fn enter(&self) -> ContextGuard {
+        context::push(CtxEntry::Strict)
+    }
+}
+
+/// `gb.StrictTypes` — the strict-types context object.
+#[allow(non_upper_case_globals)]
+pub const StrictTypes: StrictTypesFlag = StrictTypesFlag;
+
 #[cfg(test)]
 mod tests {
     use super::*;

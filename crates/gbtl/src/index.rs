@@ -97,6 +97,18 @@ impl Indices {
     pub fn iter(&self, n: IndexType) -> impl Iterator<Item = (IndexType, IndexType)> + '_ {
         (0..self.len(n)).map(move |k| (k, self.select(k)))
     }
+
+    /// A compact rendering for diagnostics: `:` for all indices, the
+    /// half-open range `a..b`, or the literal list (elided past four
+    /// entries).
+    pub fn describe(&self) -> String {
+        match self {
+            Indices::All => ":".to_string(),
+            Indices::Range(a, b) => format!("{a}..{b}"),
+            Indices::List(v) if v.len() <= 4 => format!("{v:?}"),
+            Indices::List(v) => format!("[{}, {}, {}, … {} indices]", v[0], v[1], v[2], v.len()),
+        }
+    }
 }
 
 impl From<Vec<IndexType>> for Indices {
@@ -181,5 +193,16 @@ mod tests {
     fn empty_range() {
         let ix = Indices::Range(3, 3);
         assert!(ix.is_empty(10));
+    }
+
+    #[test]
+    fn describe_renders_all_spellings() {
+        assert_eq!(Indices::All.describe(), ":");
+        assert_eq!(Indices::Range(2, 5).describe(), "2..5");
+        assert_eq!(Indices::List(vec![4, 1]).describe(), "[4, 1]");
+        assert_eq!(
+            Indices::List(vec![0, 1, 2, 3, 4, 5]).describe(),
+            "[0, 1, 2, … 6 indices]"
+        );
     }
 }

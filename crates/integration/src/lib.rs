@@ -68,6 +68,8 @@ pub struct StatsDelta {
     pub fused: u64,
     /// DAG nodes elided as dead code.
     pub elided: u64,
+    /// Fusion-rule matches refused by the aliasing analysis.
+    pub refused: u64,
     /// `mxm` dispatches that ran the unmasked Gustavson SpGEMM.
     pub sel_spgemm: u64,
     /// `mxm` dispatches that ran the mask-stamped Gustavson SpGEMM.
@@ -100,6 +102,7 @@ fn delta(before: &StatsSnapshot, after: &StatsSnapshot) -> StatsDelta {
         deferred: after.deferred_ops - before.deferred_ops,
         fused: after.fused_ops - before.fused_ops,
         elided: after.elided_ops - before.elided_ops,
+        refused: after.refused_fusions - before.refused_fusions,
         sel_spgemm: after.sel_spgemm - before.sel_spgemm,
         sel_masked_spgemm: after.sel_masked_spgemm - before.sel_masked_spgemm,
         sel_dot_spgemm: after.sel_dot_spgemm - before.sel_dot_spgemm,

@@ -45,6 +45,7 @@ pub struct JitStats {
     deferred_ops: AtomicU64,
     fused_ops: AtomicU64,
     elided_ops: AtomicU64,
+    refused_fusions: AtomicU64,
     sel_spgemm: AtomicU64,
     sel_masked_spgemm: AtomicU64,
     sel_dot_spgemm: AtomicU64,
@@ -78,6 +79,10 @@ pub struct StatsSnapshot {
     pub fused_ops: u64,
     /// DAG nodes dropped as dead code (results never observed).
     pub elided_ops: u64,
+    /// Producer/consumer pairs that matched a fusion rule but were
+    /// refused by the aliasing analysis (the consumer's output aliases
+    /// a producer input, so fusion legality could not be proven).
+    pub refused_fusions: u64,
     /// `mxm` dispatches that ran the unmasked Gustavson SpGEMM.
     pub sel_spgemm: u64,
     /// `mxm` dispatches that ran the mask-stamped Gustavson SpGEMM.
@@ -141,6 +146,11 @@ impl JitStats {
         self.elided_ops.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` fusion opportunities refused by the aliasing analysis.
+    pub fn record_refused(&self, n: u64) {
+        self.refused_fusions.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Record which SpGEMM kernel an `mxm` dispatch selected.
     pub fn record_mxm_select(&self, sel: MxmSelect) {
         let c = match sel {
@@ -174,6 +184,7 @@ impl JitStats {
             deferred_ops: self.deferred_ops.load(Ordering::Relaxed),
             fused_ops: self.fused_ops.load(Ordering::Relaxed),
             elided_ops: self.elided_ops.load(Ordering::Relaxed),
+            refused_fusions: self.refused_fusions.load(Ordering::Relaxed),
             sel_spgemm: self.sel_spgemm.load(Ordering::Relaxed),
             sel_masked_spgemm: self.sel_masked_spgemm.load(Ordering::Relaxed),
             sel_dot_spgemm: self.sel_dot_spgemm.load(Ordering::Relaxed),
@@ -195,6 +206,7 @@ impl JitStats {
         self.deferred_ops.store(0, Ordering::Relaxed);
         self.fused_ops.store(0, Ordering::Relaxed);
         self.elided_ops.store(0, Ordering::Relaxed);
+        self.refused_fusions.store(0, Ordering::Relaxed);
         self.sel_spgemm.store(0, Ordering::Relaxed);
         self.sel_masked_spgemm.store(0, Ordering::Relaxed);
         self.sel_dot_spgemm.store(0, Ordering::Relaxed);

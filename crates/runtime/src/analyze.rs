@@ -1,0 +1,364 @@
+//! The DAG half of `pygb-analyze`: aliasing / fusion-legality checks
+//! consulted by every rule in the fusion pass, and the [`plan`] /
+//! explain API that dumps the analyzed DAG without executing it.
+//!
+//! ## What fusion must prove
+//!
+//! A fusion rewrite absorbs a producer node `P` into a consumer `C`:
+//! `P`'s expression operands are carried into `C`'s new composite
+//! expression, while `P`'s *merge base* (`P.target`, the prior value of
+//! the container `P` wrote) is discarded — legal only because `P` is
+//! plain (full overwrite). Every store in this runtime is an immutable
+//! `Arc` snapshot and the dispatch layer's `take_store` clones any
+//! shared buffer before a kernel may mutate it, so an alias between the
+//! consumer's output (its merge base `C.target`) and a *carried*
+//! producer operand is provably safe: the fused descriptor itself holds
+//! the second reference that forces the copy.
+//!
+//! The alias the analysis cannot discharge is `C.target` against the
+//! input the rewrite *discards* — the producer's own merge base
+//! `P.target`. After the rewrite no reference to that store survives in
+//! the fused node, so the pointer analysis can no longer relate the
+//! consumer's merge-read to the producer's overwritten container. That
+//! situation arises only when two container handles share one store (a
+//! `clone`d vector written through both names). Fusion is refused, the
+//! `refused_fusions` statistics counter bumps, the reason is logged
+//! (see [`last_refusals`]), and both nodes execute unfused — slower,
+//! provably correct.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::Arc;
+
+use pygb::expr::{MatrixExprKind, VectorExprKind};
+use pygb::nb::{MatOpDesc, MatRhs, VecOpDesc, VecRhs};
+use pygb::store::VectorStore;
+
+use crate::dag::{self, node_inputs, vptr, Dag, Node};
+
+// ---------------------------------------------------------------------
+// Refusal log.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static REFUSALS: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Clear the refusal log (start of an optimize pass).
+pub(crate) fn clear_refusals() {
+    REFUSALS.with(|r| r.borrow_mut().clear());
+}
+
+pub(crate) fn record_refusal(reason: String) {
+    pygb::runtime().cache().stats().record_refused(1);
+    REFUSALS.with(|r| r.borrow_mut().push(reason));
+}
+
+/// The reasons the aliasing analysis refused fusions during the most
+/// recent fusion pass on this thread (empty when everything that
+/// matched a rule also proved legal).
+pub fn last_refusals() -> Vec<String> {
+    REFUSALS.with(|r| r.borrow().clone())
+}
+
+// ---------------------------------------------------------------------
+// Producer legality: the check every fusion rule consults.
+// ---------------------------------------------------------------------
+
+/// Outcome of analyzing one candidate producer for one consumer.
+pub(crate) enum FuseCheck {
+    /// Rule may fire; the producer is at this node index.
+    Fusible(usize),
+    /// The producer matched the rule but the aliasing analysis could
+    /// not prove the rewrite safe.
+    Refused(usize, String),
+    /// No pending plain producer of the wanted shape (not an error —
+    /// the consumer simply dispatches unfused).
+    No,
+}
+
+/// Analyze the pending producer of placeholder `out` as a fusion
+/// candidate for consumer `c`. The producer must be a plain vector node
+/// (no mask, accumulator, or region) whose expression satisfies `want`,
+/// observed only by its own descriptor plus `consumer_refs` slots of
+/// the consumer — and the rewrite must pass the aliasing check (see
+/// the module docs).
+pub(crate) fn check_producer(
+    dag: &Dag,
+    c: &VecOpDesc,
+    out: &Arc<VectorStore>,
+    consumer_refs: usize,
+    want: &dyn Fn(&VectorExprKind) -> bool,
+) -> FuseCheck {
+    let p = vptr(out);
+    let Some(&idx) = dag.pending.get(&p) else {
+        return FuseCheck::No;
+    };
+    let Some(Node::Vec(d)) = &dag.nodes[idx] else {
+        return FuseCheck::No;
+    };
+    let plain = d.mask.is_none()
+        && d.accum.is_none()
+        && d.region.is_none()
+        && matches!(&d.rhs, VecRhs::Expr(e) if want(&e.kind))
+        && Arc::strong_count(&d.out) == 1 + consumer_refs;
+    if !plain {
+        return FuseCheck::No;
+    }
+    match alias_hazard(c, d) {
+        Some(reason) => FuseCheck::Refused(idx, reason),
+        None => FuseCheck::Fusible(idx),
+    }
+}
+
+/// The aliasing rule: the consumer's output (its merge base) must not
+/// alias the producer input that fusion discards — the producer's own
+/// merge base. Aliases against carried expression operands are proven
+/// safe by the copy-on-write argument in the module docs and do not
+/// refuse.
+fn alias_hazard(c: &VecOpDesc, p: &VecOpDesc) -> Option<String> {
+    if vptr(&c.target) == vptr(&p.target) {
+        return Some(format!(
+            "consumer output [{} {}] aliases the producer's merge base \
+             (two container handles share one store); the rewrite discards \
+             that input, so copy-on-write protection cannot be proven",
+            c.target.size(),
+            c.target.dtype(),
+        ));
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Kernel naming (mirrors the dispatch layer's function selection).
+// ---------------------------------------------------------------------
+
+/// The kernel family a deferred vector node will dispatch as.
+pub(crate) fn vec_kernel_name(d: &VecOpDesc) -> &'static str {
+    match &d.rhs {
+        VecRhs::Scalar(_) => "assign_v_const",
+        VecRhs::Expr(e) => match &e.kind {
+            VectorExprKind::MxV { .. } => "mxv",
+            VectorExprKind::VxM { .. } => "vxm",
+            VectorExprKind::EWiseAdd { .. } => "ewise_add_v",
+            VectorExprKind::EWiseMult { .. } => "ewise_mult_v",
+            VectorExprKind::Apply { .. } => "apply_v",
+            VectorExprKind::Extract { .. } => "extract_v",
+            VectorExprKind::ReduceRows { .. } => "reduce_rows",
+            VectorExprKind::FusedMxvApply { vxm: true, .. } => "vxm_apply",
+            VectorExprKind::FusedMxvApply { vxm: false, .. } => "mxv_apply",
+            VectorExprKind::FusedEwiseChain { .. } => "fused_ewise_chain",
+            VectorExprKind::Ref { .. } => {
+                if d.region.is_some() {
+                    "assign_v"
+                } else {
+                    "apply_v"
+                }
+            }
+        },
+    }
+}
+
+/// The kernel family a deferred matrix node will dispatch as.
+pub(crate) fn mat_kernel_name(d: &MatOpDesc) -> &'static str {
+    match &d.rhs {
+        MatRhs::Scalar(_) => "assign_m_const",
+        MatRhs::Expr(e) => match &e.kind {
+            MatrixExprKind::MxM { .. } => "mxm",
+            MatrixExprKind::EWiseAdd { .. } => "ewise_add_m",
+            MatrixExprKind::EWiseMult { .. } => "ewise_mult_m",
+            MatrixExprKind::Apply { .. } => "apply_m",
+            MatrixExprKind::Transpose { .. } => "transpose_m",
+            MatrixExprKind::Extract { .. } => "extract_m",
+            MatrixExprKind::Ref { .. } => {
+                if d.region.is_some() {
+                    "assign_m"
+                } else {
+                    "apply_m"
+                }
+            }
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// plan() / explain.
+// ---------------------------------------------------------------------
+
+/// One analyzed node of the pending DAG.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    /// Node index (enqueue order; also the id `deps` refers to).
+    pub index: usize,
+    /// The operation, rendered with every operand's shape and dtype.
+    pub op: String,
+    /// The inferred output, as `[shape dtype]`.
+    pub output: String,
+    /// The kernel family the dispatch layer will select.
+    pub kernel: String,
+    /// Whether a mask governs the write.
+    pub masked: bool,
+    /// Whether the mask is complemented.
+    pub complemented: bool,
+    /// Whether an accumulator merges into the prior value.
+    pub accum: bool,
+    /// GraphBLAS replace flag.
+    pub replace: bool,
+    /// Indices of pending nodes this node reads.
+    pub deps: Vec<usize>,
+    /// Fusion assessment: which producer this node would absorb at
+    /// flush, or why the aliasing analysis refuses; `None` when no
+    /// fusion rule matches.
+    pub fusion: Option<String>,
+}
+
+/// The analyzed pending DAG — what a flush would execute right now.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// Analyzed nodes in enqueue order.
+    pub nodes: Vec<PlanNode>,
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nodes.is_empty() {
+            return writeln!(f, "nonblocking plan: empty (nothing deferred)");
+        }
+        writeln!(f, "nonblocking plan: {} pending node(s)", self.nodes.len())?;
+        for n in &self.nodes {
+            write!(
+                f,
+                "  #{} {} -> {}  kernel={}",
+                n.index, n.op, n.output, n.kernel
+            )?;
+            if n.masked {
+                write!(f, "  mask{}", if n.complemented { "=~m" } else { "=m" })?;
+            }
+            if n.accum {
+                write!(f, "  accum")?;
+            }
+            if n.replace {
+                write!(f, "  replace")?;
+            }
+            if !n.deps.is_empty() {
+                write!(f, "  deps={:?}", n.deps)?;
+            }
+            if let Some(fu) = &n.fusion {
+                write!(f, "  {fu}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyze the calling thread's pending DAG without executing or
+/// rewriting it: per-node inferred shapes and dtypes, the kernel each
+/// node would dispatch, dependency edges, and — for every node a fusion
+/// rule matches — whether the flush would fuse it or why the aliasing
+/// analysis refuses. Read-only: statistics counters do not move and the
+/// DAG is left exactly as found.
+pub fn plan() -> Plan {
+    dag::with_dag(|dag| {
+        let nodes = (0..dag.nodes.len())
+            .filter_map(|i| dag.nodes[i].as_ref().map(|n| plan_node(dag, i, n)))
+            .collect();
+        Plan { nodes }
+    })
+}
+
+fn plan_node(dag: &Dag, index: usize, n: &Node) -> PlanNode {
+    let mut deps: Vec<usize> = node_inputs(n)
+        .iter()
+        .filter_map(|p| dag.pending.get(p).copied())
+        .filter(|&i| i != index)
+        .collect();
+    deps.sort_unstable();
+    deps.dedup();
+    match n {
+        Node::Vec(d) => PlanNode {
+            index,
+            op: match &d.rhs {
+                VecRhs::Expr(e) => pygb::analyze::describe_vector_expr(e),
+                VecRhs::Scalar(v) => format!("assign scalar {}", v.dtype()),
+            },
+            output: format!("[{} {}]", d.out.size(), d.out.dtype()),
+            kernel: vec_kernel_name(d).to_string(),
+            masked: d.mask.is_some(),
+            complemented: d.mask.as_ref().is_some_and(|(_, c)| *c),
+            accum: d.accum.is_some(),
+            replace: d.replace,
+            deps,
+            fusion: assess_fusion(dag, d),
+        },
+        Node::Mat(d) => PlanNode {
+            index,
+            op: match &d.rhs {
+                MatRhs::Expr(e) => pygb::analyze::describe_matrix_expr(e),
+                MatRhs::Scalar(v) => format!("assign scalar {}", v.dtype()),
+            },
+            output: format!("[{}x{} {}]", d.out.nrows(), d.out.ncols(), d.out.dtype()),
+            kernel: mat_kernel_name(d).to_string(),
+            masked: d.mask.is_some(),
+            complemented: d.mask.as_ref().is_some_and(|(_, c)| *c),
+            accum: d.accum.is_some(),
+            replace: d.replace,
+            deps,
+            // No matrix fusion rules exist yet; nothing to assess.
+            fusion: None,
+        },
+    }
+}
+
+/// Read-only mirror of the fusion pass's candidate matching: report
+/// what the optimizer would decide for this consumer without detaching
+/// anything or moving counters. The reference-count reasoning is
+/// identical because the fusion pass detaches consumers with `take()`,
+/// which moves the descriptor without touching any `Arc` count.
+fn assess_fusion(dag: &Dag, c: &VecOpDesc) -> Option<String> {
+    if c.region.is_some() {
+        return None;
+    }
+    let VecRhs::Expr(ce) = &c.rhs else {
+        return None;
+    };
+    let is_ewise = |k: &VectorExprKind| {
+        matches!(
+            k,
+            VectorExprKind::EWiseAdd { op: Some(_), .. }
+                | VectorExprKind::EWiseMult { op: Some(_), .. }
+        )
+    };
+    let is_spmv =
+        |k: &VectorExprKind| matches!(k, VectorExprKind::MxV { .. } | VectorExprKind::VxM { .. });
+    let verdict = |check: FuseCheck, rule: &str| match check {
+        FuseCheck::Fusible(i) => Some(format!("fuses node #{i} ({rule})")),
+        FuseCheck::Refused(i, why) => Some(format!("fusion with node #{i} refused: {why}")),
+        FuseCheck::No => None,
+    };
+    match &ce.kind {
+        VectorExprKind::EWiseAdd { u, v, op: Some(_) }
+        | VectorExprKind::EWiseMult { u, v, op: Some(_) } => {
+            for cand in [u, v] {
+                let refs = (vptr(u) == vptr(cand)) as usize + (vptr(v) == vptr(cand)) as usize;
+                let res = verdict(
+                    check_producer(dag, c, cand, refs, &is_ewise),
+                    "rule 1: eWise chain",
+                );
+                if res.is_some() {
+                    return res;
+                }
+            }
+            None
+        }
+        VectorExprKind::Apply { u, op: Some(_) } => verdict(
+            check_producer(dag, c, u, 1, &is_spmv),
+            "rule 2: mxv/vxm + apply",
+        ),
+        VectorExprKind::Ref { u } => verdict(
+            check_producer(dag, c, u, 1, &is_spmv),
+            "rule 3: ref collapse",
+        ),
+        _ => None,
+    }
+}

@@ -60,6 +60,12 @@ pub(crate) fn vptr(a: &Arc<VectorStore>) -> usize {
     Arc::as_ptr(a) as usize
 }
 
+/// Run `f` with a shared borrow of the calling thread's DAG (read-only
+/// accessor for the plan/explain API).
+pub(crate) fn with_dag<R>(f: impl FnOnce(&Dag) -> R) -> R {
+    DAG.with(|d| f(&d.borrow()))
+}
+
 pub(crate) fn mptr(a: &Arc<MatrixStore>) -> usize {
     Arc::as_ptr(a) as usize
 }
@@ -118,21 +124,39 @@ pub(crate) fn resolve_matrix(store: &Arc<MatrixStore>) -> Resolution<MatrixStore
     })
 }
 
+/// Try to claim the flush: sets the `flushing` flag and returns true
+/// when there is work and no flush is already draining this DAG. The
+/// claim-before-drain protocol this implements is model-checked
+/// exhaustively in the `model_check` test module.
+pub(crate) fn begin_flush(dag: &mut Dag) -> bool {
+    if dag.flushing {
+        return false;
+    }
+    if dag.nodes.iter().all(|n| n.is_none()) {
+        dag.nodes.clear();
+        return false;
+    }
+    dag.flushing = true;
+    true
+}
+
+/// Indices of nodes whose inputs are all resolved — the next wave the
+/// scheduler will run.
+pub(crate) fn ready_indices(dag: &Dag) -> Vec<usize> {
+    (0..dag.nodes.len())
+        .filter(|&i| match &dag.nodes[i] {
+            Some(node) => node_inputs(node)
+                .iter()
+                .all(|p| !dag.pending.contains_key(p)),
+            None => false,
+        })
+        .collect()
+}
+
 /// Execute every node in the calling thread's DAG. No-op when empty or
 /// already flushing (re-entrancy from node execution).
 pub(crate) fn flush() -> Result<()> {
-    let proceed = DAG.with(|d| {
-        let mut dag = d.borrow_mut();
-        if dag.flushing {
-            return false;
-        }
-        if dag.nodes.iter().all(|n| n.is_none()) {
-            dag.nodes.clear();
-            return false;
-        }
-        dag.flushing = true;
-        true
-    });
+    let proceed = DAG.with(|d| begin_flush(&mut d.borrow_mut()));
     if !proceed {
         return Ok(());
     }
@@ -172,14 +196,7 @@ fn flush_inner() -> Result<()> {
         // borrow is released before anything executes.
         let batch: Vec<Node> = DAG.with(|d| {
             let mut dag = d.borrow_mut();
-            let ready: Vec<usize> = (0..dag.nodes.len())
-                .filter(|&i| match &dag.nodes[i] {
-                    Some(node) => node_inputs(node)
-                        .iter()
-                        .all(|p| !dag.pending.contains_key(p)),
-                    None => false,
-                })
-                .collect();
+            let ready = ready_indices(&dag);
             let Dag {
                 nodes,
                 resolved_v,

@@ -29,11 +29,15 @@ use std::sync::Arc;
 use pygb::expr::{VectorExpr, VectorExprKind};
 use pygb::nb::{VecOpDesc, VecRhs};
 
+use crate::analyze::{self, FuseCheck};
 use crate::dag::{mptr, vptr, Dag, Node};
 
 /// Rewrite the DAG in place; returns `(fused, elided)` node counts for
-/// the dispatch-statistics counters.
+/// the dispatch-statistics counters. Refused fusions are recorded by
+/// the aliasing analysis as they are encountered (see
+/// [`crate::analyze::last_refusals`]).
 pub(crate) fn optimize(dag: &mut Dag) -> (usize, usize) {
+    analyze::clear_refusals();
     let fused = fuse_pass(dag);
     let elided = dce_pass(dag);
     (fused, elided)
@@ -86,7 +90,7 @@ fn try_fuse_into(dag: &mut Dag, c: &mut VecOpDesc) -> bool {
             for (slot_u, inner_left) in [(true, true), (false, false)] {
                 let cand = if slot_u { u } else { v };
                 let refs = (vptr(u) == vptr(cand)) as usize + (vptr(v) == vptr(cand)) as usize;
-                let Some(p) = take_plain_producer(dag, cand, refs, |kind| {
+                let Some(p) = take_plain_producer(dag, c, cand, refs, &|kind: &VectorExprKind| {
                     matches!(
                         kind,
                         VectorExprKind::EWiseAdd { op: Some(_), .. }
@@ -128,7 +132,7 @@ fn try_fuse_into(dag: &mut Dag, c: &mut VecOpDesc) -> bool {
         // Rule 2: `apply(mxv(...))` / `apply(vxm(...))`.
         VectorExprKind::Apply { u, op: Some(op) } => {
             let op = *op;
-            let Some(p) = take_plain_producer(dag, u, 1, |kind| {
+            let Some(p) = take_plain_producer(dag, c, u, 1, &|kind: &VectorExprKind| {
                 matches!(
                     kind,
                     VectorExprKind::MxV { .. } | VectorExprKind::VxM { .. }
@@ -160,7 +164,7 @@ fn try_fuse_into(dag: &mut Dag, c: &mut VecOpDesc) -> bool {
         // and picks a masked pull/push kernel — fusion upgrades the
         // unmasked product to a mask-confined one for free.
         VectorExprKind::Ref { u } => {
-            let Some(p) = take_plain_producer(dag, u, 1, |kind| {
+            let Some(p) = take_plain_producer(dag, c, u, 1, &|kind: &VectorExprKind| {
                 matches!(
                     kind,
                     VectorExprKind::MxV { .. } | VectorExprKind::VxM { .. }
@@ -178,39 +182,36 @@ fn try_fuse_into(dag: &mut Dag, c: &mut VecOpDesc) -> bool {
     }
 }
 
-/// Look up the pending producer of placeholder `out`. When it is a
-/// plain vector node whose expression satisfies `want` and whose result
-/// is observed only by its own descriptor plus `consumer_refs` slots of
-/// the (detached) consumer, remove it from the DAG and return its
-/// expression kind.
+/// Look up the pending producer of placeholder `out` and consult the
+/// aliasing analysis ([`crate::analyze::check_producer`]). When the
+/// producer is a plain vector node whose expression satisfies `want`,
+/// whose result is observed only by its own descriptor plus
+/// `consumer_refs` slots of the (detached) consumer `c`, and the
+/// rewrite is proven alias-safe, remove it from the DAG and return its
+/// expression kind. A producer refused by the aliasing analysis is
+/// counted and logged, and stays in the DAG.
 fn take_plain_producer(
     dag: &mut Dag,
+    c: &VecOpDesc,
     out: &Arc<pygb::store::VectorStore>,
     consumer_refs: usize,
-    want: impl Fn(&VectorExprKind) -> bool,
+    want: &dyn Fn(&VectorExprKind) -> bool,
 ) -> Option<VectorExprKind> {
-    let p = vptr(out);
-    let idx = *dag.pending.get(&p)?;
-    let ok = match &dag.nodes[idx] {
-        Some(Node::Vec(d)) => {
-            d.mask.is_none()
-                && d.accum.is_none()
-                && d.region.is_none()
-                && matches!(&d.rhs, VecRhs::Expr(e) if want(&e.kind))
-                && Arc::strong_count(&d.out) == 1 + consumer_refs
+    let idx = match analyze::check_producer(dag, c, out, consumer_refs, want) {
+        FuseCheck::Fusible(idx) => idx,
+        FuseCheck::Refused(idx, reason) => {
+            analyze::record_refusal(format!("producer node #{idx}: {reason}"));
+            return None;
         }
-        _ => false,
+        FuseCheck::No => return None,
     };
-    if !ok {
-        return None;
-    }
-    dag.pending.remove(&p);
+    dag.pending.remove(&vptr(out));
     match dag.nodes[idx].take() {
         Some(Node::Vec(d)) => match d.rhs {
             VecRhs::Expr(e) => Some(e.kind),
-            VecRhs::Scalar(_) => unreachable!("checked above"),
+            VecRhs::Scalar(_) => unreachable!("checked by the analysis"),
         },
-        _ => unreachable!("checked above"),
+        _ => unreachable!("checked by the analysis"),
     }
 }
 

@@ -34,11 +34,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 mod dag;
 mod fuse;
+#[cfg(test)]
+mod model_check;
 
 use std::sync::Once;
 
+pub use analyze::{last_refusals, plan, Plan, PlanNode};
 pub use pygb::nb::DeferGuard;
 
 /// Install the DAG engine into the core crate's nonblocking hooks.
@@ -193,19 +197,23 @@ mod tests {
     }
 
     #[test]
-    fn error_at_flush_reports_and_recovers() {
+    fn invalid_op_is_rejected_at_enqueue_not_flush() {
         let u = dense(&[1.0, 2.0]);
         let bad = dense(&[1.0, 2.0, 3.0]); // size mismatch
         let mut w = Vector::new(2, DType::Fp64);
-        let err = {
+        {
             let _nb = nonblocking().unwrap();
-            w.no_mask().assign(&u + &bad).unwrap(); // defers fine
-            flush()
-        };
-        assert!(err.is_err(), "size mismatch must surface at flush");
-        // The runtime must stay usable afterwards.
-        let mut ok = Vector::new(2, DType::Fp64);
-        ok.no_mask().assign(&u + &u).unwrap();
-        assert_eq!(ok.to_dense_f64(), vec![2.0, 4.0]);
+            // The analyzer rejects the op at enqueue time — it never
+            // enters the DAG, so the later flush has nothing poisoned.
+            let err = w.no_mask().assign(&u + &bad).unwrap_err();
+            assert!(
+                matches!(err, pygb::PygbError::Invalid { op: "eWiseAdd", .. }),
+                "expected an analyzer diagnostic, got: {err}"
+            );
+            assert!(flush().is_ok(), "rejected op must not poison the flush");
+            // The runtime stays usable inside the same scope.
+            w.no_mask().assign(&u + &u).unwrap();
+        }
+        assert_eq!(w.to_dense_f64(), vec![2.0, 4.0]);
     }
 }

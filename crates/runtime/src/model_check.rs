@@ -1,0 +1,261 @@
+//! Exhaustive model check of the wave scheduler's flush path.
+//!
+//! The flush path has two sources of schedule nondeterminism: which
+//! ready node of a wave completes first, and when a re-entrant flush
+//! (triggered by a read during node execution) observes the `flushing`
+//! claim. Both are cooperative — no weak memory is involved — so the
+//! whole schedule space can be enumerated with the loom-style drivers
+//! in `parking_lot::model` (the workspace's `pygb-sync` shim) and the
+//! real scheduler primitives ([`dag::begin_flush`],
+//! [`dag::ready_indices`]) asserted under every ordering.
+
+use std::sync::Arc;
+
+use parking_lot::model;
+use pygb::expr::{VectorExpr, VectorExprKind};
+use pygb::nb::{VecOpDesc, VecRhs};
+use pygb::store::VectorStore;
+use pygb::DType;
+
+use crate::dag::{self, vptr, Dag, Node};
+
+fn store(size: usize) -> Arc<VectorStore> {
+    Arc::new(VectorStore::new(size, DType::Fp64))
+}
+
+/// A synthetic deferred node reading `input` and producing `out` — a
+/// real `VecOpDesc` (plain `Ref` assignment), as enqueue would mint it.
+fn node(input: &Arc<VectorStore>, out: &Arc<VectorStore>) -> Node {
+    Node::Vec(VecOpDesc {
+        target: store(input.size()),
+        out: Arc::clone(out),
+        mask: None,
+        accum: None,
+        replace: false,
+        region: None,
+        rhs: VecRhs::Expr(VectorExpr {
+            kind: VectorExprKind::Ref {
+                u: Arc::clone(input),
+            },
+            build_ns: 0,
+        }),
+    })
+}
+
+fn push(dag: &mut Dag, n: Node) {
+    let out = match &n {
+        Node::Vec(d) => vptr(&d.out),
+        Node::Mat(_) => unreachable!("vector-only model"),
+    };
+    let idx = dag.nodes.len();
+    dag.nodes.push(Some(n));
+    dag.pending.insert(out, idx);
+}
+
+/// Diamond topology: `0 -> {1, 2} -> 3`, plus the placeholder handles a
+/// caller would hold (returned so `Arc` counts mirror live containers).
+fn diamond() -> (Dag, Vec<Arc<VectorStore>>) {
+    let src = store(4);
+    let o0 = store(4);
+    let o1 = store(4);
+    let o2 = store(4);
+    let o3 = store(4);
+    let mut dag = Dag::default();
+    push(&mut dag, node(&src, &o0));
+    push(&mut dag, node(&o0, &o1));
+    push(&mut dag, node(&o0, &o2));
+    // The sink reads one mid node as its expression input and the other
+    // as its mask, so it depends on both.
+    let sink = match node(&o1, &o3) {
+        Node::Vec(mut d) => {
+            d.mask = Some((Arc::clone(&o2), false));
+            Node::Vec(d)
+        }
+        Node::Mat(_) => unreachable!(),
+    };
+    push(&mut dag, sink);
+    (dag, vec![o0, o1, o2, o3])
+}
+
+/// Mark node `i` complete: remove it and resolve its placeholder, as
+/// the flush's merge loop does after a wave runs.
+fn complete(dag: &mut Dag, i: usize) {
+    let out = match dag.nodes[i].take() {
+        Some(Node::Vec(d)) => vptr(&d.out),
+        _ => panic!("completing an absent node"),
+    };
+    dag.pending.remove(&out);
+}
+
+#[test]
+fn scheduler_admits_exactly_the_topological_orders() {
+    let mut completed_schedules = 0;
+    let explored = model::permutations(&[0usize, 1, 2, 3], |order| {
+        let (mut dag, _keep) = diamond();
+        let mut ran = Vec::new();
+        for &i in order {
+            if !dag::ready_indices(&dag).contains(&i) {
+                // The scheduler can never run a node before its inputs
+                // resolve; this order is unreachable. Every dependency
+                // violated must involve a predecessor not yet run.
+                let deps: &[usize] = match i {
+                    0 => &[],
+                    1 | 2 => &[0],
+                    3 => &[1, 2],
+                    _ => unreachable!(),
+                };
+                assert!(
+                    deps.iter().any(|d| !ran.contains(d)),
+                    "node {i} blocked with all dependencies resolved"
+                );
+                return;
+            }
+            complete(&mut dag, i);
+            ran.push(i);
+        }
+        // Fully drained: the DAG is empty and nothing is pending.
+        assert!(dag.nodes.iter().all(|n| n.is_none()));
+        assert!(dag.pending.is_empty());
+        completed_schedules += 1;
+    });
+    assert_eq!(explored, 24, "4! schedules must be explored");
+    assert_eq!(
+        completed_schedules, 2,
+        "the diamond admits exactly two topological orders (0,1,2,3 / 0,2,1,3)"
+    );
+}
+
+#[test]
+fn every_wave_is_nonempty_until_drained() {
+    // Whatever completion order previous waves took, the next
+    // ready set is never empty while nodes remain (no spurious wedge).
+    let explored = model::permutations(&[0usize, 1, 2], |mid_order| {
+        let (mut dag, _keep) = diamond();
+        // Wave 1 is exactly the source.
+        assert_eq!(dag::ready_indices(&dag), vec![0]);
+        complete(&mut dag, 0);
+        // Wave 2 is both mid nodes; complete them in the explored
+        // order (the third event, the sink, must never be ready early).
+        for &ev in mid_order {
+            match ev {
+                0 | 1 => {
+                    let ready = dag::ready_indices(&dag);
+                    assert!(ready.contains(&(ev + 1)), "mid node {} ready", ev + 1);
+                    assert!(!ready.contains(&3), "sink ready before its inputs");
+                    complete(&mut dag, ev + 1);
+                }
+                2 => {
+                    // The sink's slot in the schedule: ready only once
+                    // both mids completed.
+                    let ready = dag::ready_indices(&dag);
+                    let mids_done = dag.nodes[1].is_none() && dag.nodes[2].is_none();
+                    assert_eq!(ready.contains(&3), mids_done);
+                    if mids_done {
+                        complete(&mut dag, 3);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        let remaining = dag.nodes.iter().flatten().count();
+        if remaining > 0 {
+            // Only the sink can remain, and only because its schedule
+            // slot came too early — it is ready now.
+            assert_eq!(dag::ready_indices(&dag), vec![3]);
+        }
+    });
+    assert_eq!(explored, 6);
+}
+
+#[test]
+fn cyclic_dag_is_reported_wedged_not_spun() {
+    // Two nodes reading each other's placeholders: no wave is ever
+    // ready. The scheduler must detect this (flush surfaces it as a
+    // "wedged" error) rather than loop forever.
+    let o0 = store(2);
+    let o1 = store(2);
+    let mut dag = Dag::default();
+    push(&mut dag, node(&o1, &o0));
+    push(&mut dag, node(&o0, &o1));
+    assert!(dag::ready_indices(&dag).is_empty());
+    assert_eq!(dag.nodes.iter().flatten().count(), 2);
+}
+
+#[test]
+fn flush_claim_is_exclusive_under_all_interleavings() {
+    // Two logical flushers each run [try-claim, release-if-held]. Under
+    // every interleaving: at most one holds the claim at a time, the
+    // flag always equals "someone holds it", and at least one flusher
+    // succeeds (no lost flush).
+    let explored = model::interleavings(&[2, 2], |sched| {
+        let (mut dag, _keep) = diamond();
+        let mut pc = [0usize; 2];
+        let mut holding = [false; 2];
+        let mut successes = 0;
+        for &t in sched {
+            match pc[t] {
+                0 => {
+                    if dag::begin_flush(&mut dag) {
+                        holding[t] = true;
+                        successes += 1;
+                    }
+                }
+                1 => {
+                    if holding[t] {
+                        dag.flushing = false;
+                        holding[t] = false;
+                    }
+                }
+                _ => unreachable!(),
+            }
+            pc[t] += 1;
+            assert!(
+                holding.iter().filter(|&&h| h).count() <= 1,
+                "two flushers claimed the same DAG"
+            );
+            assert_eq!(dag.flushing, holding.iter().any(|&h| h));
+        }
+        assert!(successes >= 1, "every schedule must admit one flush");
+    });
+    assert_eq!(explored, 6);
+}
+
+#[test]
+fn reentrant_claim_inside_a_flush_is_a_noop() {
+    let (mut dag, _keep) = diamond();
+    assert!(dag::begin_flush(&mut dag));
+    // A read during node execution re-enters flush: it must not claim.
+    assert!(!dag::begin_flush(&mut dag));
+    dag.flushing = false;
+    // After the drain completes the claim is available again.
+    assert!(dag::begin_flush(&mut dag));
+}
+
+#[test]
+fn empty_dag_never_claims_the_flush() {
+    let mut dag = Dag::default();
+    assert!(!dag::begin_flush(&mut dag));
+    assert!(!dag.flushing);
+    // Fully executed DAG (all slots None) also declines and compacts.
+    let (mut dag, _keep) = diamond();
+    for i in 0..4 {
+        if dag::ready_indices(&dag).contains(&i) {
+            complete(&mut dag, i);
+        }
+    }
+    complete_all(&mut dag);
+    assert!(!dag::begin_flush(&mut dag));
+    assert!(dag.nodes.is_empty(), "claim attempt compacts the spent DAG");
+}
+
+fn complete_all(dag: &mut Dag) {
+    loop {
+        let ready = dag::ready_indices(dag);
+        if ready.is_empty() {
+            return;
+        }
+        for i in ready {
+            complete(dag, i);
+        }
+    }
+}

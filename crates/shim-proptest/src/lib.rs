@@ -346,7 +346,7 @@ pub mod collection {
         }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`] strategy.
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -92,6 +92,131 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+pub mod model {
+    //! Loom-style exhaustive schedule exploration for deterministic
+    //! state machines.
+    //!
+    //! The upstream `loom` crate model-checks lock-free code by running
+    //! a closure under every legal thread interleaving. This offline
+    //! stand-in provides the same *exploration* primitive for the
+    //! cooperative schedulers in this workspace: the model under test
+    //! is a deterministic state machine whose nondeterminism comes only
+    //! from event ordering (which node of a wave completes first, when
+    //! a re-entrant flush lands), so enumerating every ordering and
+    //! asserting invariants under each is a complete check of the
+    //! schedule space — no weak-memory modelling is required, because
+    //! the checked code is single-threaded-cooperative by construction.
+    //!
+    //! Both drivers are exhaustive depth-first enumerations and return
+    //! the number of schedules explored, so tests can assert the whole
+    //! space was covered (e.g. `3! == 6`).
+
+    /// Visit every permutation of `items` (each a complete schedule of
+    /// distinguishable events), calling `check` with one order at a
+    /// time. Returns the number of schedules explored (`items.len()!`).
+    pub fn permutations<T: Clone, F: FnMut(&[T])>(items: &[T], mut check: F) -> usize {
+        fn recurse<T: Clone, F: FnMut(&[T])>(
+            pool: &mut Vec<T>,
+            acc: &mut Vec<T>,
+            check: &mut F,
+            explored: &mut usize,
+        ) {
+            if pool.is_empty() {
+                *explored += 1;
+                check(acc);
+                return;
+            }
+            for i in 0..pool.len() {
+                let item = pool.remove(i);
+                acc.push(item);
+                recurse(pool, acc, check, explored);
+                let item = acc.pop().expect("pushed above");
+                pool.insert(i, item);
+            }
+        }
+        let mut pool = items.to_vec();
+        let mut acc = Vec::with_capacity(pool.len());
+        let mut explored = 0;
+        recurse(&mut pool, &mut acc, &mut check, &mut explored);
+        explored
+    }
+
+    /// Visit every interleaving of `steps.len()` logical threads where
+    /// thread `i` performs `steps[i]` ordered atomic steps. `check`
+    /// receives each schedule as the sequence of thread indices whose
+    /// next step runs. Returns the number of schedules explored (the
+    /// multinomial coefficient over `steps`).
+    pub fn interleavings<F: FnMut(&[usize])>(steps: &[usize], mut check: F) -> usize {
+        fn recurse<F: FnMut(&[usize])>(
+            remaining: &mut [usize],
+            acc: &mut Vec<usize>,
+            check: &mut F,
+            explored: &mut usize,
+        ) {
+            if remaining.iter().all(|&r| r == 0) {
+                *explored += 1;
+                check(acc);
+                return;
+            }
+            for t in 0..remaining.len() {
+                if remaining[t] == 0 {
+                    continue;
+                }
+                remaining[t] -= 1;
+                acc.push(t);
+                recurse(remaining, acc, check, explored);
+                acc.pop();
+                remaining[t] += 1;
+            }
+        }
+        let mut remaining = steps.to_vec();
+        let mut acc = Vec::with_capacity(steps.iter().sum());
+        let mut explored = 0;
+        recurse(&mut remaining, &mut acc, &mut check, &mut explored);
+        explored
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn permutations_cover_the_full_factorial_space() {
+            let mut seen = std::collections::HashSet::new();
+            let explored = permutations(&[0, 1, 2], |order| {
+                seen.insert(order.to_vec());
+            });
+            assert_eq!(explored, 6);
+            assert_eq!(seen.len(), 6, "all 3! orders must be distinct");
+        }
+
+        #[test]
+        fn permutations_of_empty_run_once() {
+            let explored = permutations::<u8, _>(&[], |order| assert!(order.is_empty()));
+            assert_eq!(explored, 1);
+        }
+
+        #[test]
+        fn interleavings_cover_the_multinomial_space() {
+            let mut seen = std::collections::HashSet::new();
+            let explored = interleavings(&[2, 2], |sched| {
+                assert_eq!(sched.iter().filter(|&&t| t == 0).count(), 2);
+                assert_eq!(sched.iter().filter(|&&t| t == 1).count(), 2);
+                seen.insert(sched.to_vec());
+            });
+            assert_eq!(explored, 6, "C(4,2) interleavings of two 2-step threads");
+            assert_eq!(seen.len(), 6);
+        }
+
+        #[test]
+        fn interleavings_preserve_per_thread_program_order() {
+            // With steps [3], the only schedule is the thread alone.
+            let explored = interleavings(&[3], |sched| assert_eq!(sched, [0, 0, 0]));
+            assert_eq!(explored, 1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -177,16 +177,28 @@ fn disk_index_amortizes_across_restarts() {
 
 #[test]
 fn kernel_errors_propagate_through_dispatch() {
-    // A dimension error deep in GBTL must surface as a typed DSL error,
-    // not a panic.
+    // A dimension error is now caught by the static analyzer before any
+    // kernel dispatches, and surfaces as a typed diagnostic naming the
+    // op and both operand shapes — not a panic, and not a late JIT
+    // error from inside GBTL.
     let _sr = ArithmeticSemiring.enter();
     let a = Matrix::new(2, 3, DType::Fp64);
     let b = Matrix::new(4, 2, DType::Fp64); // inner dims clash
     let err = Matrix::from_expr(a.matmul(&b)).unwrap_err();
     match err {
-        PygbError::Jit(pygb_jit::JitError::OperationFailed { message }) => {
-            assert!(message.contains("dimension"), "{message}");
+        PygbError::Invalid {
+            op,
+            ref reason,
+            ref expr,
+        } => {
+            assert_eq!(op, "mxm");
+            assert!(reason.contains("2x3") && reason.contains("4x2"), "{reason}");
+            assert_eq!(expr, "mxm([2x3 fp64], [4x2 fp64])");
         }
         other => panic!("unexpected error {other:?}"),
     }
+    assert_eq!(
+        err.to_string(),
+        "invalid `mxm`: inner dimensions disagree: 2x3 @ 4x2; in mxm([2x3 fp64], [4x2 fp64])"
+    );
 }

@@ -310,3 +310,121 @@ fn algorithms_match_blocking_on_fig1() {
     let tri_nb = pygb_algorithms::tricount_nonblocking(&l).unwrap();
     assert_eq!(tri_b.as_i64(), tri_nb.as_i64());
 }
+
+/// Satellite regression: an op the analyzer rejects is refused at
+/// enqueue — it never enters the DAG, so it cannot poison the flush of
+/// the valid operations around it.
+#[test]
+fn invalid_op_is_rejected_at_enqueue_with_provenance() {
+    let u = dense(&[1.0, 2.0]);
+    let bad = dense(&[1.0, 2.0, 3.0]);
+    let mut w = Vector::new(2, DType::Fp64);
+    let mut ok = Vector::new(2, DType::Fp64);
+    {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        ok.no_mask().assign(&u + &u).unwrap(); // valid neighbour defers
+        let err = w.no_mask().assign(&u + &bad).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid `eWiseAdd`: operands have sizes 2 and 3; \
+             in eWiseAdd([2 fp64], [3 fp64])"
+        );
+        // Only the valid neighbour is pending; the flush runs it clean.
+        assert_eq!(pygb_runtime::plan().nodes.len(), 1);
+        assert!(pygb_runtime::flush().is_ok());
+    }
+    assert_eq!(ok.to_dense_f64(), vec![2.0, 4.0]);
+    assert_eq!(w.nvals(), 0, "the rejected op must never write");
+}
+
+/// Acceptance: a rule-3 collapse whose consumer output shares a store
+/// with the producer's merge base (two container handles, one store) is
+/// REFUSED by the aliasing analysis — counted, logged with a reason —
+/// and the unfused execution still matches blocking mode exactly.
+#[test]
+fn aliased_output_refuses_fusion_then_executes_correctly() {
+    let g = fig1_graph();
+    let u = dense(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+
+    let run = |w: &mut Vector| {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        let _sr = ArithmeticSemiring.enter();
+        let mut t = w.clone(); // t aliases w's store
+        t.no_mask().assign(g.mxv(&u)).unwrap();
+        w.no_mask().assign(&t).unwrap();
+        drop(t);
+    };
+
+    let mut warm = dense(&[0.0; 7]);
+    run(&mut warm); // warm the mxv and identity-assign kernels
+    warm.settle().unwrap();
+
+    let mut w = dense(&[9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0]);
+    let ((), d) = measure_dispatches(|| {
+        run(&mut w);
+        w.settle().unwrap();
+    });
+    assert_eq!(
+        d.refused, 1,
+        "the aliasing analysis must refuse the collapse"
+    );
+    assert_eq!(d.fused, 0);
+    assert_eq!(d.deferred, 2);
+    assert_eq!(d.invocations, 2, "refused pair dispatches unfused");
+    let refusals = pygb_runtime::last_refusals();
+    assert_eq!(refusals.len(), 1);
+    assert!(
+        refusals[0].contains("aliases the producer's merge base"),
+        "{}",
+        refusals[0]
+    );
+
+    // Unfused execution is still exactly the blocking result.
+    let mut expect = Vector::new(7, DType::Fp64);
+    {
+        let _sr = ArithmeticSemiring.enter();
+        expect.no_mask().assign(g.mxv(&u)).unwrap();
+    }
+    assert_vectors_identical(&w, &expect, "refused-then-correct");
+}
+
+/// The plan()/explain API: per-node shapes, dtypes, chosen kernels,
+/// dependencies, and fusion decisions of the pending DAG — read-only.
+#[test]
+fn plan_reports_shapes_kernels_and_fusion_decisions() {
+    let g = fig1_graph();
+    let mut f = Vector::new(7, DType::Bool);
+    f.set(3, true).unwrap();
+    let levels = Vector::new(7, DType::UInt64);
+    {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        let _sr = LogicalSemiring.enter();
+        let _rp = Replace.enter();
+        let t = Vector::from_expr(g.t().mxv(&f)).unwrap();
+        f.masked_complement(&levels).assign(&t).unwrap();
+        drop(t);
+
+        let plan = pygb_runtime::plan();
+        assert_eq!(plan.nodes.len(), 2);
+        let n0 = &plan.nodes[0];
+        assert_eq!(n0.kernel, "mxv");
+        assert!(n0.op.starts_with("mxv([7x7 fp64], [7 bool])"), "{}", n0.op);
+        assert!(n0.output.starts_with("[7 "), "{}", n0.output);
+        assert!(n0.deps.is_empty());
+        assert!(!n0.masked && !n0.accum);
+        let n1 = &plan.nodes[1];
+        assert_eq!(n1.kernel, "apply_v");
+        assert!(n1.masked && n1.complemented && n1.replace);
+        assert_eq!(n1.deps, vec![0]);
+        assert_eq!(
+            n1.fusion.as_deref(),
+            Some("fuses node #0 (rule 3: ref collapse)")
+        );
+        let rendered = plan.to_string();
+        assert!(rendered.contains("kernel=mxv"), "{rendered}");
+        assert!(rendered.contains("mask=~m"), "{rendered}");
+        assert!(rendered.contains("deps=[0]"), "{rendered}");
+    } // flush on scope exit: plan() must not have disturbed the DAG
+    f.settle().unwrap();
+    assert_eq!(f.nvals(), 2, "one BFS step from vertex 3 reaches {{0, 2}}");
+}
