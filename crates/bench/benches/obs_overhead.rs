@@ -1,0 +1,85 @@
+//! Asserts the cost contract of `pygb-obs` when tracing is disabled:
+//! an instrumentation point is one relaxed atomic load and a branch —
+//! zero heap allocations, no clock reads, no locks. Run as a plain
+//! binary (`harness = false`) so the allocation counter wraps the
+//! whole process:
+//!
+//! ```text
+//! cargo bench -p pygb-bench --bench obs_overhead
+//! ```
+//!
+//! Exits nonzero (panics) if a disabled span allocates, records an
+//! event, or exceeds a generous per-call latency budget.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapper that counts every allocation.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const ITERS: u64 = 1_000_000;
+
+/// Per-call budget, far above the expected cost (~1–2 ns for a relaxed
+/// load + branch) but far below anything that allocates, locks, or
+/// reads a clock — loose enough for a loaded CI runner.
+const MAX_NS_PER_CALL: u128 = 200;
+
+fn main() {
+    pygb_obs::disable();
+
+    // Warm up: fault in code paths and thread-locals.
+    for _ in 0..1_000 {
+        let _sp = pygb_obs::span(pygb_obs::Cat::Exec, "warmup");
+        std::hint::black_box(&_sp);
+    }
+
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for i in 0..ITERS {
+        let sp = pygb_obs::span(pygb_obs::Cat::Exec, "disabled");
+        std::hint::black_box(&sp);
+        // The label closure must not run while disabled — if it did,
+        // the `format!` would both allocate and trip the counter.
+        let sp2 = pygb_obs::span_labeled(pygb_obs::Cat::Kernel, || format!("never-{i}"));
+        std::hint::black_box(&sp2);
+    }
+    let elapsed = start.elapsed();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+
+    assert_eq!(
+        allocs, 0,
+        "disabled-mode spans must not allocate ({allocs} allocations over {ITERS} iterations)"
+    );
+    assert!(
+        pygb_obs::events().is_empty(),
+        "disabled-mode spans must not record events"
+    );
+    let per_call = elapsed.as_nanos() / (2 * ITERS) as u128;
+    assert!(
+        per_call <= MAX_NS_PER_CALL,
+        "disabled span cost {per_call} ns/call exceeds the {MAX_NS_PER_CALL} ns budget"
+    );
+
+    println!(
+        "obs_overhead: OK: {} disabled span calls, 0 allocations, {per_call} ns/call \
+         (budget {MAX_NS_PER_CALL} ns)",
+        2 * ITERS
+    );
+}

@@ -12,7 +12,7 @@ use std::time::Instant;
 use pygb_algorithms::Variant;
 use pygb_bench::fig10::{self, Algorithm};
 use pygb_bench::fig11::{self, ContainerWorkload, Side, Step};
-use pygb_bench::report::{render_table, to_json, Sample};
+use pygb_bench::report::{bench_summary_json, render_table, to_json, BenchSummaryEntry, Sample};
 use pygb_bench::workloads::{size_sweep, Workload};
 
 struct Options {
@@ -52,6 +52,7 @@ fn main() {
             "fig10".into(),
             "fig11".into(),
             "compile-times".into(),
+            "summary".into(),
         ];
     }
 
@@ -63,7 +64,8 @@ fn main() {
             "fig10" => all_samples.extend(run_fig10(&opts)),
             "fig11" => all_samples.extend(run_fig11(&opts)),
             "compile-times" => compile_times(),
-            other => eprintln!("unknown command `{other}` (try: all, table1, combinatorics, fig10, fig11, compile-times)"),
+            "summary" => summary(&opts),
+            other => eprintln!("unknown command `{other}` (try: all, table1, combinatorics, fig10, fig11, compile-times, summary)"),
         }
     }
 
@@ -284,6 +286,64 @@ fn run_fig11(opts: &Options) -> Vec<Sample> {
         samples.extend(step_samples);
     }
     samples
+}
+
+/// `results/bench_summary.json`: each algorithm's nonblocking variant
+/// run once under tracing, emitting wall time, the per-phase breakdown
+/// (from the observability layer's span totals), and per-kernel-family
+/// execution counts (metrics histogram deltas).
+fn summary(opts: &Options) {
+    println!("# Bench summary — wall time + per-phase attribution (nonblocking variant)\n");
+    let n = 1usize << opts.max_pow.min(8);
+    let mut entries = Vec::new();
+    pygb_obs::enable();
+    for algo in Algorithm::ALL {
+        let w = Workload::erdos_renyi(n, 42);
+        // Warm the JIT cache so the breakdown attributes steady-state
+        // dispatch, not first-run compilation.
+        fig10::run_once(algo, Variant::Nonblocking, &w);
+        pygb_obs::clear_events();
+        let before = pygb_obs::registry().snapshot();
+        let dt = fig10::run_once(algo, Variant::Nonblocking, &w);
+        let after = pygb_obs::registry().snapshot();
+        let phases = pygb_obs::phase_totals()
+            .into_iter()
+            .map(|(p, ns)| (p.to_string(), ns))
+            .collect();
+        let kernels = after
+            .histograms
+            .iter()
+            .filter_map(|(name, h)| {
+                let family = name.strip_prefix("kernel/")?;
+                let delta = h.count - before.histogram_count(name);
+                (delta > 0).then(|| (family.to_string(), delta))
+            })
+            .collect();
+        let entry = BenchSummaryEntry {
+            algorithm: algo.label().to_string(),
+            n,
+            wall_seconds: dt.as_secs_f64(),
+            phases,
+            kernels,
+        };
+        println!(
+            "  {:<16} |V|={:<6} wall={}  kernels={}",
+            entry.algorithm,
+            entry.n,
+            pygb_bench::report::format_seconds(entry.wall_seconds),
+            entry.kernels.iter().map(|(_, c)| c).sum::<u64>(),
+        );
+        entries.push(entry);
+    }
+    pygb_obs::disable();
+    pygb_obs::clear_events();
+
+    let _ = std::fs::create_dir_all("results");
+    let path = "results/bench_summary.json";
+    match std::fs::write(path, bench_summary_json(&entries)) {
+        Ok(()) => println!("\nbench summary written to {path}\n"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}\n"),
+    }
 }
 
 /// Compile-time summary: cold instantiation vs warm dispatch vs

@@ -104,6 +104,68 @@ fn format_json_f64(v: f64) -> String {
     }
 }
 
+// ---------------------------------------------------------------------
+// Bench summary: per-algorithm wall time + observability attribution.
+// ---------------------------------------------------------------------
+
+/// One per-algorithm row of `results/bench_summary.json`: the measured
+/// wall time of a run plus the observability layer's attribution of
+/// where it went (per-lifecycle-phase totals and per-kernel-family
+/// execution counts, both from `pygb-obs`).
+#[derive(Debug, Clone, Default)]
+pub struct BenchSummaryEntry {
+    /// Algorithm label (`"bfs"`, `"pagerank"`, ...).
+    pub algorithm: String,
+    /// Problem size (|V|).
+    pub n: usize,
+    /// End-to-end wall time of the run, seconds.
+    pub wall_seconds: f64,
+    /// Total nanoseconds per lifecycle phase (`pygb_obs::phase_totals`
+    /// over the run's span events).
+    pub phases: Vec<(String, u64)>,
+    /// Executions per kernel family (metrics histogram-count deltas
+    /// across the run, `kernel/` prefix stripped).
+    pub kernels: Vec<(String, u64)>,
+}
+
+/// Serialize bench-summary entries as the `pygb-bench-summary/1`
+/// document written to `results/bench_summary.json`.
+pub fn bench_summary_json(entries: &[BenchSummaryEntry]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"pygb-bench-summary/1\",\n  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\n      \"algorithm\": \"{}\",\n      \"n\": {},\n      \
+             \"wall_seconds\": {},\n      \"phases_ns\": {{",
+            escape_string(&e.algorithm),
+            e.n,
+            format_json_f64(e.wall_seconds)
+        ));
+        for (j, (phase, ns)) in e.phases.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\": {ns}", escape_string(phase)));
+        }
+        out.push_str("},\n      \"kernels\": {");
+        for (j, (kernel, count)) in e.kernels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\": {count}", escape_string(kernel)));
+        }
+        out.push_str("}\n    }");
+    }
+    out.push_str(if entries.is_empty() {
+        "]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +198,50 @@ mod tests {
         let samples = vec![Sample::new("x", "y", 1, Duration::from_secs(1))];
         let json = to_json(&samples);
         assert!(json.contains("\"seconds\": 1.0"));
+    }
+
+    #[test]
+    fn bench_summary_parses_back_with_all_fields() {
+        let entries = vec![BenchSummaryEntry {
+            algorithm: "bfs".into(),
+            n: 256,
+            wall_seconds: 0.0125,
+            phases: vec![("flush".into(), 900), ("kernel".into(), 400)],
+            kernels: vec![("mxv/masked_push".into(), 7)],
+        }];
+        let json = bench_summary_json(&entries);
+        let doc = pygb_jit::json::parse(&json).expect("summary JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("pygb-bench-summary/1")
+        );
+        let entry = &doc.get("entries").and_then(|v| v.as_array()).unwrap()[0];
+        assert_eq!(entry.get("algorithm").and_then(|v| v.as_str()), Some("bfs"));
+        assert_eq!(entry.get("n").and_then(|v| v.as_u64()), Some(256));
+        assert_eq!(
+            entry
+                .get("phases_ns")
+                .and_then(|p| p.get("flush"))
+                .and_then(|v| v.as_u64()),
+            Some(900)
+        );
+        assert_eq!(
+            entry
+                .get("kernels")
+                .and_then(|p| p.get("mxv/masked_push"))
+                .and_then(|v| v.as_u64()),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn empty_bench_summary_is_valid_json() {
+        let doc = pygb_jit::json::parse(&bench_summary_json(&[])).expect("parses");
+        assert_eq!(
+            doc.get("entries")
+                .and_then(|v| v.as_array())
+                .map(<[_]>::len),
+            Some(0)
+        );
     }
 }

@@ -131,7 +131,13 @@ pub(crate) fn eval_matrix(
     // Static analysis first, on both paths: a malformed operation is
     // rejected here — at the statement that built it — whether it would
     // have executed now or been enqueued into the op-DAG.
-    crate::analyze::check_matrix(target, &mask, replace, &region, &expr)?;
+    {
+        let _sp = pygb_obs::span(pygb_obs::Cat::Analyze, "analyze/matrix");
+        crate::analyze::check_matrix(target, &mask, replace, &region, &expr)?;
+    }
+    // The expression tree timed its own construction; surface it as a
+    // build-phase span (its end is approximated by "now").
+    pygb_obs::observe_phase(pygb_obs::Cat::Build, "build/matrix_expr", expr.build_ns);
 
     if crate::nb::is_deferring() {
         return crate::nb::enqueue_matrix(
@@ -293,7 +299,10 @@ pub(crate) fn assign_matrix_scalar(
     region: Option<(Indices, Indices)>,
     value: DynScalar,
 ) -> Result<()> {
-    crate::analyze::check_matrix_scalar(target, &mask, replace, &region, &value)?;
+    {
+        let _sp = pygb_obs::span(pygb_obs::Cat::Analyze, "analyze/matrix_scalar");
+        crate::analyze::check_matrix_scalar(target, &mask, replace, &region, &value)?;
+    }
 
     if crate::nb::is_deferring() {
         return crate::nb::enqueue_matrix(
@@ -360,7 +369,11 @@ pub(crate) fn eval_vector(
     let replace = replace.unwrap_or(false);
 
     // Static analysis first, on both paths (see `eval_matrix`).
-    crate::analyze::check_vector(target, &mask, replace, &region, &expr)?;
+    {
+        let _sp = pygb_obs::span(pygb_obs::Cat::Analyze, "analyze/vector");
+        crate::analyze::check_vector(target, &mask, replace, &region, &expr)?;
+    }
+    pygb_obs::observe_phase(pygb_obs::Cat::Build, "build/vector_expr", expr.build_ns);
 
     if crate::nb::is_deferring() {
         return crate::nb::enqueue_vector(
@@ -571,7 +584,10 @@ pub(crate) fn assign_vector_scalar(
     region: Option<Indices>,
     value: DynScalar,
 ) -> Result<()> {
-    crate::analyze::check_vector_scalar(target, &mask, replace, &region, &value)?;
+    {
+        let _sp = pygb_obs::span(pygb_obs::Cat::Analyze, "analyze/vector_scalar");
+        crate::analyze::check_vector_scalar(target, &mask, replace, &region, &value)?;
+    }
 
     if crate::nb::is_deferring() {
         return crate::nb::enqueue_vector(

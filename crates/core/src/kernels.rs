@@ -974,6 +974,10 @@ fn fused_ewise_reduce_factory(key: &ModuleKey) -> Result<Box<dyn Kernel>, JitErr
 /// benchmarks can build isolated registries to measure instantiation
 /// ("compile") cost without touching the global cache.
 pub fn register_all(registry: &FactoryRegistry) {
+    // Route the substrate's kernel entry/exit reports into the
+    // observability layer: per-family latency histograms plus a
+    // complete trace span per kernel execution.
+    gbtl::hooks::install_kernel_observer(pygb_obs::observe_kernel);
     registry.register("mxm", dtype_factory!("mxm", MatArgs, k_mxm));
     registry.register("mxv", dtype_factory!("mxv", VecArgs, k_mxv));
     registry.register("vxm", dtype_factory!("vxm", VecArgs, k_vxm));

@@ -271,6 +271,7 @@ pub(crate) fn enqueue_vector(
     rhs: VecRhs,
 ) -> Result<()> {
     let ops = engine().expect("is_deferring() implies an installed engine");
+    let _sp = pygb_obs::span(pygb_obs::Cat::Enqueue, "enqueue/vector");
     // The placeholder is a real empty store with the target's shape and
     // dtype, so size/dtype queries never need a flush.
     let out = Arc::new(VectorStore::new(target.size(), target.dtype()));
@@ -298,6 +299,7 @@ pub(crate) fn enqueue_matrix(
     rhs: MatRhs,
 ) -> Result<()> {
     let ops = engine().expect("is_deferring() implies an installed engine");
+    let _sp = pygb_obs::span(pygb_obs::Cat::Enqueue, "enqueue/matrix");
     let (r, c) = (target.nrows(), target.ncols());
     let out = Arc::new(MatrixStore::new(r, c, target.dtype()));
     let desc = MatOpDesc {

@@ -1,0 +1,80 @@
+//! Kernel entry/exit observation hooks.
+//!
+//! The substrate stays dependency-free: an embedding layer (in this
+//! workspace, `pygb`'s kernel registry) installs one process-wide
+//! observer function, and every operation entry point reports
+//! `(kernel name, elapsed nanoseconds)` on successful completion.
+//! Kernel names are `family/variant` (for example `mxv/masked_push`,
+//! `mxm/gustavson`) so the observer can aggregate per kernel family.
+//!
+//! When no observer is installed — or before one is — the per-kernel
+//! cost is one `OnceLock` load and a branch; no clock is read.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The observer signature: a kernel named `name` just completed,
+/// having taken `ns` nanoseconds (measured around selection and
+/// execution, excluding argument validation).
+pub type KernelObserver = fn(name: &'static str, ns: u64);
+
+static OBSERVER: OnceLock<KernelObserver> = OnceLock::new();
+
+/// Install the process-wide kernel observer. The first installation
+/// wins; returns whether this call installed it.
+pub fn install_kernel_observer(observer: KernelObserver) -> bool {
+    OBSERVER.set(observer).is_ok()
+}
+
+#[inline]
+fn observer() -> Option<KernelObserver> {
+    OBSERVER.get().copied()
+}
+
+/// RAII-free kernel timer: reads the clock only when an observer is
+/// installed, and reports on [`KernelTimer::finish`] — error paths
+/// simply never call `finish`, so failed operations are not observed.
+pub(crate) struct KernelTimer(Option<Instant>);
+
+impl KernelTimer {
+    #[inline]
+    pub(crate) fn start() -> Self {
+        KernelTimer(observer().map(|_| Instant::now()))
+    }
+
+    #[inline]
+    pub(crate) fn finish(self, name: &'static str) {
+        if let (Some(start), Some(f)) = (self.0, observer()) {
+            f(name, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+
+    fn test_observer(_name: &'static str, _ns: u64) {
+        CALLS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn timer_reports_once_installed() {
+        // Before installation the timer is inert.
+        let t = KernelTimer::start();
+        t.finish("unit/inert");
+        let installed = install_kernel_observer(test_observer);
+        // In-process, only the first install wins; either way an
+        // observer is now present.
+        assert!(installed || OBSERVER.get().is_some());
+        let before = CALLS.load(Ordering::Relaxed);
+        let t = KernelTimer::start();
+        t.finish("unit/live");
+        if installed {
+            assert_eq!(CALLS.load(Ordering::Relaxed), before + 1);
+        }
+    }
+}

@@ -59,6 +59,7 @@
 
 pub mod algorithms;
 pub mod error;
+pub mod hooks;
 pub mod index;
 pub mod mask;
 pub mod matrix;

@@ -37,10 +37,12 @@ where
         )));
     }
     check_vector_mask(mask, w.size())?;
+    let timer = crate::hooks::KernelTimer::start();
     let indices = u.extract_indices();
     let values = u.values().iter().map(|&v| f.apply(v)).collect();
     let t = Vector::from_sorted_entries(u.size(), indices, values);
     write_vector(w, mask, &accum, t, replace);
+    timer.finish("apply/vector");
     Ok(())
 }
 
@@ -69,6 +71,7 @@ where
         )));
     }
     check_matrix_mask(mask, c.nrows(), c.ncols())?;
+    let timer = crate::hooks::KernelTimer::start();
     let am = a.materialize();
     let rows = (0..am.nrows())
         .map(|i| {
@@ -81,6 +84,7 @@ where
         .collect();
     let t = Matrix::from_rows(am.nrows(), am.ncols(), rows);
     write_matrix(c, mask, &accum, t, replace);
+    timer.finish("apply/matrix");
     Ok(())
 }
 

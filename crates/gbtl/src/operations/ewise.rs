@@ -36,8 +36,10 @@ where
 {
     check_vector_dims(w, u, v, "eWiseAdd")?;
     check_vector_mask(mask, w.size())?;
+    let timer = crate::hooks::KernelTimer::start();
     let t = union_vectors(op, u, v);
     write_vector(w, mask, &accum, t, replace);
+    timer.finish("ewise_add/vector");
     Ok(())
 }
 
@@ -59,8 +61,10 @@ where
 {
     check_vector_dims(w, u, v, "eWiseMult")?;
     check_vector_mask(mask, w.size())?;
+    let timer = crate::hooks::KernelTimer::start();
     let t = intersect_vectors(op, u, v);
     write_vector(w, mask, &accum, t, replace);
+    timer.finish("ewise_mult/vector");
     Ok(())
 }
 
@@ -218,6 +222,7 @@ where
         )));
     }
     check_matrix_mask(mask, c.nrows(), c.ncols())?;
+    let timer = crate::hooks::KernelTimer::start();
 
     let am = a.materialize();
     let bm = b.materialize();
@@ -232,6 +237,11 @@ where
     );
     let t = Matrix::from_rows(am.nrows(), am.ncols(), rows);
     write_matrix(c, mask, &accum, t, replace);
+    timer.finish(if union {
+        "ewise_add/matrix"
+    } else {
+        "ewise_mult/matrix"
+    });
     Ok(())
 }
 

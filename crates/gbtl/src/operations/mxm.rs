@@ -90,6 +90,7 @@ where
         )));
     }
     check_matrix_mask(mask, c.nrows(), c.ncols())?;
+    let timer = crate::hooks::KernelTimer::start();
 
     let probe = mask.probe();
     let kernel = match probe {
@@ -115,6 +116,11 @@ where
         }
     };
     write_matrix(c, mask, &accum, t, replace);
+    timer.finish(match kernel {
+        MxmKernel::Gustavson => "mxm/gustavson",
+        MxmKernel::MaskedGustavson => "mxm/masked_gustavson",
+        MxmKernel::MaskedDot => "mxm/masked_dot",
+    });
     Ok(kernel)
 }
 

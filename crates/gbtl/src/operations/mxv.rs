@@ -91,6 +91,7 @@ where
         )));
     }
     check_vector_mask(mask, w.size())?;
+    let timer = crate::hooks::KernelTimer::start();
 
     // Direction: pull iterates output rows of the logical matrix; push
     // iterates the stored entries of `u` and scatters rows of Aᵀ.
@@ -137,6 +138,12 @@ where
         }
     };
     write_vector(w, mask, &accum, t, replace);
+    timer.finish(match kernel {
+        SpmvKernel::Pull => "mxv/pull",
+        SpmvKernel::MaskedPull => "mxv/masked_pull",
+        SpmvKernel::Push => "mxv/push",
+        SpmvKernel::MaskedPush => "mxv/masked_push",
+    });
     Ok(kernel)
 }
 

@@ -39,6 +39,7 @@ where
         )));
     }
     check_vector_mask(mask, w.size())?;
+    let timer = crate::hooks::KernelTimer::start();
     let am = a.materialize();
     let mut indices = Vec::new();
     let mut values = Vec::new();
@@ -52,6 +53,7 @@ where
     }
     let t = Vector::from_sorted_entries(am.nrows(), indices, values);
     write_vector(w, mask, &accum, t, replace);
+    timer.finish("reduce/rows");
     Ok(())
 }
 
@@ -63,10 +65,13 @@ where
     M: Monoid<T>,
 {
     // Transposition cannot change a full reduction; use storage order.
+    let timer = crate::hooks::KernelTimer::start();
     let inner = a.into().inner();
-    inner
+    let s = inner
         .iter()
-        .fold(monoid.identity(), |acc, (_, _, v)| monoid.apply(acc, v))
+        .fold(monoid.identity(), |acc, (_, _, v)| monoid.apply(acc, v));
+    timer.finish("reduce/matrix_scalar");
+    s
 }
 
 /// `s = [⊕ᵢ u(i)]` — reduce a vector to a scalar.
@@ -75,9 +80,13 @@ where
     T: Scalar,
     M: Monoid<T>,
 {
-    u.values()
+    let timer = crate::hooks::KernelTimer::start();
+    let s = u
+        .values()
         .iter()
-        .fold(monoid.identity(), |acc, &v| monoid.apply(acc, v))
+        .fold(monoid.identity(), |acc, &v| monoid.apply(acc, v));
+    timer.finish("reduce/vector_scalar");
+    s
 }
 
 #[cfg(test)]

@@ -55,7 +55,7 @@ pub struct ModuleRecord {
 pub struct ModuleCache {
     memory: RwLock<HashMap<u64, Arc<dyn Kernel>>>,
     disk: Option<DiskIndex>,
-    stats: JitStats,
+    stats: Arc<JitStats>,
 }
 
 struct DiskIndex {
@@ -70,7 +70,7 @@ impl ModuleCache {
         ModuleCache {
             memory: RwLock::new(HashMap::new()),
             disk: None,
-            stats: JitStats::new(),
+            stats: Arc::new(JitStats::new()),
         }
     }
 
@@ -91,7 +91,7 @@ impl ModuleCache {
                 path,
                 known: RwLock::new(known),
             }),
-            stats: JitStats::new(),
+            stats: Arc::new(JitStats::new()),
         }
     }
 
@@ -176,6 +176,13 @@ impl ModuleCache {
     /// The dispatch statistics for this cache.
     pub fn stats(&self) -> &JitStats {
         &self.stats
+    }
+
+    /// Shared handle to the statistics — what the global runtime
+    /// registers with the `pygb-obs` metrics registry, so one snapshot
+    /// reads these counters alongside every other subsystem's.
+    pub fn stats_arc(&self) -> Arc<JitStats> {
+        Arc::clone(&self.stats)
     }
 }
 

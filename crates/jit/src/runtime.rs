@@ -94,6 +94,10 @@ impl JitRuntime {
         args: &mut dyn Any,
         mut trace: PipelineTrace,
     ) -> Result<(), JitError> {
+        let _sp = pygb_obs::span_labeled(pygb_obs::Cat::Dispatch, || {
+            format!("dispatch/{}", key.func())
+        });
+
         // Key hashing (the paper's `hash(kwargs)`).
         let start = Instant::now();
         let _hash = key.module_hash();
@@ -110,8 +114,14 @@ impl JitRuntime {
         // Invocation.
         let start = Instant::now();
         let result = kernel.invoke(args);
-        trace.record(Stage::Invocation, start.elapsed().as_nanos() as u64);
+        let invoke_ns = start.elapsed().as_nanos() as u64;
+        trace.record(Stage::Invocation, invoke_ns);
         self.cache.stats().record_invocation();
+        if pygb_obs::enabled() {
+            pygb_obs::registry()
+                .histogram(&format!("dispatch/{}", key.func()))
+                .record(invoke_ns);
+        }
 
         if self.tracing() {
             let mut traces = self.traces.write();
@@ -135,6 +145,11 @@ pub fn global() -> &'static Arc<JitRuntime> {
             Some(dir) if !dir.is_empty() => JitRuntime::with_disk_index(dir),
             _ => JitRuntime::in_memory(),
         };
+        // The global runtime's counters feed the unified metrics
+        // registry (standalone runtimes stay private to their tests),
+        // and `PYGB_TRACE=<path>` turns tracing on at first dispatch.
+        pygb_obs::registry().register_source("jit", runtime.cache().stats_arc());
+        pygb_obs::init_from_env();
         Arc::new(runtime)
     })
 }

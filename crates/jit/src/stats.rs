@@ -217,6 +217,41 @@ impl JitStats {
     }
 }
 
+/// The unified-registry facade: a `JitStats` plugs into the process
+/// `pygb_obs` [`MetricsRegistry`](pygb_obs::MetricsRegistry) as one
+/// [`MetricsSource`](pygb_obs::MetricsSource), so the JIT, fusion, and
+/// kernel-selection counters all read out through a single
+/// `registry().snapshot()` (as `jit/<counter>`). The struct keeps its
+/// own lock-free fields for the hot path; [`JitStats::snapshot`]
+/// remains the public per-instance API.
+impl pygb_obs::MetricsSource for JitStats {
+    fn collect(&self) -> Vec<(String, u64)> {
+        let s = self.snapshot();
+        [
+            ("memory_hits", s.memory_hits),
+            ("disk_hits", s.disk_hits),
+            ("compiles", s.compiles),
+            ("invocations", s.invocations),
+            ("compile_ns_total", s.compile_ns_total),
+            ("lookup_ns_total", s.lookup_ns_total),
+            ("deferred_ops", s.deferred_ops),
+            ("fused_ops", s.fused_ops),
+            ("elided_ops", s.elided_ops),
+            ("refused_fusions", s.refused_fusions),
+            ("sel_spgemm", s.sel_spgemm),
+            ("sel_masked_spgemm", s.sel_masked_spgemm),
+            ("sel_dot_spgemm", s.sel_dot_spgemm),
+            ("sel_pull", s.sel_pull),
+            ("sel_masked_pull", s.sel_masked_pull),
+            ("sel_push", s.sel_push),
+            ("sel_masked_push", s.sel_masked_push),
+        ]
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect()
+    }
+}
+
 impl StatsSnapshot {
     /// Total dispatches that consulted the cache.
     pub fn total_dispatches(&self) -> u64 {

@@ -37,6 +37,31 @@ use pygb::store::VectorStore;
 use crate::dag::{self, node_inputs, vptr, Dag, Node};
 
 // ---------------------------------------------------------------------
+// Node identity.
+// ---------------------------------------------------------------------
+
+/// Stable identity of a deferred DAG node, assigned at enqueue and kept
+/// through fusion rewrites. Rendered as `n<N>` everywhere a node is
+/// named — [`plan`], [`trace_report`], and refusal diagnostics all
+/// refer to the same node by the same token, so a plan printed before a
+/// flush can be lined up against the trace report printed after it.
+/// Numbering restarts at `n0` once a DAG fully drains, matching the
+/// per-scope numbering a fresh plan shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+fn fmt_ids(ids: &[NodeId]) -> String {
+    let parts: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+// ---------------------------------------------------------------------
 // Refusal log.
 // ---------------------------------------------------------------------
 
@@ -188,8 +213,9 @@ pub(crate) fn mat_kernel_name(d: &MatOpDesc) -> &'static str {
 /// One analyzed node of the pending DAG.
 #[derive(Debug, Clone)]
 pub struct PlanNode {
-    /// Node index (enqueue order; also the id `deps` refers to).
-    pub index: usize,
+    /// Stable node identity (enqueue order; also what `deps` refers
+    /// to, and the token [`trace_report`] uses for the same node).
+    pub id: NodeId,
     /// The operation, rendered with every operand's shape and dtype.
     pub op: String,
     /// The inferred output, as `[shape dtype]`.
@@ -204,8 +230,8 @@ pub struct PlanNode {
     pub accum: bool,
     /// GraphBLAS replace flag.
     pub replace: bool,
-    /// Indices of pending nodes this node reads.
-    pub deps: Vec<usize>,
+    /// Ids of pending nodes this node reads.
+    pub deps: Vec<NodeId>,
     /// Fusion assessment: which producer this node would absorb at
     /// flush, or why the aliasing analysis refuses; `None` when no
     /// fusion rule matches.
@@ -228,8 +254,8 @@ impl fmt::Display for Plan {
         for n in &self.nodes {
             write!(
                 f,
-                "  #{} {} -> {}  kernel={}",
-                n.index, n.op, n.output, n.kernel
+                "  {} {} -> {}  kernel={}",
+                n.id, n.op, n.output, n.kernel
             )?;
             if n.masked {
                 write!(f, "  mask{}", if n.complemented { "=~m" } else { "=m" })?;
@@ -241,7 +267,7 @@ impl fmt::Display for Plan {
                 write!(f, "  replace")?;
             }
             if !n.deps.is_empty() {
-                write!(f, "  deps={:?}", n.deps)?;
+                write!(f, "  deps={}", fmt_ids(&n.deps))?;
             }
             if let Some(fu) = &n.fusion {
                 write!(f, "  {fu}")?;
@@ -267,7 +293,30 @@ pub fn plan() -> Plan {
     })
 }
 
-fn plan_node(dag: &Dag, index: usize, n: &Node) -> PlanNode {
+/// Shared rendering of a node's operation and kernel family — the
+/// `plan` and `trace_report` views describe the same node with the
+/// same strings.
+pub(crate) fn node_summary(n: &Node) -> (String, String) {
+    match n {
+        Node::Vec(d) => (
+            match &d.rhs {
+                VecRhs::Expr(e) => pygb::analyze::describe_vector_expr(e),
+                VecRhs::Scalar(v) => format!("assign scalar {}", v.dtype()),
+            },
+            vec_kernel_name(d).to_string(),
+        ),
+        Node::Mat(d) => (
+            match &d.rhs {
+                MatRhs::Expr(e) => pygb::analyze::describe_matrix_expr(e),
+                MatRhs::Scalar(v) => format!("assign scalar {}", v.dtype()),
+            },
+            mat_kernel_name(d).to_string(),
+        ),
+    }
+}
+
+/// Ids of the pending nodes that `n` (at slot `index`) reads.
+pub(crate) fn node_dep_ids(dag: &Dag, index: usize, n: &Node) -> Vec<NodeId> {
     let mut deps: Vec<usize> = node_inputs(n)
         .iter()
         .filter_map(|p| dag.pending.get(p).copied())
@@ -275,15 +324,18 @@ fn plan_node(dag: &Dag, index: usize, n: &Node) -> PlanNode {
         .collect();
     deps.sort_unstable();
     deps.dedup();
+    deps.into_iter().map(|i| dag.ids[i]).collect()
+}
+
+fn plan_node(dag: &Dag, index: usize, n: &Node) -> PlanNode {
+    let deps = node_dep_ids(dag, index, n);
+    let (op, kernel) = node_summary(n);
     match n {
         Node::Vec(d) => PlanNode {
-            index,
-            op: match &d.rhs {
-                VecRhs::Expr(e) => pygb::analyze::describe_vector_expr(e),
-                VecRhs::Scalar(v) => format!("assign scalar {}", v.dtype()),
-            },
+            id: dag.ids[index],
+            op,
             output: format!("[{} {}]", d.out.size(), d.out.dtype()),
-            kernel: vec_kernel_name(d).to_string(),
+            kernel,
             masked: d.mask.is_some(),
             complemented: d.mask.as_ref().is_some_and(|(_, c)| *c),
             accum: d.accum.is_some(),
@@ -292,13 +344,10 @@ fn plan_node(dag: &Dag, index: usize, n: &Node) -> PlanNode {
             fusion: assess_fusion(dag, d),
         },
         Node::Mat(d) => PlanNode {
-            index,
-            op: match &d.rhs {
-                MatRhs::Expr(e) => pygb::analyze::describe_matrix_expr(e),
-                MatRhs::Scalar(v) => format!("assign scalar {}", v.dtype()),
-            },
+            id: dag.ids[index],
+            op,
             output: format!("[{}x{} {}]", d.out.nrows(), d.out.ncols(), d.out.dtype()),
-            kernel: mat_kernel_name(d).to_string(),
+            kernel,
             masked: d.mask.is_some(),
             complemented: d.mask.as_ref().is_some_and(|(_, c)| *c),
             accum: d.accum.is_some(),
@@ -332,8 +381,10 @@ fn assess_fusion(dag: &Dag, c: &VecOpDesc) -> Option<String> {
     let is_spmv =
         |k: &VectorExprKind| matches!(k, VectorExprKind::MxV { .. } | VectorExprKind::VxM { .. });
     let verdict = |check: FuseCheck, rule: &str| match check {
-        FuseCheck::Fusible(i) => Some(format!("fuses node #{i} ({rule})")),
-        FuseCheck::Refused(i, why) => Some(format!("fusion with node #{i} refused: {why}")),
+        FuseCheck::Fusible(i) => Some(format!("fuses node {} ({rule})", dag.ids[i])),
+        FuseCheck::Refused(i, why) => {
+            Some(format!("fusion with node {} refused: {why}", dag.ids[i]))
+        }
         FuseCheck::No => None,
     };
     match &ce.kind {
@@ -361,4 +412,206 @@ fn assess_fusion(dag: &Dag, c: &VecOpDesc) -> Option<String> {
         ),
         _ => None,
     }
+}
+
+// ---------------------------------------------------------------------
+// trace_report(): the executed DAG, annotated with measured timings.
+// ---------------------------------------------------------------------
+
+/// One node the most recent flush executed, with its measured wall
+/// time. Node identity ([`NodeId`]) and the `op`/`kernel` strings are
+/// shared with [`PlanNode`], so a plan printed before the flush lines
+/// up against this report line by line.
+#[derive(Debug, Clone)]
+pub struct ExecutedNode {
+    /// Stable node identity (same token [`plan`] showed for this node).
+    pub id: NodeId,
+    /// The operation, rendered with every operand's shape and dtype.
+    pub op: String,
+    /// The kernel family the node dispatched as — after fusion, so a
+    /// consumer that absorbed its producer reports the composite
+    /// kernel.
+    pub kernel: String,
+    /// The scheduling wave (0-based) the node executed in.
+    pub wave: usize,
+    /// Measured wall-clock execution time, nanoseconds.
+    pub ns: u64,
+    /// Ids of pending nodes this node read (post-fusion edges).
+    pub deps: Vec<NodeId>,
+}
+
+/// The most recent flush on this thread, annotated with measured
+/// per-node timings. Empty unless tracing was enabled
+/// ([`pygb_obs::enable`] or `PYGB_TRACE`) when the flush ran.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Executed nodes, ordered by wave then id.
+    pub nodes: Vec<ExecutedNode>,
+    /// Number of scheduling waves the flush took.
+    pub waves: usize,
+    /// Producer nodes absorbed by the fusion pass.
+    pub fused: usize,
+    /// Dead nodes removed without executing.
+    pub elided: usize,
+    /// Why the aliasing analysis refused fusions, if it did.
+    pub refusals: Vec<String>,
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nodes.is_empty() {
+            return writeln!(
+                f,
+                "trace report: empty (tracing disabled, or nothing flushed)"
+            );
+        }
+        writeln!(
+            f,
+            "trace report: {} node(s) executed in {} wave(s); {} fused, {} elided",
+            self.nodes.len(),
+            self.waves,
+            self.fused,
+            self.elided
+        )?;
+        for n in &self.nodes {
+            write!(
+                f,
+                "  {} {}  kernel={}  wave={}  t={}",
+                n.id,
+                n.op,
+                n.kernel,
+                n.wave,
+                fmt_ns(n.ns)
+            )?;
+            if !n.deps.is_empty() {
+                write!(f, "  deps={}", fmt_ids(&n.deps))?;
+            }
+            writeln!(f)?;
+        }
+        for r in &self.refusals {
+            writeln!(f, "  refused: {r}")?;
+        }
+        Ok(())
+    }
+}
+
+struct ReportEntry {
+    node: ExecutedNode,
+    executed: bool,
+}
+
+struct ReportState {
+    /// DAG slot index → report entry, for every node alive after the
+    /// fusion pass.
+    entries: Vec<(usize, ReportEntry)>,
+    waves: usize,
+    fused: usize,
+    elided: usize,
+    refusals: Vec<String>,
+}
+
+thread_local! {
+    static REPORT: RefCell<Option<ReportState>> = const { RefCell::new(None) };
+}
+
+/// Start a fresh execution report for the flush that just finished its
+/// fusion pass. Captures each surviving node's identity, summary, and
+/// dependency edges before any wave runs (the scheduler removes
+/// `pending` entries as nodes resolve). No-op — and wipes any previous
+/// report — unless tracing is enabled.
+pub(crate) fn begin_report(dag: &Dag, fused: usize, elided: usize) {
+    REPORT.with(|r| {
+        let mut slot = r.borrow_mut();
+        if !pygb_obs::enabled() {
+            *slot = None;
+            return;
+        }
+        let entries = dag
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (i, n)))
+            .map(|(i, n)| {
+                let (op, kernel) = node_summary(n);
+                (
+                    i,
+                    ReportEntry {
+                        node: ExecutedNode {
+                            id: dag.ids[i],
+                            op,
+                            kernel,
+                            wave: 0,
+                            ns: 0,
+                            deps: node_dep_ids(dag, i, n),
+                        },
+                        executed: false,
+                    },
+                )
+            })
+            .collect();
+        *slot = Some(ReportState {
+            entries,
+            waves: 0,
+            fused,
+            elided,
+            refusals: last_refusals(),
+        });
+    });
+}
+
+/// Record that the node at DAG slot `idx` executed in `wave`, taking
+/// `ns` nanoseconds. Called by the scheduler's merge loop on the
+/// flushing thread.
+pub(crate) fn record_exec(idx: usize, wave: usize, ns: u64) {
+    REPORT.with(|r| {
+        let mut slot = r.borrow_mut();
+        let Some(state) = slot.as_mut() else { return };
+        state.waves = state.waves.max(wave + 1);
+        if let Some((_, e)) = state.entries.iter_mut().find(|(i, _)| *i == idx) {
+            e.node.wave = wave;
+            e.node.ns = ns;
+            e.executed = true;
+        }
+    });
+}
+
+/// The execution report of the most recent flush on the calling
+/// thread: every executed node with its stable [`NodeId`] (the same
+/// token [`plan`] rendered before the flush), post-fusion kernel,
+/// scheduling wave, measured wall time, and dependency edges — plus
+/// the flush's fusion/elision counts and refusal log. Returns an empty
+/// report when tracing was disabled while the flush ran.
+pub fn trace_report() -> TraceReport {
+    REPORT.with(|r| {
+        let slot = r.borrow();
+        let Some(state) = slot.as_ref() else {
+            return TraceReport::default();
+        };
+        let mut nodes: Vec<ExecutedNode> = state
+            .entries
+            .iter()
+            .filter(|(_, e)| e.executed)
+            .map(|(_, e)| e.node.clone())
+            .collect();
+        nodes.sort_by_key(|n| (n.wave, n.id));
+        TraceReport {
+            nodes,
+            waves: state.waves,
+            fused: state.fused,
+            elided: state.elided,
+            refusals: state.refusals.clone(),
+        }
+    })
 }

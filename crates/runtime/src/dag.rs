@@ -23,6 +23,8 @@ use pygb::nb::{MatOpDesc, MatRhs, Resolution, VecOpDesc, VecRhs};
 use pygb::store::{MatrixStore, VectorStore};
 use pygb::{DynScalar, PygbError, Result};
 
+use crate::analyze::NodeId;
+
 /// One deferred operation.
 pub(crate) enum Node {
     /// A deferred vector assignment.
@@ -37,6 +39,13 @@ pub(crate) struct Dag {
     /// Nodes in enqueue order; executed / fused / elided slots are
     /// `None`.
     pub(crate) nodes: Vec<Option<Node>>,
+    /// Stable identity per slot (`ids.len() == nodes.len()` always);
+    /// survives a slot being taken, so diagnostics can still name a
+    /// fused-away or executed node. Cleared with `nodes`.
+    pub(crate) ids: Vec<NodeId>,
+    /// The next id to mint; resets to 0 whenever the DAG fully drains
+    /// so per-scope numbering is deterministic.
+    pub(crate) next_id: u64,
     /// Placeholder address → producing node index. Vector and matrix
     /// placeholders share the map safely: live allocations are
     /// distinct.
@@ -74,13 +83,20 @@ pub(crate) fn mptr(a: &Arc<MatrixStore>) -> usize {
 // Engine hooks (installed into `pygb::nb` by `crate::install_engine`).
 // ---------------------------------------------------------------------
 
+/// Append `n` to the DAG, minting its stable id.
+pub(crate) fn push_node(dag: &mut Dag, key: usize, n: Node) {
+    let idx = dag.nodes.len();
+    dag.nodes.push(Some(n));
+    dag.ids.push(NodeId(dag.next_id));
+    dag.next_id += 1;
+    dag.pending.insert(key, idx);
+}
+
 pub(crate) fn enqueue_vector(desc: VecOpDesc) -> Result<()> {
     DAG.with(|d| {
         let mut dag = d.borrow_mut();
         let key = vptr(&desc.out);
-        let idx = dag.nodes.len();
-        dag.nodes.push(Some(Node::Vec(desc)));
-        dag.pending.insert(key, idx);
+        push_node(&mut dag, key, Node::Vec(desc));
     });
     Ok(())
 }
@@ -89,9 +105,7 @@ pub(crate) fn enqueue_matrix(desc: MatOpDesc) -> Result<()> {
     DAG.with(|d| {
         let mut dag = d.borrow_mut();
         let key = mptr(&desc.out);
-        let idx = dag.nodes.len();
-        dag.nodes.push(Some(Node::Mat(desc)));
-        dag.pending.insert(key, idx);
+        push_node(&mut dag, key, Node::Mat(desc));
     });
     Ok(())
 }
@@ -134,6 +148,8 @@ pub(crate) fn begin_flush(dag: &mut Dag) -> bool {
     }
     if dag.nodes.iter().all(|n| n.is_none()) {
         dag.nodes.clear();
+        dag.ids.clear();
+        dag.next_id = 0;
         return false;
     }
     dag.flushing = true;
@@ -160,11 +176,14 @@ pub(crate) fn flush() -> Result<()> {
     if !proceed {
         return Ok(());
     }
+    let _sp = pygb_obs::span(pygb_obs::Cat::Flush, "flush");
     let result = flush_inner();
     DAG.with(|d| {
         let mut dag = d.borrow_mut();
         dag.flushing = false;
         dag.nodes.clear();
+        dag.ids.clear();
+        dag.next_id = 0;
         if result.is_err() {
             // Abandon whatever could not run; readers of their outputs
             // will report "unresolved" rather than see stale data.
@@ -181,7 +200,15 @@ pub(crate) fn flush() -> Result<()> {
 }
 
 fn flush_inner() -> Result<()> {
-    let (fused, elided) = DAG.with(|d| crate::fuse::optimize(&mut d.borrow_mut()));
+    let (fused, elided) = {
+        let mut sp = pygb_obs::span(pygb_obs::Cat::Fuse, "fuse");
+        let (f, e) = DAG.with(|d| crate::fuse::optimize(&mut d.borrow_mut()));
+        if sp.is_active() {
+            sp.arg("fused", f.to_string());
+            sp.arg("elided", e.to_string());
+        }
+        (f, e)
+    };
     let stats = pygb::runtime().cache().stats();
     if fused > 0 {
         stats.record_fused(fused as u64);
@@ -189,16 +216,25 @@ fn flush_inner() -> Result<()> {
     if elided > 0 {
         stats.record_elided(elided as u64);
     }
+    // Snapshot the post-fusion DAG for trace_report() before any wave
+    // removes pending edges (no-op while tracing is disabled).
+    DAG.with(|d| crate::analyze::begin_report(&d.borrow(), fused, elided));
 
+    let mut wave = 0usize;
     loop {
+        let traced = pygb_obs::enabled();
         // Collect the wave of ready nodes (no pending inputs) and
         // substitute resolved stores into their descriptors. The DAG
-        // borrow is released before anything executes.
-        let batch: Vec<Node> = DAG.with(|d| {
+        // borrow is released before anything executes. When tracing,
+        // each node also carries its exec-span label (`exec/n<id>
+        // <kernel>`), rendered here because the node moves into a job
+        // closure that may run on a worker thread.
+        let batch: Vec<(usize, Option<String>, Node)> = DAG.with(|d| {
             let mut dag = d.borrow_mut();
             let ready = ready_indices(&dag);
             let Dag {
                 nodes,
+                ids,
                 resolved_v,
                 resolved_m,
                 ..
@@ -211,7 +247,14 @@ fn flush_inner() -> Result<()> {
                         Node::Vec(desc) => subst_vec_desc(resolved_v, resolved_m, desc),
                         Node::Mat(desc) => subst_mat_desc(resolved_v, resolved_m, desc),
                     }
-                    node
+                    let label = traced.then(|| {
+                        let kernel = match &node {
+                            Node::Vec(d) => crate::analyze::vec_kernel_name(d),
+                            Node::Mat(d) => crate::analyze::mat_kernel_name(d),
+                        };
+                        format!("exec/{} {kernel}", ids[i])
+                    });
+                    (i, label, node)
                 })
                 .collect()
         });
@@ -228,19 +271,33 @@ fn flush_inner() -> Result<()> {
             return Ok(());
         }
 
+        let _wave_sp = pygb_obs::span_labeled(pygb_obs::Cat::Wave, || format!("wave/{wave}"));
+
         // Independent nodes of one wave execute in parallel. Operand
         // substitution already happened, so worker threads never touch
         // this thread's DAG (their own DAGs are empty).
         let jobs: Vec<_> = batch
             .into_iter()
-            .map(|node| move || run_node(node))
+            .map(|(i, label, node)| {
+                move || {
+                    let t0 = traced.then(std::time::Instant::now);
+                    let sp = label.map(|l| pygb_obs::span_labeled(pygb_obs::Cat::Exec, || l));
+                    let done = run_node(node);
+                    drop(sp);
+                    let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    (i, ns, done)
+                }
+            })
             .collect();
         let results = gbtl::parallel::run_jobs(jobs);
 
         let mut first_err = None;
         DAG.with(|d| {
             let mut dag = d.borrow_mut();
-            for done in results {
+            for (i, ns, done) in results {
+                if traced {
+                    crate::analyze::record_exec(i, wave, ns);
+                }
                 match done {
                     Done::V(out, Ok(store)) => {
                         let p = vptr(&out);
@@ -266,6 +323,7 @@ fn flush_inner() -> Result<()> {
         if let Some(e) = first_err {
             return Err(e);
         }
+        wave += 1;
     }
 }
 
@@ -363,8 +421,10 @@ pub(crate) fn reduce_vector(
 
     let size = desc.out.size();
     let ct = desc.out.dtype();
-    let (out_store, scalar) =
-        pygb::dispatch::dispatch_fused_ewise_reduce(size, ct, u, v, op, is_add, monoid)?;
+    let (out_store, scalar) = {
+        let _sp = pygb_obs::span(pygb_obs::Cat::Exec, "exec/fused_ewise_reduce");
+        pygb::dispatch::dispatch_fused_ewise_reduce(size, ct, u, v, op, is_add, monoid)?
+    };
     DAG.with(|d| {
         let mut dag = d.borrow_mut();
         dag.resolved_v

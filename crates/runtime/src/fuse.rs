@@ -200,7 +200,7 @@ fn take_plain_producer(
     let idx = match analyze::check_producer(dag, c, out, consumer_refs, want) {
         FuseCheck::Fusible(idx) => idx,
         FuseCheck::Refused(idx, reason) => {
-            analyze::record_refusal(format!("producer node #{idx}: {reason}"));
+            analyze::record_refusal(format!("producer node {}: {reason}", dag.ids[idx]));
             return None;
         }
         FuseCheck::No => return None,

@@ -42,7 +42,9 @@ mod model_check;
 
 use std::sync::Once;
 
-pub use analyze::{last_refusals, plan, Plan, PlanNode};
+pub use analyze::{
+    last_refusals, plan, trace_report, ExecutedNode, NodeId, Plan, PlanNode, TraceReport,
+};
 pub use pygb::nb::DeferGuard;
 
 /// Install the DAG engine into the core crate's nonblocking hooks.

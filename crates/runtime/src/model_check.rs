@@ -47,9 +47,8 @@ fn push(dag: &mut Dag, n: Node) {
         Node::Vec(d) => vptr(&d.out),
         Node::Mat(_) => unreachable!("vector-only model"),
     };
-    let idx = dag.nodes.len();
-    dag.nodes.push(Some(n));
-    dag.pending.insert(out, idx);
+    // The real enqueue path, so ids are minted exactly as in production.
+    dag::push_node(dag, out, n);
 }
 
 /// Diamond topology: `0 -> {1, 2} -> 3`, plus the placeholder handles a

@@ -415,15 +415,15 @@ fn plan_reports_shapes_kernels_and_fusion_decisions() {
         let n1 = &plan.nodes[1];
         assert_eq!(n1.kernel, "apply_v");
         assert!(n1.masked && n1.complemented && n1.replace);
-        assert_eq!(n1.deps, vec![0]);
+        assert_eq!(n1.deps, vec![pygb_runtime::NodeId(0)]);
         assert_eq!(
             n1.fusion.as_deref(),
-            Some("fuses node #0 (rule 3: ref collapse)")
+            Some("fuses node n0 (rule 3: ref collapse)")
         );
         let rendered = plan.to_string();
         assert!(rendered.contains("kernel=mxv"), "{rendered}");
         assert!(rendered.contains("mask=~m"), "{rendered}");
-        assert!(rendered.contains("deps=[0]"), "{rendered}");
+        assert!(rendered.contains("deps=[n0]"), "{rendered}");
     } // flush on scope exit: plan() must not have disturbed the DAG
     f.settle().unwrap();
     assert_eq!(f.nvals(), 2, "one BFS step from vertex 3 reaches {{0, 2}}");
