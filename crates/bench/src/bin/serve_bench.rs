@@ -1,0 +1,190 @@
+//! Closed-loop load generator for `pygb-serve`.
+//!
+//! Starts an in-process server, seeds two named graphs, then drives it
+//! with `CLIENTS` concurrent closed-loop connections (each keeps
+//! exactly one request in flight), mixing all five algorithm verbs and
+//! a raw expression across both graphs. Responses are sanity-checked
+//! (known invariants per verb, never a protocol error other than
+//! structured shedding) and per-request latencies are recorded.
+//!
+//! Writes `results/serve_bench.json`:
+//!
+//! ```text
+//! { "config": {...}, "totals": {...}, "latency_us": {p50, p95, p99, max},
+//!   "per_verb": [ {verb, count, p50_us, p95_us}, ... ] }
+//! ```
+//!
+//! Environment: `SERVE_BENCH_CLIENTS` (default 64),
+//! `SERVE_BENCH_SECONDS` (default 5), `SERVE_BENCH_WORKERS` (default 4).
+
+use pygb_serve::{AdmissionConfig, Catalog, Client, ErrCode, Frame, Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+struct Tally {
+    verb: &'static str,
+    latencies_us: Vec<u64>,
+    shed: u64,
+    errors: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() -> std::io::Result<()> {
+    let clients = env_parse("SERVE_BENCH_CLIENTS", 64usize);
+    let seconds = env_parse("SERVE_BENCH_SECONDS", 5u64);
+    let workers = env_parse("SERVE_BENCH_WORKERS", 4usize);
+
+    let server = Server::start(
+        Arc::new(Catalog::new()),
+        ServerConfig {
+            workers,
+            admission: AdmissionConfig {
+                // Admit the whole closed-loop fleet: the point of the
+                // run is sustained concurrent in-flight work, shedding
+                // is exercised separately by the protocol tests.
+                max_inflight: clients * 2,
+                per_tenant: clients * 2,
+                queue_timeout: Duration::from_secs(30),
+            },
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.local_addr();
+    eprintln!("serve_bench: {clients} clients x {seconds}s against {addr} ({workers} workers)");
+
+    {
+        let mut seed = Client::connect(addr)?;
+        seed.hello("seed")?;
+        seed.request_ok("REGISTER web ER 1000 8000 42")
+            .map_err(std::io::Error::other)?;
+        seed.request_ok("REGISTER social ER 600 4800 7 SYM")
+            .map_err(std::io::Error::other)?;
+    }
+
+    // Each client cycles through the verb mix; the mix covers both
+    // graphs, all five algorithms, and a raw masked expression.
+    let mix: Vec<(&'static str, String)> = vec![
+        ("bfs", "QUERY web BFS 0".to_string()),
+        ("sssp", "QUERY web SSSP 0".to_string()),
+        ("pagerank", "QUERY web PAGERANK 20".to_string()),
+        ("tricount", "QUERY social TRICOUNT".to_string()),
+        ("cc", "QUERY social CC".to_string()),
+        ("expr", "EXPR social EWMULT social BINOP Times".to_string()),
+    ];
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|id| {
+            let stop = Arc::clone(&stop);
+            let mix = mix.clone();
+            thread::spawn(move || -> std::io::Result<Vec<Tally>> {
+                let mut c = Client::connect(addr)?;
+                c.hello(&format!("tenant-{}", id % 4))?;
+                let mut tallies: Vec<Tally> = mix
+                    .iter()
+                    .map(|(verb, _)| Tally {
+                        verb,
+                        latencies_us: Vec::new(),
+                        shed: 0,
+                        errors: 0,
+                    })
+                    .collect();
+                let mut i = id; // stagger the starting verb per client
+                while !stop.load(Ordering::Relaxed) {
+                    let slot = i % mix.len();
+                    let t0 = Instant::now();
+                    let frame = c.request(&mix[slot].1)?;
+                    let us = t0.elapsed().as_micros() as u64;
+                    match frame {
+                        Frame::Ok(_) => tallies[slot].latencies_us.push(us),
+                        Frame::Err(ErrCode::Overloaded | ErrCode::Timeout, _) => {
+                            tallies[slot].shed += 1
+                        }
+                        Frame::Err(_, _) => tallies[slot].errors += 1,
+                    }
+                    i += 1;
+                }
+                Ok(tallies)
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_secs(seconds));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut per_verb: BTreeMap<&'static str, Tally> = BTreeMap::new();
+    for h in handles {
+        for t in h.join().expect("client thread panicked")? {
+            let entry = per_verb.entry(t.verb).or_insert_with(|| Tally {
+                verb: t.verb,
+                latencies_us: Vec::new(),
+                shed: 0,
+                errors: 0,
+            });
+            entry.latencies_us.extend(t.latencies_us);
+            entry.shed += t.shed;
+            entry.errors += t.errors;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut all: Vec<u64> = per_verb
+        .values()
+        .flat_map(|t| t.latencies_us.iter().copied())
+        .collect();
+    all.sort_unstable();
+    let ok: u64 = all.len() as u64;
+    let shed: u64 = per_verb.values().map(|t| t.shed).sum();
+    let errors: u64 = per_verb.values().map(|t| t.errors).sum();
+
+    let mut verb_json = Vec::new();
+    for t in per_verb.values_mut() {
+        t.latencies_us.sort_unstable();
+        verb_json.push(format!(
+            "{{\"verb\":\"{}\",\"count\":{},\"p50_us\":{},\"p95_us\":{}}}",
+            t.verb,
+            t.latencies_us.len(),
+            percentile(&t.latencies_us, 0.50),
+            percentile(&t.latencies_us, 0.95)
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"config\": {{\"clients\": {clients}, \"seconds\": {seconds}, \"workers\": {workers}}},\n  \"totals\": {{\"ok\": {ok}, \"shed\": {shed}, \"errors\": {errors}, \"wall_s\": {wall:.3}, \"throughput_rps\": {:.1}}},\n  \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},\n  \"per_verb\": [{}]\n}}\n",
+        ok as f64 / wall,
+        percentile(&all, 0.50),
+        percentile(&all, 0.95),
+        percentile(&all, 0.99),
+        all.last().copied().unwrap_or(0),
+        verb_json.join(",")
+    );
+
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/serve_bench.json", &json)?;
+    eprintln!("serve_bench: {ok} ok, {shed} shed, {errors} errors in {wall:.1}s");
+    print!("{json}");
+
+    if errors > 0 {
+        eprintln!("serve_bench: FAILED — {errors} non-shed protocol errors");
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -15,9 +15,14 @@ use std::marker::PhantomData;
 
 use gbtl::ops::kind::{AppliedUnaryKind, BinaryOpKind, KindMonoid, KindSemiring};
 
-/// One entry on the operator stack.
+/// One entry on the operator stack — what a `with gb.X:` block pushes.
+///
+/// Obtained from an operator object via [`ContextOp::ctx_entry`] and
+/// normally managed by `enter()` guards or a [`Session`]; exposed so
+/// multi-tenant embedders (the `pygb-serve` request loop) can build
+/// operator contexts as data.
 #[derive(Copy, Clone, Debug, PartialEq)]
-pub(crate) enum CtxEntry {
+pub enum CtxEntry {
     /// A semiring (provides ⊕, ⊗, a monoid, and an accumulator fallback).
     Semiring(KindSemiring),
     /// A monoid (provides ⊕/⊗ and an accumulator fallback).
@@ -77,6 +82,105 @@ impl Drop for ContextGuard {
 /// Current stack depth (diagnostics and tests).
 pub fn depth() -> usize {
     STACK.with(|s| s.borrow().len())
+}
+
+/// An operator object that can contribute a [`CtxEntry`] — implemented
+/// by every `enter()`-capable type in [`crate::operators`].
+pub trait ContextOp {
+    /// The stack entry this object pushes when brought into context.
+    fn ctx_entry(&self) -> CtxEntry;
+}
+
+/// An owned, thread-portable operator context — the multi-tenant
+/// alternative to the implicit thread-local stack.
+///
+/// The `enter()` guards realize Python's `with` blocks: they mutate the
+/// *calling thread's* stack, which is exactly right for the single-user
+/// DSL but couples an operator context to one thread for its whole
+/// lifetime. A long-lived server handling many tenants needs to *own*
+/// each request's operator context as a value: build a `Session` once
+/// (possibly on another thread), ship it to whichever worker picks the
+/// request up, and [`activate`](Session::activate) it there for the
+/// duration of the evaluation. Activation layers the session's entries
+/// onto the worker's thread-local stack, so resolution (innermost wins,
+/// accumulator-anywhere, monoid fallback) behaves identically to nested
+/// `with` blocks and the existing single-user path is untouched.
+///
+/// ```
+/// use pygb::{ContextOp, MinPlusSemiring, Accumulator, Session};
+///
+/// let session = Session::new()
+///     .with(&MinPlusSemiring)
+///     .with(&Accumulator::new("Min").unwrap());
+/// // ... possibly on a different thread:
+/// let _active = session.activate();
+/// // `+=` now resolves to Min, `@` to MinPlus, until `_active` drops.
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Session {
+    entries: Vec<CtxEntry>,
+}
+
+impl Session {
+    /// An empty session (no operators in context).
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Capture the calling thread's current stack as an owned session —
+    /// hand-off from `with`-block code into a worker.
+    pub fn capture() -> Session {
+        Session {
+            entries: STACK.with(|s| s.borrow().clone()),
+        }
+    }
+
+    /// Builder form: append `op`'s entry (innermost so far).
+    pub fn with(mut self, op: &dyn ContextOp) -> Session {
+        self.entries.push(op.ctx_entry());
+        self
+    }
+
+    /// Append `op`'s entry in place.
+    pub fn push_op(&mut self, op: &dyn ContextOp) {
+        self.entries.push(op.ctx_entry());
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the session holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Layer this session's entries onto the current thread's operator
+    /// stack, innermost last. The returned guard pops them (in reverse)
+    /// when dropped; like [`ContextGuard`] it is `!Send`, but the
+    /// `Session` itself is `Send + Sync` and can be activated any
+    /// number of times, on any thread.
+    pub fn activate(&self) -> SessionGuard {
+        SessionGuard {
+            guards: self.entries.iter().map(|&e| push(e)).collect(),
+        }
+    }
+}
+
+/// RAII guard for an activated [`Session`]: pops the session's entries
+/// off the thread's stack, innermost first, when dropped.
+#[derive(Debug)]
+pub struct SessionGuard {
+    guards: Vec<ContextGuard>,
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        // LIFO: pop the innermost entry first (a plain Vec drop would
+        // run front-to-back and trip the ordering debug assertion).
+        while self.guards.pop().is_some() {}
+    }
 }
 
 fn search<T>(f: impl Fn(&CtxEntry) -> Option<T>) -> Option<T> {
@@ -268,5 +372,78 @@ mod tests {
         let other = std::thread::spawn(depth).join().unwrap();
         assert_eq!(other, 0);
         assert_eq!(depth(), 1);
+    }
+
+    #[test]
+    fn session_layers_and_unwinds() {
+        let session = Session::new()
+            .with(&MinPlusSemiring)
+            .with(&Accumulator::new("Max").unwrap());
+        assert_eq!(session.len(), 2);
+        assert_eq!(depth(), 0);
+        {
+            let _active = session.activate();
+            assert_eq!(depth(), 2);
+            assert_eq!(resolve_accum(), Some(BinaryOpKind::Max));
+            assert_eq!(resolve_semiring().map(|s| s.mult), Some(BinaryOpKind::Plus));
+        }
+        assert_eq!(depth(), 0);
+        assert_eq!(resolve_semiring(), None);
+    }
+
+    #[test]
+    fn session_nests_with_thread_local_guards() {
+        let session = Session::new().with(&ArithmeticSemiring);
+        let _outer = MinPlusSemiring.enter();
+        {
+            let _active = session.activate();
+            // Session entries layer innermost, like a nested `with`.
+            assert_eq!(
+                resolve_semiring().map(|s| s.mult),
+                Some(BinaryOpKind::Times)
+            );
+        }
+        assert_eq!(resolve_semiring().map(|s| s.mult), Some(BinaryOpKind::Plus));
+    }
+
+    #[test]
+    fn session_is_send_and_reusable_across_threads() {
+        let session = Session::new().with(&MinPlusSemiring).with(&Replace);
+        let results: Vec<_> = (0..4)
+            .map(|_| {
+                let s = session.clone();
+                std::thread::spawn(move || {
+                    let _active = s.activate();
+                    (
+                        resolve_semiring().map(|sr| sr.add.op),
+                        replace_active(),
+                        depth(),
+                    )
+                })
+            })
+            .map(|h| h.join().unwrap())
+            .collect();
+        for (add, replace, d) in results {
+            assert_eq!(add, Some(BinaryOpKind::Min));
+            assert!(replace);
+            assert_eq!(d, 2);
+        }
+        // The spawning thread's stack never saw the session.
+        assert_eq!(depth(), 0);
+    }
+
+    #[test]
+    fn capture_snapshots_current_stack() {
+        let captured;
+        {
+            let _sr = ArithmeticSemiring.enter();
+            captured = Session::capture();
+        }
+        assert_eq!(depth(), 0);
+        let _active = captured.activate();
+        assert_eq!(
+            resolve_semiring().map(|s| s.mult),
+            Some(BinaryOpKind::Times)
+        );
     }
 }

@@ -978,6 +978,19 @@ pub fn register_all(registry: &FactoryRegistry) {
     // observability layer: per-family latency histograms plus a
     // complete trace span per kernel execution.
     gbtl::hooks::install_kernel_observer(pygb_obs::observe_kernel);
+    // Mirror the substrate's runtime tunables into every metrics
+    // snapshot (parts-per-million, since counters are integral) so
+    // long-lived services can report the values actually in effect.
+    struct Tunables;
+    impl pygb_obs::MetricsSource for Tunables {
+        fn collect(&self) -> Vec<(String, u64)> {
+            vec![(
+                "push_pull_density_ppm".to_string(),
+                (gbtl::push_pull_density() * 1e6).round() as u64,
+            )]
+        }
+    }
+    pygb_obs::registry().register_source("tunables", std::sync::Arc::new(Tunables));
     registry.register("mxm", dtype_factory!("mxm", MatArgs, k_mxm));
     registry.register("mxv", dtype_factory!("mxv", VecArgs, k_mxv));
     registry.register("vxm", dtype_factory!("vxm", VecArgs, k_vxm));

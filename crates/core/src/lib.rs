@@ -70,7 +70,7 @@ pub mod value;
 pub mod vector;
 
 pub use analyze::{take_lints, validate_matrix_expr, validate_vector_expr};
-pub use context::ContextGuard;
+pub use context::{ContextGuard, ContextOp, CtxEntry, Session, SessionGuard};
 pub use dispatch::{reduce, runtime, ReduceArg};
 pub use dtype::DType;
 pub use error::{PygbError, Result};
@@ -85,7 +85,7 @@ pub use vector::Vector;
 
 /// Everything most PyGB programs need.
 pub mod prelude {
-    pub use crate::context::ContextGuard;
+    pub use crate::context::{ContextGuard, ContextOp, Session};
     pub use crate::dispatch::{reduce, runtime};
     pub use crate::dtype::DType;
     pub use crate::error::{PygbError, Result};

@@ -12,7 +12,7 @@ use gbtl::ops::kind::{
     AppliedUnaryKind, BinaryOpKind, IdentityKind, KindMonoid, KindSemiring, UnaryOpKind,
 };
 
-use crate::context::{self, ContextGuard, CtxEntry};
+use crate::context::{self, ContextGuard, ContextOp, CtxEntry};
 use crate::error::{PygbError, Result};
 
 /// A named binary operator (`gb.BinaryOp("Plus")`).
@@ -356,6 +356,53 @@ impl StrictTypesFlag {
 /// `gb.StrictTypes` — the strict-types context object.
 #[allow(non_upper_case_globals)]
 pub const StrictTypes: StrictTypesFlag = StrictTypesFlag;
+
+// ---------------------------------------------------------------------
+// ContextOp: every `enter()`-capable object can also contribute its
+// stack entry to an owned `Session` (multi-tenant embedding).
+// ---------------------------------------------------------------------
+
+impl ContextOp for BinaryOp {
+    fn ctx_entry(&self) -> CtxEntry {
+        CtxEntry::Binary(self.kind)
+    }
+}
+
+impl ContextOp for UnaryOp {
+    fn ctx_entry(&self) -> CtxEntry {
+        CtxEntry::Unary(self.kind)
+    }
+}
+
+impl ContextOp for Monoid {
+    fn ctx_entry(&self) -> CtxEntry {
+        CtxEntry::Monoid(self.kind)
+    }
+}
+
+impl ContextOp for Semiring {
+    fn ctx_entry(&self) -> CtxEntry {
+        CtxEntry::Semiring(self.kind)
+    }
+}
+
+impl ContextOp for Accumulator {
+    fn ctx_entry(&self) -> CtxEntry {
+        CtxEntry::Accum(self.op)
+    }
+}
+
+impl ContextOp for ReplaceFlag {
+    fn ctx_entry(&self) -> CtxEntry {
+        CtxEntry::Replace
+    }
+}
+
+impl ContextOp for StrictTypesFlag {
+    fn ctx_entry(&self) -> CtxEntry {
+        CtxEntry::Strict
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -77,7 +77,10 @@ pub use error::{GblasError, Result};
 pub use index::{IndexType, Indices};
 pub use mask::{MaskProbe, MatrixMask, NoMask, VectorMask};
 pub use matrix::Matrix;
-pub use operations::{MxmKernel, SpmvKernel, PUSH_PULL_DENSITY};
+pub use operations::{
+    push_pull_density, reset_push_pull_density, set_push_pull_density, MxmKernel, SpmvKernel,
+    PUSH_PULL_DENSITY,
+};
 pub use ops::accum::{Accum, NoAccumulate};
 pub use ops::{BinaryOp, Monoid, Semiring, UnaryOp};
 pub use scalar::Scalar;

@@ -38,6 +38,9 @@ pub enum Cat {
     Dispatch,
     /// One substrate kernel invocation.
     Kernel,
+    /// One served request (admission through response write) in a
+    /// `pygb-serve` instance.
+    Serve,
 }
 
 impl Cat {
@@ -53,6 +56,7 @@ impl Cat {
             Cat::Exec => "exec",
             Cat::Dispatch => "dispatch",
             Cat::Kernel => "kernel",
+            Cat::Serve => "serve",
         }
     }
 }

@@ -1,0 +1,223 @@
+//! Admission control: bounded in-flight work, per-tenant fairness.
+//!
+//! Admission is decided *before* a request enters the worker queue and
+//! is deliberately non-blocking: a request that cannot be admitted is
+//! shed immediately with a structured `overloaded` response rather than
+//! parked on the socket, so a saturated server stays responsive and a
+//! greedy tenant cannot starve the rest (its requests bounce off the
+//! per-tenant ceiling while other tenants still fit under the global
+//! one).
+//!
+//! An admitted request holds a [`Ticket`]; dropping the ticket — on
+//! completion, expiry, or panic unwind — releases both the global and
+//! the per-tenant slot.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunable admission limits.
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Global bound on admitted-but-unfinished requests (queued plus
+    /// executing).
+    pub max_inflight: usize,
+    /// Per-tenant bound on admitted-but-unfinished requests.
+    pub per_tenant: usize,
+    /// How long an admitted request may wait in the worker queue before
+    /// it is answered with `timeout` instead of being executed.
+    pub queue_timeout: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight: 256,
+            per_tenant: 128,
+            queue_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Default)]
+struct State {
+    inflight: usize,
+    per_tenant: HashMap<String, usize>,
+}
+
+struct Inner {
+    cfg: AdmissionConfig,
+    state: Mutex<State>,
+}
+
+/// The admission gate shared by all connection threads of a server.
+#[derive(Clone)]
+pub struct Admission {
+    inner: Arc<Inner>,
+}
+
+/// Why a request was not admitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The global in-flight bound is reached.
+    ServerFull {
+        /// The configured global bound.
+        limit: usize,
+    },
+    /// The tenant's own bound is reached.
+    TenantFull {
+        /// The configured per-tenant bound.
+        limit: usize,
+    },
+}
+
+impl AdmitError {
+    /// Human-readable shed reason for the `overloaded` response body.
+    pub fn message(&self) -> String {
+        match self {
+            AdmitError::ServerFull { limit } => {
+                format!("server at capacity ({limit} in-flight requests)")
+            }
+            AdmitError::TenantFull { limit } => {
+                format!("tenant at capacity ({limit} in-flight requests)")
+            }
+        }
+    }
+}
+
+impl Admission {
+    /// A gate with the given limits.
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission {
+            inner: Arc::new(Inner {
+                cfg,
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.inner.cfg
+    }
+
+    /// Try to admit one request for `tenant`. On success the returned
+    /// [`Ticket`] owns the slot until dropped.
+    pub fn admit(&self, tenant: &str) -> Result<Ticket, AdmitError> {
+        let mut st = self.inner.state.lock();
+        if st.inflight >= self.inner.cfg.max_inflight {
+            pygb_obs::registry().counter("serve/shed_overloaded").inc();
+            return Err(AdmitError::ServerFull {
+                limit: self.inner.cfg.max_inflight,
+            });
+        }
+        let per = st.per_tenant.entry(tenant.to_string()).or_insert(0);
+        if *per >= self.inner.cfg.per_tenant {
+            pygb_obs::registry().counter("serve/shed_overloaded").inc();
+            return Err(AdmitError::TenantFull {
+                limit: self.inner.cfg.per_tenant,
+            });
+        }
+        *per += 1;
+        st.inflight += 1;
+        pygb_obs::registry().counter("serve/admitted").inc();
+        Ok(Ticket {
+            gate: Arc::clone(&self.inner),
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Current number of admitted-but-unfinished requests.
+    pub fn inflight(&self) -> usize {
+        self.inner.state.lock().inflight
+    }
+
+    /// Current in-flight count for one tenant.
+    pub fn tenant_inflight(&self, tenant: &str) -> usize {
+        self.inner
+            .state
+            .lock()
+            .per_tenant
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// An owned admission slot; dropping it releases the slot.
+pub struct Ticket {
+    gate: Arc<Inner>,
+    tenant: String,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("tenant", &self.tenant)
+            .finish()
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        let mut st = self.gate.state.lock();
+        st.inflight = st.inflight.saturating_sub(1);
+        if let Some(per) = st.per_tenant.get_mut(&self.tenant) {
+            *per = per.saturating_sub(1);
+            if *per == 0 {
+                st.per_tenant.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(max: usize, per: usize) -> Admission {
+        Admission::new(AdmissionConfig {
+            max_inflight: max,
+            per_tenant: per,
+            queue_timeout: Duration::from_millis(100),
+        })
+    }
+
+    #[test]
+    fn global_bound_sheds_then_recovers() {
+        let g = gate(2, 10);
+        let t1 = g.admit("a").unwrap();
+        let _t2 = g.admit("b").unwrap();
+        assert_eq!(
+            g.admit("c").unwrap_err(),
+            AdmitError::ServerFull { limit: 2 }
+        );
+        drop(t1);
+        assert!(g.admit("c").is_ok());
+    }
+
+    #[test]
+    fn tenant_bound_isolates_other_tenants() {
+        let g = gate(10, 1);
+        let _t1 = g.admit("greedy").unwrap();
+        assert_eq!(
+            g.admit("greedy").unwrap_err(),
+            AdmitError::TenantFull { limit: 1 }
+        );
+        // Other tenants are unaffected by the greedy one being at cap.
+        assert!(g.admit("polite").is_ok());
+    }
+
+    #[test]
+    fn ticket_drop_releases_both_counters() {
+        let g = gate(10, 10);
+        {
+            let _t = g.admit("a").unwrap();
+            assert_eq!(g.inflight(), 1);
+            assert_eq!(g.tenant_inflight("a"), 1);
+        }
+        assert_eq!(g.inflight(), 0);
+        assert_eq!(g.tenant_inflight("a"), 0);
+    }
+}

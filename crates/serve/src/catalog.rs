@@ -1,0 +1,172 @@
+//! Named-graph catalog over copy-on-write snapshots.
+//!
+//! The catalog maps graph names to [`Snapshot`]s. A snapshot is an
+//! *immutable* `(name, version, Matrix)` triple behind an `Arc`: the
+//! `Matrix` handle itself is an `Arc<MatrixStore>`, so handing a
+//! snapshot to a query thread is two reference-count bumps — readers
+//! never copy graph data and never block each other.
+//!
+//! Writers build a complete replacement graph off to the side and then
+//! [`Catalog::register`] it, which swaps the map entry atomically under
+//! a short write-lock and bumps the version. Queries already in flight
+//! keep their `Arc<Snapshot>` alive and keep computing against the
+//! version they were admitted with; the old store is freed when the
+//! last in-flight reader drops it. This is exactly the DSL's own
+//! copy-on-write discipline (`Matrix` clones share a store until
+//! someone writes), promoted from per-handle to per-catalog-entry.
+
+use parking_lot::RwLock;
+use pygb::Matrix;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::wire::json_escape;
+
+/// An immutable published version of a named graph.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Catalog name the snapshot was published under.
+    pub name: String,
+    /// Monotonic per-name version, starting at 1.
+    pub version: u64,
+    /// The graph itself. Never mutated after publication.
+    pub graph: Matrix,
+}
+
+impl Snapshot {
+    /// One-line JSON descriptor used by `LIST` and query responses.
+    pub fn info_json(&self) -> String {
+        let (r, c) = self.graph.shape();
+        format!(
+            "{{\"name\":\"{}\",\"version\":{},\"nrows\":{},\"ncols\":{},\"nvals\":{},\"dtype\":\"{}\"}}",
+            json_escape(&self.name),
+            self.version,
+            r,
+            c,
+            self.graph.nvals(),
+            self.graph.dtype()
+        )
+    }
+}
+
+/// Thread-safe name → snapshot map with atomic version swap.
+#[derive(Default)]
+pub struct Catalog {
+    graphs: RwLock<BTreeMap<String, Arc<Snapshot>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Publish `graph` under `name`. Upserts: an existing entry is
+    /// replaced and its version bumped; in-flight readers of the old
+    /// snapshot are unaffected. The caller must pass a settled matrix
+    /// (no deferred ops) — enforced here via [`Matrix::settle`].
+    pub fn register(&self, name: &str, mut graph: Matrix) -> pygb::Result<Arc<Snapshot>> {
+        graph.settle()?;
+        let mut map = self.graphs.write();
+        let version = map.get(name).map_or(1, |old| old.version + 1);
+        let snap = Arc::new(Snapshot {
+            name: name.to_string(),
+            version,
+            graph,
+        });
+        map.insert(name.to_string(), Arc::clone(&snap));
+        pygb_obs::registry()
+            .counter("serve/catalog_registers")
+            .inc();
+        Ok(snap)
+    }
+
+    /// Resolve a name to its current snapshot, if present.
+    pub fn get(&self, name: &str) -> Option<Arc<Snapshot>> {
+        self.graphs.read().get(name).cloned()
+    }
+
+    /// Remove a graph. Returns whether an entry existed. In-flight
+    /// readers keep their snapshot alive until they finish.
+    pub fn drop_graph(&self, name: &str) -> bool {
+        let existed = self.graphs.write().remove(name).is_some();
+        if existed {
+            pygb_obs::registry().counter("serve/catalog_drops").inc();
+        }
+        existed
+    }
+
+    /// Current snapshots, in name order.
+    pub fn list(&self) -> Vec<Arc<Snapshot>> {
+        self.graphs.read().values().cloned().collect()
+    }
+
+    /// Number of named graphs currently published.
+    pub fn len(&self) -> usize {
+        self.graphs.read().len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pygb::DType;
+
+    fn tiny(val: i64) -> Matrix {
+        Matrix::from_triples(2, 2, vec![(0usize, 1usize, val)]).unwrap()
+    }
+
+    #[test]
+    fn register_starts_at_version_one_and_bumps() {
+        let cat = Catalog::new();
+        let s1 = cat.register("g", tiny(1)).unwrap();
+        assert_eq!(s1.version, 1);
+        let s2 = cat.register("g", tiny(2)).unwrap();
+        assert_eq!(s2.version, 2);
+        assert_eq!(cat.get("g").unwrap().version, 2);
+    }
+
+    #[test]
+    fn old_snapshot_survives_reregistration() {
+        let cat = Catalog::new();
+        let s1 = cat.register("g", tiny(7)).unwrap();
+        cat.register("g", tiny(9)).unwrap();
+        // The held snapshot still reads the value it was published with.
+        assert_eq!(s1.graph.get(0, 1).unwrap().as_i64(), 7);
+        assert_eq!(cat.get("g").unwrap().graph.get(0, 1).unwrap().as_i64(), 9);
+    }
+
+    #[test]
+    fn drop_removes_but_does_not_invalidate_readers() {
+        let cat = Catalog::new();
+        let s = cat.register("g", tiny(3)).unwrap();
+        assert!(cat.drop_graph("g"));
+        assert!(!cat.drop_graph("g"));
+        assert!(cat.get("g").is_none());
+        assert_eq!(s.graph.nvals(), 1);
+    }
+
+    #[test]
+    fn list_is_name_ordered() {
+        let cat = Catalog::new();
+        cat.register("zeta", tiny(1)).unwrap();
+        cat.register("alpha", tiny(1)).unwrap();
+        let names: Vec<_> = cat.list().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn info_json_reports_shape_and_dtype() {
+        let cat = Catalog::new();
+        let s = cat.register("g", Matrix::new(3, 4, DType::Fp64)).unwrap();
+        assert_eq!(
+            s.info_json(),
+            "{\"name\":\"g\",\"version\":1,\"nrows\":3,\"ncols\":4,\"nvals\":0,\"dtype\":\"fp64\"}"
+        );
+    }
+}

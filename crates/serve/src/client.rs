@@ -1,0 +1,93 @@
+//! Minimal blocking client for `pygb-wire/1`.
+//!
+//! Used by the example, the integration tests, and the closed-loop
+//! load generator. One request in flight per connection; open several
+//! clients for concurrency.
+
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{self, ErrCode, Frame};
+
+/// A connected `pygb-wire/1` client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Bound how long a single exchange may block on the socket.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_write_timeout(timeout)?;
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Send one request line and read the response frame.
+    pub fn request(&mut self, line: &str) -> io::Result<Frame> {
+        debug_assert!(!line.contains('\n'), "request lines are single lines");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        wire::read_frame(&mut self.reader)
+    }
+
+    /// Like [`Client::request`] but maps `ERR` frames to `Err`.
+    pub fn request_ok(&mut self, line: &str) -> io::Result<String> {
+        match self.request(line)? {
+            Frame::Ok(payload) => Ok(payload),
+            Frame::Err(code, msg) => Err(io::Error::other(format!("{code}: {msg}"))),
+        }
+    }
+
+    /// Identify this connection's tenant.
+    pub fn hello(&mut self, tenant: &str) -> io::Result<String> {
+        self.request_ok(&format!("HELLO {tenant}"))
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> io::Result<String> {
+        self.request_ok("PING")
+    }
+
+    /// Catalog listing (JSON array of snapshot descriptors).
+    pub fn list(&mut self) -> io::Result<String> {
+        self.request_ok("LIST")
+    }
+
+    /// Metrics snapshot (JSON).
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.request_ok("STATS")
+    }
+
+    /// Send a `BATCH` of request lines, answered as one frame.
+    pub fn batch(&mut self, lines: &[&str]) -> io::Result<Frame> {
+        let mut msg = format!("BATCH {}\n", lines.len());
+        for line in lines {
+            debug_assert!(!line.contains('\n'));
+            msg.push_str(line);
+            msg.push('\n');
+        }
+        self.writer.write_all(msg.as_bytes())?;
+        self.writer.flush()?;
+        wire::read_frame(&mut self.reader)
+    }
+}
+
+/// Convenience: did this frame shed load (overloaded or timeout)?
+pub fn is_shed(frame: &Frame) -> bool {
+    matches!(
+        frame,
+        Frame::Err(ErrCode::Overloaded, _) | Frame::Err(ErrCode::Timeout, _)
+    )
+}

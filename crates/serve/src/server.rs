@@ -1,0 +1,357 @@
+//! The TCP server: accept loop, connection protocol, request routing.
+//!
+//! Connection threads do only cheap work — framing, parsing, admission
+//! — and answer catalog-metadata verbs inline. Graph work is handed to
+//! the shared [`WorkerPool`] as a job carrying an `mpsc` reply channel;
+//! the connection thread blocks on the reply, so slow queries exert
+//! backpressure on their own socket while other connections proceed.
+//!
+//! Every admitted request runs under a [`pygb_obs::Cat::Serve`] span
+//! and feeds the `serve/*` metrics namespace, so a trace export of a
+//! busy server shows request lifecycles interleaved with the kernel
+//! spans they fan out into.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use pygb_obs::{span_labeled, Cat};
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::catalog::Catalog;
+use crate::pool::{Job, WorkerPool};
+use crate::query::{self, Request};
+use crate::wire::{self, ErrCode};
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address. Use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Worker threads executing graph work.
+    pub workers: usize,
+    /// Bound on jobs waiting for a worker (beyond this: shed).
+    pub queue_capacity: usize,
+    /// Admission limits.
+    pub admission: AdmissionConfig,
+    /// How long a connection thread waits for its job's reply before
+    /// giving up on it (covers queue wait plus execution).
+    pub response_wait: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 512,
+            admission: AdmissionConfig::default(),
+            response_wait: Duration::from_secs(600),
+        }
+    }
+}
+
+struct Shared {
+    catalog: Arc<Catalog>,
+    admission: Admission,
+    pool: WorkerPool,
+    shutdown: AtomicBool,
+    response_wait: Duration,
+}
+
+/// A running `pygb-serve` instance.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `catalog` with the given config.
+    pub fn start(catalog: Arc<Catalog>, config: ServerConfig) -> std::io::Result<Server> {
+        // Force kernel registration so dispatch works on worker threads
+        // and the tunables metrics source is registered up front.
+        let _ = pygb::runtime();
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            catalog,
+            admission: Admission::new(config.admission.clone()),
+            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            response_wait: config.response_wait,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("pygb-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Start with an empty catalog and default config (ephemeral port).
+    pub fn start_default() -> std::io::Result<Server> {
+        Server::start(Arc::new(Catalog::new()), ServerConfig::default())
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served catalog — useful for in-process seeding and oracles.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.shared.catalog
+    }
+
+    /// Admitted-but-unfinished request count.
+    pub fn inflight(&self) -> usize {
+        self.shared.admission.inflight()
+    }
+
+    /// Stop accepting and join the accept thread. Existing connections
+    /// finish their in-flight exchange and then error out.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let conn = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _peer)) = conn else { continue };
+        let conn_shared = Arc::clone(&shared);
+        let _ = thread::Builder::new()
+            .name("pygb-serve-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(stream, conn_shared);
+            });
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut tenant = "anonymous".to_string();
+    let requests = pygb_obs::registry().counter("serve/requests");
+
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let Some(line) = wire::read_line(&mut reader)? else {
+            return Ok(()); // clean EOF
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        requests.inc();
+        let req = match query::parse(&line) {
+            Ok(req) => req,
+            Err((code, msg)) => {
+                wire::write_err(&mut writer, code, &msg)?;
+                continue;
+            }
+        };
+        match req {
+            Request::Hello { tenant: t } => {
+                tenant = t.clone();
+                respond(
+                    &mut writer,
+                    query::execute(&shared.catalog, &Request::Hello { tenant: t }),
+                )?;
+            }
+            Request::Batch { count } => {
+                let subs = match read_batch(&mut reader, count) {
+                    Ok(subs) => subs,
+                    Err((code, msg)) => {
+                        wire::write_err(&mut writer, code, &msg)?;
+                        continue;
+                    }
+                };
+                pygb_obs::registry().counter("serve/batches").inc();
+                dispatch_heavy(&shared, &mut writer, &tenant, Work::Batch(subs))?;
+            }
+            req if req.is_heavy() => {
+                dispatch_heavy(&shared, &mut writer, &tenant, Work::One(req))?;
+            }
+            req => {
+                // Cheap metadata verbs answer inline on the connection
+                // thread; they never touch graph data.
+                respond(&mut writer, query::execute(&shared.catalog, &req))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Read and validate the `count` request lines following a `BATCH`.
+fn read_batch(
+    reader: &mut BufReader<TcpStream>,
+    count: usize,
+) -> Result<Vec<Request>, query::QueryError> {
+    let mut subs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let line = wire::read_line(reader)
+            .map_err(|e| (ErrCode::BadRequest, format!("batch read failed: {e}")))?
+            .ok_or((ErrCode::BadRequest, "batch truncated by EOF".to_string()))?;
+        let sub = query::parse(&line)?;
+        if !sub.is_heavy() {
+            return Err((
+                ErrCode::BadRequest,
+                format!(
+                    "only REGISTER/QUERY/EXPR allowed in a batch, got `{}`",
+                    sub.verb()
+                ),
+            ));
+        }
+        subs.push(sub);
+    }
+    Ok(subs)
+}
+
+enum Work {
+    One(Request),
+    Batch(Vec<Request>),
+}
+
+/// Admit, enqueue, and await one unit of heavy work, writing whatever
+/// frame results (including the structured shed/timeout responses).
+fn dispatch_heavy(
+    shared: &Arc<Shared>,
+    writer: &mut TcpStream,
+    tenant: &str,
+    work: Work,
+) -> std::io::Result<()> {
+    let ticket = match shared.admission.admit(tenant) {
+        Ok(t) => Arc::new(t),
+        Err(e) => return wire::write_err(writer, ErrCode::Overloaded, &e.message()),
+    };
+    let (tx, rx) = mpsc::channel::<Result<String, query::QueryError>>();
+    let admitted_at = Instant::now();
+    let deadline = admitted_at + shared.admission.config().queue_timeout;
+
+    let run = {
+        let shared = Arc::clone(shared);
+        let tenant = tenant.to_string();
+        let ticket = Arc::clone(&ticket);
+        let tx = tx.clone();
+        Box::new(move || {
+            let _ticket = ticket;
+            pygb_obs::registry()
+                .histogram("serve/queue_wait_ns")
+                .record(admitted_at.elapsed().as_nanos() as u64);
+            let result = match &work {
+                Work::One(req) => {
+                    let _span = span_labeled(Cat::Serve, || {
+                        format!("serve {} tenant={tenant}", req.verb())
+                    });
+                    query::execute(&shared.catalog, req)
+                }
+                Work::Batch(subs) => run_batch(&shared.catalog, subs, &tenant),
+            };
+            pygb_obs::registry()
+                .histogram("serve/request_ns")
+                .record(admitted_at.elapsed().as_nanos() as u64);
+            pygb_obs::registry()
+                .counter(if result.is_ok() {
+                    "serve/completed"
+                } else {
+                    "serve/errors"
+                })
+                .inc();
+            let _ = tx.send(result);
+        })
+    };
+    let expire = {
+        let ticket = Arc::clone(&ticket);
+        Box::new(move || {
+            let _ticket = ticket;
+            let _ = tx.send(Err((
+                ErrCode::Timeout,
+                "request expired in queue before a worker picked it up".to_string(),
+            )));
+        })
+    };
+    drop(ticket);
+
+    if let Err((_job, full)) = shared.pool.submit(Job {
+        deadline,
+        run,
+        expire,
+    }) {
+        pygb_obs::registry().counter("serve/shed_overloaded").inc();
+        return wire::write_err(
+            writer,
+            ErrCode::Overloaded,
+            &format!("worker queue at capacity ({})", full.capacity),
+        );
+    }
+
+    match rx.recv_timeout(shared.response_wait) {
+        Ok(result) => respond(writer, result),
+        Err(_) => wire::write_err(
+            writer,
+            ErrCode::Timeout,
+            "request did not complete within the response window",
+        ),
+    }
+}
+
+/// Execute batch members sequentially on the worker, one span each.
+/// The batch succeeds as a frame even when members fail: each member
+/// reports `{"ok":...}` or `{"err":{...}}` in order.
+fn run_batch(
+    catalog: &Catalog,
+    subs: &[Request],
+    tenant: &str,
+) -> Result<String, query::QueryError> {
+    let mut items = Vec::with_capacity(subs.len());
+    for sub in subs {
+        let _span = span_labeled(Cat::Serve, || {
+            format!("serve batch:{} tenant={tenant}", sub.verb())
+        });
+        match query::execute(catalog, sub) {
+            Ok(payload) => items.push(format!("{{\"ok\":{payload}}}")),
+            Err((code, msg)) => items.push(format!(
+                "{{\"err\":{{\"code\":\"{}\",\"msg\":\"{}\"}}}}",
+                code.name(),
+                wire::json_escape(&msg)
+            )),
+        }
+    }
+    Ok(format!("[{}]", items.join(",")))
+}
+
+fn respond(
+    writer: &mut TcpStream,
+    result: Result<String, query::QueryError>,
+) -> std::io::Result<()> {
+    match result {
+        Ok(payload) => wire::write_ok(writer, &payload),
+        Err((code, msg)) => wire::write_err(writer, code, &msg),
+    }
+}

@@ -1,0 +1,258 @@
+//! The `pygb-wire/1` framing layer.
+//!
+//! The protocol is a line-oriented request/response exchange over a
+//! byte stream (TCP in practice, anything `Read + Write` in tests).
+//! Requests are single LF-terminated lines of whitespace-separated
+//! tokens; the one exception is `BATCH <k>`, which is followed by `k`
+//! request lines that are answered as a unit.
+//!
+//! Responses are length-prefixed so payloads may contain anything but
+//! are still parseable without lookahead:
+//!
+//! ```text
+//! OK <nbytes>\n<payload bytes>\n
+//! ERR <code> <nbytes>\n<message bytes>\n
+//! ```
+//!
+//! `<nbytes>` counts the payload only, not the trailing newline. Error
+//! codes are the closed set of [`ErrCode`] names; clients switch on the
+//! code, not the message.
+
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+/// Protocol identifier sent back on `HELLO`.
+pub const PROTOCOL: &str = "pygb-wire/1";
+
+/// Hard cap on a request line (bytes), to bound memory per connection.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Hard cap on a response payload we are willing to read back.
+pub const MAX_PAYLOAD: usize = 1 << 26;
+
+/// The closed set of structured error codes a server can return.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The request line did not parse or referenced an unsupported verb.
+    BadRequest,
+    /// A named graph (or batch member graph) does not exist.
+    NotFound,
+    /// The server or tenant queue is at capacity; retry later.
+    Overloaded,
+    /// The request was admitted but waited past its deadline.
+    Timeout,
+    /// Execution failed server-side (semantics error, kernel error...).
+    Internal,
+}
+
+impl ErrCode {
+    /// Wire name of the code.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrCode::BadRequest => "bad-request",
+            ErrCode::NotFound => "not-found",
+            ErrCode::Overloaded => "overloaded",
+            ErrCode::Timeout => "timeout",
+            ErrCode::Internal => "internal",
+        }
+    }
+
+    /// Parse a wire name back into a code.
+    pub fn from_name(s: &str) -> Option<ErrCode> {
+        Some(match s {
+            "bad-request" => ErrCode::BadRequest,
+            "not-found" => ErrCode::NotFound,
+            "overloaded" => ErrCode::Overloaded,
+            "timeout" => ErrCode::Timeout,
+            "internal" => ErrCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One parsed response frame, as seen by a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// `OK` with its payload.
+    Ok(String),
+    /// `ERR` with code and message.
+    Err(ErrCode, String),
+}
+
+impl Frame {
+    /// Unwrap into `Result`, mapping `ERR` to `(code, message)`.
+    pub fn into_result(self) -> Result<String, (ErrCode, String)> {
+        match self {
+            Frame::Ok(p) => Ok(p),
+            Frame::Err(c, m) => Err((c, m)),
+        }
+    }
+}
+
+/// Write an `OK` frame.
+pub fn write_ok(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    write!(w, "OK {}\n{}\n", payload.len(), payload)?;
+    w.flush()
+}
+
+/// Write an `ERR` frame.
+pub fn write_err(w: &mut impl Write, code: ErrCode, msg: &str) -> io::Result<()> {
+    write!(w, "ERR {} {}\n{}\n", code.name(), msg.len(), msg)?;
+    w.flush()
+}
+
+/// Read one LF-terminated request line. Returns `None` on a clean EOF
+/// before any byte, an error on oversized or EOF-truncated lines.
+pub fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = r
+        .by_ref()
+        .take(MAX_LINE as u64)
+        .read_line(&mut line)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            if n >= MAX_LINE {
+                "request line too long"
+            } else {
+                "truncated request line"
+            },
+        ));
+    }
+    line.truncate(line.trim_end_matches(['\n', '\r']).len());
+    Ok(Some(line))
+}
+
+/// Read one response frame (client side).
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Frame> {
+    let header = read_line(r)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"))?;
+    let mut toks = header.split_ascii_whitespace();
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    match toks.next() {
+        Some("OK") => {
+            let n: usize = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("malformed OK header"))?;
+            Ok(Frame::Ok(read_payload(r, n)?))
+        }
+        Some("ERR") => {
+            let code = toks
+                .next()
+                .and_then(ErrCode::from_name)
+                .ok_or_else(|| bad("malformed ERR code"))?;
+            let n: usize = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("malformed ERR header"))?;
+            Ok(Frame::Err(code, read_payload(r, n)?))
+        }
+        _ => Err(bad("unknown frame type")),
+    }
+}
+
+fn read_payload(r: &mut impl BufRead, n: usize) -> io::Result<String> {
+    if n > MAX_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "payload too large",
+        ));
+    }
+    let mut buf = vec![0u8; n + 1]; // payload + trailing '\n'
+    r.read_exact(&mut buf)?;
+    if buf.pop() != Some(b'\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "missing frame terminator",
+        ));
+    }
+    String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Escape a string for embedding in a JSON payload.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn ok_frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_ok(&mut buf, "{\"x\":1}\nline2").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Frame::Ok("{\"x\":1}\nline2".into())
+        );
+    }
+
+    #[test]
+    fn err_frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_err(&mut buf, ErrCode::Overloaded, "queue full").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Frame::Err(ErrCode::Overloaded, "queue full".into())
+        );
+    }
+
+    #[test]
+    fn every_code_roundtrips_by_name() {
+        for code in [
+            ErrCode::BadRequest,
+            ErrCode::NotFound,
+            ErrCode::Overloaded,
+            ErrCode::Timeout,
+            ErrCode::Internal,
+        ] {
+            assert_eq!(ErrCode::from_name(code.name()), Some(code));
+        }
+    }
+
+    #[test]
+    fn read_line_strips_crlf_and_detects_eof() {
+        let mut r = BufReader::new(&b"LIST\r\n"[..]);
+        assert_eq!(read_line(&mut r).unwrap(), Some("LIST".to_string()));
+        assert_eq!(read_line(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_line_is_an_error() {
+        let mut r = BufReader::new(&b"PING"[..]);
+        assert!(read_line(&mut r).is_err());
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,182 @@
+//! Stress: N parallel query streams against a graph whose snapshot a
+//! writer keeps swapping, plus a second static graph in the same
+//! catalog. Every response must be oracle-exact *for the version it
+//! reports* — a response mixing two versions (e.g. levels from v3 with
+//! the node count of v4) fails the check.
+//!
+//! The version-keyed graph family makes the oracle deterministic: the
+//! writer publishes path graphs whose length is a function of the
+//! version, so a BFS response is fully predicted by the `version`
+//! field it carries.
+
+use pygb_serve::{Catalog, Client, ErrCode, Frame, Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Path length for snapshot version `v` of the mutable graph.
+fn path_len(version: u64) -> usize {
+    8 + (version as usize % 7)
+}
+
+/// `REGISTER` line for the next version of the mutable graph, given
+/// the version it will be assigned.
+fn register_line(version: u64) -> String {
+    let n = path_len(version);
+    let triples: Vec<String> = (0..n - 1).map(|i| format!("{i}:{}:1", i + 1)).collect();
+    format!("REGISTER swap TRIPLES {n} {n} fp64 {}", triples.join(","))
+}
+
+/// Exact expected BFS-from-0 payload fragment for a path of `n` nodes.
+fn expected_levels(n: usize) -> String {
+    let pairs: Vec<String> = (0..n).map(|i| format!("[{i},{}]", i + 1)).collect();
+    format!("\"levels\":[{}]", pairs.join(","))
+}
+
+fn extract_version(payload: &str) -> u64 {
+    let key = "\"version\":";
+    let at = payload.find(key).expect("payload carries a version") + key.len();
+    payload[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("version is numeric")
+}
+
+#[test]
+fn parallel_queries_stay_oracle_exact_across_snapshot_swaps() {
+    let server = Server::start(Arc::new(Catalog::new()), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Seed both graphs: the mutable one at version 1 and a static
+    // second graph (a 5-cycle) that must stay untouched throughout.
+    let mut seed = Client::connect(addr).unwrap();
+    seed.hello("writer").unwrap();
+    seed.request_ok(&register_line(1)).unwrap();
+    seed.request_ok("REGISTER fixed TRIPLES 5 5 fp64 0:1:1,1:2:1,2:3:1,3:4:1,4:0:1")
+        .unwrap();
+    let fixed_oracle = "\"levels\":[[0,1],[1,2],[2,3],[3,4],[4,5]]";
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let checked = Arc::new(AtomicUsize::new(0));
+
+    // Writer: keep swapping the `swap` graph to new versions.
+    let writer = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.hello("writer").unwrap();
+            let mut version = 2;
+            while !stop.load(Ordering::Relaxed) {
+                let info = c.request_ok(&register_line(version)).unwrap();
+                assert!(
+                    info.contains(&format!("\"version\":{version}")),
+                    "writer saw {info}"
+                );
+                version += 1;
+                thread::sleep(Duration::from_millis(1));
+            }
+            version - 1 // last published version
+        })
+    };
+
+    // Readers: hammer both graphs; verify every response against the
+    // oracle keyed by the version the response itself reports.
+    let readers: Vec<_> = (0..16)
+        .map(|r| {
+            let stop = Arc::clone(&stop);
+            let checked = Arc::clone(&checked);
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.hello(&format!("reader-{r}")).unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    let swap = c.request("QUERY swap BFS 0").unwrap();
+                    match swap {
+                        Frame::Ok(payload) => {
+                            let v = extract_version(&payload);
+                            let n = path_len(v);
+                            assert!(
+                                payload.contains(&expected_levels(n)),
+                                "version {v} response is not the version-{v} graph: {payload}"
+                            );
+                            assert!(payload.contains(&format!("\"nvals\":{n}")), "{payload}");
+                            checked.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Under stress the server may shed; that must be
+                        // structured, never a hang or a wrong answer.
+                        Frame::Err(ErrCode::Overloaded | ErrCode::Timeout, _) => {}
+                        Frame::Err(code, msg) => panic!("unexpected error {code}: {msg}"),
+                    }
+                    let fixed = c.request("QUERY fixed BFS 0").unwrap();
+                    match fixed {
+                        Frame::Ok(payload) => {
+                            assert!(payload.contains("\"version\":1"), "{payload}");
+                            assert!(payload.contains(fixed_oracle), "{payload}");
+                            checked.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Frame::Err(ErrCode::Overloaded | ErrCode::Timeout, _) => {}
+                        Frame::Err(code, msg) => panic!("unexpected error {code}: {msg}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(750));
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    let last_version = writer.join().unwrap();
+
+    assert!(
+        last_version >= 10,
+        "writer only reached version {last_version}"
+    );
+    let total = checked.load(Ordering::Relaxed);
+    assert!(total >= 100, "only {total} oracle-checked responses");
+
+    // The final catalog state is the writer's last published version.
+    let snap = server.catalog().get("swap").unwrap();
+    assert_eq!(snap.version, last_version);
+    assert_eq!(snap.graph.nrows(), path_len(last_version));
+}
+
+#[test]
+fn concurrent_expr_writes_into_distinct_names_do_not_collide() {
+    let server = Server::start(Arc::new(Catalog::new()), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut seed = Client::connect(addr).unwrap();
+    // 3-cycle adjacency; squaring it is a deterministic permutation.
+    seed.request_ok("REGISTER base TRIPLES 3 3 fp64 0:1:1,1:2:1,2:0:1")
+        .unwrap();
+
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.hello(&format!("w{i}")).unwrap();
+                let out = c
+                    .request_ok(&format!(
+                        "EXPR base MXM base SEMIRING ARITHMETIC INTO sq{i}"
+                    ))
+                    .unwrap();
+                assert!(out.contains(&format!("\"name\":\"sq{i}\"")), "{out}");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // All eight results exist and are the same (correct) square.
+    for i in 0..8 {
+        let snap = server.catalog().get(&format!("sq{i}")).unwrap();
+        assert_eq!(snap.graph.nvals(), 3);
+        assert_eq!(snap.graph.get(0, 2).unwrap().as_f64(), 1.0);
+        assert_eq!(snap.graph.get(1, 0).unwrap().as_f64(), 1.0);
+        assert_eq!(snap.graph.get(2, 1).unwrap().as_f64(), 1.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Wire-protocol integration tests: every verb over a real socket,
+//! structured errors, batching, and deterministic load shedding.
+
+use pygb_serve::{AdmissionConfig, Catalog, Client, ErrCode, Frame, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn server() -> Server {
+    Server::start(Arc::new(Catalog::new()), ServerConfig::default()).unwrap()
+}
+
+#[test]
+fn hello_ping_list_roundtrip() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let hello = c.hello("team-a").unwrap();
+    assert!(hello.contains("\"protocol\":\"pygb-wire/1\""), "{hello}");
+    assert!(hello.contains("\"tenant\":\"team-a\""), "{hello}");
+    assert_eq!(c.ping().unwrap(), "pong");
+    assert_eq!(c.list().unwrap(), "[]");
+}
+
+#[test]
+fn register_query_drop_lifecycle() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let info = c
+        .request_ok("REGISTER g TRIPLES 4 4 fp64 0:1:1,1:2:1,2:3:1")
+        .unwrap();
+    assert!(info.contains("\"name\":\"g\""), "{info}");
+    assert!(info.contains("\"version\":1"), "{info}");
+    assert!(info.contains("\"nvals\":3"), "{info}");
+
+    let bfs = c.request_ok("QUERY g BFS 0").unwrap();
+    assert!(
+        bfs.contains("\"levels\":[[0,1],[1,2],[2,3],[3,4]]"),
+        "{bfs}"
+    );
+
+    // Upsert bumps the version; queries see the new graph.
+    let info2 = c.request_ok("REGISTER g TRIPLES 2 2 fp64 0:1:1").unwrap();
+    assert!(info2.contains("\"version\":2"), "{info2}");
+    let bfs2 = c.request_ok("QUERY g BFS 0").unwrap();
+    assert!(bfs2.contains("\"version\":2"), "{bfs2}");
+    assert!(bfs2.contains("\"levels\":[[0,1],[1,2]]"), "{bfs2}");
+
+    assert_eq!(c.request_ok("DROP g").unwrap(), "{\"dropped\":\"g\"}");
+    assert_eq!(
+        c.request("QUERY g BFS 0").unwrap(),
+        Frame::Err(ErrCode::NotFound, "no graph named `g`".to_string())
+    );
+}
+
+#[test]
+fn structured_errors_keep_the_connection_usable() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    for (line, code) in [
+        ("FROBNICATE", ErrCode::BadRequest),
+        ("QUERY nope CC", ErrCode::NotFound),
+        ("QUERY", ErrCode::BadRequest),
+        ("REGISTER g ER x y z", ErrCode::BadRequest),
+    ] {
+        match c.request(line).unwrap() {
+            Frame::Err(got, _) => assert_eq!(got, code, "line {line:?}"),
+            Frame::Ok(p) => panic!("line {line:?} unexpectedly ok: {p}"),
+        }
+    }
+    // The connection survives every error above.
+    assert_eq!(c.ping().unwrap(), "pong");
+}
+
+#[test]
+fn all_five_algorithms_answer() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.request_ok("REGISTER g ER 100 600 42 SYM").unwrap();
+    for (line, needle) in [
+        ("QUERY g BFS 0", "\"algo\":\"bfs\""),
+        ("QUERY g SSSP 0", "\"algo\":\"sssp\""),
+        ("QUERY g PAGERANK 30", "\"algo\":\"pagerank\""),
+        ("QUERY g TRICOUNT", "\"triangles\":"),
+        ("QUERY g CC", "\"components\":"),
+    ] {
+        let out = c.request_ok(line).unwrap();
+        assert!(out.contains(needle), "{line}: {out}");
+        assert!(out.contains("\"version\":1"), "{line}: {out}");
+    }
+}
+
+#[test]
+fn expr_masked_into_catalog() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.request_ok("REGISTER a TRIPLES 2 2 fp64 0:0:1,0:1:2,1:0:3,1:1:4")
+        .unwrap();
+    c.request_ok("REGISTER m TRIPLES 2 2 fp64 0:0:1").unwrap();
+    let info = c
+        .request_ok("EXPR a MXM a SEMIRING ARITHMETIC MASK m INTO sq")
+        .unwrap();
+    assert!(info.contains("\"name\":\"sq\""), "{info}");
+    // Only the masked position survives: (A@A)[0,0] = 1*1 + 2*3 = 7.
+    let out = c.request_ok("EXPR sq EWADD sq BINOP Plus").unwrap();
+    assert!(out.contains("\"nvals\":1"), "{out}");
+    assert!(out.contains("[0,0,14]"), "{out}");
+}
+
+#[test]
+fn batch_reports_per_item_results() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.request_ok("REGISTER g TRIPLES 3 3 fp64 0:1:1,1:2:1")
+        .unwrap();
+    let frame = c
+        .batch(&["QUERY g BFS 0", "QUERY ghost BFS 0", "QUERY g CC"])
+        .unwrap();
+    let Frame::Ok(payload) = frame else {
+        panic!("batch failed: {frame:?}")
+    };
+    assert!(payload.starts_with("[{\"ok\":"), "{payload}");
+    assert!(
+        payload.contains("\"err\":{\"code\":\"not-found\""),
+        "{payload}"
+    );
+    assert!(payload.contains("\"components\":"), "{payload}");
+}
+
+#[test]
+fn batch_rejects_non_query_members() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    match c.batch(&["PING"]).unwrap() {
+        Frame::Err(ErrCode::BadRequest, msg) => assert!(msg.contains("batch"), "{msg}"),
+        other => panic!("expected bad-request, got {other:?}"),
+    }
+    assert_eq!(c.ping().unwrap(), "pong");
+}
+
+#[test]
+fn zero_capacity_tenant_is_shed_with_overloaded() {
+    let srv = Server::start(
+        Arc::new(Catalog::new()),
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_inflight: 64,
+                per_tenant: 0,
+                queue_timeout: Duration::from_secs(5),
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    // Cheap verbs bypass admission and still work...
+    assert_eq!(c.ping().unwrap(), "pong");
+    // ...heavy ones shed gracefully instead of hanging or panicking.
+    match c.request("REGISTER g ER 10 20 1").unwrap() {
+        Frame::Err(ErrCode::Overloaded, msg) => {
+            assert!(msg.contains("capacity"), "{msg}")
+        }
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+    assert_eq!(c.ping().unwrap(), "pong");
+}
+
+#[test]
+fn expired_queue_deadline_returns_timeout() {
+    let srv = Server::start(
+        Arc::new(Catalog::new()),
+        ServerConfig {
+            admission: AdmissionConfig {
+                queue_timeout: Duration::ZERO, // every job expires in queue
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    match c.request("REGISTER g ER 10 20 1").unwrap() {
+        Frame::Err(ErrCode::Timeout, msg) => assert!(msg.contains("expired"), "{msg}"),
+        other => panic!("expected timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn stats_exposes_serve_metrics_and_tunables() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.request_ok("REGISTER g TRIPLES 2 2 fp64 0:1:1").unwrap();
+    c.request_ok("QUERY g BFS 0").unwrap();
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("serve/requests"), "{stats}");
+    assert!(stats.contains("serve/admitted"), "{stats}");
+    assert!(stats.contains("serve/completed"), "{stats}");
+    assert!(stats.contains("serve/catalog_registers"), "{stats}");
+    assert!(stats.contains("serve/request_ns"), "{stats}");
+    // The promoted push/pull density tunable is mirrored as metrics.
+    assert!(stats.contains("tunables/push_pull_density_ppm"), "{stats}");
+}
+
+#[test]
+fn request_spans_land_in_the_chrome_trace_export() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.hello("traced").unwrap();
+    pygb_obs::enable();
+    c.request_ok("REGISTER t TRIPLES 2 2 fp64 0:1:1").unwrap();
+    c.request_ok("QUERY t BFS 0").unwrap();
+    pygb_obs::disable();
+    let trace = pygb_obs::chrome_trace_json();
+    assert!(
+        trace.contains("\"cat\":\"serve\""),
+        "no serve spans: {trace}"
+    );
+    assert!(trace.contains("serve query tenant=traced"), "{trace}");
+    assert!(trace.contains("serve register tenant=traced"), "{trace}");
+}
+
+#[test]
+fn tenants_share_a_connectionless_catalog() {
+    let srv = server();
+    let mut a = Client::connect(srv.local_addr()).unwrap();
+    let mut b = Client::connect(srv.local_addr()).unwrap();
+    a.hello("tenant-a").unwrap();
+    b.hello("tenant-b").unwrap();
+    a.request_ok("REGISTER shared TRIPLES 2 2 fp64 0:1:1")
+        .unwrap();
+    let out = b.request_ok("QUERY shared BFS 0").unwrap();
+    assert!(out.contains("\"graph\":\"shared\""), "{out}");
+}

@@ -1,0 +1,95 @@
+//! End-to-end tour of a `pygb-serve` instance from a wire client.
+//!
+//! Starts an in-process server (or connects to `PYGB_SERVE_ADDR` if
+//! set, so it doubles as a smoke client for a live deployment),
+//! registers two graphs, runs every query verb, exercises a batch,
+//! and prints the server's own `serve/*` metrics at the end.
+//!
+//! ```text
+//! cargo run --example serve_client
+//! PYGB_SERVE_ADDR=127.0.0.1:7411 cargo run --example serve_client
+//! ```
+
+use pygb_serve::{Catalog, Client, Frame, Server, ServerConfig};
+use std::sync::Arc;
+
+fn main() -> std::io::Result<()> {
+    // Either attach to a live server or spin one up in-process.
+    let (addr, _server) = match std::env::var("PYGB_SERVE_ADDR") {
+        Ok(addr) => (addr, None),
+        Err(_) => {
+            let server = Server::start(Arc::new(Catalog::new()), ServerConfig::default())?;
+            (server.local_addr().to_string(), Some(server))
+        }
+    };
+    println!("connecting to {addr}");
+
+    let mut client = Client::connect(&addr)?;
+    println!("HELLO     -> {}", client.hello("example")?);
+    println!("PING      -> {}", client.ping()?);
+
+    // Two named graphs: a directed ER digraph and a symmetrized one
+    // for the undirected algorithms.
+    println!(
+        "REGISTER  -> {}",
+        client.request_ok("REGISTER web ER 500 3000 42")?
+    );
+    println!(
+        "REGISTER  -> {}",
+        client.request_ok("REGISTER social ER 300 2400 7 SYM")?
+    );
+    println!("LIST      -> {}", client.list()?);
+
+    // Traversals against `web`, analytics against `social`.
+    let bfs = client.request_ok("QUERY web BFS 0")?;
+    println!(
+        "BFS       -> {} bytes: {}...",
+        bfs.len(),
+        &bfs[..bfs.len().min(96)]
+    );
+    let sssp = client.request_ok("QUERY web SSSP 0")?;
+    println!("SSSP      -> {} bytes", sssp.len());
+    let pr = client.request_ok("QUERY web PAGERANK 50")?;
+    println!("PAGERANK  -> {} bytes", pr.len());
+    println!(
+        "TRICOUNT  -> {}",
+        trim(&client.request_ok("QUERY social TRICOUNT")?)
+    );
+    let cc = client.request_ok("QUERY social CC")?;
+    println!("CC        -> {}...", &cc[..cc.len().min(96)]);
+
+    // A raw masked expression published back into the catalog:
+    // two_hop[social] = web_sym? No — square `social` under the
+    // arithmetic semiring, masked by itself (count 2-paths that close).
+    let expr =
+        client.request_ok("EXPR social MXM social SEMIRING ARITHMETIC MASK social INTO twohop")?;
+    println!("EXPR      -> {expr}");
+
+    // Batched round-trip: one admission, three queries, one frame.
+    match client.batch(&[
+        "QUERY web BFS 1",
+        "QUERY social TRICOUNT",
+        "QUERY twohop CC",
+    ])? {
+        Frame::Ok(payload) => println!("BATCH     -> {} bytes", payload.len()),
+        Frame::Err(code, msg) => println!("BATCH     -> ERR {code}: {msg}"),
+    }
+
+    println!("DROP      -> {}", client.request_ok("DROP twohop")?);
+
+    // The server's own metrics, filtered to the serve namespace.
+    let stats = client.stats()?;
+    let serve_lines: Vec<&str> = stats
+        .lines()
+        .filter(|l| l.contains("serve/") || l.contains("push_pull_density"))
+        .collect();
+    println!("STATS (serve/*):");
+    for line in serve_lines {
+        println!("  {}", line.trim().trim_end_matches(','));
+    }
+    Ok(())
+}
+
+fn trim(s: &str) -> String {
+    s.chars().take(120).collect()
+}
