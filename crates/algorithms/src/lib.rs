@@ -24,6 +24,7 @@
 pub mod bfs;
 pub mod cc;
 mod fused;
+pub mod incremental;
 pub mod nonblocking;
 pub mod pagerank;
 pub mod sssp;
@@ -32,8 +33,10 @@ pub mod util;
 
 pub use bfs::{bfs_dsl_fused, bfs_dsl_loops, bfs_native};
 pub use cc::{cc_dsl_fused, cc_dsl_loops, cc_native, count_components};
+pub use incremental::{bfs_incremental, pagerank_incremental};
 pub use nonblocking::{
-    bfs_nonblocking, pagerank_nonblocking, sssp_nonblocking, tricount_nonblocking,
+    bfs_nonblocking, pagerank_nonblocking, pagerank_nonblocking_from, sssp_nonblocking,
+    tricount_nonblocking,
 };
 pub use pagerank::{
     pagerank_dsl_chained, pagerank_dsl_fused, pagerank_dsl_loops, pagerank_native, PageRankOptions,

@@ -71,6 +71,23 @@ pub fn pagerank_nonblocking(
     graph: &Matrix,
     opts: PageRankOptions,
 ) -> pygb::Result<(Vector, usize)> {
+    let rows = graph.nrows();
+    let mut start = Vector::new(rows, DType::Fp64);
+    start.no_mask().slice(..).assign_scalar(1.0 / rows as f64)?;
+    pagerank_nonblocking_from(graph, &start, opts)
+}
+
+/// The deferred power iteration of [`pagerank_nonblocking`], started
+/// from an arbitrary `fp64` rank vector instead of the uniform one —
+/// the warm-start entry point of
+/// [`crate::incremental::pagerank_incremental`]. The damped iteration
+/// is a contraction, so any start converges to the same fixed point;
+/// the start only decides how many iterations that takes.
+pub fn pagerank_nonblocking_from(
+    graph: &Matrix,
+    start: &Vector,
+    opts: PageRankOptions,
+) -> pygb::Result<(Vector, usize)> {
     let (rows, _cols) = graph.shape();
     let rows_f = rows as f64;
     let mut m = Matrix::new(rows, rows, DType::Fp64);
@@ -83,7 +100,7 @@ pub fn pagerank_nonblocking(
     }
 
     let mut page_rank = Vector::new(rows, DType::Fp64);
-    page_rank.no_mask().slice(..).assign_scalar(1.0 / rows_f)?;
+    page_rank.no_mask().assign(start)?;
     let mut new_rank = Vector::new(rows, DType::Fp64);
     let mut delta = Vector::new(rows, DType::Fp64);
     let teleport = (1.0 - opts.damping_factor) / rows_f;

@@ -1,0 +1,183 @@
+//! Streaming-update vs. full-rebuild wall time, the tentpole claim of
+//! the mutation layer: absorbing a small edge batch through
+//! [`pygb::StreamingMatrix`] (copy + two-pointer splice, no sort) must
+//! beat tearing the container down and rebuilding it from triples
+//! (`from_triples`: O(nnz log nnz) sort) on a ≥100k-edge graph.
+//!
+//! Both sides are timed end-to-end from the same starting point — a
+//! published snapshot plus an edge batch — to a new settled container,
+//! which is exactly the choice a catalog writer faces. The update side
+//! pays CoW copy + batch absorb + splice merge; the rebuild side pays
+//! triple extraction + last-write-wins merge + the `from_triples`
+//! sort. Writes `results/stream_bench.json` for CI archival.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use pygb::{DType, EdgeUpdate, Matrix, StreamingMatrix};
+use pygb_bench::report::{render_table, to_json, Sample};
+
+const N: usize = 50_000;
+const M: usize = 150_000;
+
+fn time<R>(mut f: impl FnMut() -> R) -> Duration {
+    // One warm-up, then the median of three runs.
+    f();
+    let mut runs: Vec<Duration> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    runs.sort();
+    runs[1]
+}
+
+/// Deterministic mixed batch: ~3/4 inserts (possibly overwriting),
+/// ~1/4 deletes of likely-present coordinates.
+fn make_batch(base: &[(usize, usize, f64)], len: usize, salt: usize) -> Vec<EdgeUpdate> {
+    (0..len)
+        .map(|k| {
+            let h = k
+                .wrapping_mul(2654435761)
+                .wrapping_add(salt.wrapping_mul(40503));
+            if k % 4 == 3 {
+                // Delete an edge drawn from the base list (present
+                // unless an earlier op in this batch already hit it).
+                let (i, j, _) = base[h % base.len()];
+                EdgeUpdate::del(i, j)
+            } else {
+                EdgeUpdate::add(h % N, (h / N) % N, (k % 7) as f64 + 1.0)
+            }
+        })
+        .collect()
+}
+
+/// Last-write-wins model of `base + batch`, as a sorted triple list.
+fn final_triples(base: &[(usize, usize, f64)], batch: &[EdgeUpdate]) -> Vec<(usize, usize, f64)> {
+    let mut model: BTreeMap<(usize, usize), f64> =
+        base.iter().map(|&(i, j, v)| ((i, j), v)).collect();
+    for u in batch {
+        match u.val {
+            Some(v) => {
+                model.insert((u.row, u.col), v.as_f64());
+            }
+            None => {
+                model.remove(&(u.row, u.col));
+            }
+        }
+    }
+    model.into_iter().map(|((i, j), v)| (i, j, v)).collect()
+}
+
+fn main() {
+    let edges = pygb_io::generators::erdos_renyi(N, M, 4242);
+    let base = edges.to_pygb(DType::Fp64);
+    let base_triples: Vec<(usize, usize, f64)> = base
+        .extract_triples()
+        .into_iter()
+        .map(|(i, j, v)| (i, j, v.as_f64()))
+        .collect();
+    assert!(
+        base_triples.len() >= 100_000,
+        "graph must carry >=100k edges, got {}",
+        base_triples.len()
+    );
+    println!(
+        "stream_bench: |V|={N}, |E|={}, batch sizes 16/256/4096",
+        base_triples.len()
+    );
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut small_batch_ratio = None;
+
+    for (bi, &batch_len) in [16usize, 256, 4096].iter().enumerate() {
+        let batch = make_batch(&base_triples, batch_len, bi);
+        let oracle = final_triples(&base_triples, &batch);
+
+        // Correctness first: both paths must produce the same container.
+        let updated = {
+            let mut s = StreamingMatrix::from_matrix(&base).unwrap();
+            s.update_edges(&batch).unwrap();
+            s.into_matrix()
+        };
+        let rebuilt = Matrix::from_triples(N, N, oracle.clone()).unwrap();
+        assert_eq!(
+            updated.extract_triples(),
+            rebuilt.extract_triples(),
+            "update and rebuild disagree at batch={batch_len}"
+        );
+
+        // The streamed publish path: CoW copy + absorb + splice merge.
+        let t_update = time(|| {
+            let mut s = StreamingMatrix::from_matrix(&base).unwrap();
+            s.update_edges(&batch).unwrap();
+            s.settle();
+            s.nvals()
+        });
+        // The rebuild path: extract the snapshot's triples, merge the
+        // batch last-write-wins (sort + dedup, keeping the newest op
+        // per coordinate), rebuild from scratch.
+        let t_rebuild = time(|| {
+            let mut tri: Vec<(usize, usize, usize, Option<f64>)> = base
+                .extract_triples()
+                .into_iter()
+                .map(|(i, j, v)| (i, j, 0, Some(v.as_f64())))
+                .collect();
+            tri.extend(
+                batch
+                    .iter()
+                    .enumerate()
+                    .map(|(k, u)| (u.row, u.col, k + 1, u.val.map(|v| v.as_f64()))),
+            );
+            tri.sort_unstable_by_key(|&(i, j, seq, _)| (i, j, seq));
+            let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(tri.len());
+            for (i, j, _, v) in tri {
+                if merged.last().is_some_and(|&(pi, pj, _)| (pi, pj) == (i, j)) {
+                    merged.pop();
+                }
+                if let Some(v) = v {
+                    merged.push((i, j, v));
+                }
+            }
+            Matrix::from_triples(N, N, merged).unwrap().nvals()
+        });
+
+        samples.push(Sample::new(
+            "stream/update_vs_rebuild",
+            &format!("update-b{batch_len}"),
+            base_triples.len(),
+            t_update,
+        ));
+        samples.push(Sample::new(
+            "stream/update_vs_rebuild",
+            &format!("rebuild-b{batch_len}"),
+            base_triples.len(),
+            t_rebuild,
+        ));
+        let ratio = t_rebuild.as_secs_f64() / t_update.as_secs_f64().max(1e-12);
+        println!("batch={batch_len:>5}: update {t_update:?}  rebuild {t_rebuild:?}  (rebuild/update = {ratio:.2}x)");
+        if batch_len == 16 {
+            small_batch_ratio = Some(ratio);
+        }
+    }
+
+    println!("{}", render_table("streaming: update vs rebuild", &samples));
+
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = format!("{dir}/stream_bench.json");
+    std::fs::write(&path, to_json(&samples)).expect("write stream_bench.json");
+    println!(
+        "wrote results/stream_bench.json ({} samples)",
+        samples.len()
+    );
+
+    // The acceptance bar: small batches must beat the full rebuild.
+    let ratio = small_batch_ratio.expect("batch=16 ran");
+    assert!(
+        ratio > 1.0,
+        "streamed update (batch=16) must beat full rebuild, got {ratio:.2}x"
+    );
+}

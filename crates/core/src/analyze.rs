@@ -194,6 +194,61 @@ fn check_result_cast(op: &'static str, from: DType, to: DType, rendered: &str) -
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Streaming-update pass.
+// ---------------------------------------------------------------------
+
+/// Validate a streamed edge-mutation batch against the container it
+/// targets (see [`crate::stream::StreamingMatrix::update_edges`]).
+/// Out-of-bounds coordinates are hard errors — the batch must not have
+/// mutated anything when this fires. Lossy value-into-container casts
+/// and same-coordinate duplicates (which coalesce, last write wins)
+/// are lints, promoted to errors under `StrictTypes` like every other
+/// dtype finding.
+pub fn validate_update_batch(
+    shape: (usize, usize),
+    dtype: DType,
+    batch: &[crate::stream::EdgeUpdate],
+) -> Result<()> {
+    let (nrows, ncols) = shape;
+    let rendered = format!(
+        "update [{nrows}x{ncols} {dtype}] batch(len={})",
+        batch.len()
+    );
+    let mut seen = std::collections::BTreeSet::new();
+    let mut dups = 0usize;
+    for (k, u) in batch.iter().enumerate() {
+        if u.row >= nrows || u.col >= ncols {
+            return Err(PygbError::invalid(
+                "update",
+                format!(
+                    "edge ({}, {}) out of bounds for [{nrows}x{ncols}] at batch[{k}]",
+                    u.row, u.col
+                ),
+                rendered,
+            ));
+        }
+        if let Some(v) = u.val {
+            if let Some(why) = v.dtype().cast_loss(dtype) {
+                let reason = format!("lossy edge value cast {} → {dtype} ({why})", v.dtype());
+                if strict() {
+                    return Err(PygbError::invalid("update", reason, rendered));
+                }
+                push_lint(format!("`update`: {reason}; in {rendered}"));
+            }
+        }
+        if !seen.insert((u.row, u.col)) {
+            dups += 1;
+        }
+    }
+    if dups > 0 {
+        push_lint(format!(
+            "`update`: {dups} duplicate coordinate(s) in one batch coalesce (last write wins); in {rendered}"
+        ));
+    }
+    Ok(())
+}
+
 fn vec_expr_dtypes(e: &VectorExpr, rendered: &str) -> Result<()> {
     let op = vec_op_name(e);
     match &e.kind {

@@ -65,6 +65,7 @@ pub mod matrix;
 pub mod nb;
 pub mod operators;
 pub mod store;
+pub mod stream;
 pub mod target;
 pub mod value;
 pub mod vector;
@@ -79,6 +80,7 @@ pub use matrix::Matrix;
 pub use nb::{flush, DeferGuard};
 pub use operators::*;
 pub use store::Element;
+pub use stream::{EdgeUpdate, MergePolicy, StreamingMatrix};
 pub use target::{MatrixAssign, VectorAssign};
 pub use value::DynScalar;
 pub use vector::Vector;

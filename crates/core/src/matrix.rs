@@ -192,6 +192,20 @@ impl Matrix {
         Ok(())
     }
 
+    /// Apply a batch of streamed edge mutations in place (`Some` val
+    /// inserts/overwrites, `None` deletes; last write to a coordinate
+    /// wins). One-shot form of [`crate::StreamingMatrix`]: the batch
+    /// is analyzer-validated, applied through the hypersparse delta
+    /// layer, and settled immediately — `O(nnz + batch)` splice, never
+    /// an `O(nnz log nnz)` rebuild. Copy-on-write: clones of this
+    /// handle keep the pre-update graph.
+    pub fn update_edges(&mut self, batch: &[crate::stream::EdgeUpdate]) -> Result<()> {
+        let mut streaming = crate::stream::StreamingMatrix::from_matrix(self)?;
+        streaming.update_edges(batch)?; // analyzer-validated inside
+        *self = streaming.into_matrix();
+        Ok(())
+    }
+
     /// Remove every stored element, keeping shape and dtype.
     pub fn clear(&mut self) {
         let (r, c) = self.shape();

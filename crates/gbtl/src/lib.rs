@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod algorithms;
+pub mod delta;
 pub mod error;
 pub mod hooks;
 pub mod index;
@@ -73,6 +74,7 @@ pub mod views;
 pub mod workspace;
 pub mod write;
 
+pub use delta::{DeltaMatrix, EdgeOp, MergePolicy};
 pub use error::{GblasError, Result};
 pub use index::{IndexType, Indices};
 pub use mask::{MaskProbe, MatrixMask, NoMask, VectorMask};
@@ -89,6 +91,7 @@ pub use views::{complement, dual, transpose, MatrixArg, Replace};
 
 /// Convenience re-exports covering the types most programs need.
 pub mod prelude {
+    pub use crate::delta::{DeltaMatrix, EdgeOp, MergePolicy};
     pub use crate::error::{GblasError, Result};
     pub use crate::index::{IndexType, Indices};
     pub use crate::mask::{MaskProbe, MatrixMask, NoMask, VectorMask};

@@ -180,6 +180,28 @@ impl<T: Scalar> Matrix<T> {
         }
     }
 
+    /// Internal: assemble directly from validated CSR arrays. The
+    /// caller guarantees the invariants checked by [`Matrix::is_valid`]
+    /// (monotone `row_ptr` of length `nrows + 1`, per-row strictly
+    /// ascending in-bounds columns, parallel `col_idx` / `values`).
+    pub(crate) fn from_csr_parts(
+        nrows: IndexType,
+        ncols: IndexType,
+        row_ptr: Vec<IndexType>,
+        col_idx: Vec<IndexType>,
+        values: Vec<T>,
+    ) -> Self {
+        let m = Matrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        debug_assert!(m.is_valid());
+        m
+    }
+
     /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> IndexType {

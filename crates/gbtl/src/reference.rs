@@ -516,6 +516,38 @@ where
     write_vector_ref(w, mask, accum, &t, replace)
 }
 
+/// Mutation oracle for the streaming delta layer
+/// ([`crate::delta::DeltaMatrix`]): apply edge updates to a dense
+/// `Option` grid in order (`Some(v)` inserts/overwrites, `None`
+/// deletes; last write to a coordinate wins) and rebuild from scratch
+/// via [`Matrix::from_triples`]. The delta container's settle path
+/// must match this bit-identically — that is the update≡rebuild claim.
+///
+/// Out-of-bounds coordinates are ignored here; the container under
+/// test is expected to *reject* them before mutating, so callers feed
+/// the oracle only in-bounds updates.
+pub fn apply_edge_updates<T: Scalar>(
+    base: &Matrix<T>,
+    updates: &[(IndexType, IndexType, Option<T>)],
+) -> Matrix<T> {
+    let (nrows, ncols) = base.shape();
+    let mut grid: Vec<Vec<Option<T>>> = vec![vec![None; ncols]; nrows];
+    for (i, j, v) in base.iter() {
+        grid[i][j] = Some(v);
+    }
+    for &(i, j, op) in updates {
+        if i < nrows && j < ncols {
+            grid[i][j] = op;
+        }
+    }
+    let triples = grid.iter().enumerate().flat_map(|(i, row)| {
+        row.iter()
+            .enumerate()
+            .filter_map(move |(j, slot)| slot.map(|v| (i, j, v)))
+    });
+    Matrix::from_triples(nrows, ncols, triples).expect("oracle triples are in bounds")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,191 @@
+//! Differential tests: the hypersparse delta container vs. the dense
+//! mutation oracle in [`gbtl::reference::apply_edge_updates`].
+//!
+//! Each case generates a random base matrix and a random *script* of
+//! update batches with interleaved settle points, then drives a
+//! [`DeltaMatrix`] through the script while the oracle replays the
+//! same updates on a dense grid and rebuilds from scratch. After every
+//! batch — settled or not — the container's merged view must be
+//! bit-identical (structure AND values, `Matrix: PartialEq`) to the
+//! rebuilt matrix, and its O(1) `nvals` must agree. This is the
+//! update≡rebuild proof at the storage layer; `tests/streaming_equiv.rs`
+//! lifts it to the typed DSL and the algorithm suite.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use gbtl::prelude::*;
+use gbtl::reference;
+
+const N: usize = 8;
+
+type MatModel = BTreeMap<(usize, usize), i64>;
+
+fn mat_model() -> impl Strategy<Value = MatModel> {
+    proptest::collection::btree_map((0..N, 0..N), -8i64..9, 0..(N * N / 2))
+}
+
+fn to_matrix(m: &MatModel) -> Matrix<i64> {
+    Matrix::from_triples(N, N, m.iter().map(|(&(i, j), &v)| (i, j, v))).unwrap()
+}
+
+/// One scripted step: a batch of updates (`None` value = delete),
+/// optionally followed by an explicit settle.
+#[derive(Clone, Debug)]
+struct Step {
+    batch: Vec<(usize, usize, Option<i64>)>,
+    settle_after: bool,
+}
+
+/// `Some(v)` with 2:1 odds over `None` (delete).
+fn maybe_val() -> impl Strategy<Value = Option<i64>> {
+    (0u8..3, -8i64..9).prop_map(|(k, v)| (k > 0).then_some(v))
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    (
+        proptest::collection::vec((0..N, 0..N, maybe_val()), 0..12),
+        any::<bool>(),
+    )
+        .prop_map(|(batch, settle_after)| Step {
+            batch,
+            settle_after,
+        })
+}
+
+fn script() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(step(), 1..8)
+}
+
+/// Drive `delta` through `script`, checking the merged view against
+/// the oracle rebuild after every batch.
+fn run_script(
+    mut delta: DeltaMatrix<i64>,
+    base: &Matrix<i64>,
+    script: &[Step],
+    tracked_reads: bool,
+    ctx: &str,
+) -> TestCaseResult {
+    let mut applied: Vec<(usize, usize, Option<i64>)> = Vec::new();
+    for (s, step) in script.iter().enumerate() {
+        delta
+            .update_edges(step.batch.iter().copied())
+            .map_err(|e| TestCaseError::fail(format!("{ctx} step {s}: {e}")))?;
+        applied.extend_from_slice(&step.batch);
+        let want = reference::apply_edge_updates(base, &applied);
+        prop_assert_eq!(
+            delta.merged(),
+            want.clone(),
+            "{} step {}: merged view != rebuild",
+            ctx,
+            s
+        );
+        prop_assert_eq!(
+            delta.nvals(),
+            want.nvals(),
+            "{} step {}: O(1) nvals drifted",
+            ctx,
+            s
+        );
+        if tracked_reads {
+            // Tracked point reads agree with the oracle and may settle
+            // the container under read pressure mid-script.
+            for &(i, j, _) in step.batch.iter().take(3) {
+                prop_assert_eq!(delta.read(i, j), want.get(i, j), "{} step {}", ctx, s);
+            }
+        }
+        if step.settle_after {
+            prop_assert_eq!(delta.settle(), &want, "{} step {}: settle", ctx, s);
+            prop_assert!(delta.is_settled());
+        }
+    }
+    // Final settle always lands on the full rebuild, whatever mix of
+    // auto-merges and explicit settles happened along the way.
+    let want = reference::apply_edge_updates(base, &applied);
+    prop_assert_eq!(delta.into_settled(), want, "{}: final settle", ctx);
+    Ok(())
+}
+
+proptest! {
+    /// Default policy: merges happen only at explicit settle points.
+    #[test]
+    fn delta_matches_rebuild(base in mat_model(), script in script()) {
+        let m = to_matrix(&base);
+        run_script(DeltaMatrix::new(m.clone()), &m, &script, false, "default")?;
+    }
+
+    /// Tiny `max_pending` forces auto-merges mid-batch; equivalence
+    /// must hold across any merge schedule.
+    #[test]
+    fn delta_matches_rebuild_under_merge_pressure(base in mat_model(), script in script()) {
+        let m = to_matrix(&base);
+        let policy = MergePolicy { max_pending: 3, read_pressure: usize::MAX };
+        run_script(
+            DeltaMatrix::with_policy(m.clone(), policy),
+            &m,
+            &script,
+            false,
+            "max_pending=3",
+        )?;
+    }
+
+    /// Tracked reads trigger read-pressure merges; interleaved reads
+    /// must never observe a half-merged state.
+    #[test]
+    fn delta_matches_rebuild_under_read_pressure(base in mat_model(), script in script()) {
+        let m = to_matrix(&base);
+        let policy = MergePolicy { max_pending: usize::MAX, read_pressure: 4 };
+        run_script(
+            DeltaMatrix::with_policy(m.clone(), policy),
+            &m,
+            &script,
+            true,
+            "read_pressure=4",
+        )?;
+    }
+
+    /// Dtype sweep: the splice is value-agnostic, but prove it for a
+    /// float, a narrow unsigned, and bool (stored falsy values!).
+    #[test]
+    fn delta_matches_rebuild_dtype_sweep(base in mat_model(), script in script()) {
+        let m = to_matrix(&base);
+        macro_rules! sweep {
+            ($($t:ty),*) => {$({
+                let mc: Matrix<$t> = m.cast();
+                let mut delta = DeltaMatrix::new(mc.clone());
+                let mut applied: Vec<(usize, usize, Option<$t>)> = Vec::new();
+                for step in &script {
+                    let batch: Vec<(usize, usize, Option<$t>)> = step
+                        .batch
+                        .iter()
+                        .map(|&(i, j, v)| (i, j, v.map(<$t as Scalar>::cast_from)))
+                        .collect();
+                    delta
+                        .update_edges(batch.iter().copied())
+                        .map_err(|e| TestCaseError::fail(format!("{}: {e}", <$t as Scalar>::NAME)))?;
+                    applied.extend_from_slice(&batch);
+                    if step.settle_after {
+                        delta.settle();
+                    }
+                }
+                let want = reference::apply_edge_updates(&mc, &applied);
+                prop_assert_eq!(delta.into_settled(), want, "dtype {}", <$t as Scalar>::NAME);
+            })*};
+        }
+        sweep!(f64, f32, u8, i32, bool);
+    }
+
+    /// Out-of-bounds coordinates abort the batch with an error and the
+    /// merged view still matches the rebuild over the applied prefix.
+    #[test]
+    fn out_of_bounds_rejected_mid_batch(base in mat_model(), prefix in proptest::collection::vec((0..N, 0..N, maybe_val()), 0..6)) {
+        let m = to_matrix(&base);
+        let mut delta = DeltaMatrix::new(m.clone());
+        let mut batch = prefix.clone();
+        batch.push((N, 0, Some(1)));
+        prop_assert!(delta.update_edges(batch.iter().copied()).is_err());
+        let want = reference::apply_edge_updates(&m, &prefix);
+        prop_assert_eq!(delta.into_settled(), want);
+    }
+}

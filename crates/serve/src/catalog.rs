@@ -16,11 +16,16 @@
 //! someone writes), promoted from per-handle to per-catalog-entry.
 
 use parking_lot::RwLock;
-use pygb::Matrix;
+use pygb::{EdgeUpdate, Matrix, PygbError, StreamingMatrix};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::wire::json_escape;
+
+/// How many lost publish races [`Catalog::update_edges`] re-applies a
+/// batch before giving up. Each retry replays the delta on the racing
+/// winner's snapshot, so one writer always makes global progress.
+const UPDATE_PUBLISH_RETRIES: usize = 64;
 
 /// An immutable published version of a named graph.
 #[derive(Clone, Debug)]
@@ -79,6 +84,62 @@ impl Catalog {
             .counter("serve/catalog_registers")
             .inc();
         Ok(snap)
+    }
+
+    /// Apply a batch of edge mutations to the named graph and publish
+    /// the result as the next version, never blocking readers: the
+    /// delta is absorbed into a [`StreamingMatrix`] over the current
+    /// snapshot (copy-on-write, so the published version is untouched),
+    /// settled off-lock, and swapped in under the same short write-lock
+    /// [`Catalog::register`] uses. If a concurrent publisher won the
+    /// race for this name, the batch is re-applied on the winner's
+    /// snapshot — updates serialize by version, not by lock hold time.
+    ///
+    /// Returns `Ok(None)` when no graph with that name exists (also
+    /// when it disappears mid-retry). Validation failures (edge out of
+    /// bounds) surface before anything is published.
+    pub fn update_edges(
+        &self,
+        name: &str,
+        batch: &[EdgeUpdate],
+    ) -> pygb::Result<Option<Arc<Snapshot>>> {
+        for _ in 0..UPDATE_PUBLISH_RETRIES {
+            let Some(cur) = self.get(name) else {
+                return Ok(None);
+            };
+            // All the heavy work — validation, delta apply, splice
+            // merge — happens here with no catalog lock held.
+            let mut stream = StreamingMatrix::from_matrix(&cur.graph)?;
+            stream.update_edges(batch)?;
+            stream.settle();
+            let graph = stream.into_matrix();
+            let mut map = self.graphs.write();
+            match map.get(name) {
+                None => return Ok(None),
+                Some(entry) if entry.version == cur.version => {
+                    let snap = Arc::new(Snapshot {
+                        name: name.to_string(),
+                        version: cur.version + 1,
+                        graph,
+                    });
+                    map.insert(name.to_string(), Arc::clone(&snap));
+                    pygb_obs::registry().counter("serve/catalog_updates").inc();
+                    return Ok(Some(snap));
+                }
+                // Someone else published a new version between our read
+                // and our write: drop the stale merge and re-apply.
+                Some(_) => {
+                    pygb_obs::registry()
+                        .counter("serve/catalog_update_races")
+                        .inc();
+                }
+            }
+        }
+        Err(PygbError::invalid(
+            "update",
+            "publish contention exceeded the retry budget",
+            format!("update `{name}` batch(len={})", batch.len()),
+        ))
     }
 
     /// Resolve a name to its current snapshot, if present.
@@ -158,6 +219,73 @@ mod tests {
         cat.register("alpha", tiny(1)).unwrap();
         let names: Vec<_> = cat.list().iter().map(|s| s.name.clone()).collect();
         assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn update_edges_publishes_next_version_without_touching_readers() {
+        let cat = Catalog::new();
+        let held = cat.register("g", tiny(5)).unwrap();
+        let snap = cat
+            .update_edges(
+                "g",
+                &[EdgeUpdate::add(1usize, 0usize, 9i64), EdgeUpdate::del(0, 1)],
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(snap.version, 2);
+        assert_eq!(snap.graph.nvals(), 1);
+        assert_eq!(snap.graph.get(1, 0).unwrap().as_i64(), 9);
+        assert!(snap.graph.get(0, 1).is_none());
+        // The version-1 reader still sees version-1 data.
+        assert_eq!(held.graph.get(0, 1).unwrap().as_i64(), 5);
+        assert_eq!(cat.get("g").unwrap().version, 2);
+    }
+
+    #[test]
+    fn update_edges_missing_graph_is_none() {
+        let cat = Catalog::new();
+        assert!(cat
+            .update_edges("ghost", &[EdgeUpdate::del(0, 0)])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn update_edges_out_of_bounds_leaves_catalog_untouched() {
+        let cat = Catalog::new();
+        cat.register("g", tiny(1)).unwrap();
+        let err = cat
+            .update_edges("g", &[EdgeUpdate::add(7usize, 7usize, 1i64)])
+            .unwrap_err();
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+        assert_eq!(cat.get("g").unwrap().version, 1);
+    }
+
+    #[test]
+    fn racing_updates_all_land_as_distinct_versions() {
+        let cat = Arc::new(Catalog::new());
+        cat.register("g", Matrix::new(64, 64, DType::Int64))
+            .unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cat = Arc::clone(&cat);
+                std::thread::spawn(move || {
+                    for k in 0..4usize {
+                        cat.update_edges("g", &[EdgeUpdate::add(t, k, 1i64)])
+                            .unwrap()
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = cat.get("g").unwrap();
+        // 8 writers x 4 batches, each bumping exactly one version and
+        // adding exactly one distinct edge.
+        assert_eq!(snap.version, 33);
+        assert_eq!(snap.graph.nvals(), 32);
     }
 
     #[test]

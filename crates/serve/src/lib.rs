@@ -16,6 +16,12 @@
 //!   count / connected components plus raw `C[M, accum] = A op B`
 //!   expressions, each compiled into a per-request nonblocking DAG on
 //!   a worker thread;
+//! - streaming mutations: `UPDATE <graph> ADD|DEL <edges>` absorbs an
+//!   edge batch into a hypersparse delta over the current snapshot
+//!   (see [`pygb::StreamingMatrix`]) and publishes the merge as the
+//!   next catalog version — readers admitted against the old version
+//!   finish against it, and the writer pays O(batch) splice work, not
+//!   an O(nnz log nnz) re-REGISTER;
 //! - [`Admission`] control and a bounded [`pool::WorkerPool`]: a
 //!   saturated server sheds with a structured `overloaded` response
 //!   instead of queueing unboundedly, and per-tenant ceilings keep one
@@ -54,6 +60,6 @@ pub mod wire;
 pub use admission::{Admission, AdmissionConfig, AdmitError};
 pub use catalog::{Catalog, Snapshot};
 pub use client::Client;
-pub use query::{Algo, ExprOp, ExprSpec, GraphSource, Request};
+pub use query::{Algo, ExprOp, ExprSpec, GraphSource, Request, UpdateOps};
 pub use server::{Server, ServerConfig};
 pub use wire::{ErrCode, Frame, PROTOCOL};

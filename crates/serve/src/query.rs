@@ -27,10 +27,19 @@
 //! QUERY <graph> PAGERANK [<max_iters>]
 //! QUERY <graph> TRICOUNT
 //! QUERY <graph> CC
+//! UPDATE <graph> ADD <i:j:v,...>
+//! UPDATE <graph> DEL <i:j,...>
 //! EXPR <A> MXM|EWADD|EWMULT <B> [SEMIRING <name>] [BINOP <name>]
 //!      [MASK <name>] [COMPLEMENT] [ACCUM <name>] [REPLACE] [INTO <name>]
 //! BATCH <k>
 //! ```
+//!
+//! `UPDATE` is the streaming-mutation verb: the batch is absorbed into
+//! a hypersparse delta over the current snapshot and published as the
+//! next catalog version — in-flight readers keep the version they were
+//! admitted with, and the response reports the new version's
+//! descriptor. Values cast to the graph's dtype, exactly like
+//! `REGISTER ... TRIPLES` ingest; deleting an absent edge is a no-op.
 
 use pygb::prelude::*;
 use pygb_algorithms as algos;
@@ -161,6 +170,30 @@ pub struct ExprSpec {
     pub into: Option<String>,
 }
 
+/// Edge mutations carried by one `UPDATE` request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateOps {
+    /// Insert-or-overwrite `(i, j, v)` edges.
+    Add(Vec<(usize, usize, f64)>),
+    /// Delete `(i, j)` positions (absent edges are no-ops).
+    Del(Vec<(usize, usize)>),
+}
+
+impl UpdateOps {
+    /// Number of edge operations in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            UpdateOps::Add(v) => v.len(),
+            UpdateOps::Del(v) => v.len(),
+        }
+    }
+
+    /// Whether the batch carries no operations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// One parsed request line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -194,6 +227,14 @@ pub enum Request {
         /// Which algorithm.
         algo: Algo,
     },
+    /// Stream an edge-mutation batch into a snapshot, publishing the
+    /// next catalog version.
+    Update {
+        /// Graph name.
+        graph: String,
+        /// The mutation batch.
+        ops: UpdateOps,
+    },
     /// Raw GraphBLAS expression.
     Expr(ExprSpec),
     /// Header of a `k`-request batch (the lines follow).
@@ -209,7 +250,10 @@ impl Request {
     pub fn is_heavy(&self) -> bool {
         matches!(
             self,
-            Request::Register { .. } | Request::Query { .. } | Request::Expr(_)
+            Request::Register { .. }
+                | Request::Query { .. }
+                | Request::Update { .. }
+                | Request::Expr(_)
         )
     }
 
@@ -223,6 +267,7 @@ impl Request {
             Request::Drop { .. } => "drop",
             Request::Register { .. } => "register",
             Request::Query { .. } => "query",
+            Request::Update { .. } => "update",
             Request::Expr(_) => "expr",
             Request::Batch { .. } => "batch",
         }
@@ -252,6 +297,7 @@ pub fn parse(line: &str) -> Result<Request, QueryError> {
         },
         "REGISTER" => parse_register(&toks)?,
         "QUERY" => parse_query(&toks)?,
+        "UPDATE" => parse_update(&toks)?,
         "EXPR" => parse_expr(&toks)?,
         "BATCH" => Request::Batch {
             count: parse_num(it.next(), "BATCH count")?,
@@ -345,6 +391,56 @@ fn parse_query(toks: &[&str]) -> Result<Request, QueryError> {
     Ok(Request::Query {
         graph: graph.to_string(),
         algo,
+    })
+}
+
+fn parse_update(toks: &[&str]) -> Result<Request, QueryError> {
+    let graph = toks
+        .get(1)
+        .ok_or_else(|| bad("UPDATE needs a graph name"))?;
+    let mode = toks
+        .get(2)
+        .ok_or_else(|| bad("UPDATE needs ADD or DEL"))?
+        .to_ascii_uppercase();
+    let body = toks
+        .get(3)
+        .ok_or_else(|| bad("UPDATE needs edge entries"))?;
+    let ops = match mode.as_str() {
+        "ADD" => {
+            let mut edges = Vec::new();
+            for entry in body.split(',').filter(|e| !e.is_empty()) {
+                let mut parts = entry.split(':');
+                let i = parse_num(parts.next(), "ADD edge row")?;
+                let j = parse_num(parts.next(), "ADD edge col")?;
+                let v = parse_num(parts.next(), "ADD edge value")?;
+                if parts.next().is_some() {
+                    return Err(bad(format!("ADD entries are i:j:v, got `{entry}`")));
+                }
+                edges.push((i, j, v));
+            }
+            UpdateOps::Add(edges)
+        }
+        "DEL" => {
+            let mut edges = Vec::new();
+            for entry in body.split(',').filter(|e| !e.is_empty()) {
+                let mut parts = entry.split(':');
+                let i = parse_num(parts.next(), "DEL edge row")?;
+                let j = parse_num(parts.next(), "DEL edge col")?;
+                if parts.next().is_some() {
+                    return Err(bad(format!("DEL entries are i:j, got `{entry}`")));
+                }
+                edges.push((i, j));
+            }
+            UpdateOps::Del(edges)
+        }
+        other => return Err(bad(format!("unknown UPDATE mode `{other}`"))),
+    };
+    if ops.is_empty() {
+        return Err(bad("UPDATE batch carries no edges"));
+    }
+    Ok(Request::Update {
+        graph: graph.to_string(),
+        ops,
     })
 }
 
@@ -442,6 +538,7 @@ pub fn execute(catalog: &Catalog, req: &Request) -> Result<String, QueryError> {
             let snap = resolve(catalog, graph)?;
             run_algo(&snap, *algo)
         }
+        Request::Update { graph, ops } => run_update(catalog, graph, ops),
         Request::Expr(spec) => run_expr(catalog, spec),
         Request::Batch { .. } => Err(bad("BATCH header cannot be executed directly")),
     }
@@ -495,6 +592,33 @@ fn ingest(source: &GraphSource) -> Result<Matrix, QueryError> {
         GraphSource::Mm { path } => pygb_io::matrix_market::read_file_pygb(path, DType::Fp64)
             .map_err(|e| internal(format!("matrix market read failed: {e}"))),
     }
+}
+
+/// Execute one `UPDATE`: cast the wire values to the graph's dtype
+/// (the `REGISTER ... TRIPLES` convention), stream the batch through
+/// [`Catalog::update_edges`], and answer with the new version's
+/// descriptor. The dtype is read off whatever snapshot is current when
+/// the worker runs; a lost publish race re-applies inside the catalog,
+/// and a concurrent re-REGISTER to a different dtype simply casts again
+/// on the wire's `f64` values, same as ingest would.
+fn run_update(catalog: &Catalog, graph: &str, ops: &UpdateOps) -> Result<String, QueryError> {
+    let not_found = || (ErrCode::NotFound, format!("no graph named `{graph}`"));
+    let dtype = resolve(catalog, graph)?.graph.dtype();
+    let batch: Vec<pygb::EdgeUpdate> = match ops {
+        UpdateOps::Add(edges) => edges
+            .iter()
+            .map(|&(i, j, v)| pygb::EdgeUpdate::add(i, j, DynScalar::Fp64(v).cast(dtype)))
+            .collect(),
+        UpdateOps::Del(edges) => edges
+            .iter()
+            .map(|&(i, j)| pygb::EdgeUpdate::del(i, j))
+            .collect(),
+    };
+    let snap = catalog
+        .update_edges(graph, &batch)
+        .map_err(|e| bad(e.to_string()))?
+        .ok_or_else(not_found)?;
+    Ok(snap.info_json())
 }
 
 fn run_algo(snap: &Snapshot, algo: Algo) -> Result<String, QueryError> {
@@ -746,6 +870,20 @@ mod tests {
             }
         );
         assert_eq!(parse("BATCH 4").unwrap(), Request::Batch { count: 4 });
+        assert_eq!(
+            parse("UPDATE g ADD 0:1:2.5,3:4:1").unwrap(),
+            Request::Update {
+                graph: "g".into(),
+                ops: UpdateOps::Add(vec![(0, 1, 2.5), (3, 4, 1.0)])
+            }
+        );
+        assert_eq!(
+            parse("update g del 0:1,2:2").unwrap(),
+            Request::Update {
+                graph: "g".into(),
+                ops: UpdateOps::Del(vec![(0, 1), (2, 2)])
+            }
+        );
     }
 
     #[test]
@@ -777,6 +915,13 @@ mod tests {
             "EXPR a MXM b COMPLEMENT", // complement without mask
             "BATCH 0",
             "BATCH 99999",
+            "UPDATE g",
+            "UPDATE g ADD",
+            "UPDATE g ADD 0:1",     // ADD needs a value
+            "UPDATE g ADD 0:1:2:3", // too many parts
+            "UPDATE g DEL 0:1:5",   // DEL takes no value
+            "UPDATE g FROB 0:1:1",
+            "UPDATE g ADD ,,", // empty batch
         ] {
             assert!(parse(line).is_err(), "line should fail: {line:?}");
         }
@@ -793,6 +938,51 @@ mod tests {
         assert!(out.contains("\"algo\":\"bfs\""), "{out}");
         // Source is level 1 (the Fig. 2b convention), neighbors 2, 3.
         assert!(out.contains("\"levels\":[[0,1],[1,2],[2,3]]"), "{out}");
+    }
+
+    #[test]
+    fn update_mutates_published_graph_and_casts_values() {
+        let catalog = Catalog::new();
+        execute(
+            &catalog,
+            &parse("REGISTER t TRIPLES 3 3 int32 0:1:1,1:2:1").unwrap(),
+        )
+        .unwrap();
+        // 2.9 casts int32-ward exactly like TRIPLES ingest would.
+        let out = execute(&catalog, &parse("UPDATE t ADD 2:0:2.9").unwrap()).unwrap();
+        assert!(out.contains("\"version\":2"), "{out}");
+        assert!(out.contains("\"nvals\":3"), "{out}");
+        assert_eq!(
+            catalog.get("t").unwrap().graph.get(2, 0).unwrap().as_i64(),
+            2
+        );
+
+        let out = execute(&catalog, &parse("UPDATE t DEL 0:1,1:1").unwrap()).unwrap();
+        assert!(out.contains("\"version\":3"), "{out}");
+        assert!(out.contains("\"nvals\":2"), "{out}"); // (1,1) was absent: no-op
+    }
+
+    #[test]
+    fn update_missing_graph_is_not_found() {
+        let catalog = Catalog::new();
+        let err = execute(&catalog, &parse("UPDATE ghost ADD 0:0:1").unwrap()).unwrap_err();
+        assert_eq!(err.0, ErrCode::NotFound);
+    }
+
+    #[test]
+    fn update_out_of_bounds_is_bad_request_and_publishes_nothing() {
+        let catalog = Catalog::new();
+        execute(
+            &catalog,
+            &parse("REGISTER t TRIPLES 2 2 fp64 0:1:1").unwrap(),
+        )
+        .unwrap();
+        let err = execute(&catalog, &parse("UPDATE t ADD 0:0:1,5:5:1").unwrap()).unwrap_err();
+        assert_eq!(err.0, ErrCode::BadRequest);
+        assert!(err.1.contains("out of bounds"), "{}", err.1);
+        let snap = catalog.get("t").unwrap();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.graph.nvals(), 1);
     }
 
     #[test]

@@ -223,7 +223,7 @@ fn read_batch(
             return Err((
                 ErrCode::BadRequest,
                 format!(
-                    "only REGISTER/QUERY/EXPR allowed in a batch, got `{}`",
+                    "only REGISTER/QUERY/UPDATE/EXPR allowed in a batch, got `{}`",
                     sub.verb()
                 ),
             ));

@@ -144,6 +144,175 @@ fn parallel_queries_stay_oracle_exact_across_snapshot_swaps() {
     assert_eq!(snap.graph.nrows(), path_len(last_version));
 }
 
+// ---------------------------------------------------------------------
+// Streaming-mutation stress: versions published by UPDATE deltas.
+// ---------------------------------------------------------------------
+
+/// Capacity of the streaming graph (fixed at REGISTER time; UPDATE
+/// never resizes).
+const STREAM_CAP: usize = 360;
+
+/// The streaming writer cycles three update kinds; update `u` (which
+/// publishes version `u + 1`) is:
+///   u % 3 == 1 → ADD a path-extension edge (end grows by one)
+///   u % 3 == 2 → ADD a self-loop at vertex 0 (BFS-invisible)
+///   u % 3 == 0 → DEL that self-loop
+/// so the path length visible at version `v` is a pure function of `v`.
+fn stream_path_len(version: u64) -> usize {
+    8 + (version as usize - 1).div_ceil(3)
+}
+
+/// The UPDATE line for update number `u` (the one that publishes
+/// version `u + 1`).
+fn stream_update_line(u: u64) -> String {
+    match u % 3 {
+        1 => {
+            let end = stream_path_len(u) - 1;
+            format!("UPDATE stream ADD {end}:{}:1", end + 1)
+        }
+        2 => "UPDATE stream ADD 0:0:1".to_string(),
+        _ => "UPDATE stream DEL 0:0".to_string(),
+    }
+}
+
+#[test]
+fn parallel_readers_stay_oracle_exact_across_streamed_updates() {
+    let server = Server::start(Arc::new(Catalog::new()), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Version 1: an 8-vertex path 0→1→…→7 inside a fixed capacity.
+    let mut seed = Client::connect(addr).unwrap();
+    seed.hello("writer").unwrap();
+    let base: Vec<String> = (0..7).map(|i| format!("{i}:{}:1", i + 1)).collect();
+    seed.request_ok(&format!(
+        "REGISTER stream TRIPLES {STREAM_CAP} {STREAM_CAP} fp64 {}",
+        base.join(",")
+    ))
+    .unwrap();
+    // A second streamed graph whose writer toggles one shortcut edge:
+    // version even ⇔ edge 0→2 present. Exercises concurrent UPDATE
+    // traffic on an independent catalog entry.
+    seed.request_ok("REGISTER aux TRIPLES 3 3 fp64 0:1:1,1:2:1")
+        .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let checked = Arc::new(AtomicUsize::new(0));
+
+    // Writer 1: stream the path/self-loop update cycle.
+    let stream_writer = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.hello("stream-writer").unwrap();
+            let mut u = 1u64;
+            while !stop.load(Ordering::Relaxed) && u < 900 {
+                let info = c.request_ok(&stream_update_line(u)).unwrap();
+                assert!(
+                    info.contains(&format!("\"version\":{}", u + 1)),
+                    "update {u} saw {info}"
+                );
+                u += 1;
+                thread::sleep(Duration::from_millis(1));
+            }
+            u // last published version
+        })
+    };
+
+    // Writer 2: toggle the aux shortcut edge.
+    let aux_writer = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.hello("aux-writer").unwrap();
+            let mut version = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                let line = if version % 2 == 1 {
+                    "UPDATE aux ADD 0:2:1"
+                } else {
+                    "UPDATE aux DEL 0:2"
+                };
+                let info = c.request_ok(line).unwrap();
+                version += 1;
+                assert!(
+                    info.contains(&format!("\"version\":{version}")),
+                    "aux writer saw {info}"
+                );
+                thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    // 16 readers: every response must match the oracle keyed by the
+    // version the response itself reports — a mix of two delta
+    // publications fails the check.
+    let readers: Vec<_> = (0..16)
+        .map(|r| {
+            let stop = Arc::clone(&stop);
+            let checked = Arc::clone(&checked);
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.hello(&format!("reader-{r}")).unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    match c.request("QUERY stream BFS 0").unwrap() {
+                        Frame::Ok(payload) => {
+                            let v = extract_version(&payload);
+                            let n = stream_path_len(v);
+                            assert!(
+                                payload.contains(&expected_levels(n)),
+                                "version {v} response is not the version-{v} delta: {payload}"
+                            );
+                            // The self-loop never reaches new vertices.
+                            assert!(payload.contains(&format!("\"nvals\":{n}")), "{payload}");
+                            checked.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Frame::Err(ErrCode::Overloaded | ErrCode::Timeout, _) => {}
+                        Frame::Err(code, msg) => panic!("unexpected error {code}: {msg}"),
+                    }
+                    match c.request("QUERY aux BFS 0").unwrap() {
+                        Frame::Ok(payload) => {
+                            let v = extract_version(&payload);
+                            let expect = if v.is_multiple_of(2) {
+                                "\"levels\":[[0,1],[1,2],[2,2]]" // shortcut present
+                            } else {
+                                "\"levels\":[[0,1],[1,2],[2,3]]"
+                            };
+                            assert!(
+                                payload.contains(expect),
+                                "aux version {v} mismatch: {payload}"
+                            );
+                            checked.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Frame::Err(ErrCode::Overloaded | ErrCode::Timeout, _) => {}
+                        Frame::Err(code, msg) => panic!("unexpected error {code}: {msg}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(750));
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    aux_writer.join().unwrap();
+    let last_version = stream_writer.join().unwrap();
+
+    assert!(
+        last_version >= 10,
+        "stream writer only reached version {last_version}"
+    );
+    let total = checked.load(Ordering::Relaxed);
+    assert!(total >= 100, "only {total} oracle-checked responses");
+
+    // Final state: the last delta publication, exactly.
+    let snap = server.catalog().get("stream").unwrap();
+    assert_eq!(snap.version, last_version);
+    let n = stream_path_len(last_version);
+    let loop_present = (last_version - 1) % 3 == 2;
+    assert_eq!(snap.graph.nvals(), n - 1 + usize::from(loop_present));
+}
+
 #[test]
 fn concurrent_expr_writes_into_distinct_names_do_not_collide() {
     let server = Server::start(Arc::new(Catalog::new()), ServerConfig::default()).unwrap();

@@ -106,6 +106,104 @@ fn expr_masked_into_catalog() {
 }
 
 #[test]
+fn update_add_del_roundtrip_over_the_wire() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.request_ok("REGISTER g TRIPLES 4 4 fp64 0:1:1,1:2:1,2:3:1")
+        .unwrap();
+
+    // Extend the path 0→1→2→3 with a back edge 3→0: BFS levels from 0
+    // are unchanged (0 is already level 1), but nvals grows.
+    let info = c.request_ok("UPDATE g ADD 3:0:1").unwrap();
+    assert!(info.contains("\"version\":2"), "{info}");
+    assert!(info.contains("\"nvals\":4"), "{info}");
+    let bfs = c.request_ok("QUERY g BFS 0").unwrap();
+    assert!(bfs.contains("\"version\":2"), "{bfs}");
+    assert!(
+        bfs.contains("\"levels\":[[0,1],[1,2],[2,3],[3,4]]"),
+        "{bfs}"
+    );
+
+    // Cut 0→1: the rest of the path becomes unreachable from 0.
+    let info = c.request_ok("UPDATE g DEL 0:1").unwrap();
+    assert!(info.contains("\"version\":3"), "{info}");
+    assert!(info.contains("\"nvals\":3"), "{info}");
+    let bfs = c.request_ok("QUERY g BFS 0").unwrap();
+    assert!(bfs.contains("\"levels\":[[0,1]]"), "{bfs}");
+
+    // Deleting an absent edge is a no-op but still publishes.
+    let info = c.request_ok("UPDATE g DEL 0:1").unwrap();
+    assert!(info.contains("\"version\":4"), "{info}");
+    assert!(info.contains("\"nvals\":3"), "{info}");
+}
+
+#[test]
+fn update_errors_are_structured_and_connection_survives() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.request_ok("REGISTER g TRIPLES 2 2 fp64 0:1:1").unwrap();
+    for (line, code) in [
+        ("UPDATE ghost ADD 0:0:1", ErrCode::NotFound),
+        ("UPDATE g ADD 9:9:1", ErrCode::BadRequest), // out of bounds
+        ("UPDATE g ADD 0:1", ErrCode::BadRequest),   // malformed entry
+        ("UPDATE g DEL 0:1:5", ErrCode::BadRequest), // DEL takes no value
+        ("UPDATE g", ErrCode::BadRequest),
+    ] {
+        match c.request(line).unwrap() {
+            Frame::Err(got, _) => assert_eq!(got, code, "line {line:?}"),
+            Frame::Ok(p) => panic!("line {line:?} unexpectedly ok: {p}"),
+        }
+    }
+    // Failed updates never publish.
+    assert_eq!(srv.catalog().get("g").unwrap().version, 1);
+    assert_eq!(c.ping().unwrap(), "pong");
+}
+
+#[test]
+fn update_values_cast_to_the_graph_dtype() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.request_ok("REGISTER g TRIPLES 2 2 int32 0:1:1").unwrap();
+    let info = c.request_ok("UPDATE g ADD 1:0:3.7").unwrap();
+    assert!(info.contains("\"dtype\":\"int32\""), "{info}");
+    let snap = srv.catalog().get("g").unwrap();
+    assert_eq!(snap.graph.get(1, 0).unwrap().as_i64(), 3);
+}
+
+#[test]
+fn update_joins_register_and_query_in_a_batch() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let frame = c
+        .batch(&[
+            "REGISTER g TRIPLES 3 3 fp64 0:1:1",
+            "UPDATE g ADD 1:2:1",
+            "QUERY g BFS 0",
+        ])
+        .unwrap();
+    let Frame::Ok(payload) = frame else {
+        panic!("batch failed: {frame:?}")
+    };
+    assert!(payload.contains("\"version\":2"), "{payload}");
+    assert!(
+        payload.contains("\"levels\":[[0,1],[1,2],[2,3]]"),
+        "{payload}"
+    );
+}
+
+#[test]
+fn update_metrics_show_up_in_stats() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.request_ok("REGISTER g TRIPLES 2 2 fp64 0:1:1").unwrap();
+    c.request_ok("UPDATE g ADD 1:0:1").unwrap();
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("serve/catalog_updates"), "{stats}");
+    assert!(stats.contains("stream/update_batches"), "{stats}");
+    assert!(stats.contains("stream/edges_added"), "{stats}");
+}
+
+#[test]
 fn batch_reports_per_item_results() {
     let srv = server();
     let mut c = Client::connect(srv.local_addr()).unwrap();

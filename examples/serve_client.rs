@@ -2,8 +2,9 @@
 //!
 //! Starts an in-process server (or connects to `PYGB_SERVE_ADDR` if
 //! set, so it doubles as a smoke client for a live deployment),
-//! registers two graphs, runs every query verb, exercises a batch,
-//! and prints the server's own `serve/*` metrics at the end.
+//! registers two graphs, runs every query verb, streams edge
+//! mutations through `UPDATE`, exercises a batch, and prints the
+//! server's own `serve/*` metrics at the end.
 //!
 //! ```text
 //! cargo run --example serve_client
@@ -57,6 +58,15 @@ fn main() -> std::io::Result<()> {
     );
     let cc = client.request_ok("QUERY social CC")?;
     println!("CC        -> {}...", &cc[..cc.len().min(96)]);
+
+    // Streamed mutations: each UPDATE publishes the next catalog
+    // version (readers keep the version they were admitted with) and
+    // answers with the new version's descriptor.
+    println!(
+        "UPDATE    -> {}",
+        client.request_ok("UPDATE web ADD 0:1:2.5,1:0:1")?
+    );
+    println!("UPDATE    -> {}", client.request_ok("UPDATE web DEL 0:1")?);
 
     // A raw masked expression published back into the catalog:
     // two_hop[social] = web_sym? No — square `social` under the

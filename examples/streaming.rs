@@ -1,0 +1,100 @@
+//! Streaming edge mutations: hypersparse deltas, deferred merge, and
+//! incremental recompute.
+//!
+//! Builds a graph, streams insert/delete batches through
+//! [`pygb::StreamingMatrix`] (O(batch) absorb, sort-free splice merge
+//! on settle), proves the result matches a from-scratch rebuild, then
+//! reuses stale BFS levels and PageRank ranks on the mutated graph via
+//! the incremental algorithms — and prints the `stream/*` metrics the
+//! whole path feeds.
+//!
+//! ```text
+//! cargo run --example streaming
+//! ```
+
+use pygb::{DType, EdgeUpdate, Matrix, MergePolicy, StreamingMatrix};
+use pygb_algorithms::{bfs_incremental, bfs_nonblocking, pagerank_incremental, PageRankOptions};
+
+fn main() -> pygb::Result<()> {
+    // A directed 8-vertex ring 0→1→…→7→0 plus a hub fan-in, the
+    // settled starting point. (A ring, not a path: every vertex needs
+    // an out-edge or PageRank's dangling mass stalls convergence, and
+    // the hub makes in-degrees irregular so a warm start has an edge.)
+    let n = 8usize;
+    let ring = (0..n).map(|i| (i, (i + 1) % n, 1.0f64));
+    let hub = (2..n - 1).map(|i| (i, 0, 1.0f64));
+    let base = Matrix::from_triples(n, n, ring.chain(hub).collect::<Vec<_>>())?;
+    println!("base graph: {} vertices, {} edges", n, base.nvals());
+
+    // --- Stream batches into a delta over the settled CSR ---
+    let mut stream = StreamingMatrix::with_policy(
+        &base,
+        MergePolicy {
+            max_pending: 4,
+            ..MergePolicy::default()
+        },
+    )?;
+    // Batch 1: a shortcut and a back edge. Absorbed into the delta;
+    // the CSR underneath is untouched.
+    stream.update_edges(&[
+        EdgeUpdate::add(0usize, 4usize, 1.0f64),
+        EdgeUpdate::add(7usize, 0usize, 1.0f64),
+    ])?;
+    println!(
+        "after batch 1: nvals {} (settled: {})",
+        stream.nvals(),
+        stream.is_settled()
+    );
+    // Batch 2: delete the first hop and overwrite a weight. This blows
+    // the max_pending=4 policy, so the splice merge runs automatically.
+    stream.update_edges(&[
+        EdgeUpdate::del(0usize, 1usize),
+        EdgeUpdate::add(1usize, 2usize, 9.0f64),
+        EdgeUpdate::add(4usize, 0usize, 1.0f64),
+    ])?;
+    println!(
+        "after batch 2: nvals {} (settled: {} — policy forced a merge)",
+        stream.nvals(),
+        stream.is_settled()
+    );
+
+    // --- update ≡ rebuild ---
+    let updated = stream.snapshot();
+    let rebuilt = Matrix::from_triples_dyn(n, n, &updated.extract_triples(), Some(DType::Fp64))?;
+    assert_eq!(updated.extract_triples(), rebuilt.extract_triples());
+    println!("update ≡ rebuild: {} edges, bit-identical", updated.nvals());
+
+    // --- Incremental BFS: reuse stale levels across an insert batch ---
+    let old_levels = bfs_nonblocking(&base, 0)?;
+    let inserts = vec![EdgeUpdate::add(0usize, 6usize, 1.0f64)];
+    let mut grown = base.clone();
+    grown.update_edges(&inserts)?;
+    let warm = bfs_incremental(&grown, 0, &old_levels, &inserts)?;
+    let fresh = bfs_nonblocking(&grown, 0)?;
+    assert_eq!(warm.extract_pairs(), fresh.extract_pairs());
+    println!(
+        "incremental BFS after insert (0→6): vertex 6 level {} → {}, warm ≡ fresh",
+        old_levels.get(6).unwrap().as_i64(),
+        warm.get(6).unwrap().as_i64()
+    );
+
+    // --- Incremental PageRank: warm-start from stale ranks ---
+    let opts = PageRankOptions {
+        threshold: 1e-14,
+        max_iters: 5_000,
+        ..Default::default()
+    };
+    let (old_ranks, cold_iters) = pygb_algorithms::pagerank_nonblocking(&base, opts)?;
+    let (_, warm_iters) = pagerank_incremental(&grown, &old_ranks, opts)?;
+    println!("incremental PageRank: {cold_iters} cold iterations, {warm_iters} warm");
+
+    // --- The metrics every batch and merge fed ---
+    println!("stream/* metrics:");
+    let snapshot = pygb_obs::registry().snapshot();
+    for (key, value) in snapshot.counters {
+        if key.starts_with("stream/") {
+            println!("  {key} = {value}");
+        }
+    }
+    Ok(())
+}

@@ -6,10 +6,11 @@
 //! fusion-rule change that shifts any algorithm's output fails loudly
 //! with a file to diff against.
 
-use pygb::{DType, DynScalar, Matrix, Vector};
+use pygb::{DType, DynScalar, EdgeUpdate, Matrix, Vector};
 use pygb_algorithms::{
-    bfs_dsl_loops, bfs_native, bfs_nonblocking, pagerank_dsl_loops, pagerank_nonblocking,
-    sssp_dsl_loops, sssp_nonblocking, tricount_dsl_loops, tricount_nonblocking, PageRankOptions,
+    bfs_dsl_loops, bfs_incremental, bfs_native, bfs_nonblocking, pagerank_dsl_loops,
+    pagerank_incremental, pagerank_nonblocking, sssp_dsl_loops, sssp_nonblocking,
+    tricount_dsl_loops, tricount_nonblocking, PageRankOptions,
 };
 use pygb_integration::fig1_graph;
 
@@ -192,4 +193,167 @@ fn tricount_native_matches_golden() {
 fn tricount_dtype_is_preserved() {
     let n: DynScalar = tricount_dsl_loops(&l_k5()).unwrap();
     assert_eq!(n.as_f64(), 10.0);
+}
+
+// ---------------------------------------------------------------------
+// Streaming-mutation goldens: the Fig. 1 graph after an insert batch
+// (and one delete case), frozen for both recompute paths — the
+// incremental "delta applied" path and the "settled then queried"
+// full-algorithm path. A change to the delta container, the splice
+// merge, or the incremental relaxations that shifts any answer fails
+// against a file to diff.
+// ---------------------------------------------------------------------
+
+const BFS_STREAM_GOLDEN: &str = include_str!("golden/bfs_fig1_stream.txt");
+const BFS_STREAM_DEL_GOLDEN: &str = include_str!("golden/bfs_fig1_stream_del.txt");
+const PAGERANK_STREAM_GOLDEN: &str = include_str!("golden/pagerank_fig1_stream.txt");
+
+/// The streamed insert batch: a back edge 2→6 and a return edge 5→0.
+fn stream_inserts() -> Vec<EdgeUpdate> {
+    vec![EdgeUpdate::add(2, 6, 1.0f64), EdgeUpdate::add(5, 0, 1.0f64)]
+}
+
+/// The delete batch applied on top: cut 0→1.
+fn stream_delete() -> Vec<EdgeUpdate> {
+    vec![EdgeUpdate::del(0, 1)]
+}
+
+/// Fig. 1 with [`stream_inserts`] streamed in and settled.
+fn streamed_fig1() -> Matrix {
+    let mut g = fig1_graph();
+    g.update_edges(&stream_inserts()).unwrap();
+    g
+}
+
+fn stream_pr_opts() -> PageRankOptions {
+    PageRankOptions {
+        threshold: 1e-12,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn streamed_bfs_delta_path_matches_golden() {
+    // "Delta applied": warm relaxation from the pre-update levels.
+    let prev = bfs_nonblocking(&fig1_graph(), 0).unwrap();
+    let levels = bfs_incremental(&streamed_fig1(), 0, &prev, &stream_inserts()).unwrap();
+    assert_matches_golden(&levels, BFS_STREAM_GOLDEN, 0.0, "bfs stream delta");
+}
+
+#[test]
+fn streamed_bfs_settled_path_matches_golden() {
+    // "Settled then queried": full traversals of the merged graph.
+    let g = streamed_fig1();
+    let blocking = bfs_dsl_loops(&g, 0).unwrap();
+    assert_matches_golden(&blocking, BFS_STREAM_GOLDEN, 0.0, "bfs stream settled");
+    let nonblocking = bfs_nonblocking(&g, 0).unwrap();
+    assert_matches_golden(
+        &nonblocking,
+        BFS_STREAM_GOLDEN,
+        0.0,
+        "bfs stream settled nb",
+    );
+}
+
+#[test]
+fn streamed_bfs_delete_fallback_matches_golden() {
+    // A batch with a delete takes the full-recompute fallback inside
+    // `bfs_incremental`; the answer must still be the fresh traversal.
+    let mut g = streamed_fig1();
+    let prev = bfs_nonblocking(&g, 0).unwrap();
+    g.update_edges(&stream_delete()).unwrap();
+    let fallback = bfs_incremental(&g, 0, &prev, &stream_delete()).unwrap();
+    assert_matches_golden(
+        &fallback,
+        BFS_STREAM_DEL_GOLDEN,
+        0.0,
+        "bfs stream del delta",
+    );
+    let fresh = bfs_dsl_loops(&g, 0).unwrap();
+    assert_matches_golden(&fresh, BFS_STREAM_DEL_GOLDEN, 0.0, "bfs stream del settled");
+}
+
+#[test]
+fn streamed_pagerank_delta_path_matches_golden() {
+    // Warm start from the pre-update fixed point: same fixed point,
+    // within convergence tolerance (not bit-identical by design — the
+    // warm iteration stops at a different nearby iterate, so the
+    // tolerance here is the convergence radius, not roundoff).
+    let (prev, _) = pagerank_nonblocking(&fig1_graph(), stream_pr_opts()).unwrap();
+    let (ranks, _) = pagerank_incremental(&streamed_fig1(), &prev, stream_pr_opts()).unwrap();
+    assert_matches_golden(
+        &ranks,
+        PAGERANK_STREAM_GOLDEN,
+        1e-7,
+        "pagerank stream delta",
+    );
+}
+
+#[test]
+fn streamed_pagerank_settled_path_matches_golden() {
+    let g = streamed_fig1();
+    let (blocking, _) = pagerank_dsl_loops(&g, stream_pr_opts()).unwrap();
+    assert_matches_golden(
+        &blocking,
+        PAGERANK_STREAM_GOLDEN,
+        1e-9,
+        "pagerank stream settled",
+    );
+    let (nonblocking, _) = pagerank_nonblocking(&g, stream_pr_opts()).unwrap();
+    assert_matches_golden(
+        &nonblocking,
+        PAGERANK_STREAM_GOLDEN,
+        1e-9,
+        "pagerank stream settled nb",
+    );
+}
+
+/// Regenerates the streaming golden files from the current
+/// implementation. Ignored in normal runs; invoke explicitly after an
+/// *intentional* semantic change:
+/// `cargo test -p pygb-integration --test golden -- --ignored regenerate`
+#[test]
+#[ignore = "writes tests/golden/*_stream*.txt; run only to re-freeze"]
+fn regenerate_stream_goldens() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    let dump = |v: &Vector, header: &str| -> String {
+        let mut out = format!("# {header}\n# vertex  value\n");
+        for (i, val) in v.extract_pairs() {
+            out.push_str(&format!("{i} {}\n", val.as_f64()));
+        }
+        out
+    };
+
+    let g = streamed_fig1();
+    let bfs = bfs_dsl_loops(&g, 0).unwrap();
+    std::fs::write(
+        dir.join("bfs_fig1_stream.txt"),
+        dump(
+            &bfs,
+            "BFS levels from 0, Fig. 1 + streamed inserts (2,6),(5,0)",
+        ),
+    )
+    .unwrap();
+
+    let mut del = g.clone();
+    del.update_edges(&stream_delete()).unwrap();
+    let bfs_del = bfs_dsl_loops(&del, 0).unwrap();
+    std::fs::write(
+        dir.join("bfs_fig1_stream_del.txt"),
+        dump(
+            &bfs_del,
+            "BFS levels from 0 after further streamed delete (0,1)",
+        ),
+    )
+    .unwrap();
+
+    let (pr, _) = pagerank_nonblocking(&g, stream_pr_opts()).unwrap();
+    std::fs::write(
+        dir.join("pagerank_fig1_stream.txt"),
+        dump(
+            &pr,
+            "PageRank (d=0.85, threshold 1e-12), Fig. 1 + streamed inserts (2,6),(5,0)",
+        ),
+    )
+    .unwrap();
 }

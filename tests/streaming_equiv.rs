@@ -1,0 +1,270 @@
+//! Property-based **update ≡ rebuild** proof at the DSL layer: random
+//! interleavings of insert/delete batches and settle points, pushed
+//! through [`pygb::StreamingMatrix`], must produce containers
+//! bit-identical to tearing the graph down and rebuilding it from the
+//! surviving triples — and every algorithm, in blocking and
+//! nonblocking mode, with and without masks, must agree on the two.
+//!
+//! The gbtl-level twin of this suite (`crates/gbtl/tests/delta_oracle`)
+//! proves the typed delta container against the dense reference
+//! oracle; this one proves the dtype-erased stack above it: the
+//! analyzer-validated [`pygb::Matrix::update_edges`] entry point,
+//! mid-stream `snapshot()` views with pending deltas, and the
+//! algorithm layer consuming published merges.
+
+use proptest::prelude::*;
+
+use pygb::{BinaryOp, DType, DynScalar, EdgeUpdate, Matrix, MergePolicy, StreamingMatrix, Vector};
+use pygb_algorithms as algos;
+
+const N: usize = 8;
+
+/// `Some(v)` = insert/overwrite with weight `v`, `None` = delete.
+/// Roughly a quarter of the ops are deletes.
+fn maybe_weight() -> impl Strategy<Value = Option<i64>> {
+    (0u8..4, 1i64..6).prop_map(|(k, v)| (k > 0).then_some(v))
+}
+
+/// One streamed step: an edge batch plus whether to settle afterwards.
+type Step = (Vec<(usize, usize, Option<i64>)>, bool);
+
+fn step() -> impl Strategy<Value = Step> {
+    (
+        proptest::collection::vec((0usize..N, 0usize..N, maybe_weight()), 0..12),
+        any::<bool>(),
+    )
+}
+
+fn script() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(step(), 1..6)
+}
+
+fn base_edges() -> impl Strategy<Value = Vec<(usize, usize, i64)>> {
+    proptest::collection::vec((0usize..N, 0usize..N, 1i64..6), 0..16)
+}
+
+/// Dense last-write-wins model of the final graph.
+fn model_apply(model: &mut [Vec<Option<i64>>], batch: &[(usize, usize, Option<i64>)]) {
+    for &(i, j, v) in batch {
+        model[i][j] = v;
+    }
+}
+
+fn model_of(base: &[(usize, usize, i64)]) -> Vec<Vec<Option<i64>>> {
+    let mut model = vec![vec![None; N]; N];
+    for &(i, j, v) in base {
+        model[i][j] = Some(v);
+    }
+    model
+}
+
+fn model_triples(model: &[Vec<Option<i64>>], dtype: DType) -> Vec<(usize, usize, DynScalar)> {
+    let mut out = Vec::new();
+    for (i, row) in model.iter().enumerate() {
+        for (j, cell) in row.iter().enumerate() {
+            if let Some(v) = cell {
+                out.push((i, j, DynScalar::Int64(*v).cast(dtype)));
+            }
+        }
+    }
+    out
+}
+
+/// The rebuild side of the equivalence: the final model as a fresh
+/// `from_triples` container.
+fn rebuilt(model: &[Vec<Option<i64>>], dtype: DType) -> Matrix {
+    Matrix::from_triples_dyn(N, N, &model_triples(model, dtype), Some(dtype)).unwrap()
+}
+
+fn to_batch(batch: &[(usize, usize, Option<i64>)], dtype: DType) -> Vec<EdgeUpdate> {
+    batch
+        .iter()
+        .map(|&(i, j, v)| match v {
+            Some(v) => EdgeUpdate::add(i, j, DynScalar::Int64(v).cast(dtype)),
+            None => EdgeUpdate::del(i, j),
+        })
+        .collect()
+}
+
+proptest! {
+    /// The streamed container matches the rebuilt one after *every*
+    /// step — including mid-stream `snapshot()` views taken while
+    /// deletes and overwrites are still pending in the delta — under a
+    /// merge policy small enough to force interior auto-merges.
+    #[test]
+    fn streamed_snapshots_match_rebuild_at_every_step(
+        base in base_edges(),
+        steps in script(),
+    ) {
+        let mut model = model_of(&base);
+        let start = rebuilt(&model, DType::Fp64);
+        let mut stream = StreamingMatrix::with_policy(
+            &start,
+            MergePolicy { max_pending: 5, ..MergePolicy::default() },
+        ).unwrap();
+
+        for (batch, settle_after) in &steps {
+            stream.update_edges(&to_batch(batch, DType::Fp64)).unwrap();
+            model_apply(&mut model, batch);
+            if *settle_after {
+                stream.settle();
+                prop_assert!(stream.is_settled());
+            }
+            let oracle = rebuilt(&model, DType::Fp64);
+            prop_assert_eq!(stream.nvals(), oracle.nvals());
+            let snap = stream.snapshot();
+            prop_assert_eq!(snap.dtype(), oracle.dtype());
+            prop_assert_eq!(snap.extract_triples(), oracle.extract_triples());
+        }
+    }
+
+    /// Same equivalence through the one-shot `Matrix::update_edges`
+    /// front door, swept across integer, float, and bool dtypes (the
+    /// wire values cast on entry, as REGISTER/UPDATE ingest does).
+    #[test]
+    fn update_edges_matches_rebuild_across_dtypes(
+        base in base_edges(),
+        steps in script(),
+    ) {
+        for dtype in [DType::Fp64, DType::Fp32, DType::Int32, DType::UInt8, DType::Bool] {
+            let mut model = model_of(&base);
+            let mut updated = rebuilt(&model, dtype);
+            for (batch, _) in &steps {
+                updated.update_edges(&to_batch(batch, dtype)).unwrap();
+                model_apply(&mut model, batch);
+            }
+            let oracle = rebuilt(&model, dtype);
+            prop_assert_eq!(updated.dtype(), oracle.dtype(), "dtype {}", dtype);
+            prop_assert_eq!(
+                updated.extract_triples(),
+                oracle.extract_triples(),
+                "dtype {}", dtype
+            );
+        }
+    }
+
+    /// BFS, SSSP, PageRank, and triangle count — each in blocking and
+    /// nonblocking mode — agree between the streamed graph and the
+    /// rebuilt graph.
+    #[test]
+    fn four_algorithms_agree_on_updated_vs_rebuilt(
+        base in base_edges(),
+        steps in script(),
+        source in 0usize..N,
+    ) {
+        let mut model = model_of(&base);
+        let mut updated = rebuilt(&model, DType::Fp64);
+        for (batch, _) in &steps {
+            updated.update_edges(&to_batch(batch, DType::Fp64)).unwrap();
+            model_apply(&mut model, batch);
+        }
+        let oracle = rebuilt(&model, DType::Fp64);
+
+        // BFS: blocking and nonblocking.
+        let b_upd = algos::bfs_dsl_loops(&updated, source).unwrap();
+        let b_ora = algos::bfs_dsl_loops(&oracle, source).unwrap();
+        prop_assert_eq!(b_upd.extract_pairs(), b_ora.extract_pairs());
+        let nb_upd = algos::bfs_nonblocking(&updated, source).unwrap();
+        let nb_ora = algos::bfs_nonblocking(&oracle, source).unwrap();
+        prop_assert_eq!(nb_upd.extract_pairs(), nb_ora.extract_pairs());
+
+        // SSSP (weights are positive by construction).
+        let sssp = |g: &Matrix, nb: bool| -> Vec<(usize, DynScalar)> {
+            let mut path = Vector::new(N, DType::Fp64);
+            path.set(source, 0.0f64).unwrap();
+            if nb {
+                algos::sssp_nonblocking(g, &mut path).unwrap();
+            } else {
+                algos::sssp_dsl_loops(g, &mut path).unwrap();
+            }
+            path.extract_pairs()
+        };
+        prop_assert_eq!(sssp(&updated, false), sssp(&oracle, false));
+        prop_assert_eq!(sssp(&updated, true), sssp(&oracle, true));
+
+        // PageRank: identical inputs must give bit-identical ranks and
+        // iteration counts in both modes.
+        let opts = algos::PageRankOptions { max_iters: 60, ..Default::default() };
+        let (r_upd, i_upd) = algos::pagerank_dsl_loops(&updated, opts).unwrap();
+        let (r_ora, i_ora) = algos::pagerank_dsl_loops(&oracle, opts).unwrap();
+        prop_assert_eq!(i_upd, i_ora);
+        prop_assert_eq!(r_upd.extract_pairs(), r_ora.extract_pairs());
+        let (nr_upd, ni_upd) = algos::pagerank_nonblocking(&updated, opts).unwrap();
+        let (nr_ora, ni_ora) = algos::pagerank_nonblocking(&oracle, opts).unwrap();
+        prop_assert_eq!(ni_upd, ni_ora);
+        prop_assert_eq!(nr_upd.extract_pairs(), nr_ora.extract_pairs());
+
+        // Triangle count on the lower-triangular restriction.
+        let lower = |g: &Matrix| -> Matrix {
+            let tri: Vec<_> = g
+                .extract_triples()
+                .into_iter()
+                .filter(|&(i, j, _)| j < i)
+                .collect();
+            Matrix::from_triples_dyn(N, N, &tri, Some(DType::Fp64)).unwrap()
+        };
+        let t_upd = algos::tricount_dsl_loops(&lower(&updated)).unwrap();
+        let t_ora = algos::tricount_nonblocking(&lower(&oracle)).unwrap();
+        prop_assert_eq!(t_upd.as_f64(), t_ora.as_f64());
+    }
+
+    /// Masked writes see the same mask whether it was streamed into
+    /// place or rebuilt: `C⟨updated⟩ = A ⊕ A` ≡ `C⟨rebuilt⟩ = A ⊕ A`,
+    /// plus the complemented form.
+    #[test]
+    fn masked_ops_agree_on_updated_vs_rebuilt(
+        base in base_edges(),
+        steps in script(),
+    ) {
+        let mut model = model_of(&base);
+        let mut updated = rebuilt(&model, DType::Fp64);
+        for (batch, _) in &steps {
+            updated.update_edges(&to_batch(batch, DType::Fp64)).unwrap();
+            model_apply(&mut model, batch);
+        }
+        let oracle = rebuilt(&model, DType::Fp64);
+        let a = Matrix::from_triples(
+            N, N,
+            (0..N).flat_map(|i| (0..N).map(move |j| (i, j, (i * N + j) as f64 + 1.0)))
+                .collect::<Vec<_>>(),
+        ).unwrap();
+
+        let run = |mask: &Matrix, complement: bool| -> Vec<(usize, usize, DynScalar)> {
+            let mut c = Matrix::new(N, N, DType::Fp64);
+            let _op = BinaryOp::new("Plus").unwrap().enter();
+            if complement {
+                c.masked_complement(mask).assign(&a + &a).unwrap();
+            } else {
+                c.masked(mask).assign(&a + &a).unwrap();
+            }
+            c.extract_triples()
+        };
+        prop_assert_eq!(run(&updated, false), run(&oracle, false));
+        prop_assert_eq!(run(&updated, true), run(&oracle, true));
+    }
+
+    /// Insert-only batches keep the incremental BFS exact: warm
+    /// relaxation from the stale levels equals a fresh traversal of
+    /// the updated graph, bit for bit.
+    #[test]
+    fn incremental_bfs_matches_fresh_traversal_on_inserts(
+        base in base_edges(),
+        inserts in proptest::collection::vec((0usize..N, 0usize..N, 1i64..6), 0..10),
+        source in 0usize..N,
+    ) {
+        let mut model = model_of(&base);
+        let old = rebuilt(&model, DType::Fp64);
+        let prev = algos::bfs_nonblocking(&old, source).unwrap();
+
+        let batch: Vec<(usize, usize, Option<i64>)> =
+            inserts.iter().map(|&(i, j, v)| (i, j, Some(v))).collect();
+        let mut updated = old.clone();
+        updated.update_edges(&to_batch(&batch, DType::Fp64)).unwrap();
+        model_apply(&mut model, &batch);
+
+        let warm = algos::bfs_incremental(&updated, source, &prev, &to_batch(&batch, DType::Fp64))
+            .unwrap();
+        let fresh = algos::bfs_nonblocking(&rebuilt(&model, DType::Fp64), source).unwrap();
+        prop_assert_eq!(warm.extract_pairs(), fresh.extract_pairs());
+    }
+}
