@@ -1,0 +1,258 @@
+//! Ablation of the op-DAG optimization pipeline: the same workloads
+//! run with every pass enabled and with the pipeline off, measuring
+//! wall-clock and — via the `opt/*` counters — how many kernel
+//! launches the passes eliminated.
+//!
+//! * **pagerank_diag** — a PageRank power iteration instrumented the
+//!   way monitoring code tends to be: each iteration computes its
+//!   residual twice (CSE bait) and builds a magnitude vector nobody
+//!   reads (liveness bait). The optimizer must claw back exactly those
+//!   redundant launches without changing the ranks.
+//! * **expr_batch** — `BATCH`ed duplicate `EXPR` traffic against a real
+//!   `pygb-serve` instance: consecutive members share one flush, so
+//!   duplicates collapse via CSE; the same lines sent one request at a
+//!   time are the no-grouping baseline.
+//!
+//! Writes `results/ablation_passes.json` (time samples plus the raw
+//! counter deltas) so CI can archive the numbers.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pygb::prelude::*;
+use pygb_bench::report::{render_table, to_json, Sample};
+use pygb_bench::workloads::Workload;
+use pygb_obs::registry;
+use pygb_runtime::{reset_passes, set_passes, PassKind};
+use pygb_serve::{Catalog, Client, Server, ServerConfig};
+
+const ALL_PASSES: &[PassKind] = &[PassKind::Dce, PassKind::Cse, PassKind::Noop];
+
+fn time<R>(mut f: impl FnMut() -> R) -> Duration {
+    // One warm-up, then the median of three runs.
+    f();
+    let mut runs: Vec<Duration> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    runs.sort();
+    runs[1]
+}
+
+/// PageRank iteration body with redundant diagnostics: propagate,
+/// compute the residual twice, build a dead magnitude vector, reduce
+/// the residual. Returns the final ranks for the equivalence check.
+fn pagerank_diag(m: &Matrix, iters: usize) -> Vector {
+    let n = m.nrows();
+    let mut rank = Vector::new(n, DType::Fp64);
+    rank.no_mask()
+        .slice(..)
+        .assign_scalar(1.0 / n as f64)
+        .unwrap();
+    let mut new_rank = Vector::new(n, DType::Fp64);
+    for _ in 0..iters {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        {
+            let _sr = ArithmeticSemiring.enter();
+            new_rank.no_mask().assign(rank.vxm(m)).unwrap();
+        }
+        let _op = BinaryOp::new("Minus").unwrap().enter();
+        let r1 = Vector::from_expr(&new_rank + &rank).unwrap();
+        let r2 = Vector::from_expr(&new_rank + &rank).unwrap(); // duplicate: CSE bait
+        let _ = Vector::from_expr(&r1 * &r2).unwrap(); // dropped: liveness bait
+        let _residual = pygb::reduce(&r1).unwrap(); // read → flush
+        std::mem::swap(&mut rank, &mut new_rank);
+    }
+    rank
+}
+
+struct CounterDelta {
+    launches_saved: u64,
+    dce_elided: u64,
+    cse_deduped: u64,
+    noop_folded: u64,
+    invocations: u64,
+}
+
+fn measure_counters<R>(f: impl FnOnce() -> R) -> (R, CounterDelta) {
+    let stats = pygb::runtime().cache().stats();
+    let before = registry().snapshot();
+    let inv_before = stats.snapshot().invocations;
+    let out = f();
+    let after = registry().snapshot();
+    let inv_after = stats.snapshot().invocations;
+    let d = |name: &str| after.counter(name) - before.counter(name);
+    (
+        out,
+        CounterDelta {
+            launches_saved: d("opt/launches_saved"),
+            dce_elided: d("opt/dce_elided"),
+            cse_deduped: d("opt/cse_deduped"),
+            noop_folded: d("opt/noop_folded"),
+            invocations: inv_after - inv_before,
+        },
+    )
+}
+
+fn counters_json(name: &str, c: &CounterDelta) -> String {
+    format!(
+        "\"{name}\":{{\"launches_saved\":{},\"dce_elided\":{},\"cse_deduped\":{},\"noop_folded\":{},\"invocations\":{}}}",
+        c.launches_saved, c.dce_elided, c.cse_deduped, c.noop_folded, c.invocations
+    )
+}
+
+fn main() {
+    let mut samples = Vec::new();
+    let mut counter_blobs = Vec::new();
+
+    // --- PageRank with redundant diagnostics ---
+    const ITERS: usize = 20;
+    for &n in &[256usize, 1024] {
+        let w = Workload::erdos_renyi(n, 5);
+        let m = &w.sym_pygb;
+
+        set_passes(&[]);
+        let (ranks_off, off) = measure_counters(|| pagerank_diag(m, ITERS));
+        let t_off = time(|| pagerank_diag(m, ITERS));
+
+        set_passes(ALL_PASSES);
+        let (ranks_on, on) = measure_counters(|| pagerank_diag(m, ITERS));
+        let t_on = time(|| pagerank_diag(m, ITERS));
+        reset_passes();
+
+        assert_eq!(
+            ranks_off.extract_pairs(),
+            ranks_on.extract_pairs(),
+            "optimizer changed PageRank ranks at n={n}"
+        );
+        assert_eq!(off.launches_saved, 0, "passes-off must save nothing");
+        assert!(
+            on.launches_saved >= (2 * ITERS) as u64,
+            "expected ≥{} launches saved (1 CSE + 1 DCE per iteration), got {}",
+            2 * ITERS,
+            on.launches_saved
+        );
+        assert!(
+            on.invocations < off.invocations,
+            "optimizer must issue fewer kernels: {} vs {}",
+            on.invocations,
+            off.invocations
+        );
+
+        samples.push(Sample::new(
+            "ablation/passes_pagerank",
+            "passes-off",
+            n,
+            t_off,
+        ));
+        samples.push(Sample::new(
+            "ablation/passes_pagerank",
+            "passes-on",
+            n,
+            t_on,
+        ));
+        if n == 1024 {
+            counter_blobs.push(counters_json("pagerank_diag_off", &off));
+            counter_blobs.push(counters_json("pagerank_diag_on", &on));
+        }
+    }
+
+    // --- Batched duplicate EXPR traffic against pygb-serve ---
+    let srv =
+        Server::start(Arc::new(Catalog::new()), ServerConfig::default()).expect("start server");
+    let mut c = Client::connect(srv.local_addr()).expect("connect");
+    let n = 512usize;
+    c.request_ok(&format!("REGISTER g ER {n} {} 42 SYM", n * 5))
+        .expect("register");
+    let lines: Vec<String> = (0..16)
+        .map(|i| {
+            if i % 2 == 0 {
+                "EXPR g EWADD g BINOP Plus".to_string()
+            } else {
+                "EXPR g EWMULT g BINOP Times".to_string()
+            }
+        })
+        .collect();
+    let line_refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+
+    let (_, unbatched_counters) = measure_counters(|| {
+        for l in &line_refs {
+            c.request_ok(l).expect("expr");
+        }
+    });
+    let t_unbatched = time(|| {
+        for l in &line_refs {
+            c.request_ok(l).expect("expr");
+        }
+    });
+    let (_, batched_counters) = measure_counters(|| {
+        c.batch(&line_refs).expect("batch");
+    });
+    let t_batched = time(|| {
+        c.batch(&line_refs).expect("batch");
+    });
+
+    assert_eq!(
+        unbatched_counters.cse_deduped, 0,
+        "separate requests flush separately — nothing to CSE"
+    );
+    assert!(
+        batched_counters.cse_deduped >= 14,
+        "16 members over 2 distinct expressions must dedup ≥14, got {}",
+        batched_counters.cse_deduped
+    );
+    samples.push(Sample::new(
+        "ablation/passes_expr_batch",
+        "unbatched",
+        n,
+        t_unbatched,
+    ));
+    samples.push(Sample::new(
+        "ablation/passes_expr_batch",
+        "batched",
+        n,
+        t_batched,
+    ));
+    counter_blobs.push(counters_json("expr_batch_unbatched", &unbatched_counters));
+    counter_blobs.push(counters_json("expr_batch_batched", &batched_counters));
+    drop(c);
+    srv.shutdown();
+
+    let pr: Vec<Sample> = samples
+        .iter()
+        .filter(|s| s.experiment.ends_with("pagerank"))
+        .cloned()
+        .collect();
+    let batch: Vec<Sample> = samples
+        .iter()
+        .filter(|s| s.experiment.ends_with("expr_batch"))
+        .cloned()
+        .collect();
+    println!(
+        "{}",
+        render_table("ablation: pass pipeline (PageRank + diagnostics)", &pr)
+    );
+    println!(
+        "{}",
+        render_table("ablation: batched EXPR grouping", &batch)
+    );
+
+    // `cargo bench` runs with cwd = crates/bench; anchor the output at
+    // the workspace root where the other result files live.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = format!("{dir}/ablation_passes.json");
+    let json = format!(
+        "{{\"samples\":{},\"counters\":{{{}}}}}",
+        to_json(&samples),
+        counter_blobs.join(",")
+    );
+    std::fs::write(&path, json).expect("write ablation_passes.json");
+    println!(
+        "wrote results/ablation_passes.json ({} samples)",
+        samples.len()
+    );
+}

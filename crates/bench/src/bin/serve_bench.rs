@@ -114,7 +114,7 @@ fn main() -> std::io::Result<()> {
                     let frame = c.request(&mix[slot].1)?;
                     let us = t0.elapsed().as_micros() as u64;
                     match frame {
-                        Frame::Ok(_) => tallies[slot].latencies_us.push(us),
+                        Frame::Ok(_) | Frame::OkWarn(_, _) => tallies[slot].latencies_us.push(us),
                         Frame::Err(ErrCode::Overloaded | ErrCode::Timeout, _) => {
                             tallies[slot].shed += 1
                         }

@@ -663,6 +663,303 @@ pub(crate) fn identity_unary() -> AppliedUnaryKind {
     AppliedUnaryKind::Pure(UnaryOpKind::Identity)
 }
 
+// ---------------------------------------------------------------------
+// Structural identity — hash-consing keys for the runtime's CSE pass.
+//
+// Two expression kinds are structurally identical when they name the
+// SAME operand storages (Arc pointer identity plus transposition flags)
+// and captured the same operators. Pointer identity is the right notion
+// for a deferred DAG: operands snapshotted from the same container (or
+// the same pending placeholder) are the same value at flush time.
+// `Extract` never participates — `Indices` carries range/list forms
+// whose equality is not pointer identity, so extracts conservatively
+// fingerprint to `None` and compare unequal.
+// ---------------------------------------------------------------------
+
+use std::hash::{Hash, Hasher};
+
+fn hash_mat_operand<H: Hasher>(a: &MatOperand, h: &mut H) {
+    (Arc::as_ptr(&a.store) as usize).hash(h);
+    a.transposed.hash(h);
+}
+
+fn mat_operand_eq(a: &MatOperand, b: &MatOperand) -> bool {
+    Arc::ptr_eq(&a.store, &b.store) && a.transposed == b.transposed
+}
+
+fn hash_vec_store<H: Hasher>(u: &Arc<VectorStore>, h: &mut H) {
+    (Arc::as_ptr(u) as usize).hash(h);
+}
+
+fn hash_mat_store<H: Hasher>(a: &Arc<MatrixStore>, h: &mut H) {
+    (Arc::as_ptr(a) as usize).hash(h);
+}
+
+// `AppliedUnaryKind` carries `Bind1st/Bind2nd` f64 payloads whose derived
+// `PartialEq` is float equality; hash and compare through the stable
+// `key_string` form instead so hashing and equality agree exactly.
+fn hash_unary<H: Hasher>(op: &Option<AppliedUnaryKind>, h: &mut H) {
+    match op {
+        Some(k) => {
+            1u8.hash(h);
+            k.key_string().hash(h);
+        }
+        None => 0u8.hash(h),
+    }
+}
+
+fn unary_eq(a: &Option<AppliedUnaryKind>, b: &Option<AppliedUnaryKind>) -> bool {
+    match (a, b) {
+        (Some(x), Some(y)) => x.key_string() == y.key_string(),
+        (None, None) => true,
+        _ => false,
+    }
+}
+
+impl VectorExprKind {
+    /// A structural fingerprint for hash-consing: `Some(hash)` when the
+    /// expression shape is eligible for structural comparison, `None`
+    /// for excluded forms (`Extract`). Equal fingerprints are necessary
+    /// but not sufficient — confirm with [`VectorExprKind::structural_eq`].
+    pub fn structural_fingerprint<H: Hasher>(&self, h: &mut H) -> bool {
+        use VectorExprKind as K;
+        std::mem::discriminant(self).hash(h);
+        match self {
+            K::MxV { a, u, semiring } => {
+                hash_mat_operand(a, h);
+                hash_vec_store(u, h);
+                semiring.hash(h);
+            }
+            K::VxM { u, a, semiring } => {
+                hash_vec_store(u, h);
+                hash_mat_operand(a, h);
+                semiring.hash(h);
+            }
+            K::EWiseAdd { u, v, op } | K::EWiseMult { u, v, op } => {
+                hash_vec_store(u, h);
+                hash_vec_store(v, h);
+                op.hash(h);
+            }
+            K::Apply { u, op } => {
+                hash_vec_store(u, h);
+                hash_unary(op, h);
+            }
+            K::Extract { .. } => return false,
+            K::ReduceRows { a, monoid } => {
+                hash_mat_operand(a, h);
+                monoid.hash(h);
+            }
+            K::Ref { u } => hash_vec_store(u, h),
+            K::FusedMxvApply {
+                a,
+                u,
+                semiring,
+                unary,
+                vxm,
+            } => {
+                hash_mat_operand(a, h);
+                hash_vec_store(u, h);
+                semiring.hash(h);
+                hash_unary(unary, h);
+                vxm.hash(h);
+            }
+            K::FusedEwiseChain {
+                u,
+                v,
+                w,
+                inner,
+                outer,
+                inner_add,
+                outer_add,
+                inner_left,
+            } => {
+                hash_vec_store(u, h);
+                hash_vec_store(v, h);
+                match w {
+                    Some(w) => {
+                        1u8.hash(h);
+                        hash_vec_store(w, h);
+                    }
+                    None => 0u8.hash(h),
+                }
+                (inner, outer, inner_add, outer_add, inner_left).hash(h);
+            }
+        }
+        true
+    }
+
+    /// Exact structural equality behind [`VectorExprKind::structural_fingerprint`]
+    /// — hash-collision safety for the CSE pass.
+    pub fn structural_eq(&self, other: &VectorExprKind) -> bool {
+        use VectorExprKind as K;
+        match (self, other) {
+            (
+                K::MxV { a, u, semiring },
+                K::MxV {
+                    a: a2,
+                    u: u2,
+                    semiring: s2,
+                },
+            ) => mat_operand_eq(a, a2) && Arc::ptr_eq(u, u2) && semiring == s2,
+            (
+                K::VxM { u, a, semiring },
+                K::VxM {
+                    u: u2,
+                    a: a2,
+                    semiring: s2,
+                },
+            ) => Arc::ptr_eq(u, u2) && mat_operand_eq(a, a2) && semiring == s2,
+            (
+                K::EWiseAdd { u, v, op },
+                K::EWiseAdd {
+                    u: u2,
+                    v: v2,
+                    op: o2,
+                },
+            )
+            | (
+                K::EWiseMult { u, v, op },
+                K::EWiseMult {
+                    u: u2,
+                    v: v2,
+                    op: o2,
+                },
+            ) => Arc::ptr_eq(u, u2) && Arc::ptr_eq(v, v2) && op == o2,
+            (K::Apply { u, op }, K::Apply { u: u2, op: o2 }) => {
+                Arc::ptr_eq(u, u2) && unary_eq(op, o2)
+            }
+            (K::ReduceRows { a, monoid }, K::ReduceRows { a: a2, monoid: m2 }) => {
+                mat_operand_eq(a, a2) && monoid == m2
+            }
+            (K::Ref { u }, K::Ref { u: u2 }) => Arc::ptr_eq(u, u2),
+            (
+                K::FusedMxvApply {
+                    a,
+                    u,
+                    semiring,
+                    unary,
+                    vxm,
+                },
+                K::FusedMxvApply {
+                    a: a2,
+                    u: u2,
+                    semiring: s2,
+                    unary: un2,
+                    vxm: x2,
+                },
+            ) => {
+                mat_operand_eq(a, a2)
+                    && Arc::ptr_eq(u, u2)
+                    && semiring == s2
+                    && unary_eq(unary, un2)
+                    && vxm == x2
+            }
+            (
+                K::FusedEwiseChain {
+                    u,
+                    v,
+                    w,
+                    inner,
+                    outer,
+                    inner_add,
+                    outer_add,
+                    inner_left,
+                },
+                K::FusedEwiseChain {
+                    u: u2,
+                    v: v2,
+                    w: w2,
+                    inner: i2,
+                    outer: o2,
+                    inner_add: ia2,
+                    outer_add: oa2,
+                    inner_left: il2,
+                },
+            ) => {
+                let w_eq = match (w, w2) {
+                    (Some(x), Some(y)) => Arc::ptr_eq(x, y),
+                    (None, None) => true,
+                    _ => false,
+                };
+                Arc::ptr_eq(u, u2)
+                    && Arc::ptr_eq(v, v2)
+                    && w_eq
+                    && inner == i2
+                    && outer == o2
+                    && inner_add == ia2
+                    && outer_add == oa2
+                    && inner_left == il2
+            }
+            _ => false,
+        }
+    }
+}
+
+impl MatrixExprKind {
+    /// Matrix analog of [`VectorExprKind::structural_fingerprint`].
+    pub fn structural_fingerprint<H: Hasher>(&self, h: &mut H) -> bool {
+        use MatrixExprKind as K;
+        std::mem::discriminant(self).hash(h);
+        match self {
+            K::MxM { a, b, semiring } => {
+                hash_mat_operand(a, h);
+                hash_mat_operand(b, h);
+                semiring.hash(h);
+            }
+            K::EWiseAdd { a, b, op } | K::EWiseMult { a, b, op } => {
+                hash_mat_operand(a, h);
+                hash_mat_operand(b, h);
+                op.hash(h);
+            }
+            K::Apply { a, op } => {
+                hash_mat_operand(a, h);
+                hash_unary(op, h);
+            }
+            K::Transpose { a } => hash_mat_store(a, h),
+            K::Extract { .. } => return false,
+            K::Ref { a } => hash_mat_store(a, h),
+        }
+        true
+    }
+
+    /// Matrix analog of [`VectorExprKind::structural_eq`].
+    pub fn structural_eq(&self, other: &MatrixExprKind) -> bool {
+        use MatrixExprKind as K;
+        match (self, other) {
+            (
+                K::MxM { a, b, semiring },
+                K::MxM {
+                    a: a2,
+                    b: b2,
+                    semiring: s2,
+                },
+            ) => mat_operand_eq(a, a2) && mat_operand_eq(b, b2) && semiring == s2,
+            (
+                K::EWiseAdd { a, b, op },
+                K::EWiseAdd {
+                    a: a2,
+                    b: b2,
+                    op: o2,
+                },
+            )
+            | (
+                K::EWiseMult { a, b, op },
+                K::EWiseMult {
+                    a: a2,
+                    b: b2,
+                    op: o2,
+                },
+            ) => mat_operand_eq(a, a2) && mat_operand_eq(b, b2) && op == o2,
+            (K::Apply { a, op }, K::Apply { a: a2, op: o2 }) => {
+                mat_operand_eq(a, a2) && unary_eq(op, o2)
+            }
+            (K::Transpose { a }, K::Transpose { a: a2 }) => Arc::ptr_eq(a, a2),
+            (K::Ref { a }, K::Ref { a: a2 }) => Arc::ptr_eq(a, a2),
+            _ => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -110,6 +110,42 @@ pub struct MatOpDesc {
     pub rhs: MatRhs,
 }
 
+impl VecOpDesc {
+    /// A *plain* node: no mask, no accumulator, no index region, and an
+    /// expression right-hand side — the shape the fusion and CSE passes
+    /// reason about without merge semantics getting in the way.
+    pub fn is_plain(&self) -> bool {
+        self.mask.is_none()
+            && self.accum.is_none()
+            && self.region.is_none()
+            && matches!(self.rhs, VecRhs::Expr(_))
+    }
+
+    /// Whether executing this node writes the target wholesale without
+    /// reading its prior contents: no mask, no accumulator, no region.
+    /// (Both expression and scalar-broadcast right-hand sides fully
+    /// overwrite in that configuration.) The liveness pass uses this to
+    /// classify the `target` edge as a non-reading use.
+    pub fn overwrites_fully(&self) -> bool {
+        self.mask.is_none() && self.accum.is_none() && self.region.is_none()
+    }
+}
+
+impl MatOpDesc {
+    /// Matrix analog of [`VecOpDesc::is_plain`].
+    pub fn is_plain(&self) -> bool {
+        self.mask.is_none()
+            && self.accum.is_none()
+            && self.region.is_none()
+            && matches!(self.rhs, MatRhs::Expr(_))
+    }
+
+    /// Matrix analog of [`VecOpDesc::overwrites_fully`].
+    pub fn overwrites_fully(&self) -> bool {
+        self.mask.is_none() && self.accum.is_none() && self.region.is_none()
+    }
+}
+
 /// What the engine knows about a store handle.
 pub enum Resolution<S> {
     /// Not produced by a deferred operation — use as-is.

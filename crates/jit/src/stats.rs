@@ -45,6 +45,8 @@ pub struct JitStats {
     deferred_ops: AtomicU64,
     fused_ops: AtomicU64,
     elided_ops: AtomicU64,
+    cse_deduped: AtomicU64,
+    noop_folded: AtomicU64,
     refused_fusions: AtomicU64,
     sel_spgemm: AtomicU64,
     sel_masked_spgemm: AtomicU64,
@@ -79,6 +81,12 @@ pub struct StatsSnapshot {
     pub fused_ops: u64,
     /// DAG nodes dropped as dead code (results never observed).
     pub elided_ops: u64,
+    /// DAG nodes merged into a structurally identical node by the
+    /// common-subexpression-elimination pass.
+    pub cse_deduped: u64,
+    /// DAG nodes folded away by the no-op elimination pass (empty
+    /// masks with replace, identity applies, known-empty operands).
+    pub noop_folded: u64,
     /// Producer/consumer pairs that matched a fusion rule but were
     /// refused by the aliasing analysis (the consumer's output aliases
     /// a producer input, so fusion legality could not be proven).
@@ -146,6 +154,16 @@ impl JitStats {
         self.elided_ops.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` DAG nodes merged by the CSE pass.
+    pub fn record_cse(&self, n: u64) {
+        self.cse_deduped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` DAG nodes folded by the no-op elimination pass.
+    pub fn record_noop(&self, n: u64) {
+        self.noop_folded.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Record `n` fusion opportunities refused by the aliasing analysis.
     pub fn record_refused(&self, n: u64) {
         self.refused_fusions.fetch_add(n, Ordering::Relaxed);
@@ -184,6 +202,8 @@ impl JitStats {
             deferred_ops: self.deferred_ops.load(Ordering::Relaxed),
             fused_ops: self.fused_ops.load(Ordering::Relaxed),
             elided_ops: self.elided_ops.load(Ordering::Relaxed),
+            cse_deduped: self.cse_deduped.load(Ordering::Relaxed),
+            noop_folded: self.noop_folded.load(Ordering::Relaxed),
             refused_fusions: self.refused_fusions.load(Ordering::Relaxed),
             sel_spgemm: self.sel_spgemm.load(Ordering::Relaxed),
             sel_masked_spgemm: self.sel_masked_spgemm.load(Ordering::Relaxed),
@@ -206,6 +226,8 @@ impl JitStats {
         self.deferred_ops.store(0, Ordering::Relaxed);
         self.fused_ops.store(0, Ordering::Relaxed);
         self.elided_ops.store(0, Ordering::Relaxed);
+        self.cse_deduped.store(0, Ordering::Relaxed);
+        self.noop_folded.store(0, Ordering::Relaxed);
         self.refused_fusions.store(0, Ordering::Relaxed);
         self.sel_spgemm.store(0, Ordering::Relaxed);
         self.sel_masked_spgemm.store(0, Ordering::Relaxed);
@@ -237,6 +259,8 @@ impl pygb_obs::MetricsSource for JitStats {
             ("deferred_ops", s.deferred_ops),
             ("fused_ops", s.fused_ops),
             ("elided_ops", s.elided_ops),
+            ("cse_deduped", s.cse_deduped),
+            ("noop_folded", s.noop_folded),
             ("refused_fusions", s.refused_fusions),
             ("sel_spgemm", s.sel_spgemm),
             ("sel_masked_spgemm", s.sel_masked_spgemm),

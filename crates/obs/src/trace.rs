@@ -28,6 +28,9 @@ pub enum Cat {
     Enqueue,
     /// The fusion + dead-code-elimination rewrite pass.
     Fuse,
+    /// One dataflow optimization pass (dce/cse/noop) inside the
+    /// pre-scheduling pipeline.
+    Opt,
     /// A whole flush of the op-DAG.
     Flush,
     /// One scheduling wave within a flush.
@@ -51,6 +54,7 @@ impl Cat {
             Cat::Analyze => "analyze",
             Cat::Enqueue => "enqueue",
             Cat::Fuse => "fuse",
+            Cat::Opt => "opt",
             Cat::Flush => "flush",
             Cat::Wave => "wave",
             Cat::Exec => "exec",

@@ -65,25 +65,62 @@ fn fmt_ids(ids: &[NodeId]) -> String {
 // Refusal log.
 // ---------------------------------------------------------------------
 
-thread_local! {
-    static REFUSALS: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+/// Most refusal reasons retained per thread. The log is cleared at the
+/// start of every pipeline run, but a single degenerate flush (or a
+/// long-lived serve worker that never reads the log) must not grow an
+/// unbounded diagnostic buffer — beyond the cap the oldest entries are
+/// dropped and counted.
+const REFUSAL_CAP: usize = 64;
+
+struct RefusalLog {
+    ring: std::collections::VecDeque<String>,
+    dropped: u64,
 }
 
-/// Clear the refusal log (start of an optimize pass).
+thread_local! {
+    static REFUSALS: RefCell<RefusalLog> = const {
+        RefCell::new(RefusalLog {
+            ring: std::collections::VecDeque::new(),
+            dropped: 0,
+        })
+    };
+}
+
+/// Clear the refusal log (start of an optimize pipeline).
 pub(crate) fn clear_refusals() {
-    REFUSALS.with(|r| r.borrow_mut().clear());
+    REFUSALS.with(|r| {
+        let mut log = r.borrow_mut();
+        log.ring.clear();
+        log.dropped = 0;
+    });
 }
 
 pub(crate) fn record_refusal(reason: String) {
     pygb::runtime().cache().stats().record_refused(1);
-    REFUSALS.with(|r| r.borrow_mut().push(reason));
+    REFUSALS.with(|r| {
+        let mut log = r.borrow_mut();
+        if log.ring.len() == REFUSAL_CAP {
+            log.ring.pop_front();
+            log.dropped += 1;
+        }
+        log.ring.push_back(reason);
+    });
 }
 
 /// The reasons the aliasing analysis refused fusions during the most
 /// recent fusion pass on this thread (empty when everything that
-/// matched a rule also proved legal).
+/// matched a rule also proved legal). At most `REFUSAL_CAP` (64)
+/// entries are retained; when older ones were dropped, a final
+/// synthetic entry reports how many.
 pub fn last_refusals() -> Vec<String> {
-    REFUSALS.with(|r| r.borrow().clone())
+    REFUSALS.with(|r| {
+        let log = r.borrow();
+        let mut out: Vec<String> = log.ring.iter().cloned().collect();
+        if log.dropped > 0 {
+            out.push(format!("({} earlier refusal(s) dropped)", log.dropped));
+        }
+        out
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -108,11 +145,23 @@ pub(crate) enum FuseCheck {
 /// observed only by its own descriptor plus `consumer_refs` slots of
 /// the consumer — and the rewrite must pass the aliasing check (see
 /// the module docs).
+///
+/// Observation is established from the frozen external counts (`ext`)
+/// plus fresh structural scans, never from `Arc::strong_count` (which
+/// is skewed while a plan simulation's clone is alive): the producer's
+/// placeholder must have zero external handles, exactly one DAG
+/// reference (the producer's own `out` — alias-set entries count and
+/// block), and exactly `consumer_refs` references from the consumer's
+/// descriptor. `skip` names the consumer's still-attached slot when
+/// the caller could not detach it (the read-only plan assessment); the
+/// fusion pass detaches consumers, so its slot is already empty.
 pub(crate) fn check_producer(
     dag: &Dag,
+    ext: &crate::dataflow::ExtRefs,
     c: &VecOpDesc,
     out: &Arc<VectorStore>,
     consumer_refs: usize,
+    skip: Option<usize>,
     want: &dyn Fn(&VectorExprKind) -> bool,
 ) -> FuseCheck {
     let p = vptr(out);
@@ -125,9 +174,12 @@ pub(crate) fn check_producer(
     let plain = d.mask.is_none()
         && d.accum.is_none()
         && d.region.is_none()
-        && matches!(&d.rhs, VecRhs::Expr(e) if want(&e.kind))
-        && Arc::strong_count(&d.out) == 1 + consumer_refs;
-    if !plain {
+        && matches!(&d.rhs, VecRhs::Expr(e) if want(&e.kind));
+    if !plain
+        || ext.get(p) != 0
+        || crate::dataflow::dag_ref_count(dag, p, skip) != 1
+        || crate::dataflow::vec_desc_ref_count(c, p) != consumer_refs
+    {
         return FuseCheck::No;
     }
     match alias_hazard(c, d) {
@@ -238,11 +290,23 @@ pub struct PlanNode {
     pub fusion: Option<String>,
 }
 
-/// The analyzed pending DAG — what a flush would execute right now.
+/// The analyzed pending DAG — what a flush would execute right now,
+/// in both its raw (as-enqueued) and optimized (post-pipeline) forms.
 #[derive(Debug, Clone, Default)]
 pub struct Plan {
-    /// Analyzed nodes in enqueue order.
+    /// Analyzed nodes in enqueue order, exactly as enqueued.
     pub nodes: Vec<PlanNode>,
+    /// The nodes that would survive the optimization pipeline (the
+    /// enabled passes plus fusion), computed by simulating the
+    /// pipeline on a copy of the DAG. Node ids match `nodes`.
+    pub optimized: Vec<PlanNode>,
+    /// The passes the simulation ran, in order (`PYGB_PASSES` or the
+    /// per-thread override).
+    pub passes: Vec<String>,
+    /// Per-node rewrite attribution for every node of `nodes` missing
+    /// from `optimized`: which pass removed it and why (e.g. `elided
+    /// by cse, dup of n3`), sorted by node id.
+    pub provenance: Vec<(NodeId, String)>,
 }
 
 impl fmt::Display for Plan {
@@ -252,44 +316,92 @@ impl fmt::Display for Plan {
         }
         writeln!(f, "nonblocking plan: {} pending node(s)", self.nodes.len())?;
         for n in &self.nodes {
-            write!(
-                f,
-                "  {} {} -> {}  kernel={}",
-                n.id, n.op, n.output, n.kernel
-            )?;
-            if n.masked {
-                write!(f, "  mask{}", if n.complemented { "=~m" } else { "=m" })?;
-            }
-            if n.accum {
-                write!(f, "  accum")?;
-            }
-            if n.replace {
-                write!(f, "  replace")?;
-            }
-            if !n.deps.is_empty() {
-                write!(f, "  deps={}", fmt_ids(&n.deps))?;
-            }
-            if let Some(fu) = &n.fusion {
-                write!(f, "  {fu}")?;
-            }
-            writeln!(f)?;
+            write_plan_node(f, "  ", n)?;
+        }
+        writeln!(
+            f,
+            "optimized (passes: {}): {} node(s)",
+            if self.passes.is_empty() {
+                "none".to_string()
+            } else {
+                self.passes.join(",")
+            },
+            self.optimized.len()
+        )?;
+        for n in &self.optimized {
+            write_plan_node(f, "  ", n)?;
+        }
+        for (id, note) in &self.provenance {
+            writeln!(f, "  {id}: {note}")?;
         }
         Ok(())
     }
+}
+
+fn write_plan_node(f: &mut fmt::Formatter<'_>, indent: &str, n: &PlanNode) -> fmt::Result {
+    write!(
+        f,
+        "{indent}{} {} -> {}  kernel={}",
+        n.id, n.op, n.output, n.kernel
+    )?;
+    if n.masked {
+        write!(f, "  mask{}", if n.complemented { "=~m" } else { "=m" })?;
+    }
+    if n.accum {
+        write!(f, "  accum")?;
+    }
+    if n.replace {
+        write!(f, "  replace")?;
+    }
+    if !n.deps.is_empty() {
+        write!(f, "  deps={}", fmt_ids(&n.deps))?;
+    }
+    if let Some(fu) = &n.fusion {
+        write!(f, "  {fu}")?;
+    }
+    writeln!(f)
 }
 
 /// Analyze the calling thread's pending DAG without executing or
 /// rewriting it: per-node inferred shapes and dtypes, the kernel each
 /// node would dispatch, dependency edges, and — for every node a fusion
 /// rule matches — whether the flush would fuse it or why the aliasing
-/// analysis refuses. Read-only: statistics counters do not move and the
-/// DAG is left exactly as found.
+/// analysis refuses. Also simulates the optimization pipeline on a
+/// copy of the DAG, reporting the optimized node set and per-node
+/// rewrite provenance. Read-only: statistics counters do not move and
+/// the DAG is left exactly as found.
 pub fn plan() -> Plan {
     dag::with_dag(|dag| {
+        // Freeze external-reference counts before the simulation clone
+        // exists: with one descriptor copy alive, multiplicity is 1.
+        let ext = crate::dataflow::ExtRefs::freeze(dag, 1);
         let nodes = (0..dag.nodes.len())
-            .filter_map(|i| dag.nodes[i].as_ref().map(|n| plan_node(dag, i, n)))
+            .filter_map(|i| {
+                dag.nodes[i]
+                    .as_ref()
+                    .map(|n| plan_node(dag, Some(&ext), i, n))
+            })
             .collect();
-        Plan { nodes }
+        // Simulate the pipeline on a clone. The clone doubles every
+        // descriptor-held reference, hence multiplicity 2; the real DAG,
+        // counters, spans, and refusal log are untouched.
+        let mut sim = dag.clone();
+        let summary = crate::passes::run_pipeline(&mut sim, 2, true);
+        let optimized = (0..sim.nodes.len())
+            .filter_map(|i| sim.nodes[i].as_ref().map(|n| plan_node(&sim, None, i, n)))
+            .collect();
+        let mut provenance = summary.provenance;
+        provenance.sort_by_key(|(id, _)| *id);
+        let passes = crate::passes::enabled_passes()
+            .iter()
+            .map(|p| p.label().to_string())
+            .collect();
+        Plan {
+            nodes,
+            optimized,
+            passes,
+            provenance,
+        }
     })
 }
 
@@ -327,7 +439,15 @@ pub(crate) fn node_dep_ids(dag: &Dag, index: usize, n: &Node) -> Vec<NodeId> {
     deps.into_iter().map(|i| dag.ids[i]).collect()
 }
 
-fn plan_node(dag: &Dag, index: usize, n: &Node) -> PlanNode {
+/// Render one DAG slot as a [`PlanNode`]. `ext` enables the fusion
+/// assessment (raw view); the optimized view passes `None` — its
+/// fusion rewrites already happened in the simulation.
+fn plan_node(
+    dag: &Dag,
+    ext: Option<&crate::dataflow::ExtRefs>,
+    index: usize,
+    n: &Node,
+) -> PlanNode {
     let deps = node_dep_ids(dag, index, n);
     let (op, kernel) = node_summary(n);
     match n {
@@ -341,7 +461,7 @@ fn plan_node(dag: &Dag, index: usize, n: &Node) -> PlanNode {
             accum: d.accum.is_some(),
             replace: d.replace,
             deps,
-            fusion: assess_fusion(dag, d),
+            fusion: ext.and_then(|e| assess_fusion(dag, e, index, d)),
         },
         Node::Mat(d) => PlanNode {
             id: dag.ids[index],
@@ -361,10 +481,16 @@ fn plan_node(dag: &Dag, index: usize, n: &Node) -> PlanNode {
 
 /// Read-only mirror of the fusion pass's candidate matching: report
 /// what the optimizer would decide for this consumer without detaching
-/// anything or moving counters. The reference-count reasoning is
-/// identical because the fusion pass detaches consumers with `take()`,
-/// which moves the descriptor without touching any `Arc` count.
-fn assess_fusion(dag: &Dag, c: &VecOpDesc) -> Option<String> {
+/// anything or moving counters. The reference reasoning is identical
+/// because the structural scan skips the consumer's own slot (`index`)
+/// — exactly what detaching it would remove — and counts the
+/// consumer's references directly from its descriptor.
+fn assess_fusion(
+    dag: &Dag,
+    ext: &crate::dataflow::ExtRefs,
+    index: usize,
+    c: &VecOpDesc,
+) -> Option<String> {
     if c.region.is_some() {
         return None;
     }
@@ -393,7 +519,7 @@ fn assess_fusion(dag: &Dag, c: &VecOpDesc) -> Option<String> {
             for cand in [u, v] {
                 let refs = (vptr(u) == vptr(cand)) as usize + (vptr(v) == vptr(cand)) as usize;
                 let res = verdict(
-                    check_producer(dag, c, cand, refs, &is_ewise),
+                    check_producer(dag, ext, c, cand, refs, Some(index), &is_ewise),
                     "rule 1: eWise chain",
                 );
                 if res.is_some() {
@@ -403,11 +529,11 @@ fn assess_fusion(dag: &Dag, c: &VecOpDesc) -> Option<String> {
             None
         }
         VectorExprKind::Apply { u, op: Some(_) } => verdict(
-            check_producer(dag, c, u, 1, &is_spmv),
+            check_producer(dag, ext, c, u, 1, Some(index), &is_spmv),
             "rule 2: mxv/vxm + apply",
         ),
         VectorExprKind::Ref { u } => verdict(
-            check_producer(dag, c, u, 1, &is_spmv),
+            check_producer(dag, ext, c, u, 1, Some(index), &is_spmv),
             "rule 3: ref collapse",
         ),
         _ => None,
@@ -453,6 +579,13 @@ pub struct TraceReport {
     pub fused: usize,
     /// Dead nodes removed without executing.
     pub elided: usize,
+    /// Duplicate nodes merged by the CSE pass.
+    pub cse: usize,
+    /// Nodes folded away by the no-op pass.
+    pub noop: usize,
+    /// Per-node rewrite attribution from the optimization pipeline,
+    /// sorted by node id.
+    pub rewrites: Vec<(NodeId, String)>,
     /// Why the aliasing analysis refused fusions, if it did.
     pub refusals: Vec<String>,
 }
@@ -479,11 +612,14 @@ impl fmt::Display for TraceReport {
         }
         writeln!(
             f,
-            "trace report: {} node(s) executed in {} wave(s); {} fused, {} elided",
+            "trace report: {} node(s) executed in {} wave(s); {} fused, {} elided, \
+             {} cse-deduped, {} noop-folded",
             self.nodes.len(),
             self.waves,
             self.fused,
-            self.elided
+            self.elided,
+            self.cse,
+            self.noop
         )?;
         for n in &self.nodes {
             write!(
@@ -499,6 +635,9 @@ impl fmt::Display for TraceReport {
                 write!(f, "  deps={}", fmt_ids(&n.deps))?;
             }
             writeln!(f)?;
+        }
+        for (id, note) in &self.rewrites {
+            writeln!(f, "  rewrite: {id} {note}")?;
         }
         for r in &self.refusals {
             writeln!(f, "  refused: {r}")?;
@@ -519,6 +658,9 @@ struct ReportState {
     waves: usize,
     fused: usize,
     elided: usize,
+    cse: usize,
+    noop: usize,
+    rewrites: Vec<(NodeId, String)>,
     refusals: Vec<String>,
 }
 
@@ -527,11 +669,11 @@ thread_local! {
 }
 
 /// Start a fresh execution report for the flush that just finished its
-/// fusion pass. Captures each surviving node's identity, summary, and
-/// dependency edges before any wave runs (the scheduler removes
-/// `pending` entries as nodes resolve). No-op — and wipes any previous
-/// report — unless tracing is enabled.
-pub(crate) fn begin_report(dag: &Dag, fused: usize, elided: usize) {
+/// optimization pipeline. Captures each surviving node's identity,
+/// summary, and dependency edges before any wave runs (the scheduler
+/// removes `pending` entries as nodes resolve). No-op — and wipes any
+/// previous report — unless tracing is enabled.
+pub(crate) fn begin_report(dag: &Dag, summary: &crate::passes::PipelineSummary) {
     REPORT.with(|r| {
         let mut slot = r.borrow_mut();
         if !pygb_obs::enabled() {
@@ -561,11 +703,16 @@ pub(crate) fn begin_report(dag: &Dag, fused: usize, elided: usize) {
                 )
             })
             .collect();
+        let mut rewrites = summary.provenance.clone();
+        rewrites.sort_by_key(|(id, _)| *id);
         *slot = Some(ReportState {
             entries,
             waves: 0,
-            fused,
-            elided,
+            fused: summary.fused,
+            elided: summary.dce,
+            cse: summary.cse,
+            noop: summary.noop,
+            rewrites,
             refusals: last_refusals(),
         });
     });
@@ -611,7 +758,36 @@ pub fn trace_report() -> TraceReport {
             waves: state.waves,
             fused: state.fused,
             elided: state.elided,
+            cse: state.cse,
+            noop: state.noop,
+            rewrites: state.rewrites.clone(),
             refusals: state.refusals.clone(),
         }
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refusal_log_is_a_bounded_ring_that_counts_drops() {
+        clear_refusals();
+        for i in 0..REFUSAL_CAP + 6 {
+            record_refusal(format!("refusal {i}"));
+        }
+        let out = last_refusals();
+        // CAP retained entries plus the synthetic drop summary.
+        assert_eq!(out.len(), REFUSAL_CAP + 1);
+        // Oldest six were dropped; the ring starts at entry 6.
+        assert_eq!(out[0], "refusal 6");
+        assert_eq!(out[REFUSAL_CAP - 1], format!("refusal {}", REFUSAL_CAP + 5));
+        assert_eq!(out[REFUSAL_CAP], "(6 earlier refusal(s) dropped)");
+
+        // A pipeline reset empties both the ring and the drop counter.
+        clear_refusals();
+        assert!(last_refusals().is_empty());
+        record_refusal("fresh".to_string());
+        assert_eq!(last_refusals(), vec!["fresh".to_string()]);
+    }
 }

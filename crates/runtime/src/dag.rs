@@ -26,6 +26,7 @@ use pygb::{DynScalar, PygbError, Result};
 use crate::analyze::NodeId;
 
 /// One deferred operation.
+#[derive(Clone)]
 pub(crate) enum Node {
     /// A deferred vector assignment.
     Vec(VecOpDesc),
@@ -33,8 +34,23 @@ pub(crate) enum Node {
     Mat(MatOpDesc),
 }
 
+/// Placeholders proven by a pass to carry the same value as a
+/// representative placeholder that has not resolved yet (CSE
+/// duplicates, no-op aliases of pending sources). When the
+/// representative lands, [`drain_aliases`] resolves every duplicate to
+/// the same computed store.
+#[derive(Clone)]
+pub(crate) struct AliasSet<S> {
+    /// The representative placeholder (pins its address while the set
+    /// is live, and keeps the representative node's output observed so
+    /// neither fusion nor DCE may remove it).
+    pub(crate) rep: Arc<S>,
+    /// Placeholders that resolve to the representative's value.
+    pub(crate) dups: Vec<Arc<S>>,
+}
+
 /// The per-thread DAG state.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub(crate) struct Dag {
     /// Nodes in enqueue order; executed / fused / elided slots are
     /// `None`.
@@ -59,6 +75,52 @@ pub(crate) struct Dag {
     /// True while a flush is draining this DAG (re-entrant flushes
     /// no-op).
     pub(crate) flushing: bool,
+    /// Representative placeholder address → vector placeholders that
+    /// resolve to its value (populated by the optimization passes,
+    /// drained as results land, cleared by flush cleanup).
+    pub(crate) alias_v: HashMap<usize, AliasSet<VectorStore>>,
+    /// Matrix analog of `alias_v`.
+    pub(crate) alias_m: HashMap<usize, AliasSet<MatrixStore>>,
+}
+
+/// Resolve every aliased placeholder reachable from `start`: if an
+/// alias set is keyed by a placeholder that has a computed store in the
+/// resolution maps, each duplicate resolves to that same store —
+/// cascading, since a duplicate may itself key a further set.
+pub(crate) fn drain_aliases(dag: &mut Dag, start: usize) {
+    let mut work = vec![start];
+    while let Some(p) = work.pop() {
+        if let Some(set) = dag.alias_v.remove(&p) {
+            match dag.resolved_v.get(&p).map(|(_, s)| Arc::clone(s)) {
+                Some(store) => {
+                    for dup in set.dups {
+                        let dp = vptr(&dup);
+                        dag.pending.remove(&dp);
+                        dag.resolved_v.insert(dp, (dup, Arc::clone(&store)));
+                        work.push(dp);
+                    }
+                }
+                None => {
+                    dag.alias_v.insert(p, set);
+                }
+            }
+        }
+        if let Some(set) = dag.alias_m.remove(&p) {
+            match dag.resolved_m.get(&p).map(|(_, s)| Arc::clone(s)) {
+                Some(store) => {
+                    for dup in set.dups {
+                        let dp = mptr(&dup);
+                        dag.pending.remove(&dp);
+                        dag.resolved_m.insert(dp, (dup, Arc::clone(&store)));
+                        work.push(dp);
+                    }
+                }
+                None => {
+                    dag.alias_m.insert(p, set);
+                }
+            }
+        }
+    }
 }
 
 thread_local! {
@@ -189,6 +251,10 @@ pub(crate) fn flush() -> Result<()> {
             // will report "unresolved" rather than see stale data.
             dag.pending.clear();
         }
+        // Alias sets drain as results land; any survivors belong to
+        // nodes the error path abandoned.
+        dag.alias_v.clear();
+        dag.alias_m.clear();
         // Entries whose placeholder only the map itself still holds can
         // never be asked for again — their address has no other owner.
         dag.resolved_v
@@ -200,25 +266,48 @@ pub(crate) fn flush() -> Result<()> {
 }
 
 fn flush_inner() -> Result<()> {
-    let (fused, elided) = {
+    let summary = {
         let mut sp = pygb_obs::span(pygb_obs::Cat::Fuse, "fuse");
-        let (f, e) = DAG.with(|d| crate::fuse::optimize(&mut d.borrow_mut()));
+        let s = DAG.with(|d| crate::passes::run_pipeline(&mut d.borrow_mut(), 1, false));
         if sp.is_active() {
-            sp.arg("fused", f.to_string());
-            sp.arg("elided", e.to_string());
+            sp.arg("fused", s.fused.to_string());
+            sp.arg("elided", s.dce.to_string());
+            sp.arg("cse", s.cse.to_string());
+            sp.arg("noop", s.noop.to_string());
         }
-        (f, e)
+        s
     };
     let stats = pygb::runtime().cache().stats();
-    if fused > 0 {
-        stats.record_fused(fused as u64);
+    if summary.fused > 0 {
+        stats.record_fused(summary.fused as u64);
     }
-    if elided > 0 {
-        stats.record_elided(elided as u64);
+    if summary.dce > 0 {
+        stats.record_elided(summary.dce as u64);
+        pygb_obs::registry()
+            .counter("opt/dce_elided")
+            .add(summary.dce as u64);
     }
-    // Snapshot the post-fusion DAG for trace_report() before any wave
+    if summary.cse > 0 {
+        stats.record_cse(summary.cse as u64);
+        pygb_obs::registry()
+            .counter("opt/cse_deduped")
+            .add(summary.cse as u64);
+    }
+    if summary.noop > 0 {
+        stats.record_noop(summary.noop as u64);
+        pygb_obs::registry()
+            .counter("opt/noop_folded")
+            .add(summary.noop as u64);
+    }
+    let saved = (summary.dce + summary.cse + summary.noop) as u64;
+    if saved > 0 {
+        pygb_obs::registry()
+            .counter("opt/launches_saved")
+            .add(saved);
+    }
+    // Snapshot the post-rewrite DAG for trace_report() before any wave
     // removes pending edges (no-op while tracing is disabled).
-    DAG.with(|d| crate::analyze::begin_report(&d.borrow(), fused, elided));
+    DAG.with(|d| crate::analyze::begin_report(&d.borrow(), &summary));
 
     let mut wave = 0usize;
     loop {
@@ -303,11 +392,13 @@ fn flush_inner() -> Result<()> {
                         let p = vptr(&out);
                         dag.pending.remove(&p);
                         dag.resolved_v.insert(p, (out, Arc::new(store)));
+                        drain_aliases(&mut dag, p);
                     }
                     Done::M(out, Ok(store)) => {
                         let p = mptr(&out);
                         dag.pending.remove(&p);
                         dag.resolved_m.insert(p, (out, Arc::new(store)));
+                        drain_aliases(&mut dag, p);
                     }
                     Done::V(out, Err(e)) => {
                         dag.pending.remove(&vptr(&out));
@@ -520,8 +611,8 @@ fn mat_expr_inputs(e: &MatrixExpr, out: &mut Vec<usize>) {
     }
 }
 
-type ResolvedV = HashMap<usize, (Arc<VectorStore>, Arc<VectorStore>)>;
-type ResolvedM = HashMap<usize, (Arc<MatrixStore>, Arc<MatrixStore>)>;
+pub(crate) type ResolvedV = HashMap<usize, (Arc<VectorStore>, Arc<VectorStore>)>;
+pub(crate) type ResolvedM = HashMap<usize, (Arc<MatrixStore>, Arc<MatrixStore>)>;
 
 pub(crate) fn sub_v(map: &ResolvedV, a: &Arc<VectorStore>) -> Arc<VectorStore> {
     map.get(&vptr(a))
@@ -535,7 +626,7 @@ pub(crate) fn sub_m(map: &ResolvedM, a: &Arc<MatrixStore>) -> Arc<MatrixStore> {
         .unwrap_or_else(|| Arc::clone(a))
 }
 
-fn subst_vec_desc(rv: &ResolvedV, rm: &ResolvedM, d: &mut VecOpDesc) {
+pub(crate) fn subst_vec_desc(rv: &ResolvedV, rm: &ResolvedM, d: &mut VecOpDesc) {
     d.target = sub_v(rv, &d.target);
     if let Some((m, _)) = &mut d.mask {
         *m = sub_v(rv, m);
@@ -545,7 +636,7 @@ fn subst_vec_desc(rv: &ResolvedV, rm: &ResolvedM, d: &mut VecOpDesc) {
     }
 }
 
-fn subst_mat_desc(rv: &ResolvedV, rm: &ResolvedM, d: &mut MatOpDesc) {
+pub(crate) fn subst_mat_desc(rv: &ResolvedV, rm: &ResolvedM, d: &mut MatOpDesc) {
     let _ = rv;
     d.target = sub_m(rm, &d.target);
     if let Some((m, _)) = &mut d.mask {

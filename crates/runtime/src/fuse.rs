@@ -1,6 +1,7 @@
-//! DAG rewriting: operation fusion and dead-code elimination.
+//! DAG rewriting: operation fusion.
 //!
-//! Runs once at the start of every flush, before scheduling. Each rule
+//! Runs once per flush as the last step of the optimization pipeline
+//! ([`crate::passes::run_pipeline`]), before scheduling. Each rule
 //! collapses a producer/consumer pair of nodes into a single node whose
 //! expression dispatches one composite kernel, so the flush issues
 //! strictly fewer JIT dispatches than blocking mode would have.
@@ -12,9 +13,10 @@
 //!   right-hand side is an expression (its target's prior contents are
 //!   fully overwritten, so skipping the materialization loses nothing);
 //! * `P.out` has no owner besides `P`'s own descriptor and the consumer
-//!   expression slots being rewritten (checked by `Arc::strong_count`:
-//!   a user-held container handle or any other node's operand keeps the
-//!   count too high and blocks fusion).
+//!   expression slots being rewritten — checked against the frozen
+//!   external-reference counts plus a fresh structural scan (see
+//!   [`crate::dataflow`]): a user-held container handle, any other
+//!   node's operand, or an alias-set entry blocks fusion.
 //!
 //! | rule | producer            | consumer                 | rewrite                  |
 //! |------|---------------------|--------------------------|--------------------------|
@@ -22,29 +24,20 @@
 //! | 2    | `mxv` / `vxm`       | `apply`                  | `FusedMxvApply`          |
 //! | 3    | `mxv` / `vxm`       | plain `Ref` assignment   | masked/accum'd SpMV      |
 //! | 4    | eWise add/mult      | `reduce`                 | [`crate::dag::reduce_vector`] |
-//! | DCE  | any                 | none, container dropped  | node removed             |
 
 use std::sync::Arc;
 
 use pygb::expr::{VectorExpr, VectorExprKind};
 use pygb::nb::{VecOpDesc, VecRhs};
 
-use crate::analyze::{self, FuseCheck};
-use crate::dag::{mptr, vptr, Dag, Node};
-
-/// Rewrite the DAG in place; returns `(fused, elided)` node counts for
-/// the dispatch-statistics counters. Refused fusions are recorded by
-/// the aliasing analysis as they are encountered (see
-/// [`crate::analyze::last_refusals`]).
-pub(crate) fn optimize(dag: &mut Dag) -> (usize, usize) {
-    analyze::clear_refusals();
-    let fused = fuse_pass(dag);
-    let elided = dce_pass(dag);
-    (fused, elided)
-}
+use crate::analyze::{self, FuseCheck, NodeId};
+use crate::dag::{vptr, Dag, Node};
+use crate::passes::PassCtx;
 
 /// One pass over consumers in enqueue order, attempting rules 1–3.
-fn fuse_pass(dag: &mut Dag) -> usize {
+/// Returns the number of producers absorbed; each absorption records
+/// `(producer, "fused into n<C> (rule …)")` provenance into `ctx`.
+pub(crate) fn fuse_pass(dag: &mut Dag, ctx: &mut PassCtx) -> usize {
     let mut fused = 0;
     for ci in 0..dag.nodes.len() {
         let candidate = matches!(
@@ -57,8 +50,10 @@ fn fuse_pass(dag: &mut Dag) -> usize {
         let Some(Node::Vec(mut c)) = dag.nodes[ci].take() else {
             unreachable!("checked above");
         };
-        if try_fuse_into(dag, &mut c) {
+        if let Some((pid, rule)) = try_fuse_into(dag, ctx, &mut c) {
             fused += 1;
+            ctx.provenance
+                .push((pid, format!("fused into {} ({rule})", dag.ids[ci])));
         }
         dag.nodes[ci] = Some(Node::Vec(c));
     }
@@ -66,11 +61,15 @@ fn fuse_pass(dag: &mut Dag) -> usize {
 }
 
 /// Attempt to absorb one producer into consumer `c` (already detached
-/// from the DAG). Returns true when a rewrite happened; the producer
-/// node is removed from the DAG.
-fn try_fuse_into(dag: &mut Dag, c: &mut VecOpDesc) -> bool {
+/// from the DAG). On success the producer node is removed from the DAG
+/// and its id plus the rule label are returned for provenance.
+fn try_fuse_into(
+    dag: &mut Dag,
+    ctx: &PassCtx,
+    c: &mut VecOpDesc,
+) -> Option<(NodeId, &'static str)> {
     let VecRhs::Expr(ce) = &c.rhs else {
-        return false;
+        return None;
     };
     match &ce.kind {
         // Rule 1: eWise producer feeding an eWise consumer.
@@ -90,13 +89,15 @@ fn try_fuse_into(dag: &mut Dag, c: &mut VecOpDesc) -> bool {
             for (slot_u, inner_left) in [(true, true), (false, false)] {
                 let cand = if slot_u { u } else { v };
                 let refs = (vptr(u) == vptr(cand)) as usize + (vptr(v) == vptr(cand)) as usize;
-                let Some(p) = take_plain_producer(dag, c, cand, refs, &|kind: &VectorExprKind| {
-                    matches!(
-                        kind,
-                        VectorExprKind::EWiseAdd { op: Some(_), .. }
-                            | VectorExprKind::EWiseMult { op: Some(_), .. }
-                    )
-                }) else {
+                let Some((pid, p)) =
+                    take_plain_producer(dag, ctx, c, cand, refs, &|kind: &VectorExprKind| {
+                        matches!(
+                            kind,
+                            VectorExprKind::EWiseAdd { op: Some(_), .. }
+                                | VectorExprKind::EWiseMult { op: Some(_), .. }
+                        )
+                    })
+                else {
                     continue;
                 };
                 let (pu, pv, inner, inner_add) = match p {
@@ -125,21 +126,19 @@ fn try_fuse_into(dag: &mut Dag, c: &mut VecOpDesc) -> bool {
                     },
                     build_ns: 0,
                 });
-                return true;
+                return Some((pid, "rule 1: eWise chain"));
             }
-            false
+            None
         }
         // Rule 2: `apply(mxv(...))` / `apply(vxm(...))`.
         VectorExprKind::Apply { u, op: Some(op) } => {
             let op = *op;
-            let Some(p) = take_plain_producer(dag, c, u, 1, &|kind: &VectorExprKind| {
+            let (pid, p) = take_plain_producer(dag, ctx, c, u, 1, &|kind: &VectorExprKind| {
                 matches!(
                     kind,
                     VectorExprKind::MxV { .. } | VectorExprKind::VxM { .. }
                 )
-            }) else {
-                return false;
-            };
+            })?;
             let (a, pu, semiring, vxm) = match p {
                 VectorExprKind::MxV { a, u, semiring } => (a, u, semiring, false),
                 VectorExprKind::VxM { u, a, semiring } => (a, u, semiring, true),
@@ -155,7 +154,7 @@ fn try_fuse_into(dag: &mut Dag, c: &mut VecOpDesc) -> bool {
                 },
                 build_ns: 0,
             });
-            true
+            Some((pid, "rule 2: mxv/vxm + apply"))
         }
         // Rule 3: assigning a materialized product under the consumer's
         // mask/accumulator collapses into one masked SpMV. The rewritten
@@ -164,21 +163,19 @@ fn try_fuse_into(dag: &mut Dag, c: &mut VecOpDesc) -> bool {
         // and picks a masked pull/push kernel — fusion upgrades the
         // unmasked product to a mask-confined one for free.
         VectorExprKind::Ref { u } => {
-            let Some(p) = take_plain_producer(dag, c, u, 1, &|kind: &VectorExprKind| {
+            let (pid, p) = take_plain_producer(dag, ctx, c, u, 1, &|kind: &VectorExprKind| {
                 matches!(
                     kind,
                     VectorExprKind::MxV { .. } | VectorExprKind::VxM { .. }
                 )
-            }) else {
-                return false;
-            };
+            })?;
             c.rhs = VecRhs::Expr(VectorExpr {
                 kind: p,
                 build_ns: 0,
             });
-            true
+            Some((pid, "rule 3: ref collapse"))
         }
-        _ => false,
+        _ => None,
     }
 }
 
@@ -192,15 +189,18 @@ fn try_fuse_into(dag: &mut Dag, c: &mut VecOpDesc) -> bool {
 /// counted and logged, and stays in the DAG.
 fn take_plain_producer(
     dag: &mut Dag,
+    ctx: &PassCtx,
     c: &VecOpDesc,
     out: &Arc<pygb::store::VectorStore>,
     consumer_refs: usize,
     want: &dyn Fn(&VectorExprKind) -> bool,
-) -> Option<VectorExprKind> {
-    let idx = match analyze::check_producer(dag, c, out, consumer_refs, want) {
+) -> Option<(NodeId, VectorExprKind)> {
+    let idx = match analyze::check_producer(dag, &ctx.ext, c, out, consumer_refs, None, want) {
         FuseCheck::Fusible(idx) => idx,
         FuseCheck::Refused(idx, reason) => {
-            analyze::record_refusal(format!("producer node {}: {reason}", dag.ids[idx]));
+            if !ctx.simulate {
+                analyze::record_refusal(format!("producer node {}: {reason}", dag.ids[idx]));
+            }
             return None;
         }
         FuseCheck::No => return None,
@@ -208,45 +208,9 @@ fn take_plain_producer(
     dag.pending.remove(&vptr(out));
     match dag.nodes[idx].take() {
         Some(Node::Vec(d)) => match d.rhs {
-            VecRhs::Expr(e) => Some(e.kind),
+            VecRhs::Expr(e) => Some((dag.ids[idx], e.kind)),
             VecRhs::Scalar(_) => unreachable!("checked by the analysis"),
         },
         _ => unreachable!("checked by the analysis"),
-    }
-}
-
-/// Remove nodes whose output nobody can ever observe: the only owner of
-/// the placeholder is the node's own descriptor (every container handle
-/// was dropped and no other node reads it). Cascades to fixpoint — an
-/// elided node drops its operand handles, which may orphan upstream
-/// producers.
-fn dce_pass(dag: &mut Dag) -> usize {
-    let mut elided = 0;
-    loop {
-        let mut any = false;
-        for i in 0..dag.nodes.len() {
-            let dead = match &dag.nodes[i] {
-                Some(Node::Vec(d)) => Arc::strong_count(&d.out) == 1,
-                Some(Node::Mat(d)) => Arc::strong_count(&d.out) == 1,
-                None => false,
-            };
-            if !dead {
-                continue;
-            }
-            match dag.nodes[i].take() {
-                Some(Node::Vec(d)) => {
-                    dag.pending.remove(&vptr(&d.out));
-                }
-                Some(Node::Mat(d)) => {
-                    dag.pending.remove(&mptr(&d.out));
-                }
-                None => {}
-            }
-            elided += 1;
-            any = true;
-        }
-        if !any {
-            return elided;
-        }
     }
 }

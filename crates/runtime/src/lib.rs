@@ -26,25 +26,29 @@
 //!
 //! Reads (`get`, `nvals`, `reduce`, `extract_pairs`, …) force a flush
 //! of the deferred operations the read depends on, so laziness is
-//! never observable — only faster. Before executing, a fusion pass
-//! rewrites producer/consumer node pairs into composite kernels and
-//! drops dead nodes (rule table in `fuse.rs`), then a scheduler runs
-//! each wave of independent nodes in parallel.
+//! never observable — only faster. Before executing, the optimization
+//! pipeline (`passes.rs`: liveness/DCE, CSE, no-op folding — toggled
+//! via `PYGB_PASSES` or [`set_passes`]) and the fusion pass
+//! (`fuse.rs`) rewrite the DAG, then a scheduler runs each wave of
+//! independent nodes in parallel.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod analyze;
 mod dag;
+mod dataflow;
 mod fuse;
 #[cfg(test)]
 mod model_check;
+mod passes;
 
 use std::sync::Once;
 
 pub use analyze::{
     last_refusals, plan, trace_report, ExecutedNode, NodeId, Plan, PlanNode, TraceReport,
 };
+pub use passes::{reset_passes, set_passes, PassKind};
 pub use pygb::nb::DeferGuard;
 
 /// Install the DAG engine into the core crate's nonblocking hooks.

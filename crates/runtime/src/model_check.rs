@@ -258,3 +258,198 @@ fn complete_all(dag: &mut Dag) {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Serve-layer protocols, modeled here where the interleaving drivers
+// live. The catalog's CAS publish is an abstract state machine (the
+// serve crate sits above this one); the delta-merge model drives the
+// real `gbtl::delta::DeltaMatrix` container.
+// ---------------------------------------------------------------------
+
+/// Model of `pygb_serve::Catalog::update_edges`: read the current
+/// version, do the merge off-lock, publish only if the version is
+/// still the one that was read, else retry on the winner's snapshot.
+///
+/// Two writers (one batch each) race a reader over a graph seeded at
+/// version 1. Each writer attempt is two scheduler-visible steps —
+/// [read-version, CAS-publish] — and each writer gets two attempts
+/// (with one rival publish per writer, one retry always suffices; the
+/// model asserts that bound rather than assuming it). Under every
+/// interleaving: both batches land as distinct versions (none lost),
+/// the version ends exactly two past the seed, a published snapshot is
+/// never mutated, and the reader's observed version never regresses.
+#[test]
+fn catalog_cas_publish_loses_no_batch_under_any_interleaving() {
+    let explored = model::interleavings(&[4, 4, 2], |sched| {
+        // name -> latest version; plus the immutable publish history
+        // (version -> writer id), standing in for snapshot payloads.
+        let mut version: u64 = 1;
+        let mut history: Vec<(u64, usize)> = vec![(1, usize::MAX)]; // seed
+        let mut races = 0usize;
+        // Per-writer: program counter, version read at attempt start,
+        // and whether its batch has been published.
+        let mut pc = [0usize; 2];
+        let mut read_at = [0u64; 2];
+        let mut done = [false; 2];
+        // Reader: snapshot captured at its first step, for the
+        // immutability and monotonicity checks.
+        let mut held: Option<(u64, usize)> = None;
+        let mut last_seen: u64 = 0;
+        for &t in sched {
+            match t {
+                0 | 1 => {
+                    if done[t] {
+                        continue; // published: remaining slots are no-ops
+                    }
+                    if pc[t] % 2 == 0 {
+                        // Read the current snapshot; the merge itself
+                        // happens off-lock on this frozen version.
+                        read_at[t] = version;
+                    } else {
+                        // CAS publish: only if nobody won in between.
+                        if version == read_at[t] {
+                            version += 1;
+                            history.push((version, t));
+                            done[t] = true;
+                        } else {
+                            races += 1; // stale merge dropped, re-apply
+                        }
+                    }
+                    pc[t] += 1;
+                }
+                2 => {
+                    // Reader: versions move forward only, and the
+                    // snapshot it was admitted with never changes.
+                    assert!(version >= last_seen, "catalog version regressed");
+                    last_seen = version;
+                    match held {
+                        None => held = Some(*history.last().unwrap()),
+                        Some(snap) => assert!(
+                            history.contains(&snap),
+                            "held snapshot mutated under the reader"
+                        ),
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        assert!(
+            done[0] && done[1],
+            "a writer needed more than one retry with a single rival publish"
+        );
+        assert_eq!(version, 3, "two batches over a v1 seed must end at v3");
+        assert!(races <= 1, "at most one CAS can lose with two writers");
+        let published: Vec<usize> = history[1..].iter().map(|&(_, w)| w).collect();
+        let mut sorted = published.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1], "each batch published exactly once");
+    });
+    // 10 steps, 4+4+2 per thread: 10!/(4!·4!·2!) schedules.
+    assert_eq!(explored, 3150);
+}
+
+/// Drive the real [`gbtl::delta::DeltaMatrix`] through every
+/// interleaving of two writers (two update batches each, with
+/// overlapping coordinates so last-write-wins order matters) and one
+/// reader issuing tracked reads. The policy thresholds are set low so
+/// both auto-merge triggers — pending-op count and read pressure —
+/// fire mid-schedule in some interleavings and not others.
+///
+/// Invariants under every schedule: `nvals` stays exact after every
+/// step, every tracked read returns the oracle value at that moment,
+/// and the settled container matches a plain map that applied the same
+/// ops in the same executed order — i.e. a policy-triggered merge
+/// firing between (or inside) batches never loses or reorders an op.
+#[test]
+fn delta_merge_triggers_lose_no_ops_under_any_interleaving() {
+    use gbtl::delta::{DeltaMatrix, MergePolicy};
+    use gbtl::matrix::Matrix;
+    use std::collections::BTreeMap;
+
+    type Batch = &'static [(usize, usize, Option<i64>)];
+    // Writer programs. (0,0) is written by both writers and deleted by
+    // one; (0,3) deletes a base-resident value through the overlay.
+    const W0: [Batch; 2] = [
+        &[(0, 0, Some(10)), (1, 1, Some(11))],
+        &[(0, 0, None), (2, 2, Some(12))],
+    ];
+    const W1: [Batch; 2] = [
+        &[(0, 0, Some(20)), (3, 3, Some(21))],
+        &[(0, 3, None), (0, 1, Some(22))],
+    ];
+
+    let mut any_auto_merge = false;
+    let explored = model::interleavings(&[2, 2, 2], |sched| {
+        // Settled 4x4 base with two seeded values.
+        let mut seed = DeltaMatrix::new(Matrix::<i64>::new(4, 4));
+        seed.update_edges([(0, 3, Some(7)), (3, 0, Some(8))])
+            .unwrap();
+        seed.settle();
+        let mut dm = DeltaMatrix::with_policy(
+            seed.base().clone(),
+            MergePolicy {
+                max_pending: 3,
+                read_pressure: 2,
+            },
+        );
+        // Oracle: the merged view is exactly "apply ops in executed
+        // order, last write wins" over the base.
+        let mut oracle: BTreeMap<(usize, usize), i64> =
+            [((0, 3), 7), ((3, 0), 8)].into_iter().collect();
+        let mut pc = [0usize; 3];
+        let mut merges_seen = 0u64;
+        for &t in sched {
+            match t {
+                0 | 1 => {
+                    let batch = if t == 0 { W0[pc[t]] } else { W1[pc[t]] };
+                    dm.update_edges(batch.iter().copied()).unwrap();
+                    for &(i, j, op) in batch {
+                        match op {
+                            Some(v) => {
+                                oracle.insert((i, j), v);
+                            }
+                            None => {
+                                oracle.remove(&(i, j));
+                            }
+                        }
+                    }
+                }
+                2 => {
+                    let coord = [(0, 0), (1, 1)][pc[t]];
+                    let got = dm.read(coord.0, coord.1);
+                    assert_eq!(
+                        got,
+                        oracle.get(&coord).copied(),
+                        "tracked read disagreed with the oracle at {coord:?}"
+                    );
+                }
+                _ => unreachable!(),
+            }
+            pc[t] += 1;
+            // Merges (policy-triggered or not) may fire at any step;
+            // they must never change the visible view.
+            assert!(dm.merges() >= merges_seen, "merge count regressed");
+            merges_seen = dm.merges();
+            assert_eq!(dm.nvals(), oracle.len(), "nvals drifted from exact");
+        }
+        any_auto_merge |= merges_seen > 0;
+        // Settle and compare the full 4x4 view against the oracle.
+        dm.settle();
+        assert!(dm.is_settled());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    dm.get(i, j),
+                    oracle.get(&(i, j)).copied(),
+                    "settled view lost or invented ({i},{j})"
+                );
+            }
+        }
+        assert_eq!(dm.nvals(), oracle.len());
+    });
+    assert_eq!(explored, 90); // 6!/(2!·2!·2!)
+    assert!(
+        any_auto_merge,
+        "thresholds never fired: the model is not exercising auto-merge"
+    );
+}

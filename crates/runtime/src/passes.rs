@@ -1,0 +1,561 @@
+//! The dataflow optimization pipeline: liveness-based dead-op
+//! elimination, common-subexpression elimination by hash-consing, and
+//! structural no-op folding — run over the deferred op-DAG between
+//! enqueue and wave scheduling, before the fusion pass.
+//!
+//! Passes are individually toggleable: the `PYGB_PASSES` environment
+//! variable selects the pipeline (`dce,cse,noop` is the default; empty
+//! or `none` disables all three), and [`set_passes`] overrides it per
+//! thread for tests and ablation benches. Fusion is not a member of the
+//! pipeline — it is the scheduler's kernel-selection step and always
+//! runs — but it consumes the same frozen external-reference facts
+//! ([`crate::dataflow::ExtRefs`]) the passes do.
+//!
+//! Every rewrite is recorded as `(node, note)` provenance so `plan()`
+//! can show the raw-vs-optimized DAG with per-node attribution, and as
+//! `opt/*` counters in the metrics registry so ablation runs can
+//! measure launches saved.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use gbtl::ops::kind::{AppliedUnaryKind, UnaryOpKind};
+use pygb::expr::{MatrixExprKind, VectorExprKind};
+use pygb::nb::{MatOpDesc, MatRhs, VecOpDesc, VecRhs};
+use pygb::store::{MatrixStore, VectorStore};
+
+use crate::analyze::NodeId;
+use crate::dag::{drain_aliases, mptr, subst_mat_desc, subst_vec_desc, vptr, AliasSet, Dag, Node};
+use crate::dataflow::{
+    self, mat_expr_known_empty, mat_known_empty, mat_rhs_ops_present, node_cse_eq, node_cse_hash,
+    node_out_ptr, vec_expr_known_empty, vec_known_empty, vec_rhs_ops_present, ExtRefs,
+};
+
+// ---------------------------------------------------------------------
+// Pass selection.
+// ---------------------------------------------------------------------
+
+/// One optimization pass of the pre-scheduling pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassKind {
+    /// Liveness analysis + dead-op elimination.
+    Dce,
+    /// Common-subexpression elimination by structural hash-consing.
+    Cse,
+    /// Structural no-op folding (empty masks, identity applies,
+    /// known-empty operands).
+    Noop,
+}
+
+impl PassKind {
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            PassKind::Dce => "dce",
+            PassKind::Cse => "cse",
+            PassKind::Noop => "noop",
+        }
+    }
+
+    fn span_label(self) -> &'static str {
+        match self {
+            PassKind::Dce => "opt/dce",
+            PassKind::Cse => "opt/cse",
+            PassKind::Noop => "opt/noop",
+        }
+    }
+}
+
+fn parse_passes(s: &str) -> Vec<PassKind> {
+    let t = s.trim();
+    if t.is_empty() || t == "none" {
+        return Vec::new();
+    }
+    t.split(',')
+        .filter_map(|tok| match tok.trim() {
+            "dce" => Some(PassKind::Dce),
+            "cse" => Some(PassKind::Cse),
+            "noop" => Some(PassKind::Noop),
+            _ => None,
+        })
+        .collect()
+}
+
+fn env_passes() -> &'static [PassKind] {
+    static ENV: OnceLock<Vec<PassKind>> = OnceLock::new();
+    ENV.get_or_init(|| match std::env::var("PYGB_PASSES") {
+        Ok(s) => parse_passes(&s),
+        Err(_) => vec![PassKind::Dce, PassKind::Cse, PassKind::Noop],
+    })
+}
+
+thread_local! {
+    static OVERRIDE: RefCell<Option<Vec<PassKind>>> = const { RefCell::new(None) };
+}
+
+/// Override the pass pipeline for the calling thread (tests, ablation
+/// benches). Replaces whatever `PYGB_PASSES` selected until
+/// [`reset_passes`] is called. Passing an empty slice disables every
+/// pass (fusion still runs — it is not a pipeline member).
+pub fn set_passes(passes: &[PassKind]) {
+    OVERRIDE.with(|o| *o.borrow_mut() = Some(passes.to_vec()));
+}
+
+/// Drop the calling thread's [`set_passes`] override, reverting to the
+/// `PYGB_PASSES` selection.
+pub fn reset_passes() {
+    OVERRIDE.with(|o| *o.borrow_mut() = None);
+}
+
+/// The pipeline currently in effect on this thread, in run order.
+pub(crate) fn enabled_passes() -> Vec<PassKind> {
+    OVERRIDE
+        .with(|o| o.borrow().clone())
+        .unwrap_or_else(|| env_passes().to_vec())
+}
+
+// ---------------------------------------------------------------------
+// Pipeline driver.
+// ---------------------------------------------------------------------
+
+/// Shared pass state: frozen external-reference counts, the
+/// simulation flag (plan's what-if run must not move counters, spans,
+/// or the refusal log), and accumulated rewrite provenance.
+pub(crate) struct PassCtx {
+    pub(crate) ext: ExtRefs,
+    pub(crate) simulate: bool,
+    pub(crate) provenance: Vec<(NodeId, String)>,
+}
+
+/// What one pipeline run did, for the statistics counters and the
+/// plan/trace provenance views.
+#[derive(Debug, Default)]
+pub(crate) struct PipelineSummary {
+    /// Producer nodes absorbed by the fusion pass.
+    pub(crate) fused: usize,
+    /// Nodes removed by dead-op elimination.
+    pub(crate) dce: usize,
+    /// Duplicate nodes merged by CSE.
+    pub(crate) cse: usize,
+    /// Nodes folded away by the no-op pass.
+    pub(crate) noop: usize,
+    /// Per-node rewrite attribution, in rewrite order.
+    pub(crate) provenance: Vec<(NodeId, String)>,
+}
+
+/// Run the enabled passes, then the fusion pass, then (when DCE is
+/// enabled) a final dead-op sweep over whatever fusion and folding
+/// orphaned. `mult` is the descriptor multiplicity for the
+/// external-reference freeze: 1 on the real DAG, 2 when `dag` is a
+/// clone and the original still holds every descriptor (plan's
+/// simulation).
+pub(crate) fn run_pipeline(dag: &mut Dag, mult: usize, simulate: bool) -> PipelineSummary {
+    let mut ctx = PassCtx {
+        ext: ExtRefs::freeze(dag, mult),
+        simulate,
+        provenance: Vec::new(),
+    };
+    if !simulate {
+        crate::analyze::clear_refusals();
+    }
+    let passes = enabled_passes();
+    let mut summary = PipelineSummary::default();
+    for p in &passes {
+        let sp = (!simulate).then(|| pygb_obs::span(pygb_obs::Cat::Opt, p.span_label()));
+        let n = match p {
+            PassKind::Dce => {
+                let n = dce_pass(dag, &mut ctx);
+                summary.dce += n;
+                n
+            }
+            PassKind::Cse => {
+                let n = cse_pass(dag, &mut ctx);
+                summary.cse += n;
+                n
+            }
+            PassKind::Noop => {
+                let n = noop_pass(dag, &mut ctx);
+                summary.noop += n;
+                n
+            }
+        };
+        if let Some(mut sp) = sp {
+            if sp.is_active() {
+                sp.arg("rewrites", n.to_string());
+            }
+        }
+    }
+    summary.fused = crate::fuse::fuse_pass(dag, &mut ctx);
+    if passes.contains(&PassKind::Dce) {
+        // Fusion and folding drop operand references; a producer whose
+        // only consumer was absorbed or folded is now dead.
+        let sp = (!simulate).then(|| pygb_obs::span(pygb_obs::Cat::Opt, "opt/dce"));
+        summary.dce += dce_pass(dag, &mut ctx);
+        drop(sp);
+    }
+    summary.provenance = ctx.provenance;
+    summary
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: liveness / dead-op elimination.
+// ---------------------------------------------------------------------
+
+/// Remove every node whose output can never be observed: no external
+/// handle survives (frozen count) and no live use reads it — where a
+/// fully-overwriting consumer's `target` is a *dead* use (the prior
+/// contents are never read). Cascades to fixpoint: an elided node
+/// drops its operand uses, which may orphan upstream producers.
+fn dce_pass(dag: &mut Dag, ctx: &mut PassCtx) -> usize {
+    let mut elided = 0;
+    loop {
+        let live = dataflow::live_use_ptrs(dag);
+        let mut any = false;
+        for i in 0..dag.nodes.len() {
+            let Some(n) = &dag.nodes[i] else { continue };
+            let p = node_out_ptr(n);
+            if ctx.ext.get(p) != 0 || live.contains(&p) {
+                continue;
+            }
+            dag.nodes[i] = None;
+            dag.pending.remove(&p);
+            ctx.provenance
+                .push((dag.ids[i], "elided by dce (output never read)".to_string()));
+            elided += 1;
+            any = true;
+        }
+        if !any {
+            return elided;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: common-subexpression elimination.
+// ---------------------------------------------------------------------
+
+/// Merge structurally identical nodes: one forward scan hash-conses
+/// each eligible node ([`node_cse_hash`]); a later duplicate is elided
+/// and every surviving reference to its placeholder is rewritten to
+/// the representative's. Sound because stores are immutable `Arc`
+/// snapshots — pointer-identical operands can never diverge in value.
+fn cse_pass(dag: &mut Dag, ctx: &mut PassCtx) -> usize {
+    let mut merged = 0;
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+    for i in 0..dag.nodes.len() {
+        let Some(n) = &dag.nodes[i] else { continue };
+        let Some(h) = node_cse_hash(n) else { continue };
+        let slots = buckets.entry(h).or_default();
+        let rep = slots
+            .iter()
+            .copied()
+            .find(|&j| dag.nodes[j].as_ref().is_some_and(|m| node_cse_eq(m, n)));
+        match rep {
+            Some(j) => {
+                merge_dup(dag, ctx, j, i);
+                merged += 1;
+            }
+            None => slots.push(i),
+        }
+    }
+    merged
+}
+
+/// Elide duplicate node `dup_i`, redirecting its placeholder to
+/// representative `rep_i`'s: surviving descriptors are rewritten to
+/// read the representative's placeholder directly, while external
+/// handles of the duplicate resolve through an [`AliasSet`] when the
+/// representative's result lands. The duplicate's `pending` entry is
+/// kept (mapping to the now-empty slot) so flush-on-read still
+/// triggers for user handles.
+fn merge_dup(dag: &mut Dag, ctx: &mut PassCtx, rep_i: usize, dup_i: usize) {
+    let note = format!("elided by cse, dup of {}", dag.ids[rep_i]);
+    ctx.provenance.push((dag.ids[dup_i], note));
+    let dup = dag.nodes[dup_i].take().expect("dup slot checked by caller");
+    match (&dag.nodes[rep_i], dup) {
+        (Some(Node::Vec(r)), Node::Vec(d)) => {
+            let dup_out = d.out;
+            let rep_out = Arc::clone(&r.out);
+            dag.alias_v
+                .entry(vptr(&rep_out))
+                .or_insert_with(|| AliasSet {
+                    rep: rep_out.clone(),
+                    dups: Vec::new(),
+                })
+                .dups
+                .push(Arc::clone(&dup_out));
+            let mut rv = HashMap::new();
+            rv.insert(vptr(&dup_out), (dup_out, rep_out));
+            let rm = HashMap::new();
+            rewrite_all(dag, &rv, &rm);
+        }
+        (Some(Node::Mat(r)), Node::Mat(d)) => {
+            let dup_out = d.out;
+            let rep_out = Arc::clone(&r.out);
+            dag.alias_m
+                .entry(mptr(&rep_out))
+                .or_insert_with(|| AliasSet {
+                    rep: rep_out.clone(),
+                    dups: Vec::new(),
+                })
+                .dups
+                .push(Arc::clone(&dup_out));
+            let rv = HashMap::new();
+            let mut rm = HashMap::new();
+            rm.insert(mptr(&dup_out), (dup_out, rep_out));
+            rewrite_all(dag, &rv, &rm);
+        }
+        _ => unreachable!("node_cse_eq never matches across vec/mat"),
+    }
+}
+
+/// Substitute placeholder redirections into every surviving node.
+/// Vector nodes consult both maps (their expressions carry matrix
+/// operands); matrix nodes only the matrix map.
+fn rewrite_all(
+    dag: &mut Dag,
+    rv: &HashMap<usize, (Arc<VectorStore>, Arc<VectorStore>)>,
+    rm: &HashMap<usize, (Arc<MatrixStore>, Arc<MatrixStore>)>,
+) {
+    for n in dag.nodes.iter_mut().flatten() {
+        match n {
+            Node::Vec(d) => subst_vec_desc(rv, rm, d),
+            Node::Mat(d) => subst_mat_desc(rv, rm, d),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: no-op elimination / structural-fact folding.
+// ---------------------------------------------------------------------
+
+enum VecFold {
+    /// The node provably writes an empty container.
+    Empty,
+    /// The node provably writes exactly this store's (eventual) value.
+    Alias(Arc<VectorStore>),
+}
+
+enum MatFold {
+    Empty,
+    Alias(Arc<MatrixStore>),
+}
+
+/// Fold nodes whose result is structurally forced: an empty
+/// non-complemented mask, an accumulation of a known-empty right-hand
+/// side, a known-empty result, an identity apply, or an `eWiseAdd`
+/// with one empty operand. Folded nodes skip dispatch entirely —
+/// their placeholder resolves to an empty store or aliases another
+/// container's value. Emptiness is only trusted for non-pending
+/// stores, and every gate requires the needed operators to be present
+/// so `MissingOperator` errors still surface at eval.
+fn noop_pass(dag: &mut Dag, ctx: &mut PassCtx) -> usize {
+    let mut folded = 0;
+    for i in 0..dag.nodes.len() {
+        enum Action {
+            V(VecFold, &'static str),
+            M(MatFold, &'static str),
+        }
+        let action = match &dag.nodes[i] {
+            Some(Node::Vec(d)) => vec_noop_action(dag, d).map(|(f, why)| Action::V(f, why)),
+            Some(Node::Mat(d)) => mat_noop_action(dag, d).map(|(f, why)| Action::M(f, why)),
+            None => None,
+        };
+        let Some(action) = action else { continue };
+        let why = match &action {
+            Action::V(_, w) | Action::M(_, w) => *w,
+        };
+        ctx.provenance
+            .push((dag.ids[i], format!("elided by noop ({why})")));
+        let node = dag.nodes[i].take().expect("checked above");
+        match (action, node) {
+            (Action::V(VecFold::Empty, _), Node::Vec(d)) => {
+                let p = vptr(&d.out);
+                dag.pending.remove(&p);
+                let empty = Arc::new(VectorStore::new(d.out.size(), d.out.dtype()));
+                dag.resolved_v.insert(p, (d.out, empty));
+                drain_aliases(dag, p);
+            }
+            (Action::V(VecFold::Alias(src), _), Node::Vec(d)) => {
+                let p = vptr(&d.out);
+                let sp = vptr(&src);
+                if let Some(store) = dag.resolved_v.get(&sp).map(|(_, s)| Arc::clone(s)) {
+                    dag.pending.remove(&p);
+                    dag.resolved_v.insert(p, (d.out, store));
+                    drain_aliases(dag, p);
+                } else if dag.pending.contains_key(&sp) {
+                    // Keep this node's own pending entry: readers of its
+                    // handle must still trigger the flush, and the alias
+                    // drains when the source placeholder resolves.
+                    dag.alias_v
+                        .entry(sp)
+                        .or_insert_with(|| AliasSet {
+                            rep: Arc::clone(&src),
+                            dups: Vec::new(),
+                        })
+                        .dups
+                        .push(d.out);
+                } else {
+                    dag.pending.remove(&p);
+                    dag.resolved_v.insert(p, (d.out, src));
+                    drain_aliases(dag, p);
+                }
+            }
+            (Action::M(MatFold::Empty, _), Node::Mat(d)) => {
+                let p = mptr(&d.out);
+                dag.pending.remove(&p);
+                let empty = Arc::new(MatrixStore::new(
+                    d.out.nrows(),
+                    d.out.ncols(),
+                    d.out.dtype(),
+                ));
+                dag.resolved_m.insert(p, (d.out, empty));
+                drain_aliases(dag, p);
+            }
+            (Action::M(MatFold::Alias(src), _), Node::Mat(d)) => {
+                let p = mptr(&d.out);
+                let sp = mptr(&src);
+                if let Some(store) = dag.resolved_m.get(&sp).map(|(_, s)| Arc::clone(s)) {
+                    dag.pending.remove(&p);
+                    dag.resolved_m.insert(p, (d.out, store));
+                    drain_aliases(dag, p);
+                } else if dag.pending.contains_key(&sp) {
+                    dag.alias_m
+                        .entry(sp)
+                        .or_insert_with(|| AliasSet {
+                            rep: Arc::clone(&src),
+                            dups: Vec::new(),
+                        })
+                        .dups
+                        .push(d.out);
+                } else {
+                    dag.pending.remove(&p);
+                    dag.resolved_m.insert(p, (d.out, src));
+                    drain_aliases(dag, p);
+                }
+            }
+            _ => unreachable!("action built from the same node"),
+        }
+        folded += 1;
+    }
+    folded
+}
+
+fn vec_noop_action(dag: &Dag, d: &VecOpDesc) -> Option<(VecFold, &'static str)> {
+    if d.region.is_some() || !vec_rhs_ops_present(&d.rhs) {
+        return None;
+    }
+    // An empty non-complemented mask admits no writes: with replace the
+    // result is empty, without it the target is untouched (under any
+    // accumulator — accumulation is also a write).
+    if let Some((m, false)) = &d.mask {
+        if vec_known_empty(dag, m) {
+            return Some(if d.replace {
+                (VecFold::Empty, "empty mask with replace")
+            } else {
+                (
+                    VecFold::Alias(Arc::clone(&d.target)),
+                    "empty mask, replace off",
+                )
+            });
+        }
+    }
+    let VecRhs::Expr(e) = &d.rhs else { return None };
+    let empty_rhs = vec_expr_known_empty(dag, e);
+    // Accumulating an empty right-hand side merges nothing: the target
+    // passes through (outside-mask positions are untouched too while
+    // replace is off).
+    if d.accum.is_some() && !d.replace && empty_rhs {
+        return Some((
+            VecFold::Alias(Arc::clone(&d.target)),
+            "identity accum of empty rhs",
+        ));
+    }
+    if !d.is_plain() {
+        return None;
+    }
+    if empty_rhs {
+        return Some((VecFold::Empty, "known-empty result"));
+    }
+    match &e.kind {
+        VectorExprKind::Apply {
+            u,
+            op: Some(AppliedUnaryKind::Pure(UnaryOpKind::Identity)),
+        } if u.dtype() == d.out.dtype() => Some((VecFold::Alias(Arc::clone(u)), "identity apply")),
+        VectorExprKind::EWiseAdd { u, v, op: Some(_) }
+            if u.dtype() == v.dtype() && u.dtype() == d.out.dtype() =>
+        {
+            // Union semantics: the operator only combines intersecting
+            // entries; with one side empty the other passes through.
+            if vec_known_empty(dag, u) {
+                Some((VecFold::Alias(Arc::clone(v)), "eWiseAdd with empty operand"))
+            } else if vec_known_empty(dag, v) {
+                Some((VecFold::Alias(Arc::clone(u)), "eWiseAdd with empty operand"))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn mat_noop_action(dag: &Dag, d: &MatOpDesc) -> Option<(MatFold, &'static str)> {
+    if d.region.is_some() || !mat_rhs_ops_present(&d.rhs) {
+        return None;
+    }
+    if let Some((m, false)) = &d.mask {
+        if mat_known_empty(dag, m) {
+            return Some(if d.replace {
+                (MatFold::Empty, "empty mask with replace")
+            } else {
+                (
+                    MatFold::Alias(Arc::clone(&d.target)),
+                    "empty mask, replace off",
+                )
+            });
+        }
+    }
+    let MatRhs::Expr(e) = &d.rhs else { return None };
+    let empty_rhs = mat_expr_known_empty(dag, e);
+    if d.accum.is_some() && !d.replace && empty_rhs {
+        return Some((
+            MatFold::Alias(Arc::clone(&d.target)),
+            "identity accum of empty rhs",
+        ));
+    }
+    if !d.is_plain() {
+        return None;
+    }
+    if empty_rhs {
+        return Some((MatFold::Empty, "known-empty result"));
+    }
+    match &e.kind {
+        MatrixExprKind::Apply {
+            a,
+            op: Some(AppliedUnaryKind::Pure(UnaryOpKind::Identity)),
+        } if !a.transposed && a.store.dtype() == d.out.dtype() => {
+            Some((MatFold::Alias(Arc::clone(&a.store)), "identity apply"))
+        }
+        MatrixExprKind::EWiseAdd { a, b, op: Some(_) }
+            if !a.transposed
+                && !b.transposed
+                && a.store.dtype() == b.store.dtype()
+                && a.store.dtype() == d.out.dtype() =>
+        {
+            if mat_known_empty(dag, &a.store) {
+                Some((
+                    MatFold::Alias(Arc::clone(&b.store)),
+                    "eWiseAdd with empty operand",
+                ))
+            } else if mat_known_empty(dag, &b.store) {
+                Some((
+                    MatFold::Alias(Arc::clone(&a.store)),
+                    "eWiseAdd with empty operand",
+                ))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}

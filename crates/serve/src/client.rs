@@ -43,9 +43,19 @@ impl Client {
     }
 
     /// Like [`Client::request`] but maps `ERR` frames to `Err`.
+    /// Analyzer warnings, if any, are discarded — use
+    /// [`Client::request_with_warnings`] to observe them.
     pub fn request_ok(&mut self, line: &str) -> io::Result<String> {
+        self.request_with_warnings(line).map(|(payload, _)| payload)
+    }
+
+    /// Send one request and split the response into its payload and
+    /// the analyzer lints from the frame's `WARN` section (empty when
+    /// the server raised none), mapping `ERR` frames to `Err`.
+    pub fn request_with_warnings(&mut self, line: &str) -> io::Result<(String, Vec<String>)> {
         match self.request(line)? {
-            Frame::Ok(payload) => Ok(payload),
+            Frame::Ok(payload) => Ok((payload, Vec::new())),
+            Frame::OkWarn(payload, warnings) => Ok((payload, warnings)),
             Frame::Err(code, msg) => Err(io::Error::other(format!("{code}: {msg}"))),
         }
     }

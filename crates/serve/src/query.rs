@@ -707,6 +707,24 @@ fn pairs_json(v: &Vector) -> (String, bool) {
 }
 
 fn run_expr(catalog: &Catalog, spec: &ExprSpec) -> Result<String, QueryError> {
+    run_expr_group(catalog, &[spec])
+        .pop()
+        .expect("one member in, one result out")
+}
+
+/// An `EXPR` member with its operands resolved, shapes checked, and
+/// operator session built — everything that can fail cheaply, done
+/// before any graph work is enqueued.
+struct PreparedExpr<'a> {
+    spec: &'a ExprSpec,
+    a: Arc<Snapshot>,
+    b: Arc<Snapshot>,
+    mask: Option<Arc<Snapshot>>,
+    out_shape: (usize, usize),
+    session: Session,
+}
+
+fn prepare_expr<'a>(catalog: &Catalog, spec: &'a ExprSpec) -> Result<PreparedExpr<'a>, QueryError> {
     let a = resolve(catalog, &spec.a)?;
     let b = resolve(catalog, &spec.b)?;
     let mask = spec
@@ -759,28 +777,45 @@ fn run_expr(catalog: &Catalog, spec: &ExprSpec) -> Result<String, QueryError> {
         session.push_op(&Replace);
     }
 
+    Ok(PreparedExpr {
+        spec,
+        a,
+        b,
+        mask,
+        out_shape,
+        session,
+    })
+}
+
+/// Build the expression and enqueue the (possibly deferred) assignment
+/// for one prepared member. Must run with a nonblocking scope active so
+/// the op lands in the thread's DAG rather than dispatching eagerly.
+fn enqueue_expr(p: &PreparedExpr<'_>) -> Result<Matrix, QueryError> {
     let internal = |e: pygb::PygbError| (ErrCode::Internal, e.to_string());
-    let _active = session.activate();
-    let expr = match spec.op {
-        ExprOp::Mxm => a.graph.matmul(&b.graph),
-        ExprOp::EwAdd => a.graph.ewise_add(&b.graph),
-        ExprOp::EwMult => a.graph.ewise_mult(&b.graph),
+    let _active = p.session.activate();
+    let expr = match p.spec.op {
+        ExprOp::Mxm => p.a.graph.matmul(&p.b.graph),
+        ExprOp::EwAdd => p.a.graph.ewise_add(&p.b.graph),
+        ExprOp::EwMult => p.a.graph.ewise_mult(&p.b.graph),
     };
-    let mut out = Matrix::new(out_shape.0, out_shape.1, expr.result_dtype());
-    {
-        let _nb = pygb_runtime::nonblocking().map_err(internal)?;
-        let target = match (&mask, spec.complement) {
-            (None, _) => out.no_mask(),
-            (Some(m), false) => out.masked(&m.graph),
-            (Some(m), true) => out.masked_complement(&m.graph),
-        };
-        if spec.accum.is_some() {
-            target.accum_assign(expr).map_err(internal)?;
-        } else {
-            target.assign(expr).map_err(internal)?;
-        }
-        pygb_runtime::flush().map_err(internal)?;
+    let mut out = Matrix::new(p.out_shape.0, p.out_shape.1, expr.result_dtype());
+    let target = match (&p.mask, p.spec.complement) {
+        (None, _) => out.no_mask(),
+        (Some(m), false) => out.masked(&m.graph),
+        (Some(m), true) => out.masked_complement(&m.graph),
+    };
+    if p.spec.accum.is_some() {
+        target.accum_assign(expr).map_err(internal)?;
+    } else {
+        target.assign(expr).map_err(internal)?;
     }
+    Ok(out)
+}
+
+/// Settle and render one member's result: register under `INTO` or
+/// serialize the triples, capped at [`MAX_RESULT_ENTRIES`].
+fn finish_expr(catalog: &Catalog, spec: &ExprSpec, mut out: Matrix) -> Result<String, QueryError> {
+    let internal = |e: pygb::PygbError| (ErrCode::Internal, e.to_string());
     out.settle().map_err(internal)?;
 
     if let Some(into) = &spec.into {
@@ -805,6 +840,46 @@ fn run_expr(catalog: &Catalog, spec: &ExprSpec) -> Result<String, QueryError> {
         out.nvals(),
         items.join(",")
     ))
+}
+
+/// Evaluate several `EXPR` members inside ONE nonblocking scope with a
+/// single flush, so the optimization pipeline sees them as one op-DAG.
+/// Members naming the same catalog graphs share snapshot `Arc`s, so
+/// structurally identical expressions hash to the same CSE key and
+/// collapse into a single kernel dispatch (`opt/cse_deduped` moves).
+///
+/// Per-member failures (bad shapes, unknown graphs, rejected ops) are
+/// reported in that member's slot without poisoning the rest; a flush
+/// failure is reported by every member whose work was enqueued.
+pub(crate) fn run_expr_group(
+    catalog: &Catalog,
+    specs: &[&ExprSpec],
+) -> Vec<Result<String, QueryError>> {
+    let internal = |e: pygb::PygbError| (ErrCode::Internal, e.to_string());
+    let mut results: Vec<Option<Result<String, QueryError>>> = specs.iter().map(|_| None).collect();
+    let mut outs: Vec<(usize, Matrix)> = Vec::new();
+
+    let flush_result: Result<(), QueryError> = (|| {
+        let _nb = pygb_runtime::nonblocking().map_err(internal)?;
+        for (i, spec) in specs.iter().enumerate() {
+            match prepare_expr(catalog, spec).and_then(|p| enqueue_expr(&p)) {
+                Ok(out) => outs.push((i, out)),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        pygb_runtime::flush().map_err(internal)
+    })();
+
+    for (i, out) in outs {
+        results[i] = Some(match &flush_result {
+            Ok(()) => finish_expr(catalog, specs[i], out),
+            Err(e) => Err(e.clone()),
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every member resolved or errored"))
+        .collect()
 }
 
 /// Resolve a semiring clause: a predefined name (`ARITHMETIC`,

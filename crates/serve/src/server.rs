@@ -250,7 +250,7 @@ fn dispatch_heavy(
         Ok(t) => Arc::new(t),
         Err(e) => return wire::write_err(writer, ErrCode::Overloaded, &e.message()),
     };
-    let (tx, rx) = mpsc::channel::<Result<String, query::QueryError>>();
+    let (tx, rx) = mpsc::channel::<Result<Response, query::QueryError>>();
     let admitted_at = Instant::now();
     let deadline = admitted_at + shared.admission.config().queue_timeout;
 
@@ -269,9 +269,29 @@ fn dispatch_heavy(
                     let _span = span_labeled(Cat::Serve, || {
                         format!("serve {} tenant={tenant}", req.verb())
                     });
-                    query::execute(&shared.catalog, req)
+                    // Drain lints a previous job may have left on this
+                    // worker thread so they cannot be misattributed.
+                    let _ = pygb::analyze::take_lints();
+                    let out = query::execute(&shared.catalog, req);
+                    let warnings = if matches!(
+                        req,
+                        Request::Query { .. } | Request::Expr(_) | Request::Update { .. }
+                    ) {
+                        pygb::analyze::take_lints()
+                    } else {
+                        let _ = pygb::analyze::take_lints();
+                        Vec::new()
+                    };
+                    out.map(|payload| Response { payload, warnings })
                 }
-                Work::Batch(subs) => run_batch(&shared.catalog, subs, &tenant),
+                Work::Batch(subs) => {
+                    let out = run_batch(&shared.catalog, subs, &tenant);
+                    let _ = pygb::analyze::take_lints();
+                    out.map(|payload| Response {
+                        payload,
+                        warnings: Vec::new(),
+                    })
+                }
             };
             pygb_obs::registry()
                 .histogram("serve/request_ns")
@@ -312,7 +332,8 @@ fn dispatch_heavy(
     }
 
     match rx.recv_timeout(shared.response_wait) {
-        Ok(result) => respond(writer, result),
+        Ok(Ok(resp)) => wire::write_ok_warn(writer, &resp.payload, &resp.warnings),
+        Ok(Err((code, msg))) => wire::write_err(writer, code, &msg),
         Err(_) => wire::write_err(
             writer,
             ErrCode::Timeout,
@@ -321,27 +342,74 @@ fn dispatch_heavy(
     }
 }
 
-/// Execute batch members sequentially on the worker, one span each.
-/// The batch succeeds as a frame even when members fail: each member
-/// reports `{"ok":...}` or `{"err":{...}}` in order.
+/// A successful heavy-request result: the payload plus any analyzer
+/// lints the execution raised on the worker thread (surfaced to the
+/// client as the frame's `WARN` section).
+struct Response {
+    payload: String,
+    warnings: Vec<String>,
+}
+
+/// Execute batch members sequentially on the worker. The batch
+/// succeeds as a frame even when members fail: each member reports
+/// `{"ok":...}` or `{"err":{...}}` in order.
+///
+/// Runs of two or more consecutive `EXPR` members without `INTO` are
+/// evaluated as one group — a single nonblocking scope and flush — so
+/// the optimization pipeline sees them as one op-DAG and duplicate
+/// expressions across members collapse via CSE into one kernel
+/// dispatch. `INTO` publishes to the catalog (later members may read
+/// the result), so it acts as a barrier, as does any other verb.
 fn run_batch(
     catalog: &Catalog,
     subs: &[Request],
     tenant: &str,
 ) -> Result<String, query::QueryError> {
     let mut items = Vec::with_capacity(subs.len());
-    for sub in subs {
+    let render = |result: Result<String, query::QueryError>| match result {
+        Ok(payload) => format!("{{\"ok\":{payload}}}"),
+        Err((code, msg)) => format!(
+            "{{\"err\":{{\"code\":\"{}\",\"msg\":\"{}\"}}}}",
+            code.name(),
+            wire::json_escape(&msg)
+        ),
+    };
+    let groupable = |r: &Request| matches!(r, Request::Expr(s) if s.into.is_none());
+
+    let mut i = 0;
+    while i < subs.len() {
+        let mut j = i;
+        while j < subs.len() && groupable(&subs[j]) {
+            j += 1;
+        }
+        if j - i >= 2 {
+            let specs: Vec<&query::ExprSpec> = subs[i..j]
+                .iter()
+                .map(|r| match r {
+                    Request::Expr(s) => s,
+                    _ => unreachable!("run delimited by groupable()"),
+                })
+                .collect();
+            let _span = span_labeled(Cat::Serve, || {
+                format!("serve batch:EXPRx{} tenant={tenant}", specs.len())
+            });
+            pygb_obs::registry()
+                .counter("serve/expr_grouped")
+                .add(specs.len() as u64);
+            items.extend(
+                query::run_expr_group(catalog, &specs)
+                    .into_iter()
+                    .map(render),
+            );
+            i = j;
+            continue;
+        }
+        let sub = &subs[i];
         let _span = span_labeled(Cat::Serve, || {
             format!("serve batch:{} tenant={tenant}", sub.verb())
         });
-        match query::execute(catalog, sub) {
-            Ok(payload) => items.push(format!("{{\"ok\":{payload}}}")),
-            Err((code, msg)) => items.push(format!(
-                "{{\"err\":{{\"code\":\"{}\",\"msg\":\"{}\"}}}}",
-                code.name(),
-                wire::json_escape(&msg)
-            )),
-        }
+        items.push(render(query::execute(catalog, sub)));
+        i += 1;
     }
     Ok(format!("[{}]", items.join(",")))
 }

@@ -11,12 +11,16 @@
 //!
 //! ```text
 //! OK <nbytes>\n<payload bytes>\n
+//! OK <nbytes> WARN <k>\n<payload bytes>\n<lint line> ×k
 //! ERR <code> <nbytes>\n<message bytes>\n
 //! ```
 //!
-//! `<nbytes>` counts the payload only, not the trailing newline. Error
-//! codes are the closed set of [`ErrCode`] names; clients switch on the
-//! code, not the message.
+//! `<nbytes>` counts the payload only, not the trailing newline. The
+//! optional `WARN <k>` section carries `k` single-line analyzer lints
+//! after the payload — advisory findings that did not fail the request
+//! (a `replace` with no mask, a complemented empty mask, a lossy
+//! cast). Error codes are the closed set of [`ErrCode`] names; clients
+//! switch on the code, not the message.
 
 use std::fmt;
 use std::io::{self, BufRead, Read, Write};
@@ -81,16 +85,28 @@ impl fmt::Display for ErrCode {
 pub enum Frame {
     /// `OK` with its payload.
     Ok(String),
+    /// `OK` with a payload plus analyzer lints (`WARN` section).
+    OkWarn(String, Vec<String>),
     /// `ERR` with code and message.
     Err(ErrCode, String),
 }
 
 impl Frame {
     /// Unwrap into `Result`, mapping `ERR` to `(code, message)`.
+    /// Warnings are advisory, so `OkWarn` unwraps to its payload.
     pub fn into_result(self) -> Result<String, (ErrCode, String)> {
         match self {
-            Frame::Ok(p) => Ok(p),
+            Frame::Ok(p) | Frame::OkWarn(p, _) => Ok(p),
             Frame::Err(c, m) => Err((c, m)),
+        }
+    }
+
+    /// The analyzer lints attached to this frame (empty unless
+    /// `OkWarn`).
+    pub fn warnings(&self) -> &[String] {
+        match self {
+            Frame::OkWarn(_, w) => w,
+            _ => &[],
         }
     }
 }
@@ -98,6 +114,27 @@ impl Frame {
 /// Write an `OK` frame.
 pub fn write_ok(w: &mut impl Write, payload: &str) -> io::Result<()> {
     write!(w, "OK {}\n{}\n", payload.len(), payload)?;
+    w.flush()
+}
+
+/// Write an `OK` frame with a `WARN` section. Each warning becomes one
+/// LF-terminated line after the payload; embedded newlines are
+/// flattened so the frame stays parseable.
+pub fn write_ok_warn(w: &mut impl Write, payload: &str, warnings: &[String]) -> io::Result<()> {
+    if warnings.is_empty() {
+        return write_ok(w, payload);
+    }
+    write!(
+        w,
+        "OK {} WARN {}\n{}\n",
+        payload.len(),
+        warnings.len(),
+        payload
+    )?;
+    for warning in warnings {
+        let flat = warning.replace(['\n', '\r'], " ");
+        writeln!(w, "{flat}")?;
+    }
     w.flush()
 }
 
@@ -145,7 +182,23 @@ pub fn read_frame(r: &mut impl BufRead) -> io::Result<Frame> {
                 .next()
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| bad("malformed OK header"))?;
-            Ok(Frame::Ok(read_payload(r, n)?))
+            let nwarn: usize = match toks.next() {
+                Some("WARN") => toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("malformed WARN count"))?,
+                Some(_) => return Err(bad("malformed OK header")),
+                None => 0,
+            };
+            let payload = read_payload(r, n)?;
+            if nwarn == 0 {
+                return Ok(Frame::Ok(payload));
+            }
+            let mut warnings = Vec::with_capacity(nwarn);
+            for _ in 0..nwarn {
+                warnings.push(read_line(r)?.ok_or_else(|| bad("WARN section truncated by EOF"))?);
+            }
+            Ok(Frame::OkWarn(payload, warnings))
         }
         Some("ERR") => {
             let code = toks
@@ -210,6 +263,32 @@ mod tests {
         assert_eq!(
             read_frame(&mut r).unwrap(),
             Frame::Ok("{\"x\":1}\nline2".into())
+        );
+    }
+
+    #[test]
+    fn warn_frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_ok_warn(
+            &mut buf,
+            "{\"x\":1}",
+            &["lint one".to_string(), "lint\ntwo".to_string()],
+        )
+        .unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Frame::OkWarn(
+                "{\"x\":1}".into(),
+                vec!["lint one".into(), "lint two".into()]
+            )
+        );
+        // No warnings degrades to a plain OK frame.
+        let mut buf = Vec::new();
+        write_ok_warn(&mut buf, "p", &[]).unwrap();
+        assert_eq!(
+            read_frame(&mut BufReader::new(&buf[..])).unwrap(),
+            Frame::Ok("p".into())
         );
     }
 

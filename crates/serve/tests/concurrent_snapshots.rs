@@ -94,7 +94,7 @@ fn parallel_queries_stay_oracle_exact_across_snapshot_swaps() {
                 while !stop.load(Ordering::Relaxed) {
                     let swap = c.request("QUERY swap BFS 0").unwrap();
                     match swap {
-                        Frame::Ok(payload) => {
+                        Frame::Ok(payload) | Frame::OkWarn(payload, _) => {
                             let v = extract_version(&payload);
                             let n = path_len(v);
                             assert!(
@@ -111,7 +111,7 @@ fn parallel_queries_stay_oracle_exact_across_snapshot_swaps() {
                     }
                     let fixed = c.request("QUERY fixed BFS 0").unwrap();
                     match fixed {
-                        Frame::Ok(payload) => {
+                        Frame::Ok(payload) | Frame::OkWarn(payload, _) => {
                             assert!(payload.contains("\"version\":1"), "{payload}");
                             assert!(payload.contains(fixed_oracle), "{payload}");
                             checked.fetch_add(1, Ordering::Relaxed);
@@ -254,7 +254,7 @@ fn parallel_readers_stay_oracle_exact_across_streamed_updates() {
                 c.hello(&format!("reader-{r}")).unwrap();
                 while !stop.load(Ordering::Relaxed) {
                     match c.request("QUERY stream BFS 0").unwrap() {
-                        Frame::Ok(payload) => {
+                        Frame::Ok(payload) | Frame::OkWarn(payload, _) => {
                             let v = extract_version(&payload);
                             let n = stream_path_len(v);
                             assert!(
@@ -269,7 +269,7 @@ fn parallel_readers_stay_oracle_exact_across_streamed_updates() {
                         Frame::Err(code, msg) => panic!("unexpected error {code}: {msg}"),
                     }
                     match c.request("QUERY aux BFS 0").unwrap() {
-                        Frame::Ok(payload) => {
+                        Frame::Ok(payload) | Frame::OkWarn(payload, _) => {
                             let v = extract_version(&payload);
                             let expect = if v.is_multiple_of(2) {
                                 "\"levels\":[[0,1],[1,2],[2,2]]" // shortcut present

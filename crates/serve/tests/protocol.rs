@@ -63,7 +63,7 @@ fn structured_errors_keep_the_connection_usable() {
     ] {
         match c.request(line).unwrap() {
             Frame::Err(got, _) => assert_eq!(got, code, "line {line:?}"),
-            Frame::Ok(p) => panic!("line {line:?} unexpectedly ok: {p}"),
+            Frame::Ok(p) | Frame::OkWarn(p, _) => panic!("line {line:?} unexpectedly ok: {p}"),
         }
     }
     // The connection survives every error above.
@@ -151,7 +151,7 @@ fn update_errors_are_structured_and_connection_survives() {
     ] {
         match c.request(line).unwrap() {
             Frame::Err(got, _) => assert_eq!(got, code, "line {line:?}"),
-            Frame::Ok(p) => panic!("line {line:?} unexpectedly ok: {p}"),
+            Frame::Ok(p) | Frame::OkWarn(p, _) => panic!("line {line:?} unexpectedly ok: {p}"),
         }
     }
     // Failed updates never publish.
@@ -221,6 +221,116 @@ fn batch_reports_per_item_results() {
         "{payload}"
     );
     assert!(payload.contains("\"components\":"), "{payload}");
+}
+
+#[test]
+fn replace_without_mask_surfaces_an_analyzer_warning() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.request_ok("REGISTER a TRIPLES 2 2 fp64 0:0:1,1:1:2")
+        .unwrap();
+    let (payload, warnings) = c
+        .request_with_warnings("EXPR a EWADD a BINOP Plus REPLACE")
+        .unwrap();
+    assert!(payload.contains("\"triples\":"), "{payload}");
+    assert!(
+        warnings
+            .iter()
+            .any(|w| w.contains("replace without a mask")),
+        "expected the replace-without-mask lint, got {warnings:?}"
+    );
+    // The same expression without REPLACE answers clean.
+    let (_, clean) = c
+        .request_with_warnings("EXPR a EWADD a BINOP Plus")
+        .unwrap();
+    assert!(clean.is_empty(), "unexpected warnings: {clean:?}");
+}
+
+#[test]
+fn complemented_empty_mask_surfaces_an_analyzer_warning() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.request_ok("REGISTER a TRIPLES 2 2 fp64 0:0:1,1:1:2")
+        .unwrap();
+    // Empty the mask graph through the streaming path.
+    c.request_ok("REGISTER m TRIPLES 2 2 fp64 0:0:1").unwrap();
+    c.request_ok("UPDATE m DEL 0:0").unwrap();
+    let (payload, warnings) = c
+        .request_with_warnings("EXPR a EWADD a BINOP Plus MASK m COMPLEMENT")
+        .unwrap();
+    // The complement of an empty mask selects everything.
+    assert!(payload.contains("\"nvals\":2"), "{payload}");
+    assert!(
+        warnings
+            .iter()
+            .any(|w| w.contains("complemented mask has no stored values")),
+        "expected the empty-complement lint, got {warnings:?}"
+    );
+}
+
+#[test]
+fn batched_duplicate_exprs_cse_merge_into_one_dispatch() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.request_ok("REGISTER a TRIPLES 2 2 fp64 0:0:1,0:1:2,1:0:3,1:1:4")
+        .unwrap();
+    // The oracle: the same expression evaluated alone.
+    let solo = c.request_ok("EXPR a MXM a SEMIRING ARITHMETIC").unwrap();
+
+    let before = pygb_obs::registry().snapshot();
+    let frame = c
+        .batch(&[
+            "EXPR a MXM a SEMIRING ARITHMETIC",
+            "EXPR a MXM a SEMIRING ARITHMETIC",
+            "EXPR a MXM a SEMIRING ARITHMETIC",
+        ])
+        .unwrap();
+    let Frame::Ok(payload) = frame else {
+        panic!("batch failed: {frame:?}")
+    };
+    let after = pygb_obs::registry().snapshot();
+
+    // Every member answers, and answers exactly what the solo run did.
+    let expected = format!("[{{\"ok\":{solo}}},{{\"ok\":{solo}}},{{\"ok\":{solo}}}]");
+    assert_eq!(payload, expected, "grouped members must match the oracle");
+
+    // The three identical members ran as one group; two collapsed.
+    assert!(
+        after.counter("serve/expr_grouped") - before.counter("serve/expr_grouped") >= 3,
+        "consecutive EXPR members must be grouped"
+    );
+    assert!(
+        after.counter("opt/cse_deduped") - before.counter("opt/cse_deduped") >= 2,
+        "duplicate EXPR members must CSE-merge: {}",
+        after.to_json()
+    );
+}
+
+#[test]
+fn expr_group_reports_per_member_errors_without_poisoning_the_rest() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.request_ok("REGISTER a TRIPLES 2 2 fp64 0:0:1,0:1:2")
+        .unwrap();
+    let frame = c
+        .batch(&[
+            "EXPR a EWADD a BINOP Plus",
+            "EXPR a MXM ghost SEMIRING ARITHMETIC",
+            "EXPR a EWMULT a BINOP Times",
+        ])
+        .unwrap();
+    let Frame::Ok(payload) = frame else {
+        panic!("batch failed: {frame:?}")
+    };
+    let items: Vec<&str> = payload
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .split("},{")
+        .collect();
+    assert_eq!(items.len(), 3, "{payload}");
+    assert!(items[0].contains("\"ok\":"), "{payload}");
+    assert!(items[1].contains("\"code\":\"not-found\""), "{payload}");
+    assert!(items[2].contains("\"ok\":"), "{payload}");
 }
 
 #[test]

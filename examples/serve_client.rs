@@ -81,7 +81,9 @@ fn main() -> std::io::Result<()> {
         "QUERY social TRICOUNT",
         "QUERY twohop CC",
     ])? {
-        Frame::Ok(payload) => println!("BATCH     -> {} bytes", payload.len()),
+        Frame::Ok(payload) | Frame::OkWarn(payload, _) => {
+            println!("BATCH     -> {} bytes", payload.len())
+        }
         Frame::Err(code, msg) => println!("BATCH     -> ERR {code}: {msg}"),
     }
 

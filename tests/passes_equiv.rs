@@ -1,0 +1,411 @@
+//! Oracle-differential proof that the optimization pipeline is
+//! semantics-preserving: random operation programs must produce
+//! bitwise-identical observable state with all passes enabled, each
+//! pass enabled alone, and every pass disabled — and each of those
+//! must match blocking (eager) execution, which never consults the
+//! optimizer at all.
+//!
+//! The program generator is deliberately biased toward the rewrites
+//! under proof: a small operand pool makes duplicate expressions (CSE
+//! bait) common, an initially-empty slot doubles as a known-empty
+//! operand and an empty mask (no-op folding bait), identity `apply`
+//! and dropped temporaries bait the no-op and liveness passes, and
+//! mask/accum/replace combinations guard the non-plain paths that the
+//! passes must refuse to touch.
+
+use proptest::prelude::*;
+
+use pygb::{
+    apply, reduce, Accumulator, BinaryOp, DType, DynScalar, EdgeUpdate, Matrix, MergePolicy,
+    StreamingMatrix, UnaryOp, Vector,
+};
+use pygb_algorithms as algos;
+use pygb_runtime::{reset_passes, set_passes, PassKind};
+
+const N: usize = 8;
+const POOL: usize = 4;
+const OPS: [&str; 4] = ["Plus", "Times", "Min", "Max"];
+const ACCUMS: [&str; 2] = ["Plus", "Min"];
+
+/// Restore the ambient `PYGB_PASSES` configuration on drop, so a
+/// panicking proptest case cannot leak an override into later tests.
+struct PassScope;
+
+impl PassScope {
+    fn new(passes: &[PassKind]) -> PassScope {
+        set_passes(passes);
+        PassScope
+    }
+}
+
+impl Drop for PassScope {
+    fn drop(&mut self) {
+        reset_passes();
+    }
+}
+
+/// Every optimizer configuration under proof.
+fn optimizer_configs() -> Vec<(&'static str, Vec<PassKind>)> {
+    vec![
+        ("all", vec![PassKind::Dce, PassKind::Cse, PassKind::Noop]),
+        ("dce-only", vec![PassKind::Dce]),
+        ("cse-only", vec![PassKind::Cse]),
+        ("noop-only", vec![PassKind::Noop]),
+        ("off", vec![]),
+    ]
+}
+
+/// One random program step, decoded from plain integers.
+#[derive(Clone, Debug)]
+struct Step {
+    /// 0 = eWise add, 1 = eWise mult, 2 = bound apply, 3 = copy,
+    /// 4 = reduce, 5 = identity apply, 6 = dropped temporary.
+    kind: usize,
+    target: usize,
+    a: usize,
+    b: usize,
+    op: usize,
+    /// 0 = no mask, 1 = mask, 2 = complemented mask.
+    mask_mode: usize,
+    mask: usize,
+    /// 0 = plain assign, 1.. = accum_assign with `ACCUMS[accum - 1]`.
+    accum: usize,
+    replace: bool,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (
+        (0usize..7, 0usize..POOL, 0usize..POOL, 0usize..POOL),
+        (0usize..OPS.len(), 0usize..3, 0usize..POOL),
+        (0usize..=ACCUMS.len(), any::<bool>()),
+    )
+        .prop_map(
+            |((kind, target, a, b), (op, mask_mode, mask), (accum, replace))| Step {
+                kind,
+                target,
+                a,
+                b,
+                op,
+                mask_mode,
+                mask,
+                accum,
+                replace,
+            },
+        )
+}
+
+/// Deterministic mixed-dtype pool: dense int32, sparse int64, dense
+/// fp64, and an initially *empty* fp64 slot. The empty slot is the
+/// no-op pass's bait: used as an operand it triggers the known-empty
+/// folds, used as a mask it triggers the empty-mask folds — until some
+/// step writes to it, after which the gates must see it as non-empty.
+fn init_pool() -> Vec<Vector> {
+    let mut v0 = Vector::new(N, DType::Int32);
+    let mut v1 = Vector::new(N, DType::Int64);
+    let mut v2 = Vector::new(N, DType::Fp64);
+    let v3 = Vector::new(N, DType::Fp64);
+    for i in 0..N {
+        v0.set(i, i as i32 + 1).unwrap();
+        if i % 2 == 0 {
+            v1.set(i, (i as i64) * 10 - 30).unwrap();
+        }
+        v2.set(i, i as f64 * 0.5 - 1.0).unwrap();
+    }
+    vec![v0, v1, v2, v3]
+}
+
+fn apply_step(pool: &mut [Vector], s: &Step) -> pygb::Result<Option<DynScalar>> {
+    if s.kind == 4 {
+        return reduce(&pool[s.a]).map(Some);
+    }
+    if s.kind == 6 {
+        // A result nobody ever observes: liveness bait. Blocking mode
+        // computes and discards it; the DCE pass must elide it without
+        // perturbing anything the program *does* observe.
+        let _op = BinaryOp::new(OPS[s.op])?.enter();
+        let _dead = Vector::from_expr(&pool[s.a] + &pool[s.b])?;
+        return Ok(None);
+    }
+    let a = pool[s.a].clone();
+    let b = pool[s.b].clone();
+    let mask = pool[s.mask].clone();
+    let expr_op = BinaryOp::new(OPS[s.op])?;
+    let target = &mut pool[s.target];
+
+    macro_rules! emit {
+        ($expr:expr) => {{
+            let _op_guard = expr_op.enter();
+            match (s.mask_mode, s.accum) {
+                (0, 0) => target.no_mask().assign($expr)?,
+                (0, acc) => {
+                    let _a = Accumulator::new(ACCUMS[acc - 1])?.enter();
+                    target.no_mask().accum_assign($expr)?
+                }
+                (1, 0) if s.replace => target.masked(&mask).replace().assign($expr)?,
+                (1, 0) => target.masked(&mask).assign($expr)?,
+                (1, acc) => {
+                    let _a = Accumulator::new(ACCUMS[acc - 1])?.enter();
+                    if s.replace {
+                        target.masked(&mask).replace().accum_assign($expr)?
+                    } else {
+                        target.masked(&mask).accum_assign($expr)?
+                    }
+                }
+                (_, 0) if s.replace => target.masked_complement(&mask).replace().assign($expr)?,
+                (_, 0) => target.masked_complement(&mask).assign($expr)?,
+                (_, acc) => {
+                    let _a = Accumulator::new(ACCUMS[acc - 1])?.enter();
+                    if s.replace {
+                        target
+                            .masked_complement(&mask)
+                            .replace()
+                            .accum_assign($expr)?
+                    } else {
+                        target.masked_complement(&mask).accum_assign($expr)?
+                    }
+                }
+            }
+        }};
+    }
+
+    match s.kind {
+        0 => emit!(&a + &b),
+        1 => emit!(&a * &b),
+        2 => {
+            let unary = UnaryOp::bound("Plus", 3.0)?;
+            let _u = unary.enter();
+            emit!(apply(&a))
+        }
+        5 => {
+            // Identity apply: the no-op pass may rewrite the plain
+            // same-dtype shape of this into a pure alias.
+            let unary = UnaryOp::new("Identity")?;
+            let _u = unary.enter();
+            emit!(apply(&a))
+        }
+        _ => emit!(&a),
+    }
+    Ok(None)
+}
+
+/// Run a program under one configuration. `passes: None` is the
+/// blocking oracle; `Some(passes)` runs nonblocking with exactly that
+/// pipeline. Returns the full observable state: the settled pool and
+/// every reduction result.
+fn run_program(prog: &[Step], passes: Option<&[PassKind]>) -> (Vec<Vector>, Vec<DynScalar>) {
+    let _scope = passes.map(PassScope::new);
+    let mut pool = init_pool();
+    let mut reductions = Vec::new();
+    {
+        let _guard = passes.map(|_| pygb_runtime::nonblocking().unwrap());
+        for s in prog {
+            if let Some(r) = apply_step(&mut pool, s).unwrap() {
+                reductions.push(r);
+            }
+        }
+        if passes.is_some() {
+            pygb_runtime::flush().unwrap();
+        }
+    }
+    for v in &mut pool {
+        v.settle().unwrap();
+    }
+    (pool, reductions)
+}
+
+proptest! {
+    /// The load-bearing proof: for random programs, every optimizer
+    /// configuration is bit-identical to the blocking oracle (and thus
+    /// to every other configuration).
+    #[test]
+    fn every_pass_config_matches_the_blocking_oracle(
+        prog in proptest::collection::vec(step_strategy(), 1..12),
+    ) {
+        let (o_pool, o_red) = run_program(&prog, None);
+        for (name, passes) in optimizer_configs() {
+            let (pool, red) = run_program(&prog, Some(&passes));
+            for (i, (o, p)) in o_pool.iter().zip(&pool).enumerate() {
+                prop_assert_eq!(o.dtype(), p.dtype(), "config {} slot {} dtype", name, i);
+                prop_assert_eq!(
+                    o.extract_pairs(),
+                    p.extract_pairs(),
+                    "config {} slot {}",
+                    name,
+                    i
+                );
+            }
+            prop_assert_eq!(&o_red, &red, "config {} reductions", name);
+        }
+    }
+
+    /// Duplicated expressions — the CSE pass's prime target — assigned
+    /// to *different* targets must still leave both targets correct
+    /// under every configuration, including when one of the duplicates
+    /// is subsequently read inside the scope (a flush-on-read through
+    /// an alias-resolved placeholder).
+    #[test]
+    fn duplicate_expressions_stay_independent_after_merging(
+        operands in (0usize..POOL, 0usize..POOL),
+        op in 0usize..OPS.len(),
+        read_first in any::<bool>(),
+    ) {
+        let (ai, bi) = operands;
+        type Pairs = Vec<(usize, DynScalar)>;
+        let run = |passes: Option<&[PassKind]>| -> (Pairs, Pairs) {
+            let _scope = passes.map(PassScope::new);
+            let pool = init_pool();
+            let mut x = Vector::new(N, DType::Fp64);
+            let mut y = Vector::new(N, DType::Fp64);
+            {
+                let _guard = passes.map(|_| pygb_runtime::nonblocking().unwrap());
+                let _op = BinaryOp::new(OPS[op]).unwrap().enter();
+                x.no_mask().assign(&pool[ai] + &pool[bi]).unwrap();
+                y.no_mask().assign(&pool[ai] + &pool[bi]).unwrap();
+                if read_first {
+                    // Force a flush mid-scope through one duplicate.
+                    let _ = x.nvals();
+                }
+            }
+            x.settle().unwrap();
+            y.settle().unwrap();
+            (x.extract_pairs(), y.extract_pairs())
+        };
+        let oracle = run(None);
+        for (name, passes) in optimizer_configs() {
+            prop_assert_eq!(&run(Some(&passes)), &oracle, "config {}", name);
+        }
+    }
+
+    /// Streamed-graph coverage: a masked SpMV over a mid-stream
+    /// `StreamingMatrix::snapshot()` (taken while deletes and
+    /// overwrites are still pending in the delta) answers identically
+    /// under every optimizer configuration.
+    #[test]
+    fn streamed_snapshot_spmv_matches_across_configs(
+        edges in proptest::collection::vec((0usize..N, 0usize..N, 1i64..6), 1..16),
+        updates in proptest::collection::vec(
+            (0usize..N, 0usize..N, (0u8..4, 1i64..6).prop_map(|(k, v)| (k > 0).then_some(v))),
+            0..10),
+        masked in any::<bool>(),
+    ) {
+        let triples: Vec<(usize, usize, DynScalar)> = edges
+            .iter()
+            .map(|&(i, j, v)| (i, j, DynScalar::Fp64(v as f64)))
+            .collect();
+        let base = Matrix::from_triples_dyn(N, N, &triples, Some(DType::Fp64)).unwrap();
+        let mut stream = StreamingMatrix::with_policy(
+            &base,
+            MergePolicy { max_pending: 4, ..MergePolicy::default() },
+        )
+        .unwrap();
+        let batch: Vec<EdgeUpdate> = updates
+            .iter()
+            .map(|&(i, j, v)| match v {
+                Some(v) => EdgeUpdate::add(i, j, DynScalar::Fp64(v as f64)),
+                None => EdgeUpdate::del(i, j),
+            })
+            .collect();
+        stream.update_edges(&batch).unwrap();
+        let snap = stream.snapshot();
+
+        let mut x = Vector::new(N, DType::Fp64);
+        for i in 0..N {
+            x.set(i, (i + 1) as f64).unwrap();
+        }
+        let mask = {
+            let mut m = Vector::new(N, DType::Bool);
+            for i in (0..N).step_by(2) {
+                m.set(i, true).unwrap();
+            }
+            m
+        };
+
+        let run = |passes: Option<&[PassKind]>| -> Vec<(usize, DynScalar)> {
+            let _scope = passes.map(PassScope::new);
+            let mut y = Vector::new(N, DType::Fp64);
+            {
+                let _guard = passes.map(|_| pygb_runtime::nonblocking().unwrap());
+                let _sr = pygb::ArithmeticSemiring.enter();
+                let t = Vector::from_expr(snap.t().mxv(&x)).unwrap();
+                if masked {
+                    y.masked(&mask).assign(&t).unwrap();
+                } else {
+                    y.no_mask().assign(&t).unwrap();
+                }
+                if passes.is_some() {
+                    pygb_runtime::flush().unwrap();
+                }
+            }
+            y.settle().unwrap();
+            y.extract_pairs()
+        };
+        let oracle = run(None);
+        for (name, passes) in optimizer_configs() {
+            prop_assert_eq!(&run(Some(&passes)), &oracle, "config {}", name);
+        }
+    }
+}
+
+/// Build a small deterministic strongly-connected digraph: a ring with
+/// forward chords, enough structure for PageRank to take several
+/// iterations.
+fn ring_with_chords(n: usize) -> Matrix {
+    let mut triples = Vec::new();
+    for i in 0..n {
+        triples.push((i, (i + 1) % n, DynScalar::Fp64(1.0)));
+        if i % 3 == 0 {
+            triples.push((i, (i + 4) % n, DynScalar::Fp64(1.0)));
+        }
+    }
+    Matrix::from_triples_dyn(n, n, &triples, Some(DType::Fp64)).unwrap()
+}
+
+/// Iterative f64 workload: PageRank's damped power iteration runs the
+/// same number of iterations and lands on ranks within tolerance under
+/// every configuration. (Ranks pass through row normalization and a
+/// convergence loop, so the comparison is tolerance-based, not
+/// bit-exact — the discrete workloads above carry the exactness
+/// proof.)
+#[test]
+fn pagerank_agrees_across_pass_configs_within_tolerance() {
+    let graph = ring_with_chords(24);
+    let opts = algos::PageRankOptions {
+        max_iters: 200,
+        ..algos::PageRankOptions::default()
+    };
+    let (oracle, oracle_iters) = {
+        let _scope = PassScope::new(&[]);
+        algos::pagerank_nonblocking(&graph, opts).unwrap()
+    };
+    for (name, passes) in optimizer_configs() {
+        let _scope = PassScope::new(&passes);
+        let (ranks, iters) = algos::pagerank_nonblocking(&graph, opts).unwrap();
+        assert_eq!(iters, oracle_iters, "config {name} iteration count");
+        for i in 0..24 {
+            let a = oracle.get(i).unwrap().as_f64();
+            let b = ranks.get(i).unwrap().as_f64();
+            assert!(
+                (a - b).abs() <= 1e-12,
+                "config {name} rank[{i}]: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// BFS (blocking-vs-nonblocking discrete oracle) stays exact under
+/// every configuration — the frontier loop leans on masked assigns,
+/// replace, and rule-3 fusion, all of which the passes must leave
+/// semantically untouched.
+#[test]
+fn bfs_levels_are_bit_exact_across_pass_configs() {
+    let graph = ring_with_chords(24);
+    let oracle = {
+        let _scope = PassScope::new(&[]);
+        algos::bfs_nonblocking(&graph, 0).unwrap().extract_pairs()
+    };
+    for (name, passes) in optimizer_configs() {
+        let _scope = PassScope::new(&passes);
+        let levels = algos::bfs_nonblocking(&graph, 0).unwrap().extract_pairs();
+        assert_eq!(levels, oracle, "config {name}");
+    }
+}

