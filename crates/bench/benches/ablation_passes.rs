@@ -12,6 +12,13 @@
 //!   `pygb-serve` instance: consecutive members share one flush, so
 //!   duplicates collapse via CSE; the same lines sent one request at a
 //!   time are the no-grouping baseline.
+//! * **empty_chain** — eWiseMult chains rooted at an empty vector,
+//!   reached only through pending placeholders: invisible to the
+//!   syntactic no-op pass, folded wholesale by the sparsity abstract
+//!   interpretation (`opt/empty_folded`), with zero kernel launches.
+//! * **bfs_hint** — a BFS wavefront whose masked frontier `mxv` takes
+//!   its push/pull direction from the statically inferred frontier
+//!   density (`opt/static_kernel_hints`), levels bit-exact vs off.
 //!
 //! Writes `results/ablation_passes.json` (time samples plus the raw
 //! counter deltas) so CI can archive the numbers.
@@ -26,7 +33,12 @@ use pygb_obs::registry;
 use pygb_runtime::{reset_passes, set_passes, PassKind};
 use pygb_serve::{Catalog, Client, Server, ServerConfig};
 
-const ALL_PASSES: &[PassKind] = &[PassKind::Dce, PassKind::Cse, PassKind::Noop];
+const ALL_PASSES: &[PassKind] = &[
+    PassKind::Dce,
+    PassKind::Cse,
+    PassKind::Sparsity,
+    PassKind::Noop,
+];
 
 fn time<R>(mut f: impl FnMut() -> R) -> Duration {
     // One warm-up, then the median of three runs.
@@ -69,11 +81,62 @@ fn pagerank_diag(m: &Matrix, iters: usize) -> Vector {
     rank
 }
 
+/// eWiseMult chains rooted at an always-empty vector. Each chain's
+/// links after the first read a *pending placeholder*, so only the
+/// abstract interpretation (not the syntactic no-op pass) can prove
+/// them empty and fold them before any kernel launches.
+fn empty_chain(n: usize, chains: usize, depth: usize) -> Vector {
+    let empty = Vector::new(n, DType::Fp64);
+    let mut dense = Vector::new(n, DType::Fp64);
+    dense.no_mask().slice(..).assign_scalar(1.5f64).unwrap();
+    let mut out = Vector::new(n, DType::Fp64);
+    for _ in 0..chains {
+        let _nb = pygb_runtime::nonblocking().unwrap();
+        let _op = BinaryOp::new("Times").unwrap().enter();
+        let mut t = Vector::from_expr(&empty * &dense).unwrap();
+        for _ in 1..depth {
+            t = Vector::from_expr(&t * &dense).unwrap();
+        }
+        out.no_mask().assign(&t * &dense).unwrap();
+    }
+    out
+}
+
+/// BFS wavefront sweep: per level, the unvisited-neighbor `mxv` is
+/// masked by the complement of `visited` — and the frontier's density
+/// is statically known, so with the sparsity pass on, the push/pull
+/// direction comes from the plan-time hint.
+fn bfs_wave(m: &Matrix, levels: usize) -> Vector {
+    let n = m.nrows();
+    let mut frontier = Vector::new(n, DType::Fp64);
+    frontier.set(0, 1.0f64).unwrap();
+    let mut visited = Vector::new(n, DType::Fp64);
+    visited.set(0, 1.0f64).unwrap();
+    for _ in 0..levels {
+        let mut next = Vector::new(n, DType::Fp64);
+        {
+            let _nb = pygb_runtime::nonblocking().unwrap();
+            let _sr = ArithmeticSemiring.enter();
+            next.masked_complement(&visited)
+                .replace()
+                .assign(m.t().mxv(&frontier))
+                .unwrap();
+            let _acc = Accumulator::new("Plus").unwrap().enter();
+            visited.no_mask().accum_assign(&next).unwrap();
+        }
+        frontier = next;
+    }
+    visited
+}
+
 struct CounterDelta {
     launches_saved: u64,
     dce_elided: u64,
     cse_deduped: u64,
     noop_folded: u64,
+    empty_folded: u64,
+    static_kernel_hints: u64,
+    fact_misses: u64,
     invocations: u64,
 }
 
@@ -92,6 +155,9 @@ fn measure_counters<R>(f: impl FnOnce() -> R) -> (R, CounterDelta) {
             dce_elided: d("opt/dce_elided"),
             cse_deduped: d("opt/cse_deduped"),
             noop_folded: d("opt/noop_folded"),
+            empty_folded: d("opt/empty_folded"),
+            static_kernel_hints: d("opt/static_kernel_hints"),
+            fact_misses: d("opt/fact_misses"),
             invocations: inv_after - inv_before,
         },
     )
@@ -99,8 +165,15 @@ fn measure_counters<R>(f: impl FnOnce() -> R) -> (R, CounterDelta) {
 
 fn counters_json(name: &str, c: &CounterDelta) -> String {
     format!(
-        "\"{name}\":{{\"launches_saved\":{},\"dce_elided\":{},\"cse_deduped\":{},\"noop_folded\":{},\"invocations\":{}}}",
-        c.launches_saved, c.dce_elided, c.cse_deduped, c.noop_folded, c.invocations
+        "\"{name}\":{{\"launches_saved\":{},\"dce_elided\":{},\"cse_deduped\":{},\"noop_folded\":{},\"empty_folded\":{},\"static_kernel_hints\":{},\"fact_misses\":{},\"invocations\":{}}}",
+        c.launches_saved,
+        c.dce_elided,
+        c.cse_deduped,
+        c.noop_folded,
+        c.empty_folded,
+        c.static_kernel_hints,
+        c.fact_misses,
+        c.invocations
     )
 }
 
@@ -221,6 +294,98 @@ fn main() {
     drop(c);
     srv.shutdown();
 
+    // --- Provably-empty subtrees through pending placeholders ---
+    {
+        let n = 4096usize;
+        let (chains, depth) = (8usize, 4usize);
+        set_passes(&[]);
+        let (out_off, off) = measure_counters(|| empty_chain(n, chains, depth));
+        let t_off = time(|| empty_chain(n, chains, depth));
+        set_passes(ALL_PASSES);
+        let (out_on, on) = measure_counters(|| empty_chain(n, chains, depth));
+        let t_on = time(|| empty_chain(n, chains, depth));
+        reset_passes();
+
+        assert_eq!(
+            out_off.extract_pairs(),
+            out_on.extract_pairs(),
+            "sparsity folding changed the empty-chain result"
+        );
+        assert_eq!(out_on.nvals(), 0, "empty chain must stay empty");
+        assert!(
+            on.empty_folded >= (chains * depth) as u64,
+            "expected ≥{} provably-empty folds, got {}",
+            chains * depth,
+            on.empty_folded
+        );
+        assert_eq!(off.empty_folded, 0, "passes-off must fold nothing");
+        assert!(
+            on.invocations < off.invocations,
+            "folded chains must launch fewer kernels: {} vs {}",
+            on.invocations,
+            off.invocations
+        );
+        samples.push(Sample::new(
+            "ablation/passes_empty_chain",
+            "passes-off",
+            n,
+            t_off,
+        ));
+        samples.push(Sample::new(
+            "ablation/passes_empty_chain",
+            "passes-on",
+            n,
+            t_on,
+        ));
+        counter_blobs.push(counters_json("empty_chain_off", &off));
+        counter_blobs.push(counters_json("empty_chain_on", &on));
+    }
+
+    // --- BFS frontier mxv direction from the static density hint ---
+    {
+        let n = 1024usize;
+        let levels = 6usize;
+        let w = Workload::erdos_renyi(n, 7);
+        let m = &w.sym_pygb;
+        set_passes(&[]);
+        let (vis_off, off) = measure_counters(|| bfs_wave(m, levels));
+        let t_off = time(|| bfs_wave(m, levels));
+        set_passes(ALL_PASSES);
+        let (vis_on, on) = measure_counters(|| bfs_wave(m, levels));
+        let t_on = time(|| bfs_wave(m, levels));
+        reset_passes();
+
+        assert_eq!(
+            vis_off.extract_pairs(),
+            vis_on.extract_pairs(),
+            "static kernel hints changed BFS reachability"
+        );
+        assert!(
+            on.static_kernel_hints > 0,
+            "frontier mxv must take at least one static push/pull hint"
+        );
+        assert_eq!(off.static_kernel_hints, 0, "passes-off must hint nothing");
+        assert_eq!(
+            on.fact_misses + off.fact_misses,
+            0,
+            "checked interpretation recorded a fact miss during BFS"
+        );
+        samples.push(Sample::new(
+            "ablation/passes_bfs_hint",
+            "passes-off",
+            n,
+            t_off,
+        ));
+        samples.push(Sample::new(
+            "ablation/passes_bfs_hint",
+            "passes-on",
+            n,
+            t_on,
+        ));
+        counter_blobs.push(counters_json("bfs_hint_off", &off));
+        counter_blobs.push(counters_json("bfs_hint_on", &on));
+    }
+
     let pr: Vec<Sample> = samples
         .iter()
         .filter(|s| s.experiment.ends_with("pagerank"))
@@ -238,6 +403,24 @@ fn main() {
     println!(
         "{}",
         render_table("ablation: batched EXPR grouping", &batch)
+    );
+    let empty: Vec<Sample> = samples
+        .iter()
+        .filter(|s| s.experiment.ends_with("empty_chain"))
+        .cloned()
+        .collect();
+    let bfs: Vec<Sample> = samples
+        .iter()
+        .filter(|s| s.experiment.ends_with("bfs_hint"))
+        .cloned()
+        .collect();
+    println!(
+        "{}",
+        render_table("ablation: sparsity folding (empty chains)", &empty)
+    );
+    println!(
+        "{}",
+        render_table("ablation: static SpMV direction hints (BFS)", &bfs)
     );
 
     // `cargo bench` runs with cwd = crates/bench; anchor the output at

@@ -10,6 +10,12 @@
 //!
 //! Exits nonzero (panics) if a disabled span allocates, records an
 //! event, or exceeds a generous per-call latency budget.
+//!
+//! The same contract covers `gbtl::hooks::report_fact`, the per-write
+//! probe of the sparsity checked interpretation: with no fact checker
+//! installed (this process never calls `install_fact_checker`), each
+//! call is one `OnceLock` load and a branch — the closure computing
+//! `(nvals, dim)` must never run.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -77,9 +83,34 @@ fn main() {
         "disabled span cost {per_call} ns/call exceeds the {MAX_NS_PER_CALL} ns budget"
     );
 
+    // Uninstalled fact-checker probe: the closure must not run (the
+    // Vec::with_capacity inside would allocate and trip the counter),
+    // and the call must fit the same per-call budget.
+    let fact_allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let fact_start = Instant::now();
+    for i in 0..ITERS {
+        gbtl::hooks::report_fact(|| {
+            let v: Vec<u64> = Vec::with_capacity(16);
+            std::hint::black_box(&v);
+            (i as usize, ITERS as usize)
+        });
+    }
+    let fact_elapsed = fact_start.elapsed();
+    let fact_allocs = ALLOCATIONS.load(Ordering::Relaxed) - fact_allocs_before;
+    assert_eq!(
+        fact_allocs, 0,
+        "uninstalled report_fact must not allocate ({fact_allocs} allocations over {ITERS} calls)"
+    );
+    let fact_per_call = fact_elapsed.as_nanos() / ITERS as u128;
+    assert!(
+        fact_per_call <= MAX_NS_PER_CALL,
+        "uninstalled report_fact cost {fact_per_call} ns/call exceeds the {MAX_NS_PER_CALL} ns budget"
+    );
+
     println!(
         "obs_overhead: OK: {} disabled span calls, 0 allocations, {per_call} ns/call \
-         (budget {MAX_NS_PER_CALL} ns)",
+         (budget {MAX_NS_PER_CALL} ns); {ITERS} uninstalled report_fact calls, \
+         0 allocations, {fact_per_call} ns/call",
         2 * ITERS
     );
 }

@@ -69,6 +69,14 @@ pub fn take_lints() -> Vec<String> {
     LINTS.with(|l| std::mem::take(&mut *l.borrow_mut()))
 }
 
+/// Append a lint from another analysis layer (the runtime's sparsity
+/// pass emits structure lints — provably-empty results consumed
+/// downstream, masks provably disjoint from the operand pattern — into
+/// the same buffer so they ride the serve `OK … WARN k` frames).
+pub fn emit_lint(msg: String) {
+    push_lint(msg);
+}
+
 fn strict() -> bool {
     context::strict_types_active()
 }

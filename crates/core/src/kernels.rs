@@ -309,6 +309,34 @@ fn view<T: gbtl::Scalar>(m: &gbtl::Matrix<T>, transposed: bool) -> gbtl::MatrixA
     }
 }
 
+/// Resolve the SpMV operand under a plan-time direction hint.
+///
+/// At this layer orientation is *forced*: a plain operand always runs
+/// pull, a transposed one always runs push (there is no dual view, so
+/// the gbtl density probe never fires). A hint that agrees with the
+/// forced direction changes nothing; a hint that disagrees swaps in the
+/// memoized transpose of the store ([`crate::facts::cached_transpose`])
+/// with the orientation flag flipped — same logical operand, opposite
+/// kernel direction. `natural_pull` is whether the un-hinted selection
+/// pulls (`!at` for mxv, `at` for vxm).
+fn spmv_hint_operand(
+    a: &Option<Arc<MatrixStore>>,
+    at: bool,
+    natural_pull: bool,
+) -> (Option<Arc<MatrixStore>>, bool) {
+    let Some(dir) = crate::facts::take_spmv_hint() else {
+        return (a.clone(), at);
+    };
+    pygb_obs::registry()
+        .counter("opt/static_kernel_hints")
+        .inc();
+    let want_pull = dir == gbtl::SpmvDirection::Pull;
+    match a {
+        Some(src) if want_pull != natural_pull => (Some(crate::facts::cached_transpose(src)), !at),
+        _ => (a.clone(), at),
+    }
+}
+
 /// Feed the substrate's SpGEMM kernel report into the runtime's
 /// selection counters.
 fn record_mxm_select(kernel: gbtl::MxmKernel) {
@@ -347,6 +375,12 @@ fn k_mxm<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
     let mut c = take_c_m::<T>(args)?;
     let a = typed_m::<T>(&args.a, "a")?;
     let b = typed_m::<T>(&args.b, "b")?;
+    // Forward a plan-time family hint to the substrate's selection; it
+    // only takes effect when both masked families are legal there.
+    let family_hint = crate::facts::take_mxm_hint();
+    if let Some(family) = family_hint {
+        gbtl::set_mxm_family_hint(family);
+    }
     let r = gbtl::operations::mxm(
         &mut c,
         &mmask(&args.mask, args.complemented),
@@ -357,7 +391,21 @@ fn k_mxm<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
         gbtl::Replace(args.replace),
     );
     args.c = T::wrap_matrix(c);
-    record_mxm_select(r.map_err(JitError::op)?);
+    let kernel = r.map_err(JitError::op)?;
+    let honored = matches!(
+        (family_hint, kernel),
+        (Some(gbtl::MxmFamily::MaskedDot), gbtl::MxmKernel::MaskedDot)
+            | (
+                Some(gbtl::MxmFamily::MaskedGustavson),
+                gbtl::MxmKernel::MaskedGustavson
+            )
+    );
+    if honored {
+        pygb_obs::registry()
+            .counter("opt/static_kernel_hints")
+            .inc();
+    }
+    record_mxm_select(kernel);
     Ok(())
 }
 
@@ -484,14 +532,15 @@ fn k_assign_m_const<T: Element>(args: &mut MatArgs) -> Result<(), JitError> {
 fn k_mxv<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
     let sr = args.semiring.ok_or_else(|| bad("semiring"))?;
     let mut c = take_c_v::<T>(args)?;
-    let a = typed_m::<T>(&args.a, "a")?;
+    let (astore, at) = spmv_hint_operand(&args.a, args.at, !args.at);
+    let a = typed_m::<T>(&astore, "a")?;
     let u = typed_v::<T>(&args.u, "u")?;
     let r = gbtl::operations::mxv(
         &mut c,
         &vmask(&args.mask, args.complemented),
         MaybeAccum(args.accum),
         &sr,
-        view(a, args.at),
+        view(a, at),
         u,
         gbtl::Replace(args.replace),
     );
@@ -503,7 +552,8 @@ fn k_mxv<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
 fn k_vxm<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
     let sr = args.semiring.ok_or_else(|| bad("semiring"))?;
     let mut c = take_c_v::<T>(args)?;
-    let a = typed_m::<T>(&args.a, "a")?;
+    let (astore, at) = spmv_hint_operand(&args.a, args.at, args.at);
+    let a = typed_m::<T>(&astore, "a")?;
     let u = typed_v::<T>(&args.u, "u")?;
     let r = gbtl::operations::vxm(
         &mut c,
@@ -511,7 +561,7 @@ fn k_vxm<T: Element>(args: &mut VecArgs) -> Result<(), JitError> {
         MaybeAccum(args.accum),
         &sr,
         u,
-        view(a, args.at),
+        view(a, at),
         gbtl::Replace(args.replace),
     );
     args.c = T::wrap_vector(c);
@@ -636,7 +686,9 @@ fn fused_mxv_apply<T: Element>(args: &mut VecArgs, vxm: bool) -> Result<(), JitE
     let sr = args.semiring.ok_or_else(|| bad("semiring"))?;
     let op = KindUnaryOp(args.unary.ok_or_else(|| bad("unary"))?);
     let mut c = take_c_v::<T>(args)?;
-    let a = typed_m::<T>(&args.a, "a")?;
+    let natural_pull = if vxm { args.at } else { !args.at };
+    let (astore, at) = spmv_hint_operand(&args.a, args.at, natural_pull);
+    let a = typed_m::<T>(&astore, "a")?;
     let u = typed_v::<T>(&args.u, "u")?;
     let mut temp = gbtl::Vector::<T>::new(c.size());
     let product = if vxm {
@@ -646,7 +698,7 @@ fn fused_mxv_apply<T: Element>(args: &mut VecArgs, vxm: bool) -> Result<(), JitE
             gbtl::NoAccumulate,
             &sr,
             u,
-            view(a, args.at),
+            view(a, at),
             gbtl::Replace(false),
         )
     } else {
@@ -655,7 +707,7 @@ fn fused_mxv_apply<T: Element>(args: &mut VecArgs, vxm: bool) -> Result<(), JitE
             &gbtl::NoMask,
             gbtl::NoAccumulate,
             &sr,
-            view(a, args.at),
+            view(a, at),
             u,
             gbtl::Replace(false),
         )

@@ -60,6 +60,7 @@ pub mod dispatch;
 pub mod dtype;
 pub mod error;
 pub mod expr;
+pub mod facts;
 pub mod kernels;
 pub mod matrix;
 pub mod nb;
@@ -70,7 +71,7 @@ pub mod target;
 pub mod value;
 pub mod vector;
 
-pub use analyze::{take_lints, validate_matrix_expr, validate_vector_expr};
+pub use analyze::{emit_lint, take_lints, validate_matrix_expr, validate_vector_expr};
 pub use context::{ContextGuard, ContextOp, CtxEntry, Session, SessionGuard};
 pub use dispatch::{reduce, runtime, ReduceArg};
 pub use dtype::DType;

@@ -284,6 +284,14 @@ impl MatrixStore {
             .collect())
     }
 
+    /// Materialize the transpose as a new store of the same dtype (a
+    /// typed counting sort; no per-element boxing). Used by the
+    /// plan-time kernel hints to honor an SpMV direction that disagrees
+    /// with the stored orientation (see [`crate::facts::cached_transpose`]).
+    pub fn transposed(&self) -> MatrixStore {
+        dispatch_matrix!(self, |m| Element::wrap_matrix(m.transpose_owned()))
+    }
+
     /// Placeholder store used when temporarily taking ownership.
     pub(crate) fn placeholder() -> MatrixStore {
         MatrixStore::Bool(GMatrix::new(0, 0))

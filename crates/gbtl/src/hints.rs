@@ -1,0 +1,95 @@
+//! One-shot kernel-selection hints.
+//!
+//! A dispatch layer that analyzed the whole deferred expression before
+//! execution (the `pygb-runtime` sparsity pass) can know the operand
+//! densities *statically* — before the runtime probe ever looks at a
+//! container. These thread-local, one-shot hints let it communicate
+//! that verdict to the next kernel-selection decision on the same
+//! thread:
+//!
+//! * [`set_spmv_direction_hint`] pre-decides the push/pull direction a
+//!   [`crate::views::dual`] SpMV operand would otherwise resolve with
+//!   the density probe. The override order is **hint > environment >
+//!   default**: an armed hint beats `PYGB_PUSH_PULL_DENSITY`, which
+//!   beats [`crate::operations::PUSH_PULL_DENSITY`].
+//! * [`set_mxm_family_hint`] pre-decides the masked-SpGEMM family when
+//!   both families are legal (structural mask and a transposed-rows
+//!   view of `B` available).
+//!
+//! A hint is *consumed* (cleared) by the next `mxv`/`vxm` or `mxm`
+//! entry on the thread whether or not the selection could honor it, so
+//! a stale hint can never leak into an unrelated operation.
+
+use std::cell::Cell;
+
+/// A pre-decided SpMV direction (see the module docs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SpmvDirection {
+    /// Row-parallel gather over the logical matrix (dense operand).
+    Pull,
+    /// Frontier-driven scatter over the transposed rows (sparse
+    /// operand).
+    Push,
+}
+
+/// A pre-decided masked-SpGEMM family (see the module docs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MxmFamily {
+    /// Dot-product kernel confined to the mask's stored positions
+    /// (wins when the mask is sparse).
+    MaskedDot,
+    /// Row-wise Gustavson with the mask filtering the accumulator
+    /// (wins when the mask is dense).
+    MaskedGustavson,
+}
+
+thread_local! {
+    static SPMV_HINT: Cell<Option<SpmvDirection>> = const { Cell::new(None) };
+    static MXM_HINT: Cell<Option<MxmFamily>> = const { Cell::new(None) };
+}
+
+/// Arm a one-shot SpMV direction hint for the calling thread. The next
+/// `mxv`/`vxm` on this thread consumes it.
+pub fn set_spmv_direction_hint(dir: SpmvDirection) {
+    SPMV_HINT.with(|h| h.set(Some(dir)));
+}
+
+/// Take (and clear) the calling thread's SpMV direction hint.
+pub fn take_spmv_direction_hint() -> Option<SpmvDirection> {
+    SPMV_HINT.with(|h| h.take())
+}
+
+/// Arm a one-shot masked-SpGEMM family hint for the calling thread.
+/// The next `mxm` on this thread consumes it.
+pub fn set_mxm_family_hint(family: MxmFamily) {
+    MXM_HINT.with(|h| h.set(Some(family)));
+}
+
+/// Take (and clear) the calling thread's masked-SpGEMM family hint.
+pub fn take_mxm_family_hint() -> Option<MxmFamily> {
+    MXM_HINT.with(|h| h.take())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hints_are_one_shot_and_thread_local() {
+        assert_eq!(take_spmv_direction_hint(), None);
+        set_spmv_direction_hint(SpmvDirection::Push);
+        assert_eq!(take_spmv_direction_hint(), Some(SpmvDirection::Push));
+        assert_eq!(take_spmv_direction_hint(), None);
+
+        set_mxm_family_hint(MxmFamily::MaskedDot);
+        assert_eq!(take_mxm_family_hint(), Some(MxmFamily::MaskedDot));
+        assert_eq!(take_mxm_family_hint(), None);
+
+        // A hint armed here is invisible to other threads.
+        set_spmv_direction_hint(SpmvDirection::Pull);
+        std::thread::spawn(|| assert_eq!(take_spmv_direction_hint(), None))
+            .join()
+            .unwrap();
+        assert_eq!(take_spmv_direction_hint(), Some(SpmvDirection::Pull));
+    }
+}

@@ -26,6 +26,35 @@ pub fn install_kernel_observer(observer: KernelObserver) -> bool {
     OBSERVER.set(observer).is_ok()
 }
 
+/// The fact-checker signature: a container write just finalized,
+/// leaving `nvals` stored entries in a container of capacity `dim`
+/// (vector size, or matrix `nrows × ncols`). An embedding layer with a
+/// plan-time sparsity analysis installs one to compare each kernel's
+/// concrete output against the abstract fact predicted for it
+/// (the debug-mode checked interpretation of the abstract domain).
+pub type FactChecker = fn(nvals: usize, dim: usize);
+
+static FACT_CHECKER: OnceLock<FactChecker> = OnceLock::new();
+
+/// Install the process-wide fact checker, called after every finalized
+/// container write. The first installation wins; returns whether this
+/// call installed it.
+pub fn install_fact_checker(checker: FactChecker) -> bool {
+    FACT_CHECKER.set(checker).is_ok()
+}
+
+/// Report a finalized write to the installed fact checker. `f` is only
+/// evaluated when a checker is installed, so the uninstalled cost is a
+/// single `OnceLock` load and a branch — no counting, no allocation
+/// (asserted by the observability overhead bench).
+#[inline]
+pub fn report_fact(f: impl FnOnce() -> (usize, usize)) {
+    if let Some(checker) = FACT_CHECKER.get() {
+        let (nvals, dim) = f();
+        checker(nvals, dim);
+    }
+}
+
 #[inline]
 fn observer() -> Option<KernelObserver> {
     OBSERVER.get().copied()

@@ -60,6 +60,7 @@
 pub mod algorithms;
 pub mod delta;
 pub mod error;
+pub mod hints;
 pub mod hooks;
 pub mod index;
 pub mod mask;
@@ -76,6 +77,10 @@ pub mod write;
 
 pub use delta::{DeltaMatrix, EdgeOp, MergePolicy};
 pub use error::{GblasError, Result};
+pub use hints::{
+    set_mxm_family_hint, set_spmv_direction_hint, take_mxm_family_hint, take_spmv_direction_hint,
+    MxmFamily, SpmvDirection,
+};
 pub use index::{IndexType, Indices};
 pub use mask::{MaskProbe, MatrixMask, NoMask, VectorMask};
 pub use matrix::Matrix;

@@ -23,6 +23,11 @@
 //! write step (`C⟨M, z⟩ = C ⊙ T`) never reads `T` outside the mask, and
 //! accumulated `C`-only entries survive through the union merge.
 
+// Kernel hot path: a panic here takes down a serve worker, so
+// `unwrap`/`expect` are forbidden (see clippy.toml; the test module
+// below is exempt).
+#![warn(clippy::disallowed_methods)]
+
 use crate::error::{GblasError, Result};
 use crate::index::IndexType;
 use crate::mask::{check_matrix_mask, MaskProbe, MatrixMask};
@@ -92,10 +97,18 @@ where
     check_matrix_mask(mask, c.nrows(), c.ncols())?;
     let timer = crate::hooks::KernelTimer::start();
 
+    // The family hint is taken unconditionally so a stale one never
+    // leaks into a later operation; it only has effect when both masked
+    // families are legal — structural mask with `Bᵀ` rows available
+    // (see `crate::hints`).
+    let family_hint = crate::hints::take_mxm_family_hint();
     let probe = mask.probe();
     let kernel = match probe {
         MaskProbe::All => MxmKernel::Gustavson,
-        MaskProbe::Structural if b.transposed_rows().is_some() => MxmKernel::MaskedDot,
+        MaskProbe::Structural if b.transposed_rows().is_some() => match family_hint {
+            Some(crate::hints::MxmFamily::MaskedGustavson) => MxmKernel::MaskedGustavson,
+            _ => MxmKernel::MaskedDot,
+        },
         MaskProbe::Structural | MaskProbe::StructuralComplement => MxmKernel::MaskedGustavson,
         MaskProbe::Opaque => MxmKernel::Gustavson,
     };
@@ -103,7 +116,9 @@ where
     let am = a.materialize();
     let t = match kernel {
         MxmKernel::MaskedDot => {
-            let bt = b.transposed_rows().expect("selected only when available");
+            let Some(bt) = b.transposed_rows() else {
+                unreachable!("masked-dot selected only when Bᵀ rows are available")
+            };
             spgemm_masked_dot(semiring, mask, &am, bt)
         }
         MxmKernel::MaskedGustavson => {
@@ -299,6 +314,7 @@ fn sparse_dot<T: Scalar, S: Semiring<T>>(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::mask::NoMask;

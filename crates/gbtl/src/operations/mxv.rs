@@ -19,6 +19,11 @@
 //! forbidden ones), and the push kernel stamps the allowed set so the
 //! scatter loop never accumulates entries the write step would drop.
 
+// Kernel hot path: a panic here takes down a serve worker, so
+// `unwrap`/`expect` are forbidden (see clippy.toml; the test module
+// below is exempt).
+#![warn(clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
@@ -146,18 +151,26 @@ where
     let timer = crate::hooks::KernelTimer::start();
 
     // Direction: pull iterates output rows of the logical matrix; push
-    // iterates the stored entries of `u` and scatters rows of Aᵀ.
+    // iterates the stored entries of `u` and scatters rows of Aᵀ. The
+    // hint is taken unconditionally so a stale one never leaks into a
+    // later operation; it only has effect on a dual operand, where both
+    // directions are legal (hint > env > default, see `crate::hints`).
+    let dir_hint = crate::hints::take_spmv_direction_hint();
     let pull_rows: Option<&Matrix<T>> = match a {
         MatrixArg::Plain(m) => Some(m),
         MatrixArg::Transposed(_) => None,
-        MatrixArg::Dual { rows, .. } => {
-            let density = if u.size() == 0 {
-                1.0
-            } else {
-                u.nvals() as f64 / u.size() as f64
-            };
-            (density >= push_pull_density()).then_some(rows)
-        }
+        MatrixArg::Dual { rows, .. } => match dir_hint {
+            Some(crate::hints::SpmvDirection::Pull) => Some(rows),
+            Some(crate::hints::SpmvDirection::Push) => None,
+            None => {
+                let density = if u.size() == 0 {
+                    1.0
+                } else {
+                    u.nvals() as f64 / u.size() as f64
+                };
+                (density >= push_pull_density()).then_some(rows)
+            }
+        },
     };
 
     let probe = mask.probe();
@@ -177,9 +190,9 @@ where
             (spmv_gather(semiring, m, u), SpmvKernel::Pull)
         }
     } else {
-        let m = a
-            .transposed_rows()
-            .expect("push selected only when Aᵀ rows are available");
+        let Some(m) = a.transposed_rows() else {
+            unreachable!("push selected only when Aᵀ rows are available")
+        };
         if structural {
             (
                 spmv_scatter_masked(semiring, m, u, mask, keep_truthy),
@@ -386,6 +399,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::mask::NoMask;

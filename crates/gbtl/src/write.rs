@@ -81,6 +81,7 @@ pub fn finalize_vector<T: Scalar, M: VectorMask + ?Sized>(
     if mask.is_all() {
         // Every position is masked in: C simply becomes Z.
         *c = z;
+        crate::hooks::report_fact(|| (c.nvals(), c.size()));
         return;
     }
     let mut indices = Vec::with_capacity(z.nvals() + c.nvals());
@@ -126,6 +127,7 @@ pub fn finalize_vector<T: Scalar, M: VectorMask + ?Sized>(
     }
     drop(ci);
     *c = Vector::from_sorted_entries(c.size(), indices, values);
+    crate::hooks::report_fact(|| (c.nvals(), c.size()));
 }
 
 /// Both phases for vectors: the standard tail of every vector-producing
@@ -200,6 +202,7 @@ pub fn finalize_matrix<T: Scalar, M: MatrixMask + ?Sized>(
 ) {
     if mask.is_all() {
         *c = z;
+        crate::hooks::report_fact(|| (c.nvals(), c.nrows() * c.ncols()));
         return;
     }
     let nrows = c.nrows();
@@ -246,6 +249,7 @@ pub fn finalize_matrix<T: Scalar, M: MatrixMask + ?Sized>(
         rows.push(row);
     }
     *c = Matrix::from_rows(nrows, c.ncols(), rows);
+    crate::hooks::report_fact(|| (c.nvals(), c.nrows() * c.ncols()));
 }
 
 /// Both phases for matrices.

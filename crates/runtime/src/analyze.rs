@@ -274,6 +274,10 @@ pub struct PlanNode {
     pub output: String,
     /// The kernel family the dispatch layer will select.
     pub kernel: String,
+    /// The node's inferred sparsity/structure fact (see
+    /// `pygb::facts`): nnz interval, density bound, structure flags,
+    /// and any statically decided kernel hint.
+    pub facts: Option<String>,
     /// Whether a mask governs the write.
     pub masked: bool,
     /// Whether the mask is complemented.
@@ -344,6 +348,9 @@ fn write_plan_node(f: &mut fmt::Formatter<'_>, indent: &str, n: &PlanNode) -> fm
         "{indent}{} {} -> {}  kernel={}",
         n.id, n.op, n.output, n.kernel
     )?;
+    if let Some(fa) = &n.facts {
+        write!(f, "  facts[{fa}]")?;
+    }
     if n.masked {
         write!(f, "  mask{}", if n.complemented { "=~m" } else { "=m" })?;
     }
@@ -375,11 +382,15 @@ pub fn plan() -> Plan {
         // Freeze external-reference counts before the simulation clone
         // exists: with one descriptor copy alive, multiplicity is 1.
         let ext = crate::dataflow::ExtRefs::freeze(dag, 1);
+        // Abstractly interpret the raw DAG (no lints: plan() is a
+        // read-only assessment, the real flush reports them) so every
+        // node renders its inferred fact next to its kernel verdict.
+        let raw_facts = crate::sparsity::analyze(dag, false);
         let nodes = (0..dag.nodes.len())
             .filter_map(|i| {
                 dag.nodes[i]
                     .as_ref()
-                    .map(|n| plan_node(dag, Some(&ext), i, n))
+                    .map(|n| plan_node(dag, Some(&ext), i, n, raw_facts.facts.get(&i)))
             })
             .collect();
         // Simulate the pipeline on a clone. The clone doubles every
@@ -387,8 +398,13 @@ pub fn plan() -> Plan {
         // counters, spans, and refusal log are untouched.
         let mut sim = dag.clone();
         let summary = crate::passes::run_pipeline(&mut sim, 2, true);
+        let sim_facts = crate::sparsity::analyze(&sim, false);
         let optimized = (0..sim.nodes.len())
-            .filter_map(|i| sim.nodes[i].as_ref().map(|n| plan_node(&sim, None, i, n)))
+            .filter_map(|i| {
+                sim.nodes[i]
+                    .as_ref()
+                    .map(|n| plan_node(&sim, None, i, n, sim_facts.facts.get(&i)))
+            })
             .collect();
         let mut provenance = summary.provenance;
         provenance.sort_by_key(|(id, _)| *id);
@@ -447,15 +463,18 @@ fn plan_node(
     ext: Option<&crate::dataflow::ExtRefs>,
     index: usize,
     n: &Node,
+    nf: Option<&crate::sparsity::NodeFacts>,
 ) -> PlanNode {
     let deps = node_dep_ids(dag, index, n);
     let (op, kernel) = node_summary(n);
+    let facts = nf.map(crate::sparsity::render_facts);
     match n {
         Node::Vec(d) => PlanNode {
             id: dag.ids[index],
             op,
             output: format!("[{} {}]", d.out.size(), d.out.dtype()),
             kernel,
+            facts: facts.clone(),
             masked: d.mask.is_some(),
             complemented: d.mask.as_ref().is_some_and(|(_, c)| *c),
             accum: d.accum.is_some(),
@@ -468,6 +487,7 @@ fn plan_node(
             op,
             output: format!("[{}x{} {}]", d.out.nrows(), d.out.ncols(), d.out.dtype()),
             kernel,
+            facts,
             masked: d.mask.is_some(),
             complemented: d.mask.as_ref().is_some_and(|(_, c)| *c),
             accum: d.accum.is_some(),
@@ -581,6 +601,8 @@ pub struct TraceReport {
     pub elided: usize,
     /// Duplicate nodes merged by the CSE pass.
     pub cse: usize,
+    /// Provably-empty nodes folded by the sparsity pass.
+    pub sparsity: usize,
     /// Nodes folded away by the no-op pass.
     pub noop: usize,
     /// Per-node rewrite attribution from the optimization pipeline,
@@ -613,12 +635,13 @@ impl fmt::Display for TraceReport {
         writeln!(
             f,
             "trace report: {} node(s) executed in {} wave(s); {} fused, {} elided, \
-             {} cse-deduped, {} noop-folded",
+             {} cse-deduped, {} sparsity-folded, {} noop-folded",
             self.nodes.len(),
             self.waves,
             self.fused,
             self.elided,
             self.cse,
+            self.sparsity,
             self.noop
         )?;
         for n in &self.nodes {
@@ -659,6 +682,7 @@ struct ReportState {
     fused: usize,
     elided: usize,
     cse: usize,
+    sparsity: usize,
     noop: usize,
     rewrites: Vec<(NodeId, String)>,
     refusals: Vec<String>,
@@ -711,6 +735,7 @@ pub(crate) fn begin_report(dag: &Dag, summary: &crate::passes::PipelineSummary) 
             fused: summary.fused,
             elided: summary.dce,
             cse: summary.cse,
+            sparsity: summary.sparsity,
             noop: summary.noop,
             rewrites,
             refusals: last_refusals(),
@@ -759,6 +784,7 @@ pub fn trace_report() -> TraceReport {
             fused: state.fused,
             elided: state.elided,
             cse: state.cse,
+            sparsity: state.sparsity,
             noop: state.noop,
             rewrites: state.rewrites.clone(),
             refusals: state.refusals.clone(),

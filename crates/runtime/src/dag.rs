@@ -273,6 +273,7 @@ fn flush_inner() -> Result<()> {
             sp.arg("fused", s.fused.to_string());
             sp.arg("elided", s.dce.to_string());
             sp.arg("cse", s.cse.to_string());
+            sp.arg("sparsity", s.sparsity.to_string());
             sp.arg("noop", s.noop.to_string());
         }
         s
@@ -293,13 +294,18 @@ fn flush_inner() -> Result<()> {
             .counter("opt/cse_deduped")
             .add(summary.cse as u64);
     }
+    if summary.sparsity > 0 {
+        pygb_obs::registry()
+            .counter("opt/empty_folded")
+            .add(summary.sparsity as u64);
+    }
     if summary.noop > 0 {
         stats.record_noop(summary.noop as u64);
         pygb_obs::registry()
             .counter("opt/noop_folded")
             .add(summary.noop as u64);
     }
-    let saved = (summary.dce + summary.cse + summary.noop) as u64;
+    let saved = (summary.dce + summary.cse + summary.sparsity + summary.noop) as u64;
     if saved > 0 {
         pygb_obs::registry()
             .counter("opt/launches_saved")
@@ -308,6 +314,18 @@ fn flush_inner() -> Result<()> {
     // Snapshot the post-rewrite DAG for trace_report() before any wave
     // removes pending edges (no-op while tracing is disabled).
     DAG.with(|d| crate::analyze::begin_report(&d.borrow(), &summary));
+
+    // With the sparsity pass enabled, re-analyze the post-pipeline DAG
+    // (fused/folded descriptors included) once, before any wave runs:
+    // each surviving node's fact arms the checked interpretation and
+    // any static kernel hint on the thread that executes it. Slot
+    // indices stay stable across waves, so the map survives the loop.
+    let mut node_facts =
+        if crate::passes::enabled_passes().contains(&crate::passes::PassKind::Sparsity) {
+            DAG.with(|d| crate::sparsity::analyze(&d.borrow(), false).facts)
+        } else {
+            std::collections::HashMap::new()
+        };
 
     let mut wave = 0usize;
     loop {
@@ -368,11 +386,25 @@ fn flush_inner() -> Result<()> {
         let jobs: Vec<_> = batch
             .into_iter()
             .map(|(i, label, node)| {
+                let nf = node_facts.remove(&i);
                 move || {
                     let t0 = traced.then(std::time::Instant::now);
                     let sp = label.map(|l| pygb_obs::span_labeled(pygb_obs::Cat::Exec, || l));
+                    // Arm the checked interpretation and any static
+                    // kernel hint on the thread the node runs on; the
+                    // dispatch layer consumes hints one-shot.
+                    if let Some(nf) = &nf {
+                        crate::sparsity::arm_prediction(nf);
+                    }
                     let done = run_node(node);
                     drop(sp);
+                    if let Some(nf) = &nf {
+                        let ok = match &done {
+                            Done::V(_, r) => r.is_ok(),
+                            Done::M(_, r) => r.is_ok(),
+                        };
+                        crate::sparsity::check_prediction(nf, ok);
+                    }
                     let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
                     (i, ns, done)
                 }

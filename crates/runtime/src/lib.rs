@@ -27,8 +27,9 @@
 //! Reads (`get`, `nvals`, `reduce`, `extract_pairs`, …) force a flush
 //! of the deferred operations the read depends on, so laziness is
 //! never observable — only faster. Before executing, the optimization
-//! pipeline (`passes.rs`: liveness/DCE, CSE, no-op folding — toggled
-//! via `PYGB_PASSES` or [`set_passes`]) and the fusion pass
+//! pipeline (`passes.rs`: liveness/DCE, CSE, sparsity folding, no-op
+//! folding — toggled via `PYGB_PASSES` or [`set_passes`]) and the
+//! fusion pass
 //! (`fuse.rs`) rewrite the DAG, then a scheduler runs each wave of
 //! independent nodes in parallel.
 
@@ -42,6 +43,7 @@ mod fuse;
 #[cfg(test)]
 mod model_check;
 mod passes;
+mod sparsity;
 
 use std::sync::Once;
 
@@ -56,6 +58,11 @@ pub use pygb::nb::DeferGuard;
 pub fn install_engine() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
+        // The sparsity analysis's checked interpretation: gbtl's write
+        // funnel reports every container finalize, and the scheduler
+        // compares the recorded (nvals, dim) against each node's
+        // predicted fact (`opt/fact_misses`).
+        gbtl::hooks::install_fact_checker(sparsity::record_write);
         pygb::nb::install_engine(pygb::nb::EngineOps {
             enqueue_vector: dag::enqueue_vector,
             enqueue_matrix: dag::enqueue_matrix,

@@ -43,6 +43,10 @@ pub enum PassKind {
     Dce,
     /// Common-subexpression elimination by structural hash-consing.
     Cse,
+    /// Abstract-interpretation sparsity folding: nodes whose write-back
+    /// fact is provably empty resolve without dispatching (see
+    /// `crate::sparsity`).
+    Sparsity,
     /// Structural no-op folding (empty masks, identity applies,
     /// known-empty operands).
     Noop,
@@ -53,6 +57,7 @@ impl PassKind {
         match self {
             PassKind::Dce => "dce",
             PassKind::Cse => "cse",
+            PassKind::Sparsity => "sparsity",
             PassKind::Noop => "noop",
         }
     }
@@ -61,6 +66,7 @@ impl PassKind {
         match self {
             PassKind::Dce => "opt/dce",
             PassKind::Cse => "opt/cse",
+            PassKind::Sparsity => "opt/sparsity",
             PassKind::Noop => "opt/noop",
         }
     }
@@ -75,6 +81,7 @@ fn parse_passes(s: &str) -> Vec<PassKind> {
         .filter_map(|tok| match tok.trim() {
             "dce" => Some(PassKind::Dce),
             "cse" => Some(PassKind::Cse),
+            "sparsity" => Some(PassKind::Sparsity),
             "noop" => Some(PassKind::Noop),
             _ => None,
         })
@@ -85,7 +92,12 @@ fn env_passes() -> &'static [PassKind] {
     static ENV: OnceLock<Vec<PassKind>> = OnceLock::new();
     ENV.get_or_init(|| match std::env::var("PYGB_PASSES") {
         Ok(s) => parse_passes(&s),
-        Err(_) => vec![PassKind::Dce, PassKind::Cse, PassKind::Noop],
+        Err(_) => vec![
+            PassKind::Dce,
+            PassKind::Cse,
+            PassKind::Sparsity,
+            PassKind::Noop,
+        ],
     })
 }
 
@@ -137,6 +149,8 @@ pub(crate) struct PipelineSummary {
     pub(crate) dce: usize,
     /// Duplicate nodes merged by CSE.
     pub(crate) cse: usize,
+    /// Provably-empty nodes folded by the sparsity pass.
+    pub(crate) sparsity: usize,
     /// Nodes folded away by the no-op pass.
     pub(crate) noop: usize,
     /// Per-node rewrite attribution, in rewrite order.
@@ -171,6 +185,11 @@ pub(crate) fn run_pipeline(dag: &mut Dag, mult: usize, simulate: bool) -> Pipeli
             PassKind::Cse => {
                 let n = cse_pass(dag, &mut ctx);
                 summary.cse += n;
+                n
+            }
+            PassKind::Sparsity => {
+                let n = sparsity_pass(dag, &mut ctx);
+                summary.sparsity += n;
                 n
             }
             PassKind::Noop => {
@@ -328,6 +347,64 @@ fn rewrite_all(
 // ---------------------------------------------------------------------
 // Pass 3: no-op elimination / structural-fact folding.
 // ---------------------------------------------------------------------
+
+/// Fold every node whose abstract write-back fact is provably empty
+/// (see `crate::sparsity`): the node's result container provably holds
+/// zero entries, so its placeholder resolves to a fresh empty store
+/// without dispatching. Strictly stronger than the no-op pass's
+/// syntactic emptiness checks — facts propagate *through* pending
+/// placeholders (an empty mask five nodes upstream still proves this
+/// node empty), and masked/accumulated/complemented nodes fold
+/// whenever the interval arithmetic pins the result at zero. The
+/// operator-presence gate keeps `MissingOperator` errors observable,
+/// and region assigns are never folded (their facts are ⊤ anyway).
+fn sparsity_pass(dag: &mut Dag, ctx: &mut PassCtx) -> usize {
+    let analysis = crate::sparsity::analyze(dag, !ctx.simulate);
+    let mut folded = 0;
+    for i in 0..dag.nodes.len() {
+        let provably_empty = analysis
+            .facts
+            .get(&i)
+            .is_some_and(|nf| nf.fact.provably_empty());
+        if !provably_empty {
+            continue;
+        }
+        let eligible = match &dag.nodes[i] {
+            Some(Node::Vec(d)) => d.region.is_none() && vec_rhs_ops_present(&d.rhs),
+            Some(Node::Mat(d)) => d.region.is_none() && mat_rhs_ops_present(&d.rhs),
+            None => false,
+        };
+        if !eligible {
+            continue;
+        }
+        ctx.provenance.push((
+            dag.ids[i],
+            "elided by sparsity (provably-empty result)".to_string(),
+        ));
+        match dag.nodes[i].take().expect("checked above") {
+            Node::Vec(d) => {
+                let p = vptr(&d.out);
+                dag.pending.remove(&p);
+                let empty = Arc::new(VectorStore::new(d.out.size(), d.out.dtype()));
+                dag.resolved_v.insert(p, (d.out, empty));
+                drain_aliases(dag, p);
+            }
+            Node::Mat(d) => {
+                let p = mptr(&d.out);
+                dag.pending.remove(&p);
+                let empty = Arc::new(MatrixStore::new(
+                    d.out.nrows(),
+                    d.out.ncols(),
+                    d.out.dtype(),
+                ));
+                dag.resolved_m.insert(p, (d.out, empty));
+                drain_aliases(dag, p);
+            }
+        }
+        folded += 1;
+    }
+    folded
+}
 
 enum VecFold {
     /// The node provably writes an empty container.

@@ -11,6 +11,10 @@
 //! busy server shows request lifecycles interleaved with the kernel
 //! spans they fan out into.
 
+// Worker/connection hot path: a panic here takes down a serve worker,
+// so `unwrap`/`expect` are forbidden (see clippy.toml).
+#![warn(clippy::disallowed_methods)]
+
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};

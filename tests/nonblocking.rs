@@ -48,9 +48,15 @@ fn ref_collapse_fuses_masked_spmv() {
     assert_eq!(d.deferred, 2);
     // The collapsed node carries the consumer's complemented mask, so
     // the substrate must have picked a *masked* kernel for the single
-    // fused dispatch: transposed operand → push direction.
-    assert_eq!(d.sel_masked_push, 1, "fused SpMV must select masked push");
-    assert_eq!(d.sel_pull + d.sel_masked_pull + d.sel_push, 0);
+    // fused dispatch. The frontier's density (1/7) sits above the
+    // push/pull threshold, so the sparsity analysis statically hints
+    // pull and the runtime honors it by flipping to the cached
+    // transpose — the transposed operand no longer forces push.
+    assert_eq!(
+        d.sel_masked_pull, 1,
+        "fused SpMV must select masked pull from the static density hint"
+    );
+    assert_eq!(d.sel_pull + d.sel_masked_push + d.sel_push, 0);
 
     // Same result as the direct blocking spelling.
     let mut blocking = Vector::new(7, DType::Bool);

@@ -47,9 +47,18 @@ impl Drop for PassScope {
 /// Every optimizer configuration under proof.
 fn optimizer_configs() -> Vec<(&'static str, Vec<PassKind>)> {
     vec![
-        ("all", vec![PassKind::Dce, PassKind::Cse, PassKind::Noop]),
+        (
+            "all",
+            vec![
+                PassKind::Dce,
+                PassKind::Cse,
+                PassKind::Sparsity,
+                PassKind::Noop,
+            ],
+        ),
         ("dce-only", vec![PassKind::Dce]),
         ("cse-only", vec![PassKind::Cse]),
+        ("sparsity-only", vec![PassKind::Sparsity]),
         ("noop-only", vec![PassKind::Noop]),
         ("off", vec![]),
     ]

@@ -16,9 +16,18 @@ use pygb_runtime::{set_passes, PassKind};
 /// Every pass toggle under snapshot, with its golden file stem.
 fn configs() -> Vec<(&'static str, Vec<PassKind>)> {
     vec![
-        ("all", vec![PassKind::Dce, PassKind::Cse, PassKind::Noop]),
+        (
+            "all",
+            vec![
+                PassKind::Dce,
+                PassKind::Cse,
+                PassKind::Sparsity,
+                PassKind::Noop,
+            ],
+        ),
         ("dce_only", vec![PassKind::Dce]),
         ("cse_only", vec![PassKind::Cse]),
+        ("sparsity_only", vec![PassKind::Sparsity]),
         ("noop_only", vec![PassKind::Noop]),
         ("off", vec![]),
     ]
@@ -29,6 +38,7 @@ fn golden(name: &str) -> &'static str {
         "all" => include_str!("golden/plans/bfs_fig1_all.txt"),
         "dce_only" => include_str!("golden/plans/bfs_fig1_dce_only.txt"),
         "cse_only" => include_str!("golden/plans/bfs_fig1_cse_only.txt"),
+        "sparsity_only" => include_str!("golden/plans/bfs_fig1_sparsity_only.txt"),
         "noop_only" => include_str!("golden/plans/bfs_fig1_noop_only.txt"),
         "off" => include_str!("golden/plans/bfs_fig1_off.txt"),
         other => panic!("no golden registered for config {other}"),
@@ -105,7 +115,12 @@ fn bfs_wavefront_plan_matches_golden_per_pass_toggle() {
 /// failure mode is readable when both drift together.
 #[test]
 fn full_pipeline_plan_attributes_every_elision() {
-    let rendered = render_plan(vec![PassKind::Dce, PassKind::Cse, PassKind::Noop]);
+    let rendered = render_plan(vec![
+        PassKind::Dce,
+        PassKind::Cse,
+        PassKind::Sparsity,
+        PassKind::Noop,
+    ]);
     assert!(
         rendered.contains("elided by dce") || rendered.contains("dce"),
         "no DCE attribution in:\n{rendered}"
