@@ -16,6 +16,12 @@
 //! installed (this process never calls `install_fact_checker`), each
 //! call is one `OnceLock` load and a branch — the closure computing
 //! `(nvals, dim)` must never run.
+//!
+//! The flight recorder's contract is stricter still, because it is
+//! *always on* in a serving process: `FlightRecorder::record` must not
+//! allocate whether muted (one relaxed load + branch) or active (head
+//! claim + seqlock write of fixed-width atomic fields), so the serve
+//! hot path pays no heap traffic for its request history.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -107,10 +113,63 @@ fn main() {
         "uninstalled report_fact cost {fact_per_call} ns/call exceeds the {MAX_NS_PER_CALL} ns budget"
     );
 
+    // Flight recorder: the always-on request-history ring must not
+    // allocate on the hot path, muted or active. The record uses
+    // borrowed &str fields, so a correct implementation copies bytes
+    // into fixed slots and never touches the heap.
+    let rec = pygb_obs::recorder();
+    let record = pygb_obs::RequestRecord {
+        id: 1,
+        tenant: "bench-tenant",
+        verb: "expr",
+        graph: "bench-graph",
+        version: 7,
+        queue_wait_ns: 1_000,
+        exec_ns: 2_000,
+        outcome: pygb_obs::Outcome::Ok,
+        kernel_delta: 3,
+        opt_delta: 2,
+    };
+    rec.record(&record); // fault in the ring
+
+    let mut recorder_lines = Vec::new();
+    for (mode, muted) in [("active", false), ("muted", true)] {
+        rec.set_muted(muted);
+        let rec_allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+        let rec_start = Instant::now();
+        for i in 0..ITERS {
+            let mut r = record;
+            r.id = i;
+            rec.record(&r);
+        }
+        let rec_elapsed = rec_start.elapsed();
+        let rec_allocs = ALLOCATIONS.load(Ordering::Relaxed) - rec_allocs_before;
+        assert_eq!(
+            rec_allocs, 0,
+            "{mode} FlightRecorder::record must not allocate \
+             ({rec_allocs} allocations over {ITERS} calls)"
+        );
+        let rec_per_call = rec_elapsed.as_nanos() / ITERS as u128;
+        assert!(
+            rec_per_call <= MAX_NS_PER_CALL,
+            "{mode} record cost {rec_per_call} ns/call exceeds the {MAX_NS_PER_CALL} ns budget"
+        );
+        recorder_lines.push(format!("{mode} {rec_per_call} ns/call"));
+    }
+    rec.set_muted(false);
+    // Single-threaded writes must never collide; a drain must see data.
+    assert_eq!(rec.collisions(), 0, "single-writer collisions are a bug");
+    assert!(
+        !rec.tail(16).is_empty(),
+        "the ring must hold records after {ITERS} writes"
+    );
+
     println!(
         "obs_overhead: OK: {} disabled span calls, 0 allocations, {per_call} ns/call \
          (budget {MAX_NS_PER_CALL} ns); {ITERS} uninstalled report_fact calls, \
-         0 allocations, {fact_per_call} ns/call",
-        2 * ITERS
+         0 allocations, {fact_per_call} ns/call; flight recorder {} x{ITERS} calls, \
+         0 allocations",
+        2 * ITERS,
+        recorder_lines.join(" / ")
     );
 }

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub mod metrics;
+pub mod recorder;
 pub mod trace;
 
 use std::path::PathBuf;
@@ -47,8 +48,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 pub use metrics::{
-    registry, Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
-    MetricsSource,
+    labeled_name, registry, Counter, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, MetricsSource,
+};
+pub use recorder::{
+    recorder, FlightRecorder, Outcome, RecordedRequest, RequestRecord, NAME_CAP, RECORDER_CAPACITY,
 };
 pub use trace::{
     chrome_trace_json, clear_events, events, phase_totals, span, span_labeled, Cat, Span, SpanEvent,
@@ -110,6 +114,16 @@ pub fn finish() -> std::io::Result<Option<PathBuf>> {
     };
     std::fs::write(&path, chrome_trace_json())?;
     Ok(Some(path))
+}
+
+/// Write the buffered span events as Chrome trace-event JSON to an
+/// arbitrary `path`, independent of the `PYGB_TRACE` configuration.
+/// Events stay buffered afterwards (the ring keeps rolling), so this is
+/// safe to call repeatedly from a live server — it backs the
+/// `TRACE DUMP <path>` wire verb and the periodic flush loop, which
+/// exist precisely because waiting for a clean exit loses the trace.
+pub fn dump_trace_to(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
 }
 
 /// Record one completed kernel execution: `ns` is added to the

@@ -190,6 +190,20 @@ impl MetricsRegistry {
         )
     }
 
+    /// Get or create the counter `name` carrying `labels` — one
+    /// independent series per distinct label set, keyed by
+    /// [`labeled_name`]. Callers on hot paths should cache the returned
+    /// `Arc` per label set rather than re-resolve it per event.
+    pub fn labeled_counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter(&labeled_name(name, labels))
+    }
+
+    /// Get or create the histogram `name` carrying `labels`; see
+    /// [`MetricsRegistry::labeled_counter`].
+    pub fn labeled_histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram(&labeled_name(name, labels))
+    }
+
     /// Register (or replace) a snapshot source. Its counters appear in
     /// snapshots as `<name>/<counter>`.
     pub fn register_source(&self, name: &str, source: Arc<dyn MetricsSource>) {
@@ -226,6 +240,73 @@ impl MetricsRegistry {
             counters,
             histograms,
         }
+    }
+}
+
+/// The canonical registry key for a labeled series:
+/// `name{k1="v1",k2="v2"}` with labels sorted by key, so the same label
+/// set always maps to the same series regardless of call-site order.
+/// Label values are escaped Prometheus-style (`\\`, `\"`, `\n`).
+pub fn labeled_name(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut ls: Vec<&(&str, &str)> = labels.iter().collect();
+    ls.sort_by_key(|&&(k, _)| k);
+    let mut out = String::with_capacity(name.len() + 16 * ls.len() + 2);
+    out.push_str(name);
+    out.push('{');
+    for (i, &&(k, v)) in ls.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Split a registry key produced by [`labeled_name`] back into
+/// `(base name, label block)`, where the label block includes the
+/// braces and is empty for unlabeled series.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// Rewrite a slash-namespaced registry name into a Prometheus metric
+/// name: `pygb_` prefix, every character outside `[a-zA-Z0-9_:]`
+/// replaced with `_` (so `serve/request_ns` → `pygb_serve_request_ns`).
+fn prom_name(base: &str) -> String {
+    let mut out = String::with_capacity(base.len() + 5);
+    out.push_str("pygb_");
+    for c in base.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Merge an extra `le` label into an existing label block (`{}`-free
+/// input means no other labels).
+fn with_le(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        let inner = &labels[1..labels.len() - 1];
+        format!("{{{inner},le=\"{le}\"}}")
     }
 }
 
@@ -290,6 +371,57 @@ impl MetricsSnapshot {
             out.push_str("]}");
         }
         out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Prometheus text exposition (format 0.0.4) of the whole snapshot.
+    ///
+    /// * Counters become `pygb_<name> <value>` gauge-free counter
+    ///   families; slash namespaces are flattened to `_` and labeled
+    ///   series (keys built by [`labeled_name`]) keep their label
+    ///   blocks.
+    /// * Histograms keep their nanosecond units (`*_ns` names) and are
+    ///   exported cumulatively: one `_bucket{le="<bound>"}` line per
+    ///   nonzero power-of-two bound, a closing `le="+Inf"`, then
+    ///   `_sum` / `_count`.
+    /// * One `# TYPE` line per family (BTreeMap order groups all label
+    ///   sets of a family together), so the output is deterministic and
+    ///   schema-checkable.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (name, value) in &self.counters {
+            let (base, labels) = split_labels(name);
+            let fam = prom_name(base);
+            if fam != last_family {
+                out.push_str(&format!("# TYPE {fam} counter\n"));
+                last_family.clone_from(&fam);
+            }
+            out.push_str(&format!("{fam}{labels} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let (base, labels) = split_labels(name);
+            let fam = prom_name(base);
+            if fam != last_family {
+                out.push_str(&format!("# TYPE {fam} histogram\n"));
+                last_family.clone_from(&fam);
+            }
+            let mut cumulative = 0u64;
+            for &(bound, n) in &h.buckets {
+                cumulative += n;
+                out.push_str(&format!(
+                    "{fam}_bucket{} {cumulative}\n",
+                    with_le(labels, &bound.to_string())
+                ));
+            }
+            out.push_str(&format!(
+                "{fam}_bucket{} {}\n",
+                with_le(labels, "+Inf"),
+                h.count
+            ));
+            out.push_str(&format!("{fam}_sum{labels} {}\n", h.sum));
+            out.push_str(&format!("{fam}_count{labels} {}\n", h.count));
+        }
         out
     }
 }
@@ -376,6 +508,61 @@ mod tests {
         // Replacing a source keeps one entry.
         reg.register_source("src", Arc::new(Fixed));
         assert_eq!(reg.sources.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn labeled_series_are_independent_and_order_insensitive() {
+        let reg = MetricsRegistry::default();
+        reg.labeled_counter("serve/completed", &[("tenant", "a"), ("verb", "QUERY")])
+            .add(2);
+        // Same label set in the other order resolves to the same series.
+        reg.labeled_counter("serve/completed", &[("verb", "QUERY"), ("tenant", "a")])
+            .add(3);
+        reg.labeled_counter("serve/completed", &[("tenant", "b"), ("verb", "QUERY")])
+            .inc();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("serve/completed{tenant=\"a\",verb=\"QUERY\"}"),
+            5
+        );
+        assert_eq!(
+            snap.counter("serve/completed{tenant=\"b\",verb=\"QUERY\"}"),
+            1
+        );
+        // Label values are escaped.
+        assert_eq!(
+            labeled_name("m", &[("k", "a\"b\\c\nd")]),
+            "m{k=\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = MetricsRegistry::default();
+        reg.counter("serve/completed").add(7);
+        reg.labeled_counter("serve/completed", &[("tenant", "a")])
+            .add(3);
+        reg.labeled_histogram("serve/request_ns", &[("verb", "EXPR")])
+            .record(1000);
+        reg.labeled_histogram("serve/request_ns", &[("verb", "EXPR")])
+            .record(3);
+        let text = reg.snapshot().to_prometheus();
+        // One TYPE line per family even with multiple label sets.
+        assert_eq!(
+            text.matches("# TYPE pygb_serve_completed counter").count(),
+            1
+        );
+        assert!(text.contains("pygb_serve_completed 7\n"));
+        assert!(text.contains("pygb_serve_completed{tenant=\"a\"} 3\n"));
+        assert!(text.contains("# TYPE pygb_serve_request_ns histogram\n"));
+        // Buckets are cumulative and closed with +Inf, sum, count.
+        assert!(text.contains("pygb_serve_request_ns_bucket{verb=\"EXPR\",le=\"4\"} 1\n"));
+        assert!(text.contains("pygb_serve_request_ns_bucket{verb=\"EXPR\",le=\"1024\"} 2\n"));
+        assert!(text.contains("pygb_serve_request_ns_bucket{verb=\"EXPR\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("pygb_serve_request_ns_sum{verb=\"EXPR\"} 1003\n"));
+        assert!(text.contains("pygb_serve_request_ns_count{verb=\"EXPR\"} 2\n"));
+        // Deterministic.
+        assert_eq!(text, reg.snapshot().to_prometheus());
     }
 
     #[test]

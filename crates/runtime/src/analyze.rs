@@ -591,6 +591,10 @@ pub struct ExecutedNode {
 /// ([`pygb_obs::enable`] or `PYGB_TRACE`) when the flush ran.
 #[derive(Debug, Clone, Default)]
 pub struct TraceReport {
+    /// The serve request ID this flush executed under, when the worker
+    /// tagged it via [`set_request_tag`] — makes the report addressable
+    /// through [`trace_report_for`].
+    pub request: Option<u64>,
     /// Executed nodes, ordered by wave then id.
     pub nodes: Vec<ExecutedNode>,
     /// Number of scheduling waves the flush took.
@@ -632,9 +636,14 @@ impl fmt::Display for TraceReport {
                 "trace report: empty (tracing disabled, or nothing flushed)"
             );
         }
+        if let Some(id) = self.request {
+            write!(f, "trace report [r{id}]")?;
+        } else {
+            write!(f, "trace report")?;
+        }
         writeln!(
             f,
-            "trace report: {} node(s) executed in {} wave(s); {} fused, {} elided, \
+            ": {} node(s) executed in {} wave(s); {} fused, {} elided, \
              {} cse-deduped, {} sparsity-folded, {} noop-folded",
             self.nodes.len(),
             self.waves,
@@ -678,6 +687,8 @@ struct ReportState {
     /// DAG slot index → report entry, for every node alive after the
     /// fusion pass.
     entries: Vec<(usize, ReportEntry)>,
+    /// The request tag in effect when the flush began, if any.
+    request: Option<u64>,
     waves: usize,
     fused: usize,
     elided: usize,
@@ -690,17 +701,97 @@ struct ReportState {
 
 thread_local! {
     static REPORT: RefCell<Option<ReportState>> = const { RefCell::new(None) };
+    /// Per-thread override that makes flushes collect timed reports
+    /// even while global tracing is off — set by serve workers so every
+    /// request's per-node timings exist without buffering trace events
+    /// process-wide.
+    static FORCED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// The serve request ID the current flush executes on behalf of.
+    static REQUEST_TAG: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// Most recent tagged reports, retrievable cross-thread by request ID
+/// (the `EXPLAIN rN` path). Bounded; oldest evicted. Cold: touched once
+/// per *tagged* flush and per lookup, never by untagged flushes.
+const TAGGED_REPORT_CAP: usize = 128;
+static TAGGED_REPORTS: std::sync::Mutex<std::collections::VecDeque<(u64, TraceReport)>> =
+    std::sync::Mutex::new(std::collections::VecDeque::new());
+
+/// Force (or stop forcing) timed execution reports on the calling
+/// thread, independent of the global tracing flag. While set, every
+/// flush on this thread measures per-node wall time and populates
+/// [`trace_report`] exactly as if tracing were enabled — but no trace
+/// events are buffered unless tracing really is on. Serve workers keep
+/// this set for their whole lifetime.
+pub fn set_report_forced(on: bool) {
+    FORCED.with(|f| f.set(on));
+}
+
+/// Whether the calling thread forces timed reports.
+pub(crate) fn report_forced() -> bool {
+    FORCED.with(|f| f.get())
+}
+
+/// Tag (or untag, with `None`) the calling thread with the serve
+/// request ID the next flushes execute on behalf of. Tagged flushes
+/// publish their [`TraceReport`] into a bounded cross-thread ring keyed
+/// by ID (see [`trace_report_for`]); when one request flushes several
+/// times (algorithms iterate), the last flush's report wins.
+pub fn set_request_tag(tag: Option<u64>) {
+    REQUEST_TAG.with(|t| t.set(tag));
+}
+
+/// The calling thread's current request tag.
+pub(crate) fn request_tag() -> Option<u64> {
+    REQUEST_TAG.with(|t| t.get())
+}
+
+/// Publish the calling thread's current report into the tagged ring if
+/// the flush that produced it carried a request tag. Called by the
+/// flush path after the wave loop; a no-op for untagged flushes.
+pub(crate) fn publish_tagged_report() {
+    let report = trace_report();
+    let Some(id) = report.request else { return };
+    if report.nodes.is_empty() {
+        // An empty flush (nothing pending) would overwrite the report
+        // of the flush that did the request's real work.
+        return;
+    }
+    let mut ring = match TAGGED_REPORTS.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    ring.retain(|(k, _)| *k != id);
+    if ring.len() >= TAGGED_REPORT_CAP {
+        ring.pop_front();
+    }
+    ring.push_back((id, report));
+}
+
+/// The published [`TraceReport`] of the flush that executed request
+/// `id`, from any thread — `None` when the request was never tagged,
+/// executed nothing, or has been evicted from the bounded ring.
+pub fn trace_report_for(id: u64) -> Option<TraceReport> {
+    let ring = match TAGGED_REPORTS.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    ring.iter()
+        .rev()
+        .find(|(k, _)| *k == id)
+        .map(|(_, r)| r.clone())
 }
 
 /// Start a fresh execution report for the flush that just finished its
 /// optimization pipeline. Captures each surviving node's identity,
 /// summary, and dependency edges before any wave runs (the scheduler
 /// removes `pending` entries as nodes resolve). No-op — and wipes any
-/// previous report — unless tracing is enabled.
+/// previous report — unless tracing is enabled or the thread forces
+/// reports ([`set_report_forced`]).
 pub(crate) fn begin_report(dag: &Dag, summary: &crate::passes::PipelineSummary) {
     REPORT.with(|r| {
         let mut slot = r.borrow_mut();
-        if !pygb_obs::enabled() {
+        if !pygb_obs::enabled() && !report_forced() {
             *slot = None;
             return;
         }
@@ -731,6 +822,7 @@ pub(crate) fn begin_report(dag: &Dag, summary: &crate::passes::PipelineSummary) 
         rewrites.sort_by_key(|(id, _)| *id);
         *slot = Some(ReportState {
             entries,
+            request: request_tag(),
             waves: 0,
             fused: summary.fused,
             elided: summary.dce,
@@ -764,7 +856,8 @@ pub(crate) fn record_exec(idx: usize, wave: usize, ns: u64) {
 /// token [`plan`] rendered before the flush), post-fusion kernel,
 /// scheduling wave, measured wall time, and dependency edges — plus
 /// the flush's fusion/elision counts and refusal log. Returns an empty
-/// report when tracing was disabled while the flush ran.
+/// report when neither tracing nor [`set_report_forced`] was on while
+/// the flush ran.
 pub fn trace_report() -> TraceReport {
     REPORT.with(|r| {
         let slot = r.borrow();
@@ -779,6 +872,7 @@ pub fn trace_report() -> TraceReport {
             .collect();
         nodes.sort_by_key(|n| (n.wave, n.id));
         TraceReport {
+            request: state.request,
             nodes,
             waves: state.waves,
             fused: state.fused,

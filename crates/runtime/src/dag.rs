@@ -240,6 +240,10 @@ pub(crate) fn flush() -> Result<()> {
     }
     let _sp = pygb_obs::span(pygb_obs::Cat::Flush, "flush");
     let result = flush_inner();
+    // If a serve worker tagged this thread with a request ID, make the
+    // finished report retrievable cross-thread (EXPLAIN rN). No-op for
+    // untagged flushes.
+    crate::analyze::publish_tagged_report();
     DAG.with(|d| {
         let mut dag = d.borrow_mut();
         dag.flushing = false;
@@ -330,6 +334,9 @@ fn flush_inner() -> Result<()> {
     let mut wave = 0usize;
     loop {
         let traced = pygb_obs::enabled();
+        // Per-node timing also runs when the thread forces reports
+        // (serve workers), without buffering any trace events.
+        let timed = traced || crate::analyze::report_forced();
         // Collect the wave of ready nodes (no pending inputs) and
         // substitute resolved stores into their descriptors. The DAG
         // borrow is released before anything executes. When tracing,
@@ -388,7 +395,7 @@ fn flush_inner() -> Result<()> {
             .map(|(i, label, node)| {
                 let nf = node_facts.remove(&i);
                 move || {
-                    let t0 = traced.then(std::time::Instant::now);
+                    let t0 = timed.then(std::time::Instant::now);
                     let sp = label.map(|l| pygb_obs::span_labeled(pygb_obs::Cat::Exec, || l));
                     // Arm the checked interpretation and any static
                     // kernel hint on the thread the node runs on; the
@@ -416,7 +423,7 @@ fn flush_inner() -> Result<()> {
         DAG.with(|d| {
             let mut dag = d.borrow_mut();
             for (i, ns, done) in results {
-                if traced {
+                if timed {
                     crate::analyze::record_exec(i, wave, ns);
                 }
                 match done {

@@ -48,7 +48,8 @@ mod sparsity;
 use std::sync::Once;
 
 pub use analyze::{
-    last_refusals, plan, trace_report, ExecutedNode, NodeId, Plan, PlanNode, TraceReport,
+    last_refusals, plan, set_report_forced, set_request_tag, trace_report, trace_report_for,
+    ExecutedNode, NodeId, Plan, PlanNode, TraceReport,
 };
 pub use passes::{reset_passes, set_passes, PassKind};
 pub use pygb::nb::DeferGuard;

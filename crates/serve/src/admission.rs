@@ -106,8 +106,13 @@ impl Admission {
     /// [`Ticket`] owns the slot until dropped.
     pub fn admit(&self, tenant: &str) -> Result<Ticket, AdmitError> {
         let mut st = self.inner.state.lock();
+        // `serve/shed_overloaded` stays the all-causes total;
+        // `serve/shed_global` / `serve/shed_tenant` (and the server's
+        // `serve/shed_queue_full`) attribute each shed to its ceiling
+        // so admission behavior is diagnosable per cause.
         if st.inflight >= self.inner.cfg.max_inflight {
             pygb_obs::registry().counter("serve/shed_overloaded").inc();
+            pygb_obs::registry().counter("serve/shed_global").inc();
             return Err(AdmitError::ServerFull {
                 limit: self.inner.cfg.max_inflight,
             });
@@ -115,6 +120,7 @@ impl Admission {
         let per = st.per_tenant.entry(tenant.to_string()).or_insert(0);
         if *per >= self.inner.cfg.per_tenant {
             pygb_obs::registry().counter("serve/shed_overloaded").inc();
+            pygb_obs::registry().counter("serve/shed_tenant").inc();
             return Err(AdmitError::TenantFull {
                 limit: self.inner.cfg.per_tenant,
             });

@@ -15,8 +15,15 @@
 //! - `PYGB_SERVE_TIMEOUT_MS` — queue deadline in ms (default 5000)
 //! - `PYGB_SERVE_SEED` — comma-separated graphs to preload, each
 //!   `name=er:<n>:<m>:<seed>` or `name=rmat:<scale>:<ef>:<seed>`
-//! - `PYGB_TRACE` / `PYGB_METRICS` — the usual observability switches
-//!   (traces flush on SIGINT-free exit only; use `STATS` for live data)
+//! - `PYGB_SLOW_NS` — slow-query threshold in nanoseconds (default
+//!   100ms); requests slower than this capture their plan and per-node
+//!   timings for `EXPLAIN rN`, tunable live via `SLOW THRESHOLD <ns>`
+//! - `PYGB_TRACE` / `PYGB_METRICS` — the usual observability switches.
+//!   With `PYGB_TRACE` set the span ring is flushed to the trace file
+//!   every few seconds (and on demand via `TRACE DUMP <path>`), so a
+//!   kill -9 loses at most one flush interval, not the whole trace.
+//!   `METRICS` serves a live Prometheus exposition; `STATS` the raw
+//!   JSON snapshot.
 
 use pygb_serve::{AdmissionConfig, Catalog, Server, ServerConfig};
 use std::sync::Arc;
@@ -88,6 +95,22 @@ fn main() -> std::io::Result<()> {
 
     let server = Server::start(catalog, config)?;
     println!("pygb-serve listening on {}", server.local_addr());
+
+    // A server has no "SIGINT-free exit": without a periodic flush the
+    // configured trace file would only ever be written by a clean
+    // shutdown that never happens. Rewrite it every few seconds so the
+    // file tracks the live span ring (clients can also force a flush
+    // anywhere with `TRACE DUMP <path>`).
+    if pygb_obs::trace_path().is_some() {
+        std::thread::Builder::new()
+            .name("pygb-serve-trace-flush".to_string())
+            .spawn(|| loop {
+                std::thread::sleep(Duration::from_secs(3));
+                if let Err(e) = pygb_obs::finish() {
+                    eprintln!("pygb-serve: trace flush failed: {e}");
+                }
+            })?;
+    }
 
     // Serve until killed; all work happens on accept/conn/worker threads.
     loop {

@@ -14,6 +14,7 @@ use crate::wire::{self, ErrCode, Frame};
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    last_id: Option<u64>,
 }
 
 impl Client {
@@ -24,7 +25,14 @@ impl Client {
         Ok(Client {
             writer: stream.try_clone()?,
             reader: BufReader::new(stream),
+            last_id: None,
         })
+    }
+
+    /// The request ID (`rN`) the server echoed on the most recent
+    /// response, if any — the handle to pass to `EXPLAIN`.
+    pub fn last_request_id(&self) -> Option<u64> {
+        self.last_id
     }
 
     /// Bound how long a single exchange may block on the socket.
@@ -39,7 +47,9 @@ impl Client {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
-        wire::read_frame(&mut self.reader)
+        let (frame, id) = wire::read_frame_tagged(&mut self.reader)?;
+        self.last_id = id;
+        Ok(frame)
     }
 
     /// Like [`Client::request`] but maps `ERR` frames to `Err`.
@@ -90,7 +100,9 @@ impl Client {
         }
         self.writer.write_all(msg.as_bytes())?;
         self.writer.flush()?;
-        wire::read_frame(&mut self.reader)
+        let (frame, id) = wire::read_frame_tagged(&mut self.reader)?;
+        self.last_id = id;
+        Ok(frame)
     }
 }
 

@@ -26,10 +26,16 @@
 //!   saturated server sheds with a structured `overloaded` response
 //!   instead of queueing unboundedly, and per-tenant ceilings keep one
 //!   tenant from starving the rest;
-//! - full observability: every request runs under a
-//!   [`pygb_obs::Cat::Serve`] span and the `serve/*` metrics namespace
-//!   (counters and latency histograms) shows up in `STATS` responses
-//!   and Chrome-trace exports.
+//! - full observability: every request is minted a stable ID at
+//!   admission (echoed as the trailing `ID rN` token on its `OK`/`ERR`
+//!   frame) and runs under a [`pygb_obs::Cat::Serve`] span; heavy
+//!   requests are recorded in an always-on lock-free flight recorder
+//!   (drained via `TAIL n` / `SLOW n`), requests slower than
+//!   `PYGB_SLOW_NS` capture their full plan and per-node timings for
+//!   `EXPLAIN rN` (see [`flightlog`]), and the `serve/*` metrics
+//!   namespace — with `tenant`/`verb`-labeled series — shows up in
+//!   `STATS` responses, the `METRICS` Prometheus exposition, and
+//!   Chrome-trace exports (`TRACE DUMP <path>` flushes on demand).
 //!
 //! ## In-process quickstart
 //!
@@ -52,6 +58,7 @@
 pub mod admission;
 pub mod catalog;
 pub mod client;
+pub mod flightlog;
 pub mod pool;
 pub mod query;
 pub mod server;
@@ -60,6 +67,7 @@ pub mod wire;
 pub use admission::{Admission, AdmissionConfig, AdmitError};
 pub use catalog::{Catalog, Snapshot};
 pub use client::Client;
+pub use flightlog::{ExplainEntry, DEFAULT_SLOW_NS, EXPLAIN_CAP};
 pub use query::{Algo, ExprOp, ExprSpec, GraphSource, Request, UpdateOps};
 pub use server::{Server, ServerConfig};
 pub use wire::{ErrCode, Frame, PROTOCOL};

@@ -32,7 +32,21 @@
 //! EXPR <A> MXM|EWADD|EWMULT <B> [SEMIRING <name>] [BINOP <name>]
 //!      [MASK <name>] [COMPLEMENT] [ACCUM <name>] [REPLACE] [INTO <name>]
 //! BATCH <k>
+//! TAIL <n>
+//! SLOW <n>
+//! SLOW THRESHOLD <ns>
+//! EXPLAIN r<N>
+//! METRICS
+//! TRACE DUMP <path>
 //! ```
+//!
+//! The last six are the observability verbs: `TAIL n` / `SLOW n` drain
+//! the flight-recorder ring (most recent / slowest records as JSON),
+//! `SLOW THRESHOLD <ns>` retunes the slow-query capture threshold at
+//! runtime, `EXPLAIN rN` retrieves a slow request's captured plan and
+//! per-node timings, `METRICS` emits the Prometheus text exposition of
+//! every counter and histogram, and `TRACE DUMP <path>` flushes the
+//! Chrome trace ring to a server-side file on demand.
 //!
 //! `UPDATE` is the streaming-mutation verb: the batch is absorbed into
 //! a hypersparse delta over the current snapshot and published as the
@@ -242,6 +256,33 @@ pub enum Request {
         /// How many request lines follow.
         count: usize,
     },
+    /// Drain the most recent flight-recorder records.
+    Tail {
+        /// How many records to return.
+        n: usize,
+    },
+    /// Drain the slowest flight-recorder records.
+    Slow {
+        /// How many records to return.
+        n: usize,
+    },
+    /// Retune the slow-query capture threshold.
+    SlowThreshold {
+        /// New threshold, nanoseconds.
+        ns: u64,
+    },
+    /// Retrieve a slow request's captured plan and per-node timings.
+    Explain {
+        /// The request ID (`rN` without the prefix).
+        id: u64,
+    },
+    /// Prometheus text exposition of the metrics registry.
+    Metrics,
+    /// Flush the Chrome trace ring to a server-side file.
+    TraceDump {
+        /// Destination path on the server's filesystem.
+        path: String,
+    },
 }
 
 impl Request {
@@ -270,6 +311,23 @@ impl Request {
             Request::Update { .. } => "update",
             Request::Expr(_) => "expr",
             Request::Batch { .. } => "batch",
+            Request::Tail { .. } => "tail",
+            Request::Slow { .. } => "slow",
+            Request::SlowThreshold { .. } => "slow-threshold",
+            Request::Explain { .. } => "explain",
+            Request::Metrics => "metrics",
+            Request::TraceDump { .. } => "trace-dump",
+        }
+    }
+
+    /// The catalog graph this request primarily touches, if any — what
+    /// the flight recorder puts in its `graph` column.
+    pub fn graph_name(&self) -> &str {
+        match self {
+            Request::Register { name, .. } | Request::Drop { name } => name,
+            Request::Query { graph, .. } | Request::Update { graph, .. } => graph,
+            Request::Expr(spec) => &spec.a,
+            _ => "",
         }
     }
 }
@@ -302,6 +360,38 @@ pub fn parse(line: &str) -> Result<Request, QueryError> {
         "BATCH" => Request::Batch {
             count: parse_num(it.next(), "BATCH count")?,
         },
+        "TAIL" => Request::Tail {
+            n: parse_ring_count(it.next(), "TAIL")?,
+        },
+        "SLOW" => match it.next() {
+            Some(t) if t.eq_ignore_ascii_case("THRESHOLD") => Request::SlowThreshold {
+                ns: parse_num(it.next(), "SLOW THRESHOLD ns")?,
+            },
+            t => Request::Slow {
+                n: parse_ring_count(t, "SLOW")?,
+            },
+        },
+        "EXPLAIN" => {
+            let tok = it.next().ok_or_else(|| bad("EXPLAIN needs a request id"))?;
+            let id = tok
+                .strip_prefix(['r', 'R'])
+                .unwrap_or(tok)
+                .parse()
+                .map_err(|_| bad(format!("EXPLAIN: bad request id `{tok}` (want rN)")))?;
+            Request::Explain { id }
+        }
+        "METRICS" => Request::Metrics,
+        "TRACE" => {
+            if !it.next().is_some_and(|t| t.eq_ignore_ascii_case("DUMP")) {
+                return Err(bad("TRACE supports only `TRACE DUMP <path>`"));
+            }
+            Request::TraceDump {
+                path: it
+                    .next()
+                    .ok_or_else(|| bad("TRACE DUMP needs a path"))?
+                    .to_string(),
+            }
+        }
         other => return Err(bad(format!("unknown verb `{other}`"))),
     };
     if req.verb() != "batch" || matches!(req, Request::Batch { count: 1..=1024 }) {
@@ -314,6 +404,18 @@ pub fn parse(line: &str) -> Result<Request, QueryError> {
 fn parse_num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, QueryError> {
     tok.and_then(|t| t.parse().ok())
         .ok_or_else(|| bad(format!("{what}: expected a number")))
+}
+
+/// Parse a `TAIL`/`SLOW` record count, bounded by the ring capacity.
+fn parse_ring_count(tok: Option<&str>, verb: &str) -> Result<usize, QueryError> {
+    let n: usize = parse_num(tok, &format!("{verb} count"))?;
+    if n == 0 || n > pygb_obs::RECORDER_CAPACITY {
+        return Err(bad(format!(
+            "{verb} count must be in 1..={}",
+            pygb_obs::RECORDER_CAPACITY
+        )));
+    }
+    Ok(n)
 }
 
 fn parse_register(toks: &[&str]) -> Result<Request, QueryError> {
@@ -541,7 +643,56 @@ pub fn execute(catalog: &Catalog, req: &Request) -> Result<String, QueryError> {
         Request::Update { graph, ops } => run_update(catalog, graph, ops),
         Request::Expr(spec) => run_expr(catalog, spec),
         Request::Batch { .. } => Err(bad("BATCH header cannot be executed directly")),
+        Request::Tail { n } => Ok(records_json(&pygb_obs::recorder().tail(*n))),
+        Request::Slow { n } => Ok(records_json(&pygb_obs::recorder().slow(*n))),
+        Request::SlowThreshold { ns } => {
+            crate::flightlog::set_slow_ns(*ns);
+            Ok(format!("{{\"slow_ns\":{ns}}}"))
+        }
+        Request::Explain { id } => match crate::flightlog::get_explain(*id) {
+            Some(entry) => Ok(entry.render()),
+            None => Err((
+                ErrCode::NotFound,
+                format!("no capture for r{id} (request was never slow, or the entry was evicted)"),
+            )),
+        },
+        Request::Metrics => Ok(pygb_obs::registry().snapshot().to_prometheus()),
+        Request::TraceDump { path } => {
+            pygb_obs::dump_trace_to(std::path::Path::new(path)).map_err(|e| {
+                (
+                    ErrCode::Internal,
+                    format!("trace dump to `{path}` failed: {e}"),
+                )
+            })?;
+            Ok(format!("{{\"dumped\":\"{}\"}}", json_escape(path)))
+        }
     }
+}
+
+/// Serialize flight-recorder records as a JSON array (the `TAIL`/`SLOW`
+/// payload shape).
+fn records_json(records: &[pygb_obs::RecordedRequest]) -> String {
+    let items: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\":\"r{}\",\"tenant\":\"{}\",\"verb\":\"{}\",\"graph\":\"{}\",\
+                 \"version\":{},\"queue_wait_ns\":{},\"exec_ns\":{},\"outcome\":\"{}\",\
+                 \"kernels\":{},\"opt_saved\":{}}}",
+                r.id,
+                json_escape(&r.tenant),
+                json_escape(&r.verb),
+                json_escape(&r.graph),
+                r.version,
+                r.queue_wait_ns,
+                r.exec_ns,
+                r.outcome.as_str(),
+                r.kernel_delta,
+                r.opt_delta
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
 }
 
 fn resolve(catalog: &Catalog, name: &str) -> Result<Arc<Snapshot>, QueryError> {
@@ -867,6 +1018,11 @@ pub(crate) fn run_expr_group(
                 Err(e) => results[i] = Some(Err(e)),
             }
         }
+        // The only window where the request's DAG is still pending: if
+        // the serving worker armed slow-query capture, render the plan
+        // (raw vs optimized, sparsity facts, kernel hints) now, before
+        // the flush consumes the nodes. Unarmed threads skip the render.
+        crate::flightlog::offer_plan(|| pygb_runtime::plan().to_string());
         pygb_runtime::flush().map_err(internal)
     })();
 

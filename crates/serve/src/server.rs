@@ -6,10 +6,18 @@
 //! the connection thread blocks on the reply, so slow queries exert
 //! backpressure on their own socket while other connections proceed.
 //!
-//! Every admitted request runs under a [`pygb_obs::Cat::Serve`] span
-//! and feeds the `serve/*` metrics namespace, so a trace export of a
-//! busy server shows request lifecycles interleaved with the kernel
-//! spans they fan out into.
+//! Every request line is minted a stable request ID before parsing and
+//! the ID is echoed as the trailing `ID rN` token on the response
+//! frame, so even a `bad-request` reply is addressable. Every admitted
+//! request runs under a [`pygb_obs::Cat::Serve`] span labeled with its
+//! ID and feeds the `serve/*` metrics namespace — both the unlabeled
+//! aggregate series and `tenant`/`verb`-labeled ones — so a trace
+//! export of a busy server shows request lifecycles interleaved with
+//! the kernel spans they fan out into. Heavy requests additionally
+//! leave a record in the process-wide [`pygb_obs::FlightRecorder`]
+//! (including shed and expired ones, attributed to their cause), and
+//! requests slower than the [`crate::flightlog`] threshold capture
+//! their plan and per-node timings for `EXPLAIN rN`.
 
 // Worker/connection hot path: a panic here takes down a serve worker,
 // so `unwrap`/`expect` are forbidden (see clippy.toml).
@@ -22,10 +30,11 @@ use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use pygb_obs::{span_labeled, Cat};
+use pygb_obs::{recorder, span_labeled, Cat, Outcome, RequestRecord};
 
-use crate::admission::{Admission, AdmissionConfig};
+use crate::admission::{Admission, AdmissionConfig, AdmitError};
 use crate::catalog::Catalog;
+use crate::flightlog;
 use crate::pool::{Job, WorkerPool};
 use crate::query::{self, Request};
 use crate::wire::{self, ErrCode};
@@ -79,6 +88,9 @@ impl Server {
         // Force kernel registration so dispatch works on worker threads
         // and the tunables metrics source is registered up front.
         let _ = pygb::runtime();
+        // Read (and thereby mirror) the slow threshold eagerly so a
+        // scrape sees `tunables/slow_ns` before the first heavy request.
+        let _ = flightlog::slow_ns();
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -150,6 +162,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             return;
         }
         let Ok((stream, _peer)) = conn else { continue };
+        // Frames are written as several small `write!` calls; without
+        // NODELAY, Nagle + the client's delayed ACK turn every response
+        // into a ~40ms stall.
+        stream.set_nodelay(true).ok();
         let conn_shared = Arc::clone(&shared);
         let _ = thread::Builder::new()
             .name("pygb-serve-conn".to_string())
@@ -173,10 +189,13 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<
             continue;
         }
         requests.inc();
+        // Mint the request ID before parsing so even a `bad-request`
+        // frame carries an `ID rN` token the client can report.
+        let id = flightlog::next_request_id();
         let req = match query::parse(&line) {
             Ok(req) => req,
             Err((code, msg)) => {
-                wire::write_err(&mut writer, code, &msg)?;
+                wire::write_err_tagged(&mut writer, code, &msg, Some(id))?;
                 continue;
             }
         };
@@ -186,26 +205,29 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<
                 respond(
                     &mut writer,
                     query::execute(&shared.catalog, &Request::Hello { tenant: t }),
+                    id,
                 )?;
             }
             Request::Batch { count } => {
                 let subs = match read_batch(&mut reader, count) {
                     Ok(subs) => subs,
                     Err((code, msg)) => {
-                        wire::write_err(&mut writer, code, &msg)?;
+                        wire::write_err_tagged(&mut writer, code, &msg, Some(id))?;
                         continue;
                     }
                 };
                 pygb_obs::registry().counter("serve/batches").inc();
-                dispatch_heavy(&shared, &mut writer, &tenant, Work::Batch(subs))?;
+                dispatch_heavy(&shared, &mut writer, &tenant, Work::Batch(subs), id)?;
             }
             req if req.is_heavy() => {
-                dispatch_heavy(&shared, &mut writer, &tenant, Work::One(req))?;
+                dispatch_heavy(&shared, &mut writer, &tenant, Work::One(req), id)?;
             }
             req => {
                 // Cheap metadata verbs answer inline on the connection
-                // thread; they never touch graph data.
-                respond(&mut writer, query::execute(&shared.catalog, &req))?;
+                // thread; they never touch graph data. They still echo
+                // the ID but are not recorded in the flight ring, so
+                // PING/TAIL polling cannot pollute the request history.
+                respond(&mut writer, query::execute(&shared.catalog, &req), id)?;
             }
         }
     }
@@ -244,15 +266,51 @@ enum Work {
 
 /// Admit, enqueue, and await one unit of heavy work, writing whatever
 /// frame results (including the structured shed/timeout responses).
+/// Every outcome — completion, error, shed at any of the three
+/// ceilings, queue expiry — leaves one record in the flight ring under
+/// the minted request ID.
 fn dispatch_heavy(
     shared: &Arc<Shared>,
     writer: &mut TcpStream,
     tenant: &str,
     work: Work,
+    id: u64,
 ) -> std::io::Result<()> {
+    let verb = match &work {
+        Work::One(req) => req.verb().to_string(),
+        Work::Batch(_) => "BATCH".to_string(),
+    };
+    let graph = match &work {
+        Work::One(req) => req.graph_name().to_string(),
+        Work::Batch(_) => String::new(),
+    };
+    let record_shed = |outcome: Outcome, queue_wait_ns: u64| {
+        recorder().record(&RequestRecord {
+            id,
+            tenant,
+            verb: &verb,
+            graph: &graph,
+            version: 0,
+            queue_wait_ns,
+            exec_ns: 0,
+            outcome,
+            kernel_delta: 0,
+            opt_delta: 0,
+        });
+    };
+
     let ticket = match shared.admission.admit(tenant) {
         Ok(t) => Arc::new(t),
-        Err(e) => return wire::write_err(writer, ErrCode::Overloaded, &e.message()),
+        Err(e) => {
+            record_shed(
+                match e {
+                    AdmitError::ServerFull { .. } => Outcome::ShedGlobal,
+                    AdmitError::TenantFull { .. } => Outcome::ShedTenant,
+                },
+                0,
+            );
+            return wire::write_err_tagged(writer, ErrCode::Overloaded, &e.message(), Some(id));
+        }
     };
     let (tx, rx) = mpsc::channel::<Result<Response, query::QueryError>>();
     let admitted_at = Instant::now();
@@ -261,17 +319,35 @@ fn dispatch_heavy(
     let run = {
         let shared = Arc::clone(shared);
         let tenant = tenant.to_string();
+        let verb = verb.clone();
+        let graph = graph.clone();
         let ticket = Arc::clone(&ticket);
         let tx = tx.clone();
         Box::new(move || {
             let _ticket = ticket;
+            let queue_wait_ns = admitted_at.elapsed().as_nanos() as u64;
             pygb_obs::registry()
                 .histogram("serve/queue_wait_ns")
-                .record(admitted_at.elapsed().as_nanos() as u64);
+                .record(queue_wait_ns);
+
+            // Attribute runtime work to this request: tag the worker
+            // thread so the flushed DAG's trace report is published
+            // under `rN`, force per-node timing collection even with
+            // global tracing off, and arm plan capture so the EXPR
+            // path can stash its pre-flush `plan()` rendering.
+            pygb_runtime::set_request_tag(Some(id));
+            pygb_runtime::set_report_forced(true);
+            flightlog::arm_plan_capture();
+            let jit = pygb::runtime().cache().stats();
+            let inv_before = jit.snapshot().invocations;
+            let opt_counter = pygb_obs::registry().counter("opt/launches_saved");
+            let opt_before = opt_counter.get();
+
+            let exec_start = Instant::now();
             let result = match &work {
                 Work::One(req) => {
                     let _span = span_labeled(Cat::Serve, || {
-                        format!("serve {} tenant={tenant}", req.verb())
+                        format!("serve {} tenant={tenant} r{id}", req.verb())
                     });
                     // Drain lints a previous job may have left on this
                     // worker thread so they cannot be misattributed.
@@ -289,6 +365,8 @@ fn dispatch_heavy(
                     out.map(|payload| Response { payload, warnings })
                 }
                 Work::Batch(subs) => {
+                    let _span =
+                        span_labeled(Cat::Serve, || format!("serve BATCH tenant={tenant} r{id}"));
                     let out = run_batch(&shared.catalog, subs, &tenant);
                     let _ = pygb::analyze::take_lints();
                     out.map(|payload| Response {
@@ -297,23 +375,83 @@ fn dispatch_heavy(
                     })
                 }
             };
+            let exec_ns = exec_start.elapsed().as_nanos() as u64;
+
+            pygb_runtime::set_request_tag(None);
+            pygb_runtime::set_report_forced(false);
+            let plan = flightlog::take_captured_plan();
+            let kernel_delta = jit.snapshot().invocations.saturating_sub(inv_before);
+            let opt_delta = opt_counter.get().saturating_sub(opt_before);
+
+            if exec_ns >= flightlog::slow_ns() {
+                pygb_obs::registry().counter("serve/slow_captured").inc();
+                flightlog::store_explain(flightlog::ExplainEntry {
+                    id,
+                    tenant: tenant.clone(),
+                    verb: verb.clone(),
+                    queue_wait_ns,
+                    exec_ns,
+                    plan,
+                    report: pygb_runtime::trace_report_for(id).map(|r| r.to_string()),
+                });
+            }
+
+            let version = shared.catalog.get(&graph).map_or(0, |s| s.version);
+            recorder().record(&RequestRecord {
+                id,
+                tenant: &tenant,
+                verb: &verb,
+                graph: &graph,
+                version,
+                queue_wait_ns,
+                exec_ns,
+                outcome: if result.is_ok() {
+                    Outcome::Ok
+                } else {
+                    Outcome::Error
+                },
+                kernel_delta,
+                opt_delta,
+            });
+
+            let labels = [("tenant", tenant.as_str()), ("verb", verb.as_str())];
             pygb_obs::registry()
                 .histogram("serve/request_ns")
                 .record(admitted_at.elapsed().as_nanos() as u64);
             pygb_obs::registry()
-                .counter(if result.is_ok() {
-                    "serve/completed"
-                } else {
-                    "serve/errors"
-                })
+                .labeled_histogram("serve/request_ns", &labels)
+                .record(admitted_at.elapsed().as_nanos() as u64);
+            let outcome_name = if result.is_ok() {
+                "serve/completed"
+            } else {
+                "serve/errors"
+            };
+            pygb_obs::registry().counter(outcome_name).inc();
+            pygb_obs::registry()
+                .labeled_counter(outcome_name, &labels)
                 .inc();
             let _ = tx.send(result);
         })
     };
     let expire = {
         let ticket = Arc::clone(&ticket);
+        let tenant = tenant.to_string();
+        let verb = verb.clone();
+        let graph = graph.clone();
         Box::new(move || {
             let _ticket = ticket;
+            recorder().record(&RequestRecord {
+                id,
+                tenant: &tenant,
+                verb: &verb,
+                graph: &graph,
+                version: 0,
+                queue_wait_ns: admitted_at.elapsed().as_nanos() as u64,
+                exec_ns: 0,
+                outcome: Outcome::Timeout,
+                kernel_delta: 0,
+                opt_delta: 0,
+            });
             let _ = tx.send(Err((
                 ErrCode::Timeout,
                 "request expired in queue before a worker picked it up".to_string(),
@@ -328,20 +466,26 @@ fn dispatch_heavy(
         expire,
     }) {
         pygb_obs::registry().counter("serve/shed_overloaded").inc();
-        return wire::write_err(
+        pygb_obs::registry().counter("serve/shed_queue_full").inc();
+        record_shed(Outcome::ShedQueue, 0);
+        return wire::write_err_tagged(
             writer,
             ErrCode::Overloaded,
             &format!("worker queue at capacity ({})", full.capacity),
+            Some(id),
         );
     }
 
     match rx.recv_timeout(shared.response_wait) {
-        Ok(Ok(resp)) => wire::write_ok_warn(writer, &resp.payload, &resp.warnings),
-        Ok(Err((code, msg))) => wire::write_err(writer, code, &msg),
-        Err(_) => wire::write_err(
+        Ok(Ok(resp)) => wire::write_ok_tagged(writer, &resp.payload, &resp.warnings, Some(id)),
+        Ok(Err((code, msg))) => wire::write_err_tagged(writer, code, &msg, Some(id)),
+        // The worker (or expire hook) still owns the ring record; the
+        // connection only reports the give-up to its client.
+        Err(_) => wire::write_err_tagged(
             writer,
             ErrCode::Timeout,
             "request did not complete within the response window",
+            Some(id),
         ),
     }
 }
@@ -421,9 +565,10 @@ fn run_batch(
 fn respond(
     writer: &mut TcpStream,
     result: Result<String, query::QueryError>,
+    id: u64,
 ) -> std::io::Result<()> {
     match result {
-        Ok(payload) => wire::write_ok(writer, &payload),
-        Err((code, msg)) => wire::write_err(writer, code, &msg),
+        Ok(payload) => wire::write_ok_tagged(writer, &payload, &[], Some(id)),
+        Err((code, msg)) => wire::write_err_tagged(writer, code, &msg, Some(id)),
     }
 }

@@ -12,7 +12,8 @@
 //! ```text
 //! OK <nbytes>\n<payload bytes>\n
 //! OK <nbytes> WARN <k>\n<payload bytes>\n<lint line> ×k
-//! ERR <code> <nbytes>\n<message bytes>\n
+//! OK <nbytes> [WARN <k>] ID r<N>\n...
+//! ERR <code> <nbytes> [ID r<N>]\n<message bytes>\n
 //! ```
 //!
 //! `<nbytes>` counts the payload only, not the trailing newline. The
@@ -21,6 +22,13 @@
 //! (a `replace` with no mask, a complemented empty mask, a lossy
 //! cast). Error codes are the closed set of [`ErrCode`] names; clients
 //! switch on the code, not the message.
+//!
+//! The optional trailing `ID r<N>` token echoes the server-minted
+//! request ID, the handle the observability verbs (`EXPLAIN rN`,
+//! `TAIL`, `SLOW`) use to name a past request. It is strictly the last
+//! header token, so `pygb-wire/1` stays backward compatible: parsers
+//! that know the token read it via [`read_frame_tagged`]; the framing
+//! of payload and warnings is unchanged either way.
 
 use std::fmt;
 use std::io::{self, BufRead, Read, Write};
@@ -113,24 +121,32 @@ impl Frame {
 
 /// Write an `OK` frame.
 pub fn write_ok(w: &mut impl Write, payload: &str) -> io::Result<()> {
-    write!(w, "OK {}\n{}\n", payload.len(), payload)?;
-    w.flush()
+    write_ok_tagged(w, payload, &[], None)
 }
 
 /// Write an `OK` frame with a `WARN` section. Each warning becomes one
 /// LF-terminated line after the payload; embedded newlines are
 /// flattened so the frame stays parseable.
 pub fn write_ok_warn(w: &mut impl Write, payload: &str, warnings: &[String]) -> io::Result<()> {
-    if warnings.is_empty() {
-        return write_ok(w, payload);
+    write_ok_tagged(w, payload, warnings, None)
+}
+
+/// Write an `OK` frame carrying optional warnings and an optional
+/// request-ID echo (`ID r<N>`, strictly the last header token).
+pub fn write_ok_tagged(
+    w: &mut impl Write,
+    payload: &str,
+    warnings: &[String],
+    id: Option<u64>,
+) -> io::Result<()> {
+    write!(w, "OK {}", payload.len())?;
+    if !warnings.is_empty() {
+        write!(w, " WARN {}", warnings.len())?;
     }
-    write!(
-        w,
-        "OK {} WARN {}\n{}\n",
-        payload.len(),
-        warnings.len(),
-        payload
-    )?;
+    if let Some(id) = id {
+        write!(w, " ID r{id}")?;
+    }
+    write!(w, "\n{payload}\n")?;
     for warning in warnings {
         let flat = warning.replace(['\n', '\r'], " ");
         writeln!(w, "{flat}")?;
@@ -140,7 +156,21 @@ pub fn write_ok_warn(w: &mut impl Write, payload: &str, warnings: &[String]) -> 
 
 /// Write an `ERR` frame.
 pub fn write_err(w: &mut impl Write, code: ErrCode, msg: &str) -> io::Result<()> {
-    write!(w, "ERR {} {}\n{}\n", code.name(), msg.len(), msg)?;
+    write_err_tagged(w, code, msg, None)
+}
+
+/// Write an `ERR` frame with an optional request-ID echo.
+pub fn write_err_tagged(
+    w: &mut impl Write,
+    code: ErrCode,
+    msg: &str,
+    id: Option<u64>,
+) -> io::Result<()> {
+    write!(w, "ERR {} {}", code.name(), msg.len())?;
+    if let Some(id) = id {
+        write!(w, " ID r{id}")?;
+    }
+    write!(w, "\n{msg}\n")?;
     w.flush()
 }
 
@@ -170,8 +200,39 @@ pub fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
     Ok(Some(line))
 }
 
-/// Read one response frame (client side).
+/// Read one response frame (client side), discarding any request-ID
+/// echo. See [`read_frame_tagged`] to observe it.
 pub fn read_frame(r: &mut impl BufRead) -> io::Result<Frame> {
+    read_frame_tagged(r).map(|(frame, _)| frame)
+}
+
+/// Parse a trailing `ID r<N>` token, which must be the last header
+/// token. `Ok(None)` when `tok` is `None` (no echo present).
+fn parse_id_tail<'a>(
+    mut toks: impl Iterator<Item = &'a str>,
+    tok: Option<&str>,
+) -> io::Result<Option<u64>> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    match tok {
+        None => Ok(None),
+        Some("ID") => {
+            let id = toks
+                .next()
+                .and_then(|t| t.strip_prefix('r'))
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("malformed ID token"))?;
+            if toks.next().is_some() {
+                return Err(bad("trailing tokens after ID"));
+            }
+            Ok(Some(id))
+        }
+        Some(_) => Err(bad("malformed frame header")),
+    }
+}
+
+/// Read one response frame plus the server's request-ID echo, if the
+/// header carried one (`ID r<N>`).
+pub fn read_frame_tagged(r: &mut impl BufRead) -> io::Result<(Frame, Option<u64>)> {
     let header = read_line(r)?
         .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"))?;
     let mut toks = header.split_ascii_whitespace();
@@ -182,23 +243,27 @@ pub fn read_frame(r: &mut impl BufRead) -> io::Result<Frame> {
                 .next()
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| bad("malformed OK header"))?;
-            let nwarn: usize = match toks.next() {
-                Some("WARN") => toks
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| bad("malformed WARN count"))?,
-                Some(_) => return Err(bad("malformed OK header")),
-                None => 0,
+            let mut nwarn: usize = 0;
+            let tail = match toks.next() {
+                Some("WARN") => {
+                    nwarn = toks
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("malformed WARN count"))?;
+                    toks.next()
+                }
+                other => other,
             };
+            let id = parse_id_tail(&mut toks, tail)?;
             let payload = read_payload(r, n)?;
             if nwarn == 0 {
-                return Ok(Frame::Ok(payload));
+                return Ok((Frame::Ok(payload), id));
             }
             let mut warnings = Vec::with_capacity(nwarn);
             for _ in 0..nwarn {
                 warnings.push(read_line(r)?.ok_or_else(|| bad("WARN section truncated by EOF"))?);
             }
-            Ok(Frame::OkWarn(payload, warnings))
+            Ok((Frame::OkWarn(payload, warnings), id))
         }
         Some("ERR") => {
             let code = toks
@@ -209,7 +274,9 @@ pub fn read_frame(r: &mut impl BufRead) -> io::Result<Frame> {
                 .next()
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| bad("malformed ERR header"))?;
-            Ok(Frame::Err(code, read_payload(r, n)?))
+            let tail = toks.next();
+            let id = parse_id_tail(&mut toks, tail)?;
+            Ok((Frame::Err(code, read_payload(r, n)?), id))
         }
         _ => Err(bad("unknown frame type")),
     }
@@ -290,6 +357,53 @@ mod tests {
             read_frame(&mut BufReader::new(&buf[..])).unwrap(),
             Frame::Ok("p".into())
         );
+    }
+
+    #[test]
+    fn tagged_frames_roundtrip_and_stay_compatible() {
+        // OK + ID.
+        let mut buf = Vec::new();
+        write_ok_tagged(&mut buf, "pong", &[], Some(42)).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(
+            read_frame_tagged(&mut r).unwrap(),
+            (Frame::Ok("pong".into()), Some(42))
+        );
+        // The ID-less reader still parses the frame (the echo is
+        // strictly additive framing).
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Ok("pong".into()));
+
+        // OK + WARN + ID: ID comes last.
+        let mut buf = Vec::new();
+        write_ok_tagged(&mut buf, "p", &["lint".to_string()], Some(7)).unwrap();
+        assert!(buf.starts_with(b"OK 1 WARN 1 ID r7\n"));
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(
+            read_frame_tagged(&mut r).unwrap(),
+            (Frame::OkWarn("p".into(), vec!["lint".into()]), Some(7))
+        );
+
+        // ERR + ID.
+        let mut buf = Vec::new();
+        write_err_tagged(&mut buf, ErrCode::Timeout, "late", Some(9)).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(
+            read_frame_tagged(&mut r).unwrap(),
+            (Frame::Err(ErrCode::Timeout, "late".into()), Some(9))
+        );
+
+        // Untagged frames read back with no ID.
+        let mut buf = Vec::new();
+        write_ok(&mut buf, "x").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_frame_tagged(&mut r).unwrap().1, None);
+
+        // Malformed ID tokens are rejected.
+        for header in ["OK 1 ID x1\n1\n", "OK 1 ID r1 junk\n1\n", "OK 1 BOGUS\n1\n"] {
+            let mut r = BufReader::new(header.as_bytes());
+            assert!(read_frame_tagged(&mut r).is_err(), "accepted: {header:?}");
+        }
     }
 
     #[test]

@@ -437,3 +437,200 @@ fn tenants_share_a_connectionless_catalog() {
     let out = b.request_ok("QUERY shared BFS 0").unwrap();
     assert!(out.contains("\"graph\":\"shared\""), "{out}");
 }
+
+// ---------------------------------------------------------------------
+// Request-scoped observability: IDs, the flight ring, EXPLAIN, METRICS.
+// ---------------------------------------------------------------------
+
+#[test]
+fn responses_carry_request_ids_on_ok_and_err() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    assert!(c.last_request_id().is_none());
+    c.ping().unwrap();
+    let first = c.last_request_id().expect("OK frames carry an ID token");
+    // Even a parse failure is addressable: the ID is minted before
+    // parsing, so the bad-request frame still carries one.
+    let frame = c.request("FROBNICATE").unwrap();
+    assert!(
+        matches!(frame, Frame::Err(ErrCode::BadRequest, _)),
+        "{frame:?}"
+    );
+    let second = c.last_request_id().expect("ERR frames carry an ID token");
+    assert!(second > first, "IDs are monotone: r{first} then r{second}");
+}
+
+#[test]
+fn tail_and_slow_expose_the_flight_ring() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.hello("ringer").unwrap();
+    c.request_ok("REGISTER ringg TRIPLES 3 3 fp64 0:1:1,1:2:1")
+        .unwrap();
+    c.request_ok("QUERY ringg BFS 0").unwrap();
+    let qid = c.last_request_id().unwrap();
+    // A failing heavy request is recorded too, with its error outcome.
+    let _ = c.request("QUERY missing-graph BFS 0").unwrap();
+    let eid = c.last_request_id().unwrap();
+
+    let tail = c.request_ok("TAIL 4096").unwrap();
+    let ok_rec = format!(
+        "{{\"id\":\"r{qid}\",\"tenant\":\"ringer\",\"verb\":\"query\",\"graph\":\"ringg\",\"version\":1"
+    );
+    assert!(tail.contains(&ok_rec), "no record for r{qid}: {tail}");
+    let err_rec = format!("{{\"id\":\"r{eid}\",");
+    assert!(tail.contains(&err_rec), "no record for r{eid}: {tail}");
+    let err_entry = tail
+        .split("},{")
+        .find(|e| e.contains(&format!("\"id\":\"r{eid}\"")))
+        .unwrap();
+    assert!(err_entry.contains("\"outcome\":\"error\""), "{err_entry}");
+
+    // SLOW surfaces the same records, ranked by exec time.
+    let slow = c.request_ok("SLOW 4096").unwrap();
+    assert!(slow.contains(&format!("\"id\":\"r{qid}\"")), "{slow}");
+
+    // Cheap verbs (PING, TAIL itself) must not pollute the ring.
+    c.ping().unwrap();
+    let ping_id = c.last_request_id().unwrap();
+    let tail2 = c.request_ok("TAIL 4096").unwrap();
+    assert!(
+        !tail2.contains(&format!("\"id\":\"r{ping_id}\"")),
+        "PING leaked into the flight ring: {tail2}"
+    );
+}
+
+#[test]
+fn explain_unknown_id_is_not_found() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let frame = c.request("EXPLAIN r987654321987").unwrap();
+    match frame {
+        Frame::Err(ErrCode::NotFound, msg) => {
+            assert!(msg.contains("r987654321987"), "{msg}");
+        }
+        other => panic!("want not-found, got {other:?}"),
+    }
+    // Bad ID syntax is a bad-request, not a crash.
+    let frame = c.request("EXPLAIN banana").unwrap();
+    assert!(
+        matches!(frame, Frame::Err(ErrCode::BadRequest, _)),
+        "{frame:?}"
+    );
+}
+
+#[test]
+fn slow_request_is_findable_and_explainable_by_id() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.hello("sleuth").unwrap();
+    // Capture everything while this test drives the loop end-to-end:
+    // heavy EXPR -> ID on the response -> findable via SLOW -> full
+    // plan + per-node timings via EXPLAIN.
+    c.request_ok("SLOW THRESHOLD 1").unwrap();
+    c.request_ok("REGISTER sg TRIPLES 4 4 fp64 0:0:1,0:1:2,1:0:3,1:1:4,2:3:1,3:2:1")
+        .unwrap();
+    c.request_ok("EXPR sg MXM sg SEMIRING ARITHMETIC").unwrap();
+    let id = c.last_request_id().unwrap();
+
+    let slow = c.request_ok("SLOW 4096").unwrap();
+    assert!(slow.contains(&format!("\"id\":\"r{id}\"")), "{slow}");
+
+    let explain = c.request_ok(&format!("EXPLAIN r{id}")).unwrap();
+    assert!(
+        explain.contains(&format!("request r{id} tenant=sleuth verb=expr")),
+        "{explain}"
+    );
+    assert!(
+        explain.contains("--- plan (captured pre-flush) ---"),
+        "{explain}"
+    );
+    assert!(
+        explain.contains("--- execution (per-node measured ns) ---"),
+        "{explain}"
+    );
+    assert!(
+        explain.contains(&format!("trace report [r{id}]")),
+        "{explain}"
+    );
+
+    // QUERY verbs flush inside library code: no pre-flush plan window,
+    // but the per-node report is still captured and attributed.
+    c.request_ok("QUERY sg BFS 0").unwrap();
+    let qid = c.last_request_id().unwrap();
+    let explain = c.request_ok(&format!("EXPLAIN r{qid}")).unwrap();
+    assert!(explain.contains("--- plan unavailable"), "{explain}");
+
+    c.request_ok(&format!("SLOW THRESHOLD {}", pygb_serve::DEFAULT_SLOW_NS))
+        .unwrap();
+}
+
+#[test]
+fn metrics_verb_emits_prometheus_exposition() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.hello("promtenant").unwrap();
+    c.request_ok("REGISTER pm TRIPLES 2 2 fp64 0:1:1").unwrap();
+    c.request_ok("QUERY pm BFS 0").unwrap();
+    let m = c.request_ok("METRICS").unwrap();
+    assert!(m.contains("# TYPE pygb_serve_requests counter"), "{m}");
+    assert!(m.contains("# TYPE pygb_serve_request_ns histogram"), "{m}");
+    assert!(m.contains("pygb_serve_request_ns_bucket"), "{m}");
+    assert!(m.contains("le=\"+Inf\""), "{m}");
+    // Labeled series: per-tenant/per-verb request latency + outcomes.
+    assert!(
+        m.contains("tenant=\"promtenant\"") && m.contains("verb=\"query\""),
+        "{m}"
+    );
+    // The live slow threshold is mirrored into the exposition.
+    assert!(m.contains("pygb_tunables_slow_ns"), "{m}");
+}
+
+#[test]
+fn trace_dump_writes_chrome_trace_on_demand() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.hello("dumper").unwrap();
+    pygb_obs::enable();
+    c.request_ok("REGISTER tdg TRIPLES 2 2 fp64 0:1:1").unwrap();
+    c.request_ok("QUERY tdg BFS 0").unwrap();
+    pygb_obs::disable();
+    let path = std::env::temp_dir().join(format!("pygb_trace_dump_{}.json", std::process::id()));
+    let out = c
+        .request_ok(&format!("TRACE DUMP {}", path.display()))
+        .unwrap();
+    assert!(out.contains("\"dumped\""), "{out}");
+    let body = std::fs::read_to_string(&path).unwrap();
+    assert!(body.contains("\"traceEvents\":["), "{body}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn shed_requests_are_recorded_with_their_cause() {
+    let srv = Server::start(
+        Arc::new(Catalog::new()),
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_inflight: 10,
+                per_tenant: 0,
+                queue_timeout: Duration::from_millis(200),
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.hello("shed-me").unwrap();
+    let frame = c.request("QUERY g BFS 0").unwrap();
+    assert!(
+        matches!(frame, Frame::Err(ErrCode::Overloaded, _)),
+        "{frame:?}"
+    );
+    let id = c.last_request_id().unwrap();
+    let tail = c.request_ok("TAIL 4096").unwrap();
+    let entry = tail
+        .split("},{")
+        .find(|e| e.contains(&format!("\"id\":\"r{id}\"")))
+        .unwrap_or_else(|| panic!("shed request r{id} not recorded: {tail}"));
+    assert!(entry.contains("\"outcome\":\"shed-tenant\""), "{entry}");
+}
